@@ -1,0 +1,90 @@
+// Ablations of ILAN's design choices (DESIGN.md Section 6):
+//   A. stealable-tail fraction (0 = everything NUMA-strict .. 0.5)
+//   B. thread-count granularity g (paper: g = NUMA node size = 8)
+//   C. DRAM congestion-knee sensitivity of the machine model (how the
+//      moldability win depends on the interference model).
+// Run on the two moldability-sensitive benchmarks (CG, SP).
+//
+// Env: ILAN_ABLATION_RUNS (default 5).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ilan_scheduler.hpp"
+#include "harness.hpp"
+#include "rt/team.hpp"
+
+using namespace ilan;
+
+namespace {
+
+double run_ilan(const std::string& kernel, const core::IlanParams& params,
+                const kernels::KernelOptions& opts, int runs,
+                double gather_lat_beta = -1.0) {
+  trace::RunningStats stats;
+  for (int i = 0; i < runs; ++i) {
+    auto mp = bench::paper_machine(31'000 + 1000ull * i);
+    if (gather_lat_beta >= 0.0) mp.mem.gather_lat_beta = gather_lat_beta;
+    rt::Machine machine(mp);
+    core::IlanScheduler sched(params);
+    rt::Team team(machine, sched);
+    const auto prog = kernels::make_kernel(kernel, machine, opts);
+    stats.add(sim::to_seconds(prog.run(team)));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  int runs = 5;
+  if (const char* v = std::getenv("ILAN_ABLATION_RUNS")) {
+    if (std::atoi(v) > 0) runs = std::atoi(v);
+  }
+  const auto opts = bench::env_kernel_options();
+  const std::vector<std::string> kernels_to_run = {"cg", "sp"};
+
+  std::cout << "== Ablation A: stealable-tail fraction (" << runs << " runs) ==\n\n";
+  {
+    trace::Table t({"benchmark", "f=0.0", "f=0.1", "f=0.2 (default)", "f=0.35", "f=0.5"});
+    for (const auto& k : kernels_to_run) {
+      std::vector<std::string> row{k};
+      for (const double f : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+        core::IlanParams p;
+        p.stealable_fraction = f;
+        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs), 4));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Ablation B: thread-count granularity g (paper: node size 8) ==\n\n";
+  {
+    trace::Table t({"benchmark", "g=4", "g=8 (node)", "g=16", "g=32"});
+    for (const auto& k : kernels_to_run) {
+      std::vector<std::string> row{k};
+      for (const int g : {4, 8, 16, 32}) {
+        core::IlanParams p;
+        p.granularity = g;
+        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs), 4));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Ablation C: gather loaded-latency sensitivity (model) ==\n\n";
+  {
+    trace::Table t({"benchmark", "beta=0.0", "beta=0.4", "beta=0.75 (default)", "beta=1.2"});
+    for (const auto& k : kernels_to_run) {
+      std::vector<std::string> row{k};
+      for (const double b : {0.0, 0.4, 0.75, 1.2}) {
+        core::IlanParams p;
+        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs, b), 4));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Extensions study (paper Section 3.5's future-work directions, implemented):
+//   A. counter-guided selection — skip exploration for loops the first
+//      execution proves compute-bound; removes the exploration cost that
+//      makes Matmul regress.
+//   B. energy / EDP objectives — the PTT ranks configurations by estimated
+//      energy instead of time; narrow configurations win more often.
+//
+// Env: ILAN_EXT_RUNS (default 5).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/ilan_scheduler.hpp"
+#include "harness.hpp"
+#include "rt/team.hpp"
+#include "trace/energy.hpp"
+
+using namespace ilan;
+
+namespace {
+
+struct Outcome {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_threads = 0.0;
+};
+
+Outcome run(const std::string& kernel, const core::IlanParams& params, int runs,
+            const kernels::KernelOptions& opts) {
+  Outcome o;
+  for (int i = 0; i < runs; ++i) {
+    rt::Machine machine(bench::paper_machine(52'000 + 1000ull * i));
+    core::IlanScheduler sched(params);
+    rt::Team team(machine, sched);
+    const auto prog = kernels::make_kernel(kernel, machine, opts);
+    o.time_s += sim::to_seconds(prog.run(team));
+    double joules = 0.0;
+    for (const auto& s : team.history()) {
+      joules += trace::estimate_energy(s, machine.topology().num_nodes()).total_j();
+    }
+    o.energy_j += joules;
+    o.avg_threads += team.weighted_avg_threads();
+  }
+  o.time_s /= runs;
+  o.energy_j /= runs;
+  o.avg_threads /= runs;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  int runs = 5;
+  if (const char* v = std::getenv("ILAN_EXT_RUNS")) {
+    if (std::atoi(v) > 0) runs = std::atoi(v);
+  }
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== A. counter-guided selection (skip exploration when compute-bound) ==\n\n";
+  {
+    trace::Table t({"benchmark", "ilan_s", "counter_guided_s", "delta"});
+    for (const auto& k : {"matmul", "bt", "cg"}) {
+      core::IlanParams off;
+      core::IlanParams on;
+      on.counter_guided = true;
+      const auto a = run(k, off, runs, opts);
+      const auto b = run(k, on, runs, opts);
+      t.add_row({k, trace::Table::fmt(a.time_s), trace::Table::fmt(b.time_s),
+                 trace::Table::pct(a.time_s / b.time_s)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(compute-bound loops skip the search; memory-bound loops like"
+                 " CG's matvec still explore)\n";
+  }
+
+  std::cout << "\n== B. scheduling objective: time vs energy vs EDP ==\n\n";
+  {
+    trace::Table t({"benchmark", "objective", "time_s", "energy_j", "avg_threads"});
+    for (const auto& k : {"sp", "cg"}) {
+      for (const auto obj :
+           {trace::Objective::kTime, trace::Objective::kEnergy, trace::Objective::kEdp}) {
+        core::IlanParams p;
+        p.objective = obj;
+        const auto o = run(k, p, runs, opts);
+        t.add_row({k, trace::to_string(obj), trace::Table::fmt(o.time_s),
+                   trace::Table::fmt(o.energy_j, 1), trace::Table::fmt(o.avg_threads, 1)});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n(the energy objective favors narrower configurations when the"
+                 " time cost is small)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 3: the wall-time-weighted average number of threads (cores) the
+// ILAN scheduler selects in each benchmark. Paper: CG averaged ~25 of 64
+// cores; SP also substantially reduced; FT/BT (and the compute-bound
+// kernels) kept the full machine.
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+
+using namespace ilan;
+
+int main() {
+  const int runs = bench::env_runs(30);
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== Figure 3: weighted average thread count selected by ILAN ("
+            << runs << " runs) ==\n\n";
+  trace::Table table({"benchmark", "avg_threads", "of", "paper"});
+  const std::map<std::string, std::string> paper = {
+      {"ft", "64 (max)"},      {"bt", "64 (not reduced)"}, {"cg", "~25"},
+      {"lu", "~64"},           {"sp", "reduced"},          {"matmul", "64"},
+      {"lulesh", "~64"},
+  };
+
+  for (const auto& k : bench::benchmarks()) {
+    const auto s = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    table.add_row({k, trace::Table::fmt(s.mean_avg_threads(), 1), "64", paper.at(k)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 4: ILAN *without* the moldability feature (all 64 cores always
+// used) vs the baseline. Paper: average +7.9%; CG flips from +8.0% to
+// -8.6% — the clearest demonstration that CG's gain comes from moldability;
+// SP loses most of its speedup; the other benchmarks slightly exceed full
+// ILAN (they pay no exploration cost).
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+
+using namespace ilan;
+
+int main() {
+  const int runs = bench::env_runs(30);
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== Figure 4: ILAN without moldability vs baseline (" << runs
+            << " runs) ==\n\n";
+  trace::Table table({"benchmark", "baseline_s", "nomold_s", "nomold_speedup",
+                      "full_ilan_speedup", "paper_note"});
+  const std::map<std::string, std::string> paper = {
+      {"ft", "slightly above full ILAN"},
+      {"bt", "slightly above full ILAN"},
+      {"cg", "-8.6% (moldability essential)"},
+      {"lu", "slightly above full ILAN"},
+      {"sp", "well below full ILAN"},
+      {"matmul", "~0%"},
+      {"lulesh", "slightly above full ILAN"},
+  };
+
+  double gsum = 0.0;
+  for (const auto& k : bench::benchmarks()) {
+    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
+    const auto nomold = bench::run_many(k, bench::SchedKind::kIlanNoMold, runs, 10'000, opts);
+    const auto full = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const double sp = base.time_summary().mean / nomold.time_summary().mean;
+    const double spf = base.time_summary().mean / full.time_summary().mean;
+    gsum += sp;
+    table.add_row({k, trace::Table::fmt(base.time_summary().mean),
+                   trace::Table::fmt(nomold.time_summary().mean), trace::Table::pct(sp),
+                   trace::Table::pct(spf), paper.at(k)});
+  }
+  table.print(std::cout);
+  std::cout << "\naverage speedup without moldability: "
+            << trace::Table::pct(gsum / static_cast<double>(bench::benchmarks().size()))
+            << "   (paper: +7.9% average)\n";
+  return 0;
+}

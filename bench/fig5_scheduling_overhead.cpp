@@ -1,0 +1,57 @@
+// Figure 5: total accumulated scheduling overhead (time spent in the core
+// scheduling components of the runtime) for ILAN, normalized to the
+// baseline. Lower is better. Paper: ILAN lower in 4 of 7 benchmarks, most
+// pronounced for CG (fewest threads -> least synchronization); predictably
+// higher for Matmul. Also prints the per-component breakdown.
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+
+using namespace ilan;
+
+int main() {
+  const int runs = bench::env_runs(30);
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== Figure 5: accumulated scheduling overhead, ILAN / baseline ("
+            << runs << " runs) ==\n\n";
+  trace::Table table({"benchmark", "baseline_ms", "ilan_ms", "normalized",
+                      "paper_note"});
+  const std::map<std::string, std::string> paper = {
+      {"ft", "~1"},          {"bt", "~1"},
+      {"cg", "lowest (most aggressive thread reduction)"},
+      {"lu", "<1"},          {"sp", "<1"},
+      {"matmul", "predictably higher"},
+      {"lulesh", "~1"},
+  };
+
+  std::vector<std::pair<std::string, std::array<double, 2>>> comp_rows;
+  int lower = 0;
+  for (const auto& k : bench::benchmarks()) {
+    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
+    const auto ilan_s = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const double b = base.mean_overhead_s() * 1e3;
+    const double i = ilan_s.mean_overhead_s() * 1e3;
+    if (i < b) ++lower;
+    table.add_row({k, trace::Table::fmt(b, 3), trace::Table::fmt(i, 3),
+                   trace::Table::fmt(i / b, 3), paper.at(k)});
+  }
+  table.print(std::cout);
+  std::cout << "\nILAN overhead below baseline in " << lower << "/7 benchmarks"
+            << "   (paper: 4/7, CG most pronounced)\n";
+
+  // Per-component breakdown for one representative run of each scheduler.
+  std::cout << "\nper-component breakdown (cg, single run, microseconds):\n\n";
+  trace::Table comps({"component", "baseline_us", "ilan_us"});
+  const auto b1 = bench::run_once("cg", bench::SchedKind::kBaseline, 10'000, opts);
+  const auto i1 = bench::run_once("cg", bench::SchedKind::kIlan, 10'000, opts);
+  for (int c = 0; c < static_cast<int>(trace::OverheadComponent::kCount); ++c) {
+    const auto oc = static_cast<trace::OverheadComponent>(c);
+    comps.add_row({std::string(trace::to_string(oc)),
+                   trace::Table::fmt(sim::to_seconds(b1.overhead.total(oc)) * 1e6, 1),
+                   trace::Table::fmt(sim::to_seconds(i1.overhead.total(oc)) * 1e6, 1)});
+  }
+  comps.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "harness.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "core/ilan_scheduler.hpp"
+#include "rt/baseline_ws_scheduler.hpp"
+#include "rt/team.hpp"
+#include "rt/work_sharing_scheduler.hpp"
+#include "topo/presets.hpp"
+
+namespace ilan::bench {
+
+const char* to_string(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kBaseline: return "baseline";
+    case SchedKind::kWorkSharing: return "work-sharing";
+    case SchedKind::kIlan: return "ilan";
+    case SchedKind::kIlanNoMold: return "ilan-nomold";
+  }
+  return "?";
+}
+
+std::unique_ptr<rt::Scheduler> make_scheduler(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kBaseline:
+      return std::make_unique<rt::BaselineWsScheduler>();
+    case SchedKind::kWorkSharing:
+      return std::make_unique<rt::WorkSharingScheduler>();
+    case SchedKind::kIlan:
+      return std::make_unique<core::IlanScheduler>();
+    case SchedKind::kIlanNoMold: {
+      core::IlanParams p;
+      p.moldability = false;
+      return std::make_unique<core::IlanScheduler>(p);
+    }
+  }
+  throw std::invalid_argument("make_scheduler: bad kind");
+}
+
+rt::MachineParams paper_machine(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::zen4_epyc9354_2s();
+  // Calibrated model parameters (== MemParams defaults; spelled out here so
+  // the experiment configuration is explicit and greppable).
+  p.mem.remote_eff_exponent = 0.22;
+  p.mem.congestion_beta = 0.50;
+  p.mem.congestion_knee = 3.0;
+  p.mem.congestion_derate_max = 3.5;
+  p.mem.gather_bw_factor = 0.35;
+  p.mem.gather_lat_beta = 0.75;
+  p.mem.gather_lat_knee = 3.0;
+  p.seed = seed;
+  return p;
+}
+
+RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
+                   const kernels::KernelOptions& opts) {
+  rt::Machine machine(paper_machine(seed));
+  auto scheduler = make_scheduler(kind);
+  rt::Team team(machine, *scheduler);
+  const auto program = kernels::make_kernel(kernel, machine, opts);
+  const sim::SimTime total = program.run(team);
+
+  RunResult r;
+  r.total_s = sim::to_seconds(total);
+  r.avg_threads = team.weighted_avg_threads();
+  r.overhead = team.overhead();
+  r.overhead_s = sim::to_seconds(team.overhead().grand_total());
+  for (const auto& s : team.history()) {
+    r.steals_local += s.steals_local;
+    r.steals_remote += s.steals_remote;
+  }
+  r.local_bytes = machine.memory().traffic().local_bytes;
+  r.remote_bytes = machine.memory().traffic().remote_bytes;
+
+  // Last-seen configuration per loop id (== the converged configuration
+  // once the search has finished).
+  std::map<rt::LoopId, const rt::LoopExecStats*> last;
+  for (const auto& s : team.history()) last[s.loop_id] = &s;
+  for (const auto& [id, s] : last) {
+    if (!r.final_configs.empty()) r.final_configs += ' ';
+    r.final_configs += std::to_string(id) + ":" +
+                       std::to_string(s->config.num_threads) + "/" +
+                       (s->config.steal_policy == rt::StealPolicy::kStrict ? "s" : "f");
+  }
+  return r;
+}
+
+std::vector<double> Series::times() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const auto& r : runs) out.push_back(r.total_s);
+  return out;
+}
+
+trace::SampleSummary Series::time_summary() const { return trace::summarize(times()); }
+
+double Series::mean_avg_threads() const {
+  double s = 0.0;
+  for (const auto& r : runs) s += r.avg_threads;
+  return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
+}
+
+double Series::mean_overhead_s() const {
+  double s = 0.0;
+  for (const auto& r : runs) s += r.overhead_s;
+  return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
+}
+
+Series run_many(const std::string& kernel, SchedKind kind, int runs,
+                std::uint64_t base_seed, const kernels::KernelOptions& opts) {
+  Series s;
+  s.runs.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    s.runs.push_back(run_once(kernel, kind, base_seed + 1000ull * (i + 1), opts));
+  }
+  return s;
+}
+
+int env_runs(int fallback) {
+  if (const char* v = std::getenv("ILAN_BENCH_RUNS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+kernels::KernelOptions env_kernel_options() {
+  kernels::KernelOptions opts;
+  if (const char* v = std::getenv("ILAN_BENCH_TIMESTEPS")) {
+    const int n = std::atoi(v);
+    if (n > 0) opts.timesteps = n;
+  }
+  if (const char* v = std::getenv("ILAN_BENCH_SIZE")) {
+    const double f = std::atof(v);
+    if (f > 0.0) opts.size_factor = f;
+  }
+  return opts;
+}
+
+const std::vector<std::string>& benchmarks() { return kernels::kernel_names(); }
+
+}  // namespace ilan::bench

@@ -1,0 +1,72 @@
+// Shared experiment harness for the figure/table reproduction binaries.
+//
+// One "run" = one fresh Machine (paper platform, seeded noise) + one
+// scheduler + one kernel program, mirroring a single job execution in the
+// paper's 30-run methodology.
+//
+// Environment knobs (all optional):
+//   ILAN_BENCH_RUNS       repetitions per (kernel, scheduler); default 30
+//   ILAN_BENCH_TIMESTEPS  override kernel timesteps (smaller = faster)
+//   ILAN_BENCH_SIZE       region size factor; default 1.0
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "rt/runtime.hpp"
+#include "rt/scheduler.hpp"
+#include "trace/overhead.hpp"
+#include "trace/stats.hpp"
+#include "trace/table.hpp"
+
+namespace ilan::bench {
+
+enum class SchedKind { kBaseline, kWorkSharing, kIlan, kIlanNoMold };
+
+[[nodiscard]] const char* to_string(SchedKind kind);
+[[nodiscard]] std::unique_ptr<rt::Scheduler> make_scheduler(SchedKind kind);
+
+// The evaluation platform (Section 4.1) with calibrated memory-model
+// parameters.
+[[nodiscard]] rt::MachineParams paper_machine(std::uint64_t seed);
+
+struct RunResult {
+  double total_s = 0.0;       // whole-program simulated time
+  double avg_threads = 0.0;   // wall-time-weighted thread count
+  double overhead_s = 0.0;    // accumulated scheduling overhead
+  trace::OverheadTracker overhead;
+  std::int64_t steals_local = 0;
+  std::int64_t steals_remote = 0;
+  double local_bytes = 0.0;
+  double remote_bytes = 0.0;
+  // Final configuration each step loop converged to: "name:threads/policy".
+  std::string final_configs;
+};
+
+[[nodiscard]] RunResult run_once(const std::string& kernel, SchedKind kind,
+                                 std::uint64_t seed,
+                                 const kernels::KernelOptions& opts = {});
+
+struct Series {
+  std::vector<RunResult> runs;
+  [[nodiscard]] std::vector<double> times() const;
+  [[nodiscard]] trace::SampleSummary time_summary() const;
+  [[nodiscard]] double mean_avg_threads() const;
+  [[nodiscard]] double mean_overhead_s() const;
+};
+
+[[nodiscard]] Series run_many(const std::string& kernel, SchedKind kind, int runs,
+                              std::uint64_t base_seed,
+                              const kernels::KernelOptions& opts = {});
+
+// Environment-derived defaults.
+[[nodiscard]] int env_runs(int fallback = 30);
+[[nodiscard]] kernels::KernelOptions env_kernel_options();
+
+// All seven benchmarks in paper order.
+[[nodiscard]] const std::vector<std::string>& benchmarks();
+
+}  // namespace ilan::bench

@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks of the runtime primitives: deque ops,
+// max-min solver, PTT bookkeeping, topology queries, cache probes, event
+// engine throughput, and chunking. These measure the *host* cost of the
+// simulator/scheduler machinery, not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "core/ptt.hpp"
+#include "mem/cache_model.hpp"
+#include "mem/flow_network.hpp"
+#include "rt/task.hpp"
+#include "rt/ws_deque.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/presets.hpp"
+
+using namespace ilan;
+
+namespace {
+
+const rt::TaskloopSpec& dummy_spec() {
+  static rt::TaskloopSpec spec = [] {
+    rt::TaskloopSpec s;
+    s.loop_id = 1;
+    s.iterations = 1 << 20;
+    s.demand = [](std::int64_t, std::int64_t) { return rt::TaskDemand{}; };
+    return s;
+  }();
+  return spec;
+}
+
+void BM_DequePushPop(benchmark::State& state) {
+  rt::WsDeque dq;
+  rt::Task t;
+  t.loop = &dummy_spec();
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) dq.push_back(t);
+    for (int i = 0; i < 32; ++i) benchmark::DoNotOptimize(dq.pop_front());
+    for (int i = 0; i < 32; ++i) benchmark::DoNotOptimize(dq.steal_back(true));
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_FlowNetworkSolve(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  mem::FlowNetwork net;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net.clear();
+    std::vector<mem::FlowNetwork::ConstraintIdx> ctrls;
+    for (int c = 0; c < 8; ++c) ctrls.push_back(net.add_constraint(90e9));
+    for (int f = 0; f < flows; ++f) {
+      const mem::FlowNetwork::ConstraintIdx cs[1] = {ctrls[static_cast<std::size_t>(f % 8)]};
+      net.add_flow(22e9, 1.0 + 0.4 * (f % 3), cs);
+    }
+    state.ResumeTiming();
+    net.solve();
+    benchmark::DoNotOptimize(net.rate(0));
+  }
+}
+BENCHMARK(BM_FlowNetworkSolve)->Arg(64)->Arg(256)->Arg(576);
+
+void BM_PttRecordAndQuery(benchmark::State& state) {
+  core::PerfTraceTable ptt;
+  rt::LoopExecStats stats;
+  stats.loop_id = 7;
+  stats.config.num_threads = 64;
+  stats.wall = sim::from_ms(3.0);
+  stats.node_busy.assign(8, sim::from_ms(1));
+  stats.node_iters.assign(8, 256);
+  int t = 8;
+  for (auto _ : state) {
+    stats.config.num_threads = t;
+    t = t == 64 ? 8 : t + 8;
+    ptt.record(7, stats);
+    benchmark::DoNotOptimize(ptt.fastest(7));
+    benchmark::DoNotOptimize(ptt.second_fastest(7));
+    benchmark::DoNotOptimize(ptt.nodes_ranked(7, 8));
+  }
+}
+BENCHMARK(BM_PttRecordAndQuery);
+
+void BM_TopologyNodesByDistance(benchmark::State& state) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.nodes_by_distance(topo::NodeId{3}));
+  }
+}
+BENCHMARK(BM_TopologyNodesByDistance);
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  mem::CacheModel cache(topo, mem::CacheParams{});
+  sim::Xoshiro256ss rng(9);
+  for (auto _ : state) {
+    const auto off = rng.below(1u << 28);
+    benchmark::DoNotOptimize(cache.access(topo::CcdId{static_cast<std::int32_t>(rng.below(16))},
+                                          0, off, 4 << 20));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(i * 100, [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+}
+BENCHMARK(BM_EngineThroughput);
+
+void BM_MakeChunks(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::make_chunks(2048, 0, 64, 2));
+  }
+}
+BENCHMARK(BM_MakeChunks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Scheduler behavior report: per benchmark and scheduler, the simulated
+// execution time, ILAN's converged configurations, steal counts and traffic
+// locality. Not a paper exhibit per se — this is the diagnostic view used
+// to validate (and calibrate) the machine model; it documents *why* the
+// figure-level results come out the way they do.
+//
+// Env: ILAN_REPORT_RUNS (default 3).
+#include <cstdlib>
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace ilan;
+
+int main() {
+  int runs = 3;
+  if (const char* v = std::getenv("ILAN_REPORT_RUNS")) {
+    if (std::atoi(v) > 0) runs = std::atoi(v);
+  }
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== scheduler behavior report (" << runs << " run(s)/cell) ==\n\n";
+  trace::Table table({"benchmark", "scheduler", "time_s", "std", "speedup", "avg_thr",
+                      "ovh_ms", "steal_l", "steal_r", "remote_frac", "final_cfgs"});
+
+  for (const auto& k : bench::benchmarks()) {
+    double base_mean = 0.0;
+    for (const auto kind :
+         {bench::SchedKind::kBaseline, bench::SchedKind::kWorkSharing,
+          bench::SchedKind::kIlan, bench::SchedKind::kIlanNoMold}) {
+      const auto series = bench::run_many(k, kind, runs, /*base_seed=*/77, opts);
+      const auto sum = series.time_summary();
+      if (kind == bench::SchedKind::kBaseline) base_mean = sum.mean;
+      double sl = 0.0;
+      double sr = 0.0;
+      double lb = 0.0;
+      double rb = 0.0;
+      for (const auto& r : series.runs) {
+        sl += static_cast<double>(r.steals_local);
+        sr += static_cast<double>(r.steals_remote);
+        lb += r.local_bytes;
+        rb += r.remote_bytes;
+      }
+      const double n = static_cast<double>(series.runs.size());
+      table.add_row({k, to_string(kind), trace::Table::fmt(sum.mean, 4),
+                     trace::Table::fmt(sum.stddev, 4),
+                     trace::Table::pct(base_mean / sum.mean),
+                     trace::Table::fmt(series.mean_avg_threads(), 1),
+                     trace::Table::fmt(series.mean_overhead_s() * 1e3, 2),
+                     trace::Table::fmt(sl / n, 0), trace::Table::fmt(sr / n, 0),
+                     trace::Table::fmt(rb / (lb + rb), 3),
+                     series.runs.front().final_configs});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

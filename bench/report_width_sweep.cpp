@@ -1,0 +1,89 @@
+// Moldability landscape: execution time of each benchmark when the
+// hierarchical scheduler is pinned to a fixed thread width (ManualScheduler,
+// strict policy, first-n node mask). This charts the curve ILAN's
+// Algorithm 1 searches — the width where each curve bottoms out is the
+// configuration a perfect search would lock in.
+//
+// Env: ILAN_SWEEP_RUNS (default 1).
+#include <cstdlib>
+#include <iostream>
+
+#include "core/manual_scheduler.hpp"
+#include "harness.hpp"
+#include "rt/team.hpp"
+
+using namespace ilan;
+
+namespace {
+
+double run_width(const std::string& kernel, int width,
+                 const kernels::KernelOptions& opts, int runs) {
+  trace::RunningStats stats;
+  for (int i = 0; i < runs; ++i) {
+    rt::Machine machine(bench::paper_machine(4242 + 1000ull * i));
+    const auto prog = kernels::make_kernel(kernel, machine, opts);
+
+    // Init loops run at full width (ILAN's k = 1 always explores m_max
+    // first, so first-touch placement spans all nodes); only the step loops
+    // are pinned to the width under study.
+    rt::LoopConfig full;
+    full.num_threads = machine.topology().num_cores();
+    core::ManualScheduler init_sched(full);
+    rt::Team init_team(machine, init_sched);
+    for (const auto& il : prog.init_loops) init_team.run_taskloop(il);
+
+    rt::LoopConfig cfg;
+    cfg.num_threads = width;
+    cfg.steal_policy = rt::StealPolicy::kStrict;
+    core::ManualScheduler sched(cfg);
+    rt::Team team(machine, sched);
+    const sim::SimTime t0 = team.now();
+    for (int step = 0; step < prog.timesteps; ++step) {
+      for (const auto& loop : prog.step_loops) team.run_taskloop(loop);
+      if (prog.per_step_serial.cpu_cycles > 0.0) {
+        team.serial_compute(prog.per_step_serial.cpu_cycles);
+      }
+    }
+    stats.add(sim::to_seconds(team.now() - t0));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main() {
+  int runs = 1;
+  if (const char* v = std::getenv("ILAN_SWEEP_RUNS")) {
+    if (std::atoi(v) > 0) runs = std::atoi(v);
+  }
+  auto opts = bench::env_kernel_options();
+  if (opts.timesteps == 0) opts.timesteps = 20;  // steady-state view
+
+  const int widths[] = {64, 56, 48, 40, 32, 24, 16, 8};
+  std::cout << "== fixed-width (moldability) landscape, strict policy, "
+            << opts.timesteps << " timesteps ==\n\n";
+  std::vector<std::string> header{"benchmark"};
+  for (const int w : widths) header.push_back("t" + std::to_string(w));
+  header.push_back("best");
+  trace::Table table(header);
+
+  for (const auto& k : bench::benchmarks()) {
+    std::vector<std::string> row{k};
+    double t64 = 0.0;
+    double best = 1e100;
+    int best_w = 0;
+    for (const int w : widths) {
+      const double t = run_width(k, w, opts, runs);
+      if (w == 64) t64 = t;
+      if (t < best) {
+        best = t;
+        best_w = w;
+      }
+      row.push_back(trace::Table::fmt(t, 4) + " (" + trace::Table::pct(t64 / t) + ")");
+    }
+    row.push_back("t" + std::to_string(best_w));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 1: standard deviation of execution time per benchmark, baseline vs
+// ILAN, over 30 runs. Paper: ILAN lower variance in 3/7 (FT, LU, SP);
+// higher for BT (a single outlier run: excluding it gives 0.0033), CG,
+// Matmul, LULESH. The deterministic hierarchical distribution drives the
+// reductions; exploration and noise sensitivity drive the increases.
+#include <iostream>
+#include <map>
+
+#include "harness.hpp"
+
+using namespace ilan;
+
+int main() {
+  const int runs = bench::env_runs(30);
+  const auto opts = bench::env_kernel_options();
+
+  std::cout << "== Table 1: std-dev of execution time, baseline vs ILAN ("
+            << runs << " runs) ==\n\n";
+  trace::Table table({"benchmark", "baseline_std", "ilan_std", "lower?",
+                      "paper_baseline", "paper_ilan"});
+  const std::map<std::string, std::pair<const char*, const char*>> paper = {
+      {"ft", {"0.0117", "0.0037"}}, {"bt", {"0.0133", "0.0197"}},
+      {"cg", {"0.0094", "0.0239"}}, {"lu", {"0.0169", "0.0045"}},
+      {"sp", {"0.0554", "0.0258"}}, {"matmul", {"0.0050", "0.0158"}},
+      {"lulesh", {"0.0065", "0.0074"}},
+  };
+
+  int lower = 0;
+  for (const auto& k : bench::benchmarks()) {
+    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
+    const auto il = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const double bs = base.time_summary().stddev;
+    const double is = il.time_summary().stddev;
+    if (is < bs) ++lower;
+    table.add_row({k, trace::Table::fmt(bs), trace::Table::fmt(is),
+                   is < bs ? "yes" : "no", paper.at(k).first, paper.at(k).second});
+  }
+  table.print(std::cout);
+  std::cout << "\nILAN variance lower in " << lower << "/7 benchmarks (paper: 3/7)\n";
+  return 0;
+}

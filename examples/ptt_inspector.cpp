@@ -1,0 +1,65 @@
+// PTT inspector: run a benchmark under ILAN and dump the Performance Trace
+// Table — every configuration the search visited with its samples — plus
+// the per-node locality ranking. The paper's Section 3.2 in data form.
+#include <cstdio>
+
+#include "core/ilan_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "rt/team.hpp"
+#include "topo/presets.hpp"
+
+using namespace ilan;
+
+int main(int argc, char** argv) {
+  const std::string kernel = argc > 1 ? argv[1] : "sp";
+
+  rt::MachineParams params;
+  params.spec = topo::presets::zen4_epyc9354_2s();
+  params.seed = 31;
+  rt::Machine machine(params);
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+
+  kernels::KernelOptions opts;
+  opts.timesteps = 30;
+  const auto prog = kernels::make_kernel(kernel, machine, opts);
+  prog.run(team);
+
+  std::printf("benchmark '%s' under ILAN: %zu taskloop executions, %.4f s total\n\n",
+              kernel.c_str(), team.history().size(),
+              sim::to_seconds(team.now()));
+
+  // Collect distinct loop ids in program order.
+  std::vector<rt::LoopId> loops;
+  for (const auto& s : team.history()) {
+    if (std::find(loops.begin(), loops.end(), s.loop_id) == loops.end()) {
+      loops.push_back(s.loop_id);
+    }
+  }
+
+  for (const auto loop : loops) {
+    std::printf("-- taskloop %lld (executions: %d, search %s) --\n",
+                static_cast<long long>(loop), sched.executions(loop),
+                sched.search_finished(loop) ? "finished" : "running");
+    std::printf("   %-8s %-10s %-7s %-8s %-10s %-10s %-10s\n", "threads", "mask",
+                "steal", "samples", "best_s", "mean_s", "worst_s");
+    for (const auto* e : sched.ptt().entries(loop)) {
+      std::printf("   %-8d 0x%-8llx %-7s %-8zu %-10.5f %-10.5f %-10.5f\n",
+                  e->config.num_threads,
+                  static_cast<unsigned long long>(e->config.node_mask.bits()),
+                  to_string(e->config.steal_policy), e->wall.count(),
+                  e->wall.min(), e->wall.mean(), e->wall.max());
+    }
+    const auto* best = sched.ptt().fastest(loop);
+    if (best != nullptr) {
+      std::printf("   fastest: %d threads / %s\n", best->config.num_threads,
+                  to_string(best->config.steal_policy));
+    }
+    std::printf("   node ranking (fastest first):");
+    for (const auto n : sched.ptt().nodes_ranked(loop, machine.topology().num_nodes())) {
+      std::printf(" %d", n.value());
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,2 @@
+// IlanParams is header-only; this translation unit anchors the library.
+#include "core/config.hpp"

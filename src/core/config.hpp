@@ -1,0 +1,54 @@
+// ILAN tuning parameters (paper Section 3.5 defaults).
+#pragma once
+
+#include <stdexcept>
+
+#include "trace/energy.hpp"
+
+namespace ilan::core {
+
+struct IlanParams {
+  // Thread-count granularity g. 0 = NUMA node size (the paper's setting:
+  // nodes are never split). Any value in [1, m_max/2] is legal.
+  int granularity = 0;
+
+  // Fraction of each node's tasks marked stealable across nodes when
+  // steal_policy == full (the tail of the node's queue).
+  double stealable_fraction = 0.2;
+
+  // Master switch for the thread-count search (off reproduces Figure 4).
+  bool moldability = true;
+
+  // What the PTT ranks configurations by. kTime is the paper's metric;
+  // kEnergy/kEdp realize the Section 3.5 energy-efficiency extension.
+  trace::Objective objective = trace::Objective::kTime;
+  trace::EnergyParams energy;
+
+  // Counter-guided selection (Section 3.5: "more performance statistics can
+  // reduce the exploration overhead"): after the first execution, loops
+  // whose achieved DRAM bandwidth is below `counter_bw_threshold` of the
+  // machine total are classified compute-bound and locked at m_max without
+  // exploring — the exploration cost Matmul/BT pay for nothing.
+  bool counter_guided = false;
+  double counter_bw_threshold = 0.25;
+
+  // Remote steals may transfer up to this many stealable tasks at once
+  // (Olivier et al.'s chunked shepherd steals); extras go into the thief's
+  // own deque. 1 = the paper's single-task migration.
+  int remote_steal_chunk = 1;
+
+  void validate() const {
+    if (remote_steal_chunk < 1) {
+      throw std::invalid_argument("IlanParams: remote_steal_chunk must be >= 1");
+    }
+    if (counter_bw_threshold < 0.0 || counter_bw_threshold > 1.0) {
+      throw std::invalid_argument("IlanParams: counter_bw_threshold outside [0,1]");
+    }
+    if (granularity < 0) throw std::invalid_argument("IlanParams: negative granularity");
+    if (stealable_fraction < 0.0 || stealable_fraction > 1.0) {
+      throw std::invalid_argument("IlanParams: stealable_fraction outside [0,1]");
+    }
+  }
+};
+
+}  // namespace ilan::core

@@ -1,0 +1,71 @@
+#include "core/config_selector.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ilan::core {
+
+Algo1Output algorithm1_step(const Algo1Input& in) {
+  if (in.g <= 0) throw std::invalid_argument("algorithm1_step: g must be positive");
+  if (in.best_threads <= 0 || in.second_threads <= 0) {
+    throw std::invalid_argument("algorithm1_step: needs two prior configurations");
+  }
+
+  const int threads_diff = std::abs(in.best_threads - in.second_threads);
+  const int lower_bound = std::min(in.best_threads, in.second_threads);
+  // Midpoint rounded down to meet granularity.
+  const int midpoint = lower_bound + ((threads_diff / 2) / in.g) * in.g;
+
+  if (in.k == 3 && in.best_threads < in.second_threads) {
+    // Best previous cfg is the smallest in the PTT: probe the smallest
+    // possible configuration, unless the best already is it.
+    if (in.best_threads == in.g) return {in.best_threads, true};
+    return {in.g, false};
+  }
+  if (threads_diff <= in.g) {
+    // Thread counts within one granularity step: optimal cfg found.
+    return {in.best_threads, true};
+  }
+  if (in.cur_threads == midpoint) {
+    // Midpoint already executed: converged on the best.
+    return {in.best_threads, true};
+  }
+  return {midpoint, false};
+}
+
+int ThreadSearch::next_threads(int k, const PerfTraceTable& ptt, rt::LoopId loop) {
+  if (finished_) return cur_threads_;
+  if (k == 1) {
+    cur_threads_ = m_max_;
+    if (m_max_ <= g_) {
+      // Machines with a single granularity step have nothing to explore.
+      finished_ = true;
+    }
+    return cur_threads_;
+  }
+  if (k == 2) {
+    cur_threads_ = std::max(g_, ((m_max_ / 2) / g_) * g_);
+    return cur_threads_;
+  }
+
+  const PttEntry* best = ptt.fastest(loop);
+  const PttEntry* second = ptt.second_fastest(loop);
+  if (best == nullptr || second == nullptr) {
+    // PTT lacks two configurations (should not happen after k >= 3, but be
+    // robust to callers resetting state): keep the current choice.
+    return cur_threads_;
+  }
+  const Algo1Output out = algorithm1_step(Algo1Input{
+      .best_threads = best->config.num_threads,
+      .second_threads = second->config.num_threads,
+      .cur_threads = cur_threads_,
+      .k = k,
+      .g = g_,
+  });
+  cur_threads_ = out.next_threads;
+  finished_ = out.search_finished;
+  return cur_threads_;
+}
+
+}  // namespace ilan::core

@@ -1,0 +1,55 @@
+// Taskloop thread-count exploration — the paper's Algorithm 1.
+//
+// Executions 1 and 2 warm the PTT with m_max and m_max/2 threads; from the
+// third execution on, `algorithm1_step` performs the binary-search-like
+// narrowing between the fastest and second-fastest configurations seen so
+// far, at thread-count granularity g, with the k = 3 special case that
+// probes the smallest possible configuration when reducing threads helped.
+//
+// Interpretation note: the paper's pseudocode sets threads <- g in the
+// k = 3 branch and then marks the search finished "if threads = g". We read
+// the guard as "the previous best is already the smallest configuration"
+// (best == g): then there is nothing below to probe and the search ends;
+// otherwise the g-thread probe runs and the search continues.
+#pragma once
+
+#include "core/ptt.hpp"
+
+namespace ilan::core {
+
+struct Algo1Input {
+  int best_threads = 0;    // cfg_best.threads (fastest in PTT)
+  int second_threads = 0;  // cfg_second.threads
+  int cur_threads = 0;     // configuration executed last
+  int k = 0;               // execution count for this taskloop (1-based)
+  int g = 1;               // thread-count granularity
+};
+
+struct Algo1Output {
+  int next_threads = 0;
+  bool search_finished = false;
+};
+
+[[nodiscard]] Algo1Output algorithm1_step(const Algo1Input& in);
+
+// Stateful per-taskloop search driver used by IlanScheduler.
+class ThreadSearch {
+ public:
+  ThreadSearch(int m_max, int g) : m_max_(m_max), g_(g) {}
+
+  // Returns the thread count for execution number k (1-based) given the
+  // PTT contents. Marks the search finished when Algorithm 1 converges.
+  int next_threads(int k, const PerfTraceTable& ptt, rt::LoopId loop);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] int current_threads() const { return cur_threads_; }
+  [[nodiscard]] int granularity() const { return g_; }
+
+ private:
+  int m_max_;
+  int g_;
+  int cur_threads_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ilan::core

@@ -1,0 +1,113 @@
+#include "core/distributor.hpp"
+
+#include <stdexcept>
+
+#include "rt/team.hpp"
+
+namespace ilan::core {
+
+std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
+                                    const rt::LoopConfig& cfg, rt::Team& team,
+                                    const DistributionOptions& opts,
+                                    sim::SimTime& serial_cost) {
+  const auto nodes = cfg.node_mask.to_nodes();
+  if (nodes.empty()) throw std::invalid_argument("distribute_hierarchical: empty mask");
+
+  const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize, cfg.num_threads,
+                                      spec.tasks_per_thread);
+  const std::size_t nc = chunks.size();
+  const std::size_t nn = nodes.size();
+
+  for (std::size_t ni = 0; ni < nn; ++ni) {
+    // Deterministic block mapping: node ni owns chunks [lo, hi), i.e. a
+    // contiguous run of the iteration space.
+    const std::size_t lo = nc * ni / nn;
+    const std::size_t hi = nc * (ni + 1) / nn;
+    if (lo == hi) continue;
+    const std::size_t node_tasks = hi - lo;
+    // Head of the node's queue is strict; the tail may migrate when the
+    // policy allows it.
+    const auto strict_count = static_cast<std::size_t>(
+        static_cast<double>(node_tasks) * (1.0 - opts.stealable_fraction) + 0.5);
+
+    const topo::NodeId node = nodes[ni];
+    const int primary = team.node_workers(node).front();
+    for (std::size_t c = lo; c < hi; ++c) {
+      serial_cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+      serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+      rt::Task t;
+      t.begin = chunks[c].first;
+      t.end = chunks[c].second;
+      t.loop = &spec;
+      t.home_node = node;
+      t.numa_strict = cfg.steal_policy == rt::StealPolicy::kStrict ||
+                      (c - lo) < strict_count;
+      team.worker(primary).deque.push_back(t);
+    }
+  }
+  return nc;
+}
+
+rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
+                                       int remote_chunk) {
+  rt::AcquireResult r;
+  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+  if (auto t = w.deque.pop_front()) {
+    r.task = std::move(t);
+    return r;
+  }
+
+  // Fine-grained layer: intra-node stealing, primary's queue first (that is
+  // where the distributor put the node's tasks).
+  for (const int vid : team.node_workers(w.node)) {
+    if (vid == w.id) continue;
+    rt::Worker& victim = team.worker(vid);
+    if (victim.deque.empty()) continue;
+    if (auto t = victim.deque.steal_back(/*allow_strict=*/true)) {
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+      team.note_steal(/*remote=*/false);
+      r.task = std::move(t);
+      return r;
+    }
+  }
+  r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+
+  // Inter-node stealing: only under the full policy, only once this node is
+  // fully idle (its queues are — we just drained them), only stealable
+  // tasks, nearest nodes first.
+  const rt::LoopConfig& cfg = team.current_config();
+  if (cfg.steal_policy != rt::StealPolicy::kFull) return r;
+
+  for (const topo::NodeId node : team.topology().nodes_by_distance(w.node)) {
+    if (node == w.node || !cfg.node_mask.test(node)) continue;
+    bool probed_any = false;
+    for (const int vid : team.node_workers(node)) {
+      rt::Worker& victim = team.worker(vid);
+      if (victim.deque.empty()) continue;
+      probed_any = true;
+      if (auto t = victim.deque.steal_back(/*allow_strict=*/false)) {
+        r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+        r.cost += team.costs().charge(trace::OverheadComponent::kRemoteSteal);
+        team.note_steal(/*remote=*/true);
+        // Chunked migration: bring additional stealable tasks home in the
+        // same transfer (each still pays its queue-operation cost).
+        for (int extra = 1; extra < remote_chunk; ++extra) {
+          auto more = victim.deque.steal_back(/*allow_strict=*/false);
+          if (!more) break;
+          r.cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+          team.note_steal(/*remote=*/true);
+          w.deque.push_back(std::move(*more));
+        }
+        r.task = std::move(t);
+        return r;
+      }
+    }
+    if (probed_any) {
+      // Non-empty queues but nothing stealable (NUMA-strict head only).
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+    }
+  }
+  return r;
+}
+
+}  // namespace ilan::core

@@ -1,0 +1,41 @@
+// Hierarchical task distribution (paper Section 3.3).
+//
+// Iteration chunks are deterministically block-mapped onto the nodes of the
+// configuration's node mask (adjacent iterations stay together — the
+// paper's data-dependency assumption), enqueued on each node's primary
+// thread, with the head fraction of each node's tasks NUMA-strict and the
+// tail stealable across nodes (only under steal_policy = full).
+#pragma once
+
+#include <cstddef>
+
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+
+namespace ilan::rt {
+class Team;
+}
+
+namespace ilan::core {
+
+struct DistributionOptions {
+  double stealable_fraction = 0.2;
+};
+
+// Creates and places the tasks for one taskloop execution; returns the task
+// count and adds the encountering thread's creation time to serial_cost.
+std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
+                                    const rt::LoopConfig& cfg, rt::Team& team,
+                                    const DistributionOptions& opts,
+                                    sim::SimTime& serial_cost);
+
+// The matching acquisition policy: pop locally, steal intra-node (primary
+// first), then — only under steal_policy = full and with the local node's
+// queues drained — steal `stealable` tasks from the nearest remote nodes.
+// A successful remote steal may transfer up to `remote_chunk` stealable
+// tasks at once (extras land in the thief's own deque), amortizing the
+// migration cost as in Olivier et al.'s chunked shepherd steals.
+rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
+                                       int remote_chunk = 1);
+
+}  // namespace ilan::core

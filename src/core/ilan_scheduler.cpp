@@ -1,0 +1,89 @@
+#include "core/ilan_scheduler.hpp"
+
+#include "core/distributor.hpp"
+#include "rt/team.hpp"
+
+namespace ilan::core {
+
+IlanScheduler::IlanScheduler(const IlanParams& params) : params_(params) {
+  params_.validate();
+}
+
+rt::LoopConfig IlanScheduler::select_config(const rt::TaskloopSpec& spec,
+                                            rt::Team& team) {
+  team.costs().charge(trace::OverheadComponent::kConfigSelect);
+
+  LoopState& st = state_[spec.loop_id];
+  ++st.k;
+  const int m_max = team.num_workers();
+  const int g = params_.granularity > 0 ? params_.granularity
+                                        : team.topology().cores_per_node();
+
+  int threads = m_max;
+  if (st.counter_locked || !params_.moldability) {
+    st.finished = true;  // no exploration: straight to steal-policy trial
+  } else {
+    if (!st.search) st.search = std::make_unique<ThreadSearch>(m_max, g);
+    threads = st.search->next_threads(st.k, ptt_, spec.loop_id);
+    st.finished = st.search->finished();
+  }
+
+  rt::LoopConfig cfg;
+  cfg.num_threads = threads;
+  cfg.node_mask = select_node_mask(team.topology(), ptt_, spec.loop_id, threads, g);
+  cfg.steal_policy = st.policy.next_policy(st.finished, threads, ptt_, spec.loop_id);
+  return cfg;
+}
+
+std::size_t IlanScheduler::distribute(const rt::TaskloopSpec& spec,
+                                      const rt::LoopConfig& cfg, rt::Team& team,
+                                      sim::SimTime& serial_cost) {
+  DistributionOptions opts;
+  opts.stealable_fraction = params_.stealable_fraction;
+  return distribute_hierarchical(spec, cfg, team, opts, serial_cost);
+}
+
+rt::AcquireResult IlanScheduler::acquire(rt::Team& team, rt::Worker& w) {
+  return acquire_hierarchical(team, w, params_.remote_steal_chunk);
+}
+
+void IlanScheduler::loop_finished(const rt::TaskloopSpec& spec,
+                                  const rt::LoopExecStats& stats, rt::Team& team) {
+  team.costs().charge(trace::OverheadComponent::kPttUpdate);
+  const double obj = trace::objective_value(params_.objective, stats,
+                                            team.topology().num_nodes(),
+                                            params_.energy);
+  ptt_.record(spec.loop_id, stats, obj);
+
+  // Counter-guided classification after the first (m_max) execution: a loop
+  // that achieved only a small fraction of machine bandwidth is compute-
+  // bound, and no narrower configuration can beat m_max — skip the search.
+  if (params_.counter_guided && params_.moldability) {
+    LoopState& st = state_[spec.loop_id];
+    if (st.k == 1 && !st.finished) {
+      const double wall_s = sim::to_seconds(stats.wall);
+      const double achieved_gbps = wall_s > 0.0 ? stats.bytes_moved / wall_s / 1e9 : 0.0;
+      const double machine_gbps = team.topology().total_mem_bw_gbps();
+      if (achieved_gbps < params_.counter_bw_threshold * machine_gbps) {
+        st.counter_locked = true;
+      }
+    }
+  }
+}
+
+int IlanScheduler::executions(rt::LoopId loop) const {
+  const auto it = state_.find(loop);
+  return it == state_.end() ? 0 : it->second.k;
+}
+
+bool IlanScheduler::search_finished(rt::LoopId loop) const {
+  const auto it = state_.find(loop);
+  return it != state_.end() && it->second.finished;
+}
+
+bool IlanScheduler::counter_locked(rt::LoopId loop) const {
+  const auto it = state_.find(loop);
+  return it != state_.end() && it->second.counter_locked;
+}
+
+}  // namespace ilan::core

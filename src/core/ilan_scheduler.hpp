@@ -1,0 +1,59 @@
+// The ILAN scheduler: interference-aware moldability (PTT + Algorithm 1)
+// composed with locality-aware hierarchical task distribution and NUMA-aware
+// stealing. Plugs into the runtime through the rt::Scheduler interface the
+// same way the paper's implementation plugs into the LLVM tasking layer.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/config_selector.hpp"
+#include "core/node_mask.hpp"
+#include "core/ptt.hpp"
+#include "core/steal_policy.hpp"
+#include "rt/scheduler.hpp"
+
+namespace ilan::core {
+
+class IlanScheduler final : public rt::Scheduler {
+ public:
+  explicit IlanScheduler(const IlanParams& params = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return params_.moldability ? "ilan" : "ilan-nomold";
+  }
+
+  rt::LoopConfig select_config(const rt::TaskloopSpec& spec, rt::Team& team) override;
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, sim::SimTime& serial_cost) override;
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w) override;
+  void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
+                     rt::Team& team) override;
+
+  // --- introspection (tests, examples, harnesses) -------------------------
+  [[nodiscard]] const PerfTraceTable& ptt() const { return ptt_; }
+  [[nodiscard]] const IlanParams& params() const { return params_; }
+  [[nodiscard]] int executions(rt::LoopId loop) const;
+  [[nodiscard]] bool search_finished(rt::LoopId loop) const;
+  // True when counter-guided selection classified the loop compute-bound
+  // and skipped the thread search.
+  [[nodiscard]] bool counter_locked(rt::LoopId loop) const;
+
+ private:
+  struct LoopState {
+    int k = 0;  // executions seen (1-based during selection)
+    std::unique_ptr<ThreadSearch> search;
+    StealPolicyEvaluator policy;
+    bool finished = false;
+    // Counter-guided classification: loop proven compute-bound after k = 1,
+    // search skipped entirely.
+    bool counter_locked = false;
+  };
+
+  IlanParams params_;
+  PerfTraceTable ptt_;
+  std::unordered_map<rt::LoopId, LoopState> state_;
+};
+
+}  // namespace ilan::core

@@ -1,0 +1,37 @@
+#include "core/manual_scheduler.hpp"
+
+#include "core/distributor.hpp"
+#include "rt/team.hpp"
+
+namespace ilan::core {
+
+ManualScheduler::ManualScheduler(rt::LoopConfig config, IlanParams params)
+    : config_(config), params_(params) {
+  params_.validate();
+}
+
+rt::LoopConfig ManualScheduler::select_config(const rt::TaskloopSpec&, rt::Team& team) {
+  rt::LoopConfig cfg = config_;
+  if (cfg.num_threads <= 0 || cfg.num_threads > team.num_workers()) {
+    cfg.num_threads = team.num_workers();
+  }
+  if (cfg.node_mask.empty()) {
+    const int per_node = team.topology().cores_per_node();
+    cfg.node_mask = rt::NodeMask::first_n((cfg.num_threads + per_node - 1) / per_node);
+  }
+  return cfg;
+}
+
+std::size_t ManualScheduler::distribute(const rt::TaskloopSpec& spec,
+                                        const rt::LoopConfig& cfg, rt::Team& team,
+                                        sim::SimTime& serial_cost) {
+  DistributionOptions opts;
+  opts.stealable_fraction = params_.stealable_fraction;
+  return distribute_hierarchical(spec, cfg, team, opts, serial_cost);
+}
+
+rt::AcquireResult ManualScheduler::acquire(rt::Team& team, rt::Worker& w) {
+  return acquire_hierarchical(team, w, params_.remote_steal_chunk);
+}
+
+}  // namespace ilan::core

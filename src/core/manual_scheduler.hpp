@@ -1,0 +1,32 @@
+// ManualScheduler: ILAN's hierarchical distribution and NUMA-aware stealing
+// with a FIXED, user-chosen configuration (no PTT, no exploration).
+//
+// Two uses: (1) expert control — pin a taskloop to a width/mask/policy you
+// already know is right; (2) analysis — sweep widths to chart the
+// moldability landscape a taskloop exposes (bench/report_width_sweep).
+#pragma once
+
+#include "core/config.hpp"
+#include "rt/scheduler.hpp"
+
+namespace ilan::core {
+
+class ManualScheduler final : public rt::Scheduler {
+ public:
+  // `config.num_threads <= 0` means all; an empty mask means "first
+  // ceil(threads/node_size) nodes".
+  explicit ManualScheduler(rt::LoopConfig config, IlanParams params = {});
+
+  [[nodiscard]] std::string_view name() const override { return "ilan-manual"; }
+
+  rt::LoopConfig select_config(const rt::TaskloopSpec& spec, rt::Team& team) override;
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, sim::SimTime& serial_cost) override;
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w) override;
+
+ private:
+  rt::LoopConfig config_;
+  IlanParams params_;
+};
+
+}  // namespace ilan::core

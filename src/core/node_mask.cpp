@@ -1,0 +1,33 @@
+#include "core/node_mask.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ilan::core {
+
+rt::NodeMask select_node_mask(const topo::Topology& topo, const PerfTraceTable& ptt,
+                              rt::LoopId loop, int num_threads, int g) {
+  if (g <= 0) throw std::invalid_argument("select_node_mask: g must be positive");
+  if (num_threads <= 0) throw std::invalid_argument("select_node_mask: need threads");
+
+  const int cores_per_node = topo.cores_per_node();
+  // Nodes needed to host num_threads at granularity g (g <= node size:
+  // threads never straddle more nodes than necessary).
+  const int threads_rounded = ((num_threads + g - 1) / g) * g;
+  int want = (threads_rounded + cores_per_node - 1) / cores_per_node;
+  want = std::min(want, topo.num_nodes());
+  if (want == topo.num_nodes()) return rt::NodeMask::all(topo.num_nodes());
+
+  const auto ranked = ptt.nodes_ranked(loop, topo.num_nodes());
+  const topo::NodeId seed = ranked.front();
+
+  rt::NodeMask mask;
+  int taken = 0;
+  for (const topo::NodeId n : topo.nodes_by_distance(seed)) {
+    mask.set(n);
+    if (++taken == want) break;
+  }
+  return mask;
+}
+
+}  // namespace ilan::core

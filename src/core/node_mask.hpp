@@ -1,0 +1,20 @@
+// NUMA node-mask selection (paper Section 3.2).
+//
+// The fastest node recorded in the PTT seeds the mask; additional nodes are
+// chosen by topology proximity (same-socket nodes before cross-socket),
+// preserving data locality and cheap inter-node communication.
+#pragma once
+
+#include "core/ptt.hpp"
+#include "rt/task.hpp"
+#include "topo/topology.hpp"
+
+namespace ilan::core {
+
+// Selects ceil(num_threads / g) nodes. With no PTT history the mask starts
+// at node 0 (deterministic cold start).
+[[nodiscard]] rt::NodeMask select_node_mask(const topo::Topology& topo,
+                                            const PerfTraceTable& ptt,
+                                            rt::LoopId loop, int num_threads, int g);
+
+}  // namespace ilan::core

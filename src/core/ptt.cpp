@@ -1,0 +1,142 @@
+#include "core/ptt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace ilan::core {
+
+namespace {
+
+// Deterministic "better" ordering: faster best-observed time, then fewer
+// threads, then smaller mask, then strict before full. Comparing minima
+// rather than means keeps one-off disturbances (cold caches on the very
+// first execution, OS noise) from steering the search.
+bool better(const PttEntry& a, const PttEntry& b) {
+  if (a.objective.min() != b.objective.min()) {
+    return a.objective.min() < b.objective.min();
+  }
+  if (a.config.num_threads != b.config.num_threads) {
+    return a.config.num_threads < b.config.num_threads;
+  }
+  if (a.config.node_mask.bits() != b.config.node_mask.bits()) {
+    return a.config.node_mask.bits() < b.config.node_mask.bits();
+  }
+  return static_cast<int>(a.config.steal_policy) < static_cast<int>(b.config.steal_policy);
+}
+
+}  // namespace
+
+void PerfTraceTable::record(rt::LoopId loop, const rt::LoopExecStats& stats,
+                            double objective_value) {
+  LoopRecord& rec = loops_[loop];
+  ++rec.executions;
+
+  // Accumulate (or create) the entry for this exact configuration.
+  auto it = std::find_if(rec.entries.begin(), rec.entries.end(), [&](const PttEntry& e) {
+    return e.config == stats.config;
+  });
+  if (it == rec.entries.end()) {
+    rec.entries.push_back(PttEntry{stats.config, {}, {}});
+    it = rec.entries.end() - 1;
+  }
+  const double wall_s = sim::to_seconds(stats.wall);
+  it->wall.add(wall_s);
+  it->objective.add(objective_value >= 0.0 ? objective_value : wall_s);
+
+  // Per-node locality profile.
+  if (rec.node_busy_s.size() < stats.node_busy.size()) {
+    rec.node_busy_s.resize(stats.node_busy.size(), 0.0);
+    rec.node_iters.resize(stats.node_iters.size(), 0);
+  }
+  for (std::size_t n = 0; n < stats.node_busy.size(); ++n) {
+    rec.node_busy_s[n] += sim::to_seconds(stats.node_busy[n]);
+    rec.node_iters[n] += stats.node_iters[n];
+  }
+}
+
+const PerfTraceTable::LoopRecord* PerfTraceTable::get(rt::LoopId loop) const {
+  const auto it = loops_.find(loop);
+  return it == loops_.end() ? nullptr : &it->second;
+}
+
+const PttEntry* PerfTraceTable::fastest(rt::LoopId loop) const {
+  const LoopRecord* rec = get(loop);
+  if (rec == nullptr || rec->entries.empty()) return nullptr;
+  const PttEntry* best = &rec->entries.front();
+  for (const auto& e : rec->entries) {
+    if (better(e, *best)) best = &e;
+  }
+  return best;
+}
+
+const PttEntry* PerfTraceTable::second_fastest(rt::LoopId loop) const {
+  const LoopRecord* rec = get(loop);
+  if (rec == nullptr || rec->entries.size() < 2) return nullptr;
+  const PttEntry* best = fastest(loop);
+  const PttEntry* second = nullptr;
+  for (const auto& e : rec->entries) {
+    if (&e == best) continue;
+    if (second == nullptr || better(e, *second)) second = &e;
+  }
+  return second;
+}
+
+const PttEntry* PerfTraceTable::find(rt::LoopId loop, int threads,
+                                     rt::StealPolicy policy) const {
+  const LoopRecord* rec = get(loop);
+  if (rec == nullptr) return nullptr;
+  const PttEntry* found = nullptr;
+  for (const auto& e : rec->entries) {
+    if (e.config.num_threads == threads && e.config.steal_policy == policy) {
+      if (found == nullptr || better(e, *found)) found = &e;
+    }
+  }
+  return found;
+}
+
+std::vector<topo::NodeId> PerfTraceTable::nodes_ranked(rt::LoopId loop,
+                                                       int num_nodes) const {
+  struct Ranked {
+    topo::NodeId node;
+    double per_iter;  // seconds per iteration; infinity = no samples
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(static_cast<std::size_t>(num_nodes));
+  const LoopRecord* rec = get(loop);
+  for (int n = 0; n < num_nodes; ++n) {
+    double per_iter = std::numeric_limits<double>::infinity();
+    if (rec != nullptr && static_cast<std::size_t>(n) < rec->node_busy_s.size() &&
+        rec->node_iters[static_cast<std::size_t>(n)] > 0) {
+      per_iter = rec->node_busy_s[static_cast<std::size_t>(n)] /
+                 static_cast<double>(rec->node_iters[static_cast<std::size_t>(n)]);
+    }
+    ranked.push_back(Ranked{topo::NodeId{n}, per_iter});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.per_iter != b.per_iter) return a.per_iter < b.per_iter;
+    return a.node < b.node;
+  });
+  std::vector<topo::NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& r : ranked) out.push_back(r.node);
+  return out;
+}
+
+int PerfTraceTable::executions(rt::LoopId loop) const {
+  const LoopRecord* rec = get(loop);
+  return rec == nullptr ? 0 : rec->executions;
+}
+
+std::vector<const PttEntry*> PerfTraceTable::entries(rt::LoopId loop) const {
+  std::vector<const PttEntry*> out;
+  const LoopRecord* rec = get(loop);
+  if (rec != nullptr) {
+    out.reserve(rec->entries.size());
+    for (const auto& e : rec->entries) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace ilan::core

@@ -1,0 +1,70 @@
+// Performance Trace Table (PTT).
+//
+// Links taskloop configurations to measured execution times (paper
+// Section 3.1) and accumulates per-node timing so the scheduler can
+// estimate each taskloop's data-locality profile (Section 3.2). Keyed by
+// the taskloop's stable loop id (one entry per OpenMP construct).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+#include "trace/stats.hpp"
+
+namespace ilan::core {
+
+struct PttEntry {
+  rt::LoopConfig config;
+  trace::RunningStats wall;       // seconds per execution
+  trace::RunningStats objective;  // scheduler objective (== wall for kTime)
+};
+
+class PerfTraceTable {
+ public:
+  // Records one finished execution (wall time + per-node busy/iterations).
+  // `objective_value` is what configurations are ranked by; it defaults to
+  // the wall time in seconds (the paper's metric) but can be energy or EDP
+  // (Section 3.5: "the optimal configuration based on other metrics, such
+  // as energy efficiency").
+  void record(rt::LoopId loop, const rt::LoopExecStats& stats,
+              double objective_value = -1.0);
+
+  // Fastest / second-fastest configuration by best-observed objective
+  // value (robust to one-off disturbances). Ties break toward fewer
+  // threads, then smaller mask bits (deterministic).
+  [[nodiscard]] const PttEntry* fastest(rt::LoopId loop) const;
+  [[nodiscard]] const PttEntry* second_fastest(rt::LoopId loop) const;
+
+  // Entry with exactly this thread count and steal policy (mask ignored:
+  // the mask is recomputed deterministically, the search varies threads and
+  // policy). nullptr if never executed.
+  [[nodiscard]] const PttEntry* find(rt::LoopId loop, int threads,
+                                     rt::StealPolicy policy) const;
+
+  // Nodes ranked fastest-first by mean busy-time-per-iteration across all
+  // recorded executions of `loop`. Nodes with no samples rank last (by id).
+  [[nodiscard]] std::vector<topo::NodeId> nodes_ranked(rt::LoopId loop,
+                                                       int num_nodes) const;
+
+  [[nodiscard]] int executions(rt::LoopId loop) const;
+  [[nodiscard]] std::vector<const PttEntry*> entries(rt::LoopId loop) const;
+  [[nodiscard]] std::size_t num_loops() const { return loops_.size(); }
+
+ private:
+  struct LoopRecord {
+    std::vector<PttEntry> entries;
+    std::vector<double> node_busy_s;
+    std::vector<std::int64_t> node_iters;
+    int executions = 0;
+  };
+
+  [[nodiscard]] const LoopRecord* get(rt::LoopId loop) const;
+
+  std::unordered_map<rt::LoopId, LoopRecord> loops_;
+};
+
+}  // namespace ilan::core

@@ -1,0 +1,32 @@
+#include "core/steal_policy.hpp"
+
+namespace ilan::core {
+
+rt::StealPolicy StealPolicyEvaluator::next_policy(bool search_finished, int threads,
+                                                  const PerfTraceTable& ptt,
+                                                  rt::LoopId loop) {
+  if (!search_finished) return rt::StealPolicy::kStrict;
+
+  switch (phase_) {
+    case Phase::kPending:
+      // First execution after the search converged: trial full stealing.
+      phase_ = Phase::kTrialFull;
+      return rt::StealPolicy::kFull;
+    case Phase::kTrialFull: {
+      const PttEntry* strict = ptt.find(loop, threads, rt::StealPolicy::kStrict);
+      const PttEntry* full = ptt.find(loop, threads, rt::StealPolicy::kFull);
+      if (full != nullptr && (strict == nullptr || full->objective.min() < strict->objective.min())) {
+        decided_ = rt::StealPolicy::kFull;
+      } else {
+        decided_ = rt::StealPolicy::kStrict;
+      }
+      phase_ = Phase::kDecided;
+      return decided_;
+    }
+    case Phase::kDecided:
+      return decided_;
+  }
+  return rt::StealPolicy::kStrict;
+}
+
+}  // namespace ilan::core

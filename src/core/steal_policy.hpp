@@ -1,0 +1,30 @@
+// Steal-policy evaluation (paper Section 3.2).
+//
+// The policy stays `strict` while the thread search runs. Once the search
+// finishes, `full` (inter-node stealing) is trialled for one execution;
+// thereafter the policy with the better mean wall time is locked in.
+#pragma once
+
+#include "core/ptt.hpp"
+#include "rt/task.hpp"
+
+namespace ilan::core {
+
+class StealPolicyEvaluator {
+ public:
+  // Policy for the upcoming execution. `search_finished` is the thread
+  // search state; `threads` the (now fixed) thread count used to look up
+  // strict/full PTT entries.
+  rt::StealPolicy next_policy(bool search_finished, int threads,
+                              const PerfTraceTable& ptt, rt::LoopId loop);
+
+  [[nodiscard]] bool decided() const { return phase_ == Phase::kDecided; }
+  [[nodiscard]] rt::StealPolicy decision() const { return decided_; }
+
+ private:
+  enum class Phase { kPending, kTrialFull, kDecided };
+  Phase phase_ = Phase::kPending;
+  rt::StealPolicy decided_ = rt::StealPolicy::kStrict;
+};
+
+}  // namespace ilan::core

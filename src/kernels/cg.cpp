@@ -1,0 +1,56 @@
+// NPB Conjugate Gradient (class-D character, scaled).
+//
+// The scheduling-relevant profile: a sparse matrix-vector product that
+// streams matrix bands while gathering irregularly from the solution
+// vector's index space — dominated by latency-bound gathers whose
+// achievable bandwidth collapses under controller queueing (the paper's
+// "irregular memory access patterns" for CG). Strong per-row-band nonzero
+// imbalance with occasional dense bands: random global stealing absorbs
+// them, strictly node-confined schedules cannot — which is why the paper's
+// Figure 4 shows CG *losing* 8.6% without moldability while full ILAN
+// (an average of ~25 of 64 cores) gains 8%.
+#include "kernels/detail.hpp"
+
+namespace ilan::kernels {
+
+Program make_cg(rt::Machine& m, const KernelOptions& opts) {
+  detail::Builder b(m, "cg", /*default_timesteps=*/60, opts);
+
+  const auto A = b.region("A", 0.35);       // sparse matrix (vals + indices)
+  const auto x = b.region("x", 0.024);      // solution vector
+  const auto p = b.region("p", 0.024);      // direction
+  const auto q = b.region("q", 0.024);      // A*p
+  const auto r = b.region("r", 0.024);      // residual
+
+  b.init_loop("init", {A, x, p, q, r});
+
+  {
+    LoopShape matvec;
+    matvec.name = "matvec";
+    matvec.cycles_per_iter = 25e3;  // ~2 flops per nonzero
+    matvec.streams = {
+        StreamAccess{q, mem::AccessKind::kWrite, 1.0},
+    };
+    // Irregular traversal of matrix bands + column gathers.
+    matvec.gathers = {GatherAccess{A, 230e3}, GatherAccess{x, 100e3}};
+    matvec.imbalance = 0.35;  // nonzeros per row band vary
+    matvec.tail_prob = 0.02;  // occasional dense row bands
+    matvec.tail_factor = 3.0;
+    b.step_loop(std::move(matvec));
+  }
+  {
+    LoopShape vecops;  // alpha/beta updates: p, r, x axpy chain
+    vecops.name = "vecops";
+    vecops.cycles_per_iter = 15e3;
+    vecops.streams = {
+        StreamAccess{p, mem::AccessKind::kRead, 1.0},
+        StreamAccess{r, mem::AccessKind::kRead, 1.0},
+        StreamAccess{x, mem::AccessKind::kWrite, 1.0},
+    };
+    b.step_loop(std::move(vecops));
+  }
+  b.serial_per_step(2e6);  // dot-product reductions / convergence check
+  return b.take();
+}
+
+}  // namespace ilan::kernels

@@ -1,0 +1,69 @@
+// Internal builder shared by the kernel factories.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+
+namespace ilan::kernels::detail {
+
+// Standard iteration count: 2048 iterations -> 128 chunks at 64 threads
+// with the default 2 tasks/thread, i.e. 16 iterations per chunk.
+inline constexpr std::int64_t kIters = 2048;
+
+class Builder {
+ public:
+  Builder(rt::Machine& m, std::string name, int default_timesteps,
+          const KernelOptions& opts)
+      : machine_(m), opts_(opts) {
+    prog_.name = std::move(name);
+    prog_.timesteps = opts.timesteps > 0 ? opts.timesteps : default_timesteps;
+  }
+
+  // Creates a first-touch region of `gb * size_factor` gigabytes.
+  mem::RegionId region(const std::string& name, double gb) {
+    const auto bytes = static_cast<std::uint64_t>(gb * opts_.size_factor * 1e9);
+    return machine_.regions().create(prog_.name + "." + name, std::max<std::uint64_t>(bytes, 1),
+                                     mem::Placement::kFirstTouch);
+  }
+
+  // One-time init taskloop writing the given regions (first touch decides
+  // their page placement, as in the real applications).
+  void init_loop(const std::string& name, const std::vector<mem::RegionId>& regions,
+                 double cycles_per_iter = 1500.0) {
+    LoopShape shape;
+    shape.id = next_id_++;
+    shape.name = prog_.name + "." + name;
+    shape.iterations = kIters;
+    shape.cycles_per_iter = cycles_per_iter;
+    for (const auto r : regions) {
+      shape.streams.push_back(StreamAccess{r, mem::AccessKind::kWrite, 1.0});
+    }
+    prog_.init_loops.push_back(make_loop(shape, machine_.regions()));
+  }
+
+  // Per-timestep taskloop. Fills in id/iterations defaults.
+  void step_loop(LoopShape shape) {
+    shape.id = next_id_++;
+    shape.name = prog_.name + "." + shape.name;
+    if (shape.iterations == 0) shape.iterations = kIters;
+    if (shape.imbalance_seed == 0) {
+      shape.imbalance_seed = static_cast<std::uint64_t>(shape.id) + 0x51ab;
+    }
+    prog_.step_loops.push_back(make_loop(shape, machine_.regions()));
+  }
+
+  void serial_per_step(double cycles) { prog_.per_step_serial.cpu_cycles = cycles; }
+
+  [[nodiscard]] Program take() { return std::move(prog_); }
+
+ private:
+  rt::Machine& machine_;
+  KernelOptions opts_;
+  Program prog_;
+  rt::LoopId next_id_ = 1;
+};
+
+}  // namespace ilan::kernels::detail

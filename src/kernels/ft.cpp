@@ -1,0 +1,57 @@
+// NPB Fourier Transform (3-D FFT, class-D character, scaled; the paper runs
+// FT with its iteration count raised from 25 to 200 so the exploration can
+// amortize — we keep proportionally many timesteps).
+//
+// Profile: three balanced per-timestep phases. The x/y butterfly passes
+// stream the grid with moderate arithmetic intensity; the z pass is the
+// long-distance one — a transpose whose strided traffic samples the whole
+// grid. No load imbalance: this is the benchmark where static work-sharing
+// is expected to win (Figure 6) and where ILAN's gains are pure locality.
+#include "kernels/detail.hpp"
+
+namespace ilan::kernels {
+
+Program make_ft(rt::Machine& m, const KernelOptions& opts) {
+  detail::Builder b(m, "ft", /*default_timesteps=*/60, opts);
+
+  const auto u0 = b.region("u0", 0.6);  // grid (complex)
+  const auto u1 = b.region("u1", 0.6);  // scratch / transposed grid
+
+  b.init_loop("init", {u0, u1});
+
+  {
+    LoopShape fx;
+    fx.name = "fft-x";
+    fx.cycles_per_iter = 520e3;
+    fx.streams = {
+        StreamAccess{u0, mem::AccessKind::kRead, 1.0},
+        StreamAccess{u0, mem::AccessKind::kWrite, 1.0},
+    };
+    b.step_loop(std::move(fx));
+  }
+  {
+    LoopShape fy;
+    fy.name = "fft-y";
+    fy.cycles_per_iter = 520e3;
+    fy.streams = {
+        StreamAccess{u0, mem::AccessKind::kRead, 1.0},
+        StreamAccess{u0, mem::AccessKind::kWrite, 1.0},
+    };
+    b.step_loop(std::move(fy));
+  }
+  {
+    LoopShape fz;  // transpose + z butterflies: long-distance communication
+    fz.name = "transpose-fft-z";
+    fz.cycles_per_iter = 430e3;
+    fz.streams = {
+        StreamAccess{u0, mem::AccessKind::kRead, 1.0},
+        StreamAccess{u1, mem::AccessKind::kWrite, 1.0},
+    };
+    fz.gathers = {GatherAccess{u0, 64e3}};  // strided remote touches
+    b.step_loop(std::move(fz));
+  }
+  b.serial_per_step(1.5e6);  // checksum
+  return b.take();
+}
+
+}  // namespace ilan::kernels

@@ -1,0 +1,48 @@
+// The seven evaluation workloads (paper Section 4.2), modelled at the
+// granularity a scheduler sees: per-taskloop memory intensity, access
+// locality, arithmetic intensity and load imbalance.
+//
+//   cg      — NPB Conjugate Gradient: sparse matvec, irregular gathers,
+//             strong row imbalance, memory-bound (moldability case).
+//   ft      — NPB Fourier Transform: three balanced FFT phases with
+//             long-distance (transpose) traffic; locality-sensitive.
+//   bt      — NPB Block Tri-diagonal: three structured sweeps, mid-to-high
+//             arithmetic intensity, L3-tile reuse (hierarchical case).
+//   sp      — NPB Scalar Penta-diagonal: three sweeps, lowest arithmetic
+//             intensity, bandwidth-saturated (largest moldability win).
+//   lu      — NPB Lower-Upper Gauss-Seidel: two wavefront sweeps with
+//             pipeline imbalance.
+//   lulesh  — LLNL hydrodynamics proxy: force / node-update / EOS loops of
+//             mixed character.
+//   matmul  — dense blocked matrix multiply: compute-bound, scales with
+//             every core (the paper's expected-regression case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/program.hpp"
+#include "rt/runtime.hpp"
+
+namespace ilan::kernels {
+
+struct KernelOptions {
+  int timesteps = 0;         // 0 = kernel default
+  double size_factor = 1.0;  // scales data-region sizes (and thus traffic)
+};
+
+[[nodiscard]] Program make_cg(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_ft(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_bt(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_sp(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_lu(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_lulesh(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_matmul(rt::Machine& m, const KernelOptions& opts = {});
+
+// Registry in the paper's presentation order: FT, BT, CG, LU, SP, Matmul,
+// LULESH.
+[[nodiscard]] const std::vector<std::string>& kernel_names();
+[[nodiscard]] Program make_kernel(const std::string& name, rt::Machine& m,
+                                  const KernelOptions& opts = {});
+
+}  // namespace ilan::kernels

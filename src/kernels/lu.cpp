@@ -1,0 +1,34 @@
+// NPB Lower-Upper Gauss-Seidel solver (class-D character, scaled).
+//
+// Profile: two wavefront sweeps (lower and upper triangular) per timestep.
+// The pipelined wavefront gives uneven chunk costs (start-up and drain of
+// the hyperplane pipeline), and intensity sits between BT and SP.
+#include "kernels/detail.hpp"
+
+namespace ilan::kernels {
+
+Program make_lu(rt::Machine& m, const KernelOptions& opts) {
+  detail::Builder b(m, "lu", /*default_timesteps=*/55, opts);
+
+  const auto u = b.region("u", 0.45);
+  const auto rsd = b.region("rsd", 0.45);
+
+  b.init_loop("init", {u, rsd});
+
+  for (const char* dir : {"lower-sweep", "upper-sweep"}) {
+    LoopShape sweep;
+    sweep.name = dir;
+    sweep.cycles_per_iter = 400e3;
+    sweep.streams = {
+        StreamAccess{u, mem::AccessKind::kRead, 1.0},
+        StreamAccess{rsd, mem::AccessKind::kRead, 1.0},
+        StreamAccess{u, mem::AccessKind::kWrite, 0.6},
+    };
+    sweep.imbalance = 0.30;  // hyperplane pipeline fill/drain
+    b.step_loop(std::move(sweep));
+  }
+  b.serial_per_step(1.2e6);
+  return b.take();
+}
+
+}  // namespace ilan::kernels

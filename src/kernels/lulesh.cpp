@@ -1,0 +1,60 @@
+// LULESH (LLNL shock-hydrodynamics proxy app; the paper runs size 400^3
+// over 200 iterations, scaled here).
+//
+// Profile: three distinct per-timestep loop regions — a compute-heavy
+// force/stress calculation, a bandwidth-bound nodal update, and an
+// EOS/constraint pass with element->node indirection. Mixed character:
+// the paper observes a modest net ILAN gain.
+#include "kernels/detail.hpp"
+
+namespace ilan::kernels {
+
+Program make_lulesh(rt::Machine& m, const KernelOptions& opts) {
+  detail::Builder b(m, "lulesh", /*default_timesteps=*/50, opts);
+
+  const auto nodes = b.region("nodes", 0.2);      // coordinates, velocities
+  const auto elems = b.region("elems", 0.3);      // element state
+  const auto derived = b.region("derived", 0.15);  // forces, gradients
+
+  b.init_loop("init", {nodes, elems, derived});
+
+  {
+    LoopShape force;
+    force.name = "calc-force";
+    force.cycles_per_iter = 800e3;  // hourglass + stress integration
+    force.streams = {
+        StreamAccess{nodes, mem::AccessKind::kRead, 1.0},
+        StreamAccess{elems, mem::AccessKind::kRead, 1.0},
+        StreamAccess{derived, mem::AccessKind::kWrite, 1.0},
+    };
+    force.imbalance = 0.20;  // material-dependent branchiness
+    b.step_loop(std::move(force));
+  }
+  {
+    LoopShape update;
+    update.name = "node-update";
+    update.cycles_per_iter = 55e3;  // pure streaming axpy over nodal fields
+    update.streams = {
+        StreamAccess{derived, mem::AccessKind::kRead, 1.0},
+        StreamAccess{nodes, mem::AccessKind::kWrite, 1.0},
+    };
+    update.imbalance = 0.05;
+    b.step_loop(std::move(update));
+  }
+  {
+    LoopShape eos;
+    eos.name = "eos";
+    eos.cycles_per_iter = 260e3;  // equation of state, Newton iterations
+    eos.streams = {
+        StreamAccess{elems, mem::AccessKind::kRead, 1.0},
+        StreamAccess{elems, mem::AccessKind::kWrite, 0.5},
+    };
+    eos.gathers = {GatherAccess{derived, 24e3}};  // element->node indirection
+    eos.imbalance = 0.10;
+    b.step_loop(std::move(eos));
+  }
+  b.serial_per_step(1.5e6);  // dt computation (global reductions)
+  return b.take();
+}
+
+}  // namespace ilan::kernels

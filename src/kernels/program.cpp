@@ -1,0 +1,127 @@
+#include "kernels/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace ilan::kernels {
+
+namespace {
+// Imbalance is defined on fixed 8-iteration blocks of the iteration space,
+// so any chunking (any thread count / grainsize) samples the same cost
+// landscape — dense rows do not move when the scheduler re-chunks the loop.
+constexpr std::int64_t kImbalanceBlock = 8;
+
+double block_factor(std::uint64_t seed, std::int64_t block, double amplitude,
+                    double tail_prob, double tail_factor) {
+  sim::SplitMix64 h(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(block + 1)));
+  const double u = static_cast<double>(h.next() >> 11) * 0x1.0p-53;  // [0,1)
+  double f = 1.0 + amplitude * (2.0 * u - 1.0);
+  if (tail_prob > 0.0) {
+    const double v = static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+    if (v < tail_prob) f *= tail_factor;
+  }
+  return f;
+}
+}  // namespace
+
+double imbalance_factor(std::uint64_t seed, std::int64_t chunk_begin,
+                        double amplitude, double tail_prob, double tail_factor) {
+  return imbalance_factor_range(seed, chunk_begin, chunk_begin + kImbalanceBlock,
+                                amplitude, tail_prob, tail_factor);
+}
+
+double imbalance_factor_range(std::uint64_t seed, std::int64_t begin, std::int64_t end,
+                              double amplitude, double tail_prob, double tail_factor) {
+  if ((amplitude <= 0.0 && tail_prob <= 0.0) || end <= begin) return 1.0;
+  const std::int64_t first = begin / kImbalanceBlock;
+  const std::int64_t last = (end - 1) / kImbalanceBlock;
+  double sum = 0.0;
+  double weight = 0.0;
+  for (std::int64_t blk = first; blk <= last; ++blk) {
+    const std::int64_t lo = std::max(begin, blk * kImbalanceBlock);
+    const std::int64_t hi = std::min(end, (blk + 1) * kImbalanceBlock);
+    const double w = static_cast<double>(hi - lo);
+    sum += w * block_factor(seed, blk, amplitude, tail_prob, tail_factor);
+    weight += w;
+  }
+  return sum / weight;
+}
+
+rt::TaskloopSpec make_loop(const LoopShape& shape, const mem::RegionTable& regions) {
+  if (shape.iterations <= 0) throw std::invalid_argument("make_loop: iterations required");
+
+  // Capture region byte sizes by value: the demand function must be pure
+  // and cheap.
+  struct StreamInfo {
+    mem::RegionId region;
+    mem::AccessKind kind;
+    double traffic_factor;
+    std::uint64_t bytes;
+  };
+  std::vector<StreamInfo> streams;
+  streams.reserve(shape.streams.size());
+  for (const auto& s : shape.streams) {
+    streams.push_back({s.region, s.kind, s.traffic_factor, regions.get(s.region).bytes()});
+  }
+  std::vector<GatherAccess> gathers = shape.gathers;
+
+  rt::TaskloopSpec spec;
+  spec.loop_id = shape.id;
+  spec.name = shape.name;
+  spec.iterations = shape.iterations;
+  spec.tasks_per_thread = shape.tasks_per_thread;
+
+  const double cpi = shape.cycles_per_iter;
+  const double amp = shape.imbalance;
+  const double tail_p = shape.tail_prob;
+  const double tail_f = shape.tail_factor;
+  const std::uint64_t iseed = shape.imbalance_seed;
+  const std::int64_t iters = shape.iterations;
+
+  spec.demand = [cpi, amp, tail_p, tail_f, iseed, iters, streams = std::move(streams),
+                 gathers = std::move(gathers)](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    const double n = static_cast<double>(e - b);
+    const double factor = imbalance_factor_range(iseed, b, e, amp, tail_p, tail_f);
+    d.cpu_cycles = cpi * n * factor;
+    for (const auto& s : streams) {
+      // The slice of the region owned by iterations [b, e).
+      const auto off = static_cast<std::uint64_t>(
+          static_cast<double>(s.bytes) * static_cast<double>(b) /
+          static_cast<double>(iters));
+      auto end_off = static_cast<std::uint64_t>(
+          static_cast<double>(s.bytes) * static_cast<double>(e) /
+          static_cast<double>(iters));
+      end_off = std::min<std::uint64_t>(end_off, s.bytes);
+      if (end_off <= off) continue;
+      auto len = static_cast<std::uint64_t>(
+          static_cast<double>(end_off - off) * s.traffic_factor * factor);
+      len = std::min<std::uint64_t>(std::max<std::uint64_t>(len, 1), s.bytes - off);
+      d.accesses.push_back(mem::AccessDescriptor{s.region, off, len, s.kind});
+    }
+    for (const auto& g : gathers) {
+      const auto len = static_cast<std::uint64_t>(g.bytes_per_iter * n * factor);
+      if (len == 0) continue;
+      d.accesses.push_back(
+          mem::AccessDescriptor{g.region, 0, len, mem::AccessKind::kGather});
+    }
+    return d;
+  };
+  return spec;
+}
+
+sim::SimTime Program::run(rt::Team& team) const {
+  const sim::SimTime t0 = team.now();
+  for (const auto& loop : init_loops) team.run_taskloop(loop);
+  for (int t = 0; t < timesteps; ++t) {
+    for (const auto& loop : step_loops) team.run_taskloop(loop);
+    if (per_step_serial.cpu_cycles > 0.0) {
+      team.serial_compute(per_step_serial.cpu_cycles);
+    }
+  }
+  return team.now() - t0;
+}
+
+}  // namespace ilan::kernels

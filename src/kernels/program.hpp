@@ -1,0 +1,93 @@
+// Workload-model infrastructure.
+//
+// A kernel is described as a Program: data regions (created on a Machine's
+// RegionTable), one-time init taskloops (whose first touch decides page
+// placement, as in the real applications), and a list of per-timestep
+// taskloop phases. Each taskloop's per-iteration demand is declarative: a
+// cycles-per-iteration cost, full-slice streaming accesses over regions,
+// gather accesses sampled across a region, and an optional deterministic
+// imbalance profile — exactly the features that matter to a scheduler
+// study (memory intensity, access locality, load imbalance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "rt/team.hpp"
+
+namespace ilan::kernels {
+
+// Streaming access: a task covering iterations [b, e) touches the region
+// slice [b/iters, e/iters) of the region (scaled by `traffic_factor` for
+// partially-read sweeps).
+struct StreamAccess {
+  mem::RegionId region = -1;
+  mem::AccessKind kind = mem::AccessKind::kRead;
+  double traffic_factor = 1.0;
+};
+
+// Irregular access: bytes_per_iter bytes sampled across the whole region.
+struct GatherAccess {
+  mem::RegionId region = -1;
+  double bytes_per_iter = 0.0;
+};
+
+struct LoopShape {
+  rt::LoopId id = 0;
+  std::string name;
+  std::int64_t iterations = 0;
+  double cycles_per_iter = 0.0;
+  std::vector<StreamAccess> streams;
+  std::vector<GatherAccess> gathers;
+  // Deterministic per-chunk load imbalance: demands are scaled by
+  // 1 + imbalance * u, u in [-1, 1] drawn from a hash of the chunk start.
+  double imbalance = 0.0;
+  // Heavy-tail component: with probability tail_prob (per chunk) the demand
+  // is additionally multiplied by tail_factor — dense rows / expensive
+  // material zones that random work stealing absorbs but static or strictly
+  // node-confined schedules cannot.
+  double tail_prob = 0.0;
+  double tail_factor = 1.0;
+  std::uint64_t imbalance_seed = 0;
+  int tasks_per_thread = 2;
+};
+
+// Builds a runtime taskloop spec whose demand function realizes the shape.
+// `regions` must outlive the spec.
+[[nodiscard]] rt::TaskloopSpec make_loop(const LoopShape& shape,
+                                         const mem::RegionTable& regions);
+
+struct SerialSection {
+  double cpu_cycles = 0.0;
+};
+
+struct Program {
+  std::string name;
+  int timesteps = 1;
+  std::vector<rt::TaskloopSpec> init_loops;  // run once, placement-deciding
+  std::vector<rt::TaskloopSpec> step_loops;  // run every timestep, in order
+  SerialSection per_step_serial;             // e.g. reductions / convergence checks
+
+  // Executes init loops once and the step loops for `timesteps` rounds.
+  // Returns the simulated duration of the timed section (everything).
+  sim::SimTime run(rt::Team& team) const;
+};
+
+// Deterministic imbalance multiplier for the 8-iteration block containing
+// chunk_begin: in [1-amplitude, 1+amplitude], optionally scaled by
+// tail_factor with probability tail_prob.
+[[nodiscard]] double imbalance_factor(std::uint64_t seed, std::int64_t chunk_begin,
+                                      double amplitude, double tail_prob = 0.0,
+                                      double tail_factor = 1.0);
+
+// Length-weighted average of the block factors across [begin, end) — what a
+// chunk covering that iteration range costs relative to the mean. Chunking-
+// independent: re-chunking the loop samples the same cost landscape.
+[[nodiscard]] double imbalance_factor_range(std::uint64_t seed, std::int64_t begin,
+                                            std::int64_t end, double amplitude,
+                                            double tail_prob = 0.0,
+                                            double tail_factor = 1.0);
+
+}  // namespace ilan::kernels

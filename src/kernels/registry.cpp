@@ -1,0 +1,25 @@
+#include <stdexcept>
+
+#include "kernels/kernels.hpp"
+
+namespace ilan::kernels {
+
+const std::vector<std::string>& kernel_names() {
+  static const std::vector<std::string> names = {"ft", "bt", "cg",     "lu",
+                                                 "sp", "matmul", "lulesh"};
+  return names;
+}
+
+Program make_kernel(const std::string& name, rt::Machine& m,
+                    const KernelOptions& opts) {
+  if (name == "cg") return make_cg(m, opts);
+  if (name == "ft") return make_ft(m, opts);
+  if (name == "bt") return make_bt(m, opts);
+  if (name == "sp") return make_sp(m, opts);
+  if (name == "lu") return make_lu(m, opts);
+  if (name == "lulesh") return make_lulesh(m, opts);
+  if (name == "matmul") return make_matmul(m, opts);
+  throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
+}
+
+}  // namespace ilan::kernels

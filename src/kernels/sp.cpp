@@ -1,0 +1,41 @@
+// NPB Scalar Penta-diagonal solver (class-D character, scaled).
+//
+// Profile: three directional sweeps whose forward/backward substitutions
+// chase dependent, strided lines through the grid — the paper's Section 5.2
+// singles out SP (with CG) for "irregular memory access patterns, leading
+// to memory contention". Modelled as moderate streaming plus a dominant
+// latency-bound gather component whose achievable bandwidth degrades with
+// controller queueing: the workload where moldability pays off most
+// (the paper's largest win, +45.8%).
+#include "kernels/detail.hpp"
+
+namespace ilan::kernels {
+
+Program make_sp(rt::Machine& m, const KernelOptions& opts) {
+  detail::Builder b(m, "sp", /*default_timesteps=*/50, opts);
+
+  const auto u = b.region("u", 0.35);
+  const auto rhs = b.region("rhs", 0.35);
+  const auto lhs = b.region("lhs", 0.45);  // penta-diagonal factor lines
+
+  b.init_loop("init", {u, rhs, lhs});
+
+  for (const char* dir : {"x-sweep", "y-sweep", "z-sweep"}) {
+    LoopShape sweep;
+    sweep.name = dir;
+    sweep.cycles_per_iter = 120e3;  // scalar forward/back substitution
+    sweep.streams = {
+        StreamAccess{u, mem::AccessKind::kRead, 0.5},
+        StreamAccess{rhs, mem::AccessKind::kRead, 0.5},
+        StreamAccess{u, mem::AccessKind::kWrite, 0.3},
+    };
+    // Dependent strided line accesses across the factor arrays.
+    sweep.gathers = {GatherAccess{lhs, 800e3}};
+    sweep.imbalance = 0.10;
+    b.step_loop(std::move(sweep));
+  }
+  b.serial_per_step(1e6);
+  return b.take();
+}
+
+}  // namespace ilan::kernels

@@ -1,0 +1,142 @@
+#include "mem/data_region.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ilan::mem {
+
+DataRegion::DataRegion(RegionId id, std::string name, std::uint64_t bytes,
+                       Placement policy, int num_nodes, std::uint64_t page_bytes,
+                       topo::NodeId bound_node)
+    : id_(id),
+      name_(std::move(name)),
+      bytes_(bytes),
+      page_bytes_(page_bytes),
+      policy_(policy),
+      num_nodes_(num_nodes),
+      bound_node_(bound_node),
+      pages_per_node_(static_cast<std::size_t>(num_nodes), 0) {
+  if (bytes == 0) throw std::invalid_argument("DataRegion: zero size");
+  if (page_bytes == 0) throw std::invalid_argument("DataRegion: zero page size");
+  if (num_nodes <= 0) throw std::invalid_argument("DataRegion: num_nodes must be positive");
+  if (policy == Placement::kNodeBound && !bound_node.valid()) {
+    throw std::invalid_argument("DataRegion: NodeBound requires a node");
+  }
+  const std::size_t pages = static_cast<std::size_t>((bytes + page_bytes - 1) / page_bytes);
+  page_node_.assign(pages, -1);
+  reset_placement();
+}
+
+void DataRegion::place_page(std::size_t page, topo::NodeId node) {
+  if (page_node_[page] >= 0) return;
+  page_node_[page] = node.value();
+  ++pages_per_node_[node.index()];
+  ++placed_;
+}
+
+void DataRegion::reset_placement() {
+  std::fill(page_node_.begin(), page_node_.end(), -1);
+  std::fill(pages_per_node_.begin(), pages_per_node_.end(), 0);
+  placed_ = 0;
+  const std::size_t pages = page_node_.size();
+  switch (policy_) {
+    case Placement::kFirstTouch:
+      break;  // lazy
+    case Placement::kBlock: {
+      const std::size_t per = (pages + static_cast<std::size_t>(num_nodes_) - 1) /
+                              static_cast<std::size_t>(num_nodes_);
+      for (std::size_t p = 0; p < pages; ++p) {
+        place_page(p, topo::NodeId{static_cast<std::int32_t>(
+                          std::min<std::size_t>(p / per,
+                                                static_cast<std::size_t>(num_nodes_ - 1)))});
+      }
+      break;
+    }
+    case Placement::kInterleave:
+      for (std::size_t p = 0; p < pages; ++p) {
+        place_page(p, topo::NodeId{static_cast<std::int32_t>(
+                          p % static_cast<std::size_t>(num_nodes_))});
+      }
+      break;
+    case Placement::kNodeBound:
+      for (std::size_t p = 0; p < pages; ++p) place_page(p, bound_node_);
+      break;
+  }
+}
+
+topo::NodeId DataRegion::node_of(std::uint64_t offset) const {
+  if (offset >= bytes_) throw std::out_of_range("DataRegion::node_of: offset beyond region");
+  const auto page = static_cast<std::size_t>(offset / page_bytes_);
+  const std::int32_t n = page_node_[page];
+  return n < 0 ? topo::NodeId::invalid() : topo::NodeId{n};
+}
+
+std::size_t DataRegion::touch(std::uint64_t offset, std::uint64_t len,
+                              topo::NodeId toucher) {
+  if (len == 0) return 0;
+  if (offset + len > bytes_) throw std::out_of_range("DataRegion::touch: range beyond region");
+  const auto first = static_cast<std::size_t>(offset / page_bytes_);
+  const auto last = static_cast<std::size_t>((offset + len - 1) / page_bytes_);
+  std::size_t placed = 0;
+  for (std::size_t p = first; p <= last; ++p) {
+    if (page_node_[p] < 0) {
+      place_page(p, toucher);
+      ++placed;
+    }
+  }
+  return placed;
+}
+
+void DataRegion::bytes_by_node(std::uint64_t offset, std::uint64_t len,
+                               std::span<double> out) const {
+  if (len == 0) return;
+  if (offset + len > bytes_) {
+    throw std::out_of_range("DataRegion::bytes_by_node: range beyond region");
+  }
+  if (out.size() < static_cast<std::size_t>(num_nodes_)) {
+    throw std::invalid_argument("DataRegion::bytes_by_node: output span too small");
+  }
+  const auto first = static_cast<std::size_t>(offset / page_bytes_);
+  const auto last = static_cast<std::size_t>((offset + len - 1) / page_bytes_);
+  std::size_t rr = first;  // round-robin attribution for unplaced pages
+  for (std::size_t p = first; p <= last; ++p) {
+    const std::uint64_t page_begin = static_cast<std::uint64_t>(p) * page_bytes_;
+    const std::uint64_t lo = std::max(offset, page_begin);
+    const std::uint64_t hi = std::min(offset + len, page_begin + page_bytes_);
+    const double span = static_cast<double>(hi - lo);
+    std::int32_t n = page_node_[p];
+    if (n < 0) n = static_cast<std::int32_t>(rr++ % static_cast<std::size_t>(num_nodes_));
+    out[static_cast<std::size_t>(n)] += span;
+  }
+}
+
+void DataRegion::spread_by_histogram(double len, std::span<double> out) const {
+  if (out.size() < static_cast<std::size_t>(num_nodes_)) {
+    throw std::invalid_argument("DataRegion::spread_by_histogram: output span too small");
+  }
+  if (placed_ == 0) {
+    // Nothing placed yet: attribute uniformly.
+    const double share = len / static_cast<double>(num_nodes_);
+    for (int n = 0; n < num_nodes_; ++n) out[static_cast<std::size_t>(n)] += share;
+    return;
+  }
+  const double total = static_cast<double>(placed_);
+  for (int n = 0; n < num_nodes_; ++n) {
+    out[static_cast<std::size_t>(n)] +=
+        len * static_cast<double>(pages_per_node_[static_cast<std::size_t>(n)]) / total;
+  }
+}
+
+RegionId RegionTable::create(std::string name, std::uint64_t bytes, Placement policy,
+                             std::uint64_t page_bytes, topo::NodeId bound_node) {
+  const auto id = static_cast<RegionId>(regions_.size());
+  regions_.emplace_back(id, std::move(name), bytes, policy, num_nodes_, page_bytes,
+                        bound_node);
+  return id;
+}
+
+void RegionTable::reset_placement() {
+  for (auto& r : regions_) r.reset_placement();
+}
+
+}  // namespace ilan::mem

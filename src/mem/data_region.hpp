@@ -1,0 +1,106 @@
+// Simulated data regions (arrays) and their NUMA page placement.
+//
+// A DataRegion is metadata only: a byte size, a page size, and a page->node
+// map filled in by a placement policy. FirstTouch regions are placed lazily
+// by the first worker that touches each page — exactly the Linux default the
+// paper's locality effects hinge on. The region also maintains a per-node
+// byte histogram so gather-style accesses can be attributed to source nodes
+// in O(nodes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+namespace ilan::mem {
+
+using RegionId = std::int32_t;
+
+enum class Placement {
+  kFirstTouch,  // page owned by the node of the first core touching it
+  kBlock,       // contiguous equal blocks across all nodes
+  kInterleave,  // round-robin pages across all nodes
+  kNodeBound,   // everything on one node
+};
+
+class DataRegion {
+ public:
+  DataRegion(RegionId id, std::string name, std::uint64_t bytes, Placement policy,
+             int num_nodes, std::uint64_t page_bytes = 2ull << 20,
+             topo::NodeId bound_node = topo::NodeId::invalid());
+
+  [[nodiscard]] RegionId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+  [[nodiscard]] std::size_t num_pages() const { return page_node_.size(); }
+  [[nodiscard]] Placement policy() const { return policy_; }
+
+  // Node owning the page containing `offset`; invalid if not yet placed.
+  [[nodiscard]] topo::NodeId node_of(std::uint64_t offset) const;
+
+  // First-touch: places every unplaced page in [offset, offset+len) on
+  // `toucher`. No-op for pages already placed. Returns pages placed.
+  std::size_t touch(std::uint64_t offset, std::uint64_t len, topo::NodeId toucher);
+
+  // Distributes the bytes of [offset, offset+len) over their owning nodes,
+  // adding into `out` (size >= num_nodes). Unplaced pages are attributed
+  // round-robin (they would be placed by the access itself in reality).
+  void bytes_by_node(std::uint64_t offset, std::uint64_t len,
+                     std::span<double> out) const;
+
+  // Distributes `len` bytes according to the region-wide placement
+  // histogram (for gather/scatter accesses that sample the whole region).
+  void spread_by_histogram(double len, std::span<double> out) const;
+
+  // Fraction of the region's pages currently placed on each node.
+  [[nodiscard]] std::span<const std::uint64_t> pages_per_node() const {
+    return pages_per_node_;
+  }
+  [[nodiscard]] std::size_t placed_pages() const { return placed_; }
+
+  // Drops all placement (e.g., between independent simulated runs).
+  void reset_placement();
+
+ private:
+  void place_page(std::size_t page, topo::NodeId node);
+
+  RegionId id_;
+  std::string name_;
+  std::uint64_t bytes_;
+  std::uint64_t page_bytes_;
+  Placement policy_;
+  int num_nodes_;
+  topo::NodeId bound_node_;
+  std::vector<std::int32_t> page_node_;  // -1 = unplaced
+  std::vector<std::uint64_t> pages_per_node_;
+  std::size_t placed_ = 0;
+};
+
+// Owning collection of regions with stable ids.
+class RegionTable {
+ public:
+  explicit RegionTable(int num_nodes) : num_nodes_(num_nodes) {}
+
+  RegionId create(std::string name, std::uint64_t bytes, Placement policy,
+                  std::uint64_t page_bytes = 2ull << 20,
+                  topo::NodeId bound_node = topo::NodeId::invalid());
+
+  [[nodiscard]] DataRegion& get(RegionId id) { return regions_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] const DataRegion& get(RegionId id) const {
+    return regions_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+
+  void reset_placement();
+
+ private:
+  int num_nodes_;
+  std::vector<DataRegion> regions_;
+};
+
+}  // namespace ilan::mem

@@ -1,0 +1,122 @@
+#include "mem/flow_network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ilan::mem {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+void FlowNetwork::clear() {
+  cap_.clear();
+  flow_cap_.clear();
+  flow_weight_.clear();
+  rate_.clear();
+  memb_begin_.clear();
+  memb_.clear();
+}
+
+FlowNetwork::ConstraintIdx FlowNetwork::add_constraint(double capacity) {
+  if (capacity <= 0.0) throw std::invalid_argument("FlowNetwork: non-positive capacity");
+  cap_.push_back(capacity);
+  return static_cast<ConstraintIdx>(cap_.size() - 1);
+}
+
+FlowNetwork::FlowIdx FlowNetwork::add_flow(double cap, double weight,
+                                           std::span<const ConstraintIdx> constraints) {
+  if (cap <= 0.0) throw std::invalid_argument("FlowNetwork: non-positive flow cap");
+  if (weight <= 0.0) throw std::invalid_argument("FlowNetwork: non-positive weight");
+  if (memb_begin_.empty()) memb_begin_.push_back(0);
+  for (const auto c : constraints) {
+    if (c < 0 || static_cast<std::size_t>(c) >= cap_.size()) {
+      throw std::out_of_range("FlowNetwork: bad constraint index");
+    }
+    memb_.push_back(c);
+  }
+  memb_begin_.push_back(static_cast<std::int32_t>(memb_.size()));
+  flow_cap_.push_back(cap);
+  flow_weight_.push_back(weight);
+  rate_.push_back(0.0);
+  return static_cast<FlowIdx>(flow_cap_.size() - 1);
+}
+
+void FlowNetwork::solve() {
+  const std::size_t nf = flow_cap_.size();
+  const std::size_t nc = cap_.size();
+  if (memb_begin_.empty()) memb_begin_.push_back(0);
+
+  residual_.assign(cap_.begin(), cap_.end());
+  active_weight_.assign(nc, 0.0);
+  frozen_.assign(nf, 0);
+  std::fill(rate_.begin(), rate_.end(), 0.0);
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (std::int32_t m = memb_begin_[f]; m < memb_begin_[f + 1]; ++m) {
+      active_weight_[static_cast<std::size_t>(memb_[m])] += flow_weight_[f];
+    }
+  }
+
+  std::size_t remaining = nf;
+  while (remaining > 0) {
+    // Largest uniform rate increment no constraint or flow cap forbids.
+    // A constraint drains at (sum of unfrozen weights) per unit of rate.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (active_weight_[c] > kEps) {
+        delta = std::min(delta, residual_[c] / active_weight_[c]);
+      }
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!frozen_[f]) delta = std::min(delta, flow_cap_[f] - rate_[f]);
+    }
+    delta = std::max(delta, 0.0);
+
+    if (delta > 0.0) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (!frozen_[f]) rate_[f] += delta;
+      }
+      for (std::size_t c = 0; c < nc; ++c) {
+        residual_[c] -= delta * active_weight_[c];
+      }
+    }
+
+    // Freeze flows at their cap or in a saturated constraint. The delta
+    // choice guarantees at least one flow freezes per iteration.
+    std::size_t frozen_now = 0;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen_[f]) continue;
+      bool freeze = rate_[f] >= flow_cap_[f] - kEps;
+      if (!freeze) {
+        for (std::int32_t m = memb_begin_[f]; m < memb_begin_[f + 1] && !freeze; ++m) {
+          freeze = residual_[static_cast<std::size_t>(memb_[m])] <= kEps;
+        }
+      }
+      if (freeze) {
+        frozen_[f] = 1;
+        for (std::int32_t m = memb_begin_[f]; m < memb_begin_[f + 1]; ++m) {
+          active_weight_[static_cast<std::size_t>(memb_[m])] -= flow_weight_[f];
+        }
+        ++frozen_now;
+      }
+    }
+    if (frozen_now == 0) {
+      // Numerical corner: force-freeze the first unfrozen flow.
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (!frozen_[f]) {
+          frozen_[f] = 1;
+          for (std::int32_t m = memb_begin_[f]; m < memb_begin_[f + 1]; ++m) {
+            active_weight_[static_cast<std::size_t>(memb_[m])] -= flow_weight_[f];
+          }
+          frozen_now = 1;
+          break;
+        }
+      }
+    }
+    remaining -= frozen_now;
+  }
+}
+
+}  // namespace ilan::mem

@@ -1,0 +1,67 @@
+// Max-min fair bandwidth allocation (progressive water-filling).
+//
+// Flows share capacity constraints (memory controllers, per-core load/store
+// links, cross-socket links). The solver raises all unfrozen flow rates
+// uniformly until some constraint (or a flow's own cap) saturates, freezes
+// the affected flows, and repeats — the textbook max-min fair allocation.
+// This is the fluid model SimGrid-style network simulators use, applied to
+// a NUMA memory system.
+//
+// Designed for repeated re-solving: the object is reusable (clear() keeps
+// allocated buffers) and solving is O(iterations * (flows + constraints)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ilan::mem {
+
+class FlowNetwork {
+ public:
+  using ConstraintIdx = std::int32_t;
+  using FlowIdx = std::int32_t;
+
+  // Resets to an empty problem, retaining capacity.
+  void clear();
+
+  // Adds a capacity constraint (capacity in arbitrary rate units, > 0).
+  ConstraintIdx add_constraint(double capacity);
+
+  // Adds a flow with its own rate cap (> 0), an occupancy weight (>= such
+  // that a flow consumes `weight` units of constraint capacity per unit of
+  // rate — remote flows occupy controllers/links longer per delivered byte),
+  // and the constraints it loads. A flow may appear in each constraint at
+  // most once.
+  FlowIdx add_flow(double cap, double weight,
+                   std::span<const ConstraintIdx> constraints);
+
+  [[nodiscard]] std::int32_t num_flows() const { return static_cast<std::int32_t>(flow_cap_.size()); }
+  [[nodiscard]] std::int32_t num_constraints() const {
+    return static_cast<std::int32_t>(cap_.size());
+  }
+
+  // Solves max-min fairness; results via rate().
+  void solve();
+
+  [[nodiscard]] double rate(FlowIdx f) const { return rate_.at(static_cast<std::size_t>(f)); }
+  [[nodiscard]] std::span<const double> rates() const { return rate_; }
+
+ private:
+  // Constraint capacities.
+  std::vector<double> cap_;
+  // Flow caps, weights and rates.
+  std::vector<double> flow_cap_;
+  std::vector<double> flow_weight_;
+  std::vector<double> rate_;
+  // CSR-style membership: flow -> constraints.
+  std::vector<std::int32_t> memb_begin_;
+  std::vector<ConstraintIdx> memb_;
+
+  // Scratch (kept across solves).
+  std::vector<double> residual_;
+  std::vector<double> active_weight_;
+  std::vector<std::uint8_t> frozen_;
+};
+
+}  // namespace ilan::mem

@@ -1,0 +1,407 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ilan::mem {
+
+namespace {
+constexpr double kGB = 1e9;
+// Completion tolerance: a record is "drained" below these residuals.
+constexpr double kTinyBytes = 0.5;
+constexpr double kTinyCycles = 0.5;
+}  // namespace
+
+MemorySystem::MemorySystem(sim::Engine& engine, const topo::Topology& topo,
+                           const MemParams& params, RegionTable& regions,
+                           sim::NoiseModel* noise)
+    : engine_(engine),
+      topo_(topo),
+      params_(params),
+      regions_(regions),
+      noise_(noise),
+      cache_(topo, params.cache) {
+  if (regions_.num_nodes() != topo_.num_nodes()) {
+    throw std::invalid_argument("MemorySystem: region table node count mismatch");
+  }
+  stream_bytes_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+  gather_bytes_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+}
+
+double MemorySystem::core_hz(topo::CoreId core) const {
+  const double base = topo_.core(core).base_freq_ghz * 1e9;
+  const double factor = noise_ ? noise_->core_freq_factor(core.value()) : 1.0;
+  return base * factor;
+}
+
+ExecId MemorySystem::begin(topo::CoreId core, double cpu_cycles,
+                           std::span<const AccessDescriptor> accesses,
+                           std::function<void()> on_complete) {
+  if (cpu_cycles < 0.0) throw std::invalid_argument("MemorySystem::begin: negative cycles");
+  if (!on_complete) throw std::invalid_argument("MemorySystem::begin: null callback");
+
+  const ExecId id = next_id_++;
+  ExecRecord rec;
+  rec.core = core;
+  rec.cpu_remaining = cpu_cycles;
+  rec.cpu_hz = core_hz(core);
+  rec.on_complete = std::move(on_complete);
+  rec.last_update = engine_.now();
+  build_flows(rec, accesses);
+  active_.emplace(id, std::move(rec));
+  schedule_resolve();
+  return id;
+}
+
+void MemorySystem::build_flows(ExecRecord& rec,
+                               std::span<const AccessDescriptor> accesses) {
+  const auto n = static_cast<std::size_t>(topo_.num_nodes());
+  std::fill(stream_bytes_.begin(), stream_bytes_.end(), 0.0);
+  std::fill(gather_bytes_.begin(), gather_bytes_.end(), 0.0);
+
+  const topo::NodeId home = topo_.node_of(rec.core);
+  const topo::CcdId ccd = topo_.ccd_of(rec.core);
+
+  for (const auto& a : accesses) {
+    if (a.len == 0) continue;
+    DataRegion& region = regions_.get(a.region);
+    switch (a.kind) {
+      case AccessKind::kRead:
+      case AccessKind::kWrite: {
+        region.touch(a.offset, a.len, home);
+        const double hit = cache_.access(ccd, a.region, a.offset, a.len);
+        if (hit >= 1.0) break;
+        // Distribute the full range, then scale by the miss fraction.
+        const double scale = 1.0 - hit;
+        if (scale <= 0.0) break;
+        std::vector<double> tmp(n, 0.0);
+        region.bytes_by_node(a.offset, a.len, tmp);
+        for (std::size_t i = 0; i < n; ++i) stream_bytes_[i] += tmp[i] * scale;
+        break;
+      }
+      case AccessKind::kGather: {
+        // Irregular access over the whole region: caching is ineffective
+        // unless the entire region is L3-resident, which the bypass logic
+        // in CacheModel already captures for small regions.
+        double hit = 0.0;
+        if (region.bytes() <= params_.cache.block_bytes * 64) {
+          hit = cache_.access(ccd, a.region, 0, region.bytes());
+        }
+        const double scale = 1.0 - hit;
+        if (scale <= 0.0) break;
+        region.spread_by_histogram(static_cast<double>(a.len) * scale, gather_bytes_);
+        break;
+      }
+    }
+  }
+
+  // Merge sub-threshold flows into the largest same-kind flow so no bytes
+  // are lost but the solver sees few flows.
+  const auto emit = [&](std::vector<double>& by_node, bool gather) {
+    std::size_t largest = n;
+    double largest_v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (by_node[i] > largest_v) {
+        largest_v = by_node[i];
+        largest = i;
+      }
+    }
+    if (largest == n) return;  // all zero
+    double merged = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != largest && by_node[i] > 0.0 && by_node[i] < params_.min_flow_bytes) {
+        merged += by_node[i];
+        by_node[i] = 0.0;
+      }
+    }
+    by_node[largest] += merged;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (by_node[i] <= 0.0) continue;
+      rec.flows.push_back(FlowState{static_cast<std::int32_t>(i), gather, by_node[i], 0.0});
+      const topo::NodeId src{static_cast<std::int32_t>(i)};
+      if (src == home) {
+        traffic_.local_bytes += by_node[i];
+      } else {
+        traffic_.remote_bytes += by_node[i];
+        if (topo_.socket_of(src) != topo_.socket_of(home)) {
+          traffic_.cross_socket_bytes += by_node[i];
+        }
+      }
+    }
+  };
+  emit(stream_bytes_, /*gather=*/false);
+
+  // Gathers aggregate into ONE latency-bound flow per task: a dependent
+  // load chain has one outstanding miss stream no matter how many
+  // controllers its targets live on. Keep the per-node byte fractions for
+  // loaded-latency averaging and traffic accounting.
+  double gather_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) gather_total += gather_bytes_[i];
+  if (gather_total > 0.0) {
+    rec.gather_frac.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gather_bytes_[i] <= 0.0) continue;
+      rec.gather_frac[i] = gather_bytes_[i] / gather_total;
+      const topo::NodeId src{static_cast<std::int32_t>(i)};
+      if (src == home) {
+        traffic_.local_bytes += gather_bytes_[i];
+      } else {
+        traffic_.remote_bytes += gather_bytes_[i];
+        if (topo_.socket_of(src) != topo_.socket_of(home)) {
+          traffic_.cross_socket_bytes += gather_bytes_[i];
+        }
+      }
+    }
+    rec.flows.push_back(FlowState{-1, true, gather_total, 0.0});
+  }
+
+  // Enforce the per-execution flow cap: repeatedly fold the two smallest
+  // flows together. Byte totals (and thus times) are preserved, and merging
+  // small-into-small keeps the byte distribution balanced — folding into
+  // the largest flow would fabricate a single-controller hotspot that
+  // dominates the task's completion time.
+  const auto max_flows = static_cast<std::size_t>(std::max(1, params_.max_flows_per_exec));
+  while (rec.flows.size() > max_flows) {
+    std::size_t s1 = 0;  // smallest
+    std::size_t s2 = 1;  // second smallest
+    if (rec.flows[s2].remaining < rec.flows[s1].remaining) std::swap(s1, s2);
+    for (std::size_t i = 2; i < rec.flows.size(); ++i) {
+      if (rec.flows[i].remaining < rec.flows[s1].remaining) {
+        s2 = s1;
+        s1 = i;
+      } else if (rec.flows[i].remaining < rec.flows[s2].remaining) {
+        s2 = i;
+      }
+    }
+    rec.flows[s2].remaining += rec.flows[s1].remaining;
+    rec.flows.erase(rec.flows.begin() + static_cast<std::ptrdiff_t>(s1));
+  }
+}
+
+void MemorySystem::schedule_resolve() {
+  if (resolve_pending_) return;
+  resolve_pending_ = true;
+  engine_.schedule_after(0, [this] {
+    resolve_pending_ = false;
+    resolve();
+  });
+}
+
+void MemorySystem::advance(ExecRecord& rec, sim::SimTime now) {
+  const double dt = sim::to_seconds(now - rec.last_update);
+  if (dt > 0.0) {
+    rec.cpu_remaining = std::max(0.0, rec.cpu_remaining - dt * rec.cpu_hz);
+    for (auto& f : rec.flows) {
+      f.remaining = std::max(0.0, f.remaining - dt * f.rate);
+    }
+  }
+  rec.last_update = now;
+}
+
+sim::SimTime MemorySystem::eta(const ExecRecord& rec, sim::SimTime now) const {
+  double secs = 0.0;
+  if (rec.cpu_remaining > kTinyCycles) {
+    secs = std::max(secs, rec.cpu_remaining / rec.cpu_hz);
+  }
+  for (const auto& f : rec.flows) {
+    if (f.remaining > kTinyBytes) {
+      // rate > 0 is guaranteed by solve(): every flow has a positive cap.
+      secs = std::max(secs, f.remaining / f.rate);
+    }
+  }
+  return now + std::max<sim::SimTime>(1, sim::from_seconds(secs));
+}
+
+void MemorySystem::resolve() {
+  const sim::SimTime now = engine_.now();
+  const auto nn = static_cast<std::size_t>(topo_.num_nodes());
+
+  // 1. Advance everyone to `now`.
+  for (auto& [id, rec] : active_) advance(rec, now);
+
+  // 2. Stream load per controller for the congestion derating. One task is
+  // one request stream; a task whose bytes split across controllers loads
+  // each with its byte fraction (a sequential reader visits one controller
+  // at a time — counting whole flows would overstate interference).
+  std::vector<double> streams_on_controller(nn, 0.0);
+  for (const auto& [id, rec] : active_) {
+    double total = 0.0;
+    for (const auto& f : rec.flows) {
+      if (f.remaining > kTinyBytes) total += f.remaining;
+    }
+    if (total <= 0.0) continue;
+    for (const auto& f : rec.flows) {
+      if (f.remaining <= kTinyBytes) continue;
+      const double frac = f.remaining / total;
+      if (f.gather) {
+        // The aggregate gather stream pressures each source controller by
+        // its byte fraction.
+        for (std::size_t i = 0; i < nn; ++i) {
+          streams_on_controller[i] += frac * rec.gather_frac[i];
+        }
+      } else {
+        streams_on_controller[static_cast<std::size_t>(f.src_node)] +=
+            frac;
+      }
+    }
+  }
+
+  // 3. Build and solve the max-min problem.
+  net_.clear();
+  std::vector<FlowNetwork::ConstraintIdx> controller_c(nn, -1);
+  std::vector<double> controller_derate(nn, 1.0);
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (streams_on_controller[i] <= 0.0) continue;
+    const auto& node = topo_.node(topo::NodeId{static_cast<std::int32_t>(i)});
+    const double derate = std::min(
+        params_.congestion_derate_max,
+        1.0 + params_.congestion_beta *
+                  std::max(0.0, streams_on_controller[i] - params_.congestion_knee));
+    controller_derate[i] = derate;
+    controller_c[i] = net_.add_constraint(node.mem_bw_gbps * kGB / derate);
+  }
+  // One link constraint per ordered socket pair with traffic.
+  const auto ns = static_cast<std::size_t>(topo_.num_sockets());
+  std::vector<FlowNetwork::ConstraintIdx> link_c(ns * ns, -1);
+  // Per-core constraints created lazily.
+  std::vector<FlowNetwork::ConstraintIdx> core_c(
+      static_cast<std::size_t>(topo_.num_cores()), -1);
+
+  struct FlowRef {
+    ExecRecord* rec;
+    std::size_t idx;
+  };
+  std::vector<FlowRef> refs;
+  refs.reserve(64);
+
+  for (auto& [id, rec] : active_) {
+    const auto& core = topo_.core(rec.core);
+    const topo::NodeId home = core.node;
+    for (std::size_t fi = 0; fi < rec.flows.size(); ++fi) {
+      auto& f = rec.flows[fi];
+      if (f.remaining <= kTinyBytes) {
+        f.rate = 0.0;
+        continue;
+      }
+      if (core_c[rec.core.index()] < 0) {
+        core_c[rec.core.index()] = net_.add_constraint(core.core_bw_gbps * kGB);
+      }
+
+      if (f.gather) {
+        // Latency-bound dependent-load chain: rate = MLP / loaded latency.
+        // Loaded latency averages (byte-weighted) over the source
+        // controllers' queue depths and distances. The chain's bandwidth is
+        // small, so it loads no shared capacity constraint beyond the core.
+        double lat_factor = 0.0;
+        double eff_avg = 0.0;
+        for (std::size_t i = 0; i < nn; ++i) {
+          const double frac = rec.gather_frac[i];
+          if (frac <= 0.0) continue;
+          const topo::NodeId src{static_cast<std::int32_t>(i)};
+          const double dist = topo_.distance(src, home);
+          eff_avg += frac * std::pow(10.0 / dist, params_.remote_eff_exponent);
+          lat_factor +=
+              frac * (1.0 + params_.gather_lat_beta *
+                                std::max(0.0, streams_on_controller[i] -
+                                                  params_.gather_lat_knee));
+        }
+        const double cap = core.core_bw_gbps * kGB * params_.gather_bw_factor *
+                           eff_avg / std::max(1.0, lat_factor);
+        const FlowNetwork::ConstraintIdx constraints[1] = {core_c[rec.core.index()]};
+        net_.add_flow(cap, 1.0, constraints);
+        refs.push_back(FlowRef{&rec, fi});
+        continue;
+      }
+
+      const topo::NodeId src{f.src_node};
+      const double dist = topo_.distance(src, home);
+      const double eff = std::pow(10.0 / dist, params_.remote_eff_exponent);
+      const double cap = core.core_bw_gbps * kGB * eff;
+      // Remote flows occupy controller/link capacity longer per delivered
+      // byte (latency-limited MLP): weight = 1/eff.
+      const double weight = 1.0 / eff;
+
+      FlowNetwork::ConstraintIdx constraints[3];
+      int nc = 0;
+      constraints[nc++] = controller_c[static_cast<std::size_t>(f.src_node)];
+      constraints[nc++] = core_c[rec.core.index()];
+      const auto s_src = topo_.socket_of(src);
+      const auto s_dst = core.socket;
+      if (s_src != s_dst) {
+        const std::size_t li = s_src.index() * ns + s_dst.index();
+        if (link_c[li] < 0) {
+          link_c[li] = net_.add_constraint(topo_.socket(s_src).xlink_bw_gbps * kGB);
+        }
+        constraints[nc++] = link_c[li];
+      }
+      net_.add_flow(cap, weight,
+                    std::span<const FlowNetwork::ConstraintIdx>(
+                        constraints, static_cast<std::size_t>(nc)));
+      refs.push_back(FlowRef{&rec, fi});
+    }
+  }
+  net_.solve();
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    refs[i].rec->flows[refs[i].idx].rate = net_.rate(static_cast<std::int32_t>(i));
+  }
+
+  // 4. Reschedule completions.
+  std::vector<ExecId> done;
+  for (auto& [id, rec] : active_) {
+    if (rec.completion_event != sim::kInvalidEvent) {
+      engine_.cancel(rec.completion_event);
+      rec.completion_event = sim::kInvalidEvent;
+    }
+    bool finished = rec.cpu_remaining <= kTinyCycles;
+    if (finished) {
+      for (const auto& f : rec.flows) {
+        if (f.remaining > kTinyBytes) {
+          finished = false;
+          break;
+        }
+      }
+    }
+    if (finished) {
+      done.push_back(id);
+    } else {
+      const ExecId eid = id;
+      rec.completion_event = engine_.schedule_at(eta(rec, now), [this, eid] { complete(eid); });
+    }
+  }
+  for (const ExecId id : done) complete(id);
+}
+
+void MemorySystem::complete(ExecId id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  advance(it->second, engine_.now());
+  auto cb = std::move(it->second.on_complete);
+  active_.erase(it);
+  schedule_resolve();
+  cb();
+}
+
+std::vector<MemorySystem::ExecSnapshot> MemorySystem::snapshot() const {
+  std::vector<ExecSnapshot> out;
+  out.reserve(active_.size());
+  for (const auto& [id, rec] : active_) {
+    ExecSnapshot s;
+    s.id = id;
+    s.core = rec.core;
+    s.cpu_remaining = rec.cpu_remaining;
+    for (const auto& f : rec.flows) {
+      s.flows.push_back({f.src_node, f.gather, f.remaining, f.rate});
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MemorySystem::reset_run() {
+  if (!active_.empty()) throw std::logic_error("MemorySystem::reset_run with active executions");
+  cache_.invalidate_all();
+  traffic_ = TrafficStats{};
+}
+
+}  // namespace ilan::mem

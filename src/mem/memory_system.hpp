@@ -1,0 +1,174 @@
+// The machine's memory model: executes tasks in simulated time.
+//
+// A task execution is (cpu cycles, set of memory accesses). Compute and
+// memory overlap (roofline-style): the execution finishes when both the
+// cycle budget and every memory flow have drained. Flow rates come from a
+// max-min fair allocation over
+//   * per-NUMA-node memory controllers, derated past a concurrency knee
+//     (row-buffer/queue interference — what moldability exploits),
+//   * per-core load/store bandwidth, derated for remote sources by a
+//     SLIT-distance efficiency factor,
+//   * cross-socket link capacity shared by all inter-socket traffic.
+// Rates are re-solved whenever an execution starts or finishes.
+//
+// Access kinds:
+//   kRead/kWrite  — streaming over [offset, offset+len); first-touch places
+//                   pages; the CCD L3 model can satisfy part of the traffic.
+//   kGather       — `len` bytes sampled across the whole region (irregular
+//                   access); spread by the region's placement histogram and
+//                   served at a reduced per-flow efficiency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "mem/cache_model.hpp"
+#include "mem/data_region.hpp"
+#include "mem/flow_network.hpp"
+#include "sim/engine.hpp"
+#include "sim/noise.hpp"
+#include "topo/topology.hpp"
+
+namespace ilan::mem {
+
+enum class AccessKind { kRead, kWrite, kGather };
+
+struct AccessDescriptor {
+  RegionId region = -1;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  AccessKind kind = AccessKind::kRead;
+};
+
+struct MemParams {
+  // Remote-flow efficiency: (10 / distance)^exponent. Also sets the
+  // occupancy weight (1/eff) a remote flow imposes on the constraints it
+  // crosses — remote streams hold controller/link resources longer per
+  // delivered byte (latency-limited MLP).
+  double remote_eff_exponent = 0.22;
+  // Controller derating: cap / min(derate_max, 1 + beta * max(0, flows - knee)).
+  // Models row-buffer/queue interference between concurrent request streams;
+  // the cap keeps the penalty physical (a controller never loses more than
+  // ~60% of peak to stream interleaving).
+  double congestion_beta = 0.50;
+  double congestion_knee = 3.0;
+  double congestion_derate_max = 3.5;
+  // Irregular (gather) accesses reach this fraction of streaming bandwidth
+  // when the machine is quiet...
+  double gather_bw_factor = 0.35;
+  // ...and degrade with the source controller's queue depth: the achievable
+  // rate of a dependent-load chain is MLP/loaded-latency, and loaded
+  // latency grows with the number of streams queued at the controller:
+  //   rate_factor = 1 + gather_lat_beta * max(0, streams - gather_lat_knee).
+  // This is the interference channel the paper's Section 5.2 describes for
+  // CG and SP, and the one moldability relieves.
+  double gather_lat_beta = 0.75;
+  double gather_lat_knee = 3.0;
+  // Flows below this byte count are merged into the largest flow.
+  double min_flow_bytes = 65536.0;
+  // Hard cap on flows per execution (smallest flows merge into the largest;
+  // keeps the max-min solve cheap for gather-heavy tasks).
+  int max_flows_per_exec = 9;
+  CacheParams cache;
+};
+
+using ExecId = std::uint64_t;
+
+struct TrafficStats {
+  double local_bytes = 0.0;
+  double remote_bytes = 0.0;
+  double cross_socket_bytes = 0.0;
+  [[nodiscard]] double total() const { return local_bytes + remote_bytes; }
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(sim::Engine& engine, const topo::Topology& topo, const MemParams& params,
+               RegionTable& regions, sim::NoiseModel* noise);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  // Starts a task execution on `core`. `on_complete` fires exactly once, at
+  // the simulated completion time. Returns an id (diagnostics only).
+  ExecId begin(topo::CoreId core, double cpu_cycles,
+               std::span<const AccessDescriptor> accesses,
+               std::function<void()> on_complete);
+
+  [[nodiscard]] std::size_t active_executions() const { return active_.size(); }
+  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+  [[nodiscard]] CacheModel& cache() { return cache_; }
+  [[nodiscard]] RegionTable& regions() { return regions_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+
+  // Effective frequency of a core (base * per-run noise factor), in Hz.
+  [[nodiscard]] double core_hz(topo::CoreId core) const;
+
+  // Clears caches and traffic stats between runs. Requires no active
+  // executions.
+  void reset_run();
+
+  // Snapshot of one active execution's progress (diagnostics/visualization).
+  struct ExecSnapshot {
+    ExecId id;
+    topo::CoreId core;
+    double cpu_remaining;
+    struct FlowSnapshot {
+      std::int32_t src_node;
+      bool gather;
+      double remaining_bytes;
+      double rate_bytes_per_s;
+    };
+    std::vector<FlowSnapshot> flows;
+  };
+  [[nodiscard]] std::vector<ExecSnapshot> snapshot() const;
+
+ private:
+  struct FlowState {
+    std::int32_t src_node;  // -1 for the aggregate gather flow
+    bool gather;
+    double remaining;  // bytes
+    double rate;       // bytes/s
+  };
+  struct ExecRecord {
+    topo::CoreId core;
+    double cpu_remaining;  // cycles
+    double cpu_hz;
+    std::vector<FlowState> flows;
+    // Byte fractions per source node of the aggregate gather flow (empty if
+    // the task has no gather component).
+    std::vector<double> gather_frac;
+    std::function<void()> on_complete;
+    sim::SimTime last_update = 0;
+    sim::EventId completion_event = sim::kInvalidEvent;
+  };
+
+  void build_flows(ExecRecord& rec, std::span<const AccessDescriptor> accesses);
+  void schedule_resolve();
+  void resolve();
+  void advance(ExecRecord& rec, sim::SimTime now);
+  [[nodiscard]] sim::SimTime eta(const ExecRecord& rec, sim::SimTime now) const;
+  void complete(ExecId id);
+
+  sim::Engine& engine_;
+  const topo::Topology& topo_;
+  MemParams params_;
+  RegionTable& regions_;
+  sim::NoiseModel* noise_;
+  CacheModel cache_;
+
+  std::map<ExecId, ExecRecord> active_;  // ordered: deterministic iteration
+  ExecId next_id_ = 1;
+  bool resolve_pending_ = false;
+  TrafficStats traffic_;
+
+  // Scratch buffers reused across resolves.
+  FlowNetwork net_;
+  std::vector<double> stream_bytes_;
+  std::vector<double> gather_bytes_;
+};
+
+}  // namespace ilan::mem

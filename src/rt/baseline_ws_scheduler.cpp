@@ -1,0 +1,69 @@
+#include "rt/baseline_ws_scheduler.hpp"
+
+#include "rt/team.hpp"
+
+namespace ilan::rt {
+
+LoopConfig BaselineWsScheduler::select_config(const TaskloopSpec&, Team& team) {
+  LoopConfig cfg;
+  cfg.num_threads = team.num_workers();
+  cfg.node_mask = NodeMask::all(team.topology().num_nodes());
+  cfg.steal_policy = StealPolicy::kFull;
+  return cfg;
+}
+
+std::size_t BaselineWsScheduler::distribute(const TaskloopSpec& spec,
+                                            const LoopConfig& cfg, Team& team,
+                                            sim::SimTime& serial_cost) {
+  const auto chunks = make_chunks(spec.iterations, spec.grainsize, cfg.num_threads,
+                                  spec.tasks_per_thread);
+  Worker& encountering = team.worker(0);
+  for (const auto& [b, e] : chunks) {
+    serial_cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+    serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+    Task t;
+    t.begin = b;
+    t.end = e;
+    t.loop = &spec;
+    t.home_node = topo::NodeId::invalid();
+    t.numa_strict = false;
+    encountering.deque.push_back(t);
+  }
+  return chunks.size();
+}
+
+AcquireResult BaselineWsScheduler::acquire(Team& team, Worker& w) {
+  AcquireResult r;
+  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+  if (auto t = w.deque.pop_front()) {
+    r.task = std::move(t);
+    return r;
+  }
+
+  // Random-victim stealing: random start, linear probe over all workers.
+  // Probing an empty deque is a cached-flag read; only a contended attempt
+  // on a non-empty deque costs a miss.
+  const int n = team.num_workers();
+  const int start = static_cast<int>(team.rng().below(static_cast<std::uint64_t>(n)));
+  bool probed_nonempty = false;
+  for (int i = 0; i < n; ++i) {
+    const int vid = (start + i) % n;
+    if (vid == w.id) continue;
+    Worker& victim = team.worker(vid);
+    if (victim.deque.empty()) continue;
+    probed_nonempty = true;
+    if (auto t = victim.deque.steal_back(/*allow_strict=*/true)) {
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+      team.note_steal(victim.node != w.node);
+      r.task = std::move(t);
+      return r;
+    }
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+  }
+  if (!probed_nonempty) {
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+  }
+  return r;  // no work anywhere
+}
+
+}  // namespace ilan::rt

@@ -1,0 +1,24 @@
+// The paper's baseline: the default LLVM OpenMP tasking scheduler.
+//
+// Topology-agnostic: the encountering thread splits the taskloop into chunk
+// tasks and keeps them in its own deque; every other thread acquires work by
+// random-victim stealing (random start + linear probing, as the LLVM
+// runtime's steal loop effectively does). No node masks, no strict tasks,
+// always the full team.
+#pragma once
+
+#include "rt/scheduler.hpp"
+
+namespace ilan::rt {
+
+class BaselineWsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "baseline-ws"; }
+
+  LoopConfig select_config(const TaskloopSpec& spec, Team& team) override;
+  std::size_t distribute(const TaskloopSpec& spec, const LoopConfig& cfg, Team& team,
+                         sim::SimTime& serial_cost) override;
+  AcquireResult acquire(Team& team, Worker& w) override;
+};
+
+}  // namespace ilan::rt

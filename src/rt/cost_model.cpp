@@ -1,0 +1,29 @@
+#include "rt/cost_model.hpp"
+
+namespace ilan::rt {
+
+double CostModel::base_ns(trace::OverheadComponent c) const {
+  using OC = trace::OverheadComponent;
+  switch (c) {
+    case OC::kTaskCreate: return params_.task_create_ns;
+    case OC::kEnqueue: return params_.enqueue_ns;
+    case OC::kDequeue: return params_.dequeue_ns;
+    case OC::kStealHit: return params_.steal_hit_ns;
+    case OC::kStealMiss: return params_.steal_miss_ns;
+    case OC::kRemoteSteal: return params_.remote_steal_extra_ns;
+    case OC::kConfigSelect: return params_.config_select_ns;
+    case OC::kPttUpdate: return params_.ptt_update_ns;
+    case OC::kBarrier: return params_.barrier_per_thread_ns;
+    case OC::kCount: break;
+  }
+  return 0.0;
+}
+
+sim::SimTime CostModel::charge(trace::OverheadComponent c) {
+  const double jitter = noise_ ? noise_->sched_jitter() : 1.0;
+  const sim::SimTime t = sim::from_ns(base_ns(c) * jitter);
+  tracker_.charge(c, t);
+  return t;
+}
+
+}  // namespace ilan::rt

@@ -1,0 +1,48 @@
+// Simulated costs of scheduling-path operations (drives Figure 5).
+//
+// Values are calibrated to the order of magnitude of the LLVM OpenMP
+// tasking fast paths on a Zen 4 core (task allocation+init ~100-200ns,
+// successful steal with CAS traffic ~300ns, cross-CCX cache-line transfer
+// premium, etc.). Each charge is jittered by the run's NoiseModel.
+#pragma once
+
+#include "sim/noise.hpp"
+#include "sim/time.hpp"
+#include "trace/overhead.hpp"
+
+namespace ilan::rt {
+
+struct CostParams {
+  double task_create_ns = 110.0;
+  double enqueue_ns = 55.0;
+  double dequeue_ns = 60.0;
+  double steal_hit_ns = 310.0;
+  double steal_miss_ns = 130.0;
+  double remote_steal_extra_ns = 260.0;  // cross-node cache-line transfers
+  double config_select_ns = 750.0;
+  double ptt_update_ns = 160.0;
+  double barrier_per_thread_ns = 85.0;
+  double wake_ns = 600.0;  // signalling an idle worker
+};
+
+// Charges simulated time per scheduling action into an OverheadTracker and
+// returns the jittered duration so callers can also delay the worker path.
+class CostModel {
+ public:
+  CostModel(const CostParams& params, trace::OverheadTracker& tracker,
+            sim::NoiseModel* noise)
+      : params_(params), tracker_(tracker), noise_(noise) {}
+
+  sim::SimTime charge(trace::OverheadComponent c);
+
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double base_ns(trace::OverheadComponent c) const;
+
+  CostParams params_;
+  trace::OverheadTracker& tracker_;
+  sim::NoiseModel* noise_;
+};
+
+}  // namespace ilan::rt

@@ -1,0 +1,47 @@
+// Machine: assembles one simulated run (engine + topology + noise + regions
+// + memory system) from declarative parameters. Each repetition of a
+// benchmark constructs a fresh Machine with a distinct seed — the analogue
+// of one `srun` invocation in the paper's 30-run methodology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/memory_system.hpp"
+#include "sim/engine.hpp"
+#include "sim/noise.hpp"
+#include "topo/builder.hpp"
+
+namespace ilan::rt {
+
+struct MachineParams {
+  topo::MachineSpec spec;
+  mem::MemParams mem;
+  sim::NoiseParams noise;
+  std::uint64_t seed = 1;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineParams& params);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] sim::NoiseModel& noise() { return noise_; }
+  [[nodiscard]] mem::RegionTable& regions() { return regions_; }
+  [[nodiscard]] mem::MemorySystem& memory() { return *memory_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  sim::Engine engine_;
+  topo::Topology topo_;
+  sim::NoiseModel noise_;
+  mem::RegionTable regions_;
+  std::unique_ptr<mem::MemorySystem> memory_;
+};
+
+}  // namespace ilan::rt

@@ -1,0 +1,71 @@
+// Pluggable taskloop scheduler interface.
+//
+// A scheduler makes exactly the decisions the paper's Figure 1 workflow
+// shows: (1) select the taskloop configuration, (2) create and place the
+// chunk tasks, (3) hand out work to threads that run dry (the stealing
+// policy), and (4) observe the finished execution (PTT updates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "sim/time.hpp"
+
+namespace ilan::rt {
+
+class Team;
+struct Worker;
+
+// Everything measured about one taskloop execution; what ILAN's performance
+// tracing sees, and what the harnesses aggregate.
+struct LoopExecStats {
+  LoopId loop_id = 0;
+  LoopConfig config;
+  sim::SimTime start = 0;
+  sim::SimTime wall = 0;
+  std::int64_t tasks = 0;
+  std::int64_t iterations = 0;
+  std::vector<sim::SimTime> node_busy;      // indexed by node
+  std::vector<std::int64_t> node_iters;     // indexed by node
+  std::vector<sim::SimTime> worker_busy;    // indexed by worker
+  std::int64_t steals_local = 0;
+  std::int64_t steals_remote = 0;
+  // DRAM traffic attributable to this execution (delta of the machine's
+  // traffic counters across the loop).
+  double bytes_moved = 0.0;
+  double remote_bytes_moved = 0.0;
+};
+
+struct AcquireResult {
+  std::optional<Task> task;
+  sim::SimTime cost = 0;  // scheduling-path latency spent acquiring
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Chooses this execution's thread count, node mask and steal policy.
+  virtual LoopConfig select_config(const TaskloopSpec& spec, Team& team) = 0;
+
+  // Creates the chunk tasks and pushes them into worker deques (only
+  // workers Team marked active). Returns the task count and accumulates the
+  // encountering thread's serial creation time into `serial_cost`.
+  virtual std::size_t distribute(const TaskloopSpec& spec, const LoopConfig& cfg,
+                                 Team& team, sim::SimTime& serial_cost) = 0;
+
+  // Called when active worker `w` has no current task. Implements pop +
+  // steal policy; must account its latency in the result's `cost`.
+  virtual AcquireResult acquire(Team& team, Worker& w) = 0;
+
+  // End-of-execution hook (e.g., PTT update). Default: no-op.
+  virtual void loop_finished(const TaskloopSpec& /*spec*/, const LoopExecStats& /*stats*/,
+                             Team& /*team*/) {}
+};
+
+}  // namespace ilan::rt

@@ -1,0 +1,50 @@
+#include "rt/task.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ilan::rt {
+
+const char* to_string(StealPolicy p) {
+  return p == StealPolicy::kStrict ? "strict" : "full";
+}
+
+std::vector<topo::NodeId> NodeMask::to_nodes() const {
+  std::vector<topo::NodeId> out;
+  for (int i = 0; i < 64; ++i) {
+    if ((bits_ >> i) & 1u) out.push_back(topo::NodeId{i});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> make_chunks(
+    std::int64_t iterations, std::int64_t grainsize, int num_threads,
+    int tasks_per_thread) {
+  if (iterations < 0) throw std::invalid_argument("make_chunks: negative iterations");
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  if (iterations == 0) return chunks;
+
+  if (grainsize > 0) {
+    for (std::int64_t b = 0; b < iterations; b += grainsize) {
+      chunks.emplace_back(b, std::min(iterations, b + grainsize));
+    }
+    return chunks;
+  }
+
+  if (num_threads <= 0) throw std::invalid_argument("make_chunks: non-positive threads");
+  const std::int64_t want =
+      std::min<std::int64_t>(iterations,
+                             static_cast<std::int64_t>(num_threads) *
+                                 std::max(1, tasks_per_thread));
+  const std::int64_t base = iterations / want;
+  const std::int64_t extra = iterations % want;
+  std::int64_t b = 0;
+  for (std::int64_t i = 0; i < want; ++i) {
+    const std::int64_t len = base + (i < extra ? 1 : 0);
+    chunks.emplace_back(b, b + len);
+    b += len;
+  }
+  return chunks;
+}
+
+}  // namespace ilan::rt

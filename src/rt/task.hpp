@@ -1,0 +1,103 @@
+// Core task-runtime types: taskloop specifications, task chunks, loop
+// configurations (thread count / node mask / steal policy) and chunking
+// helpers. These mirror the concepts the paper adds to the LLVM tasking
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.hpp"
+#include "topo/ids.hpp"
+
+namespace ilan::rt {
+
+using LoopId = std::int64_t;
+
+// Which NUMA nodes a taskloop may execute on. Bit i = node i eligible.
+class NodeMask {
+ public:
+  constexpr NodeMask() = default;
+  constexpr explicit NodeMask(std::uint64_t bits) : bits_(bits) {}
+
+  [[nodiscard]] constexpr bool test(topo::NodeId n) const {
+    return (bits_ >> n.value()) & 1u;
+  }
+  constexpr void set(topo::NodeId n) { bits_ |= (1ull << n.value()); }
+  constexpr void clear(topo::NodeId n) { bits_ &= ~(1ull << n.value()); }
+  [[nodiscard]] int count() const { return __builtin_popcountll(bits_); }
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+
+  // Mask with the first `n` nodes set.
+  [[nodiscard]] static constexpr NodeMask first_n(int n) {
+    return NodeMask(n >= 64 ? ~0ull : ((1ull << n) - 1));
+  }
+  [[nodiscard]] static constexpr NodeMask all(int num_nodes) { return first_n(num_nodes); }
+
+  [[nodiscard]] std::vector<topo::NodeId> to_nodes() const;
+
+  friend constexpr bool operator==(NodeMask, NodeMask) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+enum class StealPolicy : std::uint8_t {
+  kStrict,  // work stealing confined to the local NUMA node
+  kFull,    // inter-node stealing of `stealable` tasks permitted
+};
+
+[[nodiscard]] const char* to_string(StealPolicy p);
+
+// The three knobs the paper's Section 3.1 gives every taskloop execution.
+struct LoopConfig {
+  int num_threads = 0;
+  NodeMask node_mask;
+  StealPolicy steal_policy = StealPolicy::kFull;
+
+  friend bool operator==(const LoopConfig&, const LoopConfig&) = default;
+};
+
+// What one task (an iteration chunk) demands from the machine.
+struct TaskDemand {
+  double cpu_cycles = 0.0;
+  std::vector<mem::AccessDescriptor> accesses;
+};
+
+// Maps an iteration range [begin, end) to its demand. Must be pure: the
+// runtime may evaluate it lazily at task start.
+using DemandFn = std::function<TaskDemand(std::int64_t begin, std::int64_t end)>;
+
+struct TaskloopSpec {
+  LoopId loop_id = 0;  // stable per call site, like an OpenMP construct
+  std::string name;
+  std::int64_t iterations = 0;
+  // Desired tasks per active thread when chunking (LLVM-style heuristic);
+  // grainsize (iterations per task) wins if nonzero.
+  std::int64_t grainsize = 0;
+  int tasks_per_thread = 2;
+  DemandFn demand;
+};
+
+// A chunk of a taskloop, the unit of scheduling.
+struct Task {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  const TaskloopSpec* loop = nullptr;
+  topo::NodeId home_node;        // node the distributor assigned (may be invalid)
+  bool numa_strict = false;      // may never leave home_node
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+};
+
+// Splits [0, iterations) into contiguous chunks: `grainsize` iterations per
+// chunk when nonzero, otherwise ~tasks_per_thread chunks per active thread.
+// Every iteration appears in exactly one chunk; chunk sizes differ by at
+// most 1 when grainsize is 0.
+[[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> make_chunks(
+    std::int64_t iterations, std::int64_t grainsize, int num_threads,
+    int tasks_per_thread);
+
+}  // namespace ilan::rt

@@ -1,0 +1,228 @@
+#include "rt/team.hpp"
+
+#include <stdexcept>
+
+namespace ilan::rt {
+
+Team::Team(Machine& machine, Scheduler& scheduler, const TeamParams& params)
+    : machine_(machine),
+      scheduler_(scheduler),
+      costs_(params.costs, overhead_, &machine.noise()),
+      rng_(sim::Xoshiro256ss(machine.seed()).split(0x7e47)) {
+  const auto& topo = machine_.topology();
+  workers_.resize(static_cast<std::size_t>(topo.num_cores()));
+  workers_by_node_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  for (int i = 0; i < topo.num_cores(); ++i) {
+    Worker& w = workers_[static_cast<std::size_t>(i)];
+    w.id = i;
+    w.core = topo::CoreId{i};
+    w.node = topo.node_of(w.core);
+    w.ccd = topo.ccd_of(w.core);
+    workers_by_node_[w.node.index()].push_back(i);
+  }
+}
+
+std::span<const int> Team::node_workers(topo::NodeId n) const {
+  return workers_by_node_.at(n.index());
+}
+
+bool Team::node_queues_empty(topo::NodeId n) const {
+  for (const int wid : workers_by_node_.at(n.index())) {
+    if (!workers_[static_cast<std::size_t>(wid)].deque.empty()) return false;
+  }
+  return true;
+}
+
+void Team::note_steal(bool remote) {
+  if (remote) {
+    ++steals_remote_;
+  } else {
+    ++steals_local_;
+  }
+}
+
+void Team::activate_workers(const LoopConfig& cfg) {
+  for (auto& w : workers_) w.reset_loop_state();
+  int budget = cfg.num_threads > 0 ? cfg.num_threads : num_workers();
+  for (const auto& node : topology().nodes()) {
+    if (!cfg.node_mask.empty() && !cfg.node_mask.test(node.id)) continue;
+    for (const int wid : workers_by_node_[node.id.index()]) {
+      if (budget == 0) return;
+      workers_[static_cast<std::size_t>(wid)].active = true;
+      --budget;
+    }
+  }
+}
+
+const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
+  if (!loop_done_) throw std::logic_error("Team: nested taskloops unsupported");
+  if (spec.iterations <= 0) throw std::invalid_argument("Team: taskloop needs iterations");
+  if (!spec.demand) throw std::invalid_argument("Team: taskloop needs a demand function");
+
+  auto& engine = machine_.engine();
+  cur_spec_ = &spec;
+  loop_start_ = engine.now();
+  steals_local_ = steals_remote_ = 0;
+  const mem::TrafficStats traffic_before = machine_.memory().traffic();
+  if (tracer_ != nullptr) {
+    tracer_->add_marker(trace::LoopMarker{spec.name, loop_start_});
+  }
+
+  // (1) Configuration selection, serial on the encountering thread.
+  // Schedulers with a real selection step (ILAN) charge kConfigSelect
+  // themselves inside select_config.
+  sim::SimTime serial = 0;
+  cur_cfg_ = scheduler_.select_config(spec, *this);
+  serial += overhead_.total(trace::OverheadComponent::kConfigSelect) -
+            config_select_charged_;
+  config_select_charged_ = overhead_.total(trace::OverheadComponent::kConfigSelect);
+  if (cur_cfg_.node_mask.empty()) {
+    cur_cfg_.node_mask = NodeMask::all(topology().num_nodes());
+  }
+  if (cur_cfg_.num_threads <= 0 || cur_cfg_.num_threads > num_workers()) {
+    cur_cfg_.num_threads = num_workers();
+  }
+  activate_workers(cur_cfg_);
+
+  // (2) Task creation + distribution, also serial.
+  tasks_total_ = static_cast<std::int64_t>(
+      scheduler_.distribute(spec, cur_cfg_, *this, serial));
+  if (tasks_total_ <= 0) throw std::logic_error("Team: scheduler produced no tasks");
+  remaining_tasks_ = tasks_total_;
+  loop_done_ = false;
+
+  // (3) Wake the active workers. Worker 0 (the encountering thread, when
+  // active) continues immediately after the serial section; the others pay
+  // a wake-up signalling latency.
+  const sim::SimTime work_start = loop_start_ + serial;
+  for (const auto& w : workers_) {
+    if (!w.active) continue;
+    sim::SimTime wake = 0;
+    if (w.id != 0) {
+      wake = sim::from_ns(costs_.params().wake_ns * machine_.noise().sched_jitter());
+    }
+    const int wid = w.id;
+    engine.schedule_at(work_start + wake, [this, wid] { worker_seek(wid); });
+  }
+
+  engine.run();
+
+  if (remaining_tasks_ != 0 || !loop_done_) {
+    throw std::logic_error("Team: taskloop did not complete (scheduler starvation?)");
+  }
+
+  // (4) Record the execution.
+  LoopExecStats stats;
+  stats.loop_id = spec.loop_id;
+  stats.config = cur_cfg_;
+  stats.start = loop_start_;
+  stats.wall = loop_end_ - loop_start_;
+  stats.tasks = tasks_total_;
+  stats.iterations = spec.iterations;
+  stats.node_busy.assign(static_cast<std::size_t>(topology().num_nodes()), 0);
+  stats.node_iters.assign(static_cast<std::size_t>(topology().num_nodes()), 0);
+  stats.worker_busy.resize(workers_.size());
+  for (const auto& w : workers_) {
+    stats.worker_busy[static_cast<std::size_t>(w.id)] = w.busy;
+    stats.node_busy[w.node.index()] += w.busy;
+    stats.node_iters[w.node.index()] += w.iters;
+  }
+  stats.steals_local = steals_local_;
+  stats.steals_remote = steals_remote_;
+  const mem::TrafficStats& traffic_after = machine_.memory().traffic();
+  stats.bytes_moved = traffic_after.total() - traffic_before.total();
+  stats.remote_bytes_moved = traffic_after.remote_bytes - traffic_before.remote_bytes;
+
+  scheduler_.loop_finished(spec, stats, *this);
+
+  history_.push_back(std::move(stats));
+  cur_spec_ = nullptr;
+  return history_.back();
+}
+
+void Team::worker_seek(int wid) {
+  Worker& w = workers_[static_cast<std::size_t>(wid)];
+  if (loop_done_ || !w.active || w.idle) return;
+  AcquireResult r = scheduler_.acquire(*this, w);
+  if (r.task) {
+    const Task task = *r.task;
+    machine_.engine().schedule_after(r.cost, [this, wid, task] { start_task(wid, task); });
+  } else {
+    w.idle = true;
+  }
+}
+
+void Team::start_task(int wid, const Task& task) {
+  Worker& w = workers_[static_cast<std::size_t>(wid)];
+  if (loop_done_) return;
+  w.executing = true;
+  const sim::SimTime exec_start = machine_.engine().now();
+  TaskDemand demand = task.loop->demand(task.begin, task.end);
+  machine_.memory().begin(w.core, demand.cpu_cycles, demand.accesses,
+                          [this, wid, task, exec_start] {
+                            finish_task(wid, task, exec_start);
+                          });
+}
+
+void Team::finish_task(int wid, const Task& task, sim::SimTime exec_start) {
+  Worker& w = workers_[static_cast<std::size_t>(wid)];
+  w.executing = false;
+  w.busy += machine_.engine().now() - exec_start;
+  w.iters += task.size();
+  if (tracer_ != nullptr) {
+    trace::TaskEvent ev;
+    ev.name = (task.loop != nullptr ? task.loop->name : std::string("task")) + "[" +
+              std::to_string(task.begin) + "," + std::to_string(task.end) + ")";
+    ev.core = w.core.value();
+    ev.start = exec_start;
+    ev.end = machine_.engine().now();
+    ev.stolen_remote = task.home_node.valid() && task.home_node != w.node;
+    tracer_->add_task(std::move(ev));
+  }
+  if (--remaining_tasks_ == 0) {
+    begin_loop_end();
+  } else {
+    worker_seek(wid);
+  }
+}
+
+void Team::begin_loop_end() {
+  // Team barrier: each active thread pays the join cost; the loop's wall
+  // time extends past the last task by the barrier depth.
+  sim::SimTime barrier = 0;
+  for (const auto& w : workers_) {
+    if (w.active) barrier += costs_.charge(trace::OverheadComponent::kBarrier);
+  }
+  loop_done_ = true;
+  loop_end_ = machine_.engine().now() + barrier;
+  machine_.engine().schedule_at(loop_end_, [] { /* barrier release */ });
+}
+
+void Team::serial_compute(double cpu_cycles,
+                          std::span<const mem::AccessDescriptor> accesses) {
+  if (!loop_done_) throw std::logic_error("Team: serial section inside a taskloop");
+  bool done = false;
+  machine_.memory().begin(workers_.front().core, cpu_cycles, accesses,
+                          [&done] { done = true; });
+  machine_.engine().run();
+  if (!done) throw std::logic_error("Team: serial section did not complete");
+}
+
+sim::SimTime Team::total_loop_time() const {
+  sim::SimTime t = 0;
+  for (const auto& s : history_) t += s.wall;
+  return t;
+}
+
+double Team::weighted_avg_threads() const {
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : history_) {
+    const double w = sim::to_seconds(s.wall);
+    num += w * s.config.num_threads;
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace ilan::rt

@@ -1,0 +1,118 @@
+// Team: one parallel region's worth of workers, pinned 1:1 to cores, plus
+// the event-driven taskloop execution machinery.
+//
+// `run_taskloop` reproduces the paper's Figure 1 workflow in simulated
+// time: configuration selection and task creation run serially on the
+// encountering thread (worker 0), then active workers wake, drain their
+// deques front-to-back and steal per the scheduler's policy; when the last
+// chunk finishes, the team barrier closes the loop and the scheduler's
+// `loop_finished` hook observes the measured execution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rt/cost_model.hpp"
+#include "rt/runtime.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/worker.hpp"
+#include "sim/rng.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/overhead.hpp"
+
+namespace ilan::rt {
+
+struct TeamParams {
+  CostParams costs;
+};
+
+class Team {
+ public:
+  Team(Machine& machine, Scheduler& scheduler, const TeamParams& params = {});
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  // Executes one taskloop to completion in simulated time.
+  // Returns the stats recorded for this execution.
+  const LoopExecStats& run_taskloop(const TaskloopSpec& spec);
+
+  // Executes a serial section on worker 0 (between taskloops).
+  void serial_compute(double cpu_cycles,
+                      std::span<const mem::AccessDescriptor> accesses = {});
+
+  // --- accessors used by schedulers -------------------------------------
+  [[nodiscard]] Machine& machine() { return machine_; }
+  [[nodiscard]] const topo::Topology& topology() const { return machine_.topology(); }
+  [[nodiscard]] CostModel& costs() { return costs_; }
+  [[nodiscard]] sim::Xoshiro256ss& rng() { return rng_; }
+  [[nodiscard]] int num_workers() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] Worker& worker(int i) { return workers_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const Worker& worker(int i) const {
+    return workers_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] std::vector<Worker>& workers() { return workers_; }
+
+  // Workers of one NUMA node (dense worker ids == core ids).
+  [[nodiscard]] std::span<const int> node_workers(topo::NodeId n) const;
+
+  // True when no deque on node `n` holds a task (the paper's "fully idle"
+  // precondition for inter-node migration).
+  [[nodiscard]] bool node_queues_empty(topo::NodeId n) const;
+
+  void note_steal(bool remote);
+
+  // Loop currently executing (nullptr outside run_taskloop) and its config.
+  [[nodiscard]] const TaskloopSpec* current_loop() const { return cur_spec_; }
+  [[nodiscard]] const LoopConfig& current_config() const { return cur_cfg_; }
+
+  // --- program-level results ---------------------------------------------
+  [[nodiscard]] const std::vector<LoopExecStats>& history() const { return history_; }
+  [[nodiscard]] trace::OverheadTracker& overhead() { return overhead_; }
+  [[nodiscard]] sim::SimTime now() const { return machine_.engine().now(); }
+
+  // Sum over history of wall times (the tasking portion of a program).
+  [[nodiscard]] sim::SimTime total_loop_time() const;
+
+  // Weighted average thread count (weights = loop wall time) — Figure 3.
+  [[nodiscard]] double weighted_avg_threads() const;
+
+  // Attach a Chrome-trace collector: every task execution and loop boundary
+  // is recorded (see trace/chrome_trace.hpp). Pass nullptr to detach.
+  void set_tracer(trace::ChromeTraceWriter* tracer) { tracer_ = tracer; }
+
+ private:
+  // Marks workers active per the config: nodes in the mask contribute cores
+  // in order until num_threads workers are active.
+  void activate_workers(const LoopConfig& cfg);
+  void worker_seek(int wid);
+  void start_task(int wid, const Task& task);
+  void finish_task(int wid, const Task& task, sim::SimTime exec_start);
+  void begin_loop_end();
+
+  Machine& machine_;
+  Scheduler& scheduler_;
+  trace::OverheadTracker overhead_;
+  CostModel costs_;
+  sim::Xoshiro256ss rng_;
+  std::vector<Worker> workers_;
+  std::vector<std::vector<int>> workers_by_node_;
+
+  // Current-loop state.
+  const TaskloopSpec* cur_spec_ = nullptr;
+  LoopConfig cur_cfg_;
+  std::int64_t remaining_tasks_ = 0;
+  bool loop_done_ = true;
+  sim::SimTime loop_start_ = 0;
+  sim::SimTime loop_end_ = 0;
+  std::int64_t steals_local_ = 0;
+  std::int64_t steals_remote_ = 0;
+  std::int64_t tasks_total_ = 0;
+  sim::SimTime config_select_charged_ = 0;
+
+  std::vector<LoopExecStats> history_;
+  trace::ChromeTraceWriter* tracer_ = nullptr;
+};
+
+}  // namespace ilan::rt

@@ -1,0 +1,52 @@
+#include "rt/work_sharing_scheduler.hpp"
+
+#include "rt/team.hpp"
+
+namespace ilan::rt {
+
+LoopConfig WorkSharingScheduler::select_config(const TaskloopSpec&, Team& team) {
+  LoopConfig cfg;
+  cfg.num_threads = team.num_workers();
+  cfg.node_mask = NodeMask::all(team.topology().num_nodes());
+  cfg.steal_policy = StealPolicy::kStrict;
+  return cfg;
+}
+
+std::size_t WorkSharingScheduler::distribute(const TaskloopSpec& spec,
+                                             const LoopConfig& cfg, Team& team,
+                                             sim::SimTime& serial_cost) {
+  const auto chunks = make_chunks(spec.iterations, spec.grainsize, cfg.num_threads,
+                                  spec.tasks_per_thread);
+  // Contiguous runs of chunks per thread, like schedule(static) with the
+  // equivalent chunk size. The "fork" costs one enqueue per thread.
+  const auto nw = static_cast<std::size_t>(cfg.num_threads);
+  const std::size_t nc = chunks.size();
+  for (std::size_t t = 0; t < nw; ++t) {
+    const std::size_t lo = nc * t / nw;
+    const std::size_t hi = nc * (t + 1) / nw;
+    if (lo < hi) {
+      serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+    }
+    for (std::size_t c = lo; c < hi; ++c) {
+      Task task;
+      task.begin = chunks[c].first;
+      task.end = chunks[c].second;
+      task.loop = &spec;
+      task.home_node = team.worker(static_cast<int>(t)).node;
+      task.numa_strict = true;  // static assignment never migrates
+      team.worker(static_cast<int>(t)).deque.push_back(task);
+    }
+  }
+  return nc;
+}
+
+AcquireResult WorkSharingScheduler::acquire(Team& team, Worker& w) {
+  AcquireResult r;
+  if (auto t = w.deque.pop_front()) {
+    r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+    r.task = std::move(t);
+  }
+  return r;
+}
+
+}  // namespace ilan::rt

@@ -1,0 +1,23 @@
+// The OpenMP work-sharing comparator (Figure 6): `omp for schedule(static)`.
+//
+// Iterations are split into the same chunk granularity the tasking
+// schedulers use, but chunks are assigned statically and in order to each
+// thread; there is no task creation and no stealing, so scheduling overhead
+// is minimal — and so is load balancing.
+#pragma once
+
+#include "rt/scheduler.hpp"
+
+namespace ilan::rt {
+
+class WorkSharingScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "work-sharing"; }
+
+  LoopConfig select_config(const TaskloopSpec& spec, Team& team) override;
+  std::size_t distribute(const TaskloopSpec& spec, const LoopConfig& cfg, Team& team,
+                         sim::SimTime& serial_cost) override;
+  AcquireResult acquire(Team& team, Worker& w) override;
+};
+
+}  // namespace ilan::rt

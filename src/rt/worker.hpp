@@ -1,0 +1,35 @@
+// A worker: one runtime thread pinned 1:1 to a physical core (the paper
+// pins via hwloc; the simulator makes the pinning structural).
+#pragma once
+
+#include "rt/task.hpp"
+#include "rt/ws_deque.hpp"
+#include "sim/time.hpp"
+#include "topo/ids.hpp"
+
+namespace ilan::rt {
+
+struct Worker {
+  int id = -1;  // dense worker index == core index (1:1 pinning)
+  topo::CoreId core;
+  topo::NodeId node;
+  topo::CcdId ccd;
+  WsDeque deque;
+
+  // Per-taskloop state.
+  bool active = false;   // participates in the current taskloop
+  bool idle = false;     // gave up seeking work for this taskloop
+  bool executing = false;
+  sim::SimTime busy = 0;
+  std::int64_t iters = 0;
+
+  void reset_loop_state() {
+    active = false;
+    idle = false;
+    executing = false;
+    busy = 0;
+    iters = 0;
+  }
+};
+
+}  // namespace ilan::rt

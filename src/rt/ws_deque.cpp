@@ -1,0 +1,26 @@
+#include "rt/ws_deque.hpp"
+
+namespace ilan::rt {
+
+std::optional<Task> WsDeque::pop_front() {
+  if (tasks_.empty()) return std::nullopt;
+  Task t = std::move(tasks_.front());
+  tasks_.pop_front();
+  return t;
+}
+
+const Task* WsDeque::peek_back(bool allow_strict) const {
+  if (tasks_.empty()) return nullptr;
+  const Task& t = tasks_.back();
+  if (!allow_strict && t.numa_strict) return nullptr;
+  return &t;
+}
+
+std::optional<Task> WsDeque::steal_back(bool allow_strict) {
+  if (peek_back(allow_strict) == nullptr) return std::nullopt;
+  Task t = std::move(tasks_.back());
+  tasks_.pop_back();
+  return t;
+}
+
+}  // namespace ilan::rt

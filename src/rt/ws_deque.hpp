@@ -1,0 +1,42 @@
+// Per-worker task queue with work-stealing access discipline.
+//
+// The owner consumes from the FRONT (keeping taskloop chunks in iteration
+// order, which preserves the streaming locality the distributor set up);
+// thieves steal from the BACK, so under ILAN's layout the NUMA-strict head
+// of a node queue drains locally while the stealable tail is what migrates.
+//
+// The simulator is single-threaded so no atomics are needed, but the
+// owner/thief API split is kept so the policy reads like the real runtime.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "rt/task.hpp"
+
+namespace ilan::rt {
+
+class WsDeque {
+ public:
+  void push_back(Task t) { tasks_.push_back(std::move(t)); }
+
+  // Owner end.
+  std::optional<Task> pop_front();
+
+  // Thief end. `allow_strict` lets same-node thieves take strict tasks;
+  // cross-node thieves must pass false and will only receive tasks with
+  // numa_strict == false.
+  std::optional<Task> steal_back(bool allow_strict);
+
+  // Peek at what a thief would get (nullptr if nothing eligible).
+  [[nodiscard]] const Task* peek_back(bool allow_strict) const;
+
+  [[nodiscard]] bool empty() const { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  void clear() { tasks_.clear(); }
+
+ private:
+  std::deque<Task> tasks_;
+};
+
+}  // namespace ilan::rt

@@ -1,0 +1,57 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace ilan::sim {
+
+EventId Engine::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) throw std::logic_error("Engine: scheduling into the past");
+  if (!fn) throw std::invalid_argument("Engine: null callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+std::size_t Engine::run() { return run_until(INT64_MAX); }
+
+std::size_t Engine::run_until(SimTime limit) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    if (top.at > limit) break;
+    heap_.pop();
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_;
+    now_ = top.at;
+    fn();
+    ++n;
+    ++fired_;
+  }
+  return n;
+}
+
+void Engine::reset() {
+  now_ = 0;
+  heap_ = {};
+  callbacks_.clear();
+  live_ = 0;
+  fired_ = 0;
+}
+
+}  // namespace ilan::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// scheduling order (FIFO tie-break by sequence number). Events can be
+// cancelled; cancellation is O(1) (lazy removal on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ilan::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (must be >= now()).
+  // Returns a handle usable with cancel().
+  EventId schedule_at(SimTime at, Callback fn);
+
+  // Schedules `fn` to run `delay` after now().
+  EventId schedule_after(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if the event already fired,
+  // was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  // Runs events until the queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  // Runs events with time <= limit. Events beyond the limit stay queued.
+  std::size_t run_until(SimTime limit);
+
+  [[nodiscard]] bool idle() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  // Resets time to zero and drops all pending events.
+  void reset();
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;  // FIFO among simultaneous events
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace ilan::sim

@@ -1,0 +1,28 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+
+namespace ilan::sim {
+
+NoiseModel::NoiseModel(const NoiseParams& params, std::uint64_t seed, int num_cores)
+    : params_(params),
+      freq_factor_(static_cast<std::size_t>(num_cores), 1.0),
+      jitter_rng_(Xoshiro256ss(seed).split(0x6a1773)) {
+  if (!params_.enabled) return;
+  Xoshiro256ss rng(seed);
+  for (auto& f : freq_factor_) {
+    f = std::clamp(1.0 + params_.freq_jitter_sigma * rng.normal(), 0.85, 1.15);
+  }
+  if (rng.uniform() < params_.disturbed_core_prob && num_cores > 0) {
+    disturbed_core_ = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_cores)));
+    freq_factor_[static_cast<std::size_t>(disturbed_core_)] *= params_.disturbed_core_factor;
+  }
+}
+
+double NoiseModel::sched_jitter() {
+  if (!params_.enabled) return 1.0;
+  const double j = 1.0 + params_.sched_jitter_sigma * jitter_rng_.normal();
+  return std::max(0.5, j);
+}
+
+}  // namespace ilan::sim

@@ -1,0 +1,51 @@
+// Run-to-run system noise.
+//
+// Models the non-determinism the paper's 30-run methodology averages over:
+//  * per-run, per-core effective frequency jitter (DVFS, thermal headroom);
+//  * a small chance of one "disturbed" core per run (background OS activity),
+//    which is what produces occasional outlier runs like the BT case the
+//    paper discusses in Section 5.4;
+//  * multiplicative jitter applied to scheduling-path latencies.
+//
+// Deterministic per (seed, run index): the same pair always produces the
+// same noise realization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace ilan::sim {
+
+struct NoiseParams {
+  double freq_jitter_sigma = 0.012;   // ~1.2% core-to-core frequency spread
+  double disturbed_core_prob = 0.05;  // chance a run has one slowed core
+  double disturbed_core_factor = 0.72;
+  double sched_jitter_sigma = 0.10;   // spread of scheduling-path latencies
+  bool enabled = true;
+};
+
+class NoiseModel {
+ public:
+  NoiseModel(const NoiseParams& params, std::uint64_t seed, int num_cores);
+
+  // Multiplier applied to a core's base frequency for this run; ~1.0.
+  [[nodiscard]] double core_freq_factor(int core) const {
+    return freq_factor_.at(static_cast<std::size_t>(core));
+  }
+
+  // Fresh multiplicative jitter for one scheduling-path latency; >= 0.5.
+  double sched_jitter();
+
+  [[nodiscard]] bool has_disturbed_core() const { return disturbed_core_ >= 0; }
+  [[nodiscard]] int disturbed_core() const { return disturbed_core_; }
+
+ private:
+  NoiseParams params_;
+  std::vector<double> freq_factor_;
+  int disturbed_core_ = -1;
+  Xoshiro256ss jitter_rng_;
+};
+
+}  // namespace ilan::sim

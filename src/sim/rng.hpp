@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// SplitMix64 for seeding/stream splitting, xoshiro256** for bulk draws
+// (Blackman & Vigna reference algorithms). Self-contained so runs are
+// bit-identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ilan::sim {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0. Uses rejection-free
+  // multiply-shift (Lemire) — slight bias below 2^-64, irrelevant here.
+  std::uint64_t below(std::uint64_t n) {
+    const unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double normal();
+
+  // Derives an independent stream for substream `tag`.
+  [[nodiscard]] Xoshiro256ss split(std::uint64_t tag) const {
+    SplitMix64 sm(state_[0] ^ (tag * 0x9E3779B97F4A7C15ULL) ^ state_[3]);
+    return Xoshiro256ss(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+
+  friend class NoiseModel;
+};
+
+}  // namespace ilan::sim

@@ -1,0 +1,35 @@
+// Simulated time. Integer picoseconds: deterministic ordering, enough
+// resolution for sub-nanosecond costs, ~106 days of range.
+#pragma once
+
+#include <cstdint>
+
+namespace ilan::sim {
+
+using SimTime = std::int64_t;  // picoseconds
+
+inline constexpr SimTime kPsPerNs = 1'000;
+inline constexpr SimTime kPsPerUs = 1'000'000;
+inline constexpr SimTime kPsPerMs = 1'000'000'000;
+inline constexpr SimTime kPsPerSec = 1'000'000'000'000;
+
+[[nodiscard]] constexpr SimTime from_ns(double ns) {
+  return static_cast<SimTime>(ns * static_cast<double>(kPsPerNs));
+}
+[[nodiscard]] constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kPsPerUs));
+}
+[[nodiscard]] constexpr SimTime from_ms(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kPsPerMs));
+}
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kPsPerSec));
+}
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerSec);
+}
+[[nodiscard]] constexpr double to_ns(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kPsPerNs);
+}
+
+}  // namespace ilan::sim

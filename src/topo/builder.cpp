@@ -1,0 +1,86 @@
+#include "topo/builder.hpp"
+
+#include <stdexcept>
+
+namespace ilan::topo {
+
+Topology build(const MachineSpec& spec) {
+  if (spec.sockets <= 0 || spec.nodes_per_socket <= 0 || spec.ccds_per_node <= 0 ||
+      spec.cores_per_ccd <= 0) {
+    throw std::invalid_argument("MachineSpec: counts must be positive");
+  }
+  if (spec.core_freq_ghz <= 0.0 || spec.core_bw_gbps <= 0.0 ||
+      spec.l3_mb_per_ccd <= 0.0 || spec.node_bw_gbps <= 0.0 ||
+      spec.node_latency_ns <= 0.0 || spec.xlink_bw_gbps <= 0.0) {
+    throw std::invalid_argument("MachineSpec: attributes must be positive");
+  }
+  if (spec.dist_same_socket < 10.0 || spec.dist_cross_socket < 10.0) {
+    throw std::invalid_argument("MachineSpec: distances must be >= 10");
+  }
+
+  std::vector<SocketInfo> sockets;
+  std::vector<NodeInfo> nodes;
+  std::vector<CcdInfo> ccds;
+  std::vector<CoreInfo> cores;
+
+  std::int32_t node_i = 0;
+  std::int32_t ccd_i = 0;
+  std::int32_t core_i = 0;
+  for (std::int32_t s = 0; s < spec.sockets; ++s) {
+    SocketInfo sock;
+    sock.id = SocketId{s};
+    sock.xlink_bw_gbps = spec.xlink_bw_gbps;
+    for (int n = 0; n < spec.nodes_per_socket; ++n) {
+      NodeInfo node;
+      node.id = NodeId{node_i};
+      node.socket = sock.id;
+      node.mem_bytes = spec.node_mem_gb * 1e9;
+      node.mem_bw_gbps = spec.node_bw_gbps;
+      node.mem_latency_ns = spec.node_latency_ns;
+      for (int d = 0; d < spec.ccds_per_node; ++d) {
+        CcdInfo ccd;
+        ccd.id = CcdId{ccd_i};
+        ccd.node = node.id;
+        ccd.l3_bytes = spec.l3_mb_per_ccd * 1024.0 * 1024.0;
+        for (int c = 0; c < spec.cores_per_ccd; ++c) {
+          CoreInfo core;
+          core.id = CoreId{core_i};
+          core.ccd = ccd.id;
+          core.node = node.id;
+          core.socket = sock.id;
+          core.base_freq_ghz = spec.core_freq_ghz;
+          core.core_bw_gbps = spec.core_bw_gbps;
+          ccd.cores.push_back(core.id);
+          node.cores.push_back(core.id);
+          cores.push_back(core);
+          ++core_i;
+        }
+        node.ccds.push_back(ccd.id);
+        ccds.push_back(std::move(ccd));
+        ++ccd_i;
+      }
+      node.primary_core = node.cores.front();
+      sock.nodes.push_back(node.id);
+      nodes.push_back(std::move(node));
+      ++node_i;
+    }
+    sockets.push_back(std::move(sock));
+  }
+
+  const std::size_t nn = nodes.size();
+  std::vector<double> dist(nn * nn, spec.dist_cross_socket);
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t j = 0; j < nn; ++j) {
+      if (i == j) {
+        dist[i * nn + j] = 10.0;
+      } else if (nodes[i].socket == nodes[j].socket) {
+        dist[i * nn + j] = spec.dist_same_socket;
+      }
+    }
+  }
+
+  return Topology(spec.name, std::move(sockets), std::move(nodes), std::move(ccds),
+                  std::move(cores), std::move(dist));
+}
+
+}  // namespace ilan::topo

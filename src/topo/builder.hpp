@@ -1,0 +1,44 @@
+// Construction helpers for Topology.
+//
+// MachineSpec describes a homogeneous machine declaratively (the common
+// case, and the only shape the paper's platform has); TopologyBuilder
+// assembles the component lists and the SLIT distance matrix from it.
+#pragma once
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace ilan::topo {
+
+struct MachineSpec {
+  std::string name = "machine";
+  int sockets = 1;
+  int nodes_per_socket = 1;
+  int ccds_per_node = 1;
+  int cores_per_ccd = 1;
+
+  double core_freq_ghz = 3.0;
+  double core_bw_gbps = 20.0;
+  double l3_mb_per_ccd = 32.0;
+
+  double node_mem_gb = 96.0;
+  double node_bw_gbps = 90.0;
+  double node_latency_ns = 95.0;
+  double xlink_bw_gbps = 64.0;
+
+  // SLIT distances (local is always 10).
+  double dist_same_socket = 12.0;
+  double dist_cross_socket = 32.0;
+
+  [[nodiscard]] int total_cores() const {
+    return sockets * nodes_per_socket * ccds_per_node * cores_per_ccd;
+  }
+  [[nodiscard]] int total_nodes() const { return sockets * nodes_per_socket; }
+};
+
+// Builds a homogeneous topology from the spec. Throws std::invalid_argument
+// on non-positive counts or attributes.
+[[nodiscard]] Topology build(const MachineSpec& spec);
+
+}  // namespace ilan::topo

@@ -1,0 +1,117 @@
+#include "topo/format.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ilan::topo {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::invalid_argument("machine spec line " + std::to_string(line) + ": " + msg);
+}
+
+double parse_double(std::string_view v, int line) {
+  // std::from_chars<double> is available in libstdc++ 11+.
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    fail(line, "expected a number, got '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+int parse_int(std::string_view v, int line) {
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    fail(line, "expected an integer, got '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize(const MachineSpec& s) {
+  std::ostringstream os;
+  os << "name = " << s.name << '\n'
+     << "sockets = " << s.sockets << '\n'
+     << "nodes_per_socket = " << s.nodes_per_socket << '\n'
+     << "ccds_per_node = " << s.ccds_per_node << '\n'
+     << "cores_per_ccd = " << s.cores_per_ccd << '\n'
+     << "core_freq_ghz = " << s.core_freq_ghz << '\n'
+     << "core_bw_gbps = " << s.core_bw_gbps << '\n'
+     << "l3_mb_per_ccd = " << s.l3_mb_per_ccd << '\n'
+     << "node_mem_gb = " << s.node_mem_gb << '\n'
+     << "node_bw_gbps = " << s.node_bw_gbps << '\n'
+     << "node_latency_ns = " << s.node_latency_ns << '\n'
+     << "xlink_bw_gbps = " << s.xlink_bw_gbps << '\n'
+     << "dist_same_socket = " << s.dist_same_socket << '\n'
+     << "dist_cross_socket = " << s.dist_cross_socket << '\n';
+  return os.str();
+}
+
+MachineSpec parse_machine_spec(std::string_view text) {
+  MachineSpec spec;
+  const std::map<std::string_view, std::function<void(std::string_view, int)>> setters = {
+      {"name", [&](std::string_view v, int) { spec.name = std::string(v); }},
+      {"sockets", [&](std::string_view v, int l) { spec.sockets = parse_int(v, l); }},
+      {"nodes_per_socket", [&](std::string_view v, int l) { spec.nodes_per_socket = parse_int(v, l); }},
+      {"ccds_per_node", [&](std::string_view v, int l) { spec.ccds_per_node = parse_int(v, l); }},
+      {"cores_per_ccd", [&](std::string_view v, int l) { spec.cores_per_ccd = parse_int(v, l); }},
+      {"core_freq_ghz", [&](std::string_view v, int l) { spec.core_freq_ghz = parse_double(v, l); }},
+      {"core_bw_gbps", [&](std::string_view v, int l) { spec.core_bw_gbps = parse_double(v, l); }},
+      {"l3_mb_per_ccd", [&](std::string_view v, int l) { spec.l3_mb_per_ccd = parse_double(v, l); }},
+      {"node_mem_gb", [&](std::string_view v, int l) { spec.node_mem_gb = parse_double(v, l); }},
+      {"node_bw_gbps", [&](std::string_view v, int l) { spec.node_bw_gbps = parse_double(v, l); }},
+      {"node_latency_ns", [&](std::string_view v, int l) { spec.node_latency_ns = parse_double(v, l); }},
+      {"xlink_bw_gbps", [&](std::string_view v, int l) { spec.xlink_bw_gbps = parse_double(v, l); }},
+      {"dist_same_socket", [&](std::string_view v, int l) { spec.dist_same_socket = parse_double(v, l); }},
+      {"dist_cross_socket", [&](std::string_view v, int l) { spec.dist_cross_socket = parse_double(v, l); }},
+  };
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) fail(line_no, "expected 'key = value'");
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    const auto it = setters.find(key);
+    if (it == setters.end()) fail(line_no, "unknown key '" + std::string(key) + "'");
+    if (value.empty()) fail(line_no, "empty value for '" + std::string(key) + "'");
+    it->second(value, line_no);
+  }
+  return spec;
+}
+
+MachineSpec load_machine_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open machine spec file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_machine_spec(ss.str());
+}
+
+}  // namespace ilan::topo

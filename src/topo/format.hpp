@@ -1,0 +1,31 @@
+// Text serialization for MachineSpec — a minimal stand-in for hwloc XML.
+//
+// Format: one `key = value` pair per line, `#` comments, blank lines
+// ignored. Unknown keys are an error (catches typos in experiment configs).
+//
+//   name = zen4-epyc9354-2s
+//   sockets = 2
+//   nodes_per_socket = 4
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "topo/builder.hpp"
+
+namespace ilan::topo {
+
+// Serializes every MachineSpec field; parse(serialize(s)) == s.
+[[nodiscard]] std::string serialize(const MachineSpec& spec);
+
+// Parses the format above. Throws std::invalid_argument with a line number
+// on malformed input, unknown keys, or non-numeric values.
+[[nodiscard]] MachineSpec parse_machine_spec(std::string_view text);
+
+// Convenience: read a spec from a file. Throws std::runtime_error if the
+// file cannot be opened.
+[[nodiscard]] MachineSpec load_machine_spec(const std::string& path);
+
+}  // namespace ilan::topo

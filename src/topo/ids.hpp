@@ -1,0 +1,53 @@
+// Strongly typed identifiers for hardware entities.
+//
+// Cores, CCDs, NUMA nodes and sockets are all dense 0-based indices, but
+// mixing them up is a classic source of silent scheduling bugs.  StrongId
+// gives each its own type while keeping them trivially copyable and usable
+// as vector indices via .value().
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ilan::topo {
+
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::int32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  static constexpr StrongId invalid() { return StrongId{-1}; }
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+struct CoreTag {};
+struct CcdTag {};
+struct NodeTag {};
+struct SocketTag {};
+
+using CoreId = StrongId<CoreTag>;
+using CcdId = StrongId<CcdTag>;
+using NodeId = StrongId<NodeTag>;
+using SocketId = StrongId<SocketTag>;
+
+}  // namespace ilan::topo
+
+template <typename Tag>
+struct std::hash<ilan::topo::StrongId<Tag>> {
+  std::size_t operator()(ilan::topo::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,65 @@
+#include "topo/presets.hpp"
+
+namespace ilan::topo::presets {
+
+MachineSpec zen4_epyc9354_2s() {
+  MachineSpec s;
+  s.name = "zen4-epyc9354-2s";
+  s.sockets = 2;
+  s.nodes_per_socket = 4;
+  s.ccds_per_node = 2;
+  s.cores_per_ccd = 4;
+  s.core_freq_ghz = 3.25;
+  s.core_bw_gbps = 22.0;
+  s.l3_mb_per_ccd = 32.0;
+  s.node_mem_gb = 96.0;  // 768 GB / 8 nodes
+  // 12 channels of DDR5-4800 per socket ~ 460 GB/s; NPS4 gives ~115 GB/s
+  // per NUMA node peak, ~90 GB/s sustained.
+  s.node_bw_gbps = 90.0;
+  s.node_latency_ns = 96.0;
+  // Four xGMI3 links per direction, ~40 GB/s effective each.
+  s.xlink_bw_gbps = 160.0;
+  s.dist_same_socket = 12.0;
+  s.dist_cross_socket = 32.0;
+  return s;
+}
+
+MachineSpec tiny_2n8c() {
+  MachineSpec s;
+  s.name = "tiny-2n8c";
+  s.sockets = 1;
+  s.nodes_per_socket = 2;
+  s.ccds_per_node = 1;
+  s.cores_per_ccd = 4;
+  s.core_freq_ghz = 3.0;
+  s.core_bw_gbps = 20.0;
+  s.l3_mb_per_ccd = 16.0;
+  s.node_mem_gb = 32.0;
+  s.node_bw_gbps = 60.0;
+  s.node_latency_ns = 90.0;
+  s.xlink_bw_gbps = 48.0;
+  s.dist_same_socket = 12.0;
+  s.dist_cross_socket = 32.0;
+  return s;
+}
+
+MachineSpec small_4n16c() {
+  MachineSpec s;
+  s.name = "small-4n16c";
+  s.sockets = 1;
+  s.nodes_per_socket = 4;
+  s.ccds_per_node = 1;
+  s.cores_per_ccd = 4;
+  s.core_freq_ghz = 3.0;
+  s.core_bw_gbps = 20.0;
+  s.l3_mb_per_ccd = 16.0;
+  s.node_mem_gb = 48.0;
+  s.node_bw_gbps = 70.0;
+  s.node_latency_ns = 92.0;
+  s.xlink_bw_gbps = 56.0;
+  s.dist_same_socket = 12.0;
+  s.dist_cross_socket = 32.0;
+  return s;
+}
+
+}  // namespace ilan::topo::presets

@@ -1,0 +1,19 @@
+// Ready-made machine descriptions.
+#pragma once
+
+#include "topo/builder.hpp"
+
+namespace ilan::topo::presets {
+
+// The paper's evaluation platform: one Vera compute node with two AMD EPYC
+// 9354 ("Zen 4") sockets, 64 cores total, 8 NUMA nodes (NPS4: 4 per socket),
+// 8 cores per node, 32 MB L3 shared by each 4-core CCD, 768 GB DRAM.
+[[nodiscard]] MachineSpec zen4_epyc9354_2s();
+
+// A small 2-node machine useful for fast tests.
+[[nodiscard]] MachineSpec tiny_2n8c();
+
+// A mid-size single-socket 4-node machine.
+[[nodiscard]] MachineSpec small_4n16c();
+
+}  // namespace ilan::topo::presets

@@ -1,0 +1,84 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ilan::topo {
+
+Topology::Topology(std::string name, std::vector<SocketInfo> sockets,
+                   std::vector<NodeInfo> nodes, std::vector<CcdInfo> ccds,
+                   std::vector<CoreInfo> cores, std::vector<double> distance)
+    : name_(std::move(name)),
+      sockets_(std::move(sockets)),
+      nodes_(std::move(nodes)),
+      ccds_(std::move(ccds)),
+      cores_(std::move(cores)),
+      distance_(std::move(distance)) {
+  validate();
+  cores_per_node_ = static_cast<int>(nodes_.front().cores.size());
+}
+
+void Topology::validate() const {
+  if (sockets_.empty() || nodes_.empty() || ccds_.empty() || cores_.empty()) {
+    throw std::invalid_argument("Topology: empty component list");
+  }
+  if (distance_.size() != nodes_.size() * nodes_.size()) {
+    throw std::invalid_argument("Topology: distance matrix size mismatch");
+  }
+  const std::size_t per_node = nodes_.front().cores.size();
+  for (const auto& n : nodes_) {
+    if (n.cores.size() != per_node) {
+      throw std::invalid_argument("Topology: heterogeneous node sizes unsupported");
+    }
+    if (!n.primary_core.valid() ||
+        n.primary_core.index() >= cores_.size() ||
+        cores_[n.primary_core.index()].node != n.id) {
+      throw std::invalid_argument("Topology: node primary core invalid");
+    }
+    if (n.socket.index() >= sockets_.size()) {
+      throw std::invalid_argument("Topology: node references missing socket");
+    }
+    if (n.mem_bw_gbps <= 0.0 || n.mem_latency_ns <= 0.0) {
+      throw std::invalid_argument("Topology: node memory attributes must be positive");
+    }
+  }
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const auto& c = cores_[i];
+    if (c.id.index() != i) throw std::invalid_argument("Topology: core ids not dense");
+    if (c.node.index() >= nodes_.size() || c.ccd.index() >= ccds_.size()) {
+      throw std::invalid_argument("Topology: core references missing node/ccd");
+    }
+    if (c.base_freq_ghz <= 0.0 || c.core_bw_gbps <= 0.0) {
+      throw std::invalid_argument("Topology: core attributes must be positive");
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = 0; j < nodes_.size(); ++j) {
+      const double d = distance_[i * nodes_.size() + j];
+      if (d < 10.0) throw std::invalid_argument("Topology: distance below SLIT local (10)");
+      if (i == j && d != 10.0) {
+        throw std::invalid_argument("Topology: self-distance must be 10");
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Topology::nodes_by_distance(NodeId from) const {
+  std::vector<NodeId> order(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) order[i] = NodeId{static_cast<std::int32_t>(i)};
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double da = distance(from, a);
+    const double db = distance(from, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return order;
+}
+
+double Topology::total_mem_bw_gbps() const {
+  return std::accumulate(nodes_.begin(), nodes_.end(), 0.0,
+                         [](double acc, const NodeInfo& n) { return acc + n.mem_bw_gbps; });
+}
+
+}  // namespace ilan::topo

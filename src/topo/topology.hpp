@@ -1,0 +1,114 @@
+// Immutable machine topology: sockets -> NUMA nodes -> CCDs -> cores,
+// plus a SLIT-style NUMA distance matrix and per-component performance
+// attributes (core frequency, L3 capacity, memory controller bandwidth and
+// latency, cross-socket link bandwidth).
+//
+// This plays the role hwloc plays in the paper's artifact: it is the single
+// source of truth the scheduler and the machine model query for structure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+namespace ilan::topo {
+
+struct CoreInfo {
+  CoreId id;
+  CcdId ccd;
+  NodeId node;
+  SocketId socket;
+  double base_freq_ghz = 0.0;
+  // Peak per-core streaming bandwidth to DRAM (load/store unit + LFB limit).
+  double core_bw_gbps = 0.0;
+};
+
+struct CcdInfo {
+  CcdId id;
+  NodeId node;
+  std::vector<CoreId> cores;
+  double l3_bytes = 0.0;
+};
+
+struct NodeInfo {
+  NodeId id;
+  SocketId socket;
+  std::vector<CcdId> ccds;
+  std::vector<CoreId> cores;
+  // The node's "primary" core: ILAN enqueues a node's tasks on the worker
+  // pinned to this core.
+  CoreId primary_core;
+  double mem_bytes = 0.0;
+  double mem_bw_gbps = 0.0;     // controller peak bandwidth
+  double mem_latency_ns = 0.0;  // unloaded local access latency
+};
+
+struct SocketInfo {
+  SocketId id;
+  std::vector<NodeId> nodes;
+  // Aggregate inter-socket (xGMI-like) link bandwidth, each direction.
+  double xlink_bw_gbps = 0.0;
+};
+
+class Topology {
+ public:
+  Topology(std::string name, std::vector<SocketInfo> sockets,
+           std::vector<NodeInfo> nodes, std::vector<CcdInfo> ccds,
+           std::vector<CoreInfo> cores, std::vector<double> distance);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] int num_sockets() const { return static_cast<int>(sockets_.size()); }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int num_ccds() const { return static_cast<int>(ccds_.size()); }
+  [[nodiscard]] int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  [[nodiscard]] const SocketInfo& socket(SocketId id) const { return sockets_.at(id.index()); }
+  [[nodiscard]] const NodeInfo& node(NodeId id) const { return nodes_.at(id.index()); }
+  [[nodiscard]] const CcdInfo& ccd(CcdId id) const { return ccds_.at(id.index()); }
+  [[nodiscard]] const CoreInfo& core(CoreId id) const { return cores_.at(id.index()); }
+
+  [[nodiscard]] std::span<const SocketInfo> sockets() const { return sockets_; }
+  [[nodiscard]] std::span<const NodeInfo> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const CcdInfo> ccds() const { return ccds_; }
+  [[nodiscard]] std::span<const CoreInfo> cores() const { return cores_; }
+
+  [[nodiscard]] NodeId node_of(CoreId c) const { return core(c).node; }
+  [[nodiscard]] CcdId ccd_of(CoreId c) const { return core(c).ccd; }
+  [[nodiscard]] SocketId socket_of(NodeId n) const { return node(n).socket; }
+
+  // SLIT-normalized distance: 10 = local, larger = further away.
+  [[nodiscard]] double distance(NodeId a, NodeId b) const {
+    return distance_[a.index() * nodes_.size() + b.index()];
+  }
+
+  [[nodiscard]] bool same_socket(NodeId a, NodeId b) const {
+    return socket_of(a) == socket_of(b);
+  }
+
+  // All nodes ordered by increasing distance from `from` (ties broken by
+  // node id so the order is deterministic). `from` itself comes first.
+  [[nodiscard]] std::vector<NodeId> nodes_by_distance(NodeId from) const;
+
+  // Cores per NUMA node; homogeneous topologies only (checked at build).
+  [[nodiscard]] int cores_per_node() const { return cores_per_node_; }
+
+  // Total machine DRAM bandwidth (sum over controllers).
+  [[nodiscard]] double total_mem_bw_gbps() const;
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  std::vector<SocketInfo> sockets_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<CcdInfo> ccds_;
+  std::vector<CoreInfo> cores_;
+  std::vector<double> distance_;  // row-major num_nodes x num_nodes
+  int cores_per_node_ = 0;
+};
+
+}  // namespace ilan::topo

@@ -1,0 +1,63 @@
+#include "trace/chrome_trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ilan::trace {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+double us(sim::SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& t : tasks_) {
+    sep();
+    os << R"({"name":")";
+    write_escaped(os, t.name);
+    os << R"(","cat":")" << (t.stolen_remote ? "remote-steal" : "task")
+       << R"(","ph":"X","ts":)" << us(t.start) << R"(,"dur":)" << us(t.end - t.start)
+       << R"(,"pid":0,"tid":)" << t.core << "}";
+  }
+  for (const auto& m : markers_) {
+    sep();
+    os << R"({"name":")";
+    write_escaped(os, m.name);
+    os << R"(","ph":"i","s":"g","ts":)" << us(m.at) << R"(,"pid":0,"tid":0})";
+  }
+  os << "\n]\n";
+}
+
+std::string ChromeTraceWriter::to_json() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+}  // namespace ilan::trace

@@ -1,0 +1,55 @@
+// Chrome-trace (about:tracing / Perfetto) export of taskloop executions.
+//
+// Collect TaskEvents during a run (the Team does this when a tracer is
+// attached) and write the standard JSON array format: one timeline row per
+// core, one slice per task, plus loop-boundary instant events. Load the
+// file at chrome://tracing or ui.perfetto.dev to see placement, stealing
+// and imbalance at a glance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ilan::trace {
+
+struct TaskEvent {
+  std::string name;       // "loopname[begin,end)"
+  int core = 0;           // timeline row
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  bool stolen_remote = false;  // color category
+};
+
+struct LoopMarker {
+  std::string name;
+  sim::SimTime at = 0;
+};
+
+class ChromeTraceWriter {
+ public:
+  void add_task(TaskEvent ev) { tasks_.push_back(std::move(ev)); }
+  void add_marker(LoopMarker m) { markers_.push_back(std::move(m)); }
+
+  [[nodiscard]] std::size_t num_events() const {
+    return tasks_.size() + markers_.size();
+  }
+
+  // Writes the JSON trace. Timestamps are microseconds (the format's unit).
+  void write(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  void clear() {
+    tasks_.clear();
+    markers_.clear();
+  }
+
+ private:
+  std::vector<TaskEvent> tasks_;
+  std::vector<LoopMarker> markers_;
+};
+
+}  // namespace ilan::trace

@@ -1,0 +1,52 @@
+#include "trace/energy.hpp"
+
+#include <stdexcept>
+
+namespace ilan::trace {
+
+EnergyBreakdown estimate_energy(const rt::LoopExecStats& stats, int total_nodes,
+                                const EnergyParams& params) {
+  if (total_nodes <= 0) throw std::invalid_argument("estimate_energy: bad node count");
+  EnergyBreakdown e;
+  const double wall_s = sim::to_seconds(stats.wall);
+
+  double busy_s = 0.0;
+  for (const auto b : stats.worker_busy) busy_s += sim::to_seconds(b);
+  e.core_active_j = busy_s * params.core_active_w;
+
+  // Woken-but-waiting time of the active team.
+  const double team_s = wall_s * static_cast<double>(stats.config.num_threads);
+  e.core_idle_j = std::max(0.0, team_s - busy_s) * params.core_idle_w;
+
+  e.uncore_j = wall_s * params.uncore_w_per_node * static_cast<double>(total_nodes);
+
+  e.dram_j = stats.bytes_moved * params.dram_pj_per_byte * 1e-12 +
+             stats.remote_bytes_moved * params.dram_remote_extra_pj_per_byte * 1e-12;
+
+  e.edp_js = e.total_j() * wall_s;
+  return e;
+}
+
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::kTime: return "time";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEdp: return "edp";
+  }
+  return "?";
+}
+
+double objective_value(Objective o, const rt::LoopExecStats& stats, int total_nodes,
+                       const EnergyParams& params) {
+  switch (o) {
+    case Objective::kTime:
+      return sim::to_seconds(stats.wall);
+    case Objective::kEnergy:
+      return estimate_energy(stats, total_nodes, params).total_j();
+    case Objective::kEdp:
+      return estimate_energy(stats, total_nodes, params).edp_js;
+  }
+  return 0.0;
+}
+
+}  // namespace ilan::trace

@@ -1,0 +1,54 @@
+// Energy model for taskloop executions.
+//
+// The ILAN paper (Section 3.5) notes the scheduler can optimize for other
+// metrics than time, citing the authors' JOSS/SWEEP energy work. This model
+// provides the metric: per-execution energy from core busy/idle time,
+// uncore/socket background power, and DRAM access energy — enough to rank
+// configurations by energy or energy-delay product (EDP). Default constants
+// are in the ballpark of a Zen 4 server part (per-core active power a few
+// watts, DRAM tens of pJ/byte).
+#pragma once
+
+#include "rt/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace ilan::trace {
+
+struct EnergyParams {
+  double core_active_w = 3.6;   // per core, while executing a task
+  double core_idle_w = 0.7;    // per *active* (woken) core, while waiting
+  double uncore_w_per_node = 5.5;  // fabric/L3/IO share per NUMA node, always on
+  double dram_pj_per_byte = 65.0;
+  double dram_remote_extra_pj_per_byte = 25.0;  // link transfer cost
+};
+
+struct EnergyBreakdown {
+  double core_active_j = 0.0;
+  double core_idle_j = 0.0;
+  double uncore_j = 0.0;
+  double dram_j = 0.0;
+  [[nodiscard]] double total_j() const {
+    return core_active_j + core_idle_j + uncore_j + dram_j;
+  }
+  // Energy-delay product in joule-seconds.
+  double edp_js = 0.0;
+};
+
+// Estimates the energy of one taskloop execution on a machine with
+// `total_nodes` NUMA nodes (uncore power is charged machine-wide: idle
+// sockets still burn fabric power, which is what makes narrow
+// configurations win on energy less often than one would hope).
+[[nodiscard]] EnergyBreakdown estimate_energy(const rt::LoopExecStats& stats,
+                                              int total_nodes,
+                                              const EnergyParams& params = {});
+
+// The objective a scheduler can optimize.
+enum class Objective { kTime, kEnergy, kEdp };
+
+[[nodiscard]] const char* to_string(Objective o);
+
+// Scalar objective value for one execution (seconds, joules, or J*s).
+[[nodiscard]] double objective_value(Objective o, const rt::LoopExecStats& stats,
+                                     int total_nodes, const EnergyParams& params = {});
+
+}  // namespace ilan::trace

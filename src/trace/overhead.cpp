@@ -1,0 +1,32 @@
+#include "trace/overhead.hpp"
+
+#include <numeric>
+
+namespace ilan::trace {
+
+std::string_view to_string(OverheadComponent c) {
+  switch (c) {
+    case OverheadComponent::kTaskCreate: return "task_create";
+    case OverheadComponent::kEnqueue: return "enqueue";
+    case OverheadComponent::kDequeue: return "dequeue";
+    case OverheadComponent::kStealHit: return "steal_hit";
+    case OverheadComponent::kStealMiss: return "steal_miss";
+    case OverheadComponent::kRemoteSteal: return "remote_steal";
+    case OverheadComponent::kConfigSelect: return "config_select";
+    case OverheadComponent::kPttUpdate: return "ptt_update";
+    case OverheadComponent::kBarrier: return "barrier";
+    case OverheadComponent::kCount: break;
+  }
+  return "unknown";
+}
+
+sim::SimTime OverheadTracker::grand_total() const {
+  return std::accumulate(totals_.begin(), totals_.end(), sim::SimTime{0});
+}
+
+void OverheadTracker::reset() {
+  totals_.fill(0);
+  counts_.fill(0);
+}
+
+}  // namespace ilan::trace

@@ -1,0 +1,53 @@
+// Per-component scheduling-overhead accounting (drives Figure 5).
+//
+// Every scheduler action charges simulated time to one of these components;
+// the tracker accumulates totals per component and overall.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace ilan::trace {
+
+enum class OverheadComponent : int {
+  kTaskCreate = 0,
+  kEnqueue,
+  kDequeue,
+  kStealHit,
+  kStealMiss,
+  kRemoteSteal,
+  kConfigSelect,
+  kPttUpdate,
+  kBarrier,
+  kCount,
+};
+
+[[nodiscard]] std::string_view to_string(OverheadComponent c);
+
+class OverheadTracker {
+ public:
+  void charge(OverheadComponent c, sim::SimTime t) {
+    totals_[static_cast<std::size_t>(c)] += t;
+    counts_[static_cast<std::size_t>(c)] += 1;
+  }
+
+  [[nodiscard]] sim::SimTime total(OverheadComponent c) const {
+    return totals_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t count(OverheadComponent c) const {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] sim::SimTime grand_total() const;
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kN = static_cast<std::size_t>(OverheadComponent::kCount);
+  std::array<sim::SimTime, kN> totals_{};
+  std::array<std::uint64_t, kN> counts_{};
+};
+
+}  // namespace ilan::trace

@@ -1,0 +1,77 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ilan::trace {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double nA = static_cast<double>(n_);
+  const double nB = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = nA + nB;
+  mean_ += delta * nB / total;
+  m2_ += other.m2_ + delta * delta * nA * nB / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+SampleSummary summarize(std::vector<double> samples) {
+  SampleSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  const auto at_quantile = [&](double q) {
+    const double idx = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.median = at_quantile(0.5);
+  s.p05 = at_quantile(0.05);
+  s.p95 = at_quantile(0.95);
+  return s;
+}
+
+double speedup(double baseline_mean_time, double candidate_mean_time) {
+  if (candidate_mean_time <= 0.0) throw std::invalid_argument("speedup: non-positive time");
+  return baseline_mean_time / candidate_mean_time;
+}
+
+}  // namespace ilan::trace

@@ -1,0 +1,52 @@
+// Running statistics (Welford) and small sample-set summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ilan::trace {
+
+// Numerically stable online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Summary of an explicit sample vector (kept for median/percentiles).
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+[[nodiscard]] SampleSummary summarize(std::vector<double> samples);
+
+// Relative speedup of `candidate` over `baseline` mean times:
+// baseline/candidate (1.10 == candidate 10% faster).
+[[nodiscard]] double speedup(double baseline_mean_time, double candidate_mean_time);
+
+}  // namespace ilan::trace

@@ -1,0 +1,35 @@
+// Aligned text tables and CSV output for benchmark harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ilan::trace {
+
+// Collects rows of strings and prints them with aligned columns
+// (first row is treated as the header) or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string pct(double ratio, int precision = 1);  // 1.132 -> "+13.2%"
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ilan::trace

@@ -1,0 +1,472 @@
+// The paper's contribution: Algorithm 1, PTT, node-mask selection, steal
+// policy evaluation, hierarchical distribution, and the composed scheduler.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/config_selector.hpp"
+#include "core/distributor.hpp"
+#include "core/ilan_scheduler.hpp"
+#include "core/manual_scheduler.hpp"
+#include "core/node_mask.hpp"
+#include "core/steal_policy.hpp"
+#include "rt/team.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+using core::Algo1Input;
+using core::algorithm1_step;
+
+// --- Algorithm 1 ----------------------------------------------------------
+
+TEST(Algorithm1, ConvergesWhenWithinOneGranularityStep) {
+  const auto out = algorithm1_step({.best_threads = 64,
+                                    .second_threads = 56,
+                                    .cur_threads = 56,
+                                    .k = 5,
+                                    .g = 8});
+  EXPECT_TRUE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 64);
+}
+
+TEST(Algorithm1, ExploresMidpointRoundedToGranularity) {
+  const auto out = algorithm1_step({.best_threads = 64,
+                                    .second_threads = 32,
+                                    .cur_threads = 32,
+                                    .k = 4,
+                                    .g = 8});
+  EXPECT_FALSE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 32 + ((32 / 2) / 8) * 8);  // 48
+}
+
+TEST(Algorithm1, MidpointAlreadyExecutedFinishesOnBest) {
+  const auto out = algorithm1_step({.best_threads = 64,
+                                    .second_threads = 40,
+                                    .cur_threads = 48,  // == midpoint 40+8
+                                    .k = 6,
+                                    .g = 8});
+  EXPECT_TRUE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 64);
+}
+
+TEST(Algorithm1, K3SpecialCaseProbesSmallest) {
+  // Halving helped (32 beat 64): probe the smallest configuration.
+  const auto out = algorithm1_step({.best_threads = 32,
+                                    .second_threads = 64,
+                                    .cur_threads = 32,
+                                    .k = 3,
+                                    .g = 8});
+  EXPECT_FALSE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 8);
+}
+
+TEST(Algorithm1, K3NothingBelowGFinishes) {
+  const auto out = algorithm1_step({.best_threads = 8,
+                                    .second_threads = 16,
+                                    .cur_threads = 8,
+                                    .k = 3,
+                                    .g = 8});
+  EXPECT_TRUE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 8);
+}
+
+TEST(Algorithm1, K3OnlyTriggersWhenReducingHelped) {
+  // 64 beat 32 at k=3: the general midpoint path applies instead.
+  const auto out = algorithm1_step({.best_threads = 64,
+                                    .second_threads = 32,
+                                    .cur_threads = 32,
+                                    .k = 3,
+                                    .g = 8});
+  EXPECT_FALSE(out.search_finished);
+  EXPECT_EQ(out.next_threads, 48);
+}
+
+TEST(Algorithm1, RejectsBadInput) {
+  EXPECT_THROW(algorithm1_step({.best_threads = 8, .second_threads = 16, .cur_threads = 8, .k = 3, .g = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(algorithm1_step({.best_threads = 0, .second_threads = 16, .cur_threads = 8, .k = 3, .g = 8}),
+               std::invalid_argument);
+}
+
+// Drive ThreadSearch through a synthetic PTT where 32 threads is optimal and
+// verify the full binary-search trajectory 64 -> 32 -> 8 -> 48 -> 40 -> lock 32.
+TEST(ThreadSearch, WalksTheBinarySearchPath) {
+  core::PerfTraceTable ptt;
+  const rt::LoopId loop = 9;
+  // Synthetic landscape: seconds per execution at each width.
+  const std::map<int, double> landscape = {{64, 1.00}, {56, 0.97}, {48, 0.95},
+                                           {40, 0.92}, {32, 0.85}, {24, 0.93},
+                                           {16, 1.10}, {8, 1.80}};
+  core::ThreadSearch search(64, 8);
+  std::vector<int> visited;
+  for (int k = 1; k <= 10 && !search.finished(); ++k) {
+    const int t = search.next_threads(k, ptt, loop);
+    visited.push_back(t);
+    rt::LoopExecStats stats;
+    stats.loop_id = loop;
+    stats.config.num_threads = t;
+    stats.config.node_mask = rt::NodeMask::first_n(t / 8);
+    stats.wall = sim::from_seconds(landscape.at(t));
+    ptt.record(loop, stats);
+  }
+  EXPECT_TRUE(search.finished());
+  EXPECT_EQ(search.current_threads(), 32);
+  ASSERT_GE(visited.size(), 5u);
+  EXPECT_EQ(visited[0], 64);
+  EXPECT_EQ(visited[1], 32);
+  EXPECT_EQ(visited[2], 8);   // k=3 special case
+  EXPECT_EQ(visited[3], 48);  // midpoint of [32, 64]
+  EXPECT_EQ(visited[4], 40);  // midpoint of [32, 48]
+}
+
+TEST(ThreadSearch, MonotoneLandscapeLocksMax) {
+  core::PerfTraceTable ptt;
+  const rt::LoopId loop = 3;
+  core::ThreadSearch search(64, 8);
+  for (int k = 1; k <= 10 && !search.finished(); ++k) {
+    const int t = search.next_threads(k, ptt, loop);
+    rt::LoopExecStats stats;
+    stats.loop_id = loop;
+    stats.config.num_threads = t;
+    stats.wall = sim::from_seconds(64.0 / t);  // perfect scaling
+    ptt.record(loop, stats);
+  }
+  EXPECT_TRUE(search.finished());
+  EXPECT_EQ(search.current_threads(), 64);
+}
+
+TEST(ThreadSearch, SingleStepMachineFinishesImmediately) {
+  core::PerfTraceTable ptt;
+  core::ThreadSearch search(8, 8);
+  EXPECT_EQ(search.next_threads(1, ptt, 1), 8);
+  EXPECT_TRUE(search.finished());
+}
+
+// --- PTT -------------------------------------------------------------------
+
+rt::LoopExecStats make_stats(rt::LoopId loop, int threads, double secs,
+                             rt::StealPolicy pol = rt::StealPolicy::kStrict) {
+  rt::LoopExecStats s;
+  s.loop_id = loop;
+  s.config.num_threads = threads;
+  s.config.node_mask = rt::NodeMask::first_n(std::max(1, threads / 8));
+  s.config.steal_policy = pol;
+  s.wall = sim::from_seconds(secs);
+  s.node_busy.assign(8, 0);
+  s.node_iters.assign(8, 0);
+  return s;
+}
+
+TEST(Ptt, FastestAndSecondFastest) {
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 1.0));
+  ptt.record(1, make_stats(1, 32, 0.7));
+  ptt.record(1, make_stats(1, 48, 0.8));
+  EXPECT_EQ(ptt.fastest(1)->config.num_threads, 32);
+  EXPECT_EQ(ptt.second_fastest(1)->config.num_threads, 48);
+  EXPECT_EQ(ptt.executions(1), 3);
+  EXPECT_EQ(ptt.entries(1).size(), 3u);
+}
+
+TEST(Ptt, ComparesByBestObservedTime) {
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 2.0));  // cold first execution
+  ptt.record(1, make_stats(1, 64, 0.5));  // warm
+  ptt.record(1, make_stats(1, 32, 0.7));
+  EXPECT_EQ(ptt.fastest(1)->config.num_threads, 64);
+}
+
+TEST(Ptt, SamplesAccumulatePerConfig) {
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 1.0));
+  ptt.record(1, make_stats(1, 64, 2.0));
+  const auto* e = ptt.find(1, 64, rt::StealPolicy::kStrict);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->wall.count(), 2u);
+  EXPECT_NEAR(e->wall.mean(), 1.5, 1e-12);
+}
+
+TEST(Ptt, FindDistinguishesPolicies) {
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 1.0, rt::StealPolicy::kStrict));
+  ptt.record(1, make_stats(1, 64, 0.9, rt::StealPolicy::kFull));
+  EXPECT_NE(ptt.find(1, 64, rt::StealPolicy::kStrict), nullptr);
+  EXPECT_NE(ptt.find(1, 64, rt::StealPolicy::kFull), nullptr);
+  EXPECT_EQ(ptt.find(1, 32, rt::StealPolicy::kFull), nullptr);
+  EXPECT_EQ(ptt.find(2, 64, rt::StealPolicy::kStrict), nullptr);
+}
+
+TEST(Ptt, NodeRankingPrefersFasterNodes) {
+  core::PerfTraceTable ptt;
+  auto s = make_stats(1, 64, 1.0);
+  for (int n = 0; n < 8; ++n) {
+    s.node_iters[static_cast<std::size_t>(n)] = 100;
+    // Node 5 is fastest per iteration, node 0 slowest.
+    s.node_busy[static_cast<std::size_t>(n)] = sim::from_ms(n == 5 ? 1.0 : 2.0 + n);
+  }
+  ptt.record(1, s);
+  const auto ranked = ptt.nodes_ranked(1, 8);
+  EXPECT_EQ(ranked.front(), topo::NodeId{5});
+  EXPECT_EQ(ranked.back(), topo::NodeId{7});
+}
+
+TEST(Ptt, UnknownLoopRanksById) {
+  core::PerfTraceTable ptt;
+  const auto ranked = ptt.nodes_ranked(99, 4);
+  ASSERT_EQ(ranked.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ranked[static_cast<std::size_t>(i)], topo::NodeId{i});
+  EXPECT_EQ(ptt.fastest(99), nullptr);
+  EXPECT_EQ(ptt.second_fastest(99), nullptr);
+}
+
+// --- Node mask --------------------------------------------------------------
+
+TEST(NodeMaskSelect, FullWidthIsAllNodes) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  core::PerfTraceTable ptt;
+  EXPECT_EQ(core::select_node_mask(topo, ptt, 1, 64, 8), rt::NodeMask::all(8));
+}
+
+TEST(NodeMaskSelect, SeedsOnFastestNodeAndFillsSameSocket) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  core::PerfTraceTable ptt;
+  auto s = make_stats(1, 64, 1.0);
+  for (int n = 0; n < 8; ++n) {
+    s.node_iters[static_cast<std::size_t>(n)] = 100;
+    s.node_busy[static_cast<std::size_t>(n)] = sim::from_ms(n == 6 ? 1.0 : 3.0);
+  }
+  ptt.record(1, s);
+  const auto mask = core::select_node_mask(topo, ptt, 1, 24, 8);
+  EXPECT_EQ(mask.count(), 3);
+  EXPECT_TRUE(mask.test(topo::NodeId{6}));
+  // Fill stays on node 6's socket (nodes 4-7).
+  for (const auto n : mask.to_nodes()) {
+    EXPECT_TRUE(topo.same_socket(n, topo::NodeId{6}));
+  }
+}
+
+TEST(NodeMaskSelect, ColdStartIsDeterministic) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  core::PerfTraceTable ptt;
+  const auto mask = core::select_node_mask(topo, ptt, 1, 16, 8);
+  EXPECT_EQ(mask.count(), 2);
+  EXPECT_TRUE(mask.test(topo::NodeId{0}));
+  EXPECT_TRUE(mask.test(topo::NodeId{1}));
+}
+
+TEST(NodeMaskSelect, RoundsThreadsUpToNodes) {
+  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  core::PerfTraceTable ptt;
+  EXPECT_EQ(core::select_node_mask(topo, ptt, 1, 9, 8).count(), 2);
+  EXPECT_EQ(core::select_node_mask(topo, ptt, 1, 8, 8).count(), 1);
+}
+
+// --- Steal policy ------------------------------------------------------------
+
+TEST(StealPolicy, StrictDuringSearch) {
+  core::StealPolicyEvaluator eval;
+  core::PerfTraceTable ptt;
+  EXPECT_EQ(eval.next_policy(false, 64, ptt, 1), rt::StealPolicy::kStrict);
+  EXPECT_EQ(eval.next_policy(false, 64, ptt, 1), rt::StealPolicy::kStrict);
+  EXPECT_FALSE(eval.decided());
+}
+
+TEST(StealPolicy, TrialsFullOnceThenKeepsWinner) {
+  core::StealPolicyEvaluator eval;
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 1.0, rt::StealPolicy::kStrict));
+  // Search finished: first call trials full.
+  EXPECT_EQ(eval.next_policy(true, 64, ptt, 1), rt::StealPolicy::kFull);
+  // The full trial was slower.
+  ptt.record(1, make_stats(1, 64, 1.4, rt::StealPolicy::kFull));
+  EXPECT_EQ(eval.next_policy(true, 64, ptt, 1), rt::StealPolicy::kStrict);
+  EXPECT_TRUE(eval.decided());
+  EXPECT_EQ(eval.next_policy(true, 64, ptt, 1), rt::StealPolicy::kStrict);
+}
+
+TEST(StealPolicy, KeepsFullWhenItWins) {
+  core::StealPolicyEvaluator eval;
+  core::PerfTraceTable ptt;
+  ptt.record(1, make_stats(1, 64, 1.0, rt::StealPolicy::kStrict));
+  eval.next_policy(true, 64, ptt, 1);
+  ptt.record(1, make_stats(1, 64, 0.8, rt::StealPolicy::kFull));
+  EXPECT_EQ(eval.next_policy(true, 64, ptt, 1), rt::StealPolicy::kFull);
+  EXPECT_EQ(eval.decision(), rt::StealPolicy::kFull);
+}
+
+// --- Distributor ---------------------------------------------------------------
+
+rt::MachineParams tiny_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Distributor, BlockMapsToNodePrimariesWithStrictHead) {
+  rt::Machine machine(tiny_params(1));
+  core::IlanScheduler sched;  // any scheduler; we call the free function
+  rt::Team team(machine, sched);
+
+  rt::TaskloopSpec spec;
+  spec.loop_id = 5;
+  spec.iterations = 160;
+  spec.grainsize = 10;  // 16 tasks -> 8 per node
+  spec.demand = [](std::int64_t, std::int64_t) { return rt::TaskDemand{}; };
+
+  rt::LoopConfig cfg;
+  cfg.num_threads = 8;
+  cfg.node_mask = rt::NodeMask::all(2);
+  cfg.steal_policy = rt::StealPolicy::kFull;
+
+  core::DistributionOptions opts;
+  opts.stealable_fraction = 0.25;
+  sim::SimTime cost = 0;
+  const auto n = core::distribute_hierarchical(spec, cfg, team, opts, cost);
+  EXPECT_EQ(n, 16u);
+  EXPECT_GT(cost, 0);
+
+  // Tasks live only on node primaries (workers 0 and 4 in tiny_2n8c).
+  EXPECT_EQ(team.worker(0).deque.size(), 8u);
+  EXPECT_EQ(team.worker(4).deque.size(), 8u);
+  for (const int w : {1, 2, 3, 5, 6, 7}) {
+    EXPECT_TRUE(team.worker(w).deque.empty());
+  }
+
+  // Node 0 owns the first half of the iteration space in order; 6 strict
+  // head tasks, 2 stealable tail tasks (25% of 8).
+  int strict = 0;
+  std::int64_t expect = 0;
+  while (auto t = team.worker(0).deque.pop_front()) {
+    EXPECT_EQ(t->begin, expect);
+    expect = t->end;
+    EXPECT_EQ(t->home_node, topo::NodeId{0});
+    if (t->numa_strict) ++strict;
+  }
+  EXPECT_EQ(expect, 80);
+  EXPECT_EQ(strict, 6);
+  team.worker(4).deque.clear();
+}
+
+TEST(Distributor, StrictPolicyMarksEverythingStrict) {
+  rt::Machine machine(tiny_params(2));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  rt::TaskloopSpec spec;
+  spec.loop_id = 5;
+  spec.iterations = 64;
+  spec.demand = [](std::int64_t, std::int64_t) { return rt::TaskDemand{}; };
+  rt::LoopConfig cfg;
+  cfg.num_threads = 8;
+  cfg.node_mask = rt::NodeMask::all(2);
+  cfg.steal_policy = rt::StealPolicy::kStrict;
+  sim::SimTime cost = 0;
+  core::distribute_hierarchical(spec, cfg, team, {}, cost);
+  for (const int w : {0, 4}) {
+    while (auto t = team.worker(w).deque.pop_front()) {
+      EXPECT_TRUE(t->numa_strict);
+    }
+  }
+}
+
+// --- IlanScheduler end-to-end -----------------------------------------------
+
+TEST(IlanScheduler, ExploresThenLocksOnTinyMachine) {
+  rt::Machine machine(tiny_params(3));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+
+  rt::TaskloopSpec spec;
+  spec.loop_id = 77;
+  spec.name = "loop";
+  spec.iterations = 256;
+  spec.demand = [](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = 2e5 * static_cast<double>(e - b);
+    return d;
+  };
+
+  for (int i = 0; i < 10; ++i) team.run_taskloop(spec);
+  EXPECT_TRUE(sched.search_finished(77));
+  EXPECT_EQ(sched.executions(77), 10);
+  // Compute-bound loop on a 2-node machine: must lock the full machine.
+  EXPECT_EQ(team.history().back().config.num_threads, 8);
+  // Exploration visited the half-machine configuration.
+  EXPECT_NE(sched.ptt().find(77, 4, rt::StealPolicy::kStrict), nullptr);
+}
+
+TEST(IlanScheduler, EveryIterationRunsExactlyOnceDuringExploration) {
+  rt::Machine machine(tiny_params(4));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  rt::TaskloopSpec spec;
+  spec.loop_id = 1;
+  spec.iterations = 300;
+  spec.demand = [seen](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) (*seen)[i] += 1;
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  const int reps = 8;
+  for (int i = 0; i < reps; ++i) team.run_taskloop(spec);
+  EXPECT_EQ(seen->size(), 300u);
+  for (const auto& [i, n] : *seen) EXPECT_EQ(n, reps);
+}
+
+TEST(IlanScheduler, NoMoldabilityKeepsAllThreads) {
+  rt::Machine machine(tiny_params(5));
+  core::IlanParams params;
+  params.moldability = false;
+  core::IlanScheduler sched(params);
+  rt::Team team(machine, sched);
+  rt::TaskloopSpec spec;
+  spec.loop_id = 2;
+  spec.iterations = 128;
+  spec.demand = [](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  for (int i = 0; i < 5; ++i) team.run_taskloop(spec);
+  for (const auto& s : team.history()) {
+    EXPECT_EQ(s.config.num_threads, 8);
+  }
+  EXPECT_EQ(sched.name(), "ilan-nomold");
+}
+
+TEST(IlanScheduler, ValidatesParams) {
+  core::IlanParams p;
+  p.stealable_fraction = 1.5;
+  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+  p = {};
+  p.granularity = -2;
+  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+}
+
+TEST(ManualScheduler, PinsTheRequestedConfig) {
+  rt::Machine machine(tiny_params(6));
+  rt::LoopConfig cfg;
+  cfg.num_threads = 4;
+  cfg.steal_policy = rt::StealPolicy::kStrict;
+  core::ManualScheduler sched(cfg);
+  rt::Team team(machine, sched);
+  rt::TaskloopSpec spec;
+  spec.loop_id = 1;
+  spec.iterations = 64;
+  spec.demand = [](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  team.run_taskloop(spec);
+  EXPECT_EQ(team.history().front().config.num_threads, 4);
+  EXPECT_EQ(team.history().front().config.node_mask.count(), 1);
+  EXPECT_EQ(team.history().front().steals_remote, 0);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// The Section 3.5 extensions: energy objective, counter-guided selection,
+// chunked remote stealing, Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include "core/ilan_scheduler.hpp"
+#include "core/manual_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "rt/team.hpp"
+#include "topo/presets.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/energy.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams tiny_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+rt::LoopExecStats sample_stats() {
+  rt::LoopExecStats s;
+  s.config.num_threads = 8;
+  s.wall = sim::from_ms(10.0);
+  s.worker_busy.assign(8, sim::from_ms(8.0));
+  s.bytes_moved = 1e9;
+  s.remote_bytes_moved = 4e8;
+  return s;
+}
+
+TEST(Energy, BreakdownIsConsistent) {
+  const auto e = trace::estimate_energy(sample_stats(), /*total_nodes=*/2);
+  // 64 ms of busy time at 3.6 W.
+  EXPECT_NEAR(e.core_active_j, 0.064 * 3.6, 1e-9);
+  // 80 ms of team time minus 64 ms busy = 16 ms idle at 0.7 W.
+  EXPECT_NEAR(e.core_idle_j, 0.016 * 0.7, 1e-9);
+  // 10 ms x 2 nodes x 5.5 W.
+  EXPECT_NEAR(e.uncore_j, 0.010 * 2 * 5.5, 1e-9);
+  // 1 GB at 65 pJ/B + 0.4 GB extra at 25 pJ/B.
+  EXPECT_NEAR(e.dram_j, 0.065 + 0.01, 1e-9);
+  EXPECT_NEAR(e.total_j(), e.core_active_j + e.core_idle_j + e.uncore_j + e.dram_j,
+              1e-12);
+  EXPECT_NEAR(e.edp_js, e.total_j() * 0.010, 1e-9);
+}
+
+TEST(Energy, ObjectiveValues) {
+  const auto s = sample_stats();
+  EXPECT_NEAR(trace::objective_value(trace::Objective::kTime, s, 2), 0.010, 1e-12);
+  EXPECT_GT(trace::objective_value(trace::Objective::kEnergy, s, 2), 0.0);
+  EXPECT_NEAR(trace::objective_value(trace::Objective::kEdp, s, 2),
+              trace::objective_value(trace::Objective::kEnergy, s, 2) * 0.010, 1e-9);
+  EXPECT_THROW(trace::estimate_energy(s, 0), std::invalid_argument);
+  EXPECT_STREQ(trace::to_string(trace::Objective::kEnergy), "energy");
+}
+
+TEST(Energy, MoreBytesCostMore) {
+  auto a = sample_stats();
+  auto b = sample_stats();
+  b.bytes_moved *= 3;
+  EXPECT_GT(trace::estimate_energy(b, 2).total_j(),
+            trace::estimate_energy(a, 2).total_j());
+}
+
+TEST(PttObjective, RankingFollowsObjectiveNotWall) {
+  core::PerfTraceTable ptt;
+  rt::LoopExecStats fast_hot;  // faster but higher objective (e.g. energy)
+  fast_hot.loop_id = 1;
+  fast_hot.config.num_threads = 64;
+  fast_hot.wall = sim::from_ms(1.0);
+  rt::LoopExecStats slow_cool;
+  slow_cool.loop_id = 1;
+  slow_cool.config.num_threads = 32;
+  slow_cool.wall = sim::from_ms(2.0);
+  ptt.record(1, fast_hot, /*objective=*/10.0);
+  ptt.record(1, slow_cool, /*objective=*/4.0);
+  EXPECT_EQ(ptt.fastest(1)->config.num_threads, 32);
+}
+
+TEST(CounterGuided, LocksComputeBoundLoopAfterOneExecution) {
+  rt::Machine machine(tiny_params(1));
+  core::IlanParams p;
+  p.counter_guided = true;
+  core::IlanScheduler sched(p);
+  rt::Team team(machine, sched);
+
+  rt::TaskloopSpec loop;
+  loop.loop_id = 1;
+  loop.iterations = 128;
+  loop.demand = [](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;  // pure compute, no memory traffic
+    d.cpu_cycles = 5e5 * static_cast<double>(e - b);
+    return d;
+  };
+  team.run_taskloop(loop);
+  EXPECT_TRUE(sched.counter_locked(1));
+  for (int i = 0; i < 4; ++i) team.run_taskloop(loop);
+  // Never explored below the full machine.
+  for (const auto& s : team.history()) EXPECT_EQ(s.config.num_threads, 8);
+  EXPECT_TRUE(sched.search_finished(1));
+}
+
+TEST(CounterGuided, MemoryBoundLoopStillExplores) {
+  rt::Machine machine(tiny_params(2));
+  const auto r = machine.regions().create("u", 1u << 30, mem::Placement::kBlock);
+  core::IlanParams p;
+  p.counter_guided = true;
+  core::IlanScheduler sched(p);
+  rt::Team team(machine, sched);
+
+  rt::TaskloopSpec loop;
+  loop.loop_id = 1;
+  loop.iterations = 128;
+  loop.demand = [r](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e3;
+    const std::uint64_t slice = (1u << 30) / 128;
+    d.accesses.push_back(mem::AccessDescriptor{
+        r, static_cast<std::uint64_t>(b) * slice,
+        static_cast<std::uint64_t>(e - b) * slice, mem::AccessKind::kRead});
+    return d;
+  };
+  for (int i = 0; i < 3; ++i) team.run_taskloop(loop);
+  EXPECT_FALSE(sched.counter_locked(1));
+  // The second execution explored the half machine.
+  EXPECT_EQ(team.history()[1].config.num_threads, 4);
+}
+
+TEST(ChunkedSteal, AmortizesRemoteStealRoundTrips) {
+  // A loop whose first half (node 0's share) is 20x heavier than the
+  // second: node 1 drains early and migrates node-0 tasks. With a larger
+  // remote_steal_chunk the same number of tasks migrate in fewer remote
+  // steal round trips (fewer kRemoteSteal charges than migrated tasks).
+  const auto run = [](int chunk) {
+    rt::Machine machine(tiny_params(3));
+    rt::LoopConfig cfg;
+    cfg.num_threads = 8;
+    cfg.node_mask = rt::NodeMask::all(2);
+    cfg.steal_policy = rt::StealPolicy::kFull;
+    core::IlanParams p;
+    p.stealable_fraction = 1.0;
+    p.remote_steal_chunk = chunk;
+    core::ManualScheduler sched(cfg, p);
+    rt::Team team(machine, sched);
+    rt::TaskloopSpec spec;
+    spec.loop_id = 1;
+    spec.iterations = 256;
+    spec.grainsize = 4;
+    spec.demand = [](std::int64_t b, std::int64_t e) {
+      rt::TaskDemand d;
+      d.cpu_cycles = (b < 128 ? 2e6 : 1e5) * static_cast<double>(e - b);
+      return d;
+    };
+    const auto& stats = team.run_taskloop(spec);
+    return std::pair<std::int64_t, std::uint64_t>(
+        stats.steals_remote,
+        team.overhead().count(trace::OverheadComponent::kRemoteSteal));
+  };
+  const auto [migrated1, trips1] = run(1);
+  const auto [migrated4, trips4] = run(4);
+  EXPECT_GT(migrated1, 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(migrated1), trips1);  // one per trip
+  EXPECT_GT(migrated4, 0);
+  EXPECT_LT(trips4, static_cast<std::uint64_t>(migrated4));  // amortized
+}
+
+TEST(ChunkedSteal, ValidatesParameter) {
+  core::IlanParams p;
+  p.remote_steal_chunk = 0;
+  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+}
+
+TEST(ChromeTrace, WritesWellFormedJson) {
+  trace::ChromeTraceWriter w;
+  w.add_task({"loop[0,16)", 3, sim::from_us(10), sim::from_us(25), false});
+  w.add_task({"loop[16,32)", 5, sim::from_us(12), sim::from_us(30), true});
+  w.add_marker({"loop start", 0});
+  EXPECT_EQ(w.num_events(), 3u);
+  const auto json = w.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid":3)"), std::string::npos);
+  EXPECT_NE(json.find("remote-steal"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+  // Balanced brackets and escaping.
+  trace::ChromeTraceWriter esc;
+  esc.add_task({"we\"ird\\name", 0, 0, 1, false});
+  EXPECT_NE(esc.to_json().find(R"(we\"ird\\name)"), std::string::npos);
+  w.clear();
+  EXPECT_EQ(w.num_events(), 0u);
+}
+
+TEST(ChromeTrace, TeamRecordsTasksAndMarkers) {
+  rt::Machine machine(tiny_params(4));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  trace::ChromeTraceWriter tracer;
+  team.set_tracer(&tracer);
+  rt::TaskloopSpec loop;
+  loop.loop_id = 1;
+  loop.name = "traced";
+  loop.iterations = 64;
+  loop.demand = [](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  team.run_taskloop(loop);
+  const auto n_tasks = team.history().front().tasks;
+  EXPECT_EQ(tracer.num_events(), static_cast<std::size_t>(n_tasks) + 1u);
+  EXPECT_NE(tracer.to_json().find("traced[0,"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Cross-module integration: full benchmarks on the paper machine (scaled
+// down for test speed) reproducing the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include "core/ilan_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "rt/baseline_ws_scheduler.hpp"
+#include "rt/team.hpp"
+#include "rt/work_sharing_scheduler.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams paper_params(std::uint64_t seed, bool noise = false) {
+  rt::MachineParams p;
+  p.spec = topo::presets::zen4_epyc9354_2s();
+  p.mem.remote_eff_exponent = 0.22;
+  p.noise.enabled = noise;
+  p.seed = seed;
+  return p;
+}
+
+// Scheduler comparisons run WITH the noise model: without it the baseline's
+// steal pattern repeats identically every timestep and it accidentally
+// inherits a stable chunk->core mapping (and thus L3 reuse) that no real
+// machine would give it — the fragility the paper's Section 5.4 describes.
+double run_kernel(const std::string& kernel, rt::Scheduler& sched,
+                  std::uint64_t seed, int timesteps) {
+  rt::Machine machine(paper_params(seed, /*noise=*/true));
+  rt::Team team(machine, sched);
+  kernels::KernelOptions opts;
+  opts.timesteps = timesteps;
+  const auto prog = kernels::make_kernel(kernel, machine, opts);
+  return sim::to_seconds(prog.run(team));
+}
+
+TEST(Integration, IlanBeatsBaselineOnMemoryBoundKernels) {
+  // 60 timesteps — the benchmark default — so the exploration phase
+  // amortizes as in the paper's methodology (FT ran 200 iterations there
+  // for exactly this reason).
+  for (const auto& k : {"sp", "cg", "ft", "bt", "lu", "lulesh"}) {
+    rt::BaselineWsScheduler base;
+    core::IlanScheduler ilan_s;
+    const double tb = run_kernel(k, base, 11, 60);
+    const double ti = run_kernel(k, ilan_s, 11, 60);
+    EXPECT_LT(ti, tb) << k;
+  }
+}
+
+TEST(Integration, MatmulRegressionStaysSmall) {
+  rt::BaselineWsScheduler base;
+  core::IlanScheduler ilan_s;
+  const double tb = run_kernel("matmul", base, 12, 40);
+  const double ti = run_kernel("matmul", ilan_s, 12, 40);
+  // The paper reports a slight loss; ours must stay within ~6%.
+  EXPECT_LT(ti, tb * 1.06);
+  EXPECT_GT(ti, tb * 0.98);
+}
+
+TEST(Integration, MoldabilityReducesThreadsForIrregularKernels) {
+  for (const auto& k : {"cg", "sp"}) {
+    rt::Machine machine(paper_params(13));
+    core::IlanScheduler sched;
+    rt::Team team(machine, sched);
+    kernels::KernelOptions opts;
+    opts.timesteps = 40;
+    const auto prog = kernels::make_kernel(k, machine, opts);
+    prog.run(team);
+    EXPECT_LT(team.weighted_avg_threads(), 52.0) << k;
+  }
+}
+
+TEST(Integration, ComputeBoundKernelsKeepTheMachine) {
+  for (const auto& k : {"matmul", "bt", "ft"}) {
+    rt::Machine machine(paper_params(14));
+    core::IlanScheduler sched;
+    rt::Team team(machine, sched);
+    kernels::KernelOptions opts;
+    opts.timesteps = 30;
+    const auto prog = kernels::make_kernel(k, machine, opts);
+    prog.run(team);
+    EXPECT_GT(team.weighted_avg_threads(), 58.0) << k;
+    // Converged configuration is the full machine.
+    EXPECT_EQ(team.history().back().config.num_threads, 64) << k;
+  }
+}
+
+TEST(Integration, MoldabilityIsWhatHelpsCg) {
+  // Figure 4's key contrast: full ILAN clearly above ILAN-without-
+  // moldability on CG.
+  core::IlanScheduler full;
+  core::IlanParams nm;
+  nm.moldability = false;
+  core::IlanScheduler nomold(nm);
+  const double tf = run_kernel("cg", full, 15, 40);
+  const double tn = run_kernel("cg", nomold, 15, 40);
+  EXPECT_LT(tf, tn * 0.9);
+}
+
+TEST(Integration, WorkSharingWinsOnBalancedFt) {
+  rt::WorkSharingScheduler ws;
+  core::IlanScheduler ilan_s;
+  const double tw = run_kernel("ft", ws, 16, 30);
+  const double ti = run_kernel("ft", ilan_s, 16, 30);
+  EXPECT_LT(tw, ti * 1.02);  // work-sharing at least matches ILAN on FT
+}
+
+TEST(Integration, TaskingBeatsWorkSharingOnImbalancedCg) {
+  rt::WorkSharingScheduler ws;
+  core::IlanScheduler ilan_s;
+  const double tw = run_kernel("cg", ws, 17, 40);
+  const double ti = run_kernel("cg", ilan_s, 17, 40);
+  EXPECT_LT(ti, tw);
+}
+
+TEST(Integration, IlanImprovesTrafficLocality) {
+  const auto remote_frac = [](rt::Scheduler& sched) {
+    rt::Machine machine(paper_params(18));
+    rt::Team team(machine, sched);
+    kernels::KernelOptions opts;
+    opts.timesteps = 10;
+    const auto prog = kernels::make_kernel("bt", machine, opts);
+    prog.run(team);
+    const auto& t = machine.memory().traffic();
+    return t.remote_bytes / t.total();
+  };
+  rt::BaselineWsScheduler base;
+  core::IlanScheduler ilan_s;
+  EXPECT_LT(remote_frac(ilan_s), remote_frac(base) * 0.5);
+}
+
+TEST(Integration, FullProgramIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    rt::Machine machine(paper_params(seed, /*noise=*/true));
+    core::IlanScheduler sched;
+    rt::Team team(machine, sched);
+    kernels::KernelOptions opts;
+    opts.timesteps = 6;
+    opts.size_factor = 0.2;
+    const auto prog = kernels::make_kernel("lulesh", machine, opts);
+    return prog.run(team);
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Integration, StealPolicyGetsEvaluatedExactlyOnce) {
+  rt::Machine machine(paper_params(19));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  kernels::KernelOptions opts;
+  opts.timesteps = 30;
+  const auto prog = kernels::make_kernel("bt", machine, opts);
+  prog.run(team);
+  // After convergence each loop ran a full-policy trial at most a handful
+  // of times: count executions with full policy at the converged width.
+  std::map<rt::LoopId, int> full_at_converged;
+  for (const auto& s : team.history()) {
+    if (s.config.steal_policy == rt::StealPolicy::kFull) {
+      ++full_at_converged[s.loop_id];
+    }
+  }
+  for (const auto& [loop, n] : full_at_converged) {
+    // Either the trial lost (exactly 1 full run) or it won (many).
+    EXPECT_TRUE(n == 1 || n > 5) << "loop " << loop << " ran full " << n << "x";
+  }
+}
+
+TEST(Integration, OverheadScalesWithScheduler) {
+  rt::Machine m1(paper_params(20));
+  rt::Machine m2(paper_params(20));
+  rt::BaselineWsScheduler base;
+  rt::WorkSharingScheduler ws;
+  rt::Team t1(m1, base);
+  rt::Team t2(m2, ws);
+  kernels::KernelOptions opts;
+  opts.timesteps = 10;
+  kernels::make_kernel("lu", m1, opts).run(t1);
+  kernels::make_kernel("lu", m2, opts).run(t2);
+  // Work-sharing has no task creation and no stealing: far less overhead.
+  EXPECT_LT(t2.overhead().grand_total(), t1.overhead().grand_total() / 3);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Workload models: registry, structural invariants, imbalance properties.
+#include <gtest/gtest.h>
+
+#include "kernels/kernels.hpp"
+#include "rt/baseline_ws_scheduler.hpp"
+#include "rt/team.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams tiny_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Registry, ListsTheSevenBenchmarks) {
+  const auto& names = kernels::kernel_names();
+  EXPECT_EQ(names.size(), 7u);
+  for (const auto& expect : {"cg", "ft", "bt", "sp", "lu", "matmul", "lulesh"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end()) << expect;
+  }
+}
+
+TEST(Registry, UnknownKernelThrows) {
+  rt::Machine machine(tiny_params(1));
+  EXPECT_THROW(kernels::make_kernel("mg", machine, {}), std::invalid_argument);
+}
+
+class KernelStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelStructure, HasInitAndStepLoopsWithUniqueIds) {
+  rt::Machine machine(tiny_params(2));
+  const auto prog = kernels::make_kernel(GetParam(), machine, {});
+  EXPECT_FALSE(prog.init_loops.empty());
+  EXPECT_FALSE(prog.step_loops.empty());
+  EXPECT_GT(prog.timesteps, 0);
+  std::set<rt::LoopId> ids;
+  for (const auto& l : prog.init_loops) ids.insert(l.loop_id);
+  for (const auto& l : prog.step_loops) ids.insert(l.loop_id);
+  EXPECT_EQ(ids.size(), prog.init_loops.size() + prog.step_loops.size());
+}
+
+TEST_P(KernelStructure, DemandsArePositiveAndPure) {
+  rt::Machine machine(tiny_params(3));
+  const auto prog = kernels::make_kernel(GetParam(), machine, {});
+  for (const auto& loop : prog.step_loops) {
+    const auto d1 = loop.demand(0, 16);
+    const auto d2 = loop.demand(0, 16);
+    EXPECT_GE(d1.cpu_cycles, 0.0);
+    EXPECT_EQ(d1.cpu_cycles, d2.cpu_cycles) << "demand must be pure";
+    EXPECT_EQ(d1.accesses.size(), d2.accesses.size());
+    double bytes = 0.0;
+    for (const auto& a : d1.accesses) bytes += static_cast<double>(a.len);
+    EXPECT_GT(bytes + d1.cpu_cycles, 0.0) << loop.name;
+  }
+}
+
+TEST_P(KernelStructure, StreamSlicesStayInsideRegions) {
+  rt::Machine machine(tiny_params(4));
+  const auto prog = kernels::make_kernel(GetParam(), machine, {});
+  for (const auto& loop : prog.step_loops) {
+    for (const std::int64_t b : {std::int64_t{0}, loop.iterations / 2, loop.iterations - 1}) {
+      const auto d = loop.demand(b, std::min(loop.iterations, b + 16));
+      for (const auto& a : d.accesses) {
+        const auto& region = machine.regions().get(a.region);
+        EXPECT_LE(a.offset + a.len, region.bytes())
+            << loop.name << " range [" << b << ")";
+      }
+    }
+  }
+}
+
+TEST_P(KernelStructure, RunsQuicklyUnderBaseline) {
+  rt::Machine machine(tiny_params(5));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  kernels::KernelOptions opts;
+  opts.timesteps = 2;
+  opts.size_factor = 0.05;
+  const auto prog = kernels::make_kernel(GetParam(), machine, opts);
+  const auto t = prog.run(team);
+  EXPECT_GT(t, 0);
+  EXPECT_EQ(team.history().size(),
+            prog.init_loops.size() + 2 * prog.step_loops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelStructure,
+                         ::testing::ValuesIn(kernels::kernel_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(KernelOptions, TimestepsOverrideApplies) {
+  rt::Machine machine(tiny_params(6));
+  kernels::KernelOptions opts;
+  opts.timesteps = 7;
+  const auto prog = kernels::make_cg(machine, opts);
+  EXPECT_EQ(prog.timesteps, 7);
+}
+
+TEST(KernelOptions, SizeFactorScalesRegions) {
+  rt::Machine m1(tiny_params(7));
+  rt::Machine m2(tiny_params(7));
+  kernels::KernelOptions half;
+  half.size_factor = 0.5;
+  kernels::make_cg(m1, {});
+  kernels::make_cg(m2, half);
+  EXPECT_NEAR(static_cast<double>(m2.regions().get(0).bytes()),
+              static_cast<double>(m1.regions().get(0).bytes()) * 0.5,
+              static_cast<double>(m1.regions().get(0).bytes()) * 0.01);
+}
+
+// --- imbalance model ---------------------------------------------------------
+
+TEST(Imbalance, ZeroAmplitudeIsUnity) {
+  EXPECT_DOUBLE_EQ(kernels::imbalance_factor(1, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kernels::imbalance_factor_range(1, 0, 100, 0.0), 1.0);
+}
+
+TEST(Imbalance, WithinAmplitudeBounds) {
+  for (std::int64_t b = 0; b < 200; b += 8) {
+    const double f = kernels::imbalance_factor(42, b, 0.3);
+    EXPECT_GE(f, 0.7);
+    EXPECT_LE(f, 1.3);
+  }
+}
+
+TEST(Imbalance, MeanIsApproximatelyOne) {
+  double sum = 0.0;
+  const int n = 4096;
+  for (int b = 0; b < n; ++b) {
+    sum += kernels::imbalance_factor_range(7, b * 8, b * 8 + 8, 0.35);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Imbalance, ChunkingIndependence) {
+  // The total work of [0, 512) must not depend on how it is chunked.
+  const auto total = [&](std::int64_t chunk) {
+    double sum = 0.0;
+    for (std::int64_t b = 0; b < 512; b += chunk) {
+      sum += kernels::imbalance_factor_range(99, b, b + chunk, 0.35, 0.05, 3.0) *
+             static_cast<double>(chunk);
+    }
+    return sum;
+  };
+  EXPECT_NEAR(total(8), total(16), 1e-9);
+  EXPECT_NEAR(total(8), total(64), 1e-9);
+  EXPECT_NEAR(total(8), total(512), 1e-9);
+}
+
+TEST(Imbalance, TailsAppearAtTheConfiguredRate) {
+  int tails = 0;
+  const int n = 10'000;
+  for (int b = 0; b < n; ++b) {
+    const double f = kernels::imbalance_factor(5, b * 8, 0.0, 0.02, 3.0);
+    if (f > 2.0) ++tails;
+  }
+  EXPECT_NEAR(static_cast<double>(tails) / n, 0.02, 0.006);
+}
+
+TEST(Imbalance, DeterministicPerSeed) {
+  EXPECT_DOUBLE_EQ(kernels::imbalance_factor_range(3, 0, 64, 0.3, 0.02, 3.0),
+                   kernels::imbalance_factor_range(3, 0, 64, 0.3, 0.02, 3.0));
+  EXPECT_NE(kernels::imbalance_factor_range(3, 0, 64, 0.3),
+            kernels::imbalance_factor_range(4, 0, 64, 0.3));
+}
+
+}  // namespace

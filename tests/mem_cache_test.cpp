@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache_model.hpp"
+#include "topo/builder.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan::mem;
+using ilan::topo::CcdId;
+
+CacheModel make_cache(CacheParams p = {}) {
+  static const auto topo = ilan::topo::build(ilan::topo::presets::tiny_2n8c());
+  return CacheModel(topo, p);
+}
+
+constexpr std::uint64_t kBlock = 256 * 1024;
+
+TEST(CacheModel, ColdAccessMissesThenHits) {
+  auto cache = make_cache();
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{0}, 0, 0, 4 * kBlock), 0.0);
+  const double hit = cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  EXPECT_NEAR(hit, CacheParams{}.resident_hit_rate, 1e-9);
+}
+
+TEST(CacheModel, CcdsAreIndependent) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{1}, 0, 0, 4 * kBlock), 0.0);
+}
+
+TEST(CacheModel, RegionsAreDistinct) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{0}, 1, 0, 4 * kBlock), 0.0);
+}
+
+TEST(CacheModel, LruEvictsOldest) {
+  // tiny preset: 16 MB L3 -> 64 blocks per CCD; bypass above 48 blocks.
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 40 * kBlock);  // resident working set
+  cache.access(CcdId{0}, 1, 0, 32 * kBlock);  // evicts the 8 oldest of region 0
+  // The head of region 0 is gone, the tail survives.
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{0}, 0, 0, kBlock), 0.0);
+  EXPECT_GT(cache.access(CcdId{0}, 0, 39 * kBlock, kBlock), 0.0);
+}
+
+TEST(CacheModel, StreamingBypassDoesNotThrash) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 8 * kBlock);  // resident working set
+  // A huge streaming access (>75% of 64-block capacity) bypasses the LRU...
+  cache.access(CcdId{0}, 1, 0, 60 * kBlock);
+  // ...so the original working set still hits.
+  EXPECT_GT(cache.access(CcdId{0}, 0, 0, 8 * kBlock), 0.5);
+}
+
+TEST(CacheModel, PartialResidencyGivesFractionalHit) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 2 * kBlock);  // blocks 0,1 resident
+  const double h = cache.access(CcdId{0}, 0, 0, 4 * kBlock);  // probe 0..3
+  EXPECT_NEAR(h, 0.5 * CacheParams{}.resident_hit_rate, 1e-9);
+}
+
+TEST(CacheModel, InvalidateClearsOneCcd) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  cache.access(CcdId{1}, 0, 0, 4 * kBlock);
+  cache.invalidate(CcdId{0});
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{0}, 0, 0, 4 * kBlock), 0.0);
+  EXPECT_GT(cache.access(CcdId{1}, 0, 0, 4 * kBlock), 0.0);
+}
+
+TEST(CacheModel, CountsHitsAndProbes) {
+  auto cache = make_cache();
+  cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  cache.access(CcdId{0}, 0, 0, 4 * kBlock);
+  EXPECT_EQ(cache.probes(), 8u);
+  EXPECT_EQ(cache.hits(), 4u);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.probes(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheModel, ZeroLengthAccessIsFree) {
+  auto cache = make_cache();
+  EXPECT_DOUBLE_EQ(cache.access(CcdId{0}, 0, 0, 0), 0.0);
+  EXPECT_EQ(cache.probes(), 0u);
+}
+
+TEST(CacheModel, RejectsZeroBlockSize) {
+  CacheParams p;
+  p.block_bytes = 0;
+  EXPECT_THROW(make_cache(p), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// FlowNetwork (weighted max-min fairness) — unit and property tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mem/flow_network.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using ilan::mem::FlowNetwork;
+
+TEST(FlowNetwork, SingleFlowGetsItsCap) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(100.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(30.0, 1.0, cs);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.rate(0), 30.0);
+}
+
+TEST(FlowNetwork, SingleFlowLimitedByConstraint) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(20.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(30.0, 1.0, cs);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.rate(0), 20.0);
+}
+
+TEST(FlowNetwork, EqualFlowsShareEqually) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(90.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  for (int i = 0; i < 3; ++i) net.add_flow(100.0, 1.0, cs);
+  net.solve();
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(net.rate(i), 30.0, 1e-9);
+}
+
+TEST(FlowNetwork, CappedFlowReleasesResidualToOthers) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(90.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(10.0, 1.0, cs);   // capped below fair share
+  net.add_flow(100.0, 1.0, cs);  // takes the released residual
+  net.solve();
+  EXPECT_NEAR(net.rate(0), 10.0, 1e-9);
+  EXPECT_NEAR(net.rate(1), 80.0, 1e-9);
+}
+
+TEST(FlowNetwork, WeightConsumesMoreCapacityPerRate) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(90.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(1000.0, 1.0, cs);
+  net.add_flow(1000.0, 2.0, cs);  // remote-like: 2x occupancy
+  net.solve();
+  // Max-min on rates: both get the same rate r with r + 2r = 90.
+  EXPECT_NEAR(net.rate(0), 30.0, 1e-9);
+  EXPECT_NEAR(net.rate(1), 30.0, 1e-9);
+}
+
+TEST(FlowNetwork, MultiConstraintBottleneck) {
+  FlowNetwork net;
+  const auto wide = net.add_constraint(1000.0);
+  const auto narrow = net.add_constraint(10.0);
+  const FlowNetwork::ConstraintIdx both[] = {wide, narrow};
+  const FlowNetwork::ConstraintIdx only_wide[] = {wide};
+  net.add_flow(500.0, 1.0, both);
+  net.add_flow(500.0, 1.0, only_wide);
+  net.solve();
+  EXPECT_NEAR(net.rate(0), 10.0, 1e-9);   // pinned by narrow
+  EXPECT_NEAR(net.rate(1), 500.0, 1e-9);  // its cap; wide has room
+}
+
+TEST(FlowNetwork, FlowWithNoConstraintsGetsCap) {
+  FlowNetwork net;
+  net.add_flow(17.0, 1.0, {});
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.rate(0), 17.0);
+}
+
+TEST(FlowNetwork, ClearAllowsReuse) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(10.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(100.0, 1.0, cs);
+  net.solve();
+  net.clear();
+  EXPECT_EQ(net.num_flows(), 0);
+  EXPECT_EQ(net.num_constraints(), 0);
+  const auto c2 = net.add_constraint(50.0);
+  const FlowNetwork::ConstraintIdx cs2[] = {c2};
+  net.add_flow(100.0, 1.0, cs2);
+  net.solve();
+  EXPECT_DOUBLE_EQ(net.rate(0), 50.0);
+}
+
+TEST(FlowNetwork, RejectsBadInput) {
+  FlowNetwork net;
+  EXPECT_THROW(net.add_constraint(0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_constraint(-5.0), std::invalid_argument);
+  EXPECT_THROW(net.add_flow(0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(net.add_flow(1.0, 0.0, {}), std::invalid_argument);
+  const FlowNetwork::ConstraintIdx bad[] = {7};
+  EXPECT_THROW(net.add_flow(1.0, 1.0, bad), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests on random instances: feasibility (no constraint exceeded),
+// non-wastefulness (every flow is blocked by something), and the max-min
+// property (no flow can be raised without lowering a slower-or-equal flow).
+// ---------------------------------------------------------------------------
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class FlowNetworkProperty : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(FlowNetworkProperty, FeasibleNonWastefulMaxMin) {
+  ilan::sim::Xoshiro256ss rng(GetParam().seed);
+  FlowNetwork net;
+
+  const int nc = 2 + static_cast<int>(rng.below(6));
+  const int nf = 1 + static_cast<int>(rng.below(40));
+  std::vector<double> cap(static_cast<std::size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    cap[static_cast<std::size_t>(c)] = rng.uniform(10.0, 200.0);
+    net.add_constraint(cap[static_cast<std::size_t>(c)]);
+  }
+  std::vector<double> fcap(static_cast<std::size_t>(nf));
+  std::vector<double> weight(static_cast<std::size_t>(nf));
+  std::vector<std::vector<FlowNetwork::ConstraintIdx>> memb(static_cast<std::size_t>(nf));
+  for (int f = 0; f < nf; ++f) {
+    fcap[static_cast<std::size_t>(f)] = rng.uniform(1.0, 50.0);
+    weight[static_cast<std::size_t>(f)] = rng.uniform(1.0, 3.0);
+    const int k = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(std::min(nc, 3))));
+    std::vector<FlowNetwork::ConstraintIdx> cs;
+    for (int j = 0; j < k; ++j) {
+      const auto c = static_cast<FlowNetwork::ConstraintIdx>(rng.below(static_cast<std::uint64_t>(nc)));
+      if (std::find(cs.begin(), cs.end(), c) == cs.end()) cs.push_back(c);
+    }
+    memb[static_cast<std::size_t>(f)] = cs;
+    net.add_flow(fcap[static_cast<std::size_t>(f)], weight[static_cast<std::size_t>(f)], cs);
+  }
+  net.solve();
+
+  // Feasibility: weighted usage within capacity.
+  std::vector<double> used(static_cast<std::size_t>(nc), 0.0);
+  for (int f = 0; f < nf; ++f) {
+    EXPECT_GT(net.rate(f), 0.0);
+    EXPECT_LE(net.rate(f), fcap[static_cast<std::size_t>(f)] + 1e-6);
+    for (const auto c : memb[static_cast<std::size_t>(f)]) {
+      used[static_cast<std::size_t>(c)] += net.rate(f) * weight[static_cast<std::size_t>(f)];
+    }
+  }
+  for (int c = 0; c < nc; ++c) {
+    EXPECT_LE(used[static_cast<std::size_t>(c)], cap[static_cast<std::size_t>(c)] + 1e-6);
+  }
+
+  // Non-wastefulness + max-min: every flow is either at its own cap or in a
+  // constraint that is saturated; and in that saturated constraint it has
+  // the maximal rate among... (weighted max-min: all unfrozen freeze at the
+  // same level, so any flow below another flow's rate in the same saturated
+  // constraint must be capped elsewhere).
+  for (int f = 0; f < nf; ++f) {
+    if (net.rate(f) >= fcap[static_cast<std::size_t>(f)] - 1e-6) continue;
+    bool saturated_somewhere = false;
+    for (const auto c : memb[static_cast<std::size_t>(f)]) {
+      if (used[static_cast<std::size_t>(c)] >= cap[static_cast<std::size_t>(c)] - 1e-6) {
+        saturated_somewhere = true;
+      }
+    }
+    EXPECT_TRUE(saturated_somewhere) << "flow " << f << " blocked by nothing";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FlowNetworkProperty,
+                         ::testing::Values(RandomCase{1}, RandomCase{2}, RandomCase{3},
+                                           RandomCase{4}, RandomCase{5}, RandomCase{6},
+                                           RandomCase{7}, RandomCase{8}, RandomCase{9},
+                                           RandomCase{10}, RandomCase{11},
+                                           RandomCase{12}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace

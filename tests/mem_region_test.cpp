@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mem/data_region.hpp"
+
+namespace {
+
+using namespace ilan::mem;
+using ilan::topo::NodeId;
+
+constexpr std::uint64_t kMB = 1ull << 20;
+
+TEST(DataRegion, BlockPlacementCoversNodesContiguously) {
+  DataRegion r(0, "u", 64 * kMB, Placement::kBlock, 4, 2 * kMB);
+  EXPECT_EQ(r.num_pages(), 32u);
+  EXPECT_EQ(r.placed_pages(), 32u);
+  // First quarter on node 0, last quarter on node 3.
+  EXPECT_EQ(r.node_of(0), NodeId{0});
+  EXPECT_EQ(r.node_of(63 * kMB), NodeId{3});
+  for (const auto pages : r.pages_per_node()) EXPECT_EQ(pages, 8u);
+  // Monotone node ids along the address space.
+  NodeId prev{0};
+  for (std::uint64_t off = 0; off < 64 * kMB; off += 2 * kMB) {
+    const NodeId n = r.node_of(off);
+    EXPECT_GE(n.value(), prev.value());
+    prev = n;
+  }
+}
+
+TEST(DataRegion, InterleavePlacementRoundRobins) {
+  DataRegion r(0, "u", 16 * kMB, Placement::kInterleave, 4, 2 * kMB);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(r.node_of(p * 2 * kMB), NodeId{static_cast<std::int32_t>(p % 4)});
+  }
+}
+
+TEST(DataRegion, NodeBoundPlacement) {
+  DataRegion r(0, "u", 8 * kMB, Placement::kNodeBound, 4, 2 * kMB, NodeId{2});
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(r.node_of(p * 2 * kMB), NodeId{2});
+  }
+  EXPECT_THROW(DataRegion(0, "x", 8 * kMB, Placement::kNodeBound, 4, 2 * kMB),
+               std::invalid_argument);
+}
+
+TEST(DataRegion, FirstTouchPlacesLazily) {
+  DataRegion r(0, "u", 8 * kMB, Placement::kFirstTouch, 4, 2 * kMB);
+  EXPECT_EQ(r.placed_pages(), 0u);
+  EXPECT_FALSE(r.node_of(0).valid());
+  EXPECT_EQ(r.touch(0, 3 * kMB, NodeId{1}), 2u);  // pages 0,1
+  EXPECT_EQ(r.node_of(0), NodeId{1});
+  EXPECT_EQ(r.node_of(2 * kMB + 1), NodeId{1});
+  // Re-touch by another node does not move pages.
+  EXPECT_EQ(r.touch(0, 3 * kMB, NodeId{3}), 0u);
+  EXPECT_EQ(r.node_of(0), NodeId{1});
+  EXPECT_EQ(r.placed_pages(), 2u);
+}
+
+TEST(DataRegion, BytesByNodeSumsToLength) {
+  DataRegion r(0, "u", 64 * kMB, Placement::kBlock, 4, 2 * kMB);
+  std::vector<double> out(4, 0.0);
+  r.bytes_by_node(3 * kMB, 21 * kMB, out);
+  EXPECT_NEAR(std::accumulate(out.begin(), out.end(), 0.0),
+              static_cast<double>(21 * kMB), 1.0);
+}
+
+TEST(DataRegion, BytesByNodeAttributesUnplacedRoundRobin) {
+  DataRegion r(0, "u", 16 * kMB, Placement::kFirstTouch, 4, 2 * kMB);
+  std::vector<double> out(4, 0.0);
+  r.bytes_by_node(0, 16 * kMB, out);
+  EXPECT_NEAR(std::accumulate(out.begin(), out.end(), 0.0),
+              static_cast<double>(16 * kMB), 1.0);
+  // Round-robin attribution: all nodes get something.
+  for (const double b : out) EXPECT_GT(b, 0.0);
+}
+
+TEST(DataRegion, SpreadByHistogramFollowsPlacement) {
+  DataRegion r(0, "u", 16 * kMB, Placement::kFirstTouch, 4, 2 * kMB);
+  r.touch(0, 8 * kMB, NodeId{0});       // 4 pages on node 0
+  r.touch(8 * kMB, 4 * kMB, NodeId{2});  // 2 pages on node 2
+  std::vector<double> out(4, 0.0);
+  r.spread_by_histogram(600.0, out);
+  EXPECT_NEAR(out[0], 400.0, 1e-9);
+  EXPECT_NEAR(out[2], 200.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+}
+
+TEST(DataRegion, SpreadWithNothingPlacedIsUniform) {
+  DataRegion r(0, "u", 16 * kMB, Placement::kFirstTouch, 4, 2 * kMB);
+  std::vector<double> out(4, 0.0);
+  r.spread_by_histogram(100.0, out);
+  for (const double b : out) EXPECT_NEAR(b, 25.0, 1e-9);
+}
+
+TEST(DataRegion, OutOfRangeAccessThrows) {
+  DataRegion r(0, "u", 4 * kMB, Placement::kBlock, 2, 2 * kMB);
+  EXPECT_THROW(r.node_of(4 * kMB), std::out_of_range);
+  EXPECT_THROW(r.touch(3 * kMB, 2 * kMB, NodeId{0}), std::out_of_range);
+  std::vector<double> out(2, 0.0);
+  EXPECT_THROW(r.bytes_by_node(0, 5 * kMB, out), std::out_of_range);
+  std::vector<double> small(1, 0.0);
+  EXPECT_THROW(r.bytes_by_node(0, kMB, small), std::invalid_argument);
+}
+
+TEST(DataRegion, ResetPlacementRestoresPolicy) {
+  DataRegion ft(0, "u", 8 * kMB, Placement::kFirstTouch, 4, 2 * kMB);
+  ft.touch(0, 8 * kMB, NodeId{3});
+  EXPECT_EQ(ft.placed_pages(), 4u);
+  ft.reset_placement();
+  EXPECT_EQ(ft.placed_pages(), 0u);
+
+  DataRegion blk(1, "v", 8 * kMB, Placement::kBlock, 4, 2 * kMB);
+  blk.reset_placement();
+  EXPECT_EQ(blk.placed_pages(), 4u);  // block re-places eagerly
+}
+
+TEST(DataRegion, RejectsDegenerateArguments) {
+  EXPECT_THROW(DataRegion(0, "u", 0, Placement::kBlock, 4), std::invalid_argument);
+  EXPECT_THROW(DataRegion(0, "u", 8, Placement::kBlock, 0), std::invalid_argument);
+  EXPECT_THROW(DataRegion(0, "u", 8, Placement::kBlock, 4, 0), std::invalid_argument);
+}
+
+TEST(RegionTable, CreatesDenseIds) {
+  RegionTable t(4);
+  const auto a = t.create("a", kMB, Placement::kBlock);
+  const auto b = t.create("b", kMB, Placement::kInterleave);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.get(a).name(), "a");
+  EXPECT_EQ(t.get(b).policy(), Placement::kInterleave);
+}
+
+TEST(RegionTable, ResetPlacementPropagates) {
+  RegionTable t(2);
+  const auto a = t.create("a", 8 * kMB, Placement::kFirstTouch, 2 * kMB);
+  t.get(a).touch(0, 8 * kMB, NodeId{1});
+  EXPECT_GT(t.get(a).placed_pages(), 0u);
+  t.reset_placement();
+  EXPECT_EQ(t.get(a).placed_pages(), 0u);
+}
+
+}  // namespace

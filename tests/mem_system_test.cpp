@@ -1,0 +1,212 @@
+// MemorySystem: task execution timing under the fluid model.
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+#include "sim/engine.hpp"
+#include "topo/builder.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+using mem::AccessDescriptor;
+using mem::AccessKind;
+
+struct Fixture {
+  sim::Engine engine;
+  topo::Topology topo;
+  mem::RegionTable regions;
+  mem::MemorySystem ms;
+
+  explicit Fixture(mem::MemParams params = {}, topo::MachineSpec spec =
+                                                   topo::presets::tiny_2n8c())
+      : topo(topo::build(spec)),
+        regions(topo.num_nodes()),
+        ms(engine, topo, params, regions, nullptr) {}
+};
+
+// tiny_2n8c: 2 nodes x 4 cores, 3 GHz, core 20 GB/s, node 60 GB/s,
+// same-socket distance 12.
+
+TEST(MemorySystem, PureComputeDuration) {
+  Fixture f;
+  sim::SimTime done = -1;
+  f.ms.begin(topo::CoreId{0}, 3e9, {}, [&] { done = f.engine.now(); });
+  f.engine.run();
+  // 3e9 cycles at 3 GHz = 1 second.
+  EXPECT_NEAR(sim::to_seconds(done), 1.0, 1e-6);
+}
+
+TEST(MemorySystem, PureLocalStreamDuration) {
+  Fixture f;
+  const auto r = f.regions.create("u", 1u << 30, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  sim::SimTime done = -1;
+  const AccessDescriptor acc[] = {{r, 0, 200'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{0}, 0.0, acc, [&] { done = f.engine.now(); });
+  f.engine.run();
+  // 200 MB at the 20 GB/s core cap = 10 ms.
+  EXPECT_NEAR(sim::to_seconds(done), 0.010, 0.0005);
+}
+
+TEST(MemorySystem, RooflineTakesTheMax) {
+  Fixture f;
+  const auto r = f.regions.create("u", 1u << 30, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  // cpu: 60 ms; mem: 10 ms -> 60 ms total (overlapped).
+  sim::SimTime done = -1;
+  const AccessDescriptor acc[] = {{r, 0, 200'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{0}, 0.18e9, acc, [&] { done = f.engine.now(); });
+  f.engine.run();
+  EXPECT_NEAR(sim::to_seconds(done), 0.060, 0.001);
+}
+
+TEST(MemorySystem, RemoteStreamIsSlowerThanLocal) {
+  mem::MemParams p;
+  Fixture f(p);
+  const auto local = f.regions.create("l", 1u << 30, mem::Placement::kNodeBound,
+                                      2ull << 20, topo::NodeId{0});
+  const auto remote = f.regions.create("r", 1u << 30, mem::Placement::kNodeBound,
+                                       2ull << 20, topo::NodeId{1});
+  sim::SimTime t_local = 0;
+  sim::SimTime t_remote = 0;
+  {
+    const AccessDescriptor acc[] = {{local, 0, 100'000'000, AccessKind::kRead}};
+    sim::SimTime start = f.engine.now();
+    f.ms.begin(topo::CoreId{0}, 0.0, acc, [&] { t_local = f.engine.now() - start; });
+    f.engine.run();
+  }
+  {
+    const AccessDescriptor acc[] = {{remote, 0, 100'000'000, AccessKind::kRead}};
+    sim::SimTime start = f.engine.now();
+    f.ms.begin(topo::CoreId{0}, 0.0, acc, [&] { t_remote = f.engine.now() - start; });
+    f.engine.run();
+  }
+  EXPECT_GT(t_remote, t_local);
+  // (10/12)^0.22 efficiency: a few percent, not catastrophic.
+  EXPECT_LT(sim::to_seconds(t_remote), sim::to_seconds(t_local) * 1.2);
+}
+
+TEST(MemorySystem, ContentionSlowsConcurrentStreams) {
+  Fixture f;
+  const auto r = f.regions.create("u", 1u << 30, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  // One stream alone: 100 MB at 20 GB/s = 5 ms. Four streams on one 60 GB/s
+  // controller: 15 GB/s each minimum, plus congestion derating.
+  std::vector<sim::SimTime> done(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    const AccessDescriptor acc[] = {{r, 0, 100'000'000, AccessKind::kRead}};
+    f.ms.begin(topo::CoreId{c}, 0.0, acc,
+               [&done, c, &f] { done[static_cast<std::size_t>(c)] = f.engine.now(); });
+  }
+  f.engine.run();
+  for (const auto t : done) {
+    EXPECT_GT(sim::to_seconds(t), 0.0063);  // clearly slower than solo 5 ms
+    EXPECT_LT(sim::to_seconds(t), 0.02);
+  }
+}
+
+TEST(MemorySystem, GatherSlowsWithStreamPressure) {
+  // A gather alone vs a gather while 4 streams queue at the controllers.
+  const auto run_gather = [](bool with_streams) {
+    Fixture f;
+    const auto g = f.regions.create("g", 64u << 20, mem::Placement::kInterleave);
+    const auto s = f.regions.create("s", 1u << 30, mem::Placement::kInterleave);
+    if (with_streams) {
+      for (int c = 1; c < 4; ++c) {
+        const AccessDescriptor acc[] = {{s, 0, 500'000'000, AccessKind::kRead}};
+        f.ms.begin(topo::CoreId{c}, 0.0, acc, [] {});
+      }
+      for (int c = 4; c < 8; ++c) {
+        const AccessDescriptor acc[] = {{s, 0, 500'000'000, AccessKind::kRead}};
+        f.ms.begin(topo::CoreId{c}, 0.0, acc, [] {});
+      }
+    }
+    sim::SimTime done = -1;
+    const AccessDescriptor acc[] = {{g, 0, 10'000'000, AccessKind::kGather}};
+    f.ms.begin(topo::CoreId{0}, 0.0, acc, [&] { done = f.engine.now(); });
+    f.engine.run_until(sim::from_seconds(10));
+    return sim::to_seconds(done);
+  };
+  const double alone = run_gather(false);
+  const double contended = run_gather(true);
+  EXPECT_GT(alone, 0.0);
+  EXPECT_GT(contended, alone * 1.3) << "loaded latency must slow gathers";
+}
+
+TEST(MemorySystem, FirstTouchHappensOnAccess) {
+  Fixture f;
+  const auto r = f.regions.create("u", 64u << 20, mem::Placement::kFirstTouch);
+  EXPECT_EQ(f.regions.get(r).placed_pages(), 0u);
+  const AccessDescriptor acc[] = {{r, 0, 8u << 20, AccessKind::kWrite}};
+  f.ms.begin(topo::CoreId{5}, 0.0, acc, [] {});  // core 5 is on node 1
+  f.engine.run();
+  EXPECT_GT(f.regions.get(r).placed_pages(), 0u);
+  EXPECT_EQ(f.regions.get(r).node_of(0), topo::NodeId{1});
+}
+
+TEST(MemorySystem, CallbackFiresExactlyOnce) {
+  Fixture f;
+  int count = 0;
+  f.ms.begin(topo::CoreId{0}, 1e6, {}, [&] { ++count; });
+  f.engine.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(f.ms.active_executions(), 0u);
+}
+
+TEST(MemorySystem, TrafficStatsClassifyLocality) {
+  Fixture f;
+  const auto local = f.regions.create("l", 1u << 30, mem::Placement::kNodeBound,
+                                      2ull << 20, topo::NodeId{0});
+  const auto remote = f.regions.create("r", 1u << 30, mem::Placement::kNodeBound,
+                                       2ull << 20, topo::NodeId{1});
+  const AccessDescriptor acc[] = {{local, 0, 1'000'000, AccessKind::kRead},
+                                  {remote, 0, 2'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{0}, 0.0, acc, [] {});
+  f.engine.run();
+  EXPECT_NEAR(f.ms.traffic().local_bytes, 1e6, 1e4);
+  EXPECT_NEAR(f.ms.traffic().remote_bytes, 2e6, 1e4);
+  // tiny preset is single socket: no cross-socket traffic.
+  EXPECT_DOUBLE_EQ(f.ms.traffic().cross_socket_bytes, 0.0);
+}
+
+TEST(MemorySystem, ResetRunRequiresIdle) {
+  Fixture f;
+  f.ms.begin(topo::CoreId{0}, 1e9, {}, [] {});
+  EXPECT_THROW(f.ms.reset_run(), std::logic_error);
+  f.engine.run();
+  f.ms.reset_run();
+  EXPECT_DOUBLE_EQ(f.ms.traffic().total(), 0.0);
+}
+
+TEST(MemorySystem, SnapshotExposesActiveExecutions) {
+  Fixture f;
+  const auto r = f.regions.create("u", 1u << 30, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  const AccessDescriptor acc[] = {{r, 0, 100'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{2}, 1e9, acc, [] {});
+  f.engine.run_until(sim::from_ms(1));
+  const auto snap = f.ms.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].core, topo::CoreId{2});
+  EXPECT_GT(snap[0].cpu_remaining, 0.0);
+  ASSERT_EQ(snap[0].flows.size(), 1u);
+  EXPECT_GT(snap[0].flows[0].rate_bytes_per_s, 0.0);
+  f.engine.run();
+}
+
+TEST(MemorySystem, EmptyTaskCompletesImmediately) {
+  Fixture f;
+  sim::SimTime done = -1;
+  f.ms.begin(topo::CoreId{0}, 0.0, {}, [&] { done = f.engine.now(); });
+  f.engine.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(MemorySystem, RejectsBadArguments) {
+  Fixture f;
+  EXPECT_THROW(f.ms.begin(topo::CoreId{0}, -1.0, {}, [] {}), std::invalid_argument);
+  EXPECT_THROW(f.ms.begin(topo::CoreId{0}, 1.0, {}, nullptr), std::invalid_argument);
+}
+
+}  // namespace

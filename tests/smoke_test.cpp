@@ -1,0 +1,44 @@
+// End-to-end smoke: build the paper's machine, run a kernel under every
+// scheduler, and sanity-check the outcome.
+#include <gtest/gtest.h>
+
+#include "core/ilan_scheduler.hpp"
+#include "kernels/kernels.hpp"
+#include "rt/baseline_ws_scheduler.hpp"
+#include "rt/team.hpp"
+#include "rt/work_sharing_scheduler.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams small_machine(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.seed = seed;
+  return p;
+}
+
+TEST(Smoke, CgRunsUnderEveryScheduler) {
+  for (int which = 0; which < 3; ++which) {
+    rt::Machine machine(small_machine(42));
+    std::unique_ptr<rt::Scheduler> sched;
+    switch (which) {
+      case 0: sched = std::make_unique<rt::BaselineWsScheduler>(); break;
+      case 1: sched = std::make_unique<rt::WorkSharingScheduler>(); break;
+      default: sched = std::make_unique<core::IlanScheduler>(); break;
+    }
+    rt::Team team(machine, *sched);
+    kernels::KernelOptions opts;
+    opts.timesteps = 4;
+    opts.size_factor = 0.1;
+    const auto prog = kernels::make_cg(machine, opts);
+    const sim::SimTime t = prog.run(team);
+    EXPECT_GT(t, 0) << sched->name();
+    // init + 4 steps x 2 loops
+    EXPECT_EQ(team.history().size(), 1u + 4u * 2u) << sched->name();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "topo/builder.hpp"
+#include "topo/format.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan::topo;
+
+TEST(StrongId, BasicSemantics) {
+  const CoreId a{3};
+  const CoreId b{3};
+  const CoreId c{4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.value(), 3);
+  EXPECT_EQ(a.index(), 3u);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(CoreId::invalid().valid());
+}
+
+TEST(StrongId, Hashable) {
+  std::hash<CoreId> h;
+  EXPECT_EQ(h(CoreId{5}), h(CoreId{5}));
+  EXPECT_NE(h(CoreId{5}), h(CoreId{6}));
+}
+
+TEST(Builder, Zen4PresetShape) {
+  const auto topo = build(presets::zen4_epyc9354_2s());
+  EXPECT_EQ(topo.num_sockets(), 2);
+  EXPECT_EQ(topo.num_nodes(), 8);
+  EXPECT_EQ(topo.num_ccds(), 16);
+  EXPECT_EQ(topo.num_cores(), 64);
+  EXPECT_EQ(topo.cores_per_node(), 8);
+}
+
+TEST(Builder, HierarchyIsConsistent) {
+  const auto topo = build(presets::zen4_epyc9354_2s());
+  for (const auto& core : topo.cores()) {
+    const auto& ccd = topo.ccd(core.ccd);
+    EXPECT_EQ(ccd.node, core.node);
+    const auto& node = topo.node(core.node);
+    EXPECT_EQ(node.socket, core.socket);
+    // Core is listed by its ccd and node.
+    EXPECT_NE(std::find(ccd.cores.begin(), ccd.cores.end(), core.id), ccd.cores.end());
+    EXPECT_NE(std::find(node.cores.begin(), node.cores.end(), core.id),
+              node.cores.end());
+  }
+  for (const auto& node : topo.nodes()) {
+    EXPECT_EQ(node.cores.size(), 8u);
+    EXPECT_EQ(node.ccds.size(), 2u);
+    EXPECT_EQ(topo.node_of(node.primary_core), node.id);
+  }
+}
+
+TEST(Builder, DistancesFollowSlitConventions) {
+  const auto topo = build(presets::zen4_epyc9354_2s());
+  for (const auto& a : topo.nodes()) {
+    for (const auto& b : topo.nodes()) {
+      const double d = topo.distance(a.id, b.id);
+      if (a.id == b.id) {
+        EXPECT_EQ(d, 10.0);
+      } else if (a.socket == b.socket) {
+        EXPECT_EQ(d, 12.0);
+      } else {
+        EXPECT_EQ(d, 32.0);
+      }
+      // Symmetry.
+      EXPECT_EQ(d, topo.distance(b.id, a.id));
+    }
+  }
+}
+
+TEST(Builder, NodesByDistanceOrdering) {
+  const auto topo = build(presets::zen4_epyc9354_2s());
+  const auto order = topo.nodes_by_distance(NodeId{2});
+  ASSERT_EQ(order.size(), 8u);
+  // Self first, then same-socket nodes (0,1,3), then cross-socket.
+  EXPECT_EQ(order[0], NodeId{2});
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(topo.same_socket(order[static_cast<std::size_t>(i)], NodeId{2}))
+        << "position " << i;
+  }
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_FALSE(topo.same_socket(order[static_cast<std::size_t>(i)], NodeId{2}))
+        << "position " << i;
+  }
+  // Deterministic tie-break: ascending ids within each distance class.
+  EXPECT_EQ(order[1], NodeId{0});
+  EXPECT_EQ(order[2], NodeId{1});
+  EXPECT_EQ(order[3], NodeId{3});
+  EXPECT_EQ(order[4], NodeId{4});
+}
+
+TEST(Builder, TotalBandwidthSumsControllers) {
+  const auto spec = presets::zen4_epyc9354_2s();
+  const auto topo = build(spec);
+  EXPECT_DOUBLE_EQ(topo.total_mem_bw_gbps(), spec.node_bw_gbps * 8);
+}
+
+TEST(Builder, RejectsNonPositiveCounts) {
+  auto spec = presets::tiny_2n8c();
+  spec.sockets = 0;
+  EXPECT_THROW(build(spec), std::invalid_argument);
+  spec = presets::tiny_2n8c();
+  spec.cores_per_ccd = -1;
+  EXPECT_THROW(build(spec), std::invalid_argument);
+  spec = presets::tiny_2n8c();
+  spec.node_bw_gbps = 0.0;
+  EXPECT_THROW(build(spec), std::invalid_argument);
+  spec = presets::tiny_2n8c();
+  spec.dist_same_socket = 9.0;  // below SLIT local
+  EXPECT_THROW(build(spec), std::invalid_argument);
+}
+
+class PresetTest : public ::testing::TestWithParam<MachineSpec> {};
+
+TEST_P(PresetTest, BuildsAndValidates) {
+  const auto topo = build(GetParam());
+  EXPECT_EQ(topo.num_cores(), GetParam().total_cores());
+  EXPECT_EQ(topo.num_nodes(), GetParam().total_nodes());
+  EXPECT_GT(topo.cores_per_node(), 0);
+  // Every core reachable through ids.
+  for (int c = 0; c < topo.num_cores(); ++c) {
+    EXPECT_EQ(topo.core(CoreId{c}).id, CoreId{c});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
+                         ::testing::Values(presets::zen4_epyc9354_2s(),
+                                           presets::tiny_2n8c(),
+                                           presets::small_4n16c()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& ch : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Format, RoundTripsEveryField) {
+  const auto spec = presets::zen4_epyc9354_2s();
+  const auto parsed = ilan::topo::parse_machine_spec(serialize(spec));
+  EXPECT_EQ(parsed.name, spec.name);
+  EXPECT_EQ(parsed.sockets, spec.sockets);
+  EXPECT_EQ(parsed.nodes_per_socket, spec.nodes_per_socket);
+  EXPECT_EQ(parsed.ccds_per_node, spec.ccds_per_node);
+  EXPECT_EQ(parsed.cores_per_ccd, spec.cores_per_ccd);
+  EXPECT_DOUBLE_EQ(parsed.core_freq_ghz, spec.core_freq_ghz);
+  EXPECT_DOUBLE_EQ(parsed.core_bw_gbps, spec.core_bw_gbps);
+  EXPECT_DOUBLE_EQ(parsed.l3_mb_per_ccd, spec.l3_mb_per_ccd);
+  EXPECT_DOUBLE_EQ(parsed.node_mem_gb, spec.node_mem_gb);
+  EXPECT_DOUBLE_EQ(parsed.node_bw_gbps, spec.node_bw_gbps);
+  EXPECT_DOUBLE_EQ(parsed.node_latency_ns, spec.node_latency_ns);
+  EXPECT_DOUBLE_EQ(parsed.xlink_bw_gbps, spec.xlink_bw_gbps);
+  EXPECT_DOUBLE_EQ(parsed.dist_same_socket, spec.dist_same_socket);
+  EXPECT_DOUBLE_EQ(parsed.dist_cross_socket, spec.dist_cross_socket);
+}
+
+TEST(Format, AcceptsCommentsAndBlankLines) {
+  const auto spec = parse_machine_spec(
+      "# a machine\n"
+      "\n"
+      "name = demo   # trailing comment\n"
+      "sockets = 2\n");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.sockets, 2);
+}
+
+TEST(Format, RejectsUnknownKey) {
+  EXPECT_THROW(parse_machine_spec("socket_count = 2\n"), std::invalid_argument);
+}
+
+TEST(Format, RejectsMalformedLine) {
+  EXPECT_THROW(parse_machine_spec("sockets 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_machine_spec("sockets = two\n"), std::invalid_argument);
+  EXPECT_THROW(parse_machine_spec("sockets = \n"), std::invalid_argument);
+}
+
+TEST(Format, ReportsLineNumber) {
+  try {
+    parse_machine_spec("name = x\nbogus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Format, LoadMissingFileThrows) {
+  EXPECT_THROW(load_machine_spec("/nonexistent/machine.topo"), std::runtime_error);
+}
+
+}  // namespace

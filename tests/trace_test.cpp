@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/overhead.hpp"
+#include "trace/stats.hpp"
+#include "trace/table.hpp"
+
+namespace {
+
+using namespace ilan::trace;
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Summarize, QuantilesAndMoments) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p05, 5.95, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+}
+
+TEST(Summarize, EmptyIsZeroes) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Speedup, RatioAndValidation) {
+  EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);
+  EXPECT_THROW(speedup(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Overhead, ChargesAccumulatePerComponent) {
+  OverheadTracker t;
+  t.charge(OverheadComponent::kEnqueue, 100);
+  t.charge(OverheadComponent::kEnqueue, 50);
+  t.charge(OverheadComponent::kStealHit, 10);
+  EXPECT_EQ(t.total(OverheadComponent::kEnqueue), 150);
+  EXPECT_EQ(t.count(OverheadComponent::kEnqueue), 2u);
+  EXPECT_EQ(t.grand_total(), 160);
+  t.reset();
+  EXPECT_EQ(t.grand_total(), 0);
+  EXPECT_EQ(t.count(OverheadComponent::kEnqueue), 0u);
+}
+
+TEST(Overhead, ComponentNames) {
+  for (int c = 0; c < static_cast<int>(OverheadComponent::kCount); ++c) {
+    EXPECT_NE(to_string(static_cast<OverheadComponent>(c)), "unknown");
+  }
+}
+
+TEST(TableTest, AlignedOutputAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(1)[1], "22");
+}
+
+TEST(TableTest, FormattersAndValidation) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(1.132), "+13.2%");
+  EXPECT_EQ(Table::pct(0.975), "-2.5%");
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace

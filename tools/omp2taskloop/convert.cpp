@@ -1,0 +1,150 @@
+#include "omp2taskloop/convert.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace omp2taskloop {
+namespace {
+
+std::string_view ltrim(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return s.substr(i);
+}
+
+// Splits a clause list like "schedule(static, 4) private(i) nowait" into
+// top-level clauses (parenthesis-aware).
+std::vector<std::string> split_clauses(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if ((c == ' ' || c == '\t' || c == ',') && depth == 0) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string clause_head(const std::string& clause) {
+  const auto p = clause.find('(');
+  return p == std::string::npos ? clause : clause.substr(0, p);
+}
+
+}  // namespace
+
+Conversion convert(std::string_view source) {
+  Conversion result;
+  std::ostringstream out;
+
+  // Walk line by line, joining directive continuation lines.
+  std::size_t pos = 0;
+  int line_no = 0;
+  bool first = true;
+  while (pos <= source.size()) {
+    if (pos == source.size() && !first) break;
+    const auto nl = source.find('\n', pos);
+    std::string line(source.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos));
+    pos = (nl == std::string_view::npos) ? source.size() : nl + 1;
+    ++line_no;
+    const bool had_newline = nl != std::string_view::npos;
+    first = false;
+
+    const std::string_view trimmed = ltrim(line);
+    const std::string indent(line.substr(0, line.size() - trimmed.size()));
+
+    std::string_view rest = trimmed;
+    if (!rest.starts_with("#pragma")) {
+      out << line;
+      if (had_newline) out << '\n';
+      continue;
+    }
+    // Join continuation lines into `line`.
+    std::string directive(line);
+    while (!directive.empty() && directive.back() == '\\' && pos <= source.size()) {
+      directive.pop_back();
+      const auto nl2 = source.find('\n', pos);
+      const std::string cont(source.substr(
+          pos, nl2 == std::string_view::npos ? std::string_view::npos : nl2 - pos));
+      pos = (nl2 == std::string_view::npos) ? source.size() : nl2 + 1;
+      ++line_no;
+      directive += ' ';
+      directive += std::string(ltrim(cont));
+    }
+
+    std::string_view d = ltrim(directive);
+    d.remove_prefix(7);  // "#pragma"
+    d = ltrim(d);
+    if (!d.starts_with("omp")) {
+      out << directive;
+      if (had_newline || pos <= source.size()) out << '\n';
+      continue;
+    }
+    d.remove_prefix(3);
+    d = ltrim(d);
+
+    bool parallel_for = false;
+    bool plain_for = false;
+    if (d.starts_with("parallel")) {
+      auto after = ltrim(d.substr(8));
+      if (after.starts_with("for") &&
+          (after.size() == 3 || !(std::isalnum(static_cast<unsigned char>(after[3])) ||
+                                  after[3] == '_'))) {
+        parallel_for = true;
+        d = after.substr(3);
+      }
+    } else if (d.starts_with("for") &&
+               (d.size() == 3 || !(std::isalnum(static_cast<unsigned char>(d[3])) ||
+                                   d[3] == '_'))) {
+      plain_for = true;
+      d = d.substr(3);
+    }
+
+    if (!parallel_for && !plain_for) {
+      out << directive;
+      if (had_newline || pos <= source.size()) out << '\n';
+      continue;
+    }
+
+    // Translate the clause list.
+    std::string kept;
+    for (const auto& clause : split_clauses(d)) {
+      const std::string head = clause_head(clause);
+      if (head == "schedule" || head == "ordered") {
+        result.warnings.push_back("line " + std::to_string(line_no) + ": dropped '" +
+                                  clause + "' (not applicable to taskloop)");
+        continue;
+      }
+      if (head == "nowait" && parallel_for) {
+        result.warnings.push_back("line " + std::to_string(line_no) +
+                                  ": dropped 'nowait' (parallel for conversion)");
+        continue;
+      }
+      kept += ' ';
+      kept += clause;
+    }
+
+    if (parallel_for) {
+      out << indent << "#pragma omp parallel\n"
+          << indent << "#pragma omp single\n"
+          << indent << "#pragma omp taskloop" << kept << '\n';
+    } else {
+      out << indent << "#pragma omp taskloop" << kept << '\n';
+    }
+    ++result.loops_converted;
+  }
+
+  result.output = out.str();
+  return result;
+}
+
+}  // namespace omp2taskloop

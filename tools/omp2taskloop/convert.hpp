@@ -1,0 +1,33 @@
+// omp2taskloop — rewrites OpenMP work-sharing loop directives into taskloop
+// directives (the simple conversion tool the paper mentions using to adapt
+// data-parallel benchmarks for a tasking scheduler).
+//
+// Rewrites performed, preserving indentation and line structure:
+//   #pragma omp parallel for [clauses]
+//     -> #pragma omp parallel
+//        #pragma omp single
+//        #pragma omp taskloop [translated clauses]
+//   #pragma omp for [clauses]
+//     -> #pragma omp taskloop [translated clauses]
+//
+// Clause translation: schedule(...) and ordered are dropped (meaningless
+// for taskloop; a warning is recorded); nowait is preserved on plain `for`
+// conversions and dropped for `parallel for`; everything else passes
+// through. Continuation lines (trailing backslash) are handled.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omp2taskloop {
+
+struct Conversion {
+  std::string output;                 // rewritten source
+  int loops_converted = 0;            // directives rewritten
+  std::vector<std::string> warnings;  // dropped clauses etc., one per event
+};
+
+[[nodiscard]] Conversion convert(std::string_view source);
+
+}  // namespace omp2taskloop

@@ -1,0 +1,36 @@
+// omp2taskloop CLI: reads a source file (or stdin with "-"), writes the
+// converted source to stdout, warnings to stderr.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "omp2taskloop/convert.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: omp2taskloop <file.c|file.cpp|->\n"
+                 "Rewrites '#pragma omp (parallel) for' into taskloop form.\n";
+    return 2;
+  }
+  std::string source;
+  if (std::string_view(argv[1]) == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "omp2taskloop: cannot open " << argv[1] << '\n';
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  const auto result = omp2taskloop::convert(source);
+  std::cout << result.output;
+  for (const auto& w : result.warnings) std::cerr << "warning: " << w << '\n';
+  std::cerr << result.loops_converted << " loop directive(s) converted\n";
+  return 0;
+}
