@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sweeps.cpp" "bench/CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o" "gcc" "bench/CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ilan_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_study.dir/extensions_study.cpp.o"
+  "CMakeFiles/extensions_study.dir/extensions_study.cpp.o.d"
+  "extensions_study"
+  "extensions_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

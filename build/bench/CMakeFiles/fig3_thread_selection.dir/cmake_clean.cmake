@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_thread_selection.dir/fig3_thread_selection.cpp.o"
+  "CMakeFiles/fig3_thread_selection.dir/fig3_thread_selection.cpp.o.d"
+  "fig3_thread_selection"
+  "fig3_thread_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_thread_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

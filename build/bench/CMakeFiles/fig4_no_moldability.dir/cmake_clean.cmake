@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_no_moldability.dir/fig4_no_moldability.cpp.o"
+  "CMakeFiles/fig4_no_moldability.dir/fig4_no_moldability.cpp.o.d"
+  "fig4_no_moldability"
+  "fig4_no_moldability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_no_moldability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_work_sharing.dir/fig6_work_sharing.cpp.o"
+  "CMakeFiles/fig6_work_sharing.dir/fig6_work_sharing.cpp.o.d"
+  "fig6_work_sharing"
+  "fig6_work_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_work_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

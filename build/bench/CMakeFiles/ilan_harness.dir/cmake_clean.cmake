@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_harness.dir/harness.cpp.o"
+  "CMakeFiles/ilan_harness.dir/harness.cpp.o.d"
+  "libilan_harness.a"
+  "libilan_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

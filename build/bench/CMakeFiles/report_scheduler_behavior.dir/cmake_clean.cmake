@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_scheduler_behavior.dir/report_scheduler_behavior.cpp.o"
+  "CMakeFiles/report_scheduler_behavior.dir/report_scheduler_behavior.cpp.o.d"
+  "report_scheduler_behavior"
+  "report_scheduler_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_scheduler_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_width_sweep.dir/report_width_sweep.cpp.o"
+  "CMakeFiles/report_width_sweep.dir/report_width_sweep.cpp.o.d"
+  "report_width_sweep"
+  "report_width_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_width_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_variability.dir/table1_variability.cpp.o"
+  "CMakeFiles/table1_variability.dir/table1_variability.cpp.o.d"
+  "table1_variability"
+  "table1_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptt_inspector.dir/ptt_inspector.cpp.o"
+  "CMakeFiles/ptt_inspector.dir/ptt_inspector.cpp.o.d"
+  "ptt_inspector"
+  "ptt_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptt_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

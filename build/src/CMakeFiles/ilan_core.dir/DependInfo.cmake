@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/ilan_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/config_selector.cpp" "src/CMakeFiles/ilan_core.dir/core/config_selector.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/config_selector.cpp.o.d"
+  "/root/repo/src/core/distributor.cpp" "src/CMakeFiles/ilan_core.dir/core/distributor.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/distributor.cpp.o.d"
+  "/root/repo/src/core/ilan_scheduler.cpp" "src/CMakeFiles/ilan_core.dir/core/ilan_scheduler.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/ilan_scheduler.cpp.o.d"
+  "/root/repo/src/core/manual_scheduler.cpp" "src/CMakeFiles/ilan_core.dir/core/manual_scheduler.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/manual_scheduler.cpp.o.d"
+  "/root/repo/src/core/node_mask.cpp" "src/CMakeFiles/ilan_core.dir/core/node_mask.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/node_mask.cpp.o.d"
+  "/root/repo/src/core/ptt.cpp" "src/CMakeFiles/ilan_core.dir/core/ptt.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/ptt.cpp.o.d"
+  "/root/repo/src/core/steal_policy.cpp" "src/CMakeFiles/ilan_core.dir/core/steal_policy.cpp.o" "gcc" "src/CMakeFiles/ilan_core.dir/core/steal_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ilan_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_core.dir/core/config.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/config_selector.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/config_selector.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/distributor.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/distributor.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/ilan_scheduler.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/ilan_scheduler.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/manual_scheduler.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/manual_scheduler.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/node_mask.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/node_mask.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/ptt.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/ptt.cpp.o.d"
+  "CMakeFiles/ilan_core.dir/core/steal_policy.cpp.o"
+  "CMakeFiles/ilan_core.dir/core/steal_policy.cpp.o.d"
+  "libilan_core.a"
+  "libilan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

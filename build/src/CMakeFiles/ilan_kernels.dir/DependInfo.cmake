@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bt.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/bt.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/bt.cpp.o.d"
+  "/root/repo/src/kernels/cg.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/cg.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/cg.cpp.o.d"
+  "/root/repo/src/kernels/ft.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/ft.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/ft.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/lu.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/lu.cpp.o.d"
+  "/root/repo/src/kernels/lulesh.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/lulesh.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/lulesh.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/program.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/program.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/program.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/registry.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/registry.cpp.o.d"
+  "/root/repo/src/kernels/sp.cpp" "src/CMakeFiles/ilan_kernels.dir/kernels/sp.cpp.o" "gcc" "src/CMakeFiles/ilan_kernels.dir/kernels/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ilan_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_kernels.dir/kernels/bt.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/bt.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/cg.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/cg.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/ft.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/ft.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/lu.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/lu.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/lulesh.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/lulesh.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/matmul.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/matmul.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/program.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/program.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/registry.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/registry.cpp.o.d"
+  "CMakeFiles/ilan_kernels.dir/kernels/sp.cpp.o"
+  "CMakeFiles/ilan_kernels.dir/kernels/sp.cpp.o.d"
+  "libilan_kernels.a"
+  "libilan_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_model.cpp" "src/CMakeFiles/ilan_mem.dir/mem/cache_model.cpp.o" "gcc" "src/CMakeFiles/ilan_mem.dir/mem/cache_model.cpp.o.d"
+  "/root/repo/src/mem/data_region.cpp" "src/CMakeFiles/ilan_mem.dir/mem/data_region.cpp.o" "gcc" "src/CMakeFiles/ilan_mem.dir/mem/data_region.cpp.o.d"
+  "/root/repo/src/mem/flow_network.cpp" "src/CMakeFiles/ilan_mem.dir/mem/flow_network.cpp.o" "gcc" "src/CMakeFiles/ilan_mem.dir/mem/flow_network.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/CMakeFiles/ilan_mem.dir/mem/memory_system.cpp.o" "gcc" "src/CMakeFiles/ilan_mem.dir/mem/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ilan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_mem.dir/mem/cache_model.cpp.o"
+  "CMakeFiles/ilan_mem.dir/mem/cache_model.cpp.o.d"
+  "CMakeFiles/ilan_mem.dir/mem/data_region.cpp.o"
+  "CMakeFiles/ilan_mem.dir/mem/data_region.cpp.o.d"
+  "CMakeFiles/ilan_mem.dir/mem/flow_network.cpp.o"
+  "CMakeFiles/ilan_mem.dir/mem/flow_network.cpp.o.d"
+  "CMakeFiles/ilan_mem.dir/mem/memory_system.cpp.o"
+  "CMakeFiles/ilan_mem.dir/mem/memory_system.cpp.o.d"
+  "libilan_mem.a"
+  "libilan_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

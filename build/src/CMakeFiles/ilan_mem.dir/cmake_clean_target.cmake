@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilan_mem.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/baseline_ws_scheduler.cpp" "src/CMakeFiles/ilan_rt.dir/rt/baseline_ws_scheduler.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/baseline_ws_scheduler.cpp.o.d"
+  "/root/repo/src/rt/cost_model.cpp" "src/CMakeFiles/ilan_rt.dir/rt/cost_model.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/cost_model.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/ilan_rt.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/rt/task.cpp" "src/CMakeFiles/ilan_rt.dir/rt/task.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/task.cpp.o.d"
+  "/root/repo/src/rt/team.cpp" "src/CMakeFiles/ilan_rt.dir/rt/team.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/team.cpp.o.d"
+  "/root/repo/src/rt/work_sharing_scheduler.cpp" "src/CMakeFiles/ilan_rt.dir/rt/work_sharing_scheduler.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/work_sharing_scheduler.cpp.o.d"
+  "/root/repo/src/rt/ws_deque.cpp" "src/CMakeFiles/ilan_rt.dir/rt/ws_deque.cpp.o" "gcc" "src/CMakeFiles/ilan_rt.dir/rt/ws_deque.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ilan_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ilan_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_rt.dir/rt/baseline_ws_scheduler.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/baseline_ws_scheduler.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/cost_model.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/cost_model.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/runtime.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/runtime.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/task.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/task.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/team.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/team.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/work_sharing_scheduler.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/work_sharing_scheduler.cpp.o.d"
+  "CMakeFiles/ilan_rt.dir/rt/ws_deque.cpp.o"
+  "CMakeFiles/ilan_rt.dir/rt/ws_deque.cpp.o.d"
+  "libilan_rt.a"
+  "libilan_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/ilan_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/ilan_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/ilan_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/ilan_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/ilan_sim.dir/sim/rng.cpp.o.d"
+  "libilan_sim.a"
+  "libilan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

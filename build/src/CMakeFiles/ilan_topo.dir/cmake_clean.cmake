@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_topo.dir/topo/builder.cpp.o"
+  "CMakeFiles/ilan_topo.dir/topo/builder.cpp.o.d"
+  "CMakeFiles/ilan_topo.dir/topo/format.cpp.o"
+  "CMakeFiles/ilan_topo.dir/topo/format.cpp.o.d"
+  "CMakeFiles/ilan_topo.dir/topo/presets.cpp.o"
+  "CMakeFiles/ilan_topo.dir/topo/presets.cpp.o.d"
+  "CMakeFiles/ilan_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/ilan_topo.dir/topo/topology.cpp.o.d"
+  "libilan_topo.a"
+  "libilan_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/chrome_trace.cpp" "src/CMakeFiles/ilan_trace.dir/trace/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/ilan_trace.dir/trace/chrome_trace.cpp.o.d"
+  "/root/repo/src/trace/energy.cpp" "src/CMakeFiles/ilan_trace.dir/trace/energy.cpp.o" "gcc" "src/CMakeFiles/ilan_trace.dir/trace/energy.cpp.o.d"
+  "/root/repo/src/trace/overhead.cpp" "src/CMakeFiles/ilan_trace.dir/trace/overhead.cpp.o" "gcc" "src/CMakeFiles/ilan_trace.dir/trace/overhead.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/CMakeFiles/ilan_trace.dir/trace/stats.cpp.o" "gcc" "src/CMakeFiles/ilan_trace.dir/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/table.cpp" "src/CMakeFiles/ilan_trace.dir/trace/table.cpp.o" "gcc" "src/CMakeFiles/ilan_trace.dir/trace/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

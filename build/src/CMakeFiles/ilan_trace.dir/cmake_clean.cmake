@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilan_trace.dir/trace/chrome_trace.cpp.o"
+  "CMakeFiles/ilan_trace.dir/trace/chrome_trace.cpp.o.d"
+  "CMakeFiles/ilan_trace.dir/trace/energy.cpp.o"
+  "CMakeFiles/ilan_trace.dir/trace/energy.cpp.o.d"
+  "CMakeFiles/ilan_trace.dir/trace/overhead.cpp.o"
+  "CMakeFiles/ilan_trace.dir/trace/overhead.cpp.o.d"
+  "CMakeFiles/ilan_trace.dir/trace/stats.cpp.o"
+  "CMakeFiles/ilan_trace.dir/trace/stats.cpp.o.d"
+  "CMakeFiles/ilan_trace.dir/trace/table.cpp.o"
+  "CMakeFiles/ilan_trace.dir/trace/table.cpp.o.d"
+  "libilan_trace.a"
+  "libilan_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilan_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_flow.dir/mem_flow_test.cpp.o"
+  "CMakeFiles/test_mem_flow.dir/mem_flow_test.cpp.o.d"
+  "test_mem_flow"
+  "test_mem_flow.pdb"
+  "test_mem_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_region.dir/mem_region_test.cpp.o"
+  "CMakeFiles/test_mem_region.dir/mem_region_test.cpp.o.d"
+  "test_mem_region"
+  "test_mem_region.pdb"
+  "test_mem_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp2taskloop.dir/omp2taskloop_test.cpp.o"
+  "CMakeFiles/test_omp2taskloop.dir/omp2taskloop_test.cpp.o.d"
+  "test_omp2taskloop"
+  "test_omp2taskloop.pdb"
+  "test_omp2taskloop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp2taskloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_region[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_system[1]_include.cmake")
+include("/root/repo/build/tests/test_rt[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_omp2taskloop[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")

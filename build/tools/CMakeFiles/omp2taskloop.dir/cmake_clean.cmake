@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp2taskloop.dir/omp2taskloop/main.cpp.o"
+  "CMakeFiles/omp2taskloop.dir/omp2taskloop/main.cpp.o.d"
+  "omp2taskloop"
+  "omp2taskloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp2taskloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

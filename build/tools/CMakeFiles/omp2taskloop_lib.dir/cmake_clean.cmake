@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp2taskloop_lib.dir/omp2taskloop/convert.cpp.o"
+  "CMakeFiles/omp2taskloop_lib.dir/omp2taskloop/convert.cpp.o.d"
+  "libomp2taskloop_lib.a"
+  "libomp2taskloop_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp2taskloop_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomp2taskloop_lib.a"
+)
