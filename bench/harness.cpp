@@ -1,8 +1,17 @@
 #include "harness.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <unistd.h>
+
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "core/ilan_scheduler.hpp"
 #include "rt/baseline_ws_scheduler.hpp"
@@ -57,6 +66,7 @@ rt::MachineParams paper_machine(std::uint64_t seed) {
 
 RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
                    const kernels::KernelOptions& opts) {
+  const auto host_start = std::chrono::steady_clock::now();
   rt::Machine machine(paper_machine(seed));
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
@@ -85,6 +95,10 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
                        std::to_string(s->config.num_threads) + "/" +
                        (s->config.steal_policy == rt::StealPolicy::kStrict ? "s" : "f");
   }
+  r.events_fired = machine.engine().events_fired();
+  r.solver = machine.memory().solver_stats();
+  r.host_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
   return r;
 }
 
@@ -109,13 +123,154 @@ double Series::mean_overhead_s() const {
   return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
 }
 
+std::uint64_t Series::total_events_fired() const {
+  std::uint64_t n = 0;
+  for (const auto& r : runs) n += r.events_fired;
+  return n;
+}
+
+mem::SolverStats Series::solver_totals() const {
+  mem::SolverStats t;
+  for (const auto& r : runs) {
+    t.resolves += r.solver.resolves;
+    t.full_builds += r.solver.full_builds;
+    t.cap_updates += r.solver.cap_updates;
+    t.skipped += r.solver.skipped;
+  }
+  return t;
+}
+
+namespace {
+
+// Telemetry registry behind BENCH_<name>.json. run_many() appends one entry
+// per series; the file is written once, at process exit.
+struct BenchEntry {
+  std::string kernel;
+  std::string sched;
+  int runs = 0;
+  int jobs = 0;
+  double host_s = 0.0;
+  std::uint64_t events = 0;
+  mem::SolverStats solver;
+  trace::SampleSummary sim;
+};
+
+std::mutex g_bench_mutex;
+std::vector<BenchEntry>& bench_registry() {
+  static std::vector<BenchEntry> reg;
+  return reg;
+}
+
+std::string bench_name() {
+  if (const char* v = std::getenv("ILAN_BENCH_NAME")) return v;
+  // /proc/self/comm truncates to 15 chars; resolve the full executable name.
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    const std::string exe(buf);
+    const auto slash = exe.find_last_of('/');
+    const std::string base = slash == std::string::npos ? exe : exe.substr(slash + 1);
+    if (!base.empty()) return base;
+  }
+  return "bench";
+}
+
+void write_bench_json() {
+  std::lock_guard<std::mutex> lock(g_bench_mutex);
+  const auto& reg = bench_registry();
+  if (reg.empty()) return;
+  const std::string path = "BENCH_" + bench_name() + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": [", bench_name().c_str());
+  bool first = true;
+  for (const auto& e : reg) {
+    const double evps = e.host_s > 0.0 ? static_cast<double>(e.events) / e.host_s : 0.0;
+    std::fprintf(f,
+                 "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"runs\": %d, "
+                 "\"jobs\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
+                 "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
+                 "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
+                 "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
+                 "\"cap_updates\": %llu, \"skipped\": %llu}}",
+                 first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.runs, e.jobs,
+                 e.host_s, static_cast<unsigned long long>(e.events), evps, e.sim.mean,
+                 e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
+                 static_cast<unsigned long long>(e.solver.resolves),
+                 static_cast<unsigned long long>(e.solver.full_builds),
+                 static_cast<unsigned long long>(e.solver.cap_updates),
+                 static_cast<unsigned long long>(e.solver.skipped));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void register_series(const std::string& kernel, SchedKind kind, const Series& s, int jobs) {
+  if (const char* v = std::getenv("ILAN_BENCH_JSON"); v != nullptr && v[0] == '0') return;
+  std::lock_guard<std::mutex> lock(g_bench_mutex);
+  auto& reg = bench_registry();
+  if (reg.empty()) std::atexit(write_bench_json);
+  BenchEntry e;
+  e.kernel = kernel;
+  e.sched = to_string(kind);
+  e.runs = static_cast<int>(s.runs.size());
+  e.jobs = jobs;
+  e.host_s = s.host_s;
+  e.events = s.total_events_fired();
+  e.solver = s.solver_totals();
+  e.sim = s.time_summary();
+  reg.push_back(std::move(e));
+}
+
+}  // namespace
+
 Series run_many(const std::string& kernel, SchedKind kind, int runs,
                 std::uint64_t base_seed, const kernels::KernelOptions& opts) {
   Series s;
-  s.runs.reserve(static_cast<std::size_t>(runs));
-  for (int i = 0; i < runs; ++i) {
-    s.runs.push_back(run_once(kernel, kind, base_seed + 1000ull * (i + 1), opts));
+  if (runs <= 0) return s;
+  s.runs.resize(static_cast<std::size_t>(runs));
+  const auto t0 = std::chrono::steady_clock::now();
+  const int jobs = std::min(env_jobs(), runs);
+  // Seed and slot assignment are index-based, so results are identical to
+  // the sequential loop no matter how runs land on workers.
+  auto work = [&](int i) {
+    s.runs[static_cast<std::size_t>(i)] =
+        run_once(kernel, kind, base_seed + 1000ull * (static_cast<std::uint64_t>(i) + 1),
+                 opts);
+  };
+  if (jobs <= 1) {
+    for (int i = 0; i < runs; ++i) work(i);
+  } else {
+    std::atomic<int> next{0};
+    std::mutex err_mutex;
+    std::exception_ptr err;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= runs) return;
+          try {
+            work(i);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(err_mutex);
+              if (!err) err = std::current_exception();
+            }
+            next.store(runs, std::memory_order_relaxed);  // drain remaining work
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (err) std::rethrow_exception(err);
   }
+  s.host_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  register_series(kernel, kind, s, jobs);
   return s;
 }
 
@@ -125,6 +280,15 @@ int env_runs(int fallback) {
     if (n > 0) return n;
   }
   return fallback;
+}
+
+int env_jobs() {
+  if (const char* v = std::getenv("ILAN_BENCH_JOBS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
 kernels::KernelOptions env_kernel_options() {

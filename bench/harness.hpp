@@ -8,6 +8,15 @@
 //   ILAN_BENCH_RUNS       repetitions per (kernel, scheduler); default 30
 //   ILAN_BENCH_TIMESTEPS  override kernel timesteps (smaller = faster)
 //   ILAN_BENCH_SIZE       region size factor; default 1.0
+//   ILAN_BENCH_JOBS       run_many worker threads; default: hardware
+//                         concurrency (1 disables the pool)
+//   ILAN_BENCH_NAME       basename of the BENCH_<name>.json telemetry file;
+//                         default: the executable name
+//   ILAN_BENCH_JSON       set to 0 to disable telemetry output
+//
+// Every run_many() series is also recorded to a machine-readable telemetry
+// file BENCH_<name>.json in the working directory at process exit (schema:
+// DESIGN.md, "Hot paths and performance model").
 #pragma once
 
 #include <cstdint>
@@ -44,6 +53,10 @@ struct RunResult {
   double remote_bytes = 0.0;
   // Final configuration each step loop converged to: "name:threads/policy".
   std::string final_configs;
+  // Host-side cost of producing this run (perf telemetry, not results).
+  double host_s = 0.0;                 // wall-clock seconds for run_once
+  std::uint64_t events_fired = 0;      // engine events driven
+  mem::SolverStats solver;             // resolve-cache counters
 };
 
 [[nodiscard]] RunResult run_once(const std::string& kernel, SchedKind kind,
@@ -52,18 +65,28 @@ struct RunResult {
 
 struct Series {
   std::vector<RunResult> runs;
+  // Wall-clock seconds for the whole series (with the worker pool this is
+  // less than the sum of per-run host_s).
+  double host_s = 0.0;
   [[nodiscard]] std::vector<double> times() const;
   [[nodiscard]] trace::SampleSummary time_summary() const;
   [[nodiscard]] double mean_avg_threads() const;
   [[nodiscard]] double mean_overhead_s() const;
+  [[nodiscard]] std::uint64_t total_events_fired() const;
+  [[nodiscard]] mem::SolverStats solver_totals() const;
 };
 
+// Runs the series on a pool of ILAN_BENCH_JOBS worker threads (each run is
+// an independent single-threaded simulation). Seeds and result order are
+// identical to the sequential loop: run i always uses
+// base_seed + 1000 * (i + 1) and lands at runs[i].
 [[nodiscard]] Series run_many(const std::string& kernel, SchedKind kind, int runs,
                               std::uint64_t base_seed,
                               const kernels::KernelOptions& opts = {});
 
 // Environment-derived defaults.
 [[nodiscard]] int env_runs(int fallback = 30);
+[[nodiscard]] int env_jobs();
 [[nodiscard]] kernels::KernelOptions env_kernel_options();
 
 // All seven benchmarks in paper order.

@@ -59,6 +59,72 @@ void BM_FlowNetworkSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowNetworkSolve)->Arg(64)->Arg(256)->Arg(576);
 
+namespace paper_scale {
+// A MemorySystem-shaped problem at paper-machine scale: 8 memory
+// controllers, one core constraint per busy core (64 cores, 2 sockets),
+// cross-socket link constraints, and 2 flows per task (one local stream,
+// one remote stream crossing the link) — the structure resolve() builds.
+constexpr int kNodes = 8;
+constexpr int kCores = 64;
+
+int build(mem::FlowNetwork& net, int tasks) {
+  net.clear();
+  std::vector<mem::FlowNetwork::ConstraintIdx> ctrl;
+  for (int n = 0; n < kNodes; ++n) ctrl.push_back(net.add_constraint(90e9));
+  const auto link01 = net.add_constraint(152e9);
+  const auto link10 = net.add_constraint(152e9);
+  int flows = 0;
+  for (int t = 0; t < tasks; ++t) {
+    const int core = t % kCores;
+    const int home = core / (kCores / kNodes);
+    const int remote = (home + kNodes / 2) % kNodes;
+    const auto core_c = net.add_constraint(22e9);
+    const mem::FlowNetwork::ConstraintIdx local_cs[2] = {ctrl[static_cast<std::size_t>(home)],
+                                                         core_c};
+    net.add_flow(22e9, 1.0, local_cs);
+    ++flows;
+    const mem::FlowNetwork::ConstraintIdx remote_cs[3] = {
+        ctrl[static_cast<std::size_t>(remote)], core_c, home < kNodes / 2 ? link01 : link10};
+    net.add_flow(18e9, 1.3, remote_cs);
+    ++flows;
+  }
+  return flows;
+}
+}  // namespace paper_scale
+
+// Full rebuild + solve: the resolve() path when the active-flow set changed.
+void BM_FlowNetworkRebuildSolve(benchmark::State& state) {
+  const auto tasks = static_cast<int>(state.range(0));
+  mem::FlowNetwork net;
+  std::int64_t flows = 0;
+  for (auto _ : state) {
+    flows += paper_scale::build(net, tasks);
+    net.solve();
+    benchmark::DoNotOptimize(net.rate(0));
+  }
+  state.SetItemsProcessed(flows);
+}
+BENCHMARK(BM_FlowNetworkRebuildSolve)->Arg(16)->Arg(64);
+
+// Capacity refresh + solve on an unchanged structure: the resolve() path
+// when only congestion derates moved (MemorySystem's incremental cache).
+void BM_FlowNetworkCapUpdateSolve(benchmark::State& state) {
+  const auto tasks = static_cast<int>(state.range(0));
+  mem::FlowNetwork net;
+  std::int64_t flows = 0;
+  paper_scale::build(net, tasks);
+  double wobble = 0.0;
+  for (auto _ : state) {
+    wobble = wobble < 10e9 ? wobble + 1e9 : 0.0;
+    for (int n = 0; n < paper_scale::kNodes; ++n) net.set_capacity(n, 80e9 + wobble);
+    net.solve();
+    benchmark::DoNotOptimize(net.rate(0));
+    flows += net.num_flows();
+  }
+  state.SetItemsProcessed(flows);
+}
+BENCHMARK(BM_FlowNetworkCapUpdateSolve)->Arg(16)->Arg(64);
+
 void BM_PttRecordAndQuery(benchmark::State& state) {
   core::PerfTraceTable ptt;
   rt::LoopExecStats stats;
@@ -107,8 +173,47 @@ void BM_EngineThroughput(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(engine.run());
   }
+  state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineThroughput);
+
+// Steady-state schedule/fire churn on a long-lived engine — the actual
+// inner loop of a simulated run (one engine serves millions of events).
+// 64 self-rescheduling events, items/sec == events/sec.
+void BM_EngineSteadyState(benchmark::State& state) {
+  sim::Engine engine;
+  struct Resched {
+    sim::Engine* e;
+    void operator()() const { e->schedule_after(100, *this); }
+  };
+  for (int i = 0; i < 64; ++i) {
+    engine.schedule_at(i, Resched{&engine});
+  }
+  std::int64_t fired = 0;
+  std::int64_t limit = 0;
+  for (auto _ : state) {
+    limit += 100;
+    fired += static_cast<std::int64_t>(engine.run_until(limit));
+  }
+  state.SetItemsProcessed(fired);
+}
+BENCHMARK(BM_EngineSteadyState);
+
+// Schedule+cancel throughput, including the lazy heap drain of cancelled
+// entries (run_until at the current time pops them without firing).
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  sim::Engine engine;
+  std::vector<sim::EventId> ids(1024);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      ids[static_cast<std::size_t>(i)] = engine.schedule_after(1000 + i, [] {});
+    }
+    for (const auto id : ids) benchmark::DoNotOptimize(engine.cancel(id));
+    benchmark::DoNotOptimize(engine.run_until(engine.now()));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EngineScheduleCancel);
 
 void BM_MakeChunks(benchmark::State& state) {
   for (auto _ : state) {

@@ -43,6 +43,22 @@ FlowNetwork::FlowIdx FlowNetwork::add_flow(double cap, double weight,
   return static_cast<FlowIdx>(flow_cap_.size() - 1);
 }
 
+void FlowNetwork::set_capacity(ConstraintIdx c, double capacity) {
+  if (c < 0 || static_cast<std::size_t>(c) >= cap_.size()) {
+    throw std::out_of_range("FlowNetwork: bad constraint index");
+  }
+  if (capacity <= 0.0) throw std::invalid_argument("FlowNetwork: non-positive capacity");
+  cap_[static_cast<std::size_t>(c)] = capacity;
+}
+
+void FlowNetwork::set_flow_cap(FlowIdx f, double cap) {
+  if (f < 0 || static_cast<std::size_t>(f) >= flow_cap_.size()) {
+    throw std::out_of_range("FlowNetwork: bad flow index");
+  }
+  if (cap <= 0.0) throw std::invalid_argument("FlowNetwork: non-positive flow cap");
+  flow_cap_[static_cast<std::size_t>(f)] = cap;
+}
+
 void FlowNetwork::solve() {
   const std::size_t nf = flow_cap_.size();
   const std::size_t nc = cap_.size();

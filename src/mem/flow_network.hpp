@@ -36,6 +36,12 @@ class FlowNetwork {
   FlowIdx add_flow(double cap, double weight,
                    std::span<const ConstraintIdx> constraints);
 
+  // In-place updates for incremental re-solving: callers that keep the
+  // constraint/membership structure of a previous problem can refresh
+  // capacities and flow caps without rebuilding, then call solve() again.
+  void set_capacity(ConstraintIdx c, double capacity);
+  void set_flow_cap(FlowIdx f, double cap);
+
   [[nodiscard]] std::int32_t num_flows() const { return static_cast<std::int32_t>(flow_cap_.size()); }
   [[nodiscard]] std::int32_t num_constraints() const {
     return static_cast<std::int32_t>(cap_.size());

@@ -19,6 +19,7 @@
 //                   served at a reduced per-flow efficiency.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -84,6 +85,15 @@ struct TrafficStats {
   [[nodiscard]] double total() const { return local_bytes + remote_bytes; }
 };
 
+// Counters for the incremental resolve cache (host-side perf diagnostics).
+// resolves = full_builds + cap_updates + skipped.
+struct SolverStats {
+  std::uint64_t resolves = 0;     // resolve() invocations
+  std::uint64_t full_builds = 0;  // flow set changed: rebuild + solve
+  std::uint64_t cap_updates = 0;  // same flow set: capacity refresh + solve
+  std::uint64_t skipped = 0;      // flow set and caps unchanged: no solve
+};
+
 class MemorySystem {
  public:
   MemorySystem(sim::Engine& engine, const topo::Topology& topo, const MemParams& params,
@@ -100,6 +110,7 @@ class MemorySystem {
 
   [[nodiscard]] std::size_t active_executions() const { return active_.size(); }
   [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+  [[nodiscard]] const SolverStats& solver_stats() const { return solver_stats_; }
   [[nodiscard]] CacheModel& cache() { return cache_; }
   [[nodiscard]] RegionTable& regions() { return regions_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
@@ -146,9 +157,29 @@ class MemorySystem {
     sim::EventId completion_event = sim::kInvalidEvent;
   };
 
+  struct FlowRef {
+    ExecRecord* rec;
+    std::size_t idx;
+  };
+
+  // One cached max-min network, keyed by the structural signature it was
+  // built from (see the cache comment below).
+  struct NetCache {
+    std::vector<std::uint64_t> sig;
+    FlowNetwork net;
+    std::vector<std::int32_t> controller_nodes;  // nodes with a controller constraint
+    std::vector<FlowNetwork::ConstraintIdx> controller_cidx;  // parallel to ^
+    std::vector<double> controller_cap;                       // parallel to ^
+    std::vector<double> gather_cap;  // parallel to gather_refs_
+  };
+
   void build_flows(ExecRecord& rec, std::span<const AccessDescriptor> accesses);
   void schedule_resolve();
   void resolve();
+  void rebuild_refs();
+  void rebuild_network(NetCache& entry, const std::vector<double>& streams_on_controller);
+  [[nodiscard]] double gather_cap_for(const ExecRecord& rec,
+                                      const std::vector<double>& streams_on_controller) const;
   void advance(ExecRecord& rec, sim::SimTime now);
   [[nodiscard]] sim::SimTime eta(const ExecRecord& rec, sim::SimTime now) const;
   void complete(ExecId id);
@@ -166,9 +197,34 @@ class MemorySystem {
   TrafficStats traffic_;
 
   // Scratch buffers reused across resolves.
-  FlowNetwork net_;
   std::vector<double> stream_bytes_;
   std::vector<double> gather_bytes_;
+  std::vector<double> streams_scratch_;
+
+  // Incremental resolve cache. The constraint/membership structure of the
+  // max-min problem is a pure function of the *structural signature* —
+  // per active execution in order: its core, and per flow its source node,
+  // gather flag, active bit, and (gather only) the set of nodes with
+  // nonzero byte fractions. ExecIds are excluded on purpose, so a new task
+  // whose flow layout matches a cached network still hits. On a hit only
+  // controller capacities and gather flow caps can differ from the cached
+  // network, so it is refreshed in place (set_capacity/set_flow_cap) and
+  // re-solved — and when the refreshed values are exactly unchanged the
+  // solve is skipped outright (the solver is deterministic, so the cached
+  // rates are still exact).
+  //
+  // Several entries are kept (round-robin eviction) because resolve runs
+  // on every task start AND finish: the steady state alternates between
+  // "all cores busy" and "one core between tasks" structures, so the
+  // all-busy network would be rebuilt from scratch on every task boundary
+  // with only a single slot.
+  static constexpr std::size_t kNetCacheEntries = 4;
+  SolverStats solver_stats_;
+  std::vector<std::uint64_t> sig_scratch_;  // candidate signature
+  std::vector<FlowRef> refs_;               // active flows in network order
+  std::vector<std::size_t> gather_refs_;    // indices into refs_ of gather flows
+  std::array<NetCache, kNetCacheEntries> net_cache_;
+  std::size_t net_cache_victim_ = 0;
 };
 
 }  // namespace ilan::mem

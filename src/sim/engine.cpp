@@ -4,20 +4,96 @@
 
 namespace ilan::sim {
 
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t idx = free_head_;
+    Slot& s = slot(idx);
+    free_head_ = s.next_free;
+    s.next_free = kNoFreeSlot;
+    return idx;
+  }
+  if (num_slots_ == chunks_.size() * kChunkSlots) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+  }
+  return static_cast<std::uint32_t>(num_slots_++);
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.fn.reset();
+  // Bumping the generation invalidates every outstanding EventId for this
+  // slot; 0 is skipped on wraparound so no id ever equals kInvalidEvent.
+  if (++s.generation == 0) s.generation = 1;
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+void Engine::heap_push(const Entry& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  // Sift up, moving the hole instead of swapping.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_pop_min() {
+  // Bottom-up (Wegener) deletion: walk the hole from the root down the
+  // min-child path to a leaf, then drop the last element into the hole and
+  // sift it up. In event-driven workloads the last element is one of the
+  // most recently scheduled (and so among the latest) timestamps, so the
+  // sift-up almost never moves — this saves the compare-against-moved-key
+  // at every level that the textbook sift-down pays.
+  const std::size_t n = heap_.size() - 1;  // index of the last element
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = hole * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  if (hole != n) {
+    const Entry e = heap_[n];
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / kArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = e;
+  }
+  heap_.pop_back();
+}
+
 EventId Engine::schedule_at(SimTime at, Callback fn) {
-  if (at < now_) throw std::logic_error("Engine: scheduling into the past");
+  check_schedule(at);
   if (!fn) throw std::invalid_argument("Engine: null callback");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slot(idx);
+  s.fn = std::move(fn);
+  heap_push(Entry{at, next_seq_++, idx, s.generation});
   ++live_;
-  return id;
+  return (static_cast<EventId>(s.generation) << 32) | idx;
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= num_slots_ || slot(idx).generation != gen) return false;
+  release_slot(idx);  // heap entry removed lazily on pop
   --live_;
   return true;
 }
@@ -27,19 +103,25 @@ std::size_t Engine::run() { return run_until(INT64_MAX); }
 std::size_t Engine::run_until(SimTime limit) {
   std::size_t n = 0;
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      heap_.pop();  // cancelled
+    const Entry top = heap_.front();
+    Slot& s = slot(top.slot);
+    if (s.generation != top.generation) {
+      heap_pop_min();  // cancelled
       continue;
     }
     if (top.at > limit) break;
-    heap_.pop();
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    heap_pop_min();
+    // Two-phase release: invalidate the id now (a self-cancel from inside
+    // the callback must miss, and any new event in a reused slot must get
+    // a fresh generation), but keep the slot off the free list until the
+    // callback has finished running in place.
+    if (++s.generation == 0) s.generation = 1;
     --live_;
     now_ = top.at;
-    fn();
+    s.fn();
+    s.fn.reset();
+    s.next_free = free_head_;
+    free_head_ = top.slot;
     ++n;
     ++fired_;
   }
@@ -47,11 +129,16 @@ std::size_t Engine::run_until(SimTime limit) {
 }
 
 void Engine::reset() {
+  // Release live slots (bumping generations, so stale pre-reset ids can
+  // never match post-reset events); each live slot has exactly one entry.
+  for (const Entry& e : heap_) {
+    if (slot(e.slot).generation == e.generation) release_slot(e.slot);
+  }
+  heap_.clear();
   now_ = 0;
-  heap_ = {};
-  callbacks_.clear();
   live_ = 0;
   fired_ = 0;
+  next_seq_ = 1;
 }
 
 }  // namespace ilan::sim

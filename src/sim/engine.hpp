@@ -1,36 +1,217 @@
 // Discrete-event simulation engine.
 //
 // Single-threaded, deterministic: events at equal timestamps fire in
-// scheduling order (FIFO tie-break by sequence number). Events can be
-// cancelled; cancellation is O(1) (lazy removal on pop).
+// scheduling order (FIFO tie-break by a monotonic sequence number). Events
+// can be cancelled; cancellation is O(1) (lazy removal on pop).
+//
+// Hot-path design (this is the innermost loop of every simulated run):
+//   * Callbacks live in a slot pool (free list) instead of a hash map; an
+//     EventId is (generation << 32) | slot, so cancel() is an array index
+//     plus a generation compare, and stale handles from fired/cancelled
+//     events can never alias a reused slot.
+//   * Callback storage is small-buffer-optimized (`InlineCallback`): any
+//     capture list up to kInlineBytes is stored in place, so the common
+//     schedule/fire cycle performs zero heap allocations once the pool and
+//     heap have reached their high-water marks.
+//   * Slots live in fixed-size chunks at stable addresses, so firing
+//     invokes the callback in place — no move out of the pool. The slot's
+//     generation is bumped before the callback runs (stale ids, including
+//     self-cancel, miss) but it only joins the free list afterwards, so a
+//     callback scheduling new events can never overwrite the very functor
+//     that is executing.
+//   * The pending queue is an index-based d-ary (d=4) min-heap: shallower
+//     than a binary heap and cache-friendlier than std::priority_queue's
+//     pair-of-comparisons on a node type, with sift loops that move the
+//     hole instead of swapping.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace ilan::sim {
 
+// Move-only type-erased `void()` callable with inline storage for small
+// captures. Larger callables fall back to a single heap allocation.
+//
+// The common case — a lambda capturing pointers and integers — is
+// trivially copyable, so it moves as a plain memcpy of the buffer with no
+// manager dispatch and destructs for free (mgr_ == nullptr). Non-trivial
+// or heap-stored callables carry a manager table for relocate/destroy.
+class InlineCallback {
+ public:
+  // Large enough for the runtime's biggest capture list
+  // ([this, worker id, rt::Task]) with room to spare.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  // Destroys the current callable (if any) and constructs `f` in place —
+  // the zero-move path used by Engine::schedule_at's template overload.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { steal(o); }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void reset() noexcept {
+    if (mgr_ != nullptr) mgr_->destroy(buf_);
+    invoke_ = nullptr;
+    mgr_ = nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+ private:
+  template <typename F>
+  void construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>() && std::is_trivially_copyable_v<D> &&
+                  std::is_trivially_destructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+    } else if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      mgr_ = &mgr_inline<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &invoke_heap<D>;
+      mgr_ = &mgr_heap<D>;
+    }
+  }
+
+  struct Manager {
+    // Move-constructs into dst from src and destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* as(void* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static D* heap_ptr(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+
+  template <typename D>
+  static void invoke_inline(void* p) {
+    (*as<D>(p))();
+  }
+
+  template <typename D>
+  static void invoke_heap(void* p) {
+    (*heap_ptr<D>(p))();
+  }
+
+  template <typename D>
+  static constexpr Manager mgr_inline{
+      [](void* dst, void* src) {
+        ::new (dst) D(std::move(*as<D>(src)));
+        as<D>(src)->~D();
+      },
+      [](void* p) { as<D>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Manager mgr_heap{
+      [](void* dst, void* src) { ::new (dst) D*(heap_ptr<D>(src)); },
+      [](void* p) { delete heap_ptr<D>(p); },
+  };
+
+  void steal(InlineCallback& o) noexcept {
+    invoke_ = o.invoke_;
+    mgr_ = o.mgr_;
+    if (invoke_ != nullptr) {
+      if (mgr_ != nullptr) {
+        mgr_->relocate(buf_, o.buf_);
+      } else {
+        __builtin_memcpy(buf_, o.buf_, kInlineBytes);
+      }
+      o.invoke_ = nullptr;
+      o.mgr_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  const Manager* mgr_ = nullptr;
+};
+
+// (generation << 32) | slot index. Generations start at 1, so no valid id
+// is ever 0.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   [[nodiscard]] SimTime now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (must be >= now()).
   // Returns a handle usable with cancel().
+  //
+  // The template overload constructs the callable directly inside the
+  // event slot (no intermediate InlineCallback move); the Callback
+  // overload takes a pre-built callback, e.g. one moved from elsewhere.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback>>>
+  EventId schedule_at(SimTime at, F&& fn) {
+    check_schedule(at);
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    s.fn.emplace(std::forward<F>(fn));
+    heap_push(Entry{at, next_seq_++, idx, s.generation});
+    ++live_;
+    return (static_cast<EventId>(s.generation) << 32) | idx;
+  }
   EventId schedule_at(SimTime at, Callback fn);
 
   // Schedules `fn` to run `delay` after now().
-  EventId schedule_after(SimTime delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   // Cancels a pending event. Returns false if the event already fired,
@@ -46,26 +227,61 @@ class Engine {
   [[nodiscard]] bool idle() const { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_ - 1; }
 
-  // Resets time to zero and drops all pending events.
+  // Size of the slot pool (== high-water mark of concurrently pending
+  // events). Exposed for tests and diagnostics.
+  [[nodiscard]] std::size_t pool_slots() const { return num_slots_; }
+
+  // Resets time to zero and drops all pending events. Slot generations
+  // survive the reset so pre-reset EventIds stay invalid.
   void reset();
 
  private:
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoFreeSlot;
+  };
   struct Entry {
     SimTime at;
-    EventId id;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return id > o.id;  // FIFO among simultaneous events
-    }
+    std::uint64_t seq;  // FIFO tie-break among simultaneous events
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static constexpr std::size_t kArity = 4;        // d-ary heap fan-out
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) {
+    // Branchless on purpose: heap sift comparisons are data-dependent and
+    // mispredict heavily when written as an early-return chain.
+    return (a.at < b.at) | ((a.at == b.at) & (a.seq < b.seq));
+  }
+
+  [[nodiscard]] Slot& slot(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSlots - 1)];
+  }
+
+  void check_schedule(SimTime at) const {
+    if (at < now_) throw std::logic_error("Engine: scheduling into the past");
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void heap_push(const Entry& e);
+  void heap_pop_min();
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Entry> heap_;
+  // Chunked pool: slot addresses are stable for the engine's lifetime.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t num_slots_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace ilan::sim

@@ -1,0 +1,90 @@
+// Tests of the shared experiment harness, most importantly that the
+// run_many worker pool is invisible in the results: simulation outputs are
+// bit-for-bit identical no matter how many host threads produced them.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace ilan;
+
+kernels::KernelOptions small_opts() {
+  kernels::KernelOptions opts;
+  opts.timesteps = 2;
+  opts.size_factor = 0.25;
+  return opts;
+}
+
+void expect_bit_identical(const bench::Series& a, const bench::Series& b) {
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const auto& ra = a.runs[i];
+    const auto& rb = b.runs[i];
+    // Exact equality on purpose: each run is a deterministic function of
+    // its seed, so host-side parallelism must not perturb a single bit.
+    EXPECT_EQ(ra.total_s, rb.total_s) << "run " << i;
+    EXPECT_EQ(ra.avg_threads, rb.avg_threads) << "run " << i;
+    EXPECT_EQ(ra.overhead_s, rb.overhead_s) << "run " << i;
+    EXPECT_EQ(ra.steals_local, rb.steals_local) << "run " << i;
+    EXPECT_EQ(ra.steals_remote, rb.steals_remote) << "run " << i;
+    EXPECT_EQ(ra.local_bytes, rb.local_bytes) << "run " << i;
+    EXPECT_EQ(ra.remote_bytes, rb.remote_bytes) << "run " << i;
+    EXPECT_EQ(ra.final_configs, rb.final_configs) << "run " << i;
+    EXPECT_EQ(ra.events_fired, rb.events_fired) << "run " << i;
+    EXPECT_EQ(ra.solver.resolves, rb.solver.resolves) << "run " << i;
+    EXPECT_EQ(ra.solver.full_builds, rb.solver.full_builds) << "run " << i;
+    EXPECT_EQ(ra.solver.cap_updates, rb.solver.cap_updates) << "run " << i;
+    EXPECT_EQ(ra.solver.skipped, rb.solver.skipped) << "run " << i;
+  }
+}
+
+TEST(Harness, ParallelRunManyMatchesSequentialBitForBit) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  const auto opts = small_opts();
+
+  setenv("ILAN_BENCH_JOBS", "1", 1);
+  const auto seq = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  setenv("ILAN_BENCH_JOBS", "4", 1);
+  const auto par = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  // More workers than runs must also be harmless.
+  setenv("ILAN_BENCH_JOBS", "16", 1);
+  const auto over = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  unsetenv("ILAN_BENCH_JOBS");
+
+  expect_bit_identical(seq, par);
+  expect_bit_identical(seq, over);
+}
+
+TEST(Harness, RunManySeedsFollowRunIndex) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  const auto opts = small_opts();
+  setenv("ILAN_BENCH_JOBS", "2", 1);
+  const auto s = bench::run_many("ft", bench::SchedKind::kBaseline, 3, 42, opts);
+  unsetenv("ILAN_BENCH_JOBS");
+  ASSERT_EQ(s.runs.size(), 3u);
+  // runs[i] must be the run for seed 42 + 1000*(i+1), independent of which
+  // worker executed it.
+  for (std::size_t i = 0; i < s.runs.size(); ++i) {
+    const auto solo =
+        bench::run_once("ft", bench::SchedKind::kBaseline, 42 + 1000ull * (i + 1), opts);
+    EXPECT_EQ(s.runs[i].total_s, solo.total_s) << "run " << i;
+    EXPECT_EQ(s.runs[i].final_configs, solo.final_configs) << "run " << i;
+  }
+}
+
+TEST(Harness, SeriesAggregatesCoverAllRuns) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  const auto opts = small_opts();
+  const auto s = bench::run_many("ft", bench::SchedKind::kBaseline, 2, 9, opts);
+  EXPECT_GT(s.host_s, 0.0);
+  EXPECT_EQ(s.total_events_fired(), s.runs[0].events_fired + s.runs[1].events_fired);
+  const auto t = s.solver_totals();
+  EXPECT_EQ(t.resolves, s.runs[0].solver.resolves + s.runs[1].solver.resolves);
+  EXPECT_EQ(t.resolves, t.full_builds + t.cap_updates + t.skipped);
+  EXPECT_GT(t.resolves, 0u);
+}
+
+}  // namespace

@@ -104,6 +104,87 @@ TEST(Engine, ResetClearsEverything) {
   EXPECT_EQ(e.run(), 0u);
 }
 
+TEST(Engine, StaleIdOfReusedSlotDoesNotCancel) {
+  Engine e;
+  // Fire one event so its slot returns to the free list...
+  const auto stale = e.schedule_at(10, [] {});
+  e.run();
+  // ...then re-occupy it. The slot pool is LIFO, so the very next event
+  // reuses the slot, with a bumped generation.
+  int fired = 0;
+  const auto fresh = e.schedule_at(20, [&] { ++fired; });
+  EXPECT_EQ(static_cast<std::uint32_t>(stale), static_cast<std::uint32_t>(fresh));
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(e.cancel(stale));  // stale handle must miss the reused slot
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.cancel(fresh));  // already fired
+}
+
+TEST(Engine, SelfCancelFromCallbackIsNoop) {
+  Engine e;
+  EventId self = kInvalidEvent;
+  int fired = 0;
+  self = e.schedule_at(10, [&] {
+    ++fired;
+    EXPECT_FALSE(e.cancel(self));  // an executing event is no longer pending
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StressInterleavedScheduleCancelReset) {
+  Engine e;
+  Xoshiro256ss rng(2024);
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<EventId> pending;
+  std::vector<EventId> spent;  // fired or cancelled: must never cancel again
+  for (int round = 0; round < 50; ++round) {
+    for (int op = 0; op < 400; ++op) {
+      const auto r = rng.below(100);
+      if (r < 55 || pending.empty()) {
+        pending.push_back(
+            e.schedule_after(static_cast<SimTime>(1 + rng.below(500)), [&] { ++fired; }));
+      } else if (r < 80) {
+        const auto i = rng.below(static_cast<std::uint32_t>(pending.size()));
+        EXPECT_TRUE(e.cancel(pending[i]));
+        ++cancelled;
+        spent.push_back(pending[i]);
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        e.run_until(e.now() + static_cast<SimTime>(rng.below(300)));
+        // Cancel whatever survived the window; either way every handle is
+        // now spent and must stay dead.
+        for (const auto id : pending) {
+          if (e.cancel(id)) ++cancelled;
+          spent.push_back(id);
+        }
+        pending.clear();
+      }
+    }
+    // Stale handles (fired or cancelled) must stay dead even though their
+    // slots have long been reused.
+    for (const auto id : spent) EXPECT_FALSE(e.cancel(id));
+    e.run();
+    EXPECT_TRUE(e.idle());
+    EXPECT_EQ(e.pending(), 0u);
+    if (round % 10 == 9) {
+      e.reset();
+      EXPECT_EQ(e.now(), 0);
+      spent.clear();  // reset invalidates ids by generation bump, checked above
+    }
+    pending.clear();
+  }
+  EXPECT_GT(fired, 0u);
+  EXPECT_GT(cancelled, 0u);
+  // The pool's high-water mark is bounded by the max concurrently-pending
+  // events, not by the ~20k events scheduled over the test.
+  EXPECT_GT(e.pool_slots(), 0u);
+  EXPECT_LE(e.pool_slots(), 1024u);
+}
+
 TEST(Rng, SplitMix64ReferenceVector) {
   // Reference values for seed 1234567 from the SplitMix64 reference code.
   SplitMix64 sm(1234567);

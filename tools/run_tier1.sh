@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full ctest suite.
+#
+#   tools/run_tier1.sh                         # plain build in build/
+#   ILAN_SANITIZE=address tools/run_tier1.sh   # ASan build in build-asan/
+#   ILAN_SANITIZE=thread  tools/run_tier1.sh   # TSan build in build-tsan/
+#
+# Sanitized builds get their own build directory so they never dirty the
+# primary one. The TSan run is what keeps the bench harness's run_many
+# worker pool honest: the suite's parallel-vs-sequential determinism tests
+# execute under instrumentation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+san="${ILAN_SANITIZE:-}"
+case "$san" in
+  "")      build_dir=build ;;
+  address) build_dir=build-asan ;;
+  thread)  build_dir=build-tsan ;;
+  *) echo "ILAN_SANITIZE must be 'address' or 'thread', got '$san'" >&2; exit 2 ;;
+esac
+
+cmake -B "$build_dir" -S . ${san:+-DILAN_SANITIZE="$san"}
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
