@@ -10,7 +10,8 @@
 
 using namespace ilan;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "analysis/determinism.hpp"
+#include "analysis/race_auditor.hpp"
 #include "core/ilan_scheduler.hpp"
 #include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
@@ -64,14 +66,41 @@ rt::MachineParams paper_machine(std::uint64_t seed) {
   return p;
 }
 
+namespace {
+
+// ILAN_AUDIT is comma-separated; "all" switches everything on.
+bool audit_requested(const char* what) {
+  const char* v = std::getenv("ILAN_AUDIT");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  if (s.find("all") != std::string::npos) return true;
+  return s.find(what) != std::string::npos;
+}
+
+}  // namespace
+
 RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
                    const kernels::KernelOptions& opts) {
   const auto host_start = std::chrono::steady_clock::now();
   rt::Machine machine(paper_machine(seed));
+  machine.engine().set_digest_enabled(true);
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
+  std::unique_ptr<analysis::RaceAuditor> auditor;
+  if (audit_requested("race")) {
+    auditor = std::make_unique<analysis::RaceAuditor>(analysis::RaceAuditorOptions{},
+                                                      &machine.regions());
+    team.set_observer(auditor.get());
+  }
   const auto program = kernels::make_kernel(kernel, machine, opts);
   const sim::SimTime total = program.run(team);
+  if (auditor && !auditor->clean()) {
+    const auto& rep = auditor->reports().front();
+    throw std::runtime_error("ILAN_AUDIT: " + std::string(kernel) + "/" +
+                             to_string(kind) + ": " +
+                             std::string(analysis::to_string(rep.kind)) + ": " +
+                             rep.message);
+  }
 
   RunResult r;
   r.total_s = sim::to_seconds(total);
@@ -96,6 +125,7 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
                        (s->config.steal_policy == rt::StealPolicy::kStrict ? "s" : "f");
   }
   r.events_fired = machine.engine().events_fired();
+  r.event_digest = machine.engine().event_digest();
   r.solver = machine.memory().solver_stats();
   r.host_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
@@ -151,9 +181,18 @@ struct BenchEntry {
   int jobs = 0;
   double host_s = 0.0;
   std::uint64_t events = 0;
+  std::uint64_t digest = 0;  // order-independent fold of per-run digests
   mem::SolverStats solver;
   trace::SampleSummary sim;
 };
+
+// Per-run digests are folded commutatively so the series digest is identical
+// no matter how runs were scheduled onto the worker pool.
+std::uint64_t series_digest(const Series& s) {
+  std::uint64_t d = 0;
+  for (const auto& r : s.runs) d += sim::Engine::mix64(r.event_digest);
+  return d;
+}
 
 std::mutex g_bench_mutex;
 std::vector<BenchEntry>& bench_registry() {
@@ -190,12 +229,14 @@ void write_bench_json() {
     std::fprintf(f,
                  "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"runs\": %d, "
                  "\"jobs\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
+                 "\"digest\": \"%016llx\", "
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
                  "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
                  "\"cap_updates\": %llu, \"skipped\": %llu}}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.runs, e.jobs,
-                 e.host_s, static_cast<unsigned long long>(e.events), evps, e.sim.mean,
+                 e.host_s, static_cast<unsigned long long>(e.events),
+                 static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
                  e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
                  static_cast<unsigned long long>(e.solver.resolves),
                  static_cast<unsigned long long>(e.solver.full_builds),
@@ -219,6 +260,7 @@ void register_series(const std::string& kernel, SchedKind kind, const Series& s,
   e.jobs = jobs;
   e.host_s = s.host_s;
   e.events = s.total_events_fired();
+  e.digest = series_digest(s);
   e.solver = s.solver_totals();
   e.sim = s.time_summary();
   reg.push_back(std::move(e));
@@ -305,5 +347,154 @@ kernels::KernelOptions env_kernel_options() {
 }
 
 const std::vector<std::string>& benchmarks() { return kernels::kernel_names(); }
+
+namespace {
+
+// One traced, audited run for selfcheck(). The trace cap is generous (64M
+// entries ~ 1 GiB) because a truncated trace can only localise divergences
+// inside the captured prefix.
+constexpr std::size_t kSelfcheckTraceCap = std::size_t{1} << 26;
+
+struct TracedRun {
+  std::vector<sim::FiredEvent> trace;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  bool trace_truncated = false;
+  std::size_t audit_reports = 0;
+  std::string first_report;
+};
+
+TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t seed,
+                     const kernels::KernelOptions& opts, bool audit) {
+  rt::Machine machine(paper_machine(seed));
+  machine.engine().set_digest_enabled(true);
+  machine.engine().enable_trace(kSelfcheckTraceCap);
+  auto scheduler = make_scheduler(kind);
+  rt::Team team(machine, *scheduler);
+  analysis::RaceAuditor auditor(analysis::RaceAuditorOptions{}, &machine.regions());
+  if (audit) team.set_observer(&auditor);
+  const auto program = kernels::make_kernel(kernel, machine, opts);
+  (void)program.run(team);
+
+  TracedRun out;
+  out.trace = machine.engine().trace();
+  out.digest = machine.engine().event_digest();
+  out.events = machine.engine().events_fired();
+  out.trace_truncated = machine.engine().trace_truncated();
+  if (audit) {
+    out.audit_reports = auditor.reports().size();
+    if (!auditor.clean()) {
+      const auto& rep = auditor.reports().front();
+      out.first_report =
+          std::string(analysis::to_string(rep.kind)) + ": " + rep.message;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SelfcheckResult selfcheck(const std::string& kernel, SchedKind kind,
+                          std::uint64_t seed, const kernels::KernelOptions& opts) {
+  SelfcheckResult r;
+  r.kernel = kernel;
+  r.sched = to_string(kind);
+
+  // Run A carries the race auditor; run B is a bare re-execution so the
+  // digest comparison also covers "does observing the run perturb it".
+  const TracedRun a = traced_run(kernel, kind, seed, opts, /*audit=*/true);
+  const TracedRun b = traced_run(kernel, kind, seed, opts, /*audit=*/false);
+
+  r.digest_a = a.digest;
+  r.digest_b = b.digest;
+  r.events = a.events;
+  r.audit_reports = a.audit_reports;
+  r.first_report = a.first_report;
+  r.deterministic = a.digest == b.digest && a.events == b.events;
+  if (!r.deterministic) {
+    if (const auto div = analysis::compare_traces(a.trace, b.trace)) {
+      r.divergence = analysis::describe_divergence(*div);
+    } else {
+      // Digests differ but the captured prefixes agree: the divergence is
+      // past the trace cap.
+      r.divergence = a.trace_truncated || b.trace_truncated
+                         ? "divergence beyond trace capacity"
+                         : "digest mismatch with identical traces";
+    }
+  }
+  return r;
+}
+
+bool selfcheck_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--selfcheck") return true;
+  }
+  return false;
+}
+
+int selfcheck_main() {
+  kernels::KernelOptions opts = env_kernel_options();
+  // Default to a short run: selfcheck cares about determinism and audit
+  // cleanliness, not converged performance. ILAN_BENCH_TIMESTEPS overrides.
+  if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;
+
+  constexpr SchedKind kKinds[] = {SchedKind::kBaseline, SchedKind::kWorkSharing,
+                                  SchedKind::kIlan, SchedKind::kIlanNoMold};
+  int failures = 0;
+  std::printf("%-8s %-13s %10s %16s  %s\n", "kernel", "scheduler", "events",
+              "digest", "status");
+  for (const auto& kernel : benchmarks()) {
+    for (const SchedKind kind : kKinds) {
+      const SelfcheckResult r = selfcheck(kernel, kind, /*seed=*/42, opts);
+      std::printf("%-8s %-13s %10llu %016llx  %s\n", r.kernel.c_str(),
+                  r.sched.c_str(), static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.digest_a),
+                  r.ok() ? "ok" : "FAIL");
+      if (!r.deterministic) {
+        std::printf("  nondeterministic: digest %016llx vs %016llx; %s\n",
+                    static_cast<unsigned long long>(r.digest_a),
+                    static_cast<unsigned long long>(r.digest_b),
+                    r.divergence.c_str());
+      }
+      if (r.audit_reports != 0) {
+        std::printf("  %zu auditor report(s); first: %s\n", r.audit_reports,
+                    r.first_report.c_str());
+      }
+      if (!r.ok()) ++failures;
+    }
+  }
+
+  // run_many() must produce identical digests no matter how many pool
+  // workers execute the series (seeds and slots are index-based).
+  {
+    const char* old_jobs = std::getenv("ILAN_BENCH_JOBS");
+    const std::string saved = old_jobs == nullptr ? "" : old_jobs;
+    ::setenv("ILAN_BENCH_JOBS", "1", 1);
+    const Series seq = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
+    ::setenv("ILAN_BENCH_JOBS", "4", 1);
+    const Series par = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
+    if (old_jobs == nullptr) {
+      ::unsetenv("ILAN_BENCH_JOBS");
+    } else {
+      ::setenv("ILAN_BENCH_JOBS", saved.c_str(), 1);
+    }
+    bool jobs_ok = seq.runs.size() == par.runs.size();
+    if (jobs_ok) {
+      for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest;
+      }
+    }
+    std::printf("run_many jobs=1 vs jobs=4: digests %s\n",
+                jobs_ok ? "identical" : "DIFFER");
+    if (!jobs_ok) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("selfcheck: all runs deterministic and audit-clean\n");
+    return 0;
+  }
+  std::printf("selfcheck: %d failure(s)\n", failures);
+  return 1;
+}
 
 }  // namespace ilan::bench

@@ -57,6 +57,9 @@ struct RunResult {
   double host_s = 0.0;                 // wall-clock seconds for run_once
   std::uint64_t events_fired = 0;      // engine events driven
   mem::SolverStats solver;             // resolve-cache counters
+  // Streaming digest of the committed event stream (sim::Engine). Equal
+  // digests <=> bit-identical simulations; recorded for every run.
+  std::uint64_t event_digest = 0;
 };
 
 [[nodiscard]] RunResult run_once(const std::string& kernel, SchedKind kind,
@@ -91,5 +94,41 @@ struct Series {
 
 // All seven benchmarks in paper order.
 [[nodiscard]] const std::vector<std::string>& benchmarks();
+
+// --- correctness analysis (see src/analysis/) ----------------------------
+//
+// run_once additionally honours ILAN_AUDIT (comma-separated):
+//   race   attach the happens-before race auditor; any report throws
+//   all    everything above
+// The determinism digest is always recorded (one predicted branch per
+// event) and lands in RunResult::event_digest and the BENCH telemetry.
+
+// One determinism + race self-check: runs the seeded simulation twice with
+// the engine's event trace captured and the race auditor attached, compares
+// digests, and pins down the first divergent event on mismatch.
+struct SelfcheckResult {
+  std::string kernel;
+  std::string sched;
+  bool deterministic = false;
+  std::uint64_t digest_a = 0;
+  std::uint64_t digest_b = 0;
+  std::uint64_t events = 0;       // events fired per run
+  std::string divergence;         // first divergent event (empty when ok)
+  std::size_t audit_reports = 0;  // race/invariant reports from the auditor
+  std::string first_report;       // first auditor report (empty when clean)
+
+  [[nodiscard]] bool ok() const { return deterministic && audit_reports == 0; }
+};
+
+[[nodiscard]] SelfcheckResult selfcheck(const std::string& kernel, SchedKind kind,
+                                        std::uint64_t seed,
+                                        const kernels::KernelOptions& opts = {});
+
+// The --selfcheck harness mode shared by every figure binary: sweeps all
+// kernels x schedulers through selfcheck(), verifies run_many() digests are
+// identical across ILAN_BENCH_JOBS settings, prints a report, and returns a
+// process exit status (0 = everything deterministic and audit-clean).
+[[nodiscard]] bool selfcheck_requested(int argc, char** argv);
+int selfcheck_main();
 
 }  // namespace ilan::bench

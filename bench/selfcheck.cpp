@@ -1,0 +1,6 @@
+// Determinism + race-audit self-check over every kernel x scheduler pair.
+// Equivalent to passing --selfcheck to any figure binary; exists as its own
+// target so CI and run_tier1.sh have one canonical entry point.
+#include "harness.hpp"
+
+int main() { return ilan::bench::selfcheck_main(); }

@@ -1,0 +1,45 @@
+#include "analysis/determinism.hpp"
+
+#include "sim/event_tags.hpp"
+
+namespace ilan::analysis {
+
+std::optional<Divergence> compare_traces(std::span<const sim::FiredEvent> a,
+                                         std::span<const sim::FiredEvent> b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) {
+      return Divergence{i, a[i], b[i]};
+    }
+  }
+  if (a.size() != b.size()) {
+    Divergence d;
+    d.index = n;
+    if (n < a.size()) d.first = a[n];
+    if (n < b.size()) d.second = b[n];
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::string describe_event(const sim::FiredEvent& e) {
+  return "t=" + std::to_string(e.at) + "ps seq=" + std::to_string(e.seq) +
+         " tag=" + sim::tag_name(e.tag);
+}
+
+std::string describe_divergence(const Divergence& d) {
+  std::string out = "event streams diverge at event " + std::to_string(d.index) + ": ";
+  out += d.first ? "run A fired " + describe_event(*d.first)
+                 : "run A's stream ended";
+  out += d.second ? ", run B fired " + describe_event(*d.second)
+                  : ", run B's stream ended";
+  return out;
+}
+
+std::uint64_t digest_of(std::span<const sim::FiredEvent> trace) {
+  std::uint64_t d = 0;
+  for (const sim::FiredEvent& e : trace) d = sim::Engine::digest_step(d, e);
+  return d;
+}
+
+}  // namespace ilan::analysis

@@ -1,0 +1,45 @@
+// Determinism auditing: digest comparison and first-divergence reporting.
+//
+// The engine's opt-in audit state (Engine::set_digest_enabled /
+// enable_trace) produces a streaming 64-bit digest of the committed event
+// stream and, when tracing, the stream itself. Two runs of the same seeded
+// simulation must produce identical digests; when they do not, the traces
+// pin down the first divergent event — its simulated time, scheduling
+// order, and origin tag (sim/event_tags.hpp) name the subsystem that broke
+// determinism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace ilan::analysis {
+
+struct Divergence {
+  std::size_t index = 0;  // position in the event stream
+  // Events at `index`; nullopt when one stream ended early.
+  std::optional<sim::FiredEvent> first;
+  std::optional<sim::FiredEvent> second;
+};
+
+// First position where the two committed event streams differ, or nullopt
+// when one is a prefix of the other and both have equal length.
+[[nodiscard]] std::optional<Divergence> compare_traces(
+    std::span<const sim::FiredEvent> a, std::span<const sim::FiredEvent> b);
+
+// "t=1234ps seq=17 tag=task-start" — human-readable event identity.
+[[nodiscard]] std::string describe_event(const sim::FiredEvent& e);
+
+// One-line report of a divergence ("event streams diverge at event 42:
+// run A fired ..., run B fired ...").
+[[nodiscard]] std::string describe_divergence(const Divergence& d);
+
+// Recomputes the streaming digest from a trace; equals the engine's
+// event_digest() when the trace was not truncated. Lets tests validate the
+// digest definition independently of the engine.
+[[nodiscard]] std::uint64_t digest_of(std::span<const sim::FiredEvent> trace);
+
+}  // namespace ilan::analysis

@@ -1,0 +1,245 @@
+#include "analysis/race_auditor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "rt/team.hpp"
+#include "rt/worker.hpp"
+
+namespace ilan::analysis {
+
+namespace {
+
+[[nodiscard]] const char* kind_word(mem::AccessKind k) {
+  switch (k) {
+    case mem::AccessKind::kRead: return "read";
+    case mem::AccessKind::kWrite: return "write";
+    case mem::AccessKind::kGather: return "gather";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kDataRace: return "data-race";
+    case ReportKind::kMaskViolation: return "mask-violation";
+    case ReportKind::kStrictViolation: return "strict-violation";
+    case ReportKind::kReconfigOverlap: return "reconfig-overlap";
+    case ReportKind::kNestedLoop: return "nested-loop";
+  }
+  return "?";
+}
+
+void RaceAuditor::report(ReportKind kind, rt::LoopId loop, sim::SimTime when,
+                         std::string msg) {
+  if (reports_.size() >= opts_.max_reports) return;
+  reports_.push_back(Report{kind, loop, when, std::move(msg)});
+}
+
+std::string RaceAuditor::region_label(mem::RegionId id) const {
+  if (regions_ != nullptr && id >= 0 && static_cast<std::size_t>(id) < regions_->size()) {
+    return regions_->get(id).name();
+  }
+  return "region#" + std::to_string(id);
+}
+
+void RaceAuditor::clear() {
+  clocks_.clear();
+  creation_clock_ = VectorClock();
+  tasks_.clear();
+  worker_cur_.clear();
+  in_flight_ = 0;
+  in_flight_by_loop_.clear();
+  last_cfg_.clear();
+  reports_.clear();
+  counters_ = AuditCounters{};
+}
+
+void RaceAuditor::on_loop_begin(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                                const rt::Team& team, sim::SimTime now) {
+  const auto n = static_cast<std::size_t>(team.num_workers());
+  if (clocks_.size() != n) clocks_.assign(n, VectorClock(n));
+
+  if (opts_.check_invariants) {
+    if (in_flight_ > 0) {
+      report(ReportKind::kNestedLoop, spec.loop_id, now,
+             "loop " + std::to_string(spec.loop_id) + " '" + spec.name + "' began with " +
+                 std::to_string(in_flight_) + " task(s) still in flight");
+    }
+    const auto it = last_cfg_.find(spec.loop_id);
+    if (it != last_cfg_.end() && !(it->second == cfg) &&
+        in_flight_by_loop_[spec.loop_id] > 0) {
+      report(ReportKind::kReconfigOverlap, spec.loop_id, now,
+             "loop " + std::to_string(spec.loop_id) + " '" + spec.name +
+                 "' reconfigured (threads " + std::to_string(it->second.num_threads) +
+                 " -> " + std::to_string(cfg.num_threads) + ") while " +
+                 std::to_string(in_flight_by_loop_[spec.loop_id]) +
+                 " of its task(s) were in flight");
+    }
+    last_cfg_[spec.loop_id] = cfg;
+  }
+
+  cur_cfg_ = cfg;
+  cur_loop_ = spec.loop_id;
+  tasks_.clear();
+  worker_cur_.assign(n, -1);
+  // Spawn point: everything the encountering thread did so far (including
+  // the previous loop's barrier) happens-before every task of this loop.
+  if (!clocks_.empty()) {
+    clocks_[0].tick(0);
+    creation_clock_ = clocks_[0];
+  }
+  ++counters_.loops;
+}
+
+void RaceAuditor::on_task_start(const rt::Task& task, const rt::Worker& w,
+                                std::span<const mem::AccessDescriptor> accesses,
+                                sim::SimTime now) {
+  const auto wid = static_cast<std::size_t>(w.id);
+  if (wid >= clocks_.size()) return;  // loop_begin never observed
+
+  if (opts_.check_invariants) {
+    if (!cur_cfg_.node_mask.empty() && !cur_cfg_.node_mask.test(w.node)) {
+      report(ReportKind::kMaskViolation, cur_loop_, now,
+             "task [" + std::to_string(task.begin) + "," + std::to_string(task.end) +
+                 ") executed on node " + std::to_string(w.node.value()) +
+                 " outside the loop's NodeMask (bits 0x" +
+                 [&] {
+                   char buf[20];
+                   std::snprintf(buf, sizeof buf, "%llx",
+                                 static_cast<unsigned long long>(cur_cfg_.node_mask.bits()));
+                   return std::string(buf);
+                 }() +
+                 ")");
+    }
+    const bool off_home = task.home_node.valid() && task.home_node != w.node;
+    if (off_home && cur_cfg_.steal_policy == rt::StealPolicy::kStrict) {
+      report(ReportKind::kStrictViolation, cur_loop_, now,
+             "strict-policy loop executed task [" + std::to_string(task.begin) + "," +
+                 std::to_string(task.end) + ") on node " + std::to_string(w.node.value()) +
+                 " away from home node " + std::to_string(task.home_node.value()));
+    } else if (off_home && task.numa_strict) {
+      report(ReportKind::kStrictViolation, cur_loop_, now,
+             "numa-strict task [" + std::to_string(task.begin) + "," +
+                 std::to_string(task.end) + ") migrated to node " +
+                 std::to_string(w.node.value()) + " away from home node " +
+                 std::to_string(task.home_node.value()));
+    }
+  }
+
+  VectorClock& c = clocks_[wid];
+  c.join(creation_clock_);  // spawn (and steal) edge: creation -> start
+  c.tick(wid);
+
+  TaskRec rec;
+  rec.begin = task.begin;
+  rec.end = task.end;
+  rec.worker = w.id;
+  rec.start_clock = c;
+  if (opts_.check_races) rec.accesses.assign(accesses.begin(), accesses.end());
+  worker_cur_[wid] = static_cast<std::int32_t>(tasks_.size());
+  tasks_.push_back(std::move(rec));
+
+  ++counters_.tasks;
+  counters_.accesses += accesses.size();
+  ++in_flight_;
+  ++in_flight_by_loop_[cur_loop_];
+}
+
+void RaceAuditor::on_task_finish(const rt::Task& /*task*/, const rt::Worker& w,
+                                 sim::SimTime /*now*/) {
+  const auto wid = static_cast<std::size_t>(w.id);
+  if (wid >= clocks_.size()) return;
+  clocks_[wid].tick(wid);
+  if (wid < worker_cur_.size() && worker_cur_[wid] >= 0) {
+    tasks_[static_cast<std::size_t>(worker_cur_[wid])].finish_clock = clocks_[wid];
+    worker_cur_[wid] = -1;
+  }
+  if (in_flight_ > 0) --in_flight_;
+  auto& per_loop = in_flight_by_loop_[cur_loop_];
+  if (per_loop > 0) --per_loop;
+}
+
+void RaceAuditor::on_loop_end(const rt::TaskloopSpec& spec,
+                              const rt::LoopExecStats& /*stats*/, sim::SimTime loop_end) {
+  if (opts_.check_races) check_loop_races(spec, loop_end);
+  // Barrier edge: every worker's history happens-before everything after
+  // the loop, on every worker.
+  VectorClock joined(clocks_.empty() ? 0 : clocks_[0].size());
+  for (const VectorClock& c : clocks_) joined.join(c);
+  for (VectorClock& c : clocks_) c = joined;
+}
+
+void RaceAuditor::check_loop_races(const rt::TaskloopSpec& spec, sim::SimTime when) {
+  struct Acc {
+    mem::RegionId region;
+    std::uint64_t lo, hi;
+    mem::AccessKind kind;
+    std::int32_t task;
+  };
+  std::vector<Acc> accs;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    for (const mem::AccessDescriptor& a : tasks_[t].accesses) {
+      Acc acc;
+      acc.region = a.region;
+      acc.kind = a.kind;
+      acc.task = static_cast<std::int32_t>(t);
+      if (a.kind == mem::AccessKind::kGather) {
+        // Samples the whole region: a region-wide read.
+        acc.lo = 0;
+        acc.hi = (regions_ != nullptr && a.region >= 0 &&
+                  static_cast<std::size_t>(a.region) < regions_->size())
+                     ? regions_->get(a.region).bytes()
+                     : std::numeric_limits<std::uint64_t>::max();
+      } else {
+        acc.lo = a.offset;
+        acc.hi = a.offset + (a.footprint != 0 ? a.footprint : a.len);
+      }
+      if (acc.lo < acc.hi) accs.push_back(acc);
+    }
+  }
+  std::sort(accs.begin(), accs.end(), [](const Acc& a, const Acc& b) {
+    if (a.region != b.region) return a.region < b.region;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  });
+
+  std::set<std::pair<std::int32_t, std::int32_t>> reported;
+  for (std::size_t i = 0; i < accs.size(); ++i) {
+    if (reports_.size() >= opts_.max_reports) return;
+    for (std::size_t j = i + 1; j < accs.size(); ++j) {
+      const Acc& a = accs[i];
+      const Acc& b = accs[j];
+      if (b.region != a.region || b.lo >= a.hi) break;  // sorted by (region, lo)
+      if (a.task == b.task) continue;
+      const bool writes = a.kind == mem::AccessKind::kWrite ||
+                          b.kind == mem::AccessKind::kWrite;
+      if (!writes) continue;
+      const auto key = std::minmax(a.task, b.task);
+      if (reported.count(key) != 0) continue;
+      ++counters_.pairs_checked;
+      const TaskRec& ta = tasks_[static_cast<std::size_t>(a.task)];
+      const TaskRec& tb = tasks_[static_cast<std::size_t>(b.task)];
+      const bool ordered = ta.finish_clock.leq(tb.start_clock) ||
+                           tb.finish_clock.leq(ta.start_clock);
+      if (ordered) continue;
+      reported.insert(key);
+      report(ReportKind::kDataRace, spec.loop_id, when,
+             "data race: loop " + std::to_string(spec.loop_id) + " '" + spec.name +
+                 "': " + kind_word(a.kind) + " of " + region_label(a.region) + " [" +
+                 std::to_string(a.lo) + "," + std::to_string(a.hi) + ") by task [" +
+                 std::to_string(ta.begin) + "," + std::to_string(ta.end) + ")@w" +
+                 std::to_string(ta.worker) + " overlaps " + kind_word(b.kind) + " [" +
+                 std::to_string(b.lo) + "," + std::to_string(b.hi) + ") by task [" +
+                 std::to_string(tb.begin) + "," + std::to_string(tb.end) + ")@w" +
+                 std::to_string(tb.worker) + " with no happens-before edge");
+      if (reports_.size() >= opts_.max_reports) return;
+    }
+  }
+}
+
+}  // namespace ilan::analysis

@@ -1,0 +1,134 @@
+// Happens-before race auditor for simulated taskloop executions.
+//
+// Attached to a Team as its TaskObserver, the auditor maintains one vector
+// clock per worker and threads happens-before edges through the task
+// lifecycle the simulator commits:
+//
+//   spawn     — every task's creation (serial, on the encountering thread)
+//               happens-before its start, wherever it runs: tasks carry the
+//               encountering thread's clock at loop begin, and a starting
+//               worker joins it. Steals (intra- or cross-node) are starts
+//               on a non-home worker, so the same edge covers them.
+//   program   — consecutive tasks on one worker are ordered by that
+//               worker's ticking clock.
+//   barrier   — loop end joins every worker's clock into every other, so
+//               anything in loop k happens-before everything in loop k+1.
+//
+// Two accesses race when they come from tasks with concurrent clocks, at
+// least one is a write (kWrite, or first-touch placement implied by any
+// access), and their byte ranges on the same DataRegion overlap. Gather
+// accesses sample the whole region and are treated as region-wide reads.
+//
+// The auditor also asserts scheduler invariants at commit points:
+//   * a task never executes on a node outside the loop's NodeMask;
+//   * under StealPolicy::kStrict — and for any numa_strict task — a task
+//     never executes off its home node;
+//   * a loop never (re)configures while tasks are still in flight (PTT
+//     reconfiguration must not overlap executions of the same LoopId).
+//
+// Violations accumulate as Reports; the auditor never throws. Zero-cost
+// when not attached (Team's observer hook is a null check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/vector_clock.hpp"
+#include "mem/data_region.hpp"
+#include "rt/observer.hpp"
+
+namespace ilan::analysis {
+
+enum class ReportKind {
+  kDataRace,         // conflicting concurrent accesses to overlapping ranges
+  kMaskViolation,    // task executed on a node outside the loop's NodeMask
+  kStrictViolation,  // strict-policy loop / numa_strict task left its home node
+  kReconfigOverlap,  // loop reconfigured while its tasks were in flight
+  kNestedLoop,       // loop began while tasks (of any loop) were in flight
+};
+
+[[nodiscard]] const char* to_string(ReportKind kind);
+
+struct Report {
+  ReportKind kind = ReportKind::kDataRace;
+  rt::LoopId loop = 0;
+  sim::SimTime when = 0;
+  std::string message;
+};
+
+struct RaceAuditorOptions {
+  bool check_races = true;
+  bool check_invariants = true;
+  // Reports stop accumulating past this count (the first report is what
+  // matters; an unsynchronized loop would otherwise produce O(tasks^2)).
+  std::size_t max_reports = 64;
+};
+
+// Counters proving the auditor actually looked at something (a clean result
+// with zero tasks audited is a wiring bug, not a clean run).
+struct AuditCounters {
+  std::uint64_t loops = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t pairs_checked = 0;  // overlapping pairs tested for HB
+};
+
+class RaceAuditor final : public rt::TaskObserver {
+ public:
+  // `regions` (optional) resolves region names and gather extents; it must
+  // outlive the auditor when provided.
+  explicit RaceAuditor(RaceAuditorOptions opts = {},
+                       const mem::RegionTable* regions = nullptr)
+      : opts_(opts), regions_(regions) {}
+
+  void on_loop_begin(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                     const rt::Team& team, sim::SimTime now) override;
+  void on_task_start(const rt::Task& task, const rt::Worker& w,
+                     std::span<const mem::AccessDescriptor> accesses,
+                     sim::SimTime now) override;
+  void on_task_finish(const rt::Task& task, const rt::Worker& w,
+                      sim::SimTime now) override;
+  void on_loop_end(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
+                   sim::SimTime loop_end) override;
+
+  [[nodiscard]] const std::vector<Report>& reports() const { return reports_; }
+  [[nodiscard]] bool clean() const { return reports_.empty(); }
+  [[nodiscard]] const AuditCounters& counters() const { return counters_; }
+
+  // Drops reports, counters and all clock state (e.g. between runs).
+  void clear();
+
+ private:
+  struct TaskRec {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    int worker = -1;
+    VectorClock start_clock;
+    VectorClock finish_clock;
+    std::vector<mem::AccessDescriptor> accesses;
+  };
+
+  void report(ReportKind kind, rt::LoopId loop, sim::SimTime when, std::string msg);
+  void check_loop_races(const rt::TaskloopSpec& spec, sim::SimTime when);
+  [[nodiscard]] std::string region_label(mem::RegionId id) const;
+
+  RaceAuditorOptions opts_;
+  const mem::RegionTable* regions_;
+
+  std::vector<VectorClock> clocks_;  // one per worker
+  VectorClock creation_clock_;       // encountering thread at loop begin
+  rt::LoopConfig cur_cfg_;
+  rt::LoopId cur_loop_ = 0;
+  std::vector<TaskRec> tasks_;       // tasks of the current loop
+  std::vector<std::int32_t> worker_cur_;  // index into tasks_; -1 = idle
+  std::int64_t in_flight_ = 0;
+  std::unordered_map<rt::LoopId, std::int64_t> in_flight_by_loop_;
+  std::unordered_map<rt::LoopId, rt::LoopConfig> last_cfg_;
+
+  std::vector<Report> reports_;
+  AuditCounters counters_;
+};
+
+}  // namespace ilan::analysis

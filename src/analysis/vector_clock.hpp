@@ -1,0 +1,53 @@
+// Vector clocks over simulated workers.
+//
+// The race auditor tracks happens-before through task lifecycle edges
+// (spawn, per-worker program order, barrier). A clock has one component per
+// worker; the standard partial order applies: a <= b iff every component of
+// a is <= the matching component of b, and two clocks are concurrent when
+// neither ordering holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ilan::analysis {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t workers) : c_(workers, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+  [[nodiscard]] std::uint64_t component(std::size_t i) const { return c_[i]; }
+
+  void tick(std::size_t i) { ++c_[i]; }
+
+  // Elementwise max; grows to the larger dimension.
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+    }
+  }
+
+  // True when this clock happens-before-or-equals `o` (elementwise <=;
+  // missing components count as 0).
+  [[nodiscard]] bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      const std::uint64_t rhs = i < o.c_.size() ? o.c_[i] : 0;
+      if (c_[i] > rhs) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] static bool concurrent(const VectorClock& a, const VectorClock& b) {
+    return !a.leq(b) && !b.leq(a);
+  }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace ilan::analysis

@@ -99,7 +99,10 @@ rt::TaskloopSpec make_loop(const LoopShape& shape, const mem::RegionTable& regio
       auto len = static_cast<std::uint64_t>(
           static_cast<double>(end_off - off) * s.traffic_factor * factor);
       len = std::min<std::uint64_t>(std::max<std::uint64_t>(len, 1), s.bytes - off);
-      d.accesses.push_back(mem::AccessDescriptor{s.region, off, len, s.kind});
+      // len is traffic (imbalance can amplify it past the slice); the
+      // distinct bytes this task owns are exactly its slice [off, end_off).
+      d.accesses.push_back(
+          mem::AccessDescriptor{s.region, off, len, s.kind, end_off - off});
     }
     for (const auto& g : gathers) {
       const auto len = static_cast<std::uint64_t>(g.bytes_per_iter * n * factor);

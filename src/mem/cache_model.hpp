@@ -52,8 +52,14 @@ class CacheModel {
   };
   struct BlockKeyHash {
     std::size_t operator()(const BlockKey& k) const {
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.region)) << 40) ^ k.block);
+      // SplitMix64 finalizer: stdlib-independent (std::hash of an integer is
+      // the identity on libstdc++) and well mixed across buckets.
+      std::uint64_t z =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.region)) << 40) ^
+          k.block;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(z ^ (z >> 31));
     }
   };
   struct CcdCache {

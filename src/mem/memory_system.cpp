@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/event_tags.hpp"
+
 namespace ilan::mem {
 
 namespace {
@@ -182,10 +184,13 @@ void MemorySystem::build_flows(ExecRecord& rec,
 void MemorySystem::schedule_resolve() {
   if (resolve_pending_) return;
   resolve_pending_ = true;
-  engine_.schedule_after(0, [this] {
-    resolve_pending_ = false;
-    resolve();
-  });
+  engine_.schedule_after(
+      0,
+      [this] {
+        resolve_pending_ = false;
+        resolve();
+      },
+      sim::kTagMemResolve);
 }
 
 void MemorySystem::advance(ExecRecord& rec, sim::SimTime now) {
@@ -360,7 +365,8 @@ void MemorySystem::resolve() {
       done.push_back(id);
     } else {
       const ExecId eid = id;
-      rec.completion_event = engine_.schedule_at(eta(rec, now), [this, eid] { complete(eid); });
+      rec.completion_event = engine_.schedule_at(
+          eta(rec, now), [this, eid] { complete(eid); }, sim::kTagMemComplete);
     }
   }
   for (const ExecId id : done) complete(id);

@@ -40,8 +40,13 @@ enum class AccessKind { kRead, kWrite, kGather };
 struct AccessDescriptor {
   RegionId region = -1;
   std::uint64_t offset = 0;
-  std::uint64_t len = 0;
+  std::uint64_t len = 0;  // bytes moved (traffic; may exceed the footprint
+                          // when imbalance amplifies re-reads of hot lines)
   AccessKind kind = AccessKind::kRead;
+  // Distinct bytes addressed: [offset, offset+footprint). 0 means "same as
+  // len". The memory system charges traffic by len; the race auditor
+  // (src/analysis/) intersects footprints.
+  std::uint64_t footprint = 0;
 };
 
 struct MemParams {

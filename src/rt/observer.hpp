@@ -1,0 +1,50 @@
+// Task-lifecycle observation hook.
+//
+// A TaskObserver attached to a Team (Team::set_observer) sees every
+// semantic event of a taskloop execution — loop begin with the selected
+// configuration, each task's start (with its resolved memory accesses) and
+// finish, and the loop-end barrier. This is the seam the correctness
+// analysis layer (analysis::RaceAuditor) builds its happens-before model
+// on; it is dormant and costs nothing when no observer is attached.
+//
+// Hooks fire at simulated-time commit points, on the single host thread
+// that drives the engine. Observers must not mutate runtime state.
+#pragma once
+
+#include <span>
+
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+#include "sim/time.hpp"
+
+namespace ilan::rt {
+
+class Team;
+struct Worker;
+
+class TaskObserver {
+ public:
+  virtual ~TaskObserver() = default;
+
+  // Configuration fixed and workers activated; task creation is about to
+  // run serially on the encountering thread.
+  virtual void on_loop_begin(const TaskloopSpec& /*spec*/, const LoopConfig& /*cfg*/,
+                             const Team& /*team*/, sim::SimTime /*now*/) {}
+
+  // Task begins executing on `w`. `accesses` is the task's resolved memory
+  // demand (valid only for the duration of the call).
+  virtual void on_task_start(const Task& /*task*/, const Worker& /*w*/,
+                             std::span<const mem::AccessDescriptor> /*accesses*/,
+                             sim::SimTime /*now*/) {}
+
+  // Task finished executing on `w`.
+  virtual void on_task_finish(const Task& /*task*/, const Worker& /*w*/,
+                              sim::SimTime /*now*/) {}
+
+  // All tasks done and the team barrier has closed the loop; `stats` is the
+  // execution record that will enter the Team's history.
+  virtual void on_loop_end(const TaskloopSpec& /*spec*/, const LoopExecStats& /*stats*/,
+                           sim::SimTime /*loop_end*/) {}
+};
+
+}  // namespace ilan::rt

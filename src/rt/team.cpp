@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/event_tags.hpp"
+
 namespace ilan::rt {
 
 Team::Team(Machine& machine, Scheduler& scheduler, const TeamParams& params)
@@ -83,6 +85,9 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
     cur_cfg_.num_threads = num_workers();
   }
   activate_workers(cur_cfg_);
+  if (observer_ != nullptr) {
+    observer_->on_loop_begin(spec, cur_cfg_, *this, engine.now());
+  }
 
   // (2) Task creation + distribution, also serial.
   tasks_total_ = static_cast<std::int64_t>(
@@ -102,7 +107,8 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
       wake = sim::from_ns(costs_.params().wake_ns * machine_.noise().sched_jitter());
     }
     const int wid = w.id;
-    engine.schedule_at(work_start + wake, [this, wid] { worker_seek(wid); });
+    engine.schedule_at(work_start + wake, [this, wid] { worker_seek(wid); },
+                       sim::kTagWorkerWake);
   }
 
   engine.run();
@@ -133,6 +139,7 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
   stats.bytes_moved = traffic_after.total() - traffic_before.total();
   stats.remote_bytes_moved = traffic_after.remote_bytes - traffic_before.remote_bytes;
 
+  if (observer_ != nullptr) observer_->on_loop_end(spec, stats, loop_end_);
   scheduler_.loop_finished(spec, stats, *this);
 
   history_.push_back(std::move(stats));
@@ -146,7 +153,8 @@ void Team::worker_seek(int wid) {
   AcquireResult r = scheduler_.acquire(*this, w);
   if (r.task) {
     const Task task = *r.task;
-    machine_.engine().schedule_after(r.cost, [this, wid, task] { start_task(wid, task); });
+    machine_.engine().schedule_after(r.cost, [this, wid, task] { start_task(wid, task); },
+                                     sim::kTagTaskStart);
   } else {
     w.idle = true;
   }
@@ -158,6 +166,9 @@ void Team::start_task(int wid, const Task& task) {
   w.executing = true;
   const sim::SimTime exec_start = machine_.engine().now();
   TaskDemand demand = task.loop->demand(task.begin, task.end);
+  if (observer_ != nullptr) {
+    observer_->on_task_start(task, w, demand.accesses, exec_start);
+  }
   machine_.memory().begin(w.core, demand.cpu_cycles, demand.accesses,
                           [this, wid, task, exec_start] {
                             finish_task(wid, task, exec_start);
@@ -169,6 +180,9 @@ void Team::finish_task(int wid, const Task& task, sim::SimTime exec_start) {
   w.executing = false;
   w.busy += machine_.engine().now() - exec_start;
   w.iters += task.size();
+  if (observer_ != nullptr) {
+    observer_->on_task_finish(task, w, machine_.engine().now());
+  }
   if (tracer_ != nullptr) {
     trace::TaskEvent ev;
     ev.name = (task.loop != nullptr ? task.loop->name : std::string("task")) + "[" +
@@ -195,7 +209,8 @@ void Team::begin_loop_end() {
   }
   loop_done_ = true;
   loop_end_ = machine_.engine().now() + barrier;
-  machine_.engine().schedule_at(loop_end_, [] { /* barrier release */ });
+  machine_.engine().schedule_at(loop_end_, [] { /* barrier release */ },
+                                sim::kTagBarrierRelease);
 }
 
 void Team::serial_compute(double cpu_cycles,

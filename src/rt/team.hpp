@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "rt/cost_model.hpp"
+#include "rt/observer.hpp"
 #include "rt/runtime.hpp"
 #include "rt/scheduler.hpp"
 #include "rt/worker.hpp"
@@ -82,6 +83,11 @@ class Team {
   // is recorded (see trace/chrome_trace.hpp). Pass nullptr to detach.
   void set_tracer(trace::ChromeTraceWriter* tracer) { tracer_ = tracer; }
 
+  // Attach a task-lifecycle observer (see rt/observer.hpp) — the hook the
+  // correctness auditors use. Pass nullptr to detach.
+  void set_observer(TaskObserver* observer) { observer_ = observer; }
+  [[nodiscard]] TaskObserver* observer() const { return observer_; }
+
  private:
   // Marks workers active per the config: nodes in the mask contribute cores
   // in order until num_threads workers are active.
@@ -113,6 +119,7 @@ class Team {
 
   std::vector<LoopExecStats> history_;
   trace::ChromeTraceWriter* tracer_ = nullptr;
+  TaskObserver* observer_ = nullptr;
 };
 
 }  // namespace ilan::rt

@@ -78,12 +78,13 @@ void Engine::heap_pop_min() {
   heap_.pop_back();
 }
 
-EventId Engine::schedule_at(SimTime at, Callback fn) {
+EventId Engine::schedule_at(SimTime at, Callback fn, EventTag tag) {
   check_schedule(at);
   if (!fn) throw std::invalid_argument("Engine: null callback");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slot(idx);
   s.fn = std::move(fn);
+  s.tag = tag;
   heap_push(Entry{at, next_seq_++, idx, s.generation});
   ++live_;
   return (static_cast<EventId>(s.generation) << 32) | idx;
@@ -118,6 +119,7 @@ std::size_t Engine::run_until(SimTime limit) {
     if (++s.generation == 0) s.generation = 1;
     --live_;
     now_ = top.at;
+    commit_event(top.at, fired_, s.tag);
     s.fn();
     s.fn.reset();
     s.next_free = free_head_;
@@ -139,6 +141,9 @@ void Engine::reset() {
   live_ = 0;
   fired_ = 0;
   next_seq_ = 1;
+  digest_ = 0;
+  trace_.clear();
+  trace_truncated_ = false;
 }
 
 }  // namespace ilan::sim

@@ -183,6 +183,24 @@ class InlineCallback {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+// Tag naming an event's origin (see sim/event_tags.hpp for the registry).
+// Mixed into the determinism digest alongside timestamp and fire order;
+// 0 = untagged. Tags carry no engine semantics — they exist so a digest
+// divergence can be attributed to a subsystem.
+using EventTag = std::uint32_t;
+
+// One committed (fired) event, as captured by the opt-in event trace.
+// `seq` is the fire-order index (events committed before this one), NOT the
+// schedule-time sequence: scheduling and cancelling an event must leave the
+// committed stream — and so the digest — untouched.
+struct FiredEvent {
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  EventTag tag = 0;
+
+  friend bool operator==(const FiredEvent&, const FiredEvent&) = default;
+};
+
 class Engine {
  public:
   using Callback = InlineCallback;
@@ -197,21 +215,22 @@ class Engine {
   // overload takes a pre-built callback, e.g. one moved from elsewhere.
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback>>>
-  EventId schedule_at(SimTime at, F&& fn) {
+  EventId schedule_at(SimTime at, F&& fn, EventTag tag = 0) {
     check_schedule(at);
     const std::uint32_t idx = acquire_slot();
     Slot& s = slot(idx);
     s.fn.emplace(std::forward<F>(fn));
+    s.tag = tag;
     heap_push(Entry{at, next_seq_++, idx, s.generation});
     ++live_;
     return (static_cast<EventId>(s.generation) << 32) | idx;
   }
-  EventId schedule_at(SimTime at, Callback fn);
+  EventId schedule_at(SimTime at, Callback fn, EventTag tag = 0);
 
   // Schedules `fn` to run `delay` after now().
   template <typename F>
-  EventId schedule_after(SimTime delay, F&& fn) {
-    return schedule_at(now_ + delay, std::forward<F>(fn));
+  EventId schedule_after(SimTime delay, F&& fn, EventTag tag = 0) {
+    return schedule_at(now_ + delay, std::forward<F>(fn), tag);
   }
 
   // Cancels a pending event. Returns false if the event already fired,
@@ -234,14 +253,54 @@ class Engine {
   [[nodiscard]] std::size_t pool_slots() const { return num_slots_; }
 
   // Resets time to zero and drops all pending events. Slot generations
-  // survive the reset so pre-reset EventIds stay invalid.
+  // survive the reset so pre-reset EventIds stay invalid. The determinism
+  // digest and event trace restart from their initial state.
   void reset();
+
+  // --- determinism audit (opt-in; one predicted-not-taken branch per
+  // fired event when off) -------------------------------------------------
+  //
+  // Streaming 64-bit digest over the committed event stream: every fired
+  // event mixes (timestamp, schedule order, tag) into the running value.
+  // Two runs produce equal digests iff they fired the same event stream —
+  // same times, same scheduling order, same origins. Cancelled events never
+  // commit and are excluded by construction.
+  void set_digest_enabled(bool on) { digest_enabled_ = on; }
+  [[nodiscard]] bool digest_enabled() const { return digest_enabled_; }
+  [[nodiscard]] std::uint64_t event_digest() const { return digest_; }
+
+  // Captures the first `cap` fired events for divergence reporting (see
+  // analysis/determinism.hpp). cap == 0 disables capture.
+  void enable_trace(std::size_t cap) {
+    trace_cap_ = cap;
+    trace_.clear();
+    trace_truncated_ = false;
+    if (cap != 0) trace_.reserve(cap < 4096 ? cap : 4096);
+  }
+  [[nodiscard]] const std::vector<FiredEvent>& trace() const { return trace_; }
+  [[nodiscard]] bool trace_truncated() const { return trace_truncated_; }
+
+  // SplitMix64 finalizer — the digest's mixing primitive. Public so tests
+  // and the analysis layer can reproduce digests from traces.
+  [[nodiscard]] static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  [[nodiscard]] static constexpr std::uint64_t digest_step(std::uint64_t digest,
+                                                           const FiredEvent& e) {
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(e.at) + 0x9E3779B97F4A7C15ull);
+    h = mix64(h ^ e.seq);
+    h = mix64(h ^ e.tag);
+    return mix64(digest ^ h);
+  }
 
  private:
   struct Slot {
     Callback fn;
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNoFreeSlot;
+    EventTag tag = 0;
   };
   struct Entry {
     SimTime at;
@@ -273,10 +332,27 @@ class Engine {
   void heap_push(const Entry& e);
   void heap_pop_min();
 
+  void commit_event(SimTime at, std::uint64_t fire_index, EventTag tag) {
+    const FiredEvent ev{at, fire_index, tag};
+    if (digest_enabled_) digest_ = digest_step(digest_, ev);
+    if (trace_cap_ != 0) {
+      if (trace_.size() < trace_cap_) {
+        trace_.push_back(ev);
+      } else {
+        trace_truncated_ = true;
+      }
+    }
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   std::uint64_t fired_ = 0;
+  bool digest_enabled_ = false;
+  bool trace_truncated_ = false;
+  std::uint64_t digest_ = 0;
+  std::size_t trace_cap_ = 0;
+  std::vector<FiredEvent> trace_;
   std::vector<Entry> heap_;
   // Chunked pool: slot addresses are stable for the engine's lifetime.
   std::vector<std::unique_ptr<Slot[]>> chunks_;

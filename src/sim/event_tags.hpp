@@ -1,0 +1,41 @@
+// Registry of engine event tags.
+//
+// Every subsystem that schedules engine events stamps them with a tag from
+// this table. The engine mixes the tag into the determinism digest and the
+// opt-in event trace, so when two runs diverge the first differing event
+// names the subsystem that produced it (see analysis/determinism.hpp).
+//
+// Tags are append-only: digests are only comparable between binaries built
+// from the same tag table, so renumbering an existing tag silently changes
+// every digest.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace ilan::sim {
+
+inline constexpr EventTag kTagUntagged = 0;
+// rt::Team — worker wake-up after the serial loop prologue.
+inline constexpr EventTag kTagWorkerWake = 1;
+// rt::Team — worker resumes with an acquired task (post-acquire latency).
+inline constexpr EventTag kTagTaskStart = 2;
+// rt::Team — team barrier release at loop end.
+inline constexpr EventTag kTagBarrierRelease = 3;
+// mem::MemorySystem — deferred max-min rate resolve.
+inline constexpr EventTag kTagMemResolve = 4;
+// mem::MemorySystem — task execution completion.
+inline constexpr EventTag kTagMemComplete = 5;
+
+[[nodiscard]] constexpr const char* tag_name(EventTag tag) {
+  switch (tag) {
+    case kTagUntagged: return "untagged";
+    case kTagWorkerWake: return "worker-wake";
+    case kTagTaskStart: return "task-start";
+    case kTagBarrierRelease: return "barrier-release";
+    case kTagMemResolve: return "mem-resolve";
+    case kTagMemComplete: return "mem-complete";
+    default: return "unknown";
+  }
+}
+
+}  // namespace ilan::sim

@@ -1,0 +1,183 @@
+// ilan-lint rules: every rule must fire on a minimal violating snippet and
+// stay quiet on the equivalent clean code, suppressions and scoping must
+// work, and the rule table must match what lint_source can emit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ilan_lint/lint.hpp"
+
+namespace {
+
+using ilan::lint::Finding;
+using ilan::lint::in_scope;
+using ilan::lint::lint_source;
+using ilan::lint::lint_tree;
+using ilan::lint::rules;
+
+constexpr const char* kSimPath = "src/sim/example.cpp";
+
+bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintScope, OnlySimCoreRtMemArePoliced) {
+  EXPECT_TRUE(in_scope("src/sim/engine.cpp"));
+  EXPECT_TRUE(in_scope("src/core/ptt.hpp"));
+  EXPECT_TRUE(in_scope("src/rt/team.cpp"));
+  EXPECT_TRUE(in_scope("src/mem/flow_network.cpp"));
+  EXPECT_TRUE(in_scope("/abs/path/src/rt/team.cpp"));
+  EXPECT_FALSE(in_scope("src/trace/stats.cpp"));
+  EXPECT_FALSE(in_scope("bench/harness.cpp"));
+  EXPECT_FALSE(in_scope("tests/sim_test.cpp"));
+}
+
+TEST(LintScope, OutOfScopeFilesLintCleanEvenWithViolations) {
+  const auto fs = lint_source("bench/harness.cpp",
+                              "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRules, WallClockFires) {
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath, "auto t = std::chrono::steady_clock::now();\n"),
+      "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, "gettimeofday(&tv, nullptr);\n"),
+                       "wall-clock"));
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath, "clock_gettime(CLOCK_MONOTONIC, &ts);\n"),
+      "wall-clock"));
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, "SimTime t = engine.now();\n"),
+                        "wall-clock"));
+}
+
+TEST(LintRules, RandFires) {
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, "int x = rand() % 6;\n"), "rand"));
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, "std::mt19937_64 gen(seed);\n"),
+                       "rand"));
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, "std::random_device rd;\n"),
+                       "rand"));
+  // Identifiers merely *containing* a banned name are fine.
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, "int grand_total = 0;\n"), "rand"));
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, "Rng rng(seed); rng.next();\n"),
+                        "rand"));
+}
+
+TEST(LintRules, StdHashFires) {
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath, "auto h = std::hash<std::uint64_t>{}(x);\n"),
+      "std-hash"));
+  // A user-defined hash functor is fine; only std::hash is banned.
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, "auto h = BlockKeyHash{}(k);\n"),
+                        "std-hash"));
+}
+
+TEST(LintRules, UnorderedIterFires) {
+  const char* src =
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : m) use(k, v);\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, src), "unordered-iter"));
+
+  const char* begin_src =
+      "std::unordered_set<int> s;\n"
+      "auto it = s.begin();\n";
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, begin_src), "unordered-iter"));
+
+  // Lookup-only use of unordered containers is the supported pattern.
+  const char* lookup_src =
+      "std::unordered_map<int, int> m;\n"
+      "int g(int k) { return m.at(k); }\n"
+      "bool h(int k) { return m.find(k) != m.end(); }\n";
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, lookup_src), "unordered-iter"));
+
+  // Iterating an ordered container is fine.
+  const char* map_src =
+      "std::map<int, int> m;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : m) use(k, v);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source(kSimPath, map_src), "unordered-iter"));
+}
+
+TEST(LintRules, CallbackSboFires) {
+  // Default captures can grab arbitrarily much state.
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath, "engine.schedule_at(t, [=] { use(a, b); });\n"),
+      "callback-sbo"));
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath, "engine.schedule_after(d, [&] { use(a); });\n"),
+      "callback-sbo"));
+  // More than 8 explicit captures cannot fit the 64-byte inline buffer.
+  EXPECT_TRUE(has_rule(
+      lint_source(kSimPath,
+                  "engine.schedule_at(t, [a, b, c, d, e, f, g, h, i] {});\n"),
+      "callback-sbo"));
+  // Bounded explicit captures are the supported idiom.
+  EXPECT_FALSE(has_rule(
+      lint_source(kSimPath, "engine.schedule_at(t, [this, a] { go(a); });\n"),
+      "callback-sbo"));
+  // Lambdas outside schedule calls are unconstrained.
+  EXPECT_FALSE(has_rule(
+      lint_source(kSimPath, "auto fn = [=] { return a + b; };\n"),
+      "callback-sbo"));
+}
+
+TEST(LintSuppression, AllowCommentSilencesOneLine) {
+  const char* src =
+      "int a = rand();  // ilan-lint: allow(rand)\n"
+      "int b = rand();\n";
+  const auto fs = lint_source(kSimPath, src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].rule, "rand");
+}
+
+TEST(LintSuppression, AllowListCoversMultipleRules) {
+  const char* src =
+      "auto t = clock_gettime(c, &ts) + rand();"
+      "  // ilan-lint: allow(wall-clock,rand)\n";
+  EXPECT_TRUE(lint_source(kSimPath, src).empty());
+}
+
+TEST(LintSuppression, AllowForADifferentRuleDoesNotSilence) {
+  const char* src = "int a = rand();  // ilan-lint: allow(wall-clock)\n";
+  EXPECT_TRUE(has_rule(lint_source(kSimPath, src), "rand"));
+}
+
+TEST(LintLexer, CommentsAndStringsAreNotCode) {
+  EXPECT_TRUE(lint_source(kSimPath, "// call rand() here\n").empty());
+  EXPECT_TRUE(lint_source(kSimPath, "/* std::mt19937 gen; */\n").empty());
+  EXPECT_TRUE(
+      lint_source(kSimPath, "const char* s = \"rand() steady_clock\";\n").empty());
+}
+
+TEST(LintLexer, FindingsCarryFileAndLine) {
+  const auto fs = lint_source(kSimPath, "int x;\nint y = rand();\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, kSimPath);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_FALSE(fs[0].message.empty());
+}
+
+TEST(LintRuleTable, EveryRuleIsListedOnce) {
+  const auto& rs = rules();
+  ASSERT_EQ(rs.size(), 5u);
+  for (const char* name :
+       {"wall-clock", "rand", "unordered-iter", "std-hash", "callback-sbo"}) {
+    EXPECT_EQ(std::count_if(rs.begin(), rs.end(),
+                            [&](const auto& r) { return r.name == name; }),
+              1)
+        << name;
+    for (const auto& r : rs) EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(LintTree, WrongRootThrowsInsteadOfPassing) {
+  EXPECT_THROW((void)lint_tree("/nonexistent/path"), std::runtime_error);
+}
+
+}  // namespace

@@ -313,4 +313,105 @@ TEST(Noise, DisturbedCoreAppearsAtDocumentedRate) {
   EXPECT_LT(disturbed, trials / 10);
 }
 
+// --- determinism digest and event trace ------------------------------------
+
+TEST(EngineDigest, IdenticalSchedulesYieldIdenticalDigests) {
+  auto run = [] {
+    Engine e;
+    e.set_digest_enabled(true);
+    e.schedule_at(100, [] {}, 7);
+    e.schedule_at(200, [] {}, 8);
+    e.schedule_at(200, [] {}, 9);
+    e.run();
+    return e.event_digest();
+  };
+  EXPECT_NE(run(), 0u);
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EngineDigest, OffByDefaultAndZeroWhenOff) {
+  Engine e;
+  EXPECT_FALSE(e.digest_enabled());
+  e.schedule_at(100, [] {}, 7);
+  e.run();
+  EXPECT_EQ(e.event_digest(), 0u);
+}
+
+TEST(EngineDigest, TagTimeAndOrderAllChangeTheDigest) {
+  auto run = [](SimTime at, EventTag tag, bool swap) {
+    Engine e;
+    e.set_digest_enabled(true);
+    if (swap) {
+      e.schedule_at(500, [] {}, 2);
+      e.schedule_at(at, [] {}, tag);
+    } else {
+      e.schedule_at(at, [] {}, tag);
+      e.schedule_at(500, [] {}, 2);
+    }
+    e.run();
+    return e.event_digest();
+  };
+  const auto base = run(500, 1, false);
+  EXPECT_NE(run(500, 3, false), base);  // tag
+  EXPECT_NE(run(400, 1, false), base);  // timestamp
+  // FIFO order among simultaneous events is part of the committed stream.
+  EXPECT_NE(run(500, 1, true), base);
+}
+
+TEST(EngineDigest, CancelledEventsNeverCommit) {
+  auto run = [](bool with_cancelled) {
+    Engine e;
+    e.set_digest_enabled(true);
+    e.schedule_at(100, [] {}, 1);
+    if (with_cancelled) {
+      const EventId id = e.schedule_at(150, [] {}, 9);
+      EXPECT_TRUE(e.cancel(id));
+    }
+    e.schedule_at(200, [] {}, 2);
+    e.run();
+    return e.event_digest();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(EngineDigest, TraceMatchesDigestAndTruncates) {
+  Engine e;
+  e.set_digest_enabled(true);
+  e.enable_trace(2);
+  e.schedule_at(100, [] {}, 1);
+  e.schedule_at(200, [] {}, 2);
+  e.schedule_at(300, [] {}, 3);
+  e.run();
+  ASSERT_EQ(e.trace().size(), 2u);  // capped
+  EXPECT_TRUE(e.trace_truncated());
+  EXPECT_EQ(e.trace()[0].at, 100);
+  EXPECT_EQ(e.trace()[0].tag, 1u);
+  EXPECT_EQ(e.trace()[1].at, 200);
+
+  // An uncapped trace folds to exactly the streaming digest.
+  Engine f;
+  f.set_digest_enabled(true);
+  f.enable_trace(16);
+  f.schedule_at(100, [] {}, 1);
+  f.schedule_at(200, [] {}, 2);
+  f.schedule_at(300, [] {}, 3);
+  f.run();
+  std::uint64_t folded = 0;
+  for (const FiredEvent& ev : f.trace()) folded = Engine::digest_step(folded, ev);
+  EXPECT_EQ(folded, f.event_digest());
+  EXPECT_FALSE(f.trace_truncated());
+}
+
+TEST(EngineDigest, ResetClearsDigestAndTrace) {
+  Engine e;
+  e.set_digest_enabled(true);
+  e.enable_trace(8);
+  e.schedule_at(100, [] {}, 1);
+  e.run();
+  EXPECT_NE(e.event_digest(), 0u);
+  e.reset();
+  EXPECT_EQ(e.event_digest(), 0u);
+  EXPECT_TRUE(e.trace().empty());
+}
+
 }  // namespace

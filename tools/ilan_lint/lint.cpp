@@ -1,0 +1,368 @@
+#include "ilan_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ilan::lint {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  // line -> rules allowed on that line ("all" allows everything).
+  std::map<int, std::set<std::string>> allows;
+};
+
+void record_allow(Lexed& out, std::string_view comment, int line) {
+  const std::string_view marker = "ilan-lint: allow(";
+  const auto pos = comment.find(marker);
+  if (pos == std::string_view::npos) return;
+  const auto start = pos + marker.size();
+  const auto close = comment.find(')', start);
+  if (close == std::string_view::npos) return;
+  std::string rules_text(comment.substr(start, close - start));
+  std::stringstream ss(rules_text);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](unsigned char c) { return std::isspace(c) != 0; }),
+               rule.end());
+    if (!rule.empty()) out.allows[line].insert(rule);
+  }
+}
+
+// Comments and string/char literals are stripped; identifiers and numbers
+// are whole tokens, every other non-space character is its own token.
+Lexed lex(std::string_view src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const auto eol = src.find('\n', i);
+      const auto end = eol == std::string_view::npos ? n : eol;
+      record_allow(out, src.substr(i, end - i), line);
+      i = end;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int open_line = line;
+      const auto close = src.find("*/", i + 2);
+      const auto end = close == std::string_view::npos ? n : close + 2;
+      record_allow(out, src.substr(i, end - i), open_line);
+      for (std::size_t k = i; k < end; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      out.tokens.push_back({std::string(src.substr(i, j - i)), line});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({std::string(src.substr(i, j - i)), line});
+      i = j;
+    } else {
+      out.tokens.push_back({std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool is_identifier(const Token& t) {
+  const char c = t.text.empty() ? '\0' : t.text[0];
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Linter {
+ public:
+  Linter(std::string path, const Lexed& lx) : path_(std::move(path)), lx_(lx) {}
+
+  std::vector<Finding> run() {
+    collect_unordered_names();
+    const auto& toks = lx_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      check_wall_clock(i);
+      check_rand(i);
+      check_std_hash(i);
+      check_unordered_iter(i);
+      check_callback_sbo(i);
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  void add(std::size_t tok_idx, const std::string& rule, std::string message) {
+    const int line = lx_.tokens[tok_idx].line;
+    const auto it = lx_.allows.find(line);
+    if (it != lx_.allows.end() &&
+        (it->second.count(rule) != 0 || it->second.count("all") != 0)) {
+      return;
+    }
+    findings_.push_back(Finding{path_, line, rule, std::move(message)});
+  }
+
+  // Skips a balanced <...> starting at `i` (which must point at '<').
+  // Returns the index just past the closing '>', or `i` when unbalanced.
+  [[nodiscard]] std::size_t skip_angles(std::size_t i) const {
+    const auto& toks = lx_.tokens;
+    int depth = 0;
+    std::size_t j = i;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">" && --depth == 0) return j + 1;
+      if (toks[j].text == ";") break;  // statement ended: not template args
+    }
+    return i;
+  }
+
+  void collect_unordered_names() {
+    const auto& toks = lx_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].text.rfind("unordered_", 0) != 0) continue;
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") j = skip_angles(j);
+      while (j < toks.size() &&
+             (toks[j].text == "*" || toks[j].text == "&" || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && is_identifier(toks[j])) {
+        unordered_names_.insert(toks[j].text);
+      }
+    }
+  }
+
+  void check_wall_clock(std::size_t i) {
+    static const std::set<std::string> kBanned = {
+        "steady_clock",  "system_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get"};
+    const auto& t = lx_.tokens[i].text;
+    if (kBanned.count(t) != 0) {
+      add(i, "wall-clock",
+          "'" + t + "': simulation code must take time from sim::Engine, not the host clock");
+    }
+  }
+
+  void check_rand(std::size_t i) {
+    static const std::set<std::string> kBanned = {
+        "rand",    "srand",      "random_device",        "mt19937",
+        "mt19937_64", "minstd_rand", "default_random_engine", "random_shuffle"};
+    const auto& t = lx_.tokens[i].text;
+    if (kBanned.count(t) != 0) {
+      add(i, "rand",
+          "'" + t + "': simulation code must draw randomness from sim::rng (seeded), "
+          "not host RNGs");
+    }
+  }
+
+  void check_std_hash(std::size_t i) {
+    const auto& toks = lx_.tokens;
+    if (i + 3 < toks.size() && toks[i].text == "std" && toks[i + 1].text == ":" &&
+        toks[i + 2].text == ":" && toks[i + 3].text == "hash") {
+      add(i + 3, "std-hash",
+          "std::hash values are implementation-defined; simulation state must not "
+          "depend on them");
+    }
+  }
+
+  void check_unordered_iter(std::size_t i) {
+    const auto& toks = lx_.tokens;
+    // Range-for whose range expression names an unordered container.
+    if (toks[i].text == "for" && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+        if (toks[j].text == ";") break;  // classic for loop
+        const bool lone_colon =
+            toks[j].text == ":" &&
+            (j == 0 || toks[j - 1].text != ":") &&
+            (j + 1 >= toks.size() || toks[j + 1].text != ":");
+        if (depth == 1 && lone_colon) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon != 0) {
+        int depth2 = 1;
+        for (std::size_t j = colon + 1; j < toks.size(); ++j) {
+          if (toks[j].text == "(") ++depth2;
+          if (toks[j].text == ")" && --depth2 == 0) break;
+          if (is_identifier(toks[j]) && (unordered_names_.count(toks[j].text) != 0 ||
+                                         toks[j].text.rfind("unordered_", 0) == 0)) {
+            add(i, "unordered-iter",
+                "range-for over unordered container '" + toks[j].text +
+                    "': bucket order is nondeterministic and must not feed "
+                    "simulation state");
+            return;
+          }
+        }
+      }
+    }
+    // name.begin() / name->begin() on a tracked unordered container.
+    if (is_identifier(toks[i]) && unordered_names_.count(toks[i].text) != 0 &&
+        i + 2 < toks.size()) {
+      const bool dot = toks[i + 1].text == ".";
+      const bool arrow = toks[i + 1].text == "-" && toks[i + 2].text == ">";
+      const std::size_t member = arrow ? i + 3 : i + 2;
+      if ((dot || arrow) && member < toks.size() &&
+          (toks[member].text == "begin" || toks[member].text == "cbegin")) {
+        add(i, "unordered-iter",
+            "iteration over unordered container '" + toks[i].text +
+                "': bucket order is nondeterministic and must not feed simulation "
+                "state");
+      }
+    }
+  }
+
+  void check_callback_sbo(std::size_t i) {
+    const auto& toks = lx_.tokens;
+    if (toks[i].text != "schedule_at" && toks[i].text != "schedule_after") return;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") return;
+    // Find the first lambda introducer among the call's arguments.
+    int depth = 0;
+    std::size_t open = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      if (toks[j].text == "[") {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0) return;  // no lambda argument (declaration or prebuilt Callback)
+    // Count top-level captures between [ and ].
+    int captures = 0;
+    bool any = false;
+    bool default_capture = false;
+    int d_paren = 0, d_brace = 0, d_brack = 1;
+    for (std::size_t j = open + 1; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "[") ++d_brack;
+      if (t == "]" && --d_brack == 0) break;
+      if (t == "(") ++d_paren;
+      if (t == ")") --d_paren;
+      if (t == "{") ++d_brace;
+      if (t == "}") --d_brace;
+      if (!any && (t == "=" || t == "&") && j + 1 < toks.size() &&
+          (toks[j + 1].text == "]" || toks[j + 1].text == ",")) {
+        default_capture = true;
+      }
+      any = true;
+      if (t == "," && d_paren == 0 && d_brace == 0 && d_brack == 1) ++captures;
+    }
+    if (any) ++captures;
+    if (default_capture) {
+      add(open, "callback-sbo",
+          "default capture in an engine callback: capture explicitly so the 64-byte "
+          "inline budget (InlineCallback::kInlineBytes) stays auditable");
+    } else if (captures > 8) {
+      add(open, "callback-sbo",
+          "engine callback captures " + std::to_string(captures) +
+              " values; more than 8 risks overflowing the 64-byte inline buffer "
+              "(InlineCallback::kInlineBytes) and heap-allocating on the hot path");
+    }
+  }
+
+  std::string path_;
+  const Lexed& lx_;
+  std::set<std::string> unordered_names_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"wall-clock", "no host clocks in simulation code (use sim::Engine time)"},
+      {"rand", "no host RNGs in simulation code (use sim::rng)"},
+      {"unordered-iter", "no iteration over unordered containers feeding sim state"},
+      {"std-hash", "no dependence on implementation-defined std::hash values"},
+      {"callback-sbo", "engine callbacks stay within the 64-byte inline buffer"},
+  };
+  return kRules;
+}
+
+bool in_scope(std::string_view path) {
+  for (const std::string_view dir : {"sim", "core", "rt", "mem"}) {
+    const std::string mid = "/" + std::string(dir) + "/";
+    if (path.find(mid) != std::string_view::npos) return true;
+    if (path.rfind(std::string(dir) + "/", 0) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<Finding> lint_source(const std::string& path, std::string_view source) {
+  if (!in_scope(path)) return {};
+  const Lexed lx = lex(source);
+  return Linter(path, lx).run();
+}
+
+std::vector<Finding> lint_tree(const std::string& src_root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> all;
+  bool any_dir = false;
+  for (const std::string_view dir : {"sim", "core", "rt", "mem"}) {
+    const fs::path root = fs::path(src_root) / dir;
+    if (!fs::is_directory(root)) continue;
+    any_dir = true;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      std::ifstream in(file, std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const auto found = lint_source(file.string(), ss.str());
+      all.insert(all.end(), found.begin(), found.end());
+    }
+  }
+  if (!any_dir) {
+    throw std::runtime_error("ilan-lint: no sim/core/rt/mem directories under '" +
+                             src_root + "'");
+  }
+  return all;
+}
+
+}  // namespace ilan::lint

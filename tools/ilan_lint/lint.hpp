@@ -1,0 +1,61 @@
+// ilan-lint: repo-specific determinism and hot-path rules, enforced at the
+// token level.
+//
+// The simulator's contract is "bit-identical results across runs, build
+// modes and host thread counts". Generic tooling cannot see the
+// repo-specific ways that contract breaks, so this linter encodes them:
+//
+//   wall-clock      simulation code (src/sim|core|rt|mem) must derive time
+//                   from sim::Engine, never the host clock.
+//   rand            simulation code must draw randomness from sim::rng
+//                   (seeded, self-contained), never libc/libstdc++ RNGs.
+//   unordered-iter  no iteration over unordered containers in simulation
+//                   code: bucket order is std::hash/libstdc++-dependent and
+//                   feeds simulation state nondeterministically.
+//   std-hash        std::hash values are implementation-defined; anything
+//                   ordered by them diverges across standard libraries.
+//   callback-sbo    engine event callbacks must fit the 64-byte inline
+//                   buffer (InlineCallback::kInlineBytes): no default
+//                   captures (unbounded) and at most 8 explicit captures in
+//                   lambdas passed to schedule_at/schedule_after.
+//
+// Rules apply to files whose path lies under src/{sim,core,rt,mem}; other
+// paths lint clean by construction. A finding on line N is suppressed by a
+// trailing comment on that line: // ilan-lint: allow(<rule>[,<rule>...]).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilan::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+// The rule table, in evaluation order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+// True when scoped rules apply to `path` (under sim/, core/, rt/ or mem/).
+[[nodiscard]] bool in_scope(std::string_view path);
+
+// Lints one translation unit. `path` decides rule scope; `source` is the
+// file's full contents.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               std::string_view source);
+
+// Lints every *.hpp/*.cpp under src_root/{sim,core,rt,mem}. Throws
+// std::runtime_error when src_root has none of those directories (a wrong
+// path must not pass as clean).
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& src_root);
+
+}  // namespace ilan::lint

@@ -1,0 +1,68 @@
+// ilan-lint CLI.
+//
+//   ilan-lint <src-dir>       lint every *.hpp/*.cpp under {sim,core,rt,mem}
+//   ilan-lint <file>...       lint specific files (scope rules still apply)
+//   ilan-lint --list          print the rule table
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ilan_lint/lint.hpp"
+
+namespace {
+
+int lint_paths(const std::vector<std::string>& paths) {
+  std::vector<ilan::lint::Finding> all;
+  for (const std::string& path : paths) {
+    if (std::filesystem::is_directory(path)) {
+      const auto found = ilan::lint::lint_tree(path);
+      all.insert(all.end(), found.begin(), found.end());
+    } else {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "ilan-lint: cannot read '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const auto found = ilan::lint::lint_source(path, ss.str());
+      all.insert(all.end(), found.begin(), found.end());
+    }
+  }
+  for (const auto& f : all) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  if (all.empty()) {
+    std::cout << "ilan-lint: clean\n";
+    return 0;
+  }
+  std::cout << "ilan-lint: " << all.size() << " finding(s)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list") {
+    for (const auto& r : ilan::lint::rules()) {
+      std::cout << r.name << "  " << r.summary << "\n";
+    }
+    return 0;
+  }
+  if (args.empty()) {
+    std::cerr << "usage: ilan-lint [--list] <src-dir | file...>\n";
+    return 2;
+  }
+  try {
+    return lint_paths(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

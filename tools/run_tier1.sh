@@ -1,26 +1,80 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, and run the full ctest suite.
 #
-#   tools/run_tier1.sh                         # plain build in build/
-#   ILAN_SANITIZE=address tools/run_tier1.sh   # ASan build in build-asan/
-#   ILAN_SANITIZE=thread  tools/run_tier1.sh   # TSan build in build-tsan/
+#   tools/run_tier1.sh                            # plain build in build/
+#   tools/run_tier1.sh lint                       # ilan-lint + clang-tidy
+#   tools/run_tier1.sh analyze                    # sanitizer matrix + selfcheck
+#   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
+#   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
+#   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
 #
 # Sanitized builds get their own build directory so they never dirty the
 # primary one. The TSan run is what keeps the bench harness's run_many
 # worker pool honest: the suite's parallel-vs-sequential determinism tests
 # execute under instrumentation.
+#
+# `lint` builds the primary tree, runs ilan-lint over src/, and — when
+# clang-tidy is installed — runs the .clang-tidy baseline over the
+# simulation sources using the exported compile commands.
+#
+# `analyze` is the full correctness-analysis pass: the ASan/TSan/UBSan
+# matrix (each suite in its own build dir) plus the determinism/race
+# selfcheck binary (bench/selfcheck) on the primary build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-san="${ILAN_SANITIZE:-}"
-case "$san" in
-  "")      build_dir=build ;;
-  address) build_dir=build-asan ;;
-  thread)  build_dir=build-tsan ;;
-  *) echo "ILAN_SANITIZE must be 'address' or 'thread', got '$san'" >&2; exit 2 ;;
-esac
+mode="${1:-build}"
 
-cmake -B "$build_dir" -S . ${san:+-DILAN_SANITIZE="$san"}
-cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+build_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+    *) echo "ILAN_SANITIZE must be 'address', 'thread' or 'undefined', got '$san'" >&2
+       exit 2 ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_lint() {
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build -j "$jobs" --target ilan-lint
+  echo "== ilan-lint src/ =="
+  ./build/tools/ilan-lint src
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (baseline .clang-tidy) =="
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+  else
+    echo "== clang-tidy not installed; skipped (ilan-lint still gates) =="
+  fi
+}
+
+case "$mode" in
+  build)
+    build_one "${ILAN_SANITIZE:-}"
+    ;;
+  lint)
+    run_lint
+    ;;
+  analyze)
+    run_lint
+    for san in address thread undefined; do
+      echo "== sanitizer: $san =="
+      build_one "$san"
+    done
+    echo "== determinism/race selfcheck =="
+    cmake --build build -j "$jobs" --target selfcheck
+    ILAN_BENCH_JSON=0 ./build/bench/selfcheck
+    ;;
+  *)
+    echo "usage: tools/run_tier1.sh [build|lint|analyze]" >&2
+    exit 2
+    ;;
+esac
