@@ -16,12 +16,22 @@
 #include "analysis/determinism.hpp"
 #include "analysis/race_auditor.hpp"
 #include "core/ilan_scheduler.hpp"
+#include "fault/injector.hpp"
 #include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
 #include "rt/work_sharing_scheduler.hpp"
 #include "topo/presets.hpp"
 
 namespace ilan::bench {
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kWatchdog: return "watchdog";
+    case RunStatus::kError: return "error";
+  }
+  return "?";
+}
 
 const char* to_string(SchedKind kind) {
   switch (kind) {
@@ -77,6 +87,20 @@ bool audit_requested(const char* what) {
   return s.find(what) != std::string::npos;
 }
 
+// Arms the ILAN_FAULTS plan against a fresh machine; nullptr when no faults
+// are requested. The realization is a pure function of (spec, seed,
+// topology), so every worker thread arms an identical plan for a given run.
+std::unique_ptr<fault::FaultInjector> arm_env_faults(rt::Machine& machine,
+                                                     std::uint64_t seed) {
+  const std::string spec = env_faults();
+  if (spec.empty()) return nullptr;
+  fault::FaultPlan plan = fault::parse_plan(spec, seed, machine.topology());
+  if (plan.empty()) return nullptr;
+  auto inj = std::make_unique<fault::FaultInjector>(machine, std::move(plan));
+  inj->arm();
+  return inj;
+}
+
 }  // namespace
 
 RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
@@ -86,6 +110,10 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
   machine.engine().set_digest_enabled(true);
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
+  const auto injector = arm_env_faults(machine, seed);
+  if (const double wd = env_watchdog_s(); wd > 0.0) {
+    team.set_deadline(sim::from_seconds(wd));
+  }
   std::unique_ptr<analysis::RaceAuditor> auditor;
   if (audit_requested("race")) {
     auditor = std::make_unique<analysis::RaceAuditor>(analysis::RaceAuditorOptions{},
@@ -93,7 +121,19 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
     team.set_observer(auditor.get());
   }
   const auto program = kernels::make_kernel(kernel, machine, opts);
-  const sim::SimTime total = program.run(team);
+
+  RunResult r;
+  sim::SimTime total = 0;
+  try {
+    total = program.run(team);
+  } catch (const rt::WatchdogTimeout& e) {
+    // A hung run becomes a structured failure record with whatever
+    // telemetry the partial execution produced — never a hang, never an
+    // uncaught throw out of the worker pool.
+    r.status = RunStatus::kWatchdog;
+    r.error = e.what();
+    total = machine.engine().now();
+  }
   if (auditor && !auditor->clean()) {
     const auto& rep = auditor->reports().front();
     throw std::runtime_error("ILAN_AUDIT: " + std::string(kernel) + "/" +
@@ -102,7 +142,6 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
                              rep.message);
   }
 
-  RunResult r;
   r.total_s = sim::to_seconds(total);
   r.avg_threads = team.weighted_avg_threads();
   r.overhead = team.overhead();
@@ -127,6 +166,29 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
   r.events_fired = machine.engine().events_fired();
   r.event_digest = machine.engine().event_digest();
   r.solver = machine.memory().solver_stats();
+
+  // Fault + graceful-degradation telemetry.
+  if (injector) {
+    r.faults_applied = injector->applications();
+    r.faults_reverted = injector->reversions();
+    const auto targets = injector->degraded_targets();
+    const int nn = machine.topology().num_nodes();
+    for (const auto& s : team.history()) {
+      // A demoted execution ran on a narrowed mask that excludes some node
+      // a degrade/offline clause targets — the scheduler routed around it.
+      if (s.config.node_mask.count() == nn) continue;
+      for (const topo::NodeId n : targets) {
+        if (!s.config.node_mask.test(n)) {
+          ++r.demoted_execs;
+          break;
+        }
+      }
+    }
+  }
+  if (const auto* ilan = dynamic_cast<const core::IlanScheduler*>(scheduler.get())) {
+    r.reexplorations = ilan->total_reexplorations();
+  }
+  r.steals_escalated = team.total_escalated_steals();
   r.host_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
   return r;
@@ -135,7 +197,9 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
 std::vector<double> Series::times() const {
   std::vector<double> out;
   out.reserve(runs.size());
-  for (const auto& r : runs) out.push_back(r.total_s);
+  for (const auto& r : runs) {
+    if (r.ok()) out.push_back(r.total_s);
+  }
   return out;
 }
 
@@ -143,15 +207,33 @@ trace::SampleSummary Series::time_summary() const { return trace::summarize(time
 
 double Series::mean_avg_threads() const {
   double s = 0.0;
-  for (const auto& r : runs) s += r.avg_threads;
-  return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
+  int n = 0;
+  for (const auto& r : runs) {
+    if (!r.ok()) continue;
+    s += r.avg_threads;
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
 }
 
 double Series::mean_overhead_s() const {
   double s = 0.0;
-  for (const auto& r : runs) s += r.overhead_s;
-  return runs.empty() ? 0.0 : s / static_cast<double>(runs.size());
+  int n = 0;
+  for (const auto& r : runs) {
+    if (!r.ok()) continue;
+    s += r.overhead_s;
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
 }
+
+int Series::ok_count() const {
+  int n = 0;
+  for (const auto& r : runs) n += r.ok() ? 1 : 0;
+  return n;
+}
+
+int Series::failed_count() const { return static_cast<int>(runs.size()) - ok_count(); }
 
 std::uint64_t Series::total_events_fired() const {
   std::uint64_t n = 0;
@@ -179,6 +261,7 @@ struct BenchEntry {
   std::string sched;
   int runs = 0;
   int jobs = 0;
+  int failures = 0;  // quarantined (watchdog/error) runs in the series
   double host_s = 0.0;
   std::uint64_t events = 0;
   std::uint64_t digest = 0;  // order-independent fold of per-run digests
@@ -219,8 +302,12 @@ void write_bench_json() {
   std::lock_guard<std::mutex> lock(g_bench_mutex);
   const auto& reg = bench_registry();
   if (reg.empty()) return;
+  // Write-to-temp + rename: the final path either holds the previous
+  // complete document or the new one, never a torn write (rename within a
+  // directory is atomic on POSIX).
   const std::string path = "BENCH_" + bench_name() + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": [", bench_name().c_str());
   bool first = true;
@@ -228,14 +315,14 @@ void write_bench_json() {
     const double evps = e.host_s > 0.0 ? static_cast<double>(e.events) / e.host_s : 0.0;
     std::fprintf(f,
                  "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"runs\": %d, "
-                 "\"jobs\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
+                 "\"jobs\": %d, \"failures\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
                  "\"digest\": \"%016llx\", "
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
                  "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
                  "\"cap_updates\": %llu, \"skipped\": %llu}}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.runs, e.jobs,
-                 e.host_s, static_cast<unsigned long long>(e.events),
+                 e.failures, e.host_s, static_cast<unsigned long long>(e.events),
                  static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
                  e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
                  static_cast<unsigned long long>(e.solver.resolves),
@@ -245,7 +332,13 @@ void write_bench_json() {
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");
+  const bool write_ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
+  if (write_ok) {
+    (void)std::rename(tmp.c_str(), path.c_str());
+  } else {
+    (void)std::remove(tmp.c_str());
+  }
 }
 
 void register_series(const std::string& kernel, SchedKind kind, const Series& s, int jobs) {
@@ -258,6 +351,7 @@ void register_series(const std::string& kernel, SchedKind kind, const Series& s,
   e.sched = to_string(kind);
   e.runs = static_cast<int>(s.runs.size());
   e.jobs = jobs;
+  e.failures = s.failed_count();
   e.host_s = s.host_s;
   e.events = s.total_events_fired();
   e.digest = series_digest(s);
@@ -275,19 +369,44 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
   s.runs.resize(static_cast<std::size_t>(runs));
   const auto t0 = std::chrono::steady_clock::now();
   const int jobs = std::min(env_jobs(), runs);
+  const int retries = env_retries();
   // Seed and slot assignment are index-based, so results are identical to
-  // the sequential loop no matter how runs land on workers.
+  // the sequential loop no matter how runs land on workers. A failing run
+  // never takes the series down: it is retried up to ILAN_BENCH_RETRIES
+  // times (covering transient host conditions), then quarantined in place
+  // as a structured failure entry while the remaining runs proceed.
+  // Watchdog hits come back as structured results, not exceptions — the
+  // simulation is deterministic, so re-running the same seed cannot pass.
   auto work = [&](int i) {
-    s.runs[static_cast<std::size_t>(i)] =
-        run_once(kernel, kind, base_seed + 1000ull * (static_cast<std::uint64_t>(i) + 1),
-                 opts);
+    const std::uint64_t run_seed =
+        base_seed + 1000ull * (static_cast<std::uint64_t>(i) + 1);
+    for (int attempt = 1;; ++attempt) {
+      std::string what;
+      try {
+        RunResult r = run_once(kernel, kind, run_seed, opts);
+        r.attempts = attempt;
+        s.runs[static_cast<std::size_t>(i)] = std::move(r);
+        return;
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+        what = "unknown exception";
+      }
+      if (attempt <= retries) continue;
+      RunResult r;
+      r.status = RunStatus::kError;
+      r.error = what;
+      r.attempts = attempt;
+      s.runs[static_cast<std::size_t>(i)] = std::move(r);
+      std::fprintf(stderr, "run_many: %s/%s run %d quarantined after %d attempt(s): %s\n",
+                   kernel.c_str(), to_string(kind), i, attempt, what.c_str());
+      return;
+    }
   };
   if (jobs <= 1) {
     for (int i = 0; i < runs; ++i) work(i);
   } else {
     std::atomic<int> next{0};
-    std::mutex err_mutex;
-    std::exception_ptr err;
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(jobs));
     for (int w = 0; w < jobs; ++w) {
@@ -295,21 +414,11 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
         for (;;) {
           const int i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= runs) return;
-          try {
-            work(i);
-          } catch (...) {
-            {
-              const std::lock_guard<std::mutex> lock(err_mutex);
-              if (!err) err = std::current_exception();
-            }
-            next.store(runs, std::memory_order_relaxed);  // drain remaining work
-            return;
-          }
+          work(i);  // never throws: failures land in the run's slot
         }
       });
     }
     for (auto& t : pool) t.join();
-    if (err) std::rethrow_exception(err);
   }
   s.host_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   register_series(kernel, kind, s, jobs);
@@ -331,6 +440,27 @@ int env_jobs() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::string env_faults() {
+  const char* v = std::getenv("ILAN_FAULTS");
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+double env_watchdog_s() {
+  if (const char* v = std::getenv("ILAN_WATCHDOG")) {
+    const double s = std::atof(v);
+    if (s > 0.0) return s;
+  }
+  return 0.0;
+}
+
+int env_retries(int fallback) {
+  if (const char* v = std::getenv("ILAN_BENCH_RETRIES")) {
+    const int n = std::atoi(v);
+    if (n >= 0) return n;
+  }
+  return fallback;
 }
 
 kernels::KernelOptions env_kernel_options() {
@@ -371,6 +501,10 @@ TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t se
   machine.engine().enable_trace(kSelfcheckTraceCap);
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
+  // ILAN_FAULTS applies here exactly as in run_once, so selfcheck's digest
+  // parity covers perturbed simulations too (no watchdog: selfcheck wants
+  // the full trace of both runs).
+  const auto injector = arm_env_faults(machine, seed);
   analysis::RaceAuditor auditor(analysis::RaceAuditorOptions{}, &machine.regions());
   if (audit) team.set_observer(&auditor);
   const auto program = kernels::make_kernel(kernel, machine, opts);
@@ -494,6 +628,134 @@ int selfcheck_main() {
     return 0;
   }
   std::printf("selfcheck: %d failure(s)\n", failures);
+  return 1;
+}
+
+bool faults_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--faults") return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Sets an environment variable for a scope and restores the previous state
+// (value or absence) on exit. The fault selfcheck flips ILAN_FAULTS /
+// ILAN_BENCH_JOBS / ILAN_WATCHDOG per check; callers must see their own
+// configuration afterwards.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+}  // namespace
+
+int selfcheck_faults_main() {
+  kernels::KernelOptions opts = env_kernel_options();
+  if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;
+  // The checks below own the watchdog setting; a caller-provided deadline
+  // would truncate selfcheck runs and break digest comparisons.
+  const ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
+
+  const std::vector<std::string> sc_kernels = {"cg", "sp"};
+  constexpr SchedKind kKinds[] = {SchedKind::kBaseline, SchedKind::kIlan};
+  int failures = 0;
+  std::printf("%-9s %-8s %-13s %10s %16s  %s\n", "scenario", "kernel", "scheduler",
+              "events", "digest", "status");
+  for (const auto& scenario : fault::scenario_names()) {
+    const ScopedEnv faults_env("ILAN_FAULTS", scenario);
+
+    // Two-run digest parity per kernel x scheduler under this scenario,
+    // with the first divergent event pinned down on mismatch.
+    for (const auto& kernel : sc_kernels) {
+      for (const SchedKind kind : kKinds) {
+        const SelfcheckResult r = selfcheck(kernel, kind, /*seed=*/42, opts);
+        std::printf("%-9s %-8s %-13s %10llu %016llx  %s\n", scenario.c_str(),
+                    r.kernel.c_str(), r.sched.c_str(),
+                    static_cast<unsigned long long>(r.events),
+                    static_cast<unsigned long long>(r.digest_a),
+                    r.ok() ? "ok" : "FAIL");
+        if (!r.deterministic) {
+          std::printf("  nondeterministic: digest %016llx vs %016llx; %s\n",
+                      static_cast<unsigned long long>(r.digest_a),
+                      static_cast<unsigned long long>(r.digest_b),
+                      r.divergence.c_str());
+        }
+        if (r.audit_reports != 0) {
+          std::printf("  %zu auditor report(s); first: %s\n", r.audit_reports,
+                      r.first_report.c_str());
+        }
+        if (!r.ok()) ++failures;
+      }
+    }
+
+    // run_many parity: per-run digests and statuses must be identical no
+    // matter how many pool workers executed the series.
+    Series seq;
+    Series par;
+    {
+      const ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
+      seq = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
+    }
+    {
+      const ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
+      par = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
+    }
+    bool jobs_ok = seq.runs.size() == par.runs.size();
+    std::int64_t applied = 0;
+    if (jobs_ok) {
+      for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest &&
+                  seq.runs[i].status == par.runs[i].status;
+        applied += seq.runs[i].faults_applied;
+      }
+    }
+    // A scenario that never applies a fault proves nothing — guard against
+    // the catalog silently rotting into no-ops.
+    const bool applied_ok = scenario == "none" ? applied == 0 : applied > 0;
+    std::printf("%-9s run_many jobs=1 vs jobs=4: %s (%lld fault application(s))\n",
+                scenario.c_str(), jobs_ok && applied_ok ? "identical" : "FAIL",
+                static_cast<long long>(applied));
+    if (!jobs_ok || !applied_ok) ++failures;
+  }
+
+  // Watchdog: an impossibly tight deadline must come back as a structured
+  // kWatchdog record — not a hang, not an uncaught exception.
+  {
+    const ScopedEnv faults_env("ILAN_FAULTS", "none");
+    const ScopedEnv wd_env("ILAN_WATCHDOG", "1e-9");
+    const RunResult r = run_once(sc_kernels.front(), SchedKind::kIlan, /*seed=*/42, opts);
+    const bool wd_ok = r.status == RunStatus::kWatchdog && !r.error.empty();
+    std::printf("watchdog 1e-9s: status=%s attempts=%d %s\n", to_string(r.status),
+                r.attempts, wd_ok ? "ok" : "FAIL");
+    if (!wd_ok) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("selfcheck --faults: all scenarios deterministic, watchdog structured\n");
+    return 0;
+  }
+  std::printf("selfcheck --faults: %d failure(s)\n", failures);
   return 1;
 }
 

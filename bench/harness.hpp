@@ -13,10 +13,20 @@
 //   ILAN_BENCH_NAME       basename of the BENCH_<name>.json telemetry file;
 //                         default: the executable name
 //   ILAN_BENCH_JSON       set to 0 to disable telemetry output
+//   ILAN_FAULTS           fault scenario name or DSL (src/fault/): every run
+//                         arms a FaultInjector realized from the run's seed
+//   ILAN_WATCHDOG         simulated-seconds deadline per run; a run whose
+//                         engine still has work past the deadline is recorded
+//                         as a structured RunStatus::kWatchdog failure
+//   ILAN_BENCH_RETRIES    bounded retries for failed runs in run_many
+//                         (default 1; watchdog hits never retry — the
+//                         simulation is deterministic, so they cannot pass)
 //
 // Every run_many() series is also recorded to a machine-readable telemetry
 // file BENCH_<name>.json in the working directory at process exit (schema:
-// DESIGN.md, "Hot paths and performance model").
+// DESIGN.md, "Hot paths and performance model"). The file is written to a
+// temp name and atomically renamed into place, so readers never observe a
+// torn JSON document.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +52,12 @@ enum class SchedKind { kBaseline, kWorkSharing, kIlan, kIlanNoMold };
 // parameters.
 [[nodiscard]] rt::MachineParams paper_machine(std::uint64_t seed);
 
+// How a run ended. kWatchdog and kError runs stay in the series (slot order
+// is part of the determinism contract) but are quarantined out of every
+// aggregate; Series::ok_count() says how many runs actually count.
+enum class RunStatus { kOk, kWatchdog, kError };
+[[nodiscard]] const char* to_string(RunStatus status);
+
 struct RunResult {
   double total_s = 0.0;       // whole-program simulated time
   double avg_threads = 0.0;   // wall-time-weighted thread count
@@ -60,6 +76,20 @@ struct RunResult {
   // Streaming digest of the committed event stream (sim::Engine). Equal
   // digests <=> bit-identical simulations; recorded for every run.
   std::uint64_t event_digest = 0;
+
+  // --- failure record + fault telemetry -----------------------------------
+  RunStatus status = RunStatus::kOk;
+  std::string error;            // what() of the failure (empty when ok)
+  int attempts = 1;             // run_once invocations consumed by this slot
+  std::int64_t faults_applied = 0;   // injector applications (ILAN_FAULTS)
+  std::int64_t faults_reverted = 0;
+  // Graceful-degradation telemetry (ILAN schedulers only).
+  int reexplorations = 0;            // staleness-triggered search restarts
+  std::int64_t steals_escalated = 0; // policy-escalated rescue steals
+  // Executions whose node mask excluded a fault-targeted node (demotion).
+  std::int64_t demoted_execs = 0;
+
+  [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
 };
 
 [[nodiscard]] RunResult run_once(const std::string& kernel, SchedKind kind,
@@ -71,12 +101,16 @@ struct Series {
   // Wall-clock seconds for the whole series (with the worker pool this is
   // less than the sum of per-run host_s).
   double host_s = 0.0;
+  // Aggregates cover successful runs only; failed runs keep their slot but
+  // are quarantined out of every statistic.
   [[nodiscard]] std::vector<double> times() const;
   [[nodiscard]] trace::SampleSummary time_summary() const;
   [[nodiscard]] double mean_avg_threads() const;
   [[nodiscard]] double mean_overhead_s() const;
   [[nodiscard]] std::uint64_t total_events_fired() const;
   [[nodiscard]] mem::SolverStats solver_totals() const;
+  [[nodiscard]] int ok_count() const;
+  [[nodiscard]] int failed_count() const;
 };
 
 // Runs the series on a pool of ILAN_BENCH_JOBS worker threads (each run is
@@ -91,6 +125,11 @@ struct Series {
 [[nodiscard]] int env_runs(int fallback = 30);
 [[nodiscard]] int env_jobs();
 [[nodiscard]] kernels::KernelOptions env_kernel_options();
+// ILAN_FAULTS spec ("" = no faults), ILAN_WATCHDOG simulated-second
+// deadline (0 = off), ILAN_BENCH_RETRIES bound for failed-run retries.
+[[nodiscard]] std::string env_faults();
+[[nodiscard]] double env_watchdog_s();
+[[nodiscard]] int env_retries(int fallback = 1);
 
 // All seven benchmarks in paper order.
 [[nodiscard]] const std::vector<std::string>& benchmarks();
@@ -130,5 +169,13 @@ struct SelfcheckResult {
 // process exit status (0 = everything deterministic and audit-clean).
 [[nodiscard]] bool selfcheck_requested(int argc, char** argv);
 int selfcheck_main();
+
+// The --faults selfcheck mode: for every shipped fault scenario, proves the
+// perturbed simulation is still bit-reproducible (two-run digest parity with
+// first-divergent-event reporting, plus run_many jobs=1 vs jobs=4 parity)
+// and that the watchdog converts a too-tight deadline into a structured
+// failure record instead of a hang or an uncaught throw.
+[[nodiscard]] bool faults_requested(int argc, char** argv);
+int selfcheck_faults_main();
 
 }  // namespace ilan::bench

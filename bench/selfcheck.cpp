@@ -1,6 +1,15 @@
 // Determinism + race-audit self-check over every kernel x scheduler pair.
 // Equivalent to passing --selfcheck to any figure binary; exists as its own
 // target so CI and run_tier1.sh have one canonical entry point.
+//
+// --faults switches to the fault-injection selfcheck: digest parity and
+// jobs=1 vs jobs=4 parity for every shipped ILAN_FAULTS scenario, plus the
+// watchdog structured-failure check.
 #include "harness.hpp"
 
-int main() { return ilan::bench::selfcheck_main(); }
+int main(int argc, char** argv) {
+  if (ilan::bench::faults_requested(argc, argv)) {
+    return ilan::bench::selfcheck_faults_main();
+  }
+  return ilan::bench::selfcheck_main();
+}

@@ -37,7 +37,32 @@ struct IlanParams {
   // own deque. 1 = the paper's single-task migration.
   int remote_steal_chunk = 1;
 
+  // --- graceful degradation under dynamic interference --------------------
+  // Master switch for the reactive paths: PTT staleness re-exploration,
+  // health-aware node-mask/distribution demotion, and steal-policy
+  // escalation. With no fault plan armed all three reduce to the
+  // non-reactive behaviour bit-for-bit, so this defaults on.
+  bool reactive = true;
+  // A locked-in configuration is "stale" when an execution's wall time
+  // exceeds staleness_factor * the PTT entry's best observed wall time.
+  double staleness_factor = 1.6;
+  // Consecutive stale executions before re-exploration triggers (a single
+  // noisy execution must not discard a converged search).
+  int staleness_patience = 2;
+  // Bound on re-exploration windows per loop: interference that never
+  // settles must not turn the search overhead into a steady-state cost.
+  int max_reexplorations = 4;
+
   void validate() const {
+    if (staleness_factor <= 1.0) {
+      throw std::invalid_argument("IlanParams: staleness_factor must be > 1");
+    }
+    if (staleness_patience < 1) {
+      throw std::invalid_argument("IlanParams: staleness_patience must be >= 1");
+    }
+    if (max_reexplorations < 0) {
+      throw std::invalid_argument("IlanParams: max_reexplorations must be >= 0");
+    }
     if (remote_steal_chunk < 1) {
       throw std::invalid_argument("IlanParams: remote_steal_chunk must be >= 1");
     }

@@ -1,7 +1,9 @@
 #include "core/distributor.hpp"
 
 #include <stdexcept>
+#include <vector>
 
+#include "rt/runtime.hpp"
 #include "rt/team.hpp"
 
 namespace ilan::core {
@@ -18,11 +20,41 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
   const std::size_t nc = chunks.size();
   const std::size_t nn = nodes.size();
 
+  // Health-weighted block mapping. Healthy nodes carry weight 2, degraded
+  // nodes weight 1, offline nodes weight 0; with all nodes healthy the
+  // split nc*(2ni)/(2nn) floors to exactly the classic nc*ni/nn, so the
+  // reactive path is bit-identical to the blind one until a fault fires.
+  std::vector<std::size_t> weight(nn, 2);
+  if (opts.react_to_health) {
+    const rt::NodeHealth& health = team.machine().health();
+    std::size_t total = 0;
+    for (std::size_t ni = 0; ni < nn; ++ni) {
+      switch (health.condition(nodes[ni])) {
+        case rt::NodeCondition::kHealthy:
+          weight[ni] = 2;
+          break;
+        case rt::NodeCondition::kDegraded:
+          weight[ni] = 1;
+          break;
+        case rt::NodeCondition::kOffline:
+          weight[ni] = 0;
+          break;
+      }
+      total += weight[ni];
+    }
+    // Every node in the mask is unusable: fall back to an even split rather
+    // than dropping the loop's iterations on the floor.
+    if (total == 0) weight.assign(nn, 1);
+  }
+  std::vector<std::size_t> wsum(nn + 1, 0);
+  for (std::size_t ni = 0; ni < nn; ++ni) wsum[ni + 1] = wsum[ni] + weight[ni];
+  const std::size_t wtotal = wsum[nn];
+
   for (std::size_t ni = 0; ni < nn; ++ni) {
     // Deterministic block mapping: node ni owns chunks [lo, hi), i.e. a
     // contiguous run of the iteration space.
-    const std::size_t lo = nc * ni / nn;
-    const std::size_t hi = nc * (ni + 1) / nn;
+    const std::size_t lo = nc * wsum[ni] / wtotal;
+    const std::size_t hi = nc * wsum[ni + 1] / wtotal;
     if (lo == hi) continue;
     const std::size_t node_tasks = hi - lo;
     // Head of the node's queue is strict; the tail may migrate when the
@@ -49,7 +81,7 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
 }
 
 rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
-                                       int remote_chunk) {
+                                       int remote_chunk, bool escalate) {
   rt::AcquireResult r;
   r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
   if (auto t = w.deque.pop_front()) {
@@ -74,28 +106,37 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
 
   // Inter-node stealing: only under the full policy, only once this node is
   // fully idle (its queues are — we just drained them), only stealable
-  // tasks, nearest nodes first.
+  // tasks, nearest nodes first. Escalation widens this: an unhealthy victim
+  // node may be raided regardless of policy, NUMA-strict head included —
+  // work stranded on a throttled or offline node is better executed
+  // remotely than waited for.
   const rt::LoopConfig& cfg = team.current_config();
-  if (cfg.steal_policy != rt::StealPolicy::kFull) return r;
+  const bool full = cfg.steal_policy == rt::StealPolicy::kFull;
+  if (!full && !escalate) return r;
 
   for (const topo::NodeId node : team.topology().nodes_by_distance(w.node)) {
     if (node == w.node || !cfg.node_mask.test(node)) continue;
+    const bool rescue =
+        escalate && team.machine().health().condition(node) != rt::NodeCondition::kHealthy;
+    if (!full && !rescue) continue;
     bool probed_any = false;
     for (const int vid : team.node_workers(node)) {
       rt::Worker& victim = team.worker(vid);
       if (victim.deque.empty()) continue;
       probed_any = true;
-      if (auto t = victim.deque.steal_back(/*allow_strict=*/false)) {
+      if (auto t = victim.deque.steal_back(/*allow_strict=*/rescue)) {
         r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
         r.cost += team.costs().charge(trace::OverheadComponent::kRemoteSteal);
         team.note_steal(/*remote=*/true);
+        if (rescue) team.note_escalated_steal();
         // Chunked migration: bring additional stealable tasks home in the
         // same transfer (each still pays its queue-operation cost).
         for (int extra = 1; extra < remote_chunk; ++extra) {
-          auto more = victim.deque.steal_back(/*allow_strict=*/false);
+          auto more = victim.deque.steal_back(/*allow_strict=*/rescue);
           if (!more) break;
           r.cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
           team.note_steal(/*remote=*/true);
+          if (rescue) team.note_escalated_steal();
           w.deque.push_back(std::move(*more));
         }
         r.task = std::move(t);

@@ -20,6 +20,11 @@ namespace ilan::core {
 
 struct DistributionOptions {
   double stealable_fraction = 0.2;
+  // Weight the block mapping by node health (healthy nodes get twice the
+  // iterations of degraded ones, offline nodes get none). With every node
+  // healthy the mapping is bit-identical to the health-blind one, so this
+  // is safe to leave on; it only changes placement while a fault is active.
+  bool react_to_health = false;
 };
 
 // Creates and places the tasks for one taskloop execution; returns the task
@@ -35,7 +40,14 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
 // A successful remote steal may transfer up to `remote_chunk` stealable
 // tasks at once (extras land in the thief's own deque), amortizing the
 // migration cost as in Olivier et al.'s chunked shepherd steals.
+//
+// `escalate` is the graceful-degradation hatch: tasks stranded on an
+// unhealthy node may migrate even when the steal policy would forbid it —
+// inter-node steals open up under the strict policy and the NUMA-strict
+// head becomes stealable, but only from victims whose node is degraded or
+// offline. Healthy victims keep the configured policy, so with every node
+// healthy the flag is a no-op.
 rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
-                                       int remote_chunk = 1);
+                                       int remote_chunk = 1, bool escalate = false);
 
 }  // namespace ilan::core

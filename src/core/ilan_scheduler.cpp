@@ -1,6 +1,7 @@
 #include "core/ilan_scheduler.hpp"
 
 #include "core/distributor.hpp"
+#include "rt/runtime.hpp"
 #include "rt/team.hpp"
 
 namespace ilan::core {
@@ -24,13 +25,21 @@ rt::LoopConfig IlanScheduler::select_config(const rt::TaskloopSpec& spec,
     st.finished = true;  // no exploration: straight to steal-policy trial
   } else {
     if (!st.search) st.search = std::make_unique<ThreadSearch>(m_max, g);
-    threads = st.search->next_threads(st.k, ptt_, spec.loop_id);
+    // k - k0 is the search-local execution index: a staleness-triggered
+    // restart replays Algorithm 1's warm-up instead of resuming mid-search.
+    threads = st.search->next_threads(st.k - st.k0, ptt_, spec.loop_id);
     st.finished = st.search->finished();
   }
 
+  // The reactive path routes around unhealthy nodes; with every node
+  // healthy it selects exactly the health-blind mask.
+  const rt::NodeHealth* health =
+      params_.reactive ? &team.machine().health() : nullptr;
+
   rt::LoopConfig cfg;
   cfg.num_threads = threads;
-  cfg.node_mask = select_node_mask(team.topology(), ptt_, spec.loop_id, threads, g);
+  cfg.node_mask =
+      select_node_mask(team.topology(), ptt_, spec.loop_id, threads, g, health);
   cfg.steal_policy = st.policy.next_policy(st.finished, threads, ptt_, spec.loop_id);
   return cfg;
 }
@@ -40,11 +49,16 @@ std::size_t IlanScheduler::distribute(const rt::TaskloopSpec& spec,
                                       sim::SimTime& serial_cost) {
   DistributionOptions opts;
   opts.stealable_fraction = params_.stealable_fraction;
+  opts.react_to_health = params_.reactive;
   return distribute_hierarchical(spec, cfg, team, opts, serial_cost);
 }
 
 rt::AcquireResult IlanScheduler::acquire(rt::Team& team, rt::Worker& w) {
-  return acquire_hierarchical(team, w, params_.remote_steal_chunk);
+  // Steal-policy escalation engages only while some node is unhealthy;
+  // otherwise the configured policy applies unchanged.
+  const bool escalate =
+      params_.reactive && !team.machine().health().all_healthy();
+  return acquire_hierarchical(team, w, params_.remote_steal_chunk, escalate);
 }
 
 void IlanScheduler::loop_finished(const rt::TaskloopSpec& spec,
@@ -69,6 +83,38 @@ void IlanScheduler::loop_finished(const rt::TaskloopSpec& spec,
       }
     }
   }
+
+  // PTT staleness detection (graceful degradation): once the search has
+  // locked in a configuration, executions that keep landing far above the
+  // best wall time ever observed for that configuration mean the PTT no
+  // longer describes the machine — interference, throttling, a degraded
+  // node. After `staleness_patience` consecutive stale executions the
+  // search restarts (bounded by max_reexplorations so interference that
+  // never settles cannot turn exploration into a steady-state cost).
+  if (params_.reactive && params_.moldability) {
+    LoopState& st = state_[spec.loop_id];
+    if (st.finished || st.counter_locked) {
+      const PttEntry* e = ptt_.find(spec.loop_id, stats.config.num_threads,
+                                    stats.config.steal_policy);
+      const double wall_s = sim::to_seconds(stats.wall);
+      const bool stale = e != nullptr && e->wall.min() > 0.0 &&
+                         wall_s > params_.staleness_factor * e->wall.min();
+      st.stale_streak = stale ? st.stale_streak + 1 : 0;
+      if (st.stale_streak >= params_.staleness_patience &&
+          st.reexplorations < params_.max_reexplorations) {
+        st.search.reset();
+        st.finished = false;
+        st.counter_locked = false;
+        st.policy = StealPolicyEvaluator{};
+        st.k0 = st.k;
+        st.stale_streak = 0;
+        ++st.reexplorations;
+        ++total_reexplorations_;
+      }
+    } else {
+      st.stale_streak = 0;
+    }
+  }
 }
 
 int IlanScheduler::executions(rt::LoopId loop) const {
@@ -84,6 +130,11 @@ bool IlanScheduler::search_finished(rt::LoopId loop) const {
 bool IlanScheduler::counter_locked(rt::LoopId loop) const {
   const auto it = state_.find(loop);
   return it != state_.end() && it->second.counter_locked;
+}
+
+int IlanScheduler::reexplorations(rt::LoopId loop) const {
+  const auto it = state_.find(loop);
+  return it == state_.end() ? 0 : it->second.reexplorations;
 }
 
 }  // namespace ilan::core

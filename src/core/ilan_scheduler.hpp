@@ -39,21 +39,35 @@ class IlanScheduler final : public rt::Scheduler {
   // True when counter-guided selection classified the loop compute-bound
   // and skipped the thread search.
   [[nodiscard]] bool counter_locked(rt::LoopId loop) const;
+  // Re-exploration windows triggered by PTT staleness (graceful
+  // degradation under dynamic interference), per loop and in total.
+  [[nodiscard]] int reexplorations(rt::LoopId loop) const;
+  [[nodiscard]] int total_reexplorations() const { return total_reexplorations_; }
 
  private:
   struct LoopState {
     int k = 0;  // executions seen (1-based during selection)
+    // Execution count at which the current search window opened: the
+    // search-local execution index is k - k0, so a staleness-triggered
+    // restart replays Algorithm 1 from its warm-up step.
+    int k0 = 0;
     std::unique_ptr<ThreadSearch> search;
     StealPolicyEvaluator policy;
     bool finished = false;
     // Counter-guided classification: loop proven compute-bound after k = 1,
     // search skipped entirely.
     bool counter_locked = false;
+    // Consecutive locked-in executions slower than staleness_factor x the
+    // PTT's best observed wall time for the executed configuration.
+    int stale_streak = 0;
+    // Re-exploration windows consumed (bounded by max_reexplorations).
+    int reexplorations = 0;
   };
 
   IlanParams params_;
   PerfTraceTable ptt_;
   std::unordered_map<rt::LoopId, LoopState> state_;
+  int total_reexplorations_ = 0;
 };
 
 }  // namespace ilan::core

@@ -6,7 +6,8 @@
 namespace ilan::core {
 
 rt::NodeMask select_node_mask(const topo::Topology& topo, const PerfTraceTable& ptt,
-                              rt::LoopId loop, int num_threads, int g) {
+                              rt::LoopId loop, int num_threads, int g,
+                              const rt::NodeHealth* health) {
   if (g <= 0) throw std::invalid_argument("select_node_mask: g must be positive");
   if (num_threads <= 0) throw std::invalid_argument("select_node_mask: need threads");
 
@@ -18,14 +19,36 @@ rt::NodeMask select_node_mask(const topo::Topology& topo, const PerfTraceTable& 
   want = std::min(want, topo.num_nodes());
   if (want == topo.num_nodes()) return rt::NodeMask::all(topo.num_nodes());
 
-  const auto ranked = ptt.nodes_ranked(loop, topo.num_nodes());
-  const topo::NodeId seed = ranked.front();
+  // Health of a node on the health-blind path: everything counts healthy,
+  // which collapses the passes below to the original single sweep.
+  const auto condition_of = [&](topo::NodeId n) {
+    return health != nullptr ? health->condition(n) : rt::NodeCondition::kHealthy;
+  };
 
+  const auto ranked = ptt.nodes_ranked(loop, topo.num_nodes());
+  // Seed from the fastest healthy node; all-unhealthy falls back to the
+  // plain ranking (there is nothing better to route to).
+  topo::NodeId seed = ranked.front();
+  for (const topo::NodeId n : ranked) {
+    if (condition_of(n) == rt::NodeCondition::kHealthy) {
+      seed = n;
+      break;
+    }
+  }
+
+  // Fill by proximity in demotion order: healthy nodes first, then
+  // degraded, then offline — an unhealthy node joins the mask only when the
+  // thread count cannot be hosted without it.
   rt::NodeMask mask;
   int taken = 0;
-  for (const topo::NodeId n : topo.nodes_by_distance(seed)) {
-    mask.set(n);
-    if (++taken == want) break;
+  for (const rt::NodeCondition pass :
+       {rt::NodeCondition::kHealthy, rt::NodeCondition::kDegraded,
+        rt::NodeCondition::kOffline}) {
+    for (const topo::NodeId n : topo.nodes_by_distance(seed)) {
+      if (condition_of(n) != pass || mask.test(n)) continue;
+      mask.set(n);
+      if (++taken == want) return mask;
+    }
   }
   return mask;
 }

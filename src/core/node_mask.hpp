@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/ptt.hpp"
+#include "rt/health.hpp"
 #include "rt/task.hpp"
 #include "topo/topology.hpp"
 
@@ -13,8 +14,15 @@ namespace ilan::core {
 
 // Selects ceil(num_threads / g) nodes. With no PTT history the mask starts
 // at node 0 (deterministic cold start).
+//
+// When `health` is non-null (the reactive path), unhealthy nodes are
+// demoted: the seed is the fastest *healthy* ranked node, and nodes fill
+// the mask healthy-first, then degraded, then offline — a molded loop
+// routes around a faulted node whenever enough healthy nodes exist. With
+// every node healthy the selection is identical to the health-blind one.
 [[nodiscard]] rt::NodeMask select_node_mask(const topo::Topology& topo,
                                             const PerfTraceTable& ptt,
-                                            rt::LoopId loop, int num_threads, int g);
+                                            rt::LoopId loop, int num_threads, int g,
+                                            const rt::NodeHealth* health = nullptr);
 
 }  // namespace ilan::core

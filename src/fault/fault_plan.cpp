@@ -1,0 +1,234 @@
+#include "fault/fault_plan.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace ilan::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBandwidthBurst: return "burst";
+    case FaultKind::kCoreThrottle: return "throttle";
+    case FaultKind::kNodeDegrade: return "degrade";
+    case FaultKind::kNodeOffline: return "offline";
+    case FaultKind::kLatencySpike: return "latency";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::string spec;
+};
+
+// Timing is millisecond-scale so every kernel (loop walls are ~0.1–10 ms,
+// whole runs tens of ms at the selfcheck timestep counts) sees several
+// fault windows per run regardless of ILAN_BENCH_TIMESTEPS.
+const std::vector<Scenario>& catalog() {
+  static const std::vector<Scenario> scenarios = {
+      {"none", ""},
+      {"burst", "burst(dur=0.005,period=0.012,mag=8)"},
+      {"throttle", "throttle(dur=0.008,period=0.020,mag=0.4)"},
+      {"nodedown", "degrade(dur=0.018,period=0.045,mag=0.35)"},
+      {"offline", "offline(dur=0.012,period=0.060,mag=0.2)"},
+      {"latency", "latency(dur=0.004,period=0.016,mag=12)"},
+      {"storm",
+       "burst(dur=0.005,period=0.013,mag=8);"
+       "throttle(dur=0.007,period=0.021,mag=0.45);"
+       "degrade(dur=0.015,period=0.047,mag=0.4);"
+       "latency(dur=0.003,period=0.017,mag=10)"},
+  };
+  return scenarios;
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("FaultPlan: " + msg);
+}
+
+struct Defaults {
+  double dur_s;
+  double period_s;
+  double mag;
+  bool needs_node;
+};
+
+Defaults defaults_for(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBandwidthBurst: return {0.005, 0.012, 8.0, true};
+    case FaultKind::kCoreThrottle: return {0.008, 0.020, 0.4, true};
+    case FaultKind::kNodeDegrade: return {0.018, 0.045, 0.35, true};
+    case FaultKind::kNodeOffline: return {0.012, 0.060, 0.2, true};
+    case FaultKind::kLatencySpike: return {0.004, 0.016, 12.0, false};
+  }
+  fail("unknown kind");
+}
+
+FaultKind parse_kind(std::string_view word) {
+  if (word == "burst") return FaultKind::kBandwidthBurst;
+  if (word == "throttle") return FaultKind::kCoreThrottle;
+  if (word == "degrade") return FaultKind::kNodeDegrade;
+  if (word == "offline") return FaultKind::kNodeOffline;
+  if (word == "latency") return FaultKind::kLatencySpike;
+  fail("unknown fault kind '" + std::string(word) + "'");
+}
+
+std::string strip(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+double parse_number(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    fail("bad " + what + " value '" + text + "'");
+  }
+  return v;
+}
+
+void validate_clause(const FaultClause& c, const topo::Topology& topo) {
+  if (c.start < 0) fail("'at' must be >= 0");
+  if (c.duration < 0) fail("'dur' must be >= 0");
+  if (c.period < 0) fail("'period' must be >= 0");
+  if (c.period > 0 && c.duration > c.period) {
+    fail("'dur' must not exceed 'period' (a clause may not overlap itself)");
+  }
+  if (c.period > 0 && c.duration == 0) {
+    fail("a periodic clause needs a finite 'dur'");
+  }
+  if (c.kind == FaultKind::kLatencySpike) {
+    if (c.node != -1) fail("'node' is not meaningful for latency spikes");
+  } else if (c.node < 0 || c.node >= topo.num_nodes()) {
+    fail("'node' outside the topology (have " + std::to_string(topo.num_nodes()) +
+         " nodes)");
+  }
+  if (c.magnitude <= 0.0) fail("'mag' must be > 0");
+  const bool is_scale = c.kind == FaultKind::kCoreThrottle ||
+                        c.kind == FaultKind::kNodeDegrade ||
+                        c.kind == FaultKind::kNodeOffline;
+  if (is_scale && c.magnitude >= 1.0) {
+    fail(std::string(to_string(c.kind)) + " 'mag' is a slowdown factor in (0, 1)");
+  }
+  if (c.kind == FaultKind::kLatencySpike && c.magnitude <= 1.0) {
+    fail("latency 'mag' is a latency multiplier > 1");
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& s : catalog()) out.push_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+bool is_scenario(std::string_view name) {
+  for (const auto& s : catalog()) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::string_view scenario_spec(std::string_view name) {
+  for (const auto& s : catalog()) {
+    if (s.name == name) return s.spec;
+  }
+  fail("unknown scenario '" + std::string(name) + "'");
+}
+
+FaultPlan parse_plan(std::string_view spec, std::uint64_t seed,
+                     const topo::Topology& topo) {
+  FaultPlan plan;
+  std::string text = strip(spec);
+  if (is_scenario(text)) text = strip(scenario_spec(text));
+  plan.spec = text;
+  if (text.empty()) return plan;
+
+  // All plan randomness comes from one substream of the run seed: the
+  // realization is a pure function of (spec, seed, topology), and drawing
+  // it here never perturbs the machine's own noise/jitter streams.
+  sim::Xoshiro256ss rng = sim::Xoshiro256ss(seed).split(0xfa177u);
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = text.find(';', pos);
+    const std::string clause_text =
+        text.substr(pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? text.size() : end + 1;
+    if (clause_text.empty()) continue;
+
+    const std::size_t open = clause_text.find('(');
+    std::string kind_word = clause_text.substr(0, open);
+    FaultClause c;
+    c.kind = parse_kind(kind_word);
+    const Defaults dfl = defaults_for(c.kind);
+    double at_s = -1.0;  // unset
+    double dur_s = dfl.dur_s;
+    double period_s = dfl.period_s;
+    c.magnitude = dfl.mag;
+    bool node_set = false;
+
+    if (open != std::string::npos) {
+      if (clause_text.back() != ')') fail("missing ')' in '" + clause_text + "'");
+      const std::string args = clause_text.substr(open + 1, clause_text.size() - open - 2);
+      std::size_t a = 0;
+      while (a < args.size()) {
+        const std::size_t comma = args.find(',', a);
+        const std::string kv =
+            args.substr(a, comma == std::string::npos ? std::string::npos : comma - a);
+        a = comma == std::string::npos ? args.size() : comma + 1;
+        if (kv.empty()) continue;
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) fail("expected key=value, got '" + kv + "'");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "at") {
+          at_s = parse_number(value, key);
+        } else if (key == "dur") {
+          dur_s = parse_number(value, key);
+        } else if (key == "period") {
+          period_s = parse_number(value, key);
+        } else if (key == "node") {
+          c.node = static_cast<int>(parse_number(value, key));
+          node_set = true;
+        } else if (key == "mag") {
+          c.magnitude = parse_number(value, key);
+        } else {
+          fail("unknown key '" + key + "'");
+        }
+      }
+    }
+
+    // Draw unspecified fields. Both draws always consume the stream in the
+    // same order, so adding an explicit key to one clause never shifts the
+    // realization of the next.
+    const double at_draw =
+        rng.uniform(0.0, period_s > 0.0 ? period_s : 0.010);
+    if (at_s < 0.0) at_s = at_draw;
+    const int node_draw =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(topo.num_nodes())));
+    if (!node_set && dfl.needs_node) c.node = node_draw;
+
+    c.start = sim::from_seconds(at_s);
+    c.duration = sim::from_seconds(dur_s);
+    c.period = sim::from_seconds(period_s);
+    validate_clause(c, topo);
+    plan.clauses.push_back(c);
+  }
+  if (plan.clauses.empty()) fail("spec '" + std::string(spec) + "' has no clauses");
+  return plan;
+}
+
+}  // namespace ilan::fault

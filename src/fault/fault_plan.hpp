@@ -1,0 +1,86 @@
+// Deterministic fault plans.
+//
+// A FaultPlan is a list of timed perturbation clauses parsed from the
+// ILAN_FAULTS environment knob: either a named scenario from the shipped
+// catalog ("burst", "storm", ...) or a small DSL. Unspecified timing/target
+// fields are drawn from a substream of the run's seeded RNG, so a plan
+// realization is a pure function of (spec text, seed, topology) — fault
+// runs stay bit-reproducible and digest-stable, the property PR 2's
+// determinism digests verify.
+//
+// Grammar (whitespace ignored):
+//   spec   ::= clause { ';' clause }
+//   clause ::= kind [ '(' [ key '=' value { ',' key '=' value } ] ')' ]
+//   kind   ::= burst | throttle | degrade | offline | latency
+//   key    ::= at | dur | period | node | mag     (times in seconds)
+//
+// Clause semantics (applied by fault::FaultInjector):
+//   burst     co-runner bandwidth pressure: `mag` extra request streams on
+//             `node`'s memory controller.
+//   throttle  core frequency throttling: `node`'s cores run at `mag` (< 1)
+//             of their effective frequency.
+//   degrade   transient node degradation: NodeCondition::kDegraded plus
+//             frequency and controller bandwidth scaled by `mag`.
+//   offline   severe degradation: NodeCondition::kOffline, frequency and
+//             bandwidth scaled by `mag` (default 0.2). The node still
+//             completes work (nothing in the model can drop a task), but
+//             the reactive scheduler should route around it.
+//   latency   machine-wide scheduling-latency spike: scheduling-path
+//             latencies multiply by `mag`.
+//
+// A clause first fires at `at`, reverts after `dur` (0 = never reverts),
+// and re-applies every `period` (0 = one-shot). Unspecified `at` is drawn
+// uniformly in [0, period) (or [0, 10ms) for one-shots); unspecified `node`
+// is drawn uniformly over the topology's nodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+
+namespace ilan::fault {
+
+enum class FaultKind : std::uint8_t {
+  kBandwidthBurst,
+  kCoreThrottle,
+  kNodeDegrade,
+  kNodeOffline,
+  kLatencySpike,
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultClause {
+  FaultKind kind = FaultKind::kBandwidthBurst;
+  sim::SimTime start = 0;     // first application (absolute)
+  sim::SimTime duration = 0;  // effect length; 0 = until run end
+  sim::SimTime period = 0;    // re-application period; 0 = one-shot
+  int node = -1;              // target node; -1 = machine-wide (latency only)
+  double magnitude = 1.0;     // kind-specific (streams or scale factor)
+};
+
+struct FaultPlan {
+  std::string spec;  // the text the plan was parsed from
+  std::vector<FaultClause> clauses;
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+};
+
+// The shipped scenario catalog (what `bench/selfcheck --faults` and
+// fig7_fault_resilience sweep). "none" is the fault-free control.
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+[[nodiscard]] bool is_scenario(std::string_view name);
+// DSL text a scenario name expands to; throws on unknown names.
+[[nodiscard]] std::string_view scenario_spec(std::string_view name);
+
+// Parses a scenario name or DSL spec into a realized plan. Throws
+// std::invalid_argument on syntax errors, unknown kinds/keys, or
+// out-of-range values (node beyond the topology, non-positive magnitudes,
+// dur > period, ...).
+[[nodiscard]] FaultPlan parse_plan(std::string_view spec, std::uint64_t seed,
+                                   const topo::Topology& topo);
+
+}  // namespace ilan::fault

@@ -1,0 +1,132 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/event_tags.hpp"
+
+namespace ilan::fault {
+
+FaultInjector::FaultInjector(rt::Machine& machine, FaultPlan plan)
+    : machine_(machine), plan_(std::move(plan)) {
+  for (const auto& c : plan_.clauses) {
+    if (c.node >= machine_.topology().num_nodes()) {
+      throw std::invalid_argument("FaultInjector: clause node outside topology");
+    }
+  }
+  active_.assign(plan_.clauses.size(), false);
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: arm() called twice");
+  armed_ = true;
+  for (std::size_t ci = 0; ci < plan_.clauses.size(); ++ci) {
+    schedule_occurrence(ci, plan_.clauses[ci].start);
+  }
+}
+
+void FaultInjector::schedule_occurrence(std::size_t ci, sim::SimTime at) {
+  machine_.engine().schedule_at(
+      at, [this, ci] { on_apply(ci); }, sim::kTagFaultApply, /*daemon=*/true);
+}
+
+void FaultInjector::on_apply(std::size_t ci) {
+  const FaultClause& c = plan_.clauses[ci];
+  active_[ci] = true;
+  ++applications_;
+  refresh();
+  auto& engine = machine_.engine();
+  if (c.duration > 0) {
+    engine.schedule_after(
+        c.duration, [this, ci] { on_revert(ci); }, sim::kTagFaultRevert,
+        /*daemon=*/true);
+  }
+  // Lazy periodic re-scheduling: the next occurrence is created only when
+  // this one fires, so an indefinitely repeating clause holds one pending
+  // apply (plus at most one pending revert) at any time.
+  if (c.period > 0) schedule_occurrence(ci, engine.now() + c.period);
+}
+
+void FaultInjector::on_revert(std::size_t ci) {
+  active_[ci] = false;
+  ++reversions_;
+  refresh();
+}
+
+void FaultInjector::refresh() {
+  const auto& topo = machine_.topology();
+  const auto nn = static_cast<std::size_t>(topo.num_nodes());
+  std::vector<double> freq(nn, 1.0);
+  std::vector<double> bw(nn, 1.0);
+  std::vector<double> streams(nn, 0.0);
+  std::vector<rt::NodeCondition> cond(nn, rt::NodeCondition::kHealthy);
+  double sched = 1.0;
+
+  for (std::size_t ci = 0; ci < plan_.clauses.size(); ++ci) {
+    if (!active_[ci]) continue;
+    const FaultClause& c = plan_.clauses[ci];
+    const auto n = static_cast<std::size_t>(std::max(c.node, 0));
+    switch (c.kind) {
+      case FaultKind::kBandwidthBurst:
+        streams[n] += c.magnitude;
+        break;
+      case FaultKind::kCoreThrottle:
+        freq[n] *= c.magnitude;
+        break;
+      case FaultKind::kNodeDegrade:
+        freq[n] *= c.magnitude;
+        bw[n] *= c.magnitude;
+        if (cond[n] == rt::NodeCondition::kHealthy) {
+          cond[n] = rt::NodeCondition::kDegraded;
+        }
+        break;
+      case FaultKind::kNodeOffline:
+        freq[n] *= c.magnitude;
+        bw[n] *= c.magnitude;
+        cond[n] = rt::NodeCondition::kOffline;
+        break;
+      case FaultKind::kLatencySpike:
+        sched *= c.magnitude;
+        break;
+    }
+  }
+
+  auto& noise = machine_.noise();
+  auto& memory = machine_.memory();
+  auto& health = machine_.health();
+  bool memory_touched = false;
+  for (std::size_t i = 0; i < nn; ++i) {
+    const topo::NodeId node{static_cast<std::int32_t>(i)};
+    for (const topo::CoreId core : topo.node(node).cores) {
+      if (noise.freq_scale(core.value()) != freq[i]) {
+        noise.set_freq_scale(core.value(), freq[i]);
+        memory_touched = true;  // cpu_hz re-read happens inside resolve()
+      }
+    }
+    if (memory.bw_scale(node) != bw[i]) {
+      memory.set_bw_scale(node, bw[i]);
+      memory_touched = true;
+    }
+    if (memory.extra_streams(node) != streams[i]) {
+      memory.set_extra_streams(node, streams[i]);
+      memory_touched = true;
+    }
+    health.set(node, cond[i]);
+  }
+  noise.set_sched_scale(sched);
+  if (memory_touched) memory.request_resolve();
+}
+
+std::vector<topo::NodeId> FaultInjector::degraded_targets() const {
+  std::vector<topo::NodeId> out;
+  for (const auto& c : plan_.clauses) {
+    if (c.kind != FaultKind::kNodeDegrade && c.kind != FaultKind::kNodeOffline) {
+      continue;
+    }
+    const topo::NodeId n{c.node};
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace ilan::fault

@@ -1,0 +1,58 @@
+// FaultInjector: realizes a FaultPlan against a live Machine.
+//
+// arm() schedules every clause's first occurrence as *daemon* events in the
+// simulation engine (sim/engine.hpp): they fire in time order while real
+// work is running but can never keep the engine alive or stretch a run past
+// its workload. Periodic clauses re-schedule themselves lazily on each
+// firing, so an indefinitely repeating fault costs O(1) pending events.
+//
+// Effects are composed, not toggled: every apply/revert recomputes the
+// machine-facing composites (per-core frequency scale, per-node bandwidth
+// scale and co-runner streams, node health, global scheduling-latency
+// scale) from the set of currently-active clauses. Overlapping clauses on
+// the same node therefore stack multiplicatively and revert cleanly in any
+// order. Every transition also forces a memory-system rate re-solve so the
+// perturbation takes effect at the transition instant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "rt/runtime.hpp"
+
+namespace ilan::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(rt::Machine& machine, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules the plan's first occurrences. Call once, before the run.
+  void arm();
+
+  // --- telemetry ----------------------------------------------------------
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::int64_t applications() const { return applications_; }
+  [[nodiscard]] std::int64_t reversions() const { return reversions_; }
+  // Nodes any degrade/offline clause targets (for demotion accounting).
+  [[nodiscard]] std::vector<topo::NodeId> degraded_targets() const;
+
+ private:
+  void schedule_occurrence(std::size_t ci, sim::SimTime at);
+  void on_apply(std::size_t ci);
+  void on_revert(std::size_t ci);
+  // Recomputes all composites from active_ and pushes them to the machine.
+  void refresh();
+
+  rt::Machine& machine_;
+  FaultPlan plan_;
+  std::vector<bool> active_;  // per clause
+  bool armed_ = false;
+  std::int64_t applications_ = 0;
+  std::int64_t reversions_ = 0;
+};
+
+}  // namespace ilan::fault

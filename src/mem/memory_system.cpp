@@ -29,7 +29,31 @@ MemorySystem::MemorySystem(sim::Engine& engine, const topo::Topology& topo,
   }
   stream_bytes_.resize(static_cast<std::size_t>(topo_.num_nodes()));
   gather_bytes_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+  extra_streams_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
+  bw_scale_.assign(static_cast<std::size_t>(topo_.num_nodes()), 1.0);
 }
+
+void MemorySystem::set_extra_streams(topo::NodeId node, double streams) {
+  if (streams < 0.0) {
+    throw std::invalid_argument("MemorySystem: extra streams must be >= 0");
+  }
+  extra_streams_.at(node.index()) = streams;
+}
+
+double MemorySystem::extra_streams(topo::NodeId node) const {
+  return extra_streams_.at(node.index());
+}
+
+void MemorySystem::set_bw_scale(topo::NodeId node, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("MemorySystem: bw scale must be > 0");
+  bw_scale_.at(node.index()) = scale;
+}
+
+double MemorySystem::bw_scale(topo::NodeId node) const {
+  return bw_scale_.at(node.index());
+}
+
+void MemorySystem::request_resolve() { schedule_resolve(); }
 
 double MemorySystem::core_hz(topo::CoreId core) const {
   const double base = topo_.core(core).base_freq_ghz * 1e9;
@@ -223,8 +247,15 @@ void MemorySystem::resolve() {
   const auto nn = static_cast<std::size_t>(topo_.num_nodes());
   ++solver_stats_.resolves;
 
-  // 1. Advance everyone to `now`.
-  for (auto& [id, rec] : active_) advance(rec, now);
+  // 1. Advance everyone to `now`, then re-read each core's effective
+  // frequency: consumed cycles were burned at the old rate, remaining
+  // cycles drain at the current one. With only static noise this re-reads
+  // the same value; with a throttle fault active it is how the slowdown
+  // takes effect mid-execution.
+  for (auto& [id, rec] : active_) {
+    advance(rec, now);
+    rec.cpu_hz = core_hz(rec.core);
+  }
 
   // Structural signature of the max-min problem. The constraint/membership
   // structure is a pure function of, per active execution in order: the
@@ -281,6 +312,13 @@ void MemorySystem::resolve() {
       }
     }
   }
+  // Fault-injected co-runner pressure joins the stream count on controllers
+  // the workload is actually using (a constraint only exists where task
+  // flows source from; pressuring an untouched controller affects nobody).
+  // Adding 0.0 on the no-fault path leaves every count bit-identical.
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (streams_on_controller[i] > 0.0) streams_on_controller[i] += extra_streams_[i];
+  }
 
   // 3. Solve the max-min problem. Re-point the flow references at the
   // current records (they may be new executions with a cached structure),
@@ -318,7 +356,7 @@ void MemorySystem::resolve() {
           params_.congestion_derate_max,
           1.0 + params_.congestion_beta *
                     std::max(0.0, streams_on_controller[i] - params_.congestion_knee));
-      const double cap = node.mem_bw_gbps * kGB / derate;
+      const double cap = node.mem_bw_gbps * bw_scale_[i] * kGB / derate;
       if (cap != entry->controller_cap[k]) {
         entry->controller_cap[k] = cap;
         entry->net.set_capacity(entry->controller_cidx[k], cap);
@@ -432,7 +470,7 @@ void MemorySystem::rebuild_network(NetCache& entry,
         params_.congestion_derate_max,
         1.0 + params_.congestion_beta *
                   std::max(0.0, streams_on_controller[i] - params_.congestion_knee));
-    const double cap = node.mem_bw_gbps * kGB / derate;
+    const double cap = node.mem_bw_gbps * bw_scale_[i] * kGB / derate;
     controller_c[i] = net.add_constraint(cap);
     entry.controller_nodes.push_back(static_cast<std::int32_t>(i));
     entry.controller_cidx.push_back(controller_c[i]);

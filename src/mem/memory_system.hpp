@@ -123,6 +123,23 @@ class MemorySystem {
   // Effective frequency of a core (base * per-run noise factor), in Hz.
   [[nodiscard]] double core_hz(topo::CoreId core) const;
 
+  // --- fault-injection knobs (src/fault/) --------------------------------
+  // Co-runner bandwidth pressure: `streams` extra request streams queued at
+  // node `node`'s controller. They enter the congestion derating (and the
+  // gather loaded-latency channel) exactly like task-generated streams, but
+  // carry no bytes of their own.
+  void set_extra_streams(topo::NodeId node, double streams);
+  [[nodiscard]] double extra_streams(topo::NodeId node) const;
+  // Transient controller degradation: node `node`'s controller capacity is
+  // multiplied by `scale` (1.0 = healthy) until changed back.
+  void set_bw_scale(topo::NodeId node, double scale);
+  [[nodiscard]] double bw_scale(topo::NodeId node) const;
+  // Forces a rate re-solve at the current simulated time (coalesced with any
+  // already-pending resolve). Fault transitions call this so rate and
+  // frequency changes take effect at the transition instant, not at the
+  // next task boundary.
+  void request_resolve();
+
   // Clears caches and traffic stats between runs. Requires no active
   // executions.
   void reset_run();
@@ -200,6 +217,11 @@ class MemorySystem {
   ExecId next_id_ = 1;
   bool resolve_pending_ = false;
   TrafficStats traffic_;
+
+  // Fault-injection state (all-1.0/0.0 when no fault is active; the resolve
+  // math then reproduces the unperturbed values bit-for-bit).
+  std::vector<double> extra_streams_;  // per node
+  std::vector<double> bw_scale_;       // per node
 
   // Scratch buffers reused across resolves.
   std::vector<double> stream_bytes_;

@@ -1,0 +1,67 @@
+// Per-NUMA-node health, the runtime's view of fault-injected degradation.
+//
+// The fault injector (src/fault/) writes node conditions as perturbations
+// take effect and revert; the scheduler's graceful-degradation paths read
+// them: node-mask selection demotes unhealthy nodes, the distributor
+// down-weights their block shares, and the acquire path escalates stealing
+// from nodes whose primaries have effectively stalled. The default (all
+// nodes kHealthy, epoch 0) is what every non-fault run sees, so reactive
+// code paths reduce to the unperturbed behaviour bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "topo/ids.hpp"
+
+namespace ilan::rt {
+
+enum class NodeCondition : std::uint8_t {
+  kHealthy,   // full capacity
+  kDegraded,  // reduced frequency/bandwidth; usable but to be de-prioritised
+  kOffline,   // effectively unusable (severe degradation)
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeCondition c) {
+  switch (c) {
+    case NodeCondition::kHealthy: return "healthy";
+    case NodeCondition::kDegraded: return "degraded";
+    case NodeCondition::kOffline: return "offline";
+  }
+  return "?";
+}
+
+class NodeHealth {
+ public:
+  explicit NodeHealth(int num_nodes)
+      : condition_(static_cast<std::size_t>(num_nodes), NodeCondition::kHealthy) {
+    if (num_nodes <= 0) throw std::invalid_argument("NodeHealth: need nodes");
+  }
+
+  [[nodiscard]] NodeCondition condition(topo::NodeId n) const {
+    return condition_.at(n.index());
+  }
+
+  void set(topo::NodeId n, NodeCondition c) {
+    auto& cur = condition_.at(n.index());
+    if (cur == c) return;
+    if (cur != NodeCondition::kHealthy) --unhealthy_;
+    if (c != NodeCondition::kHealthy) ++unhealthy_;
+    cur = c;
+    ++epoch_;
+  }
+
+  [[nodiscard]] bool all_healthy() const { return unhealthy_ == 0; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(condition_.size()); }
+  // Bumped on every condition change; lets observers cheaply notice "health
+  // changed since I last looked".
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<NodeCondition> condition_;
+  int unhealthy_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ilan::rt

@@ -6,7 +6,8 @@ Machine::Machine(const MachineParams& params)
     : seed_(params.seed),
       topo_(topo::build(params.spec)),
       noise_(params.noise, params.seed, topo_.num_cores()),
-      regions_(topo_.num_nodes()) {
+      regions_(topo_.num_nodes()),
+      health_(topo_.num_nodes()) {
   memory_ = std::make_unique<mem::MemorySystem>(engine_, topo_, params.mem, regions_,
                                                 &noise_);
 }

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "mem/memory_system.hpp"
+#include "rt/health.hpp"
 #include "sim/engine.hpp"
 #include "sim/noise.hpp"
 #include "topo/builder.hpp"
@@ -33,6 +34,11 @@ class Machine {
   [[nodiscard]] sim::NoiseModel& noise() { return noise_; }
   [[nodiscard]] mem::RegionTable& regions() { return regions_; }
   [[nodiscard]] mem::MemorySystem& memory() { return *memory_; }
+  // Per-node health: written by the fault injector, read by the scheduler's
+  // graceful-degradation paths. All-healthy for the whole run when no fault
+  // plan is armed.
+  [[nodiscard]] NodeHealth& health() { return health_; }
+  [[nodiscard]] const NodeHealth& health() const { return health_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
  private:
@@ -41,6 +47,7 @@ class Machine {
   topo::Topology topo_;
   sim::NoiseModel noise_;
   mem::RegionTable regions_;
+  NodeHealth health_;
   std::unique_ptr<mem::MemorySystem> memory_;
 };
 

@@ -111,7 +111,7 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
                        sim::kTagWorkerWake);
   }
 
-  engine.run();
+  run_engine("taskloop");
 
   if (remaining_tasks_ != 0 || !loop_done_) {
     throw std::logic_error("Team: taskloop did not complete (scheduler starvation?)");
@@ -219,8 +219,24 @@ void Team::serial_compute(double cpu_cycles,
   bool done = false;
   machine_.memory().begin(workers_.front().core, cpu_cycles, accesses,
                           [&done] { done = true; });
-  machine_.engine().run();
+  run_engine("serial section");
   if (!done) throw std::logic_error("Team: serial section did not complete");
+}
+
+void Team::run_engine(const char* what) {
+  auto& engine = machine_.engine();
+  if (deadline_ <= 0) {
+    engine.run();
+    return;
+  }
+  engine.run_until(deadline_);
+  if (engine.pending_regular() != 0) {
+    throw WatchdogTimeout(
+        std::string("Team: watchdog deadline (") +
+            std::to_string(sim::to_seconds(deadline_)) + "s simulated) hit with " +
+            std::to_string(engine.pending_regular()) + " event(s) pending in " + what,
+        deadline_);
+  }
 }
 
 sim::SimTime Team::total_loop_time() const {

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rt/cost_model.hpp"
@@ -26,6 +28,20 @@ namespace ilan::rt {
 
 struct TeamParams {
   CostParams costs;
+};
+
+// Thrown when a run's simulated time crosses the watchdog deadline with
+// work still pending: a runaway configuration (or a fault scenario the
+// scheduler failed to absorb) is aborted instead of simulated forever. The
+// bench harness turns this into a structured RunResult failure record.
+class WatchdogTimeout : public std::runtime_error {
+ public:
+  WatchdogTimeout(const std::string& what, sim::SimTime deadline)
+      : std::runtime_error(what), deadline_(deadline) {}
+  [[nodiscard]] sim::SimTime deadline() const { return deadline_; }
+
+ private:
+  sim::SimTime deadline_;
 };
 
 class Team {
@@ -63,6 +79,19 @@ class Team {
   [[nodiscard]] bool node_queues_empty(topo::NodeId n) const;
 
   void note_steal(bool remote);
+  // A steal permitted only by health-aware escalation (reactive fallback
+  // raiding an unhealthy node under a strict policy). Telemetry only.
+  void note_escalated_steal() { ++steals_escalated_total_; }
+  [[nodiscard]] std::int64_t total_escalated_steals() const {
+    return steals_escalated_total_;
+  }
+
+  // Watchdog: absolute simulated-time deadline for the whole run. 0 (the
+  // default) disables it. When a taskloop or serial section still has
+  // pending work past the deadline, run_taskloop/serial_compute throw
+  // WatchdogTimeout instead of simulating on.
+  void set_deadline(sim::SimTime deadline) { deadline_ = deadline; }
+  [[nodiscard]] sim::SimTime deadline() const { return deadline_; }
 
   // Loop currently executing (nullptr outside run_taskloop) and its config.
   [[nodiscard]] const TaskloopSpec* current_loop() const { return cur_spec_; }
@@ -92,6 +121,9 @@ class Team {
   // Marks workers active per the config: nodes in the mask contribute cores
   // in order until num_threads workers are active.
   void activate_workers(const LoopConfig& cfg);
+  // Drives the engine to completion or the watchdog deadline; throws
+  // WatchdogTimeout if regular events still pend past the deadline.
+  void run_engine(const char* what);
   void worker_seek(int wid);
   void start_task(int wid, const Task& task);
   void finish_task(int wid, const Task& task, sim::SimTime exec_start);
@@ -115,7 +147,9 @@ class Team {
   std::int64_t steals_local_ = 0;
   std::int64_t steals_remote_ = 0;
   std::int64_t tasks_total_ = 0;
+  std::int64_t steals_escalated_total_ = 0;
   sim::SimTime config_select_charged_ = 0;
+  sim::SimTime deadline_ = 0;  // 0 = watchdog off
 
   std::vector<LoopExecStats> history_;
   trace::ChromeTraceWriter* tracer_ = nullptr;

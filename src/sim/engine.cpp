@@ -78,15 +78,17 @@ void Engine::heap_pop_min() {
   heap_.pop_back();
 }
 
-EventId Engine::schedule_at(SimTime at, Callback fn, EventTag tag) {
+EventId Engine::schedule_at(SimTime at, Callback fn, EventTag tag, bool daemon) {
   check_schedule(at);
   if (!fn) throw std::invalid_argument("Engine: null callback");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slot(idx);
   s.fn = std::move(fn);
   s.tag = tag;
+  s.daemon = daemon;
   heap_push(Entry{at, next_seq_++, idx, s.generation});
   ++live_;
+  if (!daemon) ++live_regular_;
   return (static_cast<EventId>(s.generation) << 32) | idx;
 }
 
@@ -94,6 +96,7 @@ bool Engine::cancel(EventId id) {
   const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   if (idx >= num_slots_ || slot(idx).generation != gen) return false;
+  if (!slot(idx).daemon) --live_regular_;
   release_slot(idx);  // heap entry removed lazily on pop
   --live_;
   return true;
@@ -104,6 +107,9 @@ std::size_t Engine::run() { return run_until(INT64_MAX); }
 std::size_t Engine::run_until(SimTime limit) {
   std::size_t n = 0;
   while (!heap_.empty()) {
+    // Only daemon events left: stop without firing them — perturbations
+    // must never advance time past the real workload.
+    if (live_regular_ == 0) break;
     const Entry top = heap_.front();
     Slot& s = slot(top.slot);
     if (s.generation != top.generation) {
@@ -118,6 +124,7 @@ std::size_t Engine::run_until(SimTime limit) {
     // callback has finished running in place.
     if (++s.generation == 0) s.generation = 1;
     --live_;
+    if (!s.daemon) --live_regular_;
     now_ = top.at;
     commit_event(top.at, fired_, s.tag);
     s.fn();
@@ -139,6 +146,7 @@ void Engine::reset() {
   heap_.clear();
   now_ = 0;
   live_ = 0;
+  live_regular_ = 0;
   fired_ = 0;
   next_seq_ = 1;
   digest_ = 0;

@@ -213,24 +213,32 @@ class Engine {
   // The template overload constructs the callable directly inside the
   // event slot (no intermediate InlineCallback move); the Callback
   // overload takes a pre-built callback, e.g. one moved from elsewhere.
+  //
+  // `daemon` events (fault-injection perturbations and the like) never keep
+  // the engine alive: run()/run_until() stop as soon as no regular events
+  // are pending, leaving unfired daemons queued. While regular work exists,
+  // daemons fire in normal time order — so background perturbations can
+  // never extend a run past its real workload, only interleave with it.
   template <typename F,
             typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback>>>
-  EventId schedule_at(SimTime at, F&& fn, EventTag tag = 0) {
+  EventId schedule_at(SimTime at, F&& fn, EventTag tag = 0, bool daemon = false) {
     check_schedule(at);
     const std::uint32_t idx = acquire_slot();
     Slot& s = slot(idx);
     s.fn.emplace(std::forward<F>(fn));
     s.tag = tag;
+    s.daemon = daemon;
     heap_push(Entry{at, next_seq_++, idx, s.generation});
     ++live_;
+    if (!daemon) ++live_regular_;
     return (static_cast<EventId>(s.generation) << 32) | idx;
   }
-  EventId schedule_at(SimTime at, Callback fn, EventTag tag = 0);
+  EventId schedule_at(SimTime at, Callback fn, EventTag tag = 0, bool daemon = false);
 
   // Schedules `fn` to run `delay` after now().
   template <typename F>
-  EventId schedule_after(SimTime delay, F&& fn, EventTag tag = 0) {
-    return schedule_at(now_ + delay, std::forward<F>(fn), tag);
+  EventId schedule_after(SimTime delay, F&& fn, EventTag tag = 0, bool daemon = false) {
+    return schedule_at(now_ + delay, std::forward<F>(fn), tag, daemon);
   }
 
   // Cancels a pending event. Returns false if the event already fired,
@@ -245,6 +253,8 @@ class Engine {
 
   [[nodiscard]] bool idle() const { return live_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_; }
+  // Pending non-daemon events — what actually keeps run()/run_until() going.
+  [[nodiscard]] std::size_t pending_regular() const { return live_regular_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
   [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_ - 1; }
 
@@ -301,6 +311,7 @@ class Engine {
     std::uint32_t generation = 1;
     std::uint32_t next_free = kNoFreeSlot;
     EventTag tag = 0;
+    bool daemon = false;
   };
   struct Entry {
     SimTime at;
@@ -347,6 +358,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  std::size_t live_regular_ = 0;
   std::uint64_t fired_ = 0;
   bool digest_enabled_ = false;
   bool trace_truncated_ = false;

@@ -25,6 +25,10 @@ inline constexpr EventTag kTagBarrierRelease = 3;
 inline constexpr EventTag kTagMemResolve = 4;
 // mem::MemorySystem — task execution completion.
 inline constexpr EventTag kTagMemComplete = 5;
+// fault::FaultInjector — a fault clause takes effect (daemon event).
+inline constexpr EventTag kTagFaultApply = 6;
+// fault::FaultInjector — a fault clause's effect is reverted (daemon event).
+inline constexpr EventTag kTagFaultRevert = 7;
 
 [[nodiscard]] constexpr const char* tag_name(EventTag tag) {
   switch (tag) {
@@ -34,6 +38,8 @@ inline constexpr EventTag kTagMemComplete = 5;
     case kTagBarrierRelease: return "barrier-release";
     case kTagMemResolve: return "mem-resolve";
     case kTagMemComplete: return "mem-complete";
+    case kTagFaultApply: return "fault-apply";
+    case kTagFaultRevert: return "fault-revert";
     default: return "unknown";
   }
 }

@@ -1,12 +1,14 @@
 #include "sim/noise.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace ilan::sim {
 
 NoiseModel::NoiseModel(const NoiseParams& params, std::uint64_t seed, int num_cores)
     : params_(params),
       freq_factor_(static_cast<std::size_t>(num_cores), 1.0),
+      freq_scale_(static_cast<std::size_t>(num_cores), 1.0),
       jitter_rng_(Xoshiro256ss(seed).split(0x6a1773)) {
   if (!params_.enabled) return;
   Xoshiro256ss rng(seed);
@@ -20,9 +22,21 @@ NoiseModel::NoiseModel(const NoiseParams& params, std::uint64_t seed, int num_co
 }
 
 double NoiseModel::sched_jitter() {
-  if (!params_.enabled) return 1.0;
+  if (!params_.enabled) return sched_scale_;
   const double j = 1.0 + params_.sched_jitter_sigma * jitter_rng_.normal();
-  return std::max(0.5, j);
+  // The dynamic scale multiplies *after* the clamp: the RNG consumption
+  // order is identical whether or not a latency spike is active.
+  return std::max(0.5, j) * sched_scale_;
+}
+
+void NoiseModel::set_freq_scale(int core, double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("NoiseModel: freq scale must be > 0");
+  freq_scale_.at(static_cast<std::size_t>(core)) = scale;
+}
+
+void NoiseModel::set_sched_scale(double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("NoiseModel: sched scale must be > 0");
+  sched_scale_ = scale;
 }
 
 }  // namespace ilan::sim

@@ -30,20 +30,37 @@ class NoiseModel {
  public:
   NoiseModel(const NoiseParams& params, std::uint64_t seed, int num_cores);
 
-  // Multiplier applied to a core's base frequency for this run; ~1.0.
+  // Multiplier applied to a core's base frequency for this run: the static
+  // per-run draw times the dynamic throttle scale (fault injection; 1.0 when
+  // no fault is active, so the product is bit-identical to the static draw).
   [[nodiscard]] double core_freq_factor(int core) const {
-    return freq_factor_.at(static_cast<std::size_t>(core));
+    const auto i = static_cast<std::size_t>(core);
+    return freq_factor_.at(i) * freq_scale_.at(i);
   }
 
-  // Fresh multiplicative jitter for one scheduling-path latency; >= 0.5.
+  // Fresh multiplicative jitter for one scheduling-path latency; >= 0.5
+  // before the dynamic latency-spike scale is applied.
   double sched_jitter();
 
   [[nodiscard]] bool has_disturbed_core() const { return disturbed_core_ >= 0; }
   [[nodiscard]] int disturbed_core() const { return disturbed_core_; }
 
+  // --- dynamic perturbations (fault injection) ----------------------------
+  // Unlike the per-run static draws above, these change mid-run. They draw
+  // nothing from the RNG streams, so enabling them never shifts the static
+  // noise realization.
+  void set_freq_scale(int core, double scale);
+  [[nodiscard]] double freq_scale(int core) const {
+    return freq_scale_.at(static_cast<std::size_t>(core));
+  }
+  void set_sched_scale(double scale);
+  [[nodiscard]] double sched_scale() const { return sched_scale_; }
+
  private:
   NoiseParams params_;
   std::vector<double> freq_factor_;
+  std::vector<double> freq_scale_;  // dynamic, 1.0 = unperturbed
+  double sched_scale_ = 1.0;        // dynamic latency multiplier
   int disturbed_core_ = -1;
   Xoshiro256ss jitter_rng_;
 };

@@ -1,0 +1,446 @@
+// Deterministic fault injection and graceful degradation: plan parsing and
+// realization, injector effects on the live machine, node health, the
+// simulated-time watchdog, and the scheduler's reactive paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/distributor.hpp"
+#include "core/ilan_scheduler.hpp"
+#include "core/node_mask.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "rt/team.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams tiny_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+rt::TaskloopSpec cpu_loop(rt::LoopId id, std::int64_t iters, double cycles_per_iter) {
+  rt::TaskloopSpec spec;
+  spec.loop_id = id;
+  spec.name = "cpu";
+  spec.iterations = iters;
+  spec.demand = [cycles_per_iter](std::int64_t b, std::int64_t e) {
+    rt::TaskDemand d;
+    d.cpu_cycles = cycles_per_iter * static_cast<double>(e - b);
+    return d;
+  };
+  return spec;
+}
+
+// --- FaultPlan parsing ----------------------------------------------------
+
+TEST(FaultPlan, CatalogScenariosParseAndNoneIsEmpty) {
+  rt::Machine machine(tiny_params(1));
+  for (const auto& name : fault::scenario_names()) {
+    ASSERT_TRUE(fault::is_scenario(name)) << name;
+    const auto plan = fault::parse_plan(name, 42, machine.topology());
+    if (name == "none") {
+      EXPECT_TRUE(plan.empty());
+      continue;
+    }
+    EXPECT_FALSE(plan.empty()) << name;
+    for (const auto& c : plan.clauses) {
+      EXPECT_GE(c.start, 0) << name;
+      EXPECT_GT(c.magnitude, 0.0) << name;
+      EXPECT_LT(c.node, machine.topology().num_nodes()) << name;
+      if (c.period > 0) {
+        EXPECT_LE(c.duration, c.period) << name;
+      }
+    }
+  }
+  EXPECT_FALSE(fault::is_scenario("no-such-scenario"));
+}
+
+TEST(FaultPlan, RealizationIsAPureFunctionOfSpecAndSeed) {
+  rt::Machine machine(tiny_params(1));
+  const auto a = fault::parse_plan("storm", 1234, machine.topology());
+  const auto b = fault::parse_plan("storm", 1234, machine.topology());
+  ASSERT_EQ(a.clauses.size(), b.clauses.size());
+  for (std::size_t i = 0; i < a.clauses.size(); ++i) {
+    EXPECT_EQ(a.clauses[i].kind, b.clauses[i].kind);
+    EXPECT_EQ(a.clauses[i].start, b.clauses[i].start);
+    EXPECT_EQ(a.clauses[i].duration, b.clauses[i].duration);
+    EXPECT_EQ(a.clauses[i].period, b.clauses[i].period);
+    EXPECT_EQ(a.clauses[i].node, b.clauses[i].node);
+    EXPECT_EQ(a.clauses[i].magnitude, b.clauses[i].magnitude);
+  }
+  // A different seed still realizes a valid plan (the draws differ, the
+  // clause structure does not).
+  const auto c = fault::parse_plan("storm", 99, machine.topology());
+  ASSERT_EQ(c.clauses.size(), a.clauses.size());
+}
+
+TEST(FaultPlan, DslHonorsExplicitValues) {
+  rt::Machine machine(tiny_params(1));
+  const auto plan = fault::parse_plan(
+      "burst(at=0.001, dur=0.002, period=0.01, node=1, mag=4); latency(mag=6)", 7,
+      machine.topology());
+  ASSERT_EQ(plan.clauses.size(), 2u);
+  const auto& b = plan.clauses[0];
+  EXPECT_EQ(b.kind, fault::FaultKind::kBandwidthBurst);
+  EXPECT_EQ(b.start, sim::from_seconds(0.001));
+  EXPECT_EQ(b.duration, sim::from_seconds(0.002));
+  EXPECT_EQ(b.period, sim::from_seconds(0.01));
+  EXPECT_EQ(b.node, 1);
+  EXPECT_DOUBLE_EQ(b.magnitude, 4.0);
+  const auto& l = plan.clauses[1];
+  EXPECT_EQ(l.kind, fault::FaultKind::kLatencySpike);
+  EXPECT_EQ(l.node, -1);  // machine-wide
+  EXPECT_DOUBLE_EQ(l.magnitude, 6.0);
+}
+
+TEST(FaultPlan, RejectsInvalidSpecs) {
+  rt::Machine machine(tiny_params(1));
+  const auto& topo = machine.topology();
+  EXPECT_THROW((void)fault::parse_plan("bogus", 1, topo), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("burst(mag=0)", 1, topo), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("throttle(mag=1.5)", 1, topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("degrade(dur=0.02,period=0.01)", 1, topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("burst(node=9)", 1, topo), std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("latency(node=0)", 1, topo),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::parse_plan("burst(frobnicate=1)", 1, topo),
+               std::invalid_argument);
+}
+
+// --- NodeHealth -----------------------------------------------------------
+
+TEST(NodeHealth, TracksConditionsCountsAndEpoch) {
+  rt::NodeHealth h(2);
+  EXPECT_TRUE(h.all_healthy());
+  const auto epoch0 = h.epoch();
+  h.set(topo::NodeId{1}, rt::NodeCondition::kDegraded);
+  EXPECT_FALSE(h.all_healthy());
+  EXPECT_EQ(h.condition(topo::NodeId{1}), rt::NodeCondition::kDegraded);
+  EXPECT_GT(h.epoch(), epoch0);
+  // Setting the same condition again is a no-op (no epoch bump).
+  const auto epoch1 = h.epoch();
+  h.set(topo::NodeId{1}, rt::NodeCondition::kDegraded);
+  EXPECT_EQ(h.epoch(), epoch1);
+  h.set(topo::NodeId{1}, rt::NodeCondition::kHealthy);
+  EXPECT_TRUE(h.all_healthy());
+  EXPECT_THROW(rt::NodeHealth(0), std::invalid_argument);
+}
+
+// --- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjector, AppliesAndRevertsCompositeEffects) {
+  rt::Machine machine(tiny_params(1));
+  const auto plan = fault::parse_plan(
+      "throttle(at=0.001, dur=0.002, node=0, mag=0.5);"
+      "degrade(at=0.001, dur=0.002, node=1, mag=0.4)",
+      1, machine.topology());
+  fault::FaultInjector injector(machine, plan);
+  injector.arm();
+
+  const int core0 = machine.topology().node(topo::NodeId{0}).cores.front().value();
+  struct Snapshot {
+    double freq0 = 0.0, bw1 = 0.0;
+    rt::NodeCondition cond1 = rt::NodeCondition::kHealthy;
+  };
+  std::map<int, Snapshot> at;  // keyed by microsecond sample point
+  auto sample = [&](int us) {
+    Snapshot s;
+    s.freq0 = machine.noise().freq_scale(core0);
+    s.bw1 = machine.memory().bw_scale(topo::NodeId{1});
+    s.cond1 = machine.health().condition(topo::NodeId{1});
+    at[us] = s;
+  };
+  for (const int us : {500, 1500, 3500}) {
+    machine.engine().schedule_at(sim::from_seconds(us * 1e-6), [&, us] { sample(us); });
+  }
+  machine.engine().run();
+
+  // Before the window: untouched.
+  EXPECT_DOUBLE_EQ(at[500].freq0, 1.0);
+  EXPECT_DOUBLE_EQ(at[500].bw1, 1.0);
+  EXPECT_EQ(at[500].cond1, rt::NodeCondition::kHealthy);
+  // Inside [1ms, 3ms): throttled, degraded.
+  EXPECT_DOUBLE_EQ(at[1500].freq0, 0.5);
+  EXPECT_DOUBLE_EQ(at[1500].bw1, 0.4);
+  EXPECT_EQ(at[1500].cond1, rt::NodeCondition::kDegraded);
+  // After both reverts: restored exactly.
+  EXPECT_DOUBLE_EQ(at[3500].freq0, 1.0);
+  EXPECT_DOUBLE_EQ(at[3500].bw1, 1.0);
+  EXPECT_EQ(at[3500].cond1, rt::NodeCondition::kHealthy);
+  EXPECT_TRUE(machine.health().all_healthy());
+  EXPECT_EQ(injector.applications(), 2);
+  EXPECT_EQ(injector.reversions(), 2);
+  EXPECT_THROW(injector.arm(), std::logic_error);  // arm() is once
+}
+
+TEST(FaultInjector, DaemonEventsNeverExtendTheRun) {
+  rt::Machine machine(tiny_params(1));
+  // An indefinitely repeating clause: without daemon semantics this would
+  // keep the engine alive forever.
+  const auto plan =
+      fault::parse_plan("burst(at=0, dur=0.001, period=0.002, node=0, mag=4)", 1,
+                        machine.topology());
+  fault::FaultInjector injector(machine, plan);
+  injector.arm();
+  const sim::SimTime last_work = sim::from_seconds(0.0005);
+  bool ran = false;
+  machine.engine().schedule_at(last_work, [&] { ran = true; });
+  machine.engine().run();
+  EXPECT_TRUE(ran);
+  // The engine stopped at (or before) the last regular event; pending
+  // daemon re-applications were abandoned, not simulated.
+  EXPECT_LE(machine.engine().now(), last_work);
+  EXPECT_EQ(machine.engine().pending_regular(), 0u);
+}
+
+TEST(FaultInjector, DegradedTargetsListsFaultedNodesOnce) {
+  rt::Machine machine(tiny_params(1));
+  const auto plan = fault::parse_plan(
+      "degrade(node=1); offline(node=1); burst(node=0)", 1, machine.topology());
+  const fault::FaultInjector injector(machine, plan);
+  const auto targets = injector.degraded_targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets.front(), topo::NodeId{1});
+}
+
+// --- watchdog -------------------------------------------------------------
+
+TEST(Watchdog, TightDeadlineThrowsStructuredTimeout) {
+  rt::Machine machine(tiny_params(1));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  team.set_deadline(sim::from_seconds(1e-9));
+  bool threw = false;
+  try {
+    team.run_taskloop(cpu_loop(1, 256, 2e5));
+  } catch (const rt::WatchdogTimeout& e) {
+    threw = true;
+    EXPECT_EQ(e.deadline(), sim::from_seconds(1e-9));
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Watchdog, GenerousDeadlineDoesNotPerturbTheRun) {
+  // Digest parity: watchdog off vs a deadline the run never reaches.
+  auto digest_with_deadline = [](sim::SimTime deadline) {
+    rt::Machine machine(tiny_params(9));
+    machine.engine().set_digest_enabled(true);
+    core::IlanScheduler sched;
+    rt::Team team(machine, sched);
+    if (deadline > 0) team.set_deadline(deadline);
+    for (int i = 0; i < 4; ++i) team.run_taskloop(cpu_loop(1, 128, 1e5));
+    return machine.engine().event_digest();
+  };
+  EXPECT_EQ(digest_with_deadline(0), digest_with_deadline(sim::from_seconds(100.0)));
+}
+
+// --- health-aware node-mask selection ------------------------------------
+
+TEST(NodeMaskHealth, DemotesUnhealthySeedAndFillsHealthyFirst) {
+  rt::MachineParams p;
+  p.spec = topo::presets::small_4n16c();
+  p.noise.enabled = false;
+  p.seed = 1;
+  rt::Machine machine(p);
+  const auto& topo = machine.topology();
+  core::PerfTraceTable ptt;  // empty: ranked order is node id order
+
+  // Blind (or all-healthy) selection seeds at node 0.
+  const auto blind = core::select_node_mask(topo, ptt, 1, 4, 4);
+  EXPECT_TRUE(blind.test(topo::NodeId{0}));
+  EXPECT_EQ(blind.count(), 1);
+  rt::NodeHealth all_ok(topo.num_nodes());
+  EXPECT_EQ(core::select_node_mask(topo, ptt, 1, 4, 4, &all_ok).bits(), blind.bits());
+
+  // Node 0 degraded: the seed moves to the first healthy ranked node.
+  rt::NodeHealth h(topo.num_nodes());
+  h.set(topo::NodeId{0}, rt::NodeCondition::kDegraded);
+  const auto demoted = core::select_node_mask(topo, ptt, 1, 4, 4, &h);
+  EXPECT_FALSE(demoted.test(topo::NodeId{0}));
+  EXPECT_EQ(demoted.count(), 1);
+
+  // Wider mask: healthy nodes fill before the degraded one.
+  const auto wide = core::select_node_mask(topo, ptt, 1, 12, 4, &h);
+  EXPECT_EQ(wide.count(), 3);
+  EXPECT_FALSE(wide.test(topo::NodeId{0}));
+
+  // When every node is needed the mask stays full — demotion never starves
+  // a configuration of the nodes it must have.
+  const auto full = core::select_node_mask(topo, ptt, 1, 16, 4, &h);
+  EXPECT_EQ(full.count(), 4);
+}
+
+// --- health-weighted distribution ----------------------------------------
+
+TEST(Distributor, HealthWeightingShiftsBlocksAwayFromUnhealthyNodes) {
+  rt::Machine machine(tiny_params(1));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+
+  rt::TaskloopSpec spec = cpu_loop(5, 160, 0.0);
+  spec.grainsize = 10;  // 16 tasks
+  rt::LoopConfig cfg;
+  cfg.num_threads = 8;
+  cfg.node_mask = rt::NodeMask::all(2);
+  cfg.steal_policy = rt::StealPolicy::kFull;
+  core::DistributionOptions opts;
+  opts.react_to_health = true;
+  sim::SimTime cost = 0;
+
+  // All healthy: identical to the classic nc*ni/nn split (8 + 8).
+  core::distribute_hierarchical(spec, cfg, team, opts, cost);
+  EXPECT_EQ(team.worker(0).deque.size(), 8u);
+  EXPECT_EQ(team.worker(4).deque.size(), 8u);
+  team.worker(0).deque.clear();
+  team.worker(4).deque.clear();
+
+  // Node 0 degraded: weight 1 vs 2 — it carries 1/3 of the tasks.
+  machine.health().set(topo::NodeId{0}, rt::NodeCondition::kDegraded);
+  core::distribute_hierarchical(spec, cfg, team, opts, cost);
+  EXPECT_EQ(team.worker(0).deque.size(), 5u);
+  EXPECT_EQ(team.worker(4).deque.size(), 11u);
+  team.worker(0).deque.clear();
+  team.worker(4).deque.clear();
+
+  // Node 0 offline: weight 0 — everything lands on node 1.
+  machine.health().set(topo::NodeId{0}, rt::NodeCondition::kOffline);
+  core::distribute_hierarchical(spec, cfg, team, opts, cost);
+  EXPECT_EQ(team.worker(0).deque.size(), 0u);
+  EXPECT_EQ(team.worker(4).deque.size(), 16u);
+  team.worker(4).deque.clear();
+
+  // Both nodes offline: the even-split fallback still places every task.
+  machine.health().set(topo::NodeId{1}, rt::NodeCondition::kOffline);
+  core::distribute_hierarchical(spec, cfg, team, opts, cost);
+  EXPECT_EQ(team.worker(0).deque.size() + team.worker(4).deque.size(), 16u);
+  team.worker(0).deque.clear();
+  team.worker(4).deque.clear();
+}
+
+// --- steal-policy escalation ---------------------------------------------
+
+TEST(Escalation, RescueStealsDrainAStrictDegradedNode) {
+  rt::Machine machine(tiny_params(3));
+  core::IlanScheduler sched;  // reactive by default
+  rt::Team team(machine, sched);
+
+  // Node 0 is degraded and crawling at 5% frequency; the distributor still
+  // hands it a share (weight 1), all NUMA-strict during the search's strict
+  // phase. Healthy node 1 must finish its block and rescue node 0's strict
+  // tasks — permitted only through escalation.
+  machine.health().set(topo::NodeId{0}, rt::NodeCondition::kDegraded);
+  for (const topo::CoreId c : machine.topology().node(topo::NodeId{0}).cores) {
+    machine.noise().set_freq_scale(c.value(), 0.05);
+  }
+  team.run_taskloop(cpu_loop(7, 256, 5e5));
+  EXPECT_GT(team.total_escalated_steals(), 0);
+}
+
+TEST(Escalation, AllHealthyNeverEscalates) {
+  rt::Machine machine(tiny_params(3));
+  core::IlanScheduler sched;
+  rt::Team team(machine, sched);
+  for (int i = 0; i < 6; ++i) team.run_taskloop(cpu_loop(7, 256, 5e5));
+  EXPECT_EQ(team.total_escalated_steals(), 0);
+}
+
+// --- PTT staleness re-exploration ----------------------------------------
+
+TEST(Reexploration, PersistentSlowdownReopensTheSearch) {
+  rt::Machine machine(tiny_params(11));
+  core::IlanParams params;
+  params.staleness_patience = 2;
+  core::IlanScheduler sched(params);
+  rt::Team team(machine, sched);
+
+  const auto spec = cpu_loop(77, 256, 2e5);
+  // Converge the selection under clean conditions (either the full thread
+  // search finishing or the counter-guided compute-bound lock-in counts).
+  auto locked_in = [&] {
+    return sched.search_finished(77) || sched.counter_locked(77);
+  };
+  int warm = 0;
+  while (!locked_in() && warm < 20) {
+    team.run_taskloop(spec);
+    ++warm;
+  }
+  ASSERT_TRUE(locked_in());
+  ASSERT_EQ(sched.reexplorations(77), 0);
+
+  // Machine-wide persistent throttling from "now" on: every execution of
+  // the locked configuration lands far above the PTT's best wall time.
+  char dsl[128];
+  const double t0 = sim::to_seconds(machine.engine().now()) + 1e-6;
+  std::snprintf(dsl, sizeof(dsl),
+                "throttle(at=%.9f,dur=0,period=0,node=0,mag=0.2);"
+                "throttle(at=%.9f,dur=0,period=0,node=1,mag=0.2)",
+                t0, t0);
+  fault::FaultInjector injector(machine, fault::parse_plan(dsl, 1, machine.topology()));
+  injector.arm();
+
+  int extra = 0;
+  while (sched.reexplorations(77) == 0 && extra < 12) {
+    team.run_taskloop(spec);
+    ++extra;
+  }
+  EXPECT_GT(sched.reexplorations(77), 0);
+  EXPECT_EQ(sched.total_reexplorations(), sched.reexplorations(77));
+  // The search actually reopened (and will converge again).
+  EXPECT_LE(extra, 12);
+}
+
+TEST(Reexploration, NonReactiveSchedulerNeverReopens) {
+  rt::Machine machine(tiny_params(11));
+  core::IlanParams params;
+  params.reactive = false;
+  core::IlanScheduler sched(params);
+  rt::Team team(machine, sched);
+  const auto spec = cpu_loop(77, 256, 2e5);
+  for (int i = 0; i < 8; ++i) team.run_taskloop(spec);
+  char dsl[96];
+  std::snprintf(dsl, sizeof(dsl), "throttle(at=%.9f,dur=0,period=0,node=0,mag=0.2)",
+                sim::to_seconds(machine.engine().now()) + 1e-6);
+  fault::FaultInjector injector(machine,
+                                fault::parse_plan(dsl, 1, machine.topology()));
+  injector.arm();
+  for (int i = 0; i < 8; ++i) team.run_taskloop(spec);
+  EXPECT_EQ(sched.total_reexplorations(), 0);
+}
+
+// --- end-to-end determinism with faults ----------------------------------
+
+TEST(FaultDeterminism, InjectedRunsAreBitReproducible) {
+  auto digest = [](const char* spec_text) {
+    rt::Machine machine(tiny_params(21));
+    machine.engine().set_digest_enabled(true);
+    core::IlanScheduler sched;
+    rt::Team team(machine, sched);
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (spec_text != nullptr) {
+      injector = std::make_unique<fault::FaultInjector>(
+          machine, fault::parse_plan(spec_text, machine.seed(), machine.topology()));
+      injector->arm();
+    }
+    for (int i = 0; i < 5; ++i) team.run_taskloop(cpu_loop(1, 192, 2e5));
+    return machine.engine().event_digest();
+  };
+  const char* storm = "storm";
+  EXPECT_EQ(digest(storm), digest(storm));
+  // And the perturbation is real: the faulted digest differs from clean.
+  EXPECT_NE(digest(storm), digest(nullptr));
+}
+
+}  // namespace

@@ -85,6 +85,59 @@ TEST(Harness, SeriesAggregatesCoverAllRuns) {
   EXPECT_EQ(t.resolves, s.runs[0].solver.resolves + s.runs[1].solver.resolves);
   EXPECT_EQ(t.resolves, t.full_builds + t.cap_updates + t.skipped);
   EXPECT_GT(t.resolves, 0u);
+  EXPECT_EQ(s.ok_count(), 2);
+  EXPECT_EQ(s.failed_count(), 0);
+}
+
+TEST(Harness, FaultedRunsAreBitIdenticalAcrossJobs) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  setenv("ILAN_FAULTS", "storm", 1);
+  const auto opts = small_opts();
+  setenv("ILAN_BENCH_JOBS", "1", 1);
+  const auto seq = bench::run_many("cg", bench::SchedKind::kIlan, 3, 7, opts);
+  setenv("ILAN_BENCH_JOBS", "4", 1);
+  const auto par = bench::run_many("cg", bench::SchedKind::kIlan, 3, 7, opts);
+  unsetenv("ILAN_BENCH_JOBS");
+  unsetenv("ILAN_FAULTS");
+  expect_bit_identical(seq, par);
+  for (const auto& r : seq.runs) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(r.faults_applied, 0);
+  }
+}
+
+TEST(Harness, WatchdogFailuresAreQuarantinedNotThrown) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  setenv("ILAN_WATCHDOG", "0.000000001", 1);
+  const auto s = bench::run_many("cg", bench::SchedKind::kIlan, 2, 7, small_opts());
+  unsetenv("ILAN_WATCHDOG");
+  ASSERT_EQ(s.runs.size(), 2u);
+  for (const auto& r : s.runs) {
+    EXPECT_EQ(r.status, bench::RunStatus::kWatchdog);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.error.empty());
+    // A watchdog hit is deterministic: re-running the same seed cannot
+    // pass, so it is never retried.
+    EXPECT_EQ(r.attempts, 1);
+  }
+  EXPECT_EQ(s.ok_count(), 0);
+  EXPECT_EQ(s.failed_count(), 2);
+}
+
+TEST(Harness, ErrorRunsAreRetriedThenQuarantinedInPlace) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  setenv("ILAN_BENCH_RETRIES", "2", 1);
+  const auto s =
+      bench::run_many("no-such-kernel", bench::SchedKind::kIlan, 2, 7, small_opts());
+  unsetenv("ILAN_BENCH_RETRIES");
+  ASSERT_EQ(s.runs.size(), 2u);
+  for (const auto& r : s.runs) {
+    EXPECT_EQ(r.status, bench::RunStatus::kError);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.attempts, 3);  // 1 try + ILAN_BENCH_RETRIES retries
+  }
+  EXPECT_EQ(s.failed_count(), 2);
 }
 
 }  // namespace

@@ -23,11 +23,13 @@ bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
-TEST(LintScope, OnlySimCoreRtMemArePoliced) {
+TEST(LintScope, OnlySimCoreRtMemFaultArePoliced) {
   EXPECT_TRUE(in_scope("src/sim/engine.cpp"));
   EXPECT_TRUE(in_scope("src/core/ptt.hpp"));
   EXPECT_TRUE(in_scope("src/rt/team.cpp"));
   EXPECT_TRUE(in_scope("src/mem/flow_network.cpp"));
+  EXPECT_TRUE(in_scope("src/fault/injector.cpp"));
+  EXPECT_TRUE(in_scope("src/fault/fault_plan.hpp"));
   EXPECT_TRUE(in_scope("/abs/path/src/rt/team.cpp"));
   EXPECT_FALSE(in_scope("src/trace/stats.cpp"));
   EXPECT_FALSE(in_scope("bench/harness.cpp"));

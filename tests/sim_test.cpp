@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -400,6 +401,74 @@ TEST(EngineDigest, TraceMatchesDigestAndTruncates) {
   for (const FiredEvent& ev : f.trace()) folded = Engine::digest_step(folded, ev);
   EXPECT_EQ(folded, f.event_digest());
   EXPECT_FALSE(f.trace_truncated());
+}
+
+// Daemon events (fault injection and other background perturbations) fire
+// in time order while real work pends but can never keep the engine alive.
+TEST(EngineDaemon, DaemonsAloneNeverRun) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(100, [&fired] { fired = true; }, 0, /*daemon=*/true);
+  EXPECT_EQ(e.run(), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_EQ(e.pending_regular(), 0u);
+}
+
+TEST(EngineDaemon, DaemonsInterleaveOnlyUpToTheLastRegularEvent) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(50, [&order] { order.push_back(1); }, 0, true);
+  e.schedule_at(100, [&order] { order.push_back(2); });
+  e.schedule_at(150, [&order] { order.push_back(3); }, 0, true);  // never fires
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(e.now(), 100);
+  EXPECT_EQ(e.pending(), 1u);  // the 150 daemon stays queued
+  EXPECT_EQ(e.pending_regular(), 0u);
+}
+
+TEST(EngineDaemon, CancelKeepsRegularAccountingExact) {
+  Engine e;
+  const EventId d = e.schedule_at(10, [] {}, 0, true);
+  const EventId r = e.schedule_at(20, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  EXPECT_EQ(e.pending_regular(), 1u);
+  EXPECT_TRUE(e.cancel(d));
+  EXPECT_EQ(e.pending_regular(), 1u);  // cancelling a daemon changes nothing
+  EXPECT_TRUE(e.cancel(r));
+  EXPECT_EQ(e.pending_regular(), 0u);
+  EXPECT_EQ(e.run(), 0u);
+}
+
+TEST(EngineDaemon, SelfReschedulingDaemonCannotExtendTheRun) {
+  Engine e;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    e.schedule_after(10, [&tick] { tick(); }, 0, true);
+  };
+  e.schedule_at(5, [&tick] { tick(); }, 0, true);
+  e.schedule_at(47, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 47);
+  EXPECT_EQ(ticks, 5);  // fired at 5, 15, 25, 35, 45; the 55 one stays queued
+  EXPECT_EQ(e.pending_regular(), 0u);
+}
+
+TEST(EngineDaemon, RunUntilHonorsTheLimitForDaemonsToo) {
+  Engine e;
+  int daemon_fires = 0;
+  e.schedule_at(10, [&daemon_fires] { ++daemon_fires; }, 0, true);
+  e.schedule_at(30, [&daemon_fires] { ++daemon_fires; }, 0, true);
+  e.schedule_at(40, [] {});
+  e.run_until(20);
+  EXPECT_EQ(daemon_fires, 1);
+  EXPECT_EQ(e.pending_regular(), 1u);
+  e.run();
+  EXPECT_EQ(daemon_fires, 2);
+  EXPECT_EQ(e.now(), 40);
 }
 
 TEST(EngineDigest, ResetClearsDigestAndTrace) {

@@ -4,6 +4,7 @@
 #   tools/run_tier1.sh                            # plain build in build/
 #   tools/run_tier1.sh lint                       # ilan-lint + clang-tidy
 #   tools/run_tier1.sh analyze                    # sanitizer matrix + selfcheck
+#   tools/run_tier1.sh faults                     # fault-injection gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -20,6 +21,12 @@
 # `analyze` is the full correctness-analysis pass: the ASan/TSan/UBSan
 # matrix (each suite in its own build dir) plus the determinism/race
 # selfcheck binary (bench/selfcheck) on the primary build.
+#
+# `faults` is the fault-injection gate: the fault-focused test binaries and
+# `bench/selfcheck --faults` (digest parity for every shipped ILAN_FAULTS
+# scenario + watchdog structured-failure check) run on the primary build and
+# then under each sanitizer build — deterministic perturbation must stay
+# deterministic with instrumentation and a racing run_many pool.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +63,23 @@ run_lint() {
   fi
 }
 
+run_faults_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target selfcheck test_fault
+  echo "== fault tests (${san:-plain}) =="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" -R 'Fault|fault'
+  echo "== selfcheck --faults (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --faults
+}
+
 case "$mode" in
   build)
     build_one "${ILAN_SANITIZE:-}"
@@ -73,8 +97,15 @@ case "$mode" in
     cmake --build build -j "$jobs" --target selfcheck
     ILAN_BENCH_JSON=0 ./build/bench/selfcheck
     ;;
+  faults)
+    run_faults_one ""
+    for san in address thread undefined; do
+      echo "== sanitizer: $san =="
+      run_faults_one "$san"
+    done
+    ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults]" >&2
     exit 2
     ;;
 esac
