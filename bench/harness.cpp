@@ -17,10 +17,12 @@
 #include "analysis/race_auditor.hpp"
 #include "core/ilan_scheduler.hpp"
 #include "fault/injector.hpp"
+#include "obs/env.hpp"
 #include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
 #include "rt/work_sharing_scheduler.hpp"
 #include "topo/presets.hpp"
+#include "trace/chrome_trace.hpp"
 
 namespace ilan::bench {
 
@@ -50,11 +52,11 @@ std::unique_ptr<rt::Scheduler> make_scheduler(SchedKind kind) {
     case SchedKind::kWorkSharing:
       return std::make_unique<rt::WorkSharingScheduler>();
     case SchedKind::kIlan:
-      return std::make_unique<core::IlanScheduler>();
+      return std::make_unique<core::IlanScheduler>(core::params_from_env());
     case SchedKind::kIlanNoMold: {
       core::IlanParams p;
       p.moldability = false;
-      return std::make_unique<core::IlanScheduler>(p);
+      return std::make_unique<core::IlanScheduler>(core::params_from_env(p));
     }
   }
   throw std::invalid_argument("make_scheduler: bad kind");
@@ -101,6 +103,25 @@ std::unique_ptr<fault::FaultInjector> arm_env_faults(rt::Machine& machine,
   return inj;
 }
 
+// End-of-run export of machine-side observability that is accumulated in
+// plain members (the mem hot path never touches the registry): per-node
+// traffic split, controller stream pressure high-water marks, and the
+// resolve-cache counters.
+void export_machine_metrics(rt::Machine& machine, obs::MetricsRegistry& m) {
+  const auto src = machine.memory().node_src_bytes();
+  const auto peak = machine.memory().node_peak_streams();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const std::string node = "mem.node" + std::to_string(i);
+    m.gauge(node + ".src_bytes").set(src[i]);
+    m.gauge(node + ".peak_streams").set(peak[i]);
+  }
+  const mem::SolverStats& st = machine.memory().solver_stats();
+  m.counter("mem.solver.resolves").inc(static_cast<std::int64_t>(st.resolves));
+  m.counter("mem.solver.full_builds").inc(static_cast<std::int64_t>(st.full_builds));
+  m.counter("mem.solver.cap_updates").inc(static_cast<std::int64_t>(st.cap_updates));
+  m.counter("mem.solver.skipped").inc(static_cast<std::int64_t>(st.skipped));
+}
+
 }  // namespace
 
 RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
@@ -108,8 +129,14 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
   const auto host_start = std::chrono::steady_clock::now();
   rt::Machine machine(paper_machine(seed));
   machine.engine().set_digest_enabled(true);
+  obs::MetricsRegistry metrics;
+  const bool want_metrics = obs::env_flag("ILAN_METRICS");
+  if (want_metrics) machine.set_metrics(&metrics);  // before Team: handles cache
+  trace::ChromeTraceWriter tracer;
+  const bool want_trace = obs::env_flag("ILAN_TRACE");
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
+  if (want_trace) team.set_tracer(&tracer);
   const auto injector = arm_env_faults(machine, seed);
   if (const double wd = env_watchdog_s(); wd > 0.0) {
     team.set_deadline(sim::from_seconds(wd));
@@ -189,6 +216,23 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
     r.reexplorations = ilan->total_reexplorations();
   }
   r.steals_escalated = team.total_escalated_steals();
+
+  if (want_metrics) {
+    export_machine_metrics(machine, metrics);
+    r.metrics = metrics;
+    r.metrics_digest = r.metrics.digest();
+  }
+  if (want_trace) {
+    if (injector) {
+      for (const auto& sp : injector->collect_spans(machine.engine().now())) {
+        tracer.add_span(trace::SpanEvent{sp.label, sp.start, sp.end});
+      }
+    }
+    const std::string path = "TRACE_" + kernel + "_" + to_string(kind) + "_seed" +
+                             std::to_string(seed) + ".json";
+    std::ofstream out(path);
+    if (out) tracer.write(out);
+  }
   r.host_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
   return r;
@@ -252,6 +296,14 @@ mem::SolverStats Series::solver_totals() const {
   return t;
 }
 
+obs::MetricsRegistry Series::metrics_totals() const {
+  obs::MetricsRegistry total;
+  for (const auto& r : runs) {
+    if (r.ok()) total.merge(r.metrics);
+  }
+  return total;
+}
+
 namespace {
 
 // Telemetry registry behind BENCH_<name>.json. run_many() appends one entry
@@ -267,6 +319,7 @@ struct BenchEntry {
   std::uint64_t digest = 0;  // order-independent fold of per-run digests
   mem::SolverStats solver;
   trace::SampleSummary sim;
+  obs::MetricsRegistry metrics;  // merged over the series (ILAN_METRICS)
 };
 
 // Per-run digests are folded commutatively so the series digest is identical
@@ -320,7 +373,7 @@ void write_bench_json() {
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
                  "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
-                 "\"cap_updates\": %llu, \"skipped\": %llu}}",
+                 "\"cap_updates\": %llu, \"skipped\": %llu}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.runs, e.jobs,
                  e.failures, e.host_s, static_cast<unsigned long long>(e.events),
                  static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
@@ -329,6 +382,11 @@ void write_bench_json() {
                  static_cast<unsigned long long>(e.solver.full_builds),
                  static_cast<unsigned long long>(e.solver.cap_updates),
                  static_cast<unsigned long long>(e.solver.skipped));
+    if (!e.metrics.empty()) {
+      std::fprintf(f, ",\n     \"metrics\": %s}", e.metrics.to_json().c_str());
+    } else {
+      std::fprintf(f, "}");
+    }
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");
@@ -357,6 +415,7 @@ void register_series(const std::string& kernel, SchedKind kind, const Series& s,
   e.digest = series_digest(s);
   e.solver = s.solver_totals();
   e.sim = s.time_summary();
+  e.metrics = s.metrics_totals();
   reg.push_back(std::move(e));
 }
 
@@ -425,19 +484,17 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
   return s;
 }
 
+// All knobs parse strictly (obs/env.hpp): std::atoi/std::atof silently
+// mapped garbage and overflow to 0 — a typo'd ILAN_BENCH_RUNS=3O quietly
+// ran the 30-run default. Malformed values now throw, naming the variable.
 int env_runs(int fallback) {
-  if (const char* v = std::getenv("ILAN_BENCH_RUNS")) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
-  }
-  return fallback;
+  return obs::parse_env_int("ILAN_BENCH_RUNS", fallback, 1, 1000000);
 }
 
 int env_jobs() {
-  if (const char* v = std::getenv("ILAN_BENCH_JOBS")) {
-    const int n = std::atoi(v);
-    if (n > 0) return n;
-  }
+  // 0 (or unset) = hardware concurrency.
+  const int n = obs::parse_env_int("ILAN_BENCH_JOBS", 0, 0, 4096);
+  if (n > 0) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
@@ -448,30 +505,22 @@ std::string env_faults() {
 }
 
 double env_watchdog_s() {
-  if (const char* v = std::getenv("ILAN_WATCHDOG")) {
-    const double s = std::atof(v);
-    if (s > 0.0) return s;
-  }
-  return 0.0;
+  return obs::parse_env_double("ILAN_WATCHDOG", 0.0, 0.0, 1e12);
 }
 
 int env_retries(int fallback) {
-  if (const char* v = std::getenv("ILAN_BENCH_RETRIES")) {
-    const int n = std::atoi(v);
-    if (n >= 0) return n;
-  }
-  return fallback;
+  return obs::parse_env_int("ILAN_BENCH_RETRIES", fallback, 0, 1000);
 }
 
 kernels::KernelOptions env_kernel_options() {
   kernels::KernelOptions opts;
-  if (const char* v = std::getenv("ILAN_BENCH_TIMESTEPS")) {
-    const int n = std::atoi(v);
-    if (n > 0) opts.timesteps = n;
+  if (const int n = obs::parse_env_int("ILAN_BENCH_TIMESTEPS", 0, 1, 1000000000);
+      n > 0) {
+    opts.timesteps = n;
   }
-  if (const char* v = std::getenv("ILAN_BENCH_SIZE")) {
-    const double f = std::atof(v);
-    if (f > 0.0) opts.size_factor = f;
+  if (const double f = obs::parse_env_double("ILAN_BENCH_SIZE", 0.0, 1e-9, 1e9);
+      f > 0.0) {
+    opts.size_factor = f;
   }
   return opts;
 }
@@ -488,6 +537,7 @@ constexpr std::size_t kSelfcheckTraceCap = std::size_t{1} << 26;
 struct TracedRun {
   std::vector<sim::FiredEvent> trace;
   std::uint64_t digest = 0;
+  std::uint64_t metrics_digest = 0;  // 0 with ILAN_METRICS off
   std::uint64_t events = 0;
   bool trace_truncated = false;
   std::size_t audit_reports = 0;
@@ -499,6 +549,9 @@ TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t se
   rt::Machine machine(paper_machine(seed));
   machine.engine().set_digest_enabled(true);
   machine.engine().enable_trace(kSelfcheckTraceCap);
+  obs::MetricsRegistry metrics;
+  const bool want_metrics = obs::env_flag("ILAN_METRICS");
+  if (want_metrics) machine.set_metrics(&metrics);
   auto scheduler = make_scheduler(kind);
   rt::Team team(machine, *scheduler);
   // ILAN_FAULTS applies here exactly as in run_once, so selfcheck's digest
@@ -515,6 +568,10 @@ TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t se
   out.digest = machine.engine().event_digest();
   out.events = machine.engine().events_fired();
   out.trace_truncated = machine.engine().trace_truncated();
+  if (want_metrics) {
+    export_machine_metrics(machine, metrics);
+    out.metrics_digest = metrics.digest();
+  }
   if (audit) {
     out.audit_reports = auditor.reports().size();
     if (!auditor.clean()) {
@@ -541,12 +598,20 @@ SelfcheckResult selfcheck(const std::string& kernel, SchedKind kind,
 
   r.digest_a = a.digest;
   r.digest_b = b.digest;
+  r.metrics_a = a.metrics_digest;
+  r.metrics_b = b.metrics_digest;
   r.events = a.events;
   r.audit_reports = a.audit_reports;
   r.first_report = a.first_report;
-  r.deterministic = a.digest == b.digest && a.events == b.events;
+  // Metrics digests must agree between the audited and the bare run: equal
+  // event streams with diverging metrics would mean an instrumentation
+  // point reads something other than simulated state.
+  r.deterministic = a.digest == b.digest && a.events == b.events &&
+                    a.metrics_digest == b.metrics_digest;
   if (!r.deterministic) {
-    if (const auto div = analysis::compare_traces(a.trace, b.trace)) {
+    if (a.digest == b.digest && a.events == b.events) {
+      r.divergence = "metrics digest mismatch with identical event streams";
+    } else if (const auto div = analysis::compare_traces(a.trace, b.trace)) {
       r.divergence = analysis::describe_divergence(*div);
     } else {
       // Digests differ but the captured prefixes agree: the divergence is
@@ -599,23 +664,25 @@ int selfcheck_main() {
   }
 
   // run_many() must produce identical digests no matter how many pool
-  // workers execute the series (seeds and slots are index-based).
+  // workers execute the series (seeds and slots are index-based). The
+  // metrics digests participate too: with ILAN_METRICS=1 they must be as
+  // schedule-independent as the event streams (both are 0 when off).
   {
-    const char* old_jobs = std::getenv("ILAN_BENCH_JOBS");
-    const std::string saved = old_jobs == nullptr ? "" : old_jobs;
-    ::setenv("ILAN_BENCH_JOBS", "1", 1);
-    const Series seq = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
-    ::setenv("ILAN_BENCH_JOBS", "4", 1);
-    const Series par = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
-    if (old_jobs == nullptr) {
-      ::unsetenv("ILAN_BENCH_JOBS");
-    } else {
-      ::setenv("ILAN_BENCH_JOBS", saved.c_str(), 1);
+    Series seq;
+    Series par;
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
+      seq = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
+    }
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
+      par = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
     }
     bool jobs_ok = seq.runs.size() == par.runs.size();
     if (jobs_ok) {
       for (std::size_t i = 0; i < seq.runs.size(); ++i) {
-        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest;
+        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest &&
+                  seq.runs[i].metrics_digest == par.runs[i].metrics_digest;
       }
     }
     std::printf("run_many jobs=1 vs jobs=4: digests %s\n",
@@ -638,44 +705,15 @@ bool faults_requested(int argc, char** argv) {
   return false;
 }
 
-namespace {
-
-// Sets an environment variable for a scope and restores the previous state
-// (value or absence) on exit. The fault selfcheck flips ILAN_FAULTS /
-// ILAN_BENCH_JOBS / ILAN_WATCHDOG per check; callers must see their own
-// configuration afterwards.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const std::string& value) : name_(name) {
-    const char* old = std::getenv(name);
-    had_ = old != nullptr;
-    if (had_) saved_ = old;
-    ::setenv(name, value.c_str(), 1);
-  }
-  ~ScopedEnv() {
-    if (had_) {
-      ::setenv(name_, saved_.c_str(), 1);
-    } else {
-      ::unsetenv(name_);
-    }
-  }
-  ScopedEnv(const ScopedEnv&) = delete;
-  ScopedEnv& operator=(const ScopedEnv&) = delete;
-
- private:
-  const char* name_;
-  bool had_ = false;
-  std::string saved_;
-};
-
-}  // namespace
-
+// The fault selfcheck flips ILAN_FAULTS / ILAN_BENCH_JOBS / ILAN_WATCHDOG
+// per check through obs::ScopedEnv (shared with the rest of the tree), which
+// restores the previous state — value or absence — on scope exit.
 int selfcheck_faults_main() {
   kernels::KernelOptions opts = env_kernel_options();
   if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;
   // The checks below own the watchdog setting; a caller-provided deadline
   // would truncate selfcheck runs and break digest comparisons.
-  const ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
+  const obs::ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
 
   const std::vector<std::string> sc_kernels = {"cg", "sp"};
   constexpr SchedKind kKinds[] = {SchedKind::kBaseline, SchedKind::kIlan};
@@ -683,7 +721,7 @@ int selfcheck_faults_main() {
   std::printf("%-9s %-8s %-13s %10s %16s  %s\n", "scenario", "kernel", "scheduler",
               "events", "digest", "status");
   for (const auto& scenario : fault::scenario_names()) {
-    const ScopedEnv faults_env("ILAN_FAULTS", scenario);
+    const obs::ScopedEnv faults_env("ILAN_FAULTS", scenario);
 
     // Two-run digest parity per kernel x scheduler under this scenario,
     // with the first divergent event pinned down on mismatch.
@@ -714,11 +752,11 @@ int selfcheck_faults_main() {
     Series seq;
     Series par;
     {
-      const ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
       seq = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
     }
     {
-      const ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
       par = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
     }
     bool jobs_ok = seq.runs.size() == par.runs.size();
@@ -742,8 +780,8 @@ int selfcheck_faults_main() {
   // Watchdog: an impossibly tight deadline must come back as a structured
   // kWatchdog record — not a hang, not an uncaught exception.
   {
-    const ScopedEnv faults_env("ILAN_FAULTS", "none");
-    const ScopedEnv wd_env("ILAN_WATCHDOG", "1e-9");
+    const obs::ScopedEnv faults_env("ILAN_FAULTS", "none");
+    const obs::ScopedEnv wd_env("ILAN_WATCHDOG", "1e-9");
     const RunResult r = run_once(sc_kernels.front(), SchedKind::kIlan, /*seed=*/42, opts);
     const bool wd_ok = r.status == RunStatus::kWatchdog && !r.error.empty();
     std::printf("watchdog 1e-9s: status=%s attempts=%d %s\n", to_string(r.status),

@@ -21,6 +21,19 @@
 //   ILAN_BENCH_RETRIES    bounded retries for failed runs in run_many
 //                         (default 1; watchdog hits never retry — the
 //                         simulation is deterministic, so they cannot pass)
+//   ILAN_METRICS          truthy: attach an obs::MetricsRegistry to every
+//                         run. RunResult::metrics carries the snapshot,
+//                         RunResult::metrics_digest its 64-bit digest, and
+//                         BENCH_<name>.json gains a per-series "metrics"
+//                         object (merged over the series' runs)
+//   ILAN_TRACE            truthy: every run_once writes an enriched Chrome
+//                         trace TRACE_<kernel>_<sched>_seed<seed>.json
+//                         (per-NUMA-node lanes, scheduler instants, fault
+//                         spans) into the working directory
+//
+// All knobs are parsed strictly (obs/env.hpp): a malformed value throws
+// std::invalid_argument naming the variable instead of silently running
+// with the default.
 //
 // Every run_many() series is also recorded to a machine-readable telemetry
 // file BENCH_<name>.json in the working directory at process exit (schema:
@@ -35,6 +48,7 @@
 #include <vector>
 
 #include "kernels/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 #include "rt/scheduler.hpp"
 #include "trace/overhead.hpp"
@@ -76,6 +90,11 @@ struct RunResult {
   // Streaming digest of the committed event stream (sim::Engine). Equal
   // digests <=> bit-identical simulations; recorded for every run.
   std::uint64_t event_digest = 0;
+  // Observability snapshot (ILAN_METRICS; empty registry and digest 0 when
+  // disabled). The digest participates in the same 2-run and jobs-parity
+  // checks as event_digest.
+  obs::MetricsRegistry metrics;
+  std::uint64_t metrics_digest = 0;
 
   // --- failure record + fault telemetry -----------------------------------
   RunStatus status = RunStatus::kOk;
@@ -109,6 +128,10 @@ struct Series {
   [[nodiscard]] double mean_overhead_s() const;
   [[nodiscard]] std::uint64_t total_events_fired() const;
   [[nodiscard]] mem::SolverStats solver_totals() const;
+  // Merge of every successful run's metrics registry (empty when
+  // ILAN_METRICS was off): counters/histograms sum, gauges keep sums and
+  // sample counts so Gauge::mean() is the per-run average.
+  [[nodiscard]] obs::MetricsRegistry metrics_totals() const;
   [[nodiscard]] int ok_count() const;
   [[nodiscard]] int failed_count() const;
 };
@@ -151,6 +174,10 @@ struct SelfcheckResult {
   bool deterministic = false;
   std::uint64_t digest_a = 0;
   std::uint64_t digest_b = 0;
+  // Metrics digests of the two runs (0/0 with ILAN_METRICS off). A mismatch
+  // fails `deterministic` exactly like an event-digest mismatch.
+  std::uint64_t metrics_a = 0;
+  std::uint64_t metrics_b = 0;
   std::uint64_t events = 0;       // events fired per run
   std::string divergence;         // first divergent event (empty when ok)
   std::size_t audit_reports = 0;  // race/invariant reports from the auditor

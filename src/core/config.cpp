@@ -1,2 +1,23 @@
-// IlanParams is header-only; this translation unit anchors the library.
 #include "core/config.hpp"
+
+#include "obs/env.hpp"
+
+namespace ilan::core {
+
+IlanParams params_from_env(IlanParams base) {
+  base.granularity = obs::parse_env_int("ILAN_GRANULARITY", base.granularity, 0, 1 << 20);
+  base.stealable_fraction =
+      obs::parse_env_double("ILAN_STEALABLE_FRACTION", base.stealable_fraction, 0.0, 1.0);
+  base.remote_steal_chunk =
+      obs::parse_env_int("ILAN_REMOTE_STEAL_CHUNK", base.remote_steal_chunk, 1, 1 << 20);
+  base.staleness_factor =
+      obs::parse_env_double("ILAN_STALENESS_FACTOR", base.staleness_factor, 1.0, 1e6);
+  base.staleness_patience =
+      obs::parse_env_int("ILAN_STALENESS_PATIENCE", base.staleness_patience, 1, 1 << 20);
+  base.max_reexplorations =
+      obs::parse_env_int("ILAN_MAX_REEXPLORATIONS", base.max_reexplorations, 0, 1 << 20);
+  base.validate();
+  return base;
+}
+
+}  // namespace ilan::core

@@ -76,4 +76,17 @@ struct IlanParams {
   }
 };
 
+// Applies optional ILAN_* tuning overrides from the environment on top of
+// `base`, with the strict parsers from obs/env.hpp — a typo'd knob throws
+// std::invalid_argument naming the variable instead of silently running the
+// defaults. Knobs (all optional):
+//   ILAN_GRANULARITY          thread-count granularity g (>= 0; 0 = node)
+//   ILAN_STEALABLE_FRACTION   cross-node stealable tail fraction [0, 1]
+//   ILAN_REMOTE_STEAL_CHUNK   tasks per remote steal (>= 1)
+//   ILAN_STALENESS_FACTOR     staleness threshold factor (> 1)
+//   ILAN_STALENESS_PATIENCE   stale executions before re-exploration (>= 1)
+//   ILAN_MAX_REEXPLORATIONS   re-exploration budget per loop (>= 0)
+// The result is validate()d before returning.
+[[nodiscard]] IlanParams params_from_env(IlanParams base = {});
+
 }  // namespace ilan::core

@@ -1,6 +1,8 @@
 #include "core/distributor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rt/runtime.hpp"
@@ -50,6 +52,7 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
   for (std::size_t ni = 0; ni < nn; ++ni) wsum[ni + 1] = wsum[ni] + weight[ni];
   const std::size_t wtotal = wsum[nn];
 
+  obs::MetricsRegistry* metrics = team.machine().metrics();
   for (std::size_t ni = 0; ni < nn; ++ni) {
     // Deterministic block mapping: node ni owns chunks [lo, hi), i.e. a
     // contiguous run of the iteration space.
@@ -63,6 +66,20 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
         static_cast<double>(node_tasks) * (1.0 - opts.stealable_fraction) + 0.5);
 
     const topo::NodeId node = nodes[ni];
+    if (metrics != nullptr) {
+      // Per-node block-map share plus the strict/stealable split the
+      // stealable_fraction knob produced — makes a skewed health-weighted
+      // distribution visible without reading queues.
+      const std::size_t strict_n = cfg.steal_policy == rt::StealPolicy::kStrict
+                                       ? node_tasks
+                                       : std::min(strict_count, node_tasks);
+      metrics->counter("core.dist.node" + std::to_string(node.value()) + ".tasks")
+          .inc(static_cast<std::int64_t>(node_tasks));
+      metrics->counter("core.dist.strict_tasks")
+          .inc(static_cast<std::int64_t>(strict_n));
+      metrics->counter("core.dist.stealable_tasks")
+          .inc(static_cast<std::int64_t>(node_tasks - strict_n));
+    }
     const int primary = team.node_workers(node).front();
     for (std::size_t c = lo; c < hi; ++c) {
       serial_cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);

@@ -13,6 +13,8 @@ IlanScheduler::IlanScheduler(const IlanParams& params) : params_(params) {
 rt::LoopConfig IlanScheduler::select_config(const rt::TaskloopSpec& spec,
                                             rt::Team& team) {
   team.costs().charge(trace::OverheadComponent::kConfigSelect);
+  obs::MetricsRegistry* metrics = team.machine().metrics();
+  if (metrics != nullptr) metrics->counter("ptt.probe").inc();
 
   LoopState& st = state_[spec.loop_id];
   ++st.k;
@@ -24,11 +26,25 @@ rt::LoopConfig IlanScheduler::select_config(const rt::TaskloopSpec& spec,
   if (st.counter_locked || !params_.moldability) {
     st.finished = true;  // no exploration: straight to steal-policy trial
   } else {
+    const bool was_finished = st.finished;
     if (!st.search) st.search = std::make_unique<ThreadSearch>(m_max, g);
     // k - k0 is the search-local execution index: a staleness-triggered
     // restart replays Algorithm 1's warm-up instead of resuming mid-search.
     threads = st.search->next_threads(st.k - st.k0, ptt_, spec.loop_id);
     st.finished = st.search->finished();
+    if (st.finished && !was_finished) {
+      // Algorithm 1 just locked in a thread count for this loop.
+      if (metrics != nullptr) {
+        metrics->counter("ptt.lock").inc();
+        metrics->gauge("ptt.converge_execs").add(static_cast<double>(st.k - st.k0));
+      }
+      if (team.tracer() != nullptr) {
+        team.tracer()->add_instant(trace::InstantEvent{
+            "ptt lock loop " + std::to_string(spec.loop_id) + " @" +
+                std::to_string(threads) + "thr",
+            team.now()});
+      }
+    }
   }
 
   // The reactive path routes around unhealthy nodes; with every node
@@ -80,6 +96,13 @@ void IlanScheduler::loop_finished(const rt::TaskloopSpec& spec,
       const double machine_gbps = team.topology().total_mem_bw_gbps();
       if (achieved_gbps < params_.counter_bw_threshold * machine_gbps) {
         st.counter_locked = true;
+        if (obs::MetricsRegistry* m = team.machine().metrics()) {
+          m->counter("ptt.counter_lock").inc();
+        }
+        if (team.tracer() != nullptr) {
+          team.tracer()->add_instant(trace::InstantEvent{
+              "counter-lock loop " + std::to_string(spec.loop_id), team.now()});
+        }
       }
     }
   }
@@ -110,6 +133,13 @@ void IlanScheduler::loop_finished(const rt::TaskloopSpec& spec,
         st.stale_streak = 0;
         ++st.reexplorations;
         ++total_reexplorations_;
+        if (obs::MetricsRegistry* m = team.machine().metrics()) {
+          m->counter("ptt.reexplore").inc();
+        }
+        if (team.tracer() != nullptr) {
+          team.tracer()->add_instant(trace::InstantEvent{
+              "ptt re-explore loop " + std::to_string(spec.loop_id), team.now()});
+        }
       }
     } else {
       st.stale_streak = 0;

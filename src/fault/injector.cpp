@@ -15,6 +15,27 @@ FaultInjector::FaultInjector(rt::Machine& machine, FaultPlan plan)
     }
   }
   active_.assign(plan_.clauses.size(), false);
+  open_since_.assign(plan_.clauses.size(), sim::SimTime{-1});
+}
+
+std::string FaultInjector::clause_label(std::size_t ci) const {
+  const FaultClause& c = plan_.clauses[ci];
+  std::string label = to_string(c.kind);
+  if (c.node >= 0) label += " node" + std::to_string(c.node);
+  label += " mag" + std::to_string(c.magnitude);
+  return label;
+}
+
+std::vector<FaultInjector::FaultSpan> FaultInjector::collect_spans(
+    sim::SimTime run_end) const {
+  std::vector<FaultSpan> out = closed_spans_;
+  for (std::size_t ci = 0; ci < open_since_.size(); ++ci) {
+    if (open_since_[ci] >= 0) {
+      out.push_back(FaultSpan{clause_label(ci), open_since_[ci],
+                              std::max(run_end, open_since_[ci])});
+    }
+  }
+  return out;
 }
 
 void FaultInjector::arm() {
@@ -34,6 +55,13 @@ void FaultInjector::on_apply(std::size_t ci) {
   const FaultClause& c = plan_.clauses[ci];
   active_[ci] = true;
   ++applications_;
+  if (open_since_[ci] < 0) open_since_[ci] = machine_.engine().now();
+  if (obs::MetricsRegistry* m = machine_.metrics()) {
+    m->counter("fault.applies").inc();
+    std::int64_t live = 0;
+    for (const bool a : active_) live += a ? 1 : 0;
+    m->gauge("fault.active_peak").max_of(static_cast<double>(live));
+  }
   refresh();
   auto& engine = machine_.engine();
   if (c.duration > 0) {
@@ -50,6 +78,14 @@ void FaultInjector::on_apply(std::size_t ci) {
 void FaultInjector::on_revert(std::size_t ci) {
   active_[ci] = false;
   ++reversions_;
+  if (open_since_[ci] >= 0) {
+    closed_spans_.push_back(
+        FaultSpan{clause_label(ci), open_since_[ci], machine_.engine().now()});
+    open_since_[ci] = -1;
+  }
+  if (obs::MetricsRegistry* m = machine_.metrics()) {
+    m->counter("fault.reverts").inc();
+  }
   refresh();
 }
 
@@ -110,6 +146,12 @@ void FaultInjector::refresh() {
     if (memory.extra_streams(node) != streams[i]) {
       memory.set_extra_streams(node, streams[i]);
       memory_touched = true;
+    }
+    if (health.condition(node) == rt::NodeCondition::kHealthy &&
+        cond[i] != rt::NodeCondition::kHealthy) {
+      if (obs::MetricsRegistry* m = machine_.metrics()) {
+        m->counter("fault.demotions").inc();
+      }
     }
     health.set(node, cond[i]);
   }

@@ -40,6 +40,16 @@ class FaultInjector {
   // Nodes any degrade/offline clause targets (for demotion accounting).
   [[nodiscard]] std::vector<topo::NodeId> degraded_targets() const;
 
+  // One realized fault interval: "<kind> node<N> magM", apply → revert. A
+  // clause still active at run end (duration 0, or the run finished first)
+  // is clamped to `run_end`. Exported to the Chrome trace's fault lane.
+  struct FaultSpan {
+    std::string label;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+  };
+  [[nodiscard]] std::vector<FaultSpan> collect_spans(sim::SimTime run_end) const;
+
  private:
   void schedule_occurrence(std::size_t ci, sim::SimTime at);
   void on_apply(std::size_t ci);
@@ -47,12 +57,16 @@ class FaultInjector {
   // Recomputes all composites from active_ and pushes them to the machine.
   void refresh();
 
+  [[nodiscard]] std::string clause_label(std::size_t ci) const;
+
   rt::Machine& machine_;
   FaultPlan plan_;
   std::vector<bool> active_;  // per clause
   bool armed_ = false;
   std::int64_t applications_ = 0;
   std::int64_t reversions_ = 0;
+  std::vector<FaultSpan> closed_spans_;
+  std::vector<sim::SimTime> open_since_;  // per clause; -1 = not active
 };
 
 }  // namespace ilan::fault

@@ -31,6 +31,8 @@ MemorySystem::MemorySystem(sim::Engine& engine, const topo::Topology& topo,
   gather_bytes_.resize(static_cast<std::size_t>(topo_.num_nodes()));
   extra_streams_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
   bw_scale_.assign(static_cast<std::size_t>(topo_.num_nodes()), 1.0);
+  node_src_bytes_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
+  node_peak_streams_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
 }
 
 void MemorySystem::set_extra_streams(topo::NodeId node, double streams) {
@@ -145,6 +147,7 @@ void MemorySystem::build_flows(ExecRecord& rec,
     for (std::size_t i = 0; i < n; ++i) {
       if (by_node[i] <= 0.0) continue;
       rec.flows.push_back(FlowState{static_cast<std::int32_t>(i), gather, by_node[i], 0.0});
+      node_src_bytes_[i] += by_node[i];
       const topo::NodeId src{static_cast<std::int32_t>(i)};
       if (src == home) {
         traffic_.local_bytes += by_node[i];
@@ -169,6 +172,7 @@ void MemorySystem::build_flows(ExecRecord& rec,
     for (std::size_t i = 0; i < n; ++i) {
       if (gather_bytes_[i] <= 0.0) continue;
       rec.gather_frac[i] = gather_bytes_[i] / gather_total;
+      node_src_bytes_[i] += gather_bytes_[i];
       const topo::NodeId src{static_cast<std::int32_t>(i)};
       if (src == home) {
         traffic_.local_bytes += gather_bytes_[i];
@@ -318,6 +322,9 @@ void MemorySystem::resolve() {
   // Adding 0.0 on the no-fault path leaves every count bit-identical.
   for (std::size_t i = 0; i < nn; ++i) {
     if (streams_on_controller[i] > 0.0) streams_on_controller[i] += extra_streams_[i];
+    if (streams_on_controller[i] > node_peak_streams_[i]) {
+      node_peak_streams_[i] = streams_on_controller[i];
+    }
   }
 
   // 3. Solve the max-min problem. Re-point the flow references at the
@@ -562,6 +569,8 @@ void MemorySystem::reset_run() {
   cache_.invalidate_all();
   traffic_ = TrafficStats{};
   solver_stats_ = SolverStats{};
+  std::fill(node_src_bytes_.begin(), node_src_bytes_.end(), 0.0);
+  std::fill(node_peak_streams_.begin(), node_peak_streams_.end(), 0.0);
   // Force full rebuilds on the next resolves.
   for (auto& e : net_cache_) e.sig.assign(1, ~0ull);
 }

@@ -116,6 +116,15 @@ class MemorySystem {
   [[nodiscard]] std::size_t active_executions() const { return active_.size(); }
   [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
   [[nodiscard]] const SolverStats& solver_stats() const { return solver_stats_; }
+  // Per-NUMA-node observability: bytes sourced from each node's controller
+  // over the run (the per-node split of traffic()), and the peak concurrent
+  // stream pressure each controller saw (co-runner faults included) — the
+  // quantity the congestion derating keys on. Indexed by node; exported
+  // into the metrics registry by the bench harness at run end.
+  [[nodiscard]] std::span<const double> node_src_bytes() const { return node_src_bytes_; }
+  [[nodiscard]] std::span<const double> node_peak_streams() const {
+    return node_peak_streams_;
+  }
   [[nodiscard]] CacheModel& cache() { return cache_; }
   [[nodiscard]] RegionTable& regions() { return regions_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
@@ -217,6 +226,8 @@ class MemorySystem {
   ExecId next_id_ = 1;
   bool resolve_pending_ = false;
   TrafficStats traffic_;
+  std::vector<double> node_src_bytes_;     // per node, cumulative
+  std::vector<double> node_peak_streams_;  // per node, high-water mark
 
   // Fault-injection state (all-1.0/0.0 when no fault is active; the resolve
   // math then reproduces the unperturbed values bit-for-bit).

@@ -1,0 +1,79 @@
+#include "obs/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ilan::obs {
+
+std::optional<long long> parse_full_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  long long value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+int parse_env_int(const char* name, int fallback, int min, int max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  const auto parsed = parse_full_int(v);
+  if (!parsed || *parsed < min || *parsed > max) {
+    throw std::invalid_argument(std::string(name) + "='" + v +
+                                "': expected an integer in [" + std::to_string(min) +
+                                ", " + std::to_string(max) + "]");
+  }
+  return static_cast<int>(*parsed);
+}
+
+double parse_env_double(const char* name, double fallback, double min, double max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  double value = 0.0;
+  const char* last = v;
+  while (*last != '\0') ++last;
+  const auto [ptr, ec] = std::from_chars(v, last, value);
+  const bool finite = value >= -1.7976931348623157e308 && value <= 1.7976931348623157e308;
+  if (ec != std::errc{} || ptr != last || !finite || value < min || value > max) {
+    throw std::invalid_argument(std::string(name) + "='" + v +
+                                "': expected a number in [" + std::to_string(min) +
+                                ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return !(s.empty() || s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+ScopedEnv::ScopedEnv(const char* name, const std::string& value) : name_(name) {
+  const char* old = std::getenv(name);
+  had_ = old != nullptr;
+  if (had_) saved_ = old;
+  ::setenv(name, value.c_str(), 1);
+}
+
+ScopedEnv::ScopedEnv(const char* name) : name_(name) {
+  const char* old = std::getenv(name);
+  had_ = old != nullptr;
+  if (had_) saved_ = old;
+  ::unsetenv(name);
+}
+
+ScopedEnv::~ScopedEnv() {
+  // Restoring "unset" must unset — setenv(name, "", 1) would leave the
+  // variable present-but-empty, which getenv-based guards (and any child
+  // process) see as "set".
+  if (had_) {
+    ::setenv(name_.c_str(), saved_.c_str(), 1);
+  } else {
+    ::unsetenv(name_.c_str());
+  }
+}
+
+}  // namespace ilan::obs

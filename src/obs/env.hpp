@@ -1,0 +1,56 @@
+// Strict environment-knob parsing and scoped save/restore.
+//
+// Every ILAN_* knob used to go through std::atoi/std::atof, which silently
+// map garbage ("abc", "4x", overflowing digits) to 0 and fall back to the
+// default — a typo'd ILAN_BENCH_RUNS=3O ran the 30-run default and nobody
+// noticed. These helpers parse the FULL string with std::from_chars, range-
+// check, and throw std::invalid_argument naming the variable and value, so
+// a bad knob fails the run loudly instead of quietly running the wrong
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ilan::obs {
+
+// Parses env var `name` as an integer. Returns `fallback` when the variable
+// is unset or empty. Throws std::invalid_argument when set to anything that
+// is not a full-string integer in [min, max] (trailing junk, overflow, ...).
+[[nodiscard]] int parse_env_int(const char* name, int fallback,
+                                int min = INT32_MIN, int max = INT32_MAX);
+
+// Same contract for doubles (full-string parse, finite, within [min, max]).
+[[nodiscard]] double parse_env_double(const char* name, double fallback,
+                                      double min = -1e308, double max = 1e308);
+
+// Strict full-string integer parse of `text` (no env lookup); nullopt on
+// any violation. The primitive parse_env_int is built on.
+[[nodiscard]] std::optional<long long> parse_full_int(std::string_view text);
+
+// True when env var `name` is set to a truthy value ("1", "true", "on",
+// "yes" — anything except unset/"", "0", "false", "off", "no").
+[[nodiscard]] bool env_flag(const char* name);
+
+// Sets an environment variable for a scope and restores the previous state
+// on destruction — including *absence*: a variable that was unset on entry
+// is unset again on exit, never left behind as an empty string. Nested
+// scopes on the same variable unwind correctly in reverse order.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value);
+  // Unsets the variable for the scope.
+  explicit ScopedEnv(const char* name);
+  ~ScopedEnv();
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+}  // namespace ilan::obs

@@ -1,0 +1,267 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ilan::obs {
+
+namespace {
+
+// SplitMix64 finalizer (same construction as sim::Engine::mix64; duplicated
+// here so obs does not depend on the engine).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over the name bytes: stable across implementations, unlike
+// std::hash.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void Histogram::record(double x) {
+  // Upper-bound bucketing: the first edge >= x wins, so a sample exactly on
+  // an edge lands in that edge's bucket (pinned by tests).
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges_.begin());
+  ++counts_[idx];  // idx == edges_.size() is the overflow bucket
+  ++total_;
+  sum_ += x;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    const Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kCounter) {
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' already registered as " + to_string(e.kind));
+    }
+    return counters_[e.index];
+  }
+  counters_.emplace_back();
+  entries_.push_back(Entry{std::string(name), MetricKind::kCounter, counters_.size() - 1});
+  index_.emplace(std::string(name), entries_.size() - 1);
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    const Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kGauge) {
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' already registered as " + to_string(e.kind));
+    }
+    return gauges_[e.index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back(Entry{std::string(name), MetricKind::kGauge, gauges_.size() - 1});
+  index_.emplace(std::string(name), entries_.size() - 1);
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> edges) {
+  if (edges.empty()) {
+    throw std::invalid_argument("MetricsRegistry: histogram needs at least one edge");
+  }
+  if (!std::is_sorted(edges.begin(), edges.end())) {
+    throw std::invalid_argument("MetricsRegistry: histogram edges must be sorted");
+  }
+  if (const auto it = index_.find(name); it != index_.end()) {
+    const Entry& e = entries_[it->second];
+    if (e.kind != MetricKind::kHistogram) {
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' already registered as " + to_string(e.kind));
+    }
+    Histogram& h = histograms_[e.index];
+    if (!std::equal(h.edges_.begin(), h.edges_.end(), edges.begin(), edges.end())) {
+      throw std::invalid_argument("MetricsRegistry: '" + std::string(name) +
+                                  "' re-registered with different bucket edges");
+    }
+    return h;
+  }
+  histograms_.emplace_back();
+  Histogram& h = histograms_.back();
+  h.edges_.assign(edges.begin(), edges.end());
+  h.counts_.assign(edges.size() + 1, 0);
+  entries_.push_back(
+      Entry{std::string(name), MetricKind::kHistogram, histograms_.size() - 1});
+  index_.emplace(std::string(name), entries_.size() - 1);
+  return h;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.kind == MetricKind::kCounter ? &counters_[e.index] : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.kind == MetricKind::kGauge ? &gauges_[e.index] : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& e = entries_[it->second];
+  return e.kind == MetricKind::kHistogram ? &histograms_[e.index] : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const Entry& oe : other.entries_) {
+    switch (oe.kind) {
+      case MetricKind::kCounter: {
+        counter(oe.name).value_ += other.counters_[oe.index].value_;
+        break;
+      }
+      case MetricKind::kGauge: {
+        Gauge& g = gauge(oe.name);
+        const Gauge& og = other.gauges_[oe.index];
+        g.value_ += og.value_;
+        g.samples_ += og.samples_;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const Histogram& oh = other.histograms_[oe.index];
+        Histogram& h = histogram(oe.name, oh.edges_);
+        for (std::size_t i = 0; i < h.counts_.size(); ++i) {
+          h.counts_[i] += oh.counts_[i];
+        }
+        h.total_ += oh.total_;
+        h.sum_ += oh.sum_;
+        break;
+      }
+    }
+  }
+}
+
+template <typename T>
+std::uint64_t MetricsRegistry::bits(T v) {
+  static_assert(sizeof(T) <= sizeof(std::uint64_t));
+  if constexpr (std::is_same_v<T, double>) {
+    return std::bit_cast<std::uint64_t>(v);
+  } else {
+    return static_cast<std::uint64_t>(v);
+  }
+}
+
+std::uint64_t MetricsRegistry::digest() const {
+  std::uint64_t d = 0x9E3779B97F4A7C15ull;
+  for (const Entry& e : entries_) {
+    d = mix64(d ^ fnv1a(e.name));
+    d = mix64(d ^ static_cast<std::uint64_t>(e.kind));
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        d = mix64(d ^ bits(counters_[e.index].value_));
+        break;
+      case MetricKind::kGauge:
+        d = mix64(d ^ bits(gauges_[e.index].value_));
+        d = mix64(d ^ bits(gauges_[e.index].samples_));
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        for (const double edge : h.edges_) d = mix64(d ^ bits(edge));
+        for (const std::int64_t c : h.counts_) d = mix64(d ^ bits(c));
+        d = mix64(d ^ bits(h.sum_));
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void write_double(std::ostream& os, double v) {
+  // JSON has no inf/nan literals; metrics never produce them, but never
+  // emit an invalid document even if one slips through.
+  if (!(v >= -1.7976931348623157e308 && v <= 1.7976931348623157e308)) {
+    os << "null";
+    return;
+  }
+  // %.17g round-trips doubles exactly; snprintf avoids stream-state leaks.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"';
+    write_escaped(os, e.name);
+    os << "\": ";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        os << counters_[e.index].value_;
+        break;
+      case MetricKind::kGauge:
+        write_double(os, gauges_[e.index].value_);
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        os << "{\"count\": " << h.total_ << ", \"sum\": ";
+        write_double(os, h.sum_);
+        os << ", \"edges\": [";
+        for (std::size_t i = 0; i < h.edges_.size(); ++i) {
+          if (i != 0) os << ", ";
+          write_double(os, h.edges_[i]);
+        }
+        os << "], \"buckets\": [";
+        for (std::size_t i = 0; i < h.counts_.size(); ++i) {
+          if (i != 0) os << ", ";
+          os << h.counts_[i];
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+}  // namespace ilan::obs

@@ -1,0 +1,176 @@
+// Deterministic, simulation-time metrics.
+//
+// A MetricsRegistry is a named set of counters, gauges and histograms that
+// instrumentation points in src/core, src/rt, src/mem and src/fault write
+// while a run executes. Everything about it is deterministic:
+//   * values derive only from simulated state (no wall clock, no host RNG);
+//   * registration order is the order of first use, which in a
+//     deterministic simulation is itself deterministic — entries() iterates
+//     in exactly that order on every identical run;
+//   * digest() folds (name, kind, values) over the registration order into
+//     a 64-bit value, so two runs produced identical metrics iff their
+//     digests match. bench/selfcheck compares metrics digests the same way
+//     it compares event-stream digests (2-run and jobs=1-vs-4 parity).
+//
+// Metrics never feed back into the simulation: attaching a registry to a
+// Machine must leave the committed event stream bit-identical (the
+// selfcheck's "does observing the run perturb it" check covers this).
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (values live in deques); instrumentation sites cache
+// them once and write through the pointer afterwards.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilan::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind k);
+
+// Monotonic integer count of discrete occurrences (steals, probes, ...).
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::int64_t value_ = 0;
+};
+
+// A level (double). set() records the latest value, max_of()/add() the
+// common derived uses. Merging across runs sums values and sample counts so
+// a mean is still derivable (mean() below).
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    samples_ = 1;
+  }
+  void add(double v) {
+    value_ += v;
+    samples_ = 1;
+  }
+  void max_of(double v) {
+    if (samples_ == 0 || v > value_) value_ = v;
+    samples_ = 1;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  // Mean across merged runs (== value() for a single-run registry).
+  [[nodiscard]] double mean() const {
+    return samples_ > 0 ? value_ / static_cast<double>(samples_) : 0.0;
+  }
+  [[nodiscard]] std::int64_t samples() const { return samples_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+  std::int64_t samples_ = 0;
+};
+
+// Fixed-bucket histogram. Bucket i counts samples x with
+//   edges[i-1] < x <= edges[i]        (bucket 0: x <= edges[0]),
+// and one overflow bucket counts x > edges.back(). Edge values are part of
+// the metric's identity: registering the same name with different edges
+// throws.
+class Histogram {
+ public:
+  void record(double x);
+
+  [[nodiscard]] std::span<const double> edges() const { return edges_; }
+  // counts().size() == edges().size() + 1; the last entry is the overflow.
+  [[nodiscard]] std::span<const std::int64_t> counts() const { return counts_; }
+  [[nodiscard]] std::int64_t total_count() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> edges_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  // Copyable on purpose: the bench harness snapshots each run's registry
+  // into its RunResult. Handles into the copy are re-fetched by name.
+  MetricsRegistry(const MetricsRegistry&) = default;
+  MetricsRegistry& operator=(const MetricsRegistry&) = default;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  // Get-or-create. Throws std::invalid_argument if `name` is already
+  // registered as a different kind (or, for histograms, with different
+  // bucket edges).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> edges);
+
+  // Read-only lookup; nullptr when the name is absent or of another kind.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::size_t index;  // into the kind's storage
+  };
+  // Registration order — fixed for the registry's lifetime.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] const Counter& counter_at(const Entry& e) const {
+    return counters_[e.index];
+  }
+  [[nodiscard]] const Gauge& gauge_at(const Entry& e) const { return gauges_[e.index]; }
+  [[nodiscard]] const Histogram& histogram_at(const Entry& e) const {
+    return histograms_[e.index];
+  }
+
+  // Merges `other` into this registry by name: counters and histogram
+  // buckets add, gauges sum values and sample counts (mean() recovers the
+  // average). Names absent here are appended in `other`'s registration
+  // order. Kind or bucket-edge mismatches throw.
+  void merge(const MetricsRegistry& other);
+
+  // 64-bit digest over (name, kind, values) in registration order. Uses a
+  // repo-local FNV/SplitMix construction, never std::hash (whose values are
+  // implementation-defined).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  // JSON object {"name": value, ...}; histograms become
+  // {"count": N, "sum": S, "buckets": [...], "edges": [...]}.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::uint64_t bits(T v);
+
+  std::vector<Entry> entries_;
+  // std::map, not unordered_map: lookup order never feeds iteration, but
+  // keeping the index ordered costs nothing and leaves nothing to audit.
+  std::map<std::string, std::size_t, std::less<>> index_;  // -> entries_ slot
+  // Deques: stable addresses for cached handles as metrics register.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace ilan::obs

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "mem/memory_system.hpp"
+#include "obs/metrics.hpp"
 #include "rt/health.hpp"
 #include "sim/engine.hpp"
 #include "sim/noise.hpp"
@@ -41,6 +42,14 @@ class Machine {
   [[nodiscard]] const NodeHealth& health() const { return health_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
+  // Observability: a metrics registry every subsystem instrumentation point
+  // reaches through the machine. nullptr (the default) disables metrics at
+  // the cost of one pointer test per instrumentation site; the simulated
+  // event stream is bit-identical either way (metrics only observe). Attach
+  // BEFORE constructing Teams/schedulers/injectors — they cache handles.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   std::uint64_t seed_;
   sim::Engine engine_;
@@ -48,6 +57,7 @@ class Machine {
   sim::NoiseModel noise_;
   mem::RegionTable regions_;
   NodeHealth health_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<mem::MemorySystem> memory_;
 };
 

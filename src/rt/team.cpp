@@ -1,5 +1,6 @@
 #include "rt/team.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "sim/event_tags.hpp"
@@ -11,6 +12,18 @@ Team::Team(Machine& machine, Scheduler& scheduler, const TeamParams& params)
       scheduler_(scheduler),
       costs_(params.costs, overhead_, &machine.noise()),
       rng_(sim::Xoshiro256ss(machine.seed()).split(0x7e47)) {
+  if (obs::MetricsRegistry* m = machine_.metrics()) {
+    metrics_.loops = &m->counter("rt.loops");
+    metrics_.tasks = &m->counter("rt.tasks_executed");
+    metrics_.steal_intra = &m->counter("rt.steal.intra_node");
+    metrics_.steal_cross = &m->counter("rt.steal.cross_node");
+    metrics_.steal_rescue = &m->counter("rt.steal.rescue");
+    metrics_.watchdog_trips = &m->counter("rt.watchdog.trips");
+    static constexpr double kOccEdges[] = {0, 1, 2, 4, 8, 16, 32, 64};
+    metrics_.deque_occupancy = &m->histogram("rt.deque.occupancy", kOccEdges);
+    static constexpr double kThreadEdges[] = {1, 2, 4, 8, 16, 32, 64, 128};
+    metrics_.loop_threads = &m->histogram("rt.loop.threads", kThreadEdges);
+  }
   const auto& topo = machine_.topology();
   workers_.resize(static_cast<std::size_t>(topo.num_cores()));
   workers_by_node_.resize(static_cast<std::size_t>(topo.num_nodes()));
@@ -38,8 +51,10 @@ bool Team::node_queues_empty(topo::NodeId n) const {
 void Team::note_steal(bool remote) {
   if (remote) {
     ++steals_remote_;
+    if (metrics_.steal_cross != nullptr) metrics_.steal_cross->inc();
   } else {
     ++steals_local_;
+    if (metrics_.steal_intra != nullptr) metrics_.steal_intra->inc();
   }
 }
 
@@ -85,6 +100,21 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
     cur_cfg_.num_threads = num_workers();
   }
   activate_workers(cur_cfg_);
+  if (metrics_.loops != nullptr) {
+    metrics_.loops->inc();
+    metrics_.loop_threads->record(static_cast<double>(cur_cfg_.num_threads));
+  }
+  if (tracer_ != nullptr) {
+    // Scheduler-decision instant: what configuration this loop got. Lives
+    // on the control lane so PTT convergence is visible against the task
+    // slices it produced.
+    char cfg[96];
+    std::snprintf(cfg, sizeof(cfg), "cfg %dthr mask=0x%llx %s",
+                  cur_cfg_.num_threads,
+                  static_cast<unsigned long long>(cur_cfg_.node_mask.bits()),
+                  to_string(cur_cfg_.steal_policy));
+    tracer_->add_instant(trace::InstantEvent{spec.name + ": " + cfg, engine.now()});
+  }
   if (observer_ != nullptr) {
     observer_->on_loop_begin(spec, cur_cfg_, *this, engine.now());
   }
@@ -150,6 +180,9 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
 void Team::worker_seek(int wid) {
   Worker& w = workers_[static_cast<std::size_t>(wid)];
   if (loop_done_ || !w.active || w.idle) return;
+  if (metrics_.deque_occupancy != nullptr) {
+    metrics_.deque_occupancy->record(static_cast<double>(w.deque.size()));
+  }
   AcquireResult r = scheduler_.acquire(*this, w);
   if (r.task) {
     const Task task = *r.task;
@@ -183,11 +216,13 @@ void Team::finish_task(int wid, const Task& task, sim::SimTime exec_start) {
   if (observer_ != nullptr) {
     observer_->on_task_finish(task, w, machine_.engine().now());
   }
+  if (metrics_.tasks != nullptr) metrics_.tasks->inc();
   if (tracer_ != nullptr) {
     trace::TaskEvent ev;
     ev.name = (task.loop != nullptr ? task.loop->name : std::string("task")) + "[" +
               std::to_string(task.begin) + "," + std::to_string(task.end) + ")";
     ev.core = w.core.value();
+    ev.node = static_cast<int>(w.node.value());
     ev.start = exec_start;
     ev.end = machine_.engine().now();
     ev.stolen_remote = task.home_node.valid() && task.home_node != w.node;
@@ -231,6 +266,7 @@ void Team::run_engine(const char* what) {
   }
   engine.run_until(deadline_);
   if (engine.pending_regular() != 0) {
+    if (metrics_.watchdog_trips != nullptr) metrics_.watchdog_trips->inc();
     throw WatchdogTimeout(
         std::string("Team: watchdog deadline (") +
             std::to_string(sim::to_seconds(deadline_)) + "s simulated) hit with " +

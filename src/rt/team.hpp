@@ -81,7 +81,10 @@ class Team {
   void note_steal(bool remote);
   // A steal permitted only by health-aware escalation (reactive fallback
   // raiding an unhealthy node under a strict policy). Telemetry only.
-  void note_escalated_steal() { ++steals_escalated_total_; }
+  void note_escalated_steal() {
+    ++steals_escalated_total_;
+    if (metrics_.steal_rescue != nullptr) metrics_.steal_rescue->inc();
+  }
   [[nodiscard]] std::int64_t total_escalated_steals() const {
     return steals_escalated_total_;
   }
@@ -111,6 +114,8 @@ class Team {
   // Attach a Chrome-trace collector: every task execution and loop boundary
   // is recorded (see trace/chrome_trace.hpp). Pass nullptr to detach.
   void set_tracer(trace::ChromeTraceWriter* tracer) { tracer_ = tracer; }
+  // Schedulers use this to add their own instant markers (PTT decisions).
+  [[nodiscard]] trace::ChromeTraceWriter* tracer() const { return tracer_; }
 
   // Attach a task-lifecycle observer (see rt/observer.hpp) — the hook the
   // correctness auditors use. Pass nullptr to detach.
@@ -129,8 +134,23 @@ class Team {
   void finish_task(int wid, const Task& task, sim::SimTime exec_start);
   void begin_loop_end();
 
+  // Metric handles cached once at construction from the machine's registry
+  // (all nullptr when none is attached). Caching keeps instrumentation sites
+  // to a pointer test + increment — cheap enough to leave always compiled in.
+  struct TeamMetrics {
+    obs::Counter* loops = nullptr;
+    obs::Counter* tasks = nullptr;
+    obs::Counter* steal_intra = nullptr;
+    obs::Counter* steal_cross = nullptr;
+    obs::Counter* steal_rescue = nullptr;
+    obs::Counter* watchdog_trips = nullptr;
+    obs::Histogram* deque_occupancy = nullptr;
+    obs::Histogram* loop_threads = nullptr;
+  };
+
   Machine& machine_;
   Scheduler& scheduler_;
+  TeamMetrics metrics_;
   trace::OverheadTracker overhead_;
   CostModel costs_;
   sim::Xoshiro256ss rng_;

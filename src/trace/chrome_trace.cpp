@@ -1,5 +1,8 @@
 #include "trace/chrome_trace.hpp"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -7,6 +10,14 @@
 namespace ilan::trace {
 
 namespace {
+
+// Process-id layout of the trace. Pid 0 is the control lane (loop markers,
+// scheduler instants on tid 0; fault spans on tid 1); pid 1+n is NUMA node n,
+// with one tid per core.
+constexpr int kControlPid = 0;
+constexpr int kSchedulerTid = 0;
+constexpr int kFaultTid = 1;
+constexpr int node_pid(int node) { return 1 + node; }
 
 void write_escaped(std::ostream& os, const std::string& s) {
   for (const char c : s) {
@@ -25,7 +36,28 @@ void write_escaped(std::ostream& os, const std::string& s) {
   }
 }
 
-double us(sim::SimTime t) { return static_cast<double>(t) / 1e6; }
+// SimTime is picoseconds; the trace format wants microseconds. Fixed-point
+// with three decimals (nanosecond resolution) via integer math: the old
+// `double(t) / 1e6` streamed at default precision, which for long runs
+// rounded timestamps together and for tiny ones emitted scientific notation
+// ("1.2e-05") — both malformed for strict trace parsers.
+void write_us(std::ostream& os, sim::SimTime t) {
+  const std::int64_t ns = t / 1000;  // drop sub-ns; events are ns-scale apart
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  os << buf;
+}
+
+void write_process_name(std::ostream& os, bool& first, int pid,
+                        const std::string& name) {
+  if (!first) os << ",";
+  first = false;
+  os << "\n" << R"({"name":"process_name","ph":"M","pid":)" << pid
+     << R"(,"tid":0,"args":{"name":")";
+  write_escaped(os, name);
+  os << R"("}})";
+}
 
 }  // namespace
 
@@ -37,19 +69,52 @@ void ChromeTraceWriter::write(std::ostream& os) const {
     first = false;
     os << "\n";
   };
+
+  // Lane naming metadata first: the control lane, then one process per NUMA
+  // node observed in the task stream.
+  write_process_name(os, first, kControlPid, "scheduler+faults");
+  int max_node = -1;
+  for (const auto& t : tasks_) max_node = std::max(max_node, t.node);
+  for (int n = 0; n <= max_node; ++n) {
+    write_process_name(os, first, node_pid(n), "node" + std::to_string(n));
+  }
+
   for (const auto& t : tasks_) {
     sep();
     os << R"({"name":")";
     write_escaped(os, t.name);
     os << R"(","cat":")" << (t.stolen_remote ? "remote-steal" : "task")
-       << R"(","ph":"X","ts":)" << us(t.start) << R"(,"dur":)" << us(t.end - t.start)
-       << R"(,"pid":0,"tid":)" << t.core << "}";
+       << R"(","ph":"X","ts":)";
+    write_us(os, t.start);
+    os << R"(,"dur":)";
+    write_us(os, t.end - t.start);
+    os << R"(,"pid":)" << node_pid(t.node) << R"(,"tid":)" << t.core << "}";
   }
   for (const auto& m : markers_) {
     sep();
     os << R"({"name":")";
     write_escaped(os, m.name);
-    os << R"(","ph":"i","s":"g","ts":)" << us(m.at) << R"(,"pid":0,"tid":0})";
+    os << R"(","cat":"loop","ph":"i","s":"g","ts":)";
+    write_us(os, m.at);
+    os << R"(,"pid":)" << kControlPid << R"(,"tid":)" << kSchedulerTid << "}";
+  }
+  for (const auto& i : instants_) {
+    sep();
+    os << R"({"name":")";
+    write_escaped(os, i.name);
+    os << R"(","cat":"sched","ph":"i","s":"p","ts":)";
+    write_us(os, i.at);
+    os << R"(,"pid":)" << kControlPid << R"(,"tid":)" << kSchedulerTid << "}";
+  }
+  for (const auto& sp : spans_) {
+    sep();
+    os << R"({"name":")";
+    write_escaped(os, sp.name);
+    os << R"(","cat":"fault","ph":"X","ts":)";
+    write_us(os, sp.start);
+    os << R"(,"dur":)";
+    write_us(os, sp.end - sp.start);
+    os << R"(,"pid":)" << kControlPid << R"(,"tid":)" << kFaultTid << "}";
   }
   os << "\n]\n";
 }

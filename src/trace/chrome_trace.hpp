@@ -1,10 +1,11 @@
 // Chrome-trace (about:tracing / Perfetto) export of taskloop executions.
 //
 // Collect TaskEvents during a run (the Team does this when a tracer is
-// attached) and write the standard JSON array format: one timeline row per
-// core, one slice per task, plus loop-boundary instant events. Load the
-// file at chrome://tracing or ui.perfetto.dev to see placement, stealing
-// and imbalance at a glance.
+// attached) and write the standard JSON array format: one process lane per
+// NUMA node with one timeline row per core, one slice per task, plus a
+// control lane carrying loop-boundary / scheduler-decision instants and
+// fault-injection spans. Load the file at chrome://tracing or
+// ui.perfetto.dev to see placement, stealing and imbalance at a glance.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +19,8 @@ namespace ilan::trace {
 
 struct TaskEvent {
   std::string name;       // "loopname[begin,end)"
-  int core = 0;           // timeline row
+  int core = 0;           // timeline row (tid)
+  int node = 0;           // NUMA node of the executing core (process lane)
   sim::SimTime start = 0;
   sim::SimTime end = 0;
   bool stolen_remote = false;  // color category
@@ -29,27 +31,48 @@ struct LoopMarker {
   sim::SimTime at = 0;
 };
 
+// A point-in-time scheduler decision (PTT config choice, lock, re-explore).
+struct InstantEvent {
+  std::string name;
+  sim::SimTime at = 0;
+};
+
+// A duration on the fault lane (one injected clause, apply → revert).
+struct SpanEvent {
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
+
 class ChromeTraceWriter {
  public:
   void add_task(TaskEvent ev) { tasks_.push_back(std::move(ev)); }
   void add_marker(LoopMarker m) { markers_.push_back(std::move(m)); }
+  void add_instant(InstantEvent ev) { instants_.push_back(std::move(ev)); }
+  void add_span(SpanEvent ev) { spans_.push_back(std::move(ev)); }
 
   [[nodiscard]] std::size_t num_events() const {
-    return tasks_.size() + markers_.size();
+    return tasks_.size() + markers_.size() + instants_.size() + spans_.size();
   }
 
-  // Writes the JSON trace. Timestamps are microseconds (the format's unit).
+  // Writes the JSON trace. Timestamps are microseconds (the format's unit),
+  // printed as fixed-point with nanosecond resolution — never scientific
+  // notation, which some trace viewers reject.
   void write(std::ostream& os) const;
   [[nodiscard]] std::string to_json() const;
 
   void clear() {
     tasks_.clear();
     markers_.clear();
+    instants_.clear();
+    spans_.clear();
   }
 
  private:
   std::vector<TaskEvent> tasks_;
   std::vector<LoopMarker> markers_;
+  std::vector<InstantEvent> instants_;
+  std::vector<SpanEvent> spans_;
 };
 
 }  // namespace ilan::trace

@@ -175,8 +175,8 @@ TEST(ChunkedSteal, ValidatesParameter) {
 
 TEST(ChromeTrace, WritesWellFormedJson) {
   trace::ChromeTraceWriter w;
-  w.add_task({"loop[0,16)", 3, sim::from_us(10), sim::from_us(25), false});
-  w.add_task({"loop[16,32)", 5, sim::from_us(12), sim::from_us(30), true});
+  w.add_task({"loop[0,16)", 3, 0, sim::from_us(10), sim::from_us(25), false});
+  w.add_task({"loop[16,32)", 5, 1, sim::from_us(12), sim::from_us(30), true});
   w.add_marker({"loop start", 0});
   EXPECT_EQ(w.num_events(), 3u);
   const auto json = w.to_json();
@@ -187,7 +187,7 @@ TEST(ChromeTrace, WritesWellFormedJson) {
   EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
   // Balanced brackets and escaping.
   trace::ChromeTraceWriter esc;
-  esc.add_task({"we\"ird\\name", 0, 0, 1, false});
+  esc.add_task({"we\"ird\\name", 0, 0, 0, 1, false});
   EXPECT_NE(esc.to_json().find(R"(we\"ird\\name)"), std::string::npos);
   w.clear();
   EXPECT_EQ(w.num_events(), 0u);
@@ -210,8 +210,11 @@ TEST(ChromeTrace, TeamRecordsTasksAndMarkers) {
   };
   team.run_taskloop(loop);
   const auto n_tasks = team.history().front().tasks;
-  EXPECT_EQ(tracer.num_events(), static_cast<std::size_t>(n_tasks) + 1u);
+  // One slice per task, the loop-boundary marker, and the chosen-config
+  // instant on the control lane.
+  EXPECT_EQ(tracer.num_events(), static_cast<std::size_t>(n_tasks) + 2u);
   EXPECT_NE(tracer.to_json().find("traced[0,"), std::string::npos);
+  EXPECT_NE(tracer.to_json().find("traced: cfg"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/env.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace ilan::obs;
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationOrderIsFirstUseOrder) {
+  MetricsRegistry m;
+  m.counter("c.one").inc();
+  const std::vector<double> edges = {1.0, 2.0};
+  m.gauge("g.two").set(5.0);
+  m.histogram("h.three", edges).record(1.5);
+  m.counter("c.one").inc();  // re-use must not re-register
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.entries()[0].name, "c.one");
+  EXPECT_EQ(m.entries()[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(m.entries()[1].name, "g.two");
+  EXPECT_EQ(m.entries()[1].kind, MetricKind::kGauge);
+  EXPECT_EQ(m.entries()[2].name, "h.three");
+  EXPECT_EQ(m.entries()[2].kind, MetricKind::kHistogram);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry m;
+  Counter& a = m.counter("steals");
+  // Registering many more metrics must not move the first handle (deque
+  // storage backs the cached-pointer instrumentation pattern).
+  for (int i = 0; i < 100; ++i) m.counter("c" + std::to_string(i));
+  Counter& b = m.counter("steals");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(m.find_counter("steals")->value(), 3);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry m;
+  m.counter("x");
+  EXPECT_THROW((void)m.gauge("x"), std::invalid_argument);
+  const std::vector<double> edges = {1.0};
+  EXPECT_THROW((void)m.histogram("x", edges), std::invalid_argument);
+  EXPECT_EQ(m.find_gauge("x"), nullptr);
+  EXPECT_NE(m.find_counter("x"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramEdgeMismatchThrows) {
+  MetricsRegistry m;
+  const std::vector<double> e1 = {1.0, 2.0};
+  const std::vector<double> e2 = {1.0, 3.0};
+  (void)m.histogram("h", e1);
+  EXPECT_THROW((void)m.histogram("h", e2), std::invalid_argument);
+  (void)m.histogram("h", e1);  // identical edges: fine
+}
+
+TEST(Histogram, UpperEdgeInclusiveBucketing) {
+  MetricsRegistry m;
+  const std::vector<double> edges = {1.0, 2.0, 4.0};
+  Histogram& h = m.histogram("h", edges);
+  h.record(1.0);  // exactly on edge 0 -> bucket 0 (x <= edges[0])
+  h.record(1.5);  // bucket 1
+  h.record(4.0);  // exactly on the last edge -> bucket 2, not overflow
+  h.record(5.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.counts()[2], 1);
+  EXPECT_EQ(h.counts()[3], 1);
+  EXPECT_EQ(h.total_count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 11.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 11.5 / 4.0);
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  MetricsRegistry a;
+  a.counter("c").inc(2);
+  a.gauge("g").set(10.0);
+  const std::vector<double> edges = {1.0, 2.0};
+  a.histogram("h", edges).record(0.5);
+
+  MetricsRegistry b;
+  b.counter("c").inc(3);
+  b.gauge("g").set(20.0);
+  b.histogram("h", edges).record(1.5);
+  b.counter("only_in_b").inc(7);
+
+  a.merge(b);
+  EXPECT_EQ(a.find_counter("c")->value(), 5);
+  // Gauges merge as (sum, samples) so mean() is the per-run average.
+  EXPECT_DOUBLE_EQ(a.find_gauge("g")->value(), 30.0);
+  EXPECT_EQ(a.find_gauge("g")->samples(), 2);
+  EXPECT_DOUBLE_EQ(a.find_gauge("g")->mean(), 15.0);
+  const Histogram* h = a.find_histogram("h");
+  EXPECT_EQ(h->counts()[0], 1);
+  EXPECT_EQ(h->counts()[1], 1);
+  EXPECT_EQ(h->total_count(), 2);
+  // Names absent in `a` are appended in `b`'s registration order.
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.entries()[3].name, "only_in_b");
+  EXPECT_EQ(a.find_counter("only_in_b")->value(), 7);
+}
+
+TEST(MetricsRegistry, MergeKindMismatchThrows) {
+  MetricsRegistry a;
+  a.counter("x");
+  MetricsRegistry b;
+  b.gauge("x");
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, DigestIsValueAndOrderSensitive) {
+  auto build = [](std::int64_t c, double g) {
+    MetricsRegistry m;
+    m.counter("steals").inc(c);
+    m.gauge("level").set(g);
+    return m;
+  };
+  const MetricsRegistry m1 = build(4, 2.5);
+  const MetricsRegistry m2 = build(4, 2.5);
+  EXPECT_EQ(m1.digest(), m2.digest());
+  EXPECT_NE(m1.digest(), build(5, 2.5).digest());
+  EXPECT_NE(m1.digest(), build(4, 2.625).digest());
+
+  // Same values, different registration order -> different digest: order is
+  // part of the determinism contract.
+  MetricsRegistry swapped;
+  swapped.gauge("level").set(2.5);
+  swapped.counter("steals").inc(4);
+  EXPECT_NE(m1.digest(), swapped.digest());
+
+  EXPECT_EQ(MetricsRegistry{}.digest(), MetricsRegistry{}.digest());
+}
+
+TEST(MetricsRegistry, CopySnapshotIsIndependent) {
+  MetricsRegistry m;
+  m.counter("c").inc(1);
+  const MetricsRegistry snap = m;
+  m.counter("c").inc(10);
+  EXPECT_EQ(snap.find_counter("c")->value(), 1);
+  EXPECT_EQ(m.find_counter("c")->value(), 11);
+  EXPECT_NE(snap.digest(), m.digest());
+}
+
+TEST(MetricsRegistry, JsonIsFiniteAndNamesEverything) {
+  MetricsRegistry m;
+  m.counter("c").inc(2);
+  m.gauge("g").set(1.5);
+  const std::vector<double> edges = {1.0};
+  m.histogram("h", edges).record(0.5);
+  // Non-finite values must serialize as null, never "inf"/"nan" (invalid
+  // JSON).
+  m.gauge("bad").set(1e308 * 10.0);
+  const std::string js = m.to_json();
+  EXPECT_NE(js.find("\"c\""), std::string::npos);
+  EXPECT_NE(js.find("\"g\""), std::string::npos);
+  EXPECT_NE(js.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(js.find("null"), std::string::npos);
+  EXPECT_EQ(js.find("inf"), std::string::npos);
+  EXPECT_EQ(js.find("nan"), std::string::npos);
+}
+
+// --- strict env parsing ----------------------------------------------------
+
+TEST(ParseEnv, IntFallbackOnlyWhenUnsetOrEmpty) {
+  const ScopedEnv unset("ILAN_TEST_INT");
+  EXPECT_EQ(parse_env_int("ILAN_TEST_INT", 7), 7);
+  const ScopedEnv empty("ILAN_TEST_INT", "");
+  EXPECT_EQ(parse_env_int("ILAN_TEST_INT", 7), 7);
+}
+
+TEST(ParseEnv, IntStrictFullStringParse) {
+  const ScopedEnv v("ILAN_TEST_INT", "42");
+  EXPECT_EQ(parse_env_int("ILAN_TEST_INT", 0), 42);
+  {
+    const ScopedEnv neg("ILAN_TEST_INT", "-3");
+    EXPECT_EQ(parse_env_int("ILAN_TEST_INT", 0), -3);
+  }
+  for (const char* bad : {"abc", "4x", "3O", " 42", "42 ", "4.2", "0x10"}) {
+    const ScopedEnv b("ILAN_TEST_INT", bad);
+    EXPECT_THROW((void)parse_env_int("ILAN_TEST_INT", 0), std::invalid_argument)
+        << "value: '" << bad << "'";
+  }
+}
+
+TEST(ParseEnv, IntRangeAndOverflow) {
+  {
+    // Overflows long long entirely.
+    const ScopedEnv v("ILAN_TEST_INT", "99999999999999999999999");
+    EXPECT_THROW((void)parse_env_int("ILAN_TEST_INT", 0), std::invalid_argument);
+  }
+  {
+    // Fits long long but not the caller's range.
+    const ScopedEnv v("ILAN_TEST_INT", "5000000000");
+    EXPECT_THROW((void)parse_env_int("ILAN_TEST_INT", 0), std::invalid_argument);
+  }
+  {
+    const ScopedEnv v("ILAN_TEST_INT", "11");
+    EXPECT_THROW((void)parse_env_int("ILAN_TEST_INT", 0, 0, 10), std::invalid_argument);
+    EXPECT_EQ(parse_env_int("ILAN_TEST_INT", 0, 0, 11), 11);
+  }
+}
+
+TEST(ParseEnv, DoubleStrictAndRanged) {
+  const ScopedEnv unset("ILAN_TEST_DBL");
+  EXPECT_DOUBLE_EQ(parse_env_double("ILAN_TEST_DBL", 1.25), 1.25);
+  {
+    const ScopedEnv v("ILAN_TEST_DBL", "2.5");
+    EXPECT_DOUBLE_EQ(parse_env_double("ILAN_TEST_DBL", 0.0), 2.5);
+  }
+  for (const char* bad : {"abc", "1.5x", "1e999", "nan"}) {
+    const ScopedEnv b("ILAN_TEST_DBL", bad);
+    EXPECT_THROW((void)parse_env_double("ILAN_TEST_DBL", 0.0), std::invalid_argument)
+        << "value: '" << bad << "'";
+  }
+  {
+    const ScopedEnv v("ILAN_TEST_DBL", "1.5");
+    EXPECT_THROW((void)parse_env_double("ILAN_TEST_DBL", 0.0, 0.0, 1.0),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ParseEnv, FullIntPrimitive) {
+  EXPECT_EQ(parse_full_int("123").value(), 123);
+  EXPECT_EQ(parse_full_int("-9").value(), -9);
+  EXPECT_FALSE(parse_full_int("").has_value());
+  EXPECT_FALSE(parse_full_int("12abc").has_value());
+  EXPECT_FALSE(parse_full_int("99999999999999999999999").has_value());
+}
+
+TEST(ParseEnv, Flag) {
+  const ScopedEnv unset("ILAN_TEST_FLAG");
+  EXPECT_FALSE(env_flag("ILAN_TEST_FLAG"));
+  for (const char* off : {"", "0", "false", "off", "no"}) {
+    const ScopedEnv v("ILAN_TEST_FLAG", off);
+    EXPECT_FALSE(env_flag("ILAN_TEST_FLAG")) << "value: '" << off << "'";
+  }
+  for (const char* on : {"1", "true", "on", "yes", "2"}) {
+    const ScopedEnv v("ILAN_TEST_FLAG", on);
+    EXPECT_TRUE(env_flag("ILAN_TEST_FLAG")) << "value: '" << on << "'";
+  }
+}
+
+// --- ScopedEnv -------------------------------------------------------------
+
+TEST(ScopedEnvTest, RestoreOfUnsetUnsets) {
+  ::unsetenv("ILAN_TEST_SCOPE");
+  {
+    const ScopedEnv v("ILAN_TEST_SCOPE", "x");
+    EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "x");
+  }
+  // Must be ABSENT, not present-but-empty: getenv-based guards treat an
+  // empty string as "set".
+  EXPECT_EQ(std::getenv("ILAN_TEST_SCOPE"), nullptr);
+}
+
+TEST(ScopedEnvTest, RestoresPriorValue) {
+  ::setenv("ILAN_TEST_SCOPE", "orig", 1);
+  {
+    const ScopedEnv v("ILAN_TEST_SCOPE", "inner");
+    EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "inner");
+  }
+  EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "orig");
+  ::unsetenv("ILAN_TEST_SCOPE");
+}
+
+TEST(ScopedEnvTest, NestedScopesUnwindInReverseOrder) {
+  ::setenv("ILAN_TEST_SCOPE", "base", 1);
+  {
+    const ScopedEnv outer("ILAN_TEST_SCOPE", "outer");
+    {
+      const ScopedEnv inner("ILAN_TEST_SCOPE", "inner");
+      EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "inner");
+      {
+        const ScopedEnv cleared("ILAN_TEST_SCOPE");  // unset for this scope
+        EXPECT_EQ(std::getenv("ILAN_TEST_SCOPE"), nullptr);
+      }
+      EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "inner");
+    }
+    EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "outer");
+  }
+  EXPECT_STREQ(std::getenv("ILAN_TEST_SCOPE"), "base");
+  ::unsetenv("ILAN_TEST_SCOPE");
+}
+
+}  // namespace

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "trace/chrome_trace.hpp"
 #include "trace/overhead.hpp"
 #include "trace/stats.hpp"
 #include "trace/table.hpp"
@@ -78,6 +83,39 @@ TEST(Summarize, EmptyIsZeroes) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(Summarize, SingleSampleEveryQuantileIsTheSample) {
+  const auto s = summarize({5.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.p05, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+}
+
+TEST(Summarize, TwoSamplesInterpolateLinearly) {
+  const auto s = summarize({2.0, 10.0});
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0);
+  EXPECT_DOUBLE_EQ(s.median, 6.0);
+  EXPECT_NEAR(s.p05, 2.4, 1e-12);   // 2 + 0.05 * (10 - 2)
+  EXPECT_NEAR(s.p95, 9.6, 1e-12);   // 2 + 0.95 * (10 - 2)
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(Summarize, AllEqualSamplesCollapse) {
+  const auto s = summarize({3.0, 3.0, 3.0, 3.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p05, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 3.0);
+}
+
 TEST(Speedup, RatioAndValidation) {
   EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);
   EXPECT_THROW(speedup(1.0, 0.0), std::invalid_argument);
@@ -100,6 +138,187 @@ TEST(Overhead, ComponentNames) {
   for (int c = 0; c < static_cast<int>(OverheadComponent::kCount); ++c) {
     EXPECT_NE(to_string(static_cast<OverheadComponent>(c)), "unknown");
   }
+}
+
+// --- Chrome trace JSON round-trip -----------------------------------------
+//
+// A minimal recursive-descent JSON reader: enough to prove the writer's
+// output is well-formed (strict parsers reject trailing commas, scientific
+// notation produced by the old double-streaming bug, bare inf/nan, ...).
+// Records the raw text of every number so the fixed-point guarantee is
+// checkable.
+class MiniJson {
+ public:
+  explicit MiniJson(std::string text) : text_(std::move(text)) {}
+
+  bool parse() {
+    pos_ = 0;
+    ok_ = true;
+    value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return ok_;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::vector<std::string>& numbers() const { return numbers_; }
+
+ private:
+  void fail(const std::string& why) {
+    if (ok_) error_ = why + " at offset " + std::to_string(pos_);
+    ok_ = false;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+  void value() {
+    if (!ok_) return;
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_lit();
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) return number();
+    for (const char* kw : {"true", "false", "null"}) {
+      const std::string_view k(kw);
+      if (text_.compare(pos_, k.size(), k) == 0) {
+        pos_ += k.size();
+        return;
+      }
+    }
+    fail("unrecognized value");
+  }
+  void object() {
+    expect('{');
+    if (eat('}')) return;
+    do {
+      skip_ws();
+      string_lit();
+      expect(':');
+      value();
+    } while (ok_ && eat(','));
+    expect('}');
+  }
+  void array() {
+    expect('[');
+    if (eat(']')) return;
+    do {
+      value();
+    } while (ok_ && eat(','));
+    expect(']');
+  }
+  void string_lit() {
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped char
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+  }
+  void number() {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      return pos_ > d0;
+    };
+    if (!digits()) return fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return fail("bad fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digits()) return fail("bad exponent");
+    }
+    numbers_.emplace_back(text_.substr(begin, pos_ - begin));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  std::vector<std::string> numbers_;
+};
+
+TEST(ChromeTrace, JsonRoundTripParsesClean) {
+  ChromeTraceWriter w;
+  // Two NUMA-node lanes, a loop marker, a scheduler instant and a fault
+  // span — every event family the writer emits.
+  w.add_task({"stream[0,64)", /*core=*/0, /*node=*/0, /*start=*/0,
+              /*end=*/1'234'567'000, /*stolen_remote=*/false});
+  w.add_task({"stream[64,128)", /*core=*/9, /*node=*/1, /*start=*/500'000,
+              /*end=*/2'000'500'000, /*stolen_remote=*/true});
+  w.add_marker({"loop stream", 0});
+  w.add_instant({"ptt lock loop 0 @8thr", 750'000'000});
+  w.add_span({"bandwidth node0 mag0.5", 100'000'000, 900'000'000});
+  EXPECT_EQ(w.num_events(), 5u);
+
+  const std::string js = w.to_json();
+  MiniJson parsed(js);
+  EXPECT_TRUE(parsed.parse()) << parsed.error() << "\n" << js;
+
+  // Fixed-point timestamps: every number is plain decimal, no scientific
+  // notation and no negatives (durations are end - start of ordered times).
+  ASSERT_FALSE(parsed.numbers().empty());
+  for (const auto& n : parsed.numbers()) {
+    EXPECT_EQ(n.find_first_of("eE"), std::string::npos) << n;
+    EXPECT_NE(n[0], '-') << n;
+  }
+
+  // 1'234'567'000 ps = 1234.567 us, printed exactly.
+  EXPECT_NE(js.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(js.find("\"dur\":1234.567"), std::string::npos);
+
+  // Lane layout: control lane pid 0 plus one named process per node.
+  EXPECT_NE(js.find("\"scheduler+faults\""), std::string::npos);
+  EXPECT_NE(js.find("\"node0\""), std::string::npos);
+  EXPECT_NE(js.find("\"node1\""), std::string::npos);
+  EXPECT_NE(js.find("\"cat\":\"remote-steal\""), std::string::npos);
+  EXPECT_NE(js.find("\"cat\":\"sched\""), std::string::npos);
+  EXPECT_NE(js.find("\"cat\":\"fault\""), std::string::npos);
+  // Node 1's task lands in node 1's process lane (pid = 1 + node).
+  EXPECT_NE(js.find("\"pid\":2,\"tid\":9"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesControlAndQuoteCharacters) {
+  ChromeTraceWriter w;
+  w.add_marker({"odd \"name\" with \\ and \n newline", 1'000'000});
+  const std::string js = w.to_json();
+  MiniJson parsed(js);
+  EXPECT_TRUE(parsed.parse()) << parsed.error() << "\n" << js;
+  EXPECT_NE(js.find("\\\"name\\\""), std::string::npos);
+  EXPECT_NE(js.find("\\n"), std::string::npos);
+}
+
+TEST(ChromeTrace, ClearResetsEverything) {
+  ChromeTraceWriter w;
+  w.add_task({"t", 0, 0, 0, 1'000'000, false});
+  w.add_instant({"i", 0});
+  w.add_span({"s", 0, 1});
+  w.clear();
+  EXPECT_EQ(w.num_events(), 0u);
+  MiniJson parsed(w.to_json());
+  EXPECT_TRUE(parsed.parse()) << parsed.error();
 }
 
 TEST(TableTest, AlignedOutputAndCsv) {

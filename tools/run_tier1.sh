@@ -5,6 +5,7 @@
 #   tools/run_tier1.sh lint                       # ilan-lint + clang-tidy
 #   tools/run_tier1.sh analyze                    # sanitizer matrix + selfcheck
 #   tools/run_tier1.sh faults                     # fault-injection gate
+#   tools/run_tier1.sh obs                        # observability gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -27,6 +28,12 @@
 # scenario + watchdog structured-failure check) run on the primary build and
 # then under each sanitizer build — deterministic perturbation must stay
 # deterministic with instrumentation and a racing run_many pool.
+#
+# `obs` is the observability gate: the full selfcheck sweep with
+# ILAN_METRICS=1 (so 2-run digest parity and jobs=1-vs-4 parity also cover
+# the metrics-registry digests), run on the primary build and then under
+# ASan and TSan — attaching the registry must not perturb the committed
+# event stream, and the metrics themselves must be bit-reproducible.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,6 +87,24 @@ run_faults_one() {
   ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --faults
 }
 
+run_obs_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target selfcheck test_obs test_trace
+  echo "== obs + trace tests (${san:-plain}) =="
+  "./$build_dir/tests/test_obs"
+  "./$build_dir/tests/test_trace"
+  echo "== selfcheck with ILAN_METRICS=1 (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 ILAN_METRICS=1 "./$build_dir/bench/selfcheck"
+}
+
 case "$mode" in
   build)
     build_one "${ILAN_SANITIZE:-}"
@@ -104,8 +129,15 @@ case "$mode" in
       run_faults_one "$san"
     done
     ;;
+  obs)
+    run_obs_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_obs_one "$san"
+    done
+    ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs]" >&2
     exit 2
     ;;
 esac
