@@ -3,30 +3,47 @@
 //   B. thread-count granularity g (paper: g = NUMA node size = 8)
 //   C. DRAM congestion-knee sensitivity of the machine model (how the
 //      moldability win depends on the interference model).
+//   D. distribution x steal policy grid via the scheduler registry
+//      (hierarchical vs flat distribution under strict vs full stealing).
 // Run on the two moldability-sensitive benchmarks (CG, SP).
+//
+// Sweeps A, B and D drive the shared harness with registry spec strings
+// ("ilan:stealable=0.35", "composed:dist=flat,steal=full", ...), so every
+// swept cell lands in BENCH_<name>.json with its fully-resolved spec — the
+// ablation grid is reconstructable from telemetry alone. Sweep C perturbs
+// machine-model parameters the harness pins, so it builds its runs directly.
 //
 // Env: ILAN_ABLATION_RUNS (default 5).
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ilan_scheduler.hpp"
 #include "harness.hpp"
 #include "rt/team.hpp"
+#include "sched/registry.hpp"
 
 using namespace ilan;
 
 namespace {
 
-double run_ilan(const std::string& kernel, const core::IlanParams& params,
-                const kernels::KernelOptions& opts, int runs,
-                double gather_lat_beta = -1.0) {
+// Mean simulated seconds of a registry-spec series through the shared
+// harness (seeds 31'000, 32'000, ... match the pre-registry sweep).
+double run_spec(const std::string& kernel, const std::string& spec,
+                const kernels::KernelOptions& opts, int runs) {
+  return bench::run_many(kernel, spec, runs, 30'000, opts).time_summary().mean;
+}
+
+// Sweep C only: the machine model itself is perturbed, which the harness
+// does not expose, so the runs are assembled by hand — still through the
+// registry, so the scheduler under test is named the same way everywhere.
+double run_model_sweep(const std::string& kernel, const kernels::KernelOptions& opts,
+                       int runs, double gather_lat_beta) {
   trace::RunningStats stats;
   for (int i = 0; i < runs; ++i) {
     auto mp = bench::paper_machine(31'000 + 1000ull * i);
     if (gather_lat_beta >= 0.0) mp.mem.gather_lat_beta = gather_lat_beta;
     rt::Machine machine(mp);
-    core::IlanScheduler sched(params);
-    rt::Team team(machine, sched);
+    const auto scheduler = sched::make_scheduler("ilan");
+    rt::Team team(machine, *scheduler);
     const auto prog = kernels::make_kernel(kernel, machine, opts);
     stats.add(sim::to_seconds(prog.run(team)));
   }
@@ -35,7 +52,8 @@ double run_ilan(const std::string& kernel, const core::IlanParams& params,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   int runs = 5;
   if (const char* v = std::getenv("ILAN_ABLATION_RUNS")) {
     if (std::atoi(v) > 0) runs = std::atoi(v);
@@ -48,10 +66,9 @@ int main() {
     trace::Table t({"benchmark", "f=0.0", "f=0.1", "f=0.2 (default)", "f=0.35", "f=0.5"});
     for (const auto& k : kernels_to_run) {
       std::vector<std::string> row{k};
-      for (const double f : {0.0, 0.1, 0.2, 0.35, 0.5}) {
-        core::IlanParams p;
-        p.stealable_fraction = f;
-        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs), 4));
+      for (const char* f : {"0", "0.1", "0.2", "0.35", "0.5"}) {
+        const std::string spec = std::string("ilan:stealable=") + f;
+        row.push_back(trace::Table::fmt(run_spec(k, spec, opts, runs), 4));
       }
       t.add_row(std::move(row));
     }
@@ -64,9 +81,8 @@ int main() {
     for (const auto& k : kernels_to_run) {
       std::vector<std::string> row{k};
       for (const int g : {4, 8, 16, 32}) {
-        core::IlanParams p;
-        p.granularity = g;
-        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs), 4));
+        const std::string spec = "ilan:granularity=" + std::to_string(g);
+        row.push_back(trace::Table::fmt(run_spec(k, spec, opts, runs), 4));
       }
       t.add_row(std::move(row));
     }
@@ -79,10 +95,26 @@ int main() {
     for (const auto& k : kernels_to_run) {
       std::vector<std::string> row{k};
       for (const double b : {0.0, 0.4, 0.75, 1.2}) {
-        core::IlanParams p;
-        row.push_back(trace::Table::fmt(run_ilan(k, p, opts, runs, b), 4));
+        row.push_back(trace::Table::fmt(run_model_sweep(k, opts, runs, b), 4));
       }
       t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n== Ablation D: distribution x steal policy (composed registry specs) ==\n\n";
+  {
+    trace::Table t({"benchmark", "spec", "resolved", "time_s"});
+    for (const auto& k : kernels_to_run) {
+      for (const char* dist : {"hierarchical", "flat"}) {
+        for (const char* steal : {"strict", "full"}) {
+          const std::string spec =
+              std::string("composed:dist=") + dist + ",steal=" + steal;
+          const auto series = bench::run_many(k, spec, runs, 30'000, opts);
+          t.add_row({k, spec, series.runs.front().resolved_spec,
+                     trace::Table::fmt(series.time_summary().mean, 4)});
+        }
+      }
     }
     t.print(std::cout);
   }

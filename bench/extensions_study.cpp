@@ -5,11 +5,14 @@
 //   B. energy / EDP objectives — the PTT ranks configurations by estimated
 //      energy instead of time; narrow configurations win more often.
 //
+// Both studies select their scheduler variants by registry spec string
+// ("ilan:counter=on", "ilan:objective=energy", ...).
+//
 // Env: ILAN_EXT_RUNS (default 5).
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "harness.hpp"
 #include "rt/team.hpp"
 #include "trace/energy.hpp"
@@ -24,13 +27,13 @@ struct Outcome {
   double avg_threads = 0.0;
 };
 
-Outcome run(const std::string& kernel, const core::IlanParams& params, int runs,
+Outcome run(const std::string& kernel, const std::string& spec, int runs,
             const kernels::KernelOptions& opts) {
   Outcome o;
   for (int i = 0; i < runs; ++i) {
     rt::Machine machine(bench::paper_machine(52'000 + 1000ull * i));
-    core::IlanScheduler sched(params);
-    rt::Team team(machine, sched);
+    const auto scheduler = sched::make_scheduler(spec);
+    rt::Team team(machine, *scheduler);
     const auto prog = kernels::make_kernel(kernel, machine, opts);
     o.time_s += sim::to_seconds(prog.run(team));
     double joules = 0.0;
@@ -48,7 +51,8 @@ Outcome run(const std::string& kernel, const core::IlanParams& params, int runs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   int runs = 5;
   if (const char* v = std::getenv("ILAN_EXT_RUNS")) {
     if (std::atoi(v) > 0) runs = std::atoi(v);
@@ -59,11 +63,8 @@ int main() {
   {
     trace::Table t({"benchmark", "ilan_s", "counter_guided_s", "delta"});
     for (const auto& k : {"matmul", "bt", "cg"}) {
-      core::IlanParams off;
-      core::IlanParams on;
-      on.counter_guided = true;
-      const auto a = run(k, off, runs, opts);
-      const auto b = run(k, on, runs, opts);
+      const auto a = run(k, "ilan:counter=off", runs, opts);
+      const auto b = run(k, "ilan:counter=on", runs, opts);
       t.add_row({k, trace::Table::fmt(a.time_s), trace::Table::fmt(b.time_s),
                  trace::Table::pct(a.time_s / b.time_s)});
     }
@@ -76,12 +77,9 @@ int main() {
   {
     trace::Table t({"benchmark", "objective", "time_s", "energy_j", "avg_threads"});
     for (const auto& k : {"sp", "cg"}) {
-      for (const auto obj :
-           {trace::Objective::kTime, trace::Objective::kEnergy, trace::Objective::kEdp}) {
-        core::IlanParams p;
-        p.objective = obj;
-        const auto o = run(k, p, runs, opts);
-        t.add_row({k, trace::to_string(obj), trace::Table::fmt(o.time_s),
+      for (const char* obj : {"time", "energy", "edp"}) {
+        const auto o = run(k, std::string("ilan:objective=") + obj, runs, opts);
+        t.add_row({k, obj, trace::Table::fmt(o.time_s),
                    trace::Table::fmt(o.energy_j, 1), trace::Table::fmt(o.avg_threads, 1)});
       }
     }

@@ -11,6 +11,7 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   };
 
   for (const auto& k : bench::benchmarks()) {
-    const auto s = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const auto s = bench::run_many(k, "ilan", runs, 10'000, opts);
     table.add_row({k, trace::Table::fmt(s.mean_avg_threads(), 1), "64", paper.at(k)});
   }
   table.print(std::cout);

@@ -12,6 +12,7 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 
@@ -31,9 +32,9 @@ int main(int argc, char** argv) {
 
   double gsum = 0.0;
   for (const auto& k : bench::benchmarks()) {
-    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
-    const auto nomold = bench::run_many(k, bench::SchedKind::kIlanNoMold, runs, 10'000, opts);
-    const auto full = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const auto base = bench::run_many(k, "baseline", runs, 10'000, opts);
+    const auto nomold = bench::run_many(k, "ilan:mold=off", runs, 10'000, opts);
+    const auto full = bench::run_many(k, "ilan", runs, 10'000, opts);
     const double sp = base.time_summary().mean / nomold.time_summary().mean;
     const double spf = base.time_summary().mean / full.time_summary().mean;
     gsum += sp;

@@ -12,6 +12,7 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 
@@ -30,8 +31,8 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::array<double, 2>>> comp_rows;
   int lower = 0;
   for (const auto& k : bench::benchmarks()) {
-    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
-    const auto ilan_s = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const auto base = bench::run_many(k, "baseline", runs, 10'000, opts);
+    const auto ilan_s = bench::run_many(k, "ilan", runs, 10'000, opts);
     const double b = base.mean_overhead_s() * 1e3;
     const double i = ilan_s.mean_overhead_s() * 1e3;
     if (i < b) ++lower;
@@ -45,8 +46,8 @@ int main(int argc, char** argv) {
   // Per-component breakdown for one representative run of each scheduler.
   std::cout << "\nper-component breakdown (cg, single run, microseconds):\n\n";
   trace::Table comps({"component", "baseline_us", "ilan_us"});
-  const auto b1 = bench::run_once("cg", bench::SchedKind::kBaseline, 10'000, opts);
-  const auto i1 = bench::run_once("cg", bench::SchedKind::kIlan, 10'000, opts);
+  const auto b1 = bench::run_once("cg", "baseline", 10'000, opts);
+  const auto i1 = bench::run_once("cg", "ilan", 10'000, opts);
   for (int c = 0; c < static_cast<int>(trace::OverheadComponent::kCount); ++c) {
     const auto oc = static_cast<trace::OverheadComponent>(c);
     comps.add_row({std::string(trace::to_string(oc)),

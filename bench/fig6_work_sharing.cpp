@@ -12,6 +12,7 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 
@@ -29,9 +30,9 @@ int main(int argc, char** argv) {
   };
 
   for (const auto& k : bench::benchmarks()) {
-    const auto base = bench::run_many(k, bench::SchedKind::kBaseline, runs, 10'000, opts);
-    const auto ws = bench::run_many(k, bench::SchedKind::kWorkSharing, runs, 10'000, opts);
-    const auto il = bench::run_many(k, bench::SchedKind::kIlan, runs, 10'000, opts);
+    const auto base = bench::run_many(k, "baseline", runs, 10'000, opts);
+    const auto ws = bench::run_many(k, "work-sharing", runs, 10'000, opts);
+    const auto il = bench::run_many(k, "ilan", runs, 10'000, opts);
     const double bm = base.time_summary().mean;
     table.add_row({k, trace::Table::pct(bm / il.time_summary().mean),
                    trace::Table::pct(bm / ws.time_summary().mean), paper.at(k)});

@@ -25,14 +25,14 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   if (bench::faults_requested(argc, argv)) return bench::selfcheck_faults_main();
   const int runs = bench::env_runs(10);
   const auto opts = bench::env_kernel_options();
   if (std::getenv("ILAN_WATCHDOG") == nullptr) ::setenv("ILAN_WATCHDOG", "30", 1);
 
   const std::vector<std::string> kernels = {"cg", "sp"};
-  const std::vector<bench::SchedKind> scheds = {bench::SchedKind::kBaseline,
-                                                bench::SchedKind::kIlan};
+  const std::vector<std::string> scheds = {"baseline", "ilan"};
 
   std::cout << "== Figure 7: fault resilience (" << runs << " runs, watchdog "
             << std::getenv("ILAN_WATCHDOG") << "s) ==\n\n";
@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
   for (const auto& scenario : fault::scenario_names()) {
     ::setenv("ILAN_FAULTS", scenario.c_str(), 1);
     for (const auto& kernel : kernels) {
-      for (const bench::SchedKind kind : scheds) {
-        const auto s = bench::run_many(kernel, kind, runs, 11'000, opts);
+      for (const std::string& sched : scheds) {
+        const auto s = bench::run_many(kernel, sched, runs, 11'000, opts);
         const double mean = s.time_summary().mean;
-        const auto key = std::make_pair(kernel, std::string(bench::to_string(kind)));
+        const auto key = std::make_pair(kernel, sched);
         if (scenario == "none") none_mean[key] = mean;
         const double base = none_mean.at(key);
 
@@ -66,14 +66,14 @@ int main(int argc, char** argv) {
           demoted += r.demoted_execs;
           faults += r.faults_applied;
         }
-        if (kind == bench::SchedKind::kIlan) {
+        if (sched == "ilan") {
           ilan_reexpl += reexpl;
           ilan_rescue += rescue;
           ilan_demoted += demoted;
         }
         failed_total += s.failed_count();
 
-        table.add_row({scenario, kernel, bench::to_string(kind),
+        table.add_row({scenario, kernel, sched,
                        trace::Table::fmt(mean),
                        base > 0.0 ? trace::Table::fmt(mean / base) + "x" : "-",
                        std::to_string(reexpl), std::to_string(rescue),

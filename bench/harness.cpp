@@ -15,12 +15,10 @@
 
 #include "analysis/determinism.hpp"
 #include "analysis/race_auditor.hpp"
-#include "core/ilan_scheduler.hpp"
 #include "fault/injector.hpp"
 #include "obs/env.hpp"
-#include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
-#include "rt/work_sharing_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "topo/presets.hpp"
 #include "trace/chrome_trace.hpp"
 
@@ -35,31 +33,53 @@ const char* to_string(RunStatus status) {
   return "?";
 }
 
-const char* to_string(SchedKind kind) {
-  switch (kind) {
-    case SchedKind::kBaseline: return "baseline";
-    case SchedKind::kWorkSharing: return "work-sharing";
-    case SchedKind::kIlan: return "ilan";
-    case SchedKind::kIlanNoMold: return "ilan-nomold";
-  }
-  return "?";
+std::unique_ptr<rt::Scheduler> make_scheduler(const std::string& spec) {
+  return sched::make_scheduler(spec);
 }
 
-std::unique_ptr<rt::Scheduler> make_scheduler(SchedKind kind) {
-  switch (kind) {
-    case SchedKind::kBaseline:
-      return std::make_unique<rt::BaselineWsScheduler>();
-    case SchedKind::kWorkSharing:
-      return std::make_unique<rt::WorkSharingScheduler>();
-    case SchedKind::kIlan:
-      return std::make_unique<core::IlanScheduler>(core::params_from_env());
-    case SchedKind::kIlanNoMold: {
-      core::IlanParams p;
-      p.moldability = false;
-      return std::make_unique<core::IlanScheduler>(core::params_from_env(p));
+std::vector<std::string> env_sched_list() {
+  const char* v = std::getenv("ILAN_SCHED");
+  if (v == nullptr || v[0] == '\0') {
+    return {"baseline", "work-sharing", "ilan", "ilan-nomold"};
+  }
+  std::vector<std::string> out;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ';' || *p == '\0') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item += *p;
     }
   }
-  throw std::invalid_argument("make_scheduler: bad kind");
+  if (out.empty()) {
+    throw std::invalid_argument("ILAN_SCHED='" + std::string(v) +
+                                "': no scheduler specs found");
+  }
+  // Fail fast on a typo'd spec before any series burns host time.
+  for (const auto& spec : out) (void)sched::resolve_spec(spec);
+  return out;
+}
+
+bool list_schedulers_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--list-schedulers") {
+      return true;
+    }
+  }
+  return false;
+}
+
+int list_schedulers_main() {
+  const auto& reg = sched::SchedulerRegistry::instance();
+  std::printf("registered schedulers (spec grammar: name[:key=value,...]):\n\n");
+  for (const auto& name : reg.names()) {
+    std::printf("  %-14s %s\n", name.c_str(), reg.description(name).c_str());
+    std::printf("  %-14s default spec: %s\n", "", reg.resolve(name).c_str());
+  }
+  std::printf("\nselect via ILAN_SCHED (';'-separated list of specs)\n");
+  return 0;
 }
 
 rt::MachineParams paper_machine(std::uint64_t seed) {
@@ -124,8 +144,24 @@ void export_machine_metrics(rt::Machine& machine, obs::MetricsRegistry& m) {
 
 }  // namespace
 
-RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed,
-                   const kernels::KernelOptions& opts) {
+namespace {
+
+// Spec strings go into TRACE_ filenames; ':', ',' and '=' become '-' so a
+// "manual:threads=16" trace is still a sane path component.
+std::string sanitize_for_path(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!keep) c = '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult run_once(const std::string& kernel, const std::string& sched_spec,
+                   std::uint64_t seed, const kernels::KernelOptions& opts) {
   const auto host_start = std::chrono::steady_clock::now();
   rt::Machine machine(paper_machine(seed));
   machine.engine().set_digest_enabled(true);
@@ -134,7 +170,7 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
   if (want_metrics) machine.set_metrics(&metrics);  // before Team: handles cache
   trace::ChromeTraceWriter tracer;
   const bool want_trace = obs::env_flag("ILAN_TRACE");
-  auto scheduler = make_scheduler(kind);
+  auto scheduler = make_scheduler(sched_spec);
   rt::Team team(machine, *scheduler);
   if (want_trace) team.set_tracer(&tracer);
   const auto injector = arm_env_faults(machine, seed);
@@ -164,7 +200,7 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
   if (auditor && !auditor->clean()) {
     const auto& rep = auditor->reports().front();
     throw std::runtime_error("ILAN_AUDIT: " + std::string(kernel) + "/" +
-                             to_string(kind) + ": " +
+                             sched_spec + ": " +
                              std::string(analysis::to_string(rep.kind)) + ": " +
                              rep.message);
   }
@@ -212,9 +248,9 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
       }
     }
   }
-  if (const auto* ilan = dynamic_cast<const core::IlanScheduler*>(scheduler.get())) {
-    r.reexplorations = ilan->total_reexplorations();
-  }
+  const rt::SchedulerInfo info = scheduler->introspect();
+  r.reexplorations = info.total_reexplorations;
+  r.resolved_spec = info.spec;
   r.steals_escalated = team.total_escalated_steals();
 
   if (want_metrics) {
@@ -228,8 +264,8 @@ RunResult run_once(const std::string& kernel, SchedKind kind, std::uint64_t seed
         tracer.add_span(trace::SpanEvent{sp.label, sp.start, sp.end});
       }
     }
-    const std::string path = "TRACE_" + kernel + "_" + to_string(kind) + "_seed" +
-                             std::to_string(seed) + ".json";
+    const std::string path = "TRACE_" + kernel + "_" + sanitize_for_path(sched_spec) +
+                             "_seed" + std::to_string(seed) + ".json";
     std::ofstream out(path);
     if (out) tracer.write(out);
   }
@@ -310,7 +346,8 @@ namespace {
 // per series; the file is written once, at process exit.
 struct BenchEntry {
   std::string kernel;
-  std::string sched;
+  std::string sched;  // the spec the caller asked for (table/figure label)
+  std::string spec;   // fully-resolved spec the runs executed with
   int runs = 0;
   int jobs = 0;
   int failures = 0;  // quarantined (watchdog/error) runs in the series
@@ -367,14 +404,16 @@ void write_bench_json() {
   for (const auto& e : reg) {
     const double evps = e.host_s > 0.0 ? static_cast<double>(e.events) / e.host_s : 0.0;
     std::fprintf(f,
-                 "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"runs\": %d, "
+                 "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"spec\": \"%s\", "
+                 "\"runs\": %d, "
                  "\"jobs\": %d, \"failures\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
                  "\"digest\": \"%016llx\", "
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
                  "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
                  "\"cap_updates\": %llu, \"skipped\": %llu}",
-                 first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.runs, e.jobs,
+                 first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.spec.c_str(),
+                 e.runs, e.jobs,
                  e.failures, e.host_s, static_cast<unsigned long long>(e.events),
                  static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
                  e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
@@ -399,14 +438,24 @@ void write_bench_json() {
   }
 }
 
-void register_series(const std::string& kernel, SchedKind kind, const Series& s, int jobs) {
+void register_series(const std::string& kernel, const std::string& sched_spec,
+                     const Series& s, int jobs) {
   if (const char* v = std::getenv("ILAN_BENCH_JSON"); v != nullptr && v[0] == '0') return;
   std::lock_guard<std::mutex> lock(g_bench_mutex);
   auto& reg = bench_registry();
   if (reg.empty()) std::atexit(write_bench_json);
   BenchEntry e;
   e.kernel = kernel;
-  e.sched = to_string(kind);
+  e.sched = sched_spec;
+  // Every run resolved the same spec; take it from the first successful one
+  // (falling back to a fresh resolve when the whole series failed).
+  for (const auto& r : s.runs) {
+    if (!r.resolved_spec.empty()) {
+      e.spec = r.resolved_spec;
+      break;
+    }
+  }
+  if (e.spec.empty()) e.spec = sched::resolve_spec(sched_spec);
   e.runs = static_cast<int>(s.runs.size());
   e.jobs = jobs;
   e.failures = s.failed_count();
@@ -421,7 +470,7 @@ void register_series(const std::string& kernel, SchedKind kind, const Series& s,
 
 }  // namespace
 
-Series run_many(const std::string& kernel, SchedKind kind, int runs,
+Series run_many(const std::string& kernel, const std::string& sched_spec, int runs,
                 std::uint64_t base_seed, const kernels::KernelOptions& opts) {
   Series s;
   if (runs <= 0) return s;
@@ -442,7 +491,7 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
     for (int attempt = 1;; ++attempt) {
       std::string what;
       try {
-        RunResult r = run_once(kernel, kind, run_seed, opts);
+        RunResult r = run_once(kernel, sched_spec, run_seed, opts);
         r.attempts = attempt;
         s.runs[static_cast<std::size_t>(i)] = std::move(r);
         return;
@@ -458,7 +507,7 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
       r.attempts = attempt;
       s.runs[static_cast<std::size_t>(i)] = std::move(r);
       std::fprintf(stderr, "run_many: %s/%s run %d quarantined after %d attempt(s): %s\n",
-                   kernel.c_str(), to_string(kind), i, attempt, what.c_str());
+                   kernel.c_str(), sched_spec.c_str(), i, attempt, what.c_str());
       return;
     }
   };
@@ -480,7 +529,7 @@ Series run_many(const std::string& kernel, SchedKind kind, int runs,
     for (auto& t : pool) t.join();
   }
   s.host_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  register_series(kernel, kind, s, jobs);
+  register_series(kernel, sched_spec, s, jobs);
   return s;
 }
 
@@ -544,15 +593,16 @@ struct TracedRun {
   std::string first_report;
 };
 
-TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t seed,
-                     const kernels::KernelOptions& opts, bool audit) {
+TracedRun traced_run(const std::string& kernel, const std::string& sched_spec,
+                     std::uint64_t seed, const kernels::KernelOptions& opts,
+                     bool audit) {
   rt::Machine machine(paper_machine(seed));
   machine.engine().set_digest_enabled(true);
   machine.engine().enable_trace(kSelfcheckTraceCap);
   obs::MetricsRegistry metrics;
   const bool want_metrics = obs::env_flag("ILAN_METRICS");
   if (want_metrics) machine.set_metrics(&metrics);
-  auto scheduler = make_scheduler(kind);
+  auto scheduler = make_scheduler(sched_spec);
   rt::Team team(machine, *scheduler);
   // ILAN_FAULTS applies here exactly as in run_once, so selfcheck's digest
   // parity covers perturbed simulations too (no watchdog: selfcheck wants
@@ -585,16 +635,16 @@ TracedRun traced_run(const std::string& kernel, SchedKind kind, std::uint64_t se
 
 }  // namespace
 
-SelfcheckResult selfcheck(const std::string& kernel, SchedKind kind,
+SelfcheckResult selfcheck(const std::string& kernel, const std::string& sched_spec,
                           std::uint64_t seed, const kernels::KernelOptions& opts) {
   SelfcheckResult r;
   r.kernel = kernel;
-  r.sched = to_string(kind);
+  r.sched = sched_spec;
 
   // Run A carries the race auditor; run B is a bare re-execution so the
   // digest comparison also covers "does observing the run perturb it".
-  const TracedRun a = traced_run(kernel, kind, seed, opts, /*audit=*/true);
-  const TracedRun b = traced_run(kernel, kind, seed, opts, /*audit=*/false);
+  const TracedRun a = traced_run(kernel, sched_spec, seed, opts, /*audit=*/true);
+  const TracedRun b = traced_run(kernel, sched_spec, seed, opts, /*audit=*/false);
 
   r.digest_a = a.digest;
   r.digest_b = b.digest;
@@ -637,13 +687,13 @@ int selfcheck_main() {
   // cleanliness, not converged performance. ILAN_BENCH_TIMESTEPS overrides.
   if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;
 
-  constexpr SchedKind kKinds[] = {SchedKind::kBaseline, SchedKind::kWorkSharing,
-                                  SchedKind::kIlan, SchedKind::kIlanNoMold};
+  const std::vector<std::string> kinds = {"baseline", "work-sharing", "ilan",
+                                          "ilan-nomold"};
   int failures = 0;
   std::printf("%-8s %-13s %10s %16s  %s\n", "kernel", "scheduler", "events",
               "digest", "status");
   for (const auto& kernel : benchmarks()) {
-    for (const SchedKind kind : kKinds) {
+    for (const auto& kind : kinds) {
       const SelfcheckResult r = selfcheck(kernel, kind, /*seed=*/42, opts);
       std::printf("%-8s %-13s %10llu %016llx  %s\n", r.kernel.c_str(),
                   r.sched.c_str(), static_cast<unsigned long long>(r.events),
@@ -672,11 +722,11 @@ int selfcheck_main() {
     Series par;
     {
       const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
-      seq = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
+      seq = run_many(benchmarks().front(), "ilan", 4, 42, opts);
     }
     {
       const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
-      par = run_many(benchmarks().front(), SchedKind::kIlan, 4, 42, opts);
+      par = run_many(benchmarks().front(), "ilan", 4, 42, opts);
     }
     bool jobs_ok = seq.runs.size() == par.runs.size();
     if (jobs_ok) {
@@ -716,7 +766,7 @@ int selfcheck_faults_main() {
   const obs::ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
 
   const std::vector<std::string> sc_kernels = {"cg", "sp"};
-  constexpr SchedKind kKinds[] = {SchedKind::kBaseline, SchedKind::kIlan};
+  const std::vector<std::string> kinds = {"baseline", "ilan"};
   int failures = 0;
   std::printf("%-9s %-8s %-13s %10s %16s  %s\n", "scenario", "kernel", "scheduler",
               "events", "digest", "status");
@@ -726,7 +776,7 @@ int selfcheck_faults_main() {
     // Two-run digest parity per kernel x scheduler under this scenario,
     // with the first divergent event pinned down on mismatch.
     for (const auto& kernel : sc_kernels) {
-      for (const SchedKind kind : kKinds) {
+      for (const auto& kind : kinds) {
         const SelfcheckResult r = selfcheck(kernel, kind, /*seed=*/42, opts);
         std::printf("%-9s %-8s %-13s %10llu %016llx  %s\n", scenario.c_str(),
                     r.kernel.c_str(), r.sched.c_str(),
@@ -753,11 +803,11 @@ int selfcheck_faults_main() {
     Series par;
     {
       const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
-      seq = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
+      seq = run_many(sc_kernels.front(), "ilan", 4, /*base_seed=*/42, opts);
     }
     {
       const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
-      par = run_many(sc_kernels.front(), SchedKind::kIlan, 4, /*base_seed=*/42, opts);
+      par = run_many(sc_kernels.front(), "ilan", 4, /*base_seed=*/42, opts);
     }
     bool jobs_ok = seq.runs.size() == par.runs.size();
     std::int64_t applied = 0;
@@ -782,7 +832,7 @@ int selfcheck_faults_main() {
   {
     const obs::ScopedEnv faults_env("ILAN_FAULTS", "none");
     const obs::ScopedEnv wd_env("ILAN_WATCHDOG", "1e-9");
-    const RunResult r = run_once(sc_kernels.front(), SchedKind::kIlan, /*seed=*/42, opts);
+    const RunResult r = run_once(sc_kernels.front(), "ilan", /*seed=*/42, opts);
     const bool wd_ok = r.status == RunStatus::kWatchdog && !r.error.empty();
     std::printf("watchdog 1e-9s: status=%s attempts=%d %s\n", to_string(r.status),
                 r.attempts, wd_ok ? "ok" : "FAIL");

@@ -30,6 +30,10 @@
 //                         trace TRACE_<kernel>_<sched>_seed<seed>.json
 //                         (per-NUMA-node lanes, scheduler instants, fault
 //                         spans) into the working directory
+//   ILAN_SCHED            ';'-separated scheduler spec list for the report
+//                         binaries (specs contain ','), e.g.
+//                         "baseline;ilan:mold=off;composed:dist=flat".
+//                         Default: baseline;work-sharing;ilan;ilan-nomold
 //
 // All knobs are parsed strictly (obs/env.hpp): a malformed value throws
 // std::invalid_argument naming the variable instead of silently running
@@ -57,10 +61,22 @@
 
 namespace ilan::bench {
 
-enum class SchedKind { kBaseline, kWorkSharing, kIlan, kIlanNoMold };
+// Schedulers are selected by registry spec string (sched/registry.hpp):
+// "ilan", "ilan-nomold", "baseline", "work-sharing", "ilan:mold=off",
+// "manual:threads=16,policy=full", "composed:dist=flat,steal=full", ...
+// A malformed or unknown spec throws std::invalid_argument naming the
+// offender and listing the registered schedulers.
+[[nodiscard]] std::unique_ptr<rt::Scheduler> make_scheduler(const std::string& spec);
 
-[[nodiscard]] const char* to_string(SchedKind kind);
-[[nodiscard]] std::unique_ptr<rt::Scheduler> make_scheduler(SchedKind kind);
+// ILAN_SCHED: ';'-separated spec list (specs contain ','); default is the
+// paper's four-way comparison {baseline, work-sharing, ilan, ilan-nomold}.
+[[nodiscard]] std::vector<std::string> env_sched_list();
+
+// The --list-schedulers harness mode shared by every figure binary: prints
+// each registered scheduler with its description and resolved default spec,
+// then exits 0.
+[[nodiscard]] bool list_schedulers_requested(int argc, char** argv);
+int list_schedulers_main();
 
 // The evaluation platform (Section 4.1) with calibrated memory-model
 // parameters.
@@ -107,11 +123,14 @@ struct RunResult {
   std::int64_t steals_escalated = 0; // policy-escalated rescue steals
   // Executions whose node mask excluded a fault-targeted node (demotion).
   std::int64_t demoted_execs = 0;
+  // Fully-resolved registry spec (Scheduler::introspect()): every knob the
+  // scheduler actually ran with, explicit. Recorded into BENCH json.
+  std::string resolved_spec;
 
   [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
 };
 
-[[nodiscard]] RunResult run_once(const std::string& kernel, SchedKind kind,
+[[nodiscard]] RunResult run_once(const std::string& kernel, const std::string& sched,
                                  std::uint64_t seed,
                                  const kernels::KernelOptions& opts = {});
 
@@ -140,8 +159,8 @@ struct Series {
 // an independent single-threaded simulation). Seeds and result order are
 // identical to the sequential loop: run i always uses
 // base_seed + 1000 * (i + 1) and lands at runs[i].
-[[nodiscard]] Series run_many(const std::string& kernel, SchedKind kind, int runs,
-                              std::uint64_t base_seed,
+[[nodiscard]] Series run_many(const std::string& kernel, const std::string& sched,
+                              int runs, std::uint64_t base_seed,
                               const kernels::KernelOptions& opts = {});
 
 // Environment-derived defaults.
@@ -186,8 +205,8 @@ struct SelfcheckResult {
   [[nodiscard]] bool ok() const { return deterministic && audit_reports == 0; }
 };
 
-[[nodiscard]] SelfcheckResult selfcheck(const std::string& kernel, SchedKind kind,
-                                        std::uint64_t seed,
+[[nodiscard]] SelfcheckResult selfcheck(const std::string& kernel,
+                                        const std::string& sched, std::uint64_t seed,
                                         const kernels::KernelOptions& opts = {});
 
 // The --selfcheck harness mode shared by every figure binary: sweeps all

@@ -11,13 +11,14 @@
 // faults, so no escalation) must show exactly zero. The process exits
 // nonzero when the contrast fails, so this doubles as an acceptance gate.
 //
-// Env: ILAN_REPORT_RUNS (default 2), plus the usual harness knobs.
+// Env: ILAN_REPORT_RUNS (default 2), ILAN_SCHED for the Part 1 scheduler
+// list, plus the usual harness knobs.
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <string_view>
 
-#include "core/manual_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "harness.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/env.hpp"
@@ -58,7 +59,7 @@ Contrast contrast_run(const std::string& kernel, rt::StealPolicy policy,
   // the same tail stays home, which is exactly the contrast we gate on.
   core::IlanParams params;
   params.stealable_fraction = 1.0;
-  core::ManualScheduler scheduler(cfg, params);
+  sched::ManualScheduler scheduler(cfg, params);
   rt::Team team(machine, scheduler);
   const auto program = kernels::make_kernel(kernel, machine, opts);
   (void)program.run(team);
@@ -70,7 +71,8 @@ Contrast contrast_run(const std::string& kernel, rt::StealPolicy policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   const int runs = obs::parse_env_int("ILAN_REPORT_RUNS", 2, 1, 1000);
   auto opts = bench::env_kernel_options();
   if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;
@@ -83,12 +85,10 @@ int main() {
                       "steal_x", "rescue", "probes", "locks", "reexpl",
                       "deque_avg", "stealable", "faults"});
   for (const auto& k : bench::benchmarks()) {
-    for (const auto kind :
-         {bench::SchedKind::kBaseline, bench::SchedKind::kWorkSharing,
-          bench::SchedKind::kIlan, bench::SchedKind::kIlanNoMold}) {
-      const auto series = bench::run_many(k, kind, runs, /*base_seed=*/77, opts);
+    for (const std::string& sched : bench::env_sched_list()) {
+      const auto series = bench::run_many(k, sched, runs, /*base_seed=*/77, opts);
       const obs::MetricsRegistry m = series.metrics_totals();
-      table.add_row({k, to_string(kind),
+      table.add_row({k, sched,
                      trace::Table::fmt(series.time_summary().mean, 4),
                      std::to_string(cval(m, "rt.tasks_executed")),
                      std::to_string(cval(m, "rt.steal.intra_node")),

@@ -4,15 +4,18 @@
 // to validate (and calibrate) the machine model; it documents *why* the
 // figure-level results come out the way they do.
 //
-// Env: ILAN_REPORT_RUNS (default 3).
+// Env: ILAN_REPORT_RUNS (default 3); ILAN_SCHED selects the scheduler
+// spec list (the first entry is the speedup denominator).
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "harness.hpp"
 
 using namespace ilan;
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   int runs = 3;
   if (const char* v = std::getenv("ILAN_REPORT_RUNS")) {
     if (std::atoi(v) > 0) runs = std::atoi(v);
@@ -25,12 +28,10 @@ int main() {
 
   for (const auto& k : bench::benchmarks()) {
     double base_mean = 0.0;
-    for (const auto kind :
-         {bench::SchedKind::kBaseline, bench::SchedKind::kWorkSharing,
-          bench::SchedKind::kIlan, bench::SchedKind::kIlanNoMold}) {
-      const auto series = bench::run_many(k, kind, runs, /*base_seed=*/77, opts);
+    for (const std::string& sched : bench::env_sched_list()) {
+      const auto series = bench::run_many(k, sched, runs, /*base_seed=*/77, opts);
       const auto sum = series.time_summary();
-      if (kind == bench::SchedKind::kBaseline) base_mean = sum.mean;
+      if (base_mean == 0.0) base_mean = sum.mean;
       double sl = 0.0;
       double sr = 0.0;
       double lb = 0.0;
@@ -42,7 +43,7 @@ int main() {
         rb += r.remote_bytes;
       }
       const double n = static_cast<double>(series.runs.size());
-      table.add_row({k, to_string(kind), trace::Table::fmt(sum.mean, 4),
+      table.add_row({k, sched, trace::Table::fmt(sum.mean, 4),
                      trace::Table::fmt(sum.stddev, 4),
                      trace::Table::pct(base_mean / sum.mean),
                      trace::Table::fmt(series.mean_avg_threads(), 1),

@@ -1,6 +1,6 @@
 // Moldability landscape: execution time of each benchmark when the
-// hierarchical scheduler is pinned to a fixed thread width (ManualScheduler,
-// strict policy, first-n node mask). This charts the curve ILAN's
+// hierarchical scheduler is pinned to a fixed thread width (the registry's
+// "manual:threads=N,policy=strict" spec, first-n node mask). This charts the curve ILAN's
 // Algorithm 1 searches — the width where each curve bottoms out is the
 // configuration a perfect search would lock in.
 //
@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/manual_scheduler.hpp"
+#include "sched/registry.hpp"
 #include "harness.hpp"
 #include "rt/team.hpp"
 
@@ -26,17 +26,13 @@ double run_width(const std::string& kernel, int width,
     // Init loops run at full width (ILAN's k = 1 always explores m_max
     // first, so first-touch placement spans all nodes); only the step loops
     // are pinned to the width under study.
-    rt::LoopConfig full;
-    full.num_threads = machine.topology().num_cores();
-    core::ManualScheduler init_sched(full);
-    rt::Team init_team(machine, init_sched);
+    const auto init_sched = sched::make_scheduler("manual");
+    rt::Team init_team(machine, *init_sched);
     for (const auto& il : prog.init_loops) init_team.run_taskloop(il);
 
-    rt::LoopConfig cfg;
-    cfg.num_threads = width;
-    cfg.steal_policy = rt::StealPolicy::kStrict;
-    core::ManualScheduler sched(cfg);
-    rt::Team team(machine, sched);
+    const auto scheduler = sched::make_scheduler(
+        "manual:threads=" + std::to_string(width) + ",policy=strict");
+    rt::Team team(machine, *scheduler);
     const sim::SimTime t0 = team.now();
     for (int step = 0; step < prog.timesteps; ++step) {
       for (const auto& loop : prog.step_loops) team.run_taskloop(loop);
@@ -51,7 +47,8 @@ double run_width(const std::string& kernel, int width,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
   int runs = 1;
   if (const char* v = std::getenv("ILAN_SWEEP_RUNS")) {
     if (std::atoi(v) > 0) runs = std::atoi(v);

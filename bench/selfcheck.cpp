@@ -8,6 +8,9 @@
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
+  if (ilan::bench::list_schedulers_requested(argc, argv)) {
+    return ilan::bench::list_schedulers_main();
+  }
   if (ilan::bench::faults_requested(argc, argv)) {
     return ilan::bench::selfcheck_faults_main();
   }

@@ -7,9 +7,8 @@
 // downstream user has.
 #include <cstdio>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
-#include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
 #include "topo/format.hpp"
 
@@ -47,13 +46,13 @@ int main() {
       params.seed = 99;
       rt::Machine machine(params);
 
-      std::unique_ptr<rt::Scheduler> sched;
+      std::unique_ptr<rt::Scheduler> scheduler;
       if (use_ilan) {
-        sched = std::make_unique<core::IlanScheduler>();
+        scheduler = std::make_unique<sched::IlanScheduler>();
       } else {
-        sched = std::make_unique<rt::BaselineWsScheduler>();
+        scheduler = std::make_unique<sched::BaselineWsScheduler>();
       }
-      rt::Team team(machine, *sched);
+      rt::Team team(machine, *scheduler);
 
       kernels::KernelOptions opts;
       opts.timesteps = 40;
@@ -62,7 +61,7 @@ int main() {
       const double t = sim::to_seconds(prog.run(team));
       if (!use_ilan) base_time = t;
       std::printf("%-7s %-12s %8.4f s   avg threads %4.1f%s\n", kernel,
-                  sched->name().data(), t, team.weighted_avg_threads(),
+                  scheduler->name().data(), t, team.weighted_avg_threads(),
                   use_ilan ? (t < base_time ? "   <- faster" : "   <- slower") : "");
     }
     std::printf("\n");

@@ -7,8 +7,7 @@
 // loaded-latency interference makes a reduced width optimal.
 #include <cstdio>
 
-#include "core/ilan_scheduler.hpp"
-#include "core/manual_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
 
@@ -49,7 +48,7 @@ Workloads make_workloads(rt::Machine& machine) {
 
 // One init pass at full width so first-touch placement spans the machine.
 void place_data(rt::Machine& machine, const rt::TaskloopSpec& like) {
-  core::ManualScheduler full(rt::LoopConfig{});
+  sched::ManualScheduler full(rt::LoopConfig{});
   rt::Team team(machine, full);
   rt::TaskloopSpec init = like;
   init.loop_id = 99;
@@ -82,7 +81,7 @@ int main() {
     rt::LoopConfig cfg;
     cfg.num_threads = width;
     cfg.steal_policy = rt::StealPolicy::kStrict;
-    core::ManualScheduler sched(cfg);
+    sched::ManualScheduler sched(cfg);
     rt::Team team(machine, sched);
     team.run_taskloop(w.compute);
     const double tc = sim::to_seconds(team.history().back().wall) * 1e3;
@@ -100,7 +99,7 @@ int main() {
   rt::Machine machine(params);
   auto w = make_workloads(machine);
   place_data(machine, w.gather);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   for (int i = 0; i < 12; ++i) {
     team.run_taskloop(w.compute);

@@ -3,7 +3,7 @@
 // the per-node locality ranking. The paper's Section 3.2 in data form.
 #include <cstdio>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   params.spec = topo::presets::zen4_epyc9354_2s();
   params.seed = 31;
   rt::Machine machine(params);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
 
   kernels::KernelOptions opts;

@@ -8,7 +8,7 @@
 // run_taskloop -> PTT/ history introspection.
 #include <cstdio>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
 
@@ -47,7 +47,7 @@ int main() {
   };
 
   // 4. The ILAN scheduler + a team of workers pinned 1:1 to cores.
-  core::IlanScheduler scheduler;
+  sched::IlanScheduler scheduler;
   rt::Team team(machine, scheduler);
 
   // 5. Run the loop repeatedly (a timestepped application): ILAN explores

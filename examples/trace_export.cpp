@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   params.spec = topo::presets::zen4_epyc9354_2s();
   params.seed = 5;
   rt::Machine machine(params);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
 
   trace::ChromeTraceWriter tracer;

@@ -98,7 +98,8 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
 }
 
 rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
-                                       int remote_chunk, bool escalate) {
+                                       int remote_chunk, bool escalate,
+                                       CrossNodeMode cross) {
   rt::AcquireResult r;
   r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
   if (auto t = w.deque.pop_front()) {
@@ -128,7 +129,9 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
   // work stranded on a throttled or offline node is better executed
   // remotely than waited for.
   const rt::LoopConfig& cfg = team.current_config();
-  const bool full = cfg.steal_policy == rt::StealPolicy::kFull;
+  const bool full = cross == CrossNodeMode::kAlways ||
+                    (cross == CrossNodeMode::kConfig &&
+                     cfg.steal_policy == rt::StealPolicy::kFull);
   if (!full && !escalate) return r;
 
   for (const topo::NodeId node : team.topology().nodes_by_distance(w.node)) {

@@ -34,6 +34,12 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
                                     const DistributionOptions& opts,
                                     sim::SimTime& serial_cost);
 
+// Whether the cross-node tier of acquire_hierarchical honours the current
+// LoopConfig's steal policy (the default), never opens (strict / rescue-only
+// compositions), or always opens (forced-full compositions). kNever still
+// admits escalated rescue steals — that hatch is orthogonal to the policy.
+enum class CrossNodeMode { kConfig, kNever, kAlways };
+
 // The matching acquisition policy: pop locally, steal intra-node (primary
 // first), then — only under steal_policy = full and with the local node's
 // queues drained — steal `stealable` tasks from the nearest remote nodes.
@@ -48,6 +54,7 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
 // offline. Healthy victims keep the configured policy, so with every node
 // healthy the flag is a no-op.
 rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
-                                       int remote_chunk = 1, bool escalate = false);
+                                       int remote_chunk = 1, bool escalate = false,
+                                       CrossNodeMode cross = CrossNodeMode::kConfig);
 
 }  // namespace ilan::core

@@ -16,6 +16,18 @@ std::optional<long long> parse_full_int(std::string_view text) {
   return value;
 }
 
+std::optional<double> parse_full_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  const bool finite =
+      value >= -1.7976931348623157e308 && value <= 1.7976931348623157e308;
+  if (ec != std::errc{} || ptr != last || !finite) return std::nullopt;
+  return value;
+}
+
 int parse_env_int(const char* name, int fallback, int min, int max) {
   const char* v = std::getenv(name);
   if (v == nullptr || v[0] == '\0') return fallback;

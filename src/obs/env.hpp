@@ -30,6 +30,11 @@ namespace ilan::obs {
 // any violation. The primitive parse_env_int is built on.
 [[nodiscard]] std::optional<long long> parse_full_int(std::string_view text);
 
+// Strict full-string double parse of `text` (no env lookup); nullopt on any
+// violation, including non-finite values. Shares parse_env_double's parsing
+// contract; spec-string values (sched/registry.hpp) are parsed with this.
+[[nodiscard]] std::optional<double> parse_full_double(std::string_view text);
+
 // True when env var `name` is set to a truthy value ("1", "true", "on",
 // "yes" — anything except unset/"", "0", "false", "off", "no").
 [[nodiscard]] bool env_flag(const char* name);

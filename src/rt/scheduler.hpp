@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -44,6 +45,16 @@ struct AcquireResult {
   sim::SimTime cost = 0;  // scheduling-path latency spent acquiring
 };
 
+// What a scheduler is willing to tell harnesses about itself without
+// anybody dynamic_cast-ing to a concrete type: the fully-resolved registry
+// spec it was built from (empty for schedulers constructed outside the
+// registry that don't override introspect()) and the adaptation activity
+// the reports aggregate.
+struct SchedulerInfo {
+  std::string spec;
+  int total_reexplorations = 0;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -66,6 +77,10 @@ class Scheduler {
   // End-of-execution hook (e.g., PTT update). Default: no-op.
   virtual void loop_finished(const TaskloopSpec& /*spec*/, const LoopExecStats& /*stats*/,
                              Team& /*team*/) {}
+
+  // Uniform introspection for harnesses and reports. Replaces the old
+  // dynamic_cast-to-IlanScheduler probing in bench/harness.cpp.
+  [[nodiscard]] virtual SchedulerInfo introspect() const { return {}; }
 };
 
 }  // namespace ilan::rt

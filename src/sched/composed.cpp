@@ -1,0 +1,41 @@
+#include "sched/composed.hpp"
+
+namespace ilan::sched {
+
+ComposedScheduler::ComposedScheduler(std::string name, std::string spec,
+                                     core::IlanParams params,
+                                     std::unique_ptr<ConfigPolicy> config,
+                                     std::unique_ptr<DistributionPolicy> dist,
+                                     std::unique_ptr<StealPolicy> steal,
+                                     std::unique_ptr<FeedbackPolicy> feedback)
+    : name_(std::move(name)),
+      spec_(std::move(spec)),
+      config_(std::move(config)),
+      dist_(std::move(dist)),
+      steal_(std::move(steal)),
+      feedback_(std::move(feedback)) {
+  params.validate();
+  state_.params = params;
+}
+
+rt::LoopConfig ComposedScheduler::select_config(const rt::TaskloopSpec& spec,
+                                                rt::Team& team) {
+  return config_->select(spec, team, state_);
+}
+
+std::size_t ComposedScheduler::distribute(const rt::TaskloopSpec& spec,
+                                          const rt::LoopConfig& cfg, rt::Team& team,
+                                          sim::SimTime& serial_cost) {
+  return dist_->distribute(spec, cfg, team, state_, serial_cost);
+}
+
+rt::AcquireResult ComposedScheduler::acquire(rt::Team& team, rt::Worker& w) {
+  return steal_->acquire(team, w, state_);
+}
+
+void ComposedScheduler::loop_finished(const rt::TaskloopSpec& spec,
+                                      const rt::LoopExecStats& stats, rt::Team& team) {
+  feedback_->loop_finished(spec, stats, team, state_);
+}
+
+}  // namespace ilan::sched

@@ -1,0 +1,57 @@
+// ComposedScheduler: an rt::Scheduler assembled from one policy per axis.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sched/policy.hpp"
+
+namespace ilan::sched {
+
+// Binds one ConfigPolicy, DistributionPolicy, StealPolicy and FeedbackPolicy
+// plus the shared SchedState they communicate through into a scheduler. The
+// name is the registry name the composition answers to; the spec is the
+// fully-resolved spec string introspect() reports (what BENCH json records).
+class ComposedScheduler : public rt::Scheduler {
+ public:
+  ComposedScheduler(std::string name, std::string spec, core::IlanParams params,
+                    std::unique_ptr<ConfigPolicy> config,
+                    std::unique_ptr<DistributionPolicy> dist,
+                    std::unique_ptr<StealPolicy> steal,
+                    std::unique_ptr<FeedbackPolicy> feedback);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  rt::LoopConfig select_config(const rt::TaskloopSpec& spec, rt::Team& team) override;
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, sim::SimTime& serial_cost) override;
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w) override;
+  void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
+                     rt::Team& team) override;
+
+  [[nodiscard]] rt::SchedulerInfo introspect() const override {
+    return {spec_, state_.total_reexplorations};
+  }
+
+  // --- introspection (tests, examples, harnesses) -------------------------
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+  [[nodiscard]] const SchedState& state() const { return state_; }
+  [[nodiscard]] const ConfigPolicy& config_policy() const { return *config_; }
+  [[nodiscard]] const DistributionPolicy& distribution_policy() const { return *dist_; }
+  [[nodiscard]] const StealPolicy& steal_policy() const { return *steal_; }
+  [[nodiscard]] const FeedbackPolicy& feedback_policy() const { return *feedback_; }
+
+ protected:
+  [[nodiscard]] SchedState& mutable_state() { return state_; }
+
+ private:
+  std::string name_;
+  std::string spec_;
+  SchedState state_;
+  std::unique_ptr<ConfigPolicy> config_;
+  std::unique_ptr<DistributionPolicy> dist_;
+  std::unique_ptr<StealPolicy> steal_;
+  std::unique_ptr<FeedbackPolicy> feedback_;
+};
+
+}  // namespace ilan::sched

@@ -1,0 +1,353 @@
+#include "sched/policies.hpp"
+
+#include "core/node_mask.hpp"
+#include "rt/runtime.hpp"
+#include "rt/team.hpp"
+
+namespace ilan::sched {
+
+// --- ConfigPolicy --------------------------------------------------------
+
+rt::LoopConfig PttSearchConfig::select(const rt::TaskloopSpec& spec, rt::Team& team,
+                                       SchedState& state) {
+  team.costs().charge(trace::OverheadComponent::kConfigSelect);
+  obs::MetricsRegistry* metrics = team.machine().metrics();
+  if (metrics != nullptr) metrics->counter("ptt.probe").inc();
+
+  LoopSearchState& st = state.loops[spec.loop_id];
+  ++st.k;
+  const int m_max = team.num_workers();
+  const int g = state.params.granularity > 0 ? state.params.granularity
+                                             : team.topology().cores_per_node();
+
+  int threads = m_max;
+  if (st.counter_locked || !state.params.moldability) {
+    st.finished = true;  // no exploration: straight to steal-policy trial
+  } else {
+    const bool was_finished = st.finished;
+    if (!st.search) st.search = std::make_unique<core::ThreadSearch>(m_max, g);
+    // k - k0 is the search-local execution index: a staleness-triggered
+    // restart replays Algorithm 1's warm-up instead of resuming mid-search.
+    threads = st.search->next_threads(st.k - st.k0, state.ptt, spec.loop_id);
+    st.finished = st.search->finished();
+    if (st.finished && !was_finished) {
+      // Algorithm 1 just locked in a thread count for this loop.
+      if (metrics != nullptr) {
+        metrics->counter("ptt.lock").inc();
+        metrics->gauge("ptt.converge_execs").add(static_cast<double>(st.k - st.k0));
+      }
+      if (team.tracer() != nullptr) {
+        team.tracer()->add_instant(trace::InstantEvent{
+            "ptt lock loop " + std::to_string(spec.loop_id) + " @" +
+                std::to_string(threads) + "thr",
+            team.now()});
+      }
+    }
+  }
+
+  // The reactive path routes around unhealthy nodes; with every node
+  // healthy it selects exactly the health-blind mask.
+  const rt::NodeHealth* health =
+      state.params.reactive ? &team.machine().health() : nullptr;
+
+  rt::LoopConfig cfg;
+  cfg.num_threads = threads;
+  cfg.node_mask = core::select_node_mask(team.topology(), state.ptt, spec.loop_id,
+                                         threads, g, health);
+  cfg.steal_policy =
+      st.policy.next_policy(st.finished, threads, state.ptt, spec.loop_id);
+  return cfg;
+}
+
+rt::LoopConfig FixedConfig::select(const rt::TaskloopSpec&, rt::Team& team,
+                                   SchedState&) {
+  rt::LoopConfig cfg = config_;
+  if (cfg.num_threads <= 0 || cfg.num_threads > team.num_workers()) {
+    cfg.num_threads = team.num_workers();
+  }
+  if (cfg.node_mask.empty()) {
+    const int per_node = team.topology().cores_per_node();
+    cfg.node_mask = rt::NodeMask::first_n((cfg.num_threads + per_node - 1) / per_node);
+  }
+  return cfg;
+}
+
+rt::LoopConfig CounterOnlyConfig::select(const rt::TaskloopSpec& spec, rt::Team& team,
+                                         SchedState& state) {
+  // The ptt-search path with the Algorithm 1 search permanently skipped:
+  // every execution runs at m_max, the counter classification (PttFeedback)
+  // is the only moldability signal, and the steal-policy trial still runs.
+  team.costs().charge(trace::OverheadComponent::kConfigSelect);
+  obs::MetricsRegistry* metrics = team.machine().metrics();
+  if (metrics != nullptr) metrics->counter("ptt.probe").inc();
+
+  LoopSearchState& st = state.loops[spec.loop_id];
+  ++st.k;
+  const int m_max = team.num_workers();
+  const int g = state.params.granularity > 0 ? state.params.granularity
+                                             : team.topology().cores_per_node();
+  // The first execution is the classification window (PttFeedback's counter
+  // check requires an unfinished search at k == 1); from the second on the
+  // loop is locked at m_max either way and the steal-policy trial begins.
+  if (st.k - st.k0 > 1) st.finished = true;
+
+  const rt::NodeHealth* health =
+      state.params.reactive ? &team.machine().health() : nullptr;
+
+  rt::LoopConfig cfg;
+  cfg.num_threads = m_max;
+  cfg.node_mask = core::select_node_mask(team.topology(), state.ptt, spec.loop_id,
+                                         m_max, g, health);
+  cfg.steal_policy =
+      st.policy.next_policy(st.finished, m_max, state.ptt, spec.loop_id);
+  return cfg;
+}
+
+rt::LoopConfig OracleBestConfig::select(const rt::TaskloopSpec& spec, rt::Team& team,
+                                        SchedState& state) {
+  team.costs().charge(trace::OverheadComponent::kConfigSelect);
+
+  LoopSearchState& st = state.loops[spec.loop_id];
+  ++st.k;
+  st.finished = true;
+  const int m_max = team.num_workers();
+  const int g = state.params.granularity > 0 ? state.params.granularity
+                                             : team.topology().cores_per_node();
+
+  // Replay the best configuration the PTT has ever seen for this loop; a
+  // cold table degenerates to (m_max, strict), i.e. run wide and local.
+  int threads = m_max;
+  rt::StealPolicy policy = rt::StealPolicy::kStrict;
+  if (const core::PttEntry* best = state.ptt.fastest(spec.loop_id)) {
+    threads = best->config.num_threads;
+    policy = best->config.steal_policy;
+  }
+
+  const rt::NodeHealth* health =
+      state.params.reactive ? &team.machine().health() : nullptr;
+
+  rt::LoopConfig cfg;
+  cfg.num_threads = threads;
+  cfg.node_mask = core::select_node_mask(team.topology(), state.ptt, spec.loop_id,
+                                         threads, g, health);
+  cfg.steal_policy = policy;
+  return cfg;
+}
+
+// --- DistributionPolicy --------------------------------------------------
+
+std::size_t HierarchicalDist::distribute(const rt::TaskloopSpec& spec,
+                                         const rt::LoopConfig& cfg, rt::Team& team,
+                                         SchedState& state,
+                                         sim::SimTime& serial_cost) {
+  core::DistributionOptions opts;
+  opts.stealable_fraction = state.params.stealable_fraction;
+  switch (health_) {
+    case Health::kReactive:
+      opts.react_to_health = state.params.reactive;
+      break;
+    case Health::kBlind:
+      opts.react_to_health = false;
+      break;
+    case Health::kForced:
+      opts.react_to_health = true;
+      break;
+  }
+  return core::distribute_hierarchical(spec, cfg, team, opts, serial_cost);
+}
+
+std::size_t FlatDist::distribute(const rt::TaskloopSpec& spec,
+                                 const rt::LoopConfig& cfg, rt::Team& team,
+                                 SchedState&, sim::SimTime& serial_cost) {
+  const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize,
+                                      cfg.num_threads, spec.tasks_per_thread);
+  // The "encountering thread": the primary worker of the first node in the
+  // config's mask. With a full mask (the baseline composition) that is
+  // worker 0, bit-identical to the pre-refactor scheduler; under a narrow
+  // searched mask it keeps the flat queue on an *active* node so the
+  // composition with ptt-search cannot strand tasks on a parked worker.
+  const auto nodes = cfg.node_mask.to_nodes();
+  rt::Worker& encountering =
+      nodes.empty() ? team.worker(0)
+                    : team.worker(team.node_workers(nodes.front()).front());
+  for (const auto& [b, e] : chunks) {
+    serial_cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+    serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+    rt::Task t;
+    t.begin = b;
+    t.end = e;
+    t.loop = &spec;
+    t.home_node = topo::NodeId::invalid();
+    t.numa_strict = false;
+    encountering.deque.push_back(t);
+  }
+  return chunks.size();
+}
+
+std::size_t StaticBlockDist::distribute(const rt::TaskloopSpec& spec,
+                                        const rt::LoopConfig& cfg, rt::Team& team,
+                                        SchedState&, sim::SimTime& serial_cost) {
+  const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize,
+                                      cfg.num_threads, spec.tasks_per_thread);
+  // Contiguous runs of chunks per thread, like schedule(static) with the
+  // equivalent chunk size. The "fork" costs one enqueue per thread.
+  const auto nw = static_cast<std::size_t>(cfg.num_threads);
+  const std::size_t nc = chunks.size();
+  for (std::size_t t = 0; t < nw; ++t) {
+    const std::size_t lo = nc * t / nw;
+    const std::size_t hi = nc * (t + 1) / nw;
+    if (lo < hi) {
+      serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+    }
+    for (std::size_t c = lo; c < hi; ++c) {
+      rt::Task task;
+      task.begin = chunks[c].first;
+      task.end = chunks[c].second;
+      task.loop = &spec;
+      task.home_node = team.worker(static_cast<int>(t)).node;
+      task.numa_strict = true;  // static assignment never migrates
+      team.worker(static_cast<int>(t)).deque.push_back(task);
+    }
+  }
+  return nc;
+}
+
+// --- StealPolicy ---------------------------------------------------------
+
+rt::AcquireResult TieredSteal::acquire(rt::Team& team, rt::Worker& w,
+                                       SchedState& state) {
+  bool escalate = false;
+  switch (escalate_) {
+    case Escalate::kReactive:
+      // Steal-policy escalation engages only while some node is unhealthy;
+      // otherwise the configured policy applies unchanged.
+      escalate = state.params.reactive && !team.machine().health().all_healthy();
+      break;
+    case Escalate::kNever:
+      escalate = false;
+      break;
+    case Escalate::kAlways:
+      escalate = !team.machine().health().all_healthy();
+      break;
+  }
+  return core::acquire_hierarchical(team, w, state.params.remote_steal_chunk,
+                                    escalate, cross_);
+}
+
+rt::AcquireResult RandomSteal::acquire(rt::Team& team, rt::Worker& w, SchedState&) {
+  rt::AcquireResult r;
+  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+  if (auto t = w.deque.pop_front()) {
+    r.task = std::move(t);
+    return r;
+  }
+
+  // Random-victim stealing: random start, linear probe over all workers.
+  // Probing an empty deque is a cached-flag read; only a contended attempt
+  // on a non-empty deque costs a miss.
+  const int n = team.num_workers();
+  const int start = static_cast<int>(team.rng().below(static_cast<std::uint64_t>(n)));
+  bool probed_nonempty = false;
+  for (int i = 0; i < n; ++i) {
+    const int vid = (start + i) % n;
+    if (vid == w.id) continue;
+    rt::Worker& victim = team.worker(vid);
+    if (victim.deque.empty()) continue;
+    probed_nonempty = true;
+    if (auto t = victim.deque.steal_back(/*allow_strict=*/true)) {
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+      team.note_steal(victim.node != w.node);
+      r.task = std::move(t);
+      return r;
+    }
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+  }
+  if (!probed_nonempty) {
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+  }
+  return r;  // no work anywhere
+}
+
+rt::AcquireResult NoSteal::acquire(rt::Team& team, rt::Worker& w, SchedState&) {
+  rt::AcquireResult r;
+  if (auto t = w.deque.pop_front()) {
+    r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+    r.task = std::move(t);
+  }
+  return r;
+}
+
+// --- FeedbackPolicy ------------------------------------------------------
+
+void PttFeedback::loop_finished(const rt::TaskloopSpec& spec,
+                                const rt::LoopExecStats& stats, rt::Team& team,
+                                SchedState& state) {
+  team.costs().charge(trace::OverheadComponent::kPttUpdate);
+  const double obj = trace::objective_value(state.params.objective, stats,
+                                            team.topology().num_nodes(),
+                                            state.params.energy);
+  state.ptt.record(spec.loop_id, stats, obj);
+
+  // Counter-guided classification after the first (m_max) execution: a loop
+  // that achieved only a small fraction of machine bandwidth is compute-
+  // bound, and no narrower configuration can beat m_max — skip the search.
+  if (state.params.counter_guided && state.params.moldability) {
+    LoopSearchState& st = state.loops[spec.loop_id];
+    if (st.k == 1 && !st.finished) {
+      const double wall_s = sim::to_seconds(stats.wall);
+      const double achieved_gbps = wall_s > 0.0 ? stats.bytes_moved / wall_s / 1e9 : 0.0;
+      const double machine_gbps = team.topology().total_mem_bw_gbps();
+      if (achieved_gbps < state.params.counter_bw_threshold * machine_gbps) {
+        st.counter_locked = true;
+        if (obs::MetricsRegistry* m = team.machine().metrics()) {
+          m->counter("ptt.counter_lock").inc();
+        }
+        if (team.tracer() != nullptr) {
+          team.tracer()->add_instant(trace::InstantEvent{
+              "counter-lock loop " + std::to_string(spec.loop_id), team.now()});
+        }
+      }
+    }
+  }
+
+  // PTT staleness detection (graceful degradation): once the search has
+  // locked in a configuration, executions that keep landing far above the
+  // best wall time ever observed for that configuration mean the PTT no
+  // longer describes the machine — interference, throttling, a degraded
+  // node. After `staleness_patience` consecutive stale executions the
+  // search restarts (bounded by max_reexplorations so interference that
+  // never settles cannot turn exploration into a steady-state cost).
+  if (state.params.reactive && state.params.moldability) {
+    LoopSearchState& st = state.loops[spec.loop_id];
+    if (st.finished || st.counter_locked) {
+      const core::PttEntry* e = state.ptt.find(spec.loop_id, stats.config.num_threads,
+                                               stats.config.steal_policy);
+      const double wall_s = sim::to_seconds(stats.wall);
+      const bool stale = e != nullptr && e->wall.min() > 0.0 &&
+                         wall_s > state.params.staleness_factor * e->wall.min();
+      st.stale_streak = stale ? st.stale_streak + 1 : 0;
+      if (st.stale_streak >= state.params.staleness_patience &&
+          st.reexplorations < state.params.max_reexplorations) {
+        st.search.reset();
+        st.finished = false;
+        st.counter_locked = false;
+        st.policy = core::StealPolicyEvaluator{};
+        st.k0 = st.k;
+        st.stale_streak = 0;
+        ++st.reexplorations;
+        ++state.total_reexplorations;
+        if (obs::MetricsRegistry* m = team.machine().metrics()) {
+          m->counter("ptt.reexplore").inc();
+        }
+        if (team.tracer() != nullptr) {
+          team.tracer()->add_instant(trace::InstantEvent{
+              "ptt re-explore loop " + std::to_string(spec.loop_id), team.now()});
+        }
+      }
+    } else {
+      st.stale_streak = 0;
+    }
+  }
+}
+
+}  // namespace ilan::sched

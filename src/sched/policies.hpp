@@ -1,0 +1,175 @@
+// Concrete scheduler policies — the building blocks the registry composes.
+//
+// Each class is the verbatim logic of one axis of the pre-refactor
+// monolithic schedulers (core::IlanScheduler, core::ManualScheduler,
+// rt::BaselineWsScheduler, rt::WorkSharingScheduler), factored out behind
+// the sched/policy.hpp interfaces. The overhead-charge sequences are part
+// of the determinism contract (they feed the event digest), so every charge
+// here replicates its source exactly; the sched_equivalence ctest gate
+// holds the compositions to the pre-refactor digests bit-for-bit.
+#pragma once
+
+#include "core/distributor.hpp"
+#include "sched/policy.hpp"
+
+namespace ilan::sched {
+
+// --- ConfigPolicy --------------------------------------------------------
+
+// PTT + Algorithm 1 thread search (paper Sections 3.1-3.2): the ILAN
+// configuration selection, including counter-lock and no-moldability
+// short-circuits driven by SchedState::params.
+class PttSearchConfig final : public ConfigPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ptt-search"; }
+  rt::LoopConfig select(const rt::TaskloopSpec& spec, rt::Team& team,
+                        SchedState& state) override;
+};
+
+// A fixed base configuration with ManualScheduler's fill-in rules: illegal
+// or unset thread counts become the full team, an empty mask becomes the
+// first ceil(threads / cores_per_node) nodes.
+class FixedConfig final : public ConfigPolicy {
+ public:
+  explicit FixedConfig(rt::LoopConfig config) : config_(config) {}
+  [[nodiscard]] std::string_view name() const override { return "fixed"; }
+  rt::LoopConfig select(const rt::TaskloopSpec& spec, rt::Team& team,
+                        SchedState& state) override;
+  [[nodiscard]] const rt::LoopConfig& config() const { return config_; }
+
+ private:
+  rt::LoopConfig config_;
+};
+
+// Counter-only moldability: no Algorithm 1 search — every loop runs at
+// m_max until the counter classification (PttFeedback with counter_guided
+// on) locks it, exactly the paper's "more performance statistics can reduce
+// the exploration overhead" extension taken to its endpoint. The
+// steal-policy trial still runs, so locality decisions stay adaptive.
+class CounterOnlyConfig final : public ConfigPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "counter-only"; }
+  rt::LoopConfig select(const rt::TaskloopSpec& spec, rt::Team& team,
+                        SchedState& state) override;
+};
+
+// Oracle replay: picks the PTT's best-known configuration for the loop and
+// falls back to (m_max, strict) when the table has no entry yet. Useful as
+// an upper bound when a warmed PTT is replayed against the same kernel.
+class OracleBestConfig final : public ConfigPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "oracle-best"; }
+  rt::LoopConfig select(const rt::TaskloopSpec& spec, rt::Team& team,
+                        SchedState& state) override;
+};
+
+// --- DistributionPolicy --------------------------------------------------
+
+// Hierarchical block distribution (paper Section 3.3) via
+// core::distribute_hierarchical. The health mode selects who the block
+// mapping listens to: kReactive follows params.reactive (the ILAN
+// composition), kBlind never weights by health (ManualScheduler's
+// behaviour), kForced always does (the standalone health-weighted axis).
+class HierarchicalDist final : public DistributionPolicy {
+ public:
+  enum class Health { kReactive, kBlind, kForced };
+  explicit HierarchicalDist(Health health = Health::kReactive) : health_(health) {}
+  [[nodiscard]] std::string_view name() const override {
+    return health_ == Health::kForced ? "health-weighted" : "hierarchical";
+  }
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, SchedState& state,
+                         sim::SimTime& serial_cost) override;
+
+ private:
+  Health health_;
+};
+
+// Flat distribution: every chunk into the encountering worker's deque,
+// location-blind (BaselineWsScheduler's placement).
+class FlatDist final : public DistributionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "flat"; }
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, SchedState& state,
+                         sim::SimTime& serial_cost) override;
+};
+
+// schedule(static)-style contiguous blocks, one run per thread, NUMA-strict
+// (WorkSharingScheduler's placement).
+class StaticBlockDist final : public DistributionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "static-block"; }
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, SchedState& state,
+                         sim::SimTime& serial_cost) override;
+};
+
+// --- StealPolicy ---------------------------------------------------------
+
+// Tiered NUMA-aware stealing (paper Section 3.4) via
+// core::acquire_hierarchical: pop, intra-node, then cross-node. The
+// cross-node tier either follows the LoopConfig's strict/full knob
+// (kConfig), never opens (kNever), or always opens (kAlways); escalation
+// adds the graceful-degradation rescue tier while any node is unhealthy.
+class TieredSteal final : public StealPolicy {
+ public:
+  enum class Escalate { kReactive, kNever, kAlways };
+  TieredSteal(core::CrossNodeMode cross, Escalate escalate)
+      : cross_(cross), escalate_(escalate) {}
+  [[nodiscard]] std::string_view name() const override {
+    switch (cross_) {
+      case core::CrossNodeMode::kNever:
+        return escalate_ == Escalate::kNever ? "strict" : "rescue-only";
+      case core::CrossNodeMode::kAlways:
+        return "full";
+      case core::CrossNodeMode::kConfig:
+        break;
+    }
+    return "tiered";
+  }
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w, SchedState& state) override;
+
+ private:
+  core::CrossNodeMode cross_;
+  Escalate escalate_;
+};
+
+// Random-victim stealing from any deque, NUMA-blind (BaselineWsScheduler's
+// acquisition).
+class RandomSteal final : public StealPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w, SchedState& state) override;
+};
+
+// Pop-only, no stealing at all (WorkSharingScheduler's acquisition). Note
+// the quirk preserved from the original: the dequeue cost is charged only
+// when the pop succeeds.
+class NoSteal final : public StealPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w, SchedState& state) override;
+};
+
+// --- FeedbackPolicy ------------------------------------------------------
+
+// The ILAN end-of-execution feedback: PTT record, counter-guided
+// classification after the first execution, and staleness-triggered
+// re-exploration (graceful degradation under dynamic interference).
+class PttFeedback final : public FeedbackPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ptt"; }
+  void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
+                     rt::Team& team, SchedState& state) override;
+};
+
+// No observation at all (the fixed-configuration schedulers).
+class NoFeedback final : public FeedbackPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  void loop_finished(const rt::TaskloopSpec&, const rt::LoopExecStats&, rt::Team&,
+                     SchedState&) override {}
+};
+
+}  // namespace ilan::sched

@@ -1,0 +1,130 @@
+// Composable scheduler policy interfaces.
+//
+// The paper's ILAN scheduler is three separable decisions — moldable
+// configuration selection (PTT + Algorithm 1), hierarchical locality-aware
+// distribution, and tiered stealing — plus the end-of-execution feedback
+// that keeps the PTT honest. This layer makes each axis a first-class,
+// swappable policy (in the spirit of BubbleSched's pluggable hierarchical
+// scheduling modules), so scheduler variants are data (a registry spec
+// string), not code:
+//
+//   ConfigPolicy        how the LoopConfig is chosen   (ptt-search, fixed,
+//                       counter-only, oracle-best)
+//   DistributionPolicy  how chunk tasks are placed     (hierarchical, flat,
+//                       static, health-weighted)
+//   StealPolicy         how idle workers acquire work  (tiered, strict,
+//                       full, rescue-only, random, none)
+//   FeedbackPolicy      what observes finished loops   (ptt, none)
+//
+// ComposedScheduler (sched/composed.hpp) binds one of each into an
+// rt::Scheduler; SchedulerRegistry (sched/registry.hpp) builds compositions
+// from string specs.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/config_selector.hpp"
+#include "core/ptt.hpp"
+#include "core/steal_policy.hpp"
+#include "rt/scheduler.hpp"
+
+namespace ilan::rt {
+class Team;
+struct Worker;
+}  // namespace ilan::rt
+
+namespace ilan::sched {
+
+// Per-taskloop search bookkeeping shared between the ptt-search config
+// policy and the ptt feedback policy (the staleness re-exploration path
+// resets search state the config policy owns).
+struct LoopSearchState {
+  int k = 0;  // executions seen (1-based during selection)
+  // Execution count at which the current search window opened: the
+  // search-local execution index is k - k0, so a staleness-triggered
+  // restart replays Algorithm 1 from its warm-up step.
+  int k0 = 0;
+  std::unique_ptr<core::ThreadSearch> search;
+  core::StealPolicyEvaluator policy;
+  bool finished = false;
+  // Counter-guided classification: loop proven compute-bound after k = 1,
+  // search skipped entirely.
+  bool counter_locked = false;
+  // Consecutive locked-in executions slower than staleness_factor x the
+  // PTT's best observed wall time for the executed configuration.
+  int stale_streak = 0;
+  // Re-exploration windows consumed (bounded by max_reexplorations).
+  int reexplorations = 0;
+};
+
+// Mutable state shared by the four policies of one ComposedScheduler. The
+// policies are stateless beyond their construction parameters; everything
+// that must survive across calls (and be visible across axes) lives here.
+struct SchedState {
+  core::IlanParams params;
+  core::PerfTraceTable ptt;
+  std::unordered_map<rt::LoopId, LoopSearchState> loops;
+  int total_reexplorations = 0;
+
+  [[nodiscard]] int executions(rt::LoopId loop) const {
+    const auto it = loops.find(loop);
+    return it == loops.end() ? 0 : it->second.k;
+  }
+  [[nodiscard]] bool search_finished(rt::LoopId loop) const {
+    const auto it = loops.find(loop);
+    return it != loops.end() && it->second.finished;
+  }
+  [[nodiscard]] bool counter_locked(rt::LoopId loop) const {
+    const auto it = loops.find(loop);
+    return it != loops.end() && it->second.counter_locked;
+  }
+  [[nodiscard]] int reexplorations(rt::LoopId loop) const {
+    const auto it = loops.find(loop);
+    return it == loops.end() ? 0 : it->second.reexplorations;
+  }
+};
+
+// Axis 1: chooses this execution's thread count, node mask and steal policy.
+class ConfigPolicy {
+ public:
+  virtual ~ConfigPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual rt::LoopConfig select(const rt::TaskloopSpec& spec, rt::Team& team,
+                                SchedState& state) = 0;
+};
+
+// Axis 2: creates the chunk tasks and pushes them into worker deques.
+class DistributionPolicy {
+ public:
+  virtual ~DistributionPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual std::size_t distribute(const rt::TaskloopSpec& spec,
+                                 const rt::LoopConfig& cfg, rt::Team& team,
+                                 SchedState& state, sim::SimTime& serial_cost) = 0;
+};
+
+// Axis 3: implements pop + steal for a worker that ran dry. (Distinct from
+// rt::StealPolicy, the per-execution strict/full knob inside a LoopConfig —
+// this is the *algorithm* that honours, overrides or ignores that knob.)
+class StealPolicy {
+ public:
+  virtual ~StealPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual rt::AcquireResult acquire(rt::Team& team, rt::Worker& w,
+                                    SchedState& state) = 0;
+};
+
+// Axis 4: end-of-execution observation (PTT update, staleness detection).
+class FeedbackPolicy {
+ public:
+  virtual ~FeedbackPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual void loop_finished(const rt::TaskloopSpec& spec,
+                             const rt::LoopExecStats& stats, rt::Team& team,
+                             SchedState& state) = 0;
+};
+
+}  // namespace ilan::sched

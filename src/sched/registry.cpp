@@ -1,0 +1,401 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/env.hpp"
+#include "sched/schedulers.hpp"
+
+namespace ilan::sched {
+
+std::string SchedulerSpec::to_string() const {
+  std::string s = name;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    s += i == 0 ? ':' : ',';
+    s += options[i].key;
+    s += '=';
+    s += options[i].value;
+  }
+  return s;
+}
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string s;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += items[i];
+  }
+  return s;
+}
+
+// Every spec diagnostic carries the registered names so a typo'd
+// ILAN_SCHED tells the user what would have worked (the satellite error
+// contract; mirrors obs/env.hpp's name-the-offender strictness).
+[[noreturn]] void fail_spec(std::string_view spec_text, const std::string& what) {
+  throw std::invalid_argument(
+      "scheduler spec '" + std::string(spec_text) + "': " + what +
+      "; registered schedulers: " + join(SchedulerRegistry::instance().names()));
+}
+
+bool parse_bool_value(std::string_view spec, const SpecOption& opt) {
+  if (opt.value == "on" || opt.value == "true" || opt.value == "1" ||
+      opt.value == "yes") {
+    return true;
+  }
+  if (opt.value == "off" || opt.value == "false" || opt.value == "0" ||
+      opt.value == "no") {
+    return false;
+  }
+  fail_spec(spec, "key '" + opt.key + "': expected on/off, got '" + opt.value + "'");
+}
+
+int parse_int_value(std::string_view spec, const SpecOption& opt, int min, int max) {
+  const auto v = obs::parse_full_int(opt.value);
+  if (!v || *v < min || *v > max) {
+    fail_spec(spec, "key '" + opt.key + "': expected an integer in [" +
+                        std::to_string(min) + ", " + std::to_string(max) +
+                        "], got '" + opt.value + "'");
+  }
+  return static_cast<int>(*v);
+}
+
+double parse_double_value(std::string_view spec, const SpecOption& opt, double min,
+                          double max) {
+  const auto v = obs::parse_full_double(opt.value);
+  if (!v || *v < min || *v > max) {
+    fail_spec(spec, "key '" + opt.key + "': expected a number in [" +
+                        std::to_string(min) + ", " + std::to_string(max) +
+                        "], got '" + opt.value + "'");
+  }
+  return *v;
+}
+
+trace::Objective parse_objective_value(std::string_view spec, const SpecOption& opt) {
+  if (opt.value == "time") return trace::Objective::kTime;
+  if (opt.value == "energy") return trace::Objective::kEnergy;
+  if (opt.value == "edp") return trace::Objective::kEdp;
+  fail_spec(spec, "key '" + opt.key + "': expected time/energy/edp, got '" +
+                      opt.value + "'");
+}
+
+rt::StealPolicy parse_policy_value(std::string_view spec, const SpecOption& opt) {
+  if (opt.value == "strict") return rt::StealPolicy::kStrict;
+  if (opt.value == "full") return rt::StealPolicy::kFull;
+  fail_spec(spec, "key '" + opt.key + "': expected strict/full, got '" + opt.value +
+                      "'");
+}
+
+// The shared IlanParams key set ("ilan", "ilan-nomold" and "composed" all
+// accept it). Returns false when the key is not a param key.
+bool apply_param_key(std::string_view spec, const SpecOption& opt,
+                     core::IlanParams& params) {
+  if (opt.key == "mold") {
+    params.moldability = parse_bool_value(spec, opt);
+  } else if (opt.key == "counter") {
+    params.counter_guided = parse_bool_value(spec, opt);
+  } else if (opt.key == "reactive") {
+    params.reactive = parse_bool_value(spec, opt);
+  } else if (opt.key == "objective") {
+    params.objective = parse_objective_value(spec, opt);
+  } else if (opt.key == "granularity") {
+    params.granularity = parse_int_value(spec, opt, 0, 1 << 20);
+  } else if (opt.key == "stealable") {
+    params.stealable_fraction = parse_double_value(spec, opt, 0.0, 1.0);
+  } else if (opt.key == "chunk") {
+    params.remote_steal_chunk = parse_int_value(spec, opt, 1, 1 << 20);
+  } else if (opt.key == "staleness-factor") {
+    params.staleness_factor = parse_double_value(spec, opt, 1.0 + 1e-9, 1e6);
+  } else if (opt.key == "staleness-patience") {
+    params.staleness_patience = parse_int_value(spec, opt, 1, 1 << 20);
+  } else if (opt.key == "max-reexplorations") {
+    params.max_reexplorations = parse_int_value(spec, opt, 0, 1 << 20);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+[[noreturn]] void fail_key(std::string_view spec, const SpecOption& opt,
+                           const std::string& scheduler, const char* valid) {
+  fail_spec(spec, "unknown key '" + opt.key + "' for scheduler '" + scheduler +
+                      "' (valid: " + valid + ")");
+}
+
+constexpr const char* kParamKeys =
+    "mold, counter, reactive, objective, granularity, stealable, chunk, "
+    "staleness-factor, staleness-patience, max-reexplorations";
+
+std::unique_ptr<rt::Scheduler> make_ilan(const SchedulerSpec& spec,
+                                         bool default_mold) {
+  // Spec keys override env knobs override IlanParams defaults — so a bare
+  // "ilan" is exactly the pre-registry harness construction, and the
+  // resolved spec records whatever the env contributed.
+  core::IlanParams base;
+  base.moldability = default_mold;
+  core::IlanParams params = core::params_from_env(base);
+  const std::string text = spec.to_string();
+  for (const SpecOption& opt : spec.options) {
+    if (!apply_param_key(text, opt, params)) {
+      fail_key(text, opt, spec.name, kParamKeys);
+    }
+  }
+  return std::make_unique<IlanScheduler>(params);
+}
+
+std::unique_ptr<rt::Scheduler> make_manual(const SchedulerSpec& spec) {
+  core::IlanParams params = core::params_from_env();
+  rt::LoopConfig cfg;
+  const std::string text = spec.to_string();
+  for (const SpecOption& opt : spec.options) {
+    if (opt.key == "threads") {
+      cfg.num_threads = parse_int_value(text, opt, 0, 1 << 20);
+    } else if (opt.key == "policy") {
+      cfg.steal_policy = parse_policy_value(text, opt);
+    } else if (opt.key == "stealable") {
+      params.stealable_fraction = parse_double_value(text, opt, 0.0, 1.0);
+    } else if (opt.key == "chunk") {
+      params.remote_steal_chunk = parse_int_value(text, opt, 1, 1 << 20);
+    } else {
+      fail_key(text, opt, spec.name, "threads, policy, stealable, chunk");
+    }
+  }
+  return std::make_unique<ManualScheduler>(cfg, params);
+}
+
+std::unique_ptr<rt::Scheduler> make_fixed_flat(const SchedulerSpec& spec,
+                                               bool work_sharing) {
+  if (!spec.options.empty()) {
+    fail_spec(spec.to_string(), "scheduler '" + spec.name +
+                                    "' accepts no options (key '" +
+                                    spec.options.front().key + "' rejected)");
+  }
+  if (work_sharing) return std::make_unique<WorkSharingScheduler>();
+  return std::make_unique<BaselineWsScheduler>();
+}
+
+std::unique_ptr<rt::Scheduler> make_composed(const SchedulerSpec& spec) {
+  core::IlanParams params = core::params_from_env();
+  std::string config = "ptt-search";
+  std::string dist = "hierarchical";
+  std::string steal = "tiered";
+  std::string feedback = "ptt";
+  rt::LoopConfig fixed_cfg;
+  const std::string text = spec.to_string();
+
+  for (const SpecOption& opt : spec.options) {
+    if (opt.key == "config") {
+      if (opt.value != "ptt-search" && opt.value != "fixed" &&
+          opt.value != "counter-only" && opt.value != "oracle-best") {
+        fail_spec(text, "key 'config': expected "
+                        "ptt-search/fixed/counter-only/oracle-best, got '" +
+                            opt.value + "'");
+      }
+      config = opt.value;
+    } else if (opt.key == "dist") {
+      if (opt.value != "hierarchical" && opt.value != "flat" &&
+          opt.value != "static-block" && opt.value != "health-weighted") {
+        fail_spec(text, "key 'dist': expected "
+                        "hierarchical/flat/static-block/health-weighted, got '" +
+                            opt.value + "'");
+      }
+      dist = opt.value;
+    } else if (opt.key == "steal") {
+      if (opt.value != "tiered" && opt.value != "strict" && opt.value != "full" &&
+          opt.value != "rescue-only" && opt.value != "random" &&
+          opt.value != "none") {
+        fail_spec(text, "key 'steal': expected "
+                        "tiered/strict/full/rescue-only/random/none, got '" +
+                            opt.value + "'");
+      }
+      steal = opt.value;
+    } else if (opt.key == "feedback") {
+      if (opt.value != "ptt" && opt.value != "none") {
+        fail_spec(text, "key 'feedback': expected ptt/none, got '" + opt.value + "'");
+      }
+      feedback = opt.value;
+    } else if (opt.key == "threads") {
+      fixed_cfg.num_threads = parse_int_value(text, opt, 0, 1 << 20);
+    } else if (opt.key == "policy") {
+      fixed_cfg.steal_policy = parse_policy_value(text, opt);
+    } else if (!apply_param_key(text, opt, params)) {
+      fail_key(text, opt, spec.name,
+               "config, dist, steal, feedback, threads, policy + the param keys "
+               "(mold, counter, reactive, objective, granularity, stealable, "
+               "chunk, staleness-factor, staleness-patience, max-reexplorations)");
+    }
+  }
+
+  // counter-only is moldability-by-classification: the counter check is the
+  // whole point of the axis, so it is forced on.
+  if (config == "counter-only") params.counter_guided = true;
+
+  std::unique_ptr<ConfigPolicy> config_policy;
+  if (config == "ptt-search") {
+    config_policy = std::make_unique<PttSearchConfig>();
+  } else if (config == "fixed") {
+    config_policy = std::make_unique<FixedConfig>(fixed_cfg);
+  } else if (config == "counter-only") {
+    config_policy = std::make_unique<CounterOnlyConfig>();
+  } else {
+    config_policy = std::make_unique<OracleBestConfig>();
+  }
+
+  std::unique_ptr<DistributionPolicy> dist_policy;
+  if (dist == "hierarchical") {
+    dist_policy = std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kReactive);
+  } else if (dist == "flat") {
+    dist_policy = std::make_unique<FlatDist>();
+  } else if (dist == "static-block") {
+    dist_policy = std::make_unique<StaticBlockDist>();
+  } else {
+    dist_policy = std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kForced);
+  }
+
+  std::unique_ptr<StealPolicy> steal_policy;
+  if (steal == "tiered") {
+    steal_policy = std::make_unique<TieredSteal>(core::CrossNodeMode::kConfig,
+                                                 TieredSteal::Escalate::kReactive);
+  } else if (steal == "strict") {
+    steal_policy = std::make_unique<TieredSteal>(core::CrossNodeMode::kNever,
+                                                 TieredSteal::Escalate::kNever);
+  } else if (steal == "full") {
+    steal_policy = std::make_unique<TieredSteal>(core::CrossNodeMode::kAlways,
+                                                 TieredSteal::Escalate::kNever);
+  } else if (steal == "rescue-only") {
+    steal_policy = std::make_unique<TieredSteal>(core::CrossNodeMode::kNever,
+                                                 TieredSteal::Escalate::kAlways);
+  } else if (steal == "random") {
+    steal_policy = std::make_unique<RandomSteal>();
+  } else {
+    steal_policy = std::make_unique<NoSteal>();
+  }
+
+  std::unique_ptr<FeedbackPolicy> feedback_policy;
+  if (feedback == "ptt") {
+    feedback_policy = std::make_unique<PttFeedback>();
+  } else {
+    feedback_policy = std::make_unique<NoFeedback>();
+  }
+
+  // Canonical resolved spec: axes first, then the fixed-config block (only
+  // when config=fixed makes it meaningful), then the full param block.
+  std::string resolved = "composed:config=" + config + ",dist=" + dist +
+                         ",steal=" + steal + ",feedback=" + feedback;
+  if (config == "fixed") resolved += "," + canonical_fixed_block(fixed_cfg);
+  resolved += "," + canonical_param_block(params);
+
+  return std::make_unique<ComposedScheduler>(
+      "composed", resolved, params, std::move(config_policy), std::move(dist_policy),
+      std::move(steal_policy), std::move(feedback_policy));
+}
+
+}  // namespace
+
+SchedulerSpec parse_spec(std::string_view text) {
+  SchedulerSpec spec;
+  const auto colon = text.find(':');
+  spec.name = std::string(text.substr(0, colon));
+  if (spec.name.empty()) {
+    throw std::invalid_argument("scheduler spec '" + std::string(text) +
+                                "': empty scheduler name");
+  }
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = text.substr(colon + 1);
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("scheduler spec '" + std::string(text) +
+                                  "': option '" + std::string(item) +
+                                  "' is not key=value");
+    }
+    SpecOption opt;
+    opt.key = std::string(item.substr(0, eq));
+    opt.value = std::string(item.substr(eq + 1));
+    for (const SpecOption& seen : spec.options) {
+      if (seen.key == opt.key) {
+        throw std::invalid_argument("scheduler spec '" + std::string(text) +
+                                    "': duplicate key '" + opt.key + "'");
+      }
+    }
+    spec.options.push_back(std::move(opt));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return spec;
+}
+
+SchedulerRegistry::SchedulerRegistry() {
+  register_scheduler(
+      "ilan", "ILAN: PTT search + hierarchical distribution + tiered stealing",
+      [](const SchedulerSpec& s) { return make_ilan(s, /*default_mold=*/true); });
+  register_scheduler(
+      "ilan-nomold", "ILAN with moldability off (Figure 4; = ilan:mold=off)",
+      [](const SchedulerSpec& s) { return make_ilan(s, /*default_mold=*/false); });
+  register_scheduler(
+      "baseline", "LLVM-style tasking baseline: flat deque + random-victim steals",
+      [](const SchedulerSpec& s) { return make_fixed_flat(s, /*work_sharing=*/false); });
+  register_scheduler(
+      "work-sharing", "omp for schedule(static): static blocks, no stealing",
+      [](const SchedulerSpec& s) { return make_fixed_flat(s, /*work_sharing=*/true); });
+  register_scheduler(
+      "manual", "fixed config on ILAN's distribution/stealing (threads=, policy=)",
+      [](const SchedulerSpec& s) { return make_manual(s); });
+  register_scheduler(
+      "composed", "free composition: config=, dist=, steal=, feedback= + params",
+      [](const SchedulerSpec& s) { return make_composed(s); });
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+void SchedulerRegistry::register_scheduler(std::string name, std::string description,
+                                           Factory factory) {
+  entries_[std::move(name)] = Entry{std::move(description), std::move(factory)};
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration order == sorted
+}
+
+bool SchedulerRegistry::contains(std::string_view name) const {
+  return entries_.find(std::string(name)) != entries_.end();
+}
+
+std::string SchedulerRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string() : it->second.description;
+}
+
+std::unique_ptr<rt::Scheduler> SchedulerRegistry::make(
+    std::string_view spec_text) const {
+  const SchedulerSpec spec = parse_spec(spec_text);
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    fail_spec(spec_text, "unknown scheduler '" + spec.name + "'");
+  }
+  return it->second.factory(spec);
+}
+
+std::string SchedulerRegistry::resolve(std::string_view spec_text) const {
+  return make(spec_text)->introspect().spec;
+}
+
+std::unique_ptr<rt::Scheduler> make_scheduler(std::string_view spec_text) {
+  return SchedulerRegistry::instance().make(spec_text);
+}
+
+std::string resolve_spec(std::string_view spec_text) {
+  return SchedulerRegistry::instance().resolve(spec_text);
+}
+
+}  // namespace ilan::sched

@@ -1,0 +1,86 @@
+// String-keyed scheduler registry and spec parsing.
+//
+// A scheduler spec is `name[:key=value[,key=value...]]` — e.g. "ilan",
+// "ilan:mold=off", "manual:threads=16,policy=full",
+// "composed:config=fixed,dist=flat,steal=full,stealable=0.25". The registry
+// maps the name to a factory; the options are parsed with the same
+// strictness contract as obs/env.hpp: an unknown scheduler name, an unknown
+// key, or a malformed value throws std::invalid_argument naming the
+// offender and listing the registered scheduler names. Every built
+// scheduler reports its fully-resolved spec through
+// rt::Scheduler::introspect(), which is what BENCH json records and what
+// resolve() returns (resolve is idempotent: resolve(resolve(s)) ==
+// resolve(s)).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/scheduler.hpp"
+
+namespace ilan::sched {
+
+struct SpecOption {
+  std::string key;
+  std::string value;
+};
+
+struct SchedulerSpec {
+  std::string name;
+  std::vector<SpecOption> options;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Parses `name[:key=value[,key=value...]]`. Throws std::invalid_argument on
+// an empty name, an option without '=', an empty key, or a duplicate key.
+// Does NOT check the name against the registry — make() does.
+[[nodiscard]] SchedulerSpec parse_spec(std::string_view text);
+
+class SchedulerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<rt::Scheduler>(const SchedulerSpec&)>;
+
+  // The process-wide registry, with the built-in schedulers ("ilan",
+  // "ilan-nomold", "baseline", "work-sharing", "manual", "composed")
+  // pre-registered.
+  static SchedulerRegistry& instance();
+
+  // Registers (or replaces) a named scheduler factory.
+  void register_scheduler(std::string name, std::string description,
+                          Factory factory);
+
+  // Registered names, sorted — the list every spec error embeds and
+  // --list-schedulers prints.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::string description(const std::string& name) const;
+
+  // Parses the spec and builds the scheduler. Throws std::invalid_argument
+  // (unknown name / key / bad value) with the registered names appended.
+  [[nodiscard]] std::unique_ptr<rt::Scheduler> make(std::string_view spec_text) const;
+
+  // The fully-resolved canonical spec `spec_text` denotes: every knob
+  // explicit, fixed key order (== make(spec_text)->introspect().spec).
+  [[nodiscard]] std::string resolve(std::string_view spec_text) const;
+
+ private:
+  SchedulerRegistry();
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// Convenience wrappers over SchedulerRegistry::instance().
+[[nodiscard]] std::unique_ptr<rt::Scheduler> make_scheduler(std::string_view spec_text);
+[[nodiscard]] std::string resolve_spec(std::string_view spec_text);
+
+}  // namespace ilan::sched

@@ -1,0 +1,85 @@
+#include "sched/schedulers.hpp"
+
+#include <cstdio>
+
+namespace ilan::sched {
+
+std::string spec_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string canonical_param_block(const core::IlanParams& params) {
+  std::string s;
+  s += "mold=";
+  s += params.moldability ? "on" : "off";
+  s += ",counter=";
+  s += params.counter_guided ? "on" : "off";
+  s += ",reactive=";
+  s += params.reactive ? "on" : "off";
+  s += ",objective=";
+  s += trace::to_string(params.objective);
+  s += ",granularity=" + std::to_string(params.granularity);
+  s += ",stealable=" + spec_value(params.stealable_fraction);
+  s += ",chunk=" + std::to_string(params.remote_steal_chunk);
+  s += ",staleness-factor=" + spec_value(params.staleness_factor);
+  s += ",staleness-patience=" + std::to_string(params.staleness_patience);
+  s += ",max-reexplorations=" + std::to_string(params.max_reexplorations);
+  return s;
+}
+
+std::string canonical_fixed_block(const rt::LoopConfig& config) {
+  std::string s;
+  s += "threads=" + std::to_string(config.num_threads);
+  s += ",policy=";
+  s += config.steal_policy == rt::StealPolicy::kFull ? "full" : "strict";
+  return s;
+}
+
+IlanScheduler::IlanScheduler(const core::IlanParams& params)
+    : ComposedScheduler(
+          params.moldability ? "ilan" : "ilan-nomold",
+          "ilan:" + canonical_param_block(params), params,
+          std::make_unique<PttSearchConfig>(),
+          std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kReactive),
+          std::make_unique<TieredSteal>(core::CrossNodeMode::kConfig,
+                                        TieredSteal::Escalate::kReactive),
+          std::make_unique<PttFeedback>()) {}
+
+ManualScheduler::ManualScheduler(rt::LoopConfig config, core::IlanParams params)
+    : ComposedScheduler(
+          "ilan-manual",
+          "manual:" + canonical_fixed_block(config) +
+              ",stealable=" + spec_value(params.stealable_fraction) +
+              ",chunk=" + std::to_string(params.remote_steal_chunk),
+          params, std::make_unique<FixedConfig>(config),
+          std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kBlind),
+          std::make_unique<TieredSteal>(core::CrossNodeMode::kConfig,
+                                        TieredSteal::Escalate::kNever),
+          std::make_unique<NoFeedback>()) {}
+
+namespace {
+
+rt::LoopConfig flat_config(rt::StealPolicy policy) {
+  rt::LoopConfig cfg;  // num_threads 0 -> all, empty mask -> all used nodes
+  cfg.steal_policy = policy;
+  return cfg;
+}
+
+}  // namespace
+
+BaselineWsScheduler::BaselineWsScheduler()
+    : ComposedScheduler("baseline-ws", "baseline", {},
+                        std::make_unique<FixedConfig>(flat_config(rt::StealPolicy::kFull)),
+                        std::make_unique<FlatDist>(), std::make_unique<RandomSteal>(),
+                        std::make_unique<NoFeedback>()) {}
+
+WorkSharingScheduler::WorkSharingScheduler()
+    : ComposedScheduler(
+          "work-sharing", "work-sharing", {},
+          std::make_unique<FixedConfig>(flat_config(rt::StealPolicy::kStrict)),
+          std::make_unique<StaticBlockDist>(), std::make_unique<NoSteal>(),
+          std::make_unique<NoFeedback>()) {}
+
+}  // namespace ilan::sched

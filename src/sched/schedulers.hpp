@@ -1,0 +1,88 @@
+// The named schedulers, rebuilt as registered compositions.
+//
+// Pre-refactor, these were four monolithic classes (core::IlanScheduler,
+// core::ManualScheduler, rt::BaselineWsScheduler, rt::WorkSharingScheduler).
+// Now each is a thin facade over ComposedScheduler that wires up the policy
+// set the old class hard-coded — same name(), same public introspection API,
+// bit-identical digests (the sched_equivalence ctest gate) — so existing
+// call sites keep constructing them directly while the registry builds the
+// very same compositions from spec strings.
+#pragma once
+
+#include "sched/composed.hpp"
+#include "sched/policies.hpp"
+
+namespace ilan::sched {
+
+// The ILAN scheduler: interference-aware moldability (PTT + Algorithm 1)
+// composed with locality-aware hierarchical distribution, tiered NUMA-aware
+// stealing, and the PTT feedback loop. Registry names "ilan" /
+// "ilan-nomold" (the latter = moldability off, Figure 4's ablation,
+// spec-equivalent to "ilan:mold=off").
+class IlanScheduler : public ComposedScheduler {
+ public:
+  explicit IlanScheduler(const core::IlanParams& params = {});
+
+  // --- introspection (tests, examples, harnesses) -------------------------
+  [[nodiscard]] const core::PerfTraceTable& ptt() const { return state().ptt; }
+  [[nodiscard]] const core::IlanParams& params() const { return state().params; }
+  [[nodiscard]] int executions(rt::LoopId loop) const {
+    return state().executions(loop);
+  }
+  [[nodiscard]] bool search_finished(rt::LoopId loop) const {
+    return state().search_finished(loop);
+  }
+  // True when counter-guided selection classified the loop compute-bound
+  // and skipped the thread search.
+  [[nodiscard]] bool counter_locked(rt::LoopId loop) const {
+    return state().counter_locked(loop);
+  }
+  // Re-exploration windows triggered by PTT staleness (graceful
+  // degradation under dynamic interference), per loop and in total.
+  [[nodiscard]] int reexplorations(rt::LoopId loop) const {
+    return state().reexplorations(loop);
+  }
+  [[nodiscard]] int total_reexplorations() const {
+    return state().total_reexplorations;
+  }
+};
+
+// ILAN's hierarchical distribution and NUMA-aware stealing with a FIXED,
+// user-chosen configuration (no PTT, no exploration, health-blind).
+// `config.num_threads <= 0` means all; an empty mask means "first
+// ceil(threads/node_size) nodes". Registry name "manual".
+class ManualScheduler : public ComposedScheduler {
+ public:
+  explicit ManualScheduler(rt::LoopConfig config, core::IlanParams params = {});
+};
+
+// The paper's baseline: the default LLVM OpenMP tasking scheduler.
+// Topology-agnostic flat distribution + random-victim stealing. Registry
+// name "baseline".
+class BaselineWsScheduler : public ComposedScheduler {
+ public:
+  BaselineWsScheduler();
+};
+
+// The OpenMP work-sharing comparator (Figure 6): `omp for schedule(static)`
+// — static contiguous blocks, no task creation overhead, no stealing.
+// Registry name "work-sharing".
+class WorkSharingScheduler : public ComposedScheduler {
+ public:
+  WorkSharingScheduler();
+};
+
+// --- canonical spec formatting ------------------------------------------
+// Shared by the facades and the registry so resolve() is idempotent: every
+// knob appears exactly once, in a fixed order, with %g double formatting.
+
+// "mold=on,counter=off,...,max-reexplorations=4" — the IlanParams block.
+[[nodiscard]] std::string canonical_param_block(const core::IlanParams& params);
+
+// "threads=N,policy=strict|full" — the fixed-configuration block.
+[[nodiscard]] std::string canonical_fixed_block(const rt::LoopConfig& config);
+
+// Canonical %g formatting for spec double values.
+[[nodiscard]] std::string spec_value(double v);
+
+}  // namespace ilan::sched

@@ -9,8 +9,7 @@
 #include "analysis/determinism.hpp"
 #include "analysis/race_auditor.hpp"
 #include "analysis/vector_clock.hpp"
-#include "core/ilan_scheduler.hpp"
-#include "core/manual_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "rt/team.hpp"
 #include "rt/worker.hpp"
 #include "sim/event_tags.hpp"
@@ -98,7 +97,7 @@ TEST(RaceAuditorClean, DisjointSlicesProduceNoReports) {
   rt::Machine machine(tiny_params(1));
   const auto region =
       machine.regions().create("r", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);
@@ -125,7 +124,7 @@ TEST(RaceAuditorClean, SharedReadsAreNotRaces) {
   rt::Machine machine(tiny_params(2));
   const auto region =
       machine.regions().create("ro", 1 << 20, mem::Placement::kInterleave);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);
@@ -149,7 +148,7 @@ TEST(RaceAuditorClean, AmplifiedTrafficWithDisjointFootprintsIsClean) {
   rt::Machine machine(tiny_params(3));
   const auto region =
       machine.regions().create("amp", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);
@@ -174,7 +173,7 @@ TEST(RaceAuditorInjection, OverlappingWritesAreFlagged) {
   rt::Machine machine(tiny_params(4));
   const auto region =
       machine.regions().create("hot", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);
@@ -200,7 +199,7 @@ TEST(RaceAuditorInjection, WriteReadOverlapIsFlagged) {
   rt::Machine machine(tiny_params(5));
   const auto region =
       machine.regions().create("wr", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);
@@ -227,7 +226,7 @@ TEST(RaceAuditorInjection, ReportCapIsHonoured) {
   rt::Machine machine(tiny_params(6));
   const auto region =
       machine.regions().create("cap", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditorOptions opts;
   opts.max_reports = 2;
@@ -271,7 +270,7 @@ class InvariantInjection : public ::testing::Test {
   }
 
   rt::Machine machine_;
-  core::ManualScheduler sched_;
+  sched::ManualScheduler sched_;
   rt::Team team_;
   RaceAuditor auditor_;
 };
@@ -431,7 +430,7 @@ TEST(NodeMaskEdges, EmptyMaskInConfigMeansUnconstrained) {
   // The auditor treats an empty mask as "no constraint": no report even
   // though test() is false for every node.
   rt::Machine machine(tiny_params(8));
-  core::ManualScheduler sched(rt::LoopConfig{});
+  sched::ManualScheduler sched(rt::LoopConfig{});
   rt::Team team(machine, sched);
   RaceAuditor auditor;
   auto spec = compute_spec(1, 16);
@@ -454,7 +453,7 @@ TEST(StealPolicyEdges, StrictManualRunIsAuditCleanWithNoRemoteSteals) {
   cfg.num_threads = 8;
   cfg.node_mask = rt::NodeMask::all(2);
   cfg.steal_policy = rt::StealPolicy::kStrict;
-  core::ManualScheduler sched(cfg);
+  sched::ManualScheduler sched(cfg);
   rt::Team team(machine, sched);
   RaceAuditor auditor;
   team.set_observer(&auditor);
@@ -469,7 +468,7 @@ TEST(StealPolicyEdges, FullManualRunIsAuditClean) {
   cfg.num_threads = 8;
   cfg.node_mask = rt::NodeMask::all(2);
   cfg.steal_policy = rt::StealPolicy::kFull;
-  core::ManualScheduler sched(cfg);
+  sched::ManualScheduler sched(cfg);
   rt::Team team(machine, sched);
   RaceAuditor auditor;
   team.set_observer(&auditor);
@@ -483,7 +482,7 @@ TEST(StealPolicyEdges, SingleNodeMaskConfinesExecution) {
   cfg.num_threads = 4;
   cfg.node_mask = rt::NodeMask::first_n(1);
   cfg.steal_policy = rt::StealPolicy::kStrict;
-  core::ManualScheduler sched(cfg);
+  sched::ManualScheduler sched(cfg);
   rt::Team team(machine, sched);
   RaceAuditor auditor;
   team.set_observer(&auditor);
@@ -499,7 +498,7 @@ TEST(RaceAuditorState, ClearResets) {
   rt::Machine machine(tiny_params(12));
   const auto region =
       machine.regions().create("c", 1 << 20, mem::Placement::kBlock);
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   RaceAuditor auditor(RaceAuditorOptions{}, &machine.regions());
   team.set_observer(&auditor);

@@ -6,8 +6,7 @@
 
 #include "core/config_selector.hpp"
 #include "core/distributor.hpp"
-#include "core/ilan_scheduler.hpp"
-#include "core/manual_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "core/node_mask.hpp"
 #include "core/steal_policy.hpp"
 #include "rt/team.hpp"
@@ -308,7 +307,7 @@ rt::MachineParams tiny_params(std::uint64_t seed) {
 
 TEST(Distributor, BlockMapsToNodePrimariesWithStrictHead) {
   rt::Machine machine(tiny_params(1));
-  core::IlanScheduler sched;  // any scheduler; we call the free function
+  sched::IlanScheduler sched;  // any scheduler; we call the free function
   rt::Team team(machine, sched);
 
   rt::TaskloopSpec spec;
@@ -353,7 +352,7 @@ TEST(Distributor, BlockMapsToNodePrimariesWithStrictHead) {
 
 TEST(Distributor, StrictPolicyMarksEverythingStrict) {
   rt::Machine machine(tiny_params(2));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   rt::TaskloopSpec spec;
   spec.loop_id = 5;
@@ -376,7 +375,7 @@ TEST(Distributor, StrictPolicyMarksEverythingStrict) {
 
 TEST(IlanScheduler, ExploresThenLocksOnTinyMachine) {
   rt::Machine machine(tiny_params(3));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
 
   rt::TaskloopSpec spec;
@@ -400,7 +399,7 @@ TEST(IlanScheduler, ExploresThenLocksOnTinyMachine) {
 
 TEST(IlanScheduler, EveryIterationRunsExactlyOnceDuringExploration) {
   rt::Machine machine(tiny_params(4));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   rt::TaskloopSpec spec;
@@ -422,7 +421,7 @@ TEST(IlanScheduler, NoMoldabilityKeepsAllThreads) {
   rt::Machine machine(tiny_params(5));
   core::IlanParams params;
   params.moldability = false;
-  core::IlanScheduler sched(params);
+  sched::IlanScheduler sched(params);
   rt::Team team(machine, sched);
   rt::TaskloopSpec spec;
   spec.loop_id = 2;
@@ -442,10 +441,10 @@ TEST(IlanScheduler, NoMoldabilityKeepsAllThreads) {
 TEST(IlanScheduler, ValidatesParams) {
   core::IlanParams p;
   p.stealable_fraction = 1.5;
-  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+  EXPECT_THROW(sched::IlanScheduler{p}, std::invalid_argument);
   p = {};
   p.granularity = -2;
-  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+  EXPECT_THROW(sched::IlanScheduler{p}, std::invalid_argument);
 }
 
 TEST(ManualScheduler, PinsTheRequestedConfig) {
@@ -453,7 +452,7 @@ TEST(ManualScheduler, PinsTheRequestedConfig) {
   rt::LoopConfig cfg;
   cfg.num_threads = 4;
   cfg.steal_policy = rt::StealPolicy::kStrict;
-  core::ManualScheduler sched(cfg);
+  sched::ManualScheduler sched(cfg);
   rt::Team team(machine, sched);
   rt::TaskloopSpec spec;
   spec.loop_id = 1;

@@ -2,8 +2,7 @@
 // chunked remote stealing, Chrome-trace export.
 #include <gtest/gtest.h>
 
-#include "core/ilan_scheduler.hpp"
-#include "core/manual_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
@@ -84,7 +83,7 @@ TEST(CounterGuided, LocksComputeBoundLoopAfterOneExecution) {
   rt::Machine machine(tiny_params(1));
   core::IlanParams p;
   p.counter_guided = true;
-  core::IlanScheduler sched(p);
+  sched::IlanScheduler sched(p);
   rt::Team team(machine, sched);
 
   rt::TaskloopSpec loop;
@@ -108,7 +107,7 @@ TEST(CounterGuided, MemoryBoundLoopStillExplores) {
   const auto r = machine.regions().create("u", 1u << 30, mem::Placement::kBlock);
   core::IlanParams p;
   p.counter_guided = true;
-  core::IlanScheduler sched(p);
+  sched::IlanScheduler sched(p);
   rt::Team team(machine, sched);
 
   rt::TaskloopSpec loop;
@@ -143,7 +142,7 @@ TEST(ChunkedSteal, AmortizesRemoteStealRoundTrips) {
     core::IlanParams p;
     p.stealable_fraction = 1.0;
     p.remote_steal_chunk = chunk;
-    core::ManualScheduler sched(cfg, p);
+    sched::ManualScheduler sched(cfg, p);
     rt::Team team(machine, sched);
     rt::TaskloopSpec spec;
     spec.loop_id = 1;
@@ -170,7 +169,7 @@ TEST(ChunkedSteal, AmortizesRemoteStealRoundTrips) {
 TEST(ChunkedSteal, ValidatesParameter) {
   core::IlanParams p;
   p.remote_steal_chunk = 0;
-  EXPECT_THROW(core::IlanScheduler{p}, std::invalid_argument);
+  EXPECT_THROW(sched::IlanScheduler{p}, std::invalid_argument);
 }
 
 TEST(ChromeTrace, WritesWellFormedJson) {
@@ -195,7 +194,7 @@ TEST(ChromeTrace, WritesWellFormedJson) {
 
 TEST(ChromeTrace, TeamRecordsTasksAndMarkers) {
   rt::Machine machine(tiny_params(4));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   trace::ChromeTraceWriter tracer;
   team.set_tracer(&tracer);

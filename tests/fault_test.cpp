@@ -9,7 +9,7 @@
 #include <string>
 
 #include "core/distributor.hpp"
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "core/node_mask.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
@@ -219,7 +219,7 @@ TEST(FaultInjector, DegradedTargetsListsFaultedNodesOnce) {
 
 TEST(Watchdog, TightDeadlineThrowsStructuredTimeout) {
   rt::Machine machine(tiny_params(1));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   team.set_deadline(sim::from_seconds(1e-9));
   bool threw = false;
@@ -238,7 +238,7 @@ TEST(Watchdog, GenerousDeadlineDoesNotPerturbTheRun) {
   auto digest_with_deadline = [](sim::SimTime deadline) {
     rt::Machine machine(tiny_params(9));
     machine.engine().set_digest_enabled(true);
-    core::IlanScheduler sched;
+    sched::IlanScheduler sched;
     rt::Team team(machine, sched);
     if (deadline > 0) team.set_deadline(deadline);
     for (int i = 0; i < 4; ++i) team.run_taskloop(cpu_loop(1, 128, 1e5));
@@ -287,7 +287,7 @@ TEST(NodeMaskHealth, DemotesUnhealthySeedAndFillsHealthyFirst) {
 
 TEST(Distributor, HealthWeightingShiftsBlocksAwayFromUnhealthyNodes) {
   rt::Machine machine(tiny_params(1));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
 
   rt::TaskloopSpec spec = cpu_loop(5, 160, 0.0);
@@ -334,7 +334,7 @@ TEST(Distributor, HealthWeightingShiftsBlocksAwayFromUnhealthyNodes) {
 
 TEST(Escalation, RescueStealsDrainAStrictDegradedNode) {
   rt::Machine machine(tiny_params(3));
-  core::IlanScheduler sched;  // reactive by default
+  sched::IlanScheduler sched;  // reactive by default
   rt::Team team(machine, sched);
 
   // Node 0 is degraded and crawling at 5% frequency; the distributor still
@@ -351,7 +351,7 @@ TEST(Escalation, RescueStealsDrainAStrictDegradedNode) {
 
 TEST(Escalation, AllHealthyNeverEscalates) {
   rt::Machine machine(tiny_params(3));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   for (int i = 0; i < 6; ++i) team.run_taskloop(cpu_loop(7, 256, 5e5));
   EXPECT_EQ(team.total_escalated_steals(), 0);
@@ -363,7 +363,7 @@ TEST(Reexploration, PersistentSlowdownReopensTheSearch) {
   rt::Machine machine(tiny_params(11));
   core::IlanParams params;
   params.staleness_patience = 2;
-  core::IlanScheduler sched(params);
+  sched::IlanScheduler sched(params);
   rt::Team team(machine, sched);
 
   const auto spec = cpu_loop(77, 256, 2e5);
@@ -406,7 +406,7 @@ TEST(Reexploration, NonReactiveSchedulerNeverReopens) {
   rt::Machine machine(tiny_params(11));
   core::IlanParams params;
   params.reactive = false;
-  core::IlanScheduler sched(params);
+  sched::IlanScheduler sched(params);
   rt::Team team(machine, sched);
   const auto spec = cpu_loop(77, 256, 2e5);
   for (int i = 0; i < 8; ++i) team.run_taskloop(spec);
@@ -426,7 +426,7 @@ TEST(FaultDeterminism, InjectedRunsAreBitReproducible) {
   auto digest = [](const char* spec_text) {
     rt::Machine machine(tiny_params(21));
     machine.engine().set_digest_enabled(true);
-    core::IlanScheduler sched;
+    sched::IlanScheduler sched;
     rt::Team team(machine, sched);
     std::unique_ptr<fault::FaultInjector> injector;
     if (spec_text != nullptr) {

@@ -46,12 +46,12 @@ TEST(Harness, ParallelRunManyMatchesSequentialBitForBit) {
   const auto opts = small_opts();
 
   setenv("ILAN_BENCH_JOBS", "1", 1);
-  const auto seq = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  const auto seq = bench::run_many("cg", "ilan", 4, 7, opts);
   setenv("ILAN_BENCH_JOBS", "4", 1);
-  const auto par = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  const auto par = bench::run_many("cg", "ilan", 4, 7, opts);
   // More workers than runs must also be harmless.
   setenv("ILAN_BENCH_JOBS", "16", 1);
-  const auto over = bench::run_many("cg", bench::SchedKind::kIlan, 4, 7, opts);
+  const auto over = bench::run_many("cg", "ilan", 4, 7, opts);
   unsetenv("ILAN_BENCH_JOBS");
 
   expect_bit_identical(seq, par);
@@ -62,14 +62,14 @@ TEST(Harness, RunManySeedsFollowRunIndex) {
   setenv("ILAN_BENCH_JSON", "0", 1);
   const auto opts = small_opts();
   setenv("ILAN_BENCH_JOBS", "2", 1);
-  const auto s = bench::run_many("ft", bench::SchedKind::kBaseline, 3, 42, opts);
+  const auto s = bench::run_many("ft", "baseline", 3, 42, opts);
   unsetenv("ILAN_BENCH_JOBS");
   ASSERT_EQ(s.runs.size(), 3u);
   // runs[i] must be the run for seed 42 + 1000*(i+1), independent of which
   // worker executed it.
   for (std::size_t i = 0; i < s.runs.size(); ++i) {
     const auto solo =
-        bench::run_once("ft", bench::SchedKind::kBaseline, 42 + 1000ull * (i + 1), opts);
+        bench::run_once("ft", "baseline", 42 + 1000ull * (i + 1), opts);
     EXPECT_EQ(s.runs[i].total_s, solo.total_s) << "run " << i;
     EXPECT_EQ(s.runs[i].final_configs, solo.final_configs) << "run " << i;
   }
@@ -78,7 +78,7 @@ TEST(Harness, RunManySeedsFollowRunIndex) {
 TEST(Harness, SeriesAggregatesCoverAllRuns) {
   setenv("ILAN_BENCH_JSON", "0", 1);
   const auto opts = small_opts();
-  const auto s = bench::run_many("ft", bench::SchedKind::kBaseline, 2, 9, opts);
+  const auto s = bench::run_many("ft", "baseline", 2, 9, opts);
   EXPECT_GT(s.host_s, 0.0);
   EXPECT_EQ(s.total_events_fired(), s.runs[0].events_fired + s.runs[1].events_fired);
   const auto t = s.solver_totals();
@@ -94,9 +94,9 @@ TEST(Harness, FaultedRunsAreBitIdenticalAcrossJobs) {
   setenv("ILAN_FAULTS", "storm", 1);
   const auto opts = small_opts();
   setenv("ILAN_BENCH_JOBS", "1", 1);
-  const auto seq = bench::run_many("cg", bench::SchedKind::kIlan, 3, 7, opts);
+  const auto seq = bench::run_many("cg", "ilan", 3, 7, opts);
   setenv("ILAN_BENCH_JOBS", "4", 1);
-  const auto par = bench::run_many("cg", bench::SchedKind::kIlan, 3, 7, opts);
+  const auto par = bench::run_many("cg", "ilan", 3, 7, opts);
   unsetenv("ILAN_BENCH_JOBS");
   unsetenv("ILAN_FAULTS");
   expect_bit_identical(seq, par);
@@ -109,7 +109,7 @@ TEST(Harness, FaultedRunsAreBitIdenticalAcrossJobs) {
 TEST(Harness, WatchdogFailuresAreQuarantinedNotThrown) {
   setenv("ILAN_BENCH_JSON", "0", 1);
   setenv("ILAN_WATCHDOG", "0.000000001", 1);
-  const auto s = bench::run_many("cg", bench::SchedKind::kIlan, 2, 7, small_opts());
+  const auto s = bench::run_many("cg", "ilan", 2, 7, small_opts());
   unsetenv("ILAN_WATCHDOG");
   ASSERT_EQ(s.runs.size(), 2u);
   for (const auto& r : s.runs) {
@@ -128,7 +128,7 @@ TEST(Harness, ErrorRunsAreRetriedThenQuarantinedInPlace) {
   setenv("ILAN_BENCH_JSON", "0", 1);
   setenv("ILAN_BENCH_RETRIES", "2", 1);
   const auto s =
-      bench::run_many("no-such-kernel", bench::SchedKind::kIlan, 2, 7, small_opts());
+      bench::run_many("no-such-kernel", "ilan", 2, 7, small_opts());
   unsetenv("ILAN_BENCH_RETRIES");
   ASSERT_EQ(s.runs.size(), 2u);
   for (const auto& r : s.runs) {

@@ -30,6 +30,8 @@ TEST(LintScope, OnlySimCoreRtMemFaultArePoliced) {
   EXPECT_TRUE(in_scope("src/mem/flow_network.cpp"));
   EXPECT_TRUE(in_scope("src/fault/injector.cpp"));
   EXPECT_TRUE(in_scope("src/fault/fault_plan.hpp"));
+  EXPECT_TRUE(in_scope("src/sched/policies.cpp"));
+  EXPECT_TRUE(in_scope("src/sched/registry.hpp"));
   EXPECT_TRUE(in_scope("/abs/path/src/rt/team.cpp"));
   EXPECT_FALSE(in_scope("src/trace/stats.cpp"));
   EXPECT_FALSE(in_scope("bench/harness.cpp"));

@@ -2,11 +2,9 @@
 // down for test speed) reproducing the paper's qualitative claims.
 #include <gtest/gtest.h>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
-#include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
-#include "rt/work_sharing_scheduler.hpp"
 #include "topo/presets.hpp"
 
 namespace {
@@ -41,8 +39,8 @@ TEST(Integration, IlanBeatsBaselineOnMemoryBoundKernels) {
   // amortizes as in the paper's methodology (FT ran 200 iterations there
   // for exactly this reason).
   for (const auto& k : {"sp", "cg", "ft", "bt", "lu", "lulesh"}) {
-    rt::BaselineWsScheduler base;
-    core::IlanScheduler ilan_s;
+    sched::BaselineWsScheduler base;
+    sched::IlanScheduler ilan_s;
     const double tb = run_kernel(k, base, 11, 60);
     const double ti = run_kernel(k, ilan_s, 11, 60);
     EXPECT_LT(ti, tb) << k;
@@ -50,8 +48,8 @@ TEST(Integration, IlanBeatsBaselineOnMemoryBoundKernels) {
 }
 
 TEST(Integration, MatmulRegressionStaysSmall) {
-  rt::BaselineWsScheduler base;
-  core::IlanScheduler ilan_s;
+  sched::BaselineWsScheduler base;
+  sched::IlanScheduler ilan_s;
   const double tb = run_kernel("matmul", base, 12, 40);
   const double ti = run_kernel("matmul", ilan_s, 12, 40);
   // The paper reports a slight loss; ours must stay within ~6%.
@@ -62,7 +60,7 @@ TEST(Integration, MatmulRegressionStaysSmall) {
 TEST(Integration, MoldabilityReducesThreadsForIrregularKernels) {
   for (const auto& k : {"cg", "sp"}) {
     rt::Machine machine(paper_params(13));
-    core::IlanScheduler sched;
+    sched::IlanScheduler sched;
     rt::Team team(machine, sched);
     kernels::KernelOptions opts;
     opts.timesteps = 40;
@@ -75,7 +73,7 @@ TEST(Integration, MoldabilityReducesThreadsForIrregularKernels) {
 TEST(Integration, ComputeBoundKernelsKeepTheMachine) {
   for (const auto& k : {"matmul", "bt", "ft"}) {
     rt::Machine machine(paper_params(14));
-    core::IlanScheduler sched;
+    sched::IlanScheduler sched;
     rt::Team team(machine, sched);
     kernels::KernelOptions opts;
     opts.timesteps = 30;
@@ -90,26 +88,26 @@ TEST(Integration, ComputeBoundKernelsKeepTheMachine) {
 TEST(Integration, MoldabilityIsWhatHelpsCg) {
   // Figure 4's key contrast: full ILAN clearly above ILAN-without-
   // moldability on CG.
-  core::IlanScheduler full;
+  sched::IlanScheduler full;
   core::IlanParams nm;
   nm.moldability = false;
-  core::IlanScheduler nomold(nm);
+  sched::IlanScheduler nomold(nm);
   const double tf = run_kernel("cg", full, 15, 40);
   const double tn = run_kernel("cg", nomold, 15, 40);
   EXPECT_LT(tf, tn * 0.9);
 }
 
 TEST(Integration, WorkSharingWinsOnBalancedFt) {
-  rt::WorkSharingScheduler ws;
-  core::IlanScheduler ilan_s;
+  sched::WorkSharingScheduler ws;
+  sched::IlanScheduler ilan_s;
   const double tw = run_kernel("ft", ws, 16, 30);
   const double ti = run_kernel("ft", ilan_s, 16, 30);
   EXPECT_LT(tw, ti * 1.02);  // work-sharing at least matches ILAN on FT
 }
 
 TEST(Integration, TaskingBeatsWorkSharingOnImbalancedCg) {
-  rt::WorkSharingScheduler ws;
-  core::IlanScheduler ilan_s;
+  sched::WorkSharingScheduler ws;
+  sched::IlanScheduler ilan_s;
   const double tw = run_kernel("cg", ws, 17, 40);
   const double ti = run_kernel("cg", ilan_s, 17, 40);
   EXPECT_LT(ti, tw);
@@ -126,15 +124,15 @@ TEST(Integration, IlanImprovesTrafficLocality) {
     const auto& t = machine.memory().traffic();
     return t.remote_bytes / t.total();
   };
-  rt::BaselineWsScheduler base;
-  core::IlanScheduler ilan_s;
+  sched::BaselineWsScheduler base;
+  sched::IlanScheduler ilan_s;
   EXPECT_LT(remote_frac(ilan_s), remote_frac(base) * 0.5);
 }
 
 TEST(Integration, FullProgramIsDeterministicPerSeed) {
   const auto run = [](std::uint64_t seed) {
     rt::Machine machine(paper_params(seed, /*noise=*/true));
-    core::IlanScheduler sched;
+    sched::IlanScheduler sched;
     rt::Team team(machine, sched);
     kernels::KernelOptions opts;
     opts.timesteps = 6;
@@ -148,7 +146,7 @@ TEST(Integration, FullProgramIsDeterministicPerSeed) {
 
 TEST(Integration, StealPolicyGetsEvaluatedExactlyOnce) {
   rt::Machine machine(paper_params(19));
-  core::IlanScheduler sched;
+  sched::IlanScheduler sched;
   rt::Team team(machine, sched);
   kernels::KernelOptions opts;
   opts.timesteps = 30;
@@ -171,8 +169,8 @@ TEST(Integration, StealPolicyGetsEvaluatedExactlyOnce) {
 TEST(Integration, OverheadScalesWithScheduler) {
   rt::Machine m1(paper_params(20));
   rt::Machine m2(paper_params(20));
-  rt::BaselineWsScheduler base;
-  rt::WorkSharingScheduler ws;
+  sched::BaselineWsScheduler base;
+  sched::WorkSharingScheduler ws;
   rt::Team t1(m1, base);
   rt::Team t2(m2, ws);
   kernels::KernelOptions opts;

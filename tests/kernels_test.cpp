@@ -2,7 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "kernels/kernels.hpp"
-#include "rt/baseline_ws_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "rt/team.hpp"
 #include "topo/presets.hpp"
 
@@ -77,7 +77,7 @@ TEST_P(KernelStructure, StreamSlicesStayInsideRegions) {
 
 TEST_P(KernelStructure, RunsQuicklyUnderBaseline) {
   rt::Machine machine(tiny_params(5));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   kernels::KernelOptions opts;
   opts.timesteps = 2;

@@ -5,9 +5,8 @@
 #include <map>
 #include <mutex>
 
-#include "rt/baseline_ws_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "rt/team.hpp"
-#include "rt/work_sharing_scheduler.hpp"
 #include "topo/presets.hpp"
 
 namespace {
@@ -140,7 +139,7 @@ TaskloopSpec counting_loop(rt::LoopId id, std::int64_t iters,
 
 TEST(Team, BaselineExecutesEveryIterationExactlyOnce) {
   rt::Machine machine(tiny_params(1));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   const auto spec = counting_loop(1, 333, seen);
@@ -153,7 +152,7 @@ TEST(Team, BaselineExecutesEveryIterationExactlyOnce) {
 
 TEST(Team, WorkSharingNeverSteals) {
   rt::Machine machine(tiny_params(2));
-  rt::WorkSharingScheduler sched;
+  sched::WorkSharingScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   const auto& stats = team.run_taskloop(counting_loop(1, 256, seen));
@@ -164,7 +163,7 @@ TEST(Team, WorkSharingNeverSteals) {
 
 TEST(Team, BaselineStealsPlenty) {
   rt::Machine machine(tiny_params(3));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   const auto& stats = team.run_taskloop(counting_loop(1, 256, seen));
@@ -174,7 +173,7 @@ TEST(Team, BaselineStealsPlenty) {
 
 TEST(Team, BusyTimeIsAccounted) {
   rt::Machine machine(tiny_params(4));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   const auto& stats = team.run_taskloop(counting_loop(1, 512, seen));
@@ -189,7 +188,7 @@ TEST(Team, BusyTimeIsAccounted) {
 
 TEST(Team, HistoryAccumulatesAcrossLoops) {
   rt::Machine machine(tiny_params(5));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   team.run_taskloop(counting_loop(1, 64, seen));
@@ -201,7 +200,7 @@ TEST(Team, HistoryAccumulatesAcrossLoops) {
 
 TEST(Team, SerialComputeAdvancesTime) {
   rt::Machine machine(tiny_params(6));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   const auto before = team.now();
   team.serial_compute(3e9);  // 1 second at 3 GHz
@@ -210,7 +209,7 @@ TEST(Team, SerialComputeAdvancesTime) {
 
 TEST(Team, RejectsDegenerateLoops) {
   rt::Machine machine(tiny_params(7));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   TaskloopSpec no_demand;
   no_demand.loop_id = 1;
@@ -225,7 +224,7 @@ TEST(Team, RejectsDegenerateLoops) {
 TEST(Team, DeterministicForEqualSeeds) {
   const auto run = [](std::uint64_t seed) {
     rt::Machine machine(tiny_params(seed));
-    rt::BaselineWsScheduler sched;
+    sched::BaselineWsScheduler sched;
     rt::Team team(machine, sched);
     auto seen = std::make_shared<std::map<std::int64_t, int>>();
     team.run_taskloop(counting_loop(1, 512, seen));
@@ -239,7 +238,7 @@ TEST(Team, DifferentSeedsDifferUnderNoise) {
     auto p = tiny_params(seed);
     p.noise.enabled = true;
     rt::Machine machine(p);
-    rt::BaselineWsScheduler sched;
+    sched::BaselineWsScheduler sched;
     rt::Team team(machine, sched);
     auto seen = std::make_shared<std::map<std::int64_t, int>>();
     team.run_taskloop(counting_loop(1, 512, seen));
@@ -250,7 +249,7 @@ TEST(Team, DifferentSeedsDifferUnderNoise) {
 
 TEST(Team, OverheadTrackerSeesActivity) {
   rt::Machine machine(tiny_params(8));
-  rt::BaselineWsScheduler sched;
+  sched::BaselineWsScheduler sched;
   rt::Team team(machine, sched);
   auto seen = std::make_shared<std::map<std::int64_t, int>>();
   team.run_taskloop(counting_loop(1, 128, seen));

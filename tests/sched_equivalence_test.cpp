@@ -1,0 +1,153 @@
+// The digest-equivalence gate for the composable-scheduler refactor: every
+// registry-built scheduler must reproduce the pre-refactor monolithic
+// classes bit-for-bit. The golden table below was captured on the last
+// commit before the refactor (run_once, paper machine, seed 42, 3
+// timesteps, ILAN_METRICS=1) — both the event digest (every committed
+// simulation event, including the overhead cost-model charges) and the
+// metrics digest (the full observability registry). Equal digests <=>
+// bit-identical simulations, so a pass here proves the policy decomposition
+// changed nothing observable.
+//
+// If a deliberate behaviour change ever invalidates this table, recapture
+// it with the snippet in the comment at the bottom and say so loudly in the
+// commit message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "harness.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/env.hpp"
+#include "rt/team.hpp"
+#include "sched/registry.hpp"
+#include "sched/schedulers.hpp"
+
+namespace {
+
+using namespace ilan;
+
+struct Golden {
+  const char* kernel;
+  const char* spec;
+  std::uint64_t event_digest;
+  std::uint64_t metrics_digest;
+};
+
+// Captured pre-refactor (see the recapture recipe at the bottom).
+constexpr Golden kGolden[] = {
+    {"ft", "baseline", 0x352f2e1598c4d673ull, 0xae27d78bf40cfdd9ull},
+    {"ft", "work-sharing", 0x57dfe0b38edc8da2ull, 0xdace7d837e5c4388ull},
+    {"ft", "ilan", 0x77267bca4f464839ull, 0xa63e235896b6fbffull},
+    {"ft", "ilan-nomold", 0xac926d34b9cdaf29ull, 0xeb321339a7fa402full},
+    {"bt", "baseline", 0x8623cc7d3cf0a422ull, 0x32b790932fe27c1aull},
+    {"bt", "work-sharing", 0x8f75f76abf1be48dull, 0x8886ceb4f6e745daull},
+    {"bt", "ilan", 0x0a61d49051a204deull, 0x56717950f43185b7ull},
+    {"bt", "ilan-nomold", 0xeca86cda89c9123dull, 0x9358216b1dc4f7c7ull},
+    {"cg", "baseline", 0xb5269114d03643c8ull, 0x75dbf8b88922f3fdull},
+    {"cg", "work-sharing", 0x019073fde28ab125ull, 0x31188fdc29d354f4ull},
+    {"cg", "ilan", 0xf59a52a6ed87614eull, 0x4630fb2fc112695dull},
+    {"cg", "ilan-nomold", 0x27ea69d1e4a8ee8eull, 0xe794087a98915114ull},
+    {"lu", "baseline", 0x78bf556442e9636full, 0x2a0c39634eb8f260ull},
+    {"lu", "work-sharing", 0x971bd480789c0e02ull, 0x20c8adc53201d6e6ull},
+    {"lu", "ilan", 0x2e5e7338383939f4ull, 0x5064eb263cc5fa17ull},
+    {"lu", "ilan-nomold", 0x60fd46aa7f068719ull, 0xe128d3b1bd2a1ed2ull},
+    {"sp", "baseline", 0x02f5f0b5c81def7bull, 0x2d9902c3c7ae52ddull},
+    {"sp", "work-sharing", 0x01f467aeeca95dafull, 0x866cd76570de1cc8ull},
+    {"sp", "ilan", 0xb7efc125ce352ce8ull, 0x6ffc9700add93df5ull},
+    {"sp", "ilan-nomold", 0x5674fed27a691c96ull, 0x17935fc3dff6bee4ull},
+    {"matmul", "baseline", 0xf612162ea65c9a5full, 0x9e6393350cabee46ull},
+    {"matmul", "work-sharing", 0x1621402ca73cfd2dull, 0x5f7b7ed51d929bc1ull},
+    {"matmul", "ilan", 0x878bc2a68e9e3657ull, 0x26c0a4a1369319b3ull},
+    {"matmul", "ilan-nomold", 0x6c965d60f7cbf4f2ull, 0x93e4d987452f199bull},
+    {"lulesh", "baseline", 0x4149864b36fe00d1ull, 0xfcfacd03b04e17afull},
+    {"lulesh", "work-sharing", 0x362d5f59d2decfd5ull, 0xe2d5bba532f95473ull},
+    {"lulesh", "ilan", 0x141d2132e152c13eull, 0x9fa3152c46330456ull},
+    {"lulesh", "ilan-nomold", 0x2ad2b7473eb6f2efull, 0x2d510e9acb33b5c6ull},
+};
+
+kernels::KernelOptions golden_opts() {
+  kernels::KernelOptions opts;
+  opts.timesteps = 3;
+  return opts;
+}
+
+TEST(SchedEquivalence, RegistrySchedulersReproducePreRefactorDigests) {
+  const obs::ScopedEnv metrics_env("ILAN_METRICS", "1");
+  const obs::ScopedEnv json_env("ILAN_BENCH_JSON", "0");
+  for (const Golden& g : kGolden) {
+    const auto r = bench::run_once(g.kernel, g.spec, /*seed=*/42, golden_opts());
+    ASSERT_TRUE(r.ok()) << g.kernel << " / " << g.spec << ": " << r.error;
+    EXPECT_EQ(r.event_digest, g.event_digest) << g.kernel << " / " << g.spec;
+    EXPECT_EQ(r.metrics_digest, g.metrics_digest) << g.kernel << " / " << g.spec;
+  }
+}
+
+// The explicit registry spelling of the no-mold ablation must be the same
+// scheduler as the "ilan-nomold" shorthand, digest for digest.
+TEST(SchedEquivalence, MoldOffSpecMatchesNoMoldShorthand) {
+  const obs::ScopedEnv metrics_env("ILAN_METRICS", "1");
+  const obs::ScopedEnv json_env("ILAN_BENCH_JSON", "0");
+  const auto a = bench::run_once("cg", "ilan-nomold", 42, golden_opts());
+  const auto b = bench::run_once("cg", "ilan:mold=off", 42, golden_opts());
+  EXPECT_EQ(a.event_digest, b.event_digest);
+  EXPECT_EQ(a.metrics_digest, b.metrics_digest);
+}
+
+// Direct ManualScheduler goldens (fixed configs are not part of run_once's
+// scheduler table, so they get their own capture path).
+std::uint64_t run_manual(const std::string& kernel, rt::LoopConfig cfg,
+                         core::IlanParams p) {
+  rt::Machine machine(bench::paper_machine(42));
+  machine.engine().set_digest_enabled(true);
+  sched::ManualScheduler scheduler(cfg, p);
+  rt::Team team(machine, scheduler);
+  const auto prog = kernels::make_kernel(kernel, machine, golden_opts());
+  (void)prog.run(team);
+  return machine.engine().event_digest();
+}
+
+TEST(SchedEquivalence, ManualSchedulerReproducesPreRefactorDigests) {
+  {
+    rt::LoopConfig cfg;  // all threads, default (full) policy
+    EXPECT_EQ(run_manual("cg", cfg, {}), 0xd1a93a37a76a780aull);
+  }
+  {
+    rt::LoopConfig cfg;
+    cfg.num_threads = 16;
+    cfg.steal_policy = rt::StealPolicy::kFull;
+    core::IlanParams p;
+    p.stealable_fraction = 0.25;
+    EXPECT_EQ(run_manual("cg", cfg, p), 0xfb616336af65d336ull);
+  }
+}
+
+// The registry's "manual" spec builds the same scheduler as the facade.
+TEST(SchedEquivalence, ManualSpecMatchesManualFacade) {
+  rt::LoopConfig cfg;
+  cfg.num_threads = 16;
+  cfg.steal_policy = rt::StealPolicy::kFull;
+  core::IlanParams p;
+  p.stealable_fraction = 0.25;
+  const auto facade_spec = sched::ManualScheduler(cfg, p).introspect().spec;
+  EXPECT_EQ(sched::resolve_spec("manual:threads=16,policy=full,stealable=0.25"),
+            facade_spec);
+
+  rt::Machine machine(bench::paper_machine(42));
+  machine.engine().set_digest_enabled(true);
+  const auto scheduler =
+      sched::make_scheduler("manual:threads=16,policy=full,stealable=0.25");
+  rt::Team team(machine, *scheduler);
+  const auto prog = kernels::make_kernel("cg", machine, golden_opts());
+  (void)prog.run(team);
+  EXPECT_EQ(machine.engine().event_digest(), 0xfb616336af65d336ull);
+}
+
+}  // namespace
+
+// Recapture recipe (only after a DELIBERATE behaviour change):
+//   ILAN_METRICS=1 ILAN_BENCH_JSON=0; for each kernel in
+//   bench::benchmarks() and spec in {baseline, work-sharing, ilan,
+//   ilan-nomold}: print run_once(kernel, spec, 42, {.timesteps = 3})'s
+//   event_digest and metrics_digest. The manual goldens: run_manual above
+//   with the two configs shown.

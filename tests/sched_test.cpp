@@ -1,0 +1,220 @@
+// Tests of the scheduler policy registry: spec parsing round-trips, resolve
+// idempotence, the strict error contract (bad specs name the offender AND
+// list the registered schedulers), facade-vs-registry spec parity, and the
+// env-knob / spec-key precedence rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "obs/env.hpp"
+#include "sched/registry.hpp"
+#include "sched/schedulers.hpp"
+
+namespace {
+
+using namespace ilan;
+
+// Runs `fn`, expecting std::invalid_argument whose message contains every
+// `needles` substring. Every registry diagnostic must also carry the
+// registered-name list (the satellite error contract).
+template <typename Fn>
+void expect_spec_error(Fn&& fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message missing '" << needle << "': " << msg;
+    }
+  }
+}
+
+// --- parsing -----------------------------------------------------------------
+
+TEST(SchedSpec, ParseRoundTripsThroughToString) {
+  for (const char* text :
+       {"ilan", "ilan:mold=off", "manual:threads=16,policy=full",
+        "composed:config=fixed,dist=flat,steal=full,stealable=0.25"}) {
+    const sched::SchedulerSpec spec = sched::parse_spec(text);
+    EXPECT_EQ(spec.to_string(), text);
+    // Parsing the serialization again yields the same structure.
+    const sched::SchedulerSpec again = sched::parse_spec(spec.to_string());
+    EXPECT_EQ(again.name, spec.name);
+    ASSERT_EQ(again.options.size(), spec.options.size());
+    for (std::size_t i = 0; i < spec.options.size(); ++i) {
+      EXPECT_EQ(again.options[i].key, spec.options[i].key);
+      EXPECT_EQ(again.options[i].value, spec.options[i].value);
+    }
+  }
+}
+
+TEST(SchedSpec, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW((void)sched::parse_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)sched::parse_spec(":mold=off"), std::invalid_argument);
+  EXPECT_THROW((void)sched::parse_spec("ilan:mold"), std::invalid_argument);
+  EXPECT_THROW((void)sched::parse_spec("ilan:=off"), std::invalid_argument);
+  EXPECT_THROW((void)sched::parse_spec("ilan:mold=on,mold=off"),
+               std::invalid_argument);
+}
+
+// --- the error contract ------------------------------------------------------
+
+TEST(SchedRegistry, UnknownSchedulerNamesOffenderAndListsRegistered) {
+  expect_spec_error([] { (void)sched::make_scheduler("bogus"); },
+                    {"bogus", "unknown scheduler", "registered schedulers:",
+                     "baseline", "composed", "ilan", "ilan-nomold", "manual",
+                     "work-sharing"});
+}
+
+TEST(SchedRegistry, UnknownKeyNamesKeyAndListsRegistered) {
+  expect_spec_error([] { (void)sched::make_scheduler("ilan:wat=1"); },
+                    {"wat", "unknown key", "registered schedulers:"});
+}
+
+TEST(SchedRegistry, MalformedValueNamesKey) {
+  expect_spec_error([] { (void)sched::make_scheduler("ilan:stealable=1.5"); },
+                    {"stealable", "registered schedulers:"});
+  expect_spec_error([] { (void)sched::make_scheduler("ilan:mold=maybe"); },
+                    {"mold", "on/off", "maybe"});
+  expect_spec_error([] { (void)sched::make_scheduler("ilan:granularity=abc"); },
+                    {"granularity", "abc"});
+  expect_spec_error([] { (void)sched::make_scheduler("ilan:objective=joules"); },
+                    {"objective", "time/energy/edp"});
+  expect_spec_error([] { (void)sched::make_scheduler("manual:policy=loose"); },
+                    {"policy", "strict/full"});
+}
+
+TEST(SchedRegistry, BaselineAndWorkSharingAcceptNoOptions) {
+  expect_spec_error([] { (void)sched::make_scheduler("baseline:threads=4"); },
+                    {"baseline", "accepts no options", "threads"});
+  expect_spec_error([] { (void)sched::make_scheduler("work-sharing:x=1"); },
+                    {"work-sharing", "accepts no options"});
+}
+
+TEST(SchedRegistry, ComposedValidatesAxisValues) {
+  expect_spec_error([] { (void)sched::make_scheduler("composed:config=magic"); },
+                    {"config", "ptt-search/fixed/counter-only/oracle-best"});
+  expect_spec_error([] { (void)sched::make_scheduler("composed:dist=round-robin"); },
+                    {"dist", "hierarchical/flat/static-block/health-weighted"});
+  expect_spec_error([] { (void)sched::make_scheduler("composed:steal=polite"); },
+                    {"steal", "tiered/strict/full/rescue-only/random/none"});
+  expect_spec_error([] { (void)sched::make_scheduler("composed:feedback=loud"); },
+                    {"feedback", "ptt/none"});
+}
+
+// --- registry contents -------------------------------------------------------
+
+TEST(SchedRegistry, BuiltInsAreRegisteredSorted) {
+  const auto names = sched::SchedulerRegistry::instance().names();
+  const std::vector<std::string> expected = {"baseline", "composed",     "ilan",
+                                             "ilan-nomold", "manual", "work-sharing"};
+  // Other tests may register extras; the built-ins must all be present and
+  // the list sorted.
+  for (const auto& n : expected) {
+    EXPECT_TRUE(sched::SchedulerRegistry::instance().contains(n)) << n;
+    EXPECT_FALSE(sched::SchedulerRegistry::instance().description(n).empty()) << n;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SchedRegistry, RegisterCustomScheduler) {
+  auto& reg = sched::SchedulerRegistry::instance();
+  reg.register_scheduler("test-custom", "unit-test scheduler",
+                         [](const sched::SchedulerSpec&) {
+                           return std::make_unique<sched::BaselineWsScheduler>();
+                         });
+  EXPECT_TRUE(reg.contains("test-custom"));
+  const auto s = reg.make("test-custom");
+  EXPECT_EQ(s->name(), "baseline-ws");
+}
+
+// --- resolve -----------------------------------------------------------------
+
+TEST(SchedRegistry, ResolveSpellsEveryKnob) {
+  const std::string r = sched::resolve_spec("ilan");
+  EXPECT_EQ(r,
+            "ilan:mold=on,counter=off,reactive=on,objective=time,granularity=0,"
+            "stealable=0.2,chunk=1,staleness-factor=1.6,staleness-patience=2,"
+            "max-reexplorations=4");
+  // "ilan-nomold" and "ilan:mold=off" are the same scheduler.
+  EXPECT_EQ(sched::resolve_spec("ilan-nomold"), sched::resolve_spec("ilan:mold=off"));
+  EXPECT_EQ(sched::resolve_spec("baseline"), "baseline");
+  EXPECT_EQ(sched::resolve_spec("work-sharing"), "work-sharing");
+  // rt::LoopConfig defaults to the full steal policy.
+  EXPECT_EQ(sched::resolve_spec("manual"),
+            "manual:threads=0,policy=full,stealable=0.2,chunk=1");
+}
+
+TEST(SchedRegistry, ResolveIsIdempotent) {
+  for (const char* spec :
+       {"ilan", "ilan-nomold", "ilan:mold=off,stealable=0.35", "baseline",
+        "work-sharing", "manual", "manual:threads=16,policy=full",
+        "composed", "composed:config=fixed,dist=flat,steal=full,threads=8",
+        "composed:config=counter-only,steal=rescue-only"}) {
+    const std::string once = sched::resolve_spec(spec);
+    EXPECT_EQ(sched::resolve_spec(once), once) << spec;
+  }
+}
+
+TEST(SchedRegistry, ComposedCounterOnlyForcesCounterOn) {
+  const std::string r = sched::resolve_spec("composed:config=counter-only");
+  EXPECT_NE(r.find("config=counter-only"), std::string::npos) << r;
+  EXPECT_NE(r.find("counter=on"), std::string::npos) << r;
+}
+
+TEST(SchedRegistry, ComposedDefaultsMirrorIlanPolicies) {
+  const std::string r = sched::resolve_spec("composed");
+  EXPECT_NE(r.find("config=ptt-search"), std::string::npos) << r;
+  EXPECT_NE(r.find("dist=hierarchical"), std::string::npos) << r;
+  EXPECT_NE(r.find("steal=tiered"), std::string::npos) << r;
+  EXPECT_NE(r.find("feedback=ptt"), std::string::npos) << r;
+}
+
+// --- facade / registry parity ------------------------------------------------
+
+TEST(SchedRegistry, FacadesAndRegistryAgreeOnSpecs) {
+  EXPECT_EQ(sched::make_scheduler("ilan")->introspect().spec,
+            sched::IlanScheduler().introspect().spec);
+  EXPECT_EQ(sched::make_scheduler("baseline")->introspect().spec,
+            sched::BaselineWsScheduler().introspect().spec);
+  EXPECT_EQ(sched::make_scheduler("work-sharing")->introspect().spec,
+            sched::WorkSharingScheduler().introspect().spec);
+  EXPECT_EQ(sched::make_scheduler("manual")->introspect().spec,
+            sched::ManualScheduler(rt::LoopConfig{}).introspect().spec);
+}
+
+TEST(SchedRegistry, SchedulerNamesMatchPreRefactorClasses) {
+  EXPECT_EQ(sched::make_scheduler("ilan")->name(), "ilan");
+  EXPECT_EQ(sched::make_scheduler("ilan-nomold")->name(), "ilan-nomold");
+  EXPECT_EQ(sched::make_scheduler("ilan:mold=off")->name(), "ilan-nomold");
+  EXPECT_EQ(sched::make_scheduler("baseline")->name(), "baseline-ws");
+  EXPECT_EQ(sched::make_scheduler("work-sharing")->name(), "work-sharing");
+  EXPECT_EQ(sched::make_scheduler("manual")->name(), "ilan-manual");
+  EXPECT_EQ(sched::make_scheduler("composed")->name(), "composed");
+}
+
+// --- env-knob precedence -----------------------------------------------------
+
+TEST(SchedRegistry, SpecKeysOverrideEnvKnobsOverrideDefaults) {
+  const obs::ScopedEnv env("ILAN_STEALABLE_FRACTION", "0.4");
+  // Env knob applies when the spec is silent...
+  EXPECT_NE(sched::resolve_spec("ilan").find("stealable=0.4"), std::string::npos);
+  // ...and the spec key wins when both are present.
+  EXPECT_NE(sched::resolve_spec("ilan:stealable=0.1").find("stealable=0.1"),
+            std::string::npos);
+}
+
+// --- introspection -----------------------------------------------------------
+
+TEST(SchedRegistry, IntrospectReportsResolvedSpec) {
+  const auto s = sched::make_scheduler("composed:dist=flat,steal=random");
+  const rt::SchedulerInfo info = s->introspect();
+  EXPECT_EQ(info.spec, sched::resolve_spec("composed:dist=flat,steal=random"));
+  EXPECT_EQ(info.total_reexplorations, 0);
+}
+
+}  // namespace

@@ -2,11 +2,9 @@
 // scheduler, and sanity-check the outcome.
 #include <gtest/gtest.h>
 
-#include "core/ilan_scheduler.hpp"
+#include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
-#include "rt/baseline_ws_scheduler.hpp"
 #include "rt/team.hpp"
-#include "rt/work_sharing_scheduler.hpp"
 #include "topo/presets.hpp"
 
 namespace {
@@ -23,21 +21,21 @@ rt::MachineParams small_machine(std::uint64_t seed) {
 TEST(Smoke, CgRunsUnderEveryScheduler) {
   for (int which = 0; which < 3; ++which) {
     rt::Machine machine(small_machine(42));
-    std::unique_ptr<rt::Scheduler> sched;
+    std::unique_ptr<rt::Scheduler> scheduler;
     switch (which) {
-      case 0: sched = std::make_unique<rt::BaselineWsScheduler>(); break;
-      case 1: sched = std::make_unique<rt::WorkSharingScheduler>(); break;
-      default: sched = std::make_unique<core::IlanScheduler>(); break;
+      case 0: scheduler = std::make_unique<sched::BaselineWsScheduler>(); break;
+      case 1: scheduler = std::make_unique<sched::WorkSharingScheduler>(); break;
+      default: scheduler = std::make_unique<sched::IlanScheduler>(); break;
     }
-    rt::Team team(machine, *sched);
+    rt::Team team(machine, *scheduler);
     kernels::KernelOptions opts;
     opts.timesteps = 4;
     opts.size_factor = 0.1;
     const auto prog = kernels::make_cg(machine, opts);
     const sim::SimTime t = prog.run(team);
-    EXPECT_GT(t, 0) << sched->name();
+    EXPECT_GT(t, 0) << scheduler->name();
     // init + 4 steps x 2 loops
-    EXPECT_EQ(team.history().size(), 1u + 4u * 2u) << sched->name();
+    EXPECT_EQ(team.history().size(), 1u + 4u * 2u) << scheduler->name();
   }
 }
 

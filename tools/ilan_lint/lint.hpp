@@ -5,8 +5,8 @@
 // modes and host thread counts". Generic tooling cannot see the
 // repo-specific ways that contract breaks, so this linter encodes them:
 //
-//   wall-clock      simulation code (src/sim|core|rt|mem|fault) must derive
-//                   time from sim::Engine, never the host clock.
+//   wall-clock      simulation code (src/sim|core|rt|mem|fault|sched) must
+//                   derive time from sim::Engine, never the host clock.
 //   rand            simulation code must draw randomness from sim::rng
 //                   (seeded, self-contained), never libc/libstdc++ RNGs.
 //   unordered-iter  no iteration over unordered containers in simulation
@@ -19,7 +19,8 @@
 //                   captures (unbounded) and at most 8 explicit captures in
 //                   lambdas passed to schedule_at/schedule_after.
 //
-// Rules apply to files whose path lies under src/{sim,core,rt,mem,fault};
+// Rules apply to files whose path lies under
+// src/{sim,core,rt,mem,fault,obs,sched};
 // other paths lint clean by construction. A finding on line N is suppressed by a
 // trailing comment on that line: // ilan-lint: allow(<rule>[,<rule>...]).
 #pragma once
@@ -45,8 +46,8 @@ struct RuleInfo {
 // The rule table, in evaluation order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
-// True when scoped rules apply to `path` (under sim/, core/, rt/, mem/ or
-// fault/).
+// True when scoped rules apply to `path` (under sim/, core/, rt/, mem/,
+// fault/, obs/ or sched/).
 [[nodiscard]] bool in_scope(std::string_view path);
 
 // Lints one translation unit. `path` decides rule scope; `source` is the
@@ -54,8 +55,8 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                std::string_view source);
 
-// Lints every *.hpp/*.cpp under src_root/{sim,core,rt,mem,fault}. Throws
-// std::runtime_error when src_root has none of those directories (a wrong
+// Lints every *.hpp/*.cpp under src_root/{sim,core,rt,mem,fault,obs,sched}.
+// Throws std::runtime_error when src_root has none of those directories (a wrong
 // path must not pass as clean).
 [[nodiscard]] std::vector<Finding> lint_tree(const std::string& src_root);
 

@@ -6,6 +6,7 @@
 #   tools/run_tier1.sh analyze                    # sanitizer matrix + selfcheck
 #   tools/run_tier1.sh faults                     # fault-injection gate
 #   tools/run_tier1.sh obs                        # observability gate
+#   tools/run_tier1.sh sched                      # scheduler-registry gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -34,6 +35,11 @@
 # the metrics-registry digests), run on the primary build and then under
 # ASan and TSan — attaching the registry must not perturb the committed
 # event stream, and the metrics themselves must be bit-reproducible.
+#
+# `sched` is the scheduler-registry gate: the registry/spec unit tests plus
+# the sched_equivalence digest gate (registry-built schedulers must
+# reproduce the pre-refactor monolithic schedulers bit-for-bit), run on the
+# primary build and then under ASan and TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,6 +111,23 @@ run_obs_one() {
   ILAN_BENCH_JSON=0 ILAN_METRICS=1 "./$build_dir/bench/selfcheck"
 }
 
+run_sched_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target test_sched test_sched_equivalence
+  echo "== scheduler registry tests (${san:-plain}) =="
+  "./$build_dir/tests/test_sched"
+  echo "== sched_equivalence digest gate (${san:-plain}) =="
+  "./$build_dir/tests/test_sched_equivalence"
+}
+
 case "$mode" in
   build)
     build_one "${ILAN_SANITIZE:-}"
@@ -136,8 +159,15 @@ case "$mode" in
       run_obs_one "$san"
     done
     ;;
+  sched)
+    run_sched_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_sched_one "$san"
+    done
+    ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched]" >&2
     exit 2
     ;;
 esac
