@@ -140,6 +140,15 @@ void export_machine_metrics(rt::Machine& machine, obs::MetricsRegistry& m) {
   m.counter("mem.solver.full_builds").inc(static_cast<std::int64_t>(st.full_builds));
   m.counter("mem.solver.cap_updates").inc(static_cast<std::int64_t>(st.cap_updates));
   m.counter("mem.solver.skipped").inc(static_cast<std::int64_t>(st.skipped));
+  m.counter("mem.solver.coalesced").inc(static_cast<std::int64_t>(st.coalesced));
+  m.counter("mem.solver.compactions").inc(static_cast<std::int64_t>(st.compactions));
+  m.counter("mem.solver.flows_reclaimed")
+      .inc(static_cast<std::int64_t>(st.flows_reclaimed));
+  m.counter("mem.solver.delta_solves").inc(static_cast<std::int64_t>(st.delta_solves));
+  m.counter("mem.solver.delta_rounds_reused")
+      .inc(static_cast<std::int64_t>(st.delta_rounds_reused));
+  m.counter("mem.solver.delta_rounds_total")
+      .inc(static_cast<std::int64_t>(st.delta_rounds_total));
 }
 
 }  // namespace
@@ -328,6 +337,12 @@ mem::SolverStats Series::solver_totals() const {
     t.full_builds += r.solver.full_builds;
     t.cap_updates += r.solver.cap_updates;
     t.skipped += r.solver.skipped;
+    t.coalesced += r.solver.coalesced;
+    t.compactions += r.solver.compactions;
+    t.flows_reclaimed += r.solver.flows_reclaimed;
+    t.delta_solves += r.solver.delta_solves;
+    t.delta_rounds_reused += r.solver.delta_rounds_reused;
+    t.delta_rounds_total += r.solver.delta_rounds_total;
   }
   return t;
 }
@@ -411,7 +426,10 @@ void write_bench_json() {
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
                  "     \"solver\": {\"resolves\": %llu, \"full_builds\": %llu, "
-                 "\"cap_updates\": %llu, \"skipped\": %llu}",
+                 "\"cap_updates\": %llu, \"skipped\": %llu, \"coalesced\": %llu, "
+                 "\"compactions\": %llu, \"flows_reclaimed\": %llu,\n"
+                 "                \"delta_solves\": %llu, \"delta_rounds_reused\": %llu, "
+                 "\"delta_rounds_total\": %llu, \"hit_rate\": %.4f}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.spec.c_str(),
                  e.runs, e.jobs,
                  e.failures, e.host_s, static_cast<unsigned long long>(e.events),
@@ -420,7 +438,14 @@ void write_bench_json() {
                  static_cast<unsigned long long>(e.solver.resolves),
                  static_cast<unsigned long long>(e.solver.full_builds),
                  static_cast<unsigned long long>(e.solver.cap_updates),
-                 static_cast<unsigned long long>(e.solver.skipped));
+                 static_cast<unsigned long long>(e.solver.skipped),
+                 static_cast<unsigned long long>(e.solver.coalesced),
+                 static_cast<unsigned long long>(e.solver.compactions),
+                 static_cast<unsigned long long>(e.solver.flows_reclaimed),
+                 static_cast<unsigned long long>(e.solver.delta_solves),
+                 static_cast<unsigned long long>(e.solver.delta_rounds_reused),
+                 static_cast<unsigned long long>(e.solver.delta_rounds_total),
+                 e.solver.hit_rate());
     if (!e.metrics.empty()) {
       std::fprintf(f, ",\n     \"metrics\": %s}", e.metrics.to_json().c_str());
     } else {

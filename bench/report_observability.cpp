@@ -5,7 +5,13 @@
 // (probes, locks, re-explorations), deque occupancy, distributor stealable
 // share and fault counters, next to the simulated time they explain.
 //
-// Part 2 — the steal-policy contrast that pins the instrumentation to the
+// Part 2 — solver cache effectiveness from the same series: how the
+// bandwidth-resolve pipeline served each cell's resolves (full rebuilds vs
+// in-place cap updates vs skips/coalesces, tombstone compactions, journal
+// replays) and the resulting hit rate — the incremental-resolve health
+// check next to the scheduler behavior it pays for.
+//
+// Part 3 — the steal-policy contrast that pins the instrumentation to the
 // paper's semantics: the same kernel under a ManualScheduler with
 // steal_policy=full must show cross-node steals, and under strict (no
 // faults, so no escalation) must show exactly zero. The process exits
@@ -84,10 +90,29 @@ int main(int argc, char** argv) {
   trace::Table table({"benchmark", "scheduler", "time_s", "tasks", "steal_i",
                       "steal_x", "rescue", "probes", "locks", "reexpl",
                       "deque_avg", "stealable", "faults"});
+  trace::Table solver({"benchmark", "scheduler", "resolves", "full", "cap_upd",
+                       "skip", "coal", "compact", "reclaimed", "dsolve",
+                       "hit_rate"});
   for (const auto& k : bench::benchmarks()) {
     for (const std::string& sched : bench::env_sched_list()) {
       const auto series = bench::run_many(k, sched, runs, /*base_seed=*/77, opts);
       const obs::MetricsRegistry m = series.metrics_totals();
+      const std::int64_t resolves = cval(m, "mem.solver.resolves");
+      const std::int64_t hits = cval(m, "mem.solver.cap_updates") +
+                                cval(m, "mem.solver.skipped") +
+                                cval(m, "mem.solver.coalesced");
+      solver.add_row({k, sched, std::to_string(resolves),
+                      std::to_string(cval(m, "mem.solver.full_builds")),
+                      std::to_string(cval(m, "mem.solver.cap_updates")),
+                      std::to_string(cval(m, "mem.solver.skipped")),
+                      std::to_string(cval(m, "mem.solver.coalesced")),
+                      std::to_string(cval(m, "mem.solver.compactions")),
+                      std::to_string(cval(m, "mem.solver.flows_reclaimed")),
+                      std::to_string(cval(m, "mem.solver.delta_solves")),
+                      trace::Table::fmt(resolves > 0 ? static_cast<double>(hits) /
+                                                           static_cast<double>(resolves)
+                                                     : 0.0,
+                                        4)});
       table.add_row({k, sched,
                      trace::Table::fmt(series.time_summary().mean, 4),
                      std::to_string(cval(m, "rt.tasks_executed")),
@@ -103,6 +128,9 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+
+  std::cout << "\n== solver cache effectiveness ==\n\n";
+  solver.print(std::cout);
 
   // Steal-policy contrast (acceptance gate): full must migrate work across
   // nodes somewhere; strict must never (no faults are armed here, so the

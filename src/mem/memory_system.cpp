@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/env.hpp"
 #include "sim/event_tags.hpp"
 
 namespace ilan::mem {
@@ -33,12 +34,32 @@ MemorySystem::MemorySystem(sim::Engine& engine, const topo::Topology& topo,
   bw_scale_.assign(static_cast<std::size_t>(topo_.num_nodes()), 1.0);
   node_src_bytes_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
   node_peak_streams_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0.0);
+  // Distance is static, so the remote-efficiency pow() is a pure function
+  // of the (src, home) node pair — precompute it off the resolve hot path.
+  const auto nn = static_cast<std::size_t>(topo_.num_nodes());
+  eff_table_.resize(nn * nn);
+  for (std::size_t s = 0; s < nn; ++s) {
+    for (std::size_t h = 0; h < nn; ++h) {
+      const double dist = topo_.distance(topo::NodeId{static_cast<std::int32_t>(s)},
+                                         topo::NodeId{static_cast<std::int32_t>(h)});
+      eff_table_[s * nn + h] = std::pow(10.0 / dist, params_.remote_eff_exponent);
+    }
+  }
+  controller_c_.assign(nn, -1);
+  core_c_.assign(static_cast<std::size_t>(topo_.num_cores()), -1);
+  link_c_.assign(static_cast<std::size_t>(topo_.num_sockets()) *
+                     static_cast<std::size_t>(topo_.num_sockets()),
+                 -1);
+  controller_live_.assign(nn, 0);
+  net_.set_record(true);  // journal rounds for delta re-solving
+  solver_check_ = obs::env_flag("ILAN_SOLVER_CHECK");
 }
 
 void MemorySystem::set_extra_streams(topo::NodeId node, double streams) {
   if (streams < 0.0) {
     throw std::invalid_argument("MemorySystem: extra streams must be >= 0");
   }
+  if (extra_streams_.at(node.index()) != streams) resolve_dirty_ = true;
   extra_streams_.at(node.index()) = streams;
 }
 
@@ -48,6 +69,7 @@ double MemorySystem::extra_streams(topo::NodeId node) const {
 
 void MemorySystem::set_bw_scale(topo::NodeId node, double scale) {
   if (scale <= 0.0) throw std::invalid_argument("MemorySystem: bw scale must be > 0");
+  if (bw_scale_.at(node.index()) != scale) resolve_dirty_ = true;
   bw_scale_.at(node.index()) = scale;
 }
 
@@ -55,7 +77,13 @@ double MemorySystem::bw_scale(topo::NodeId node) const {
   return bw_scale_.at(node.index());
 }
 
-void MemorySystem::request_resolve() { schedule_resolve(); }
+void MemorySystem::request_resolve() {
+  // Conservative: the caller may have changed inputs this system cannot see
+  // (per-core frequency factors live in the noise model and are re-read
+  // inside resolve()).
+  resolve_dirty_ = true;
+  schedule_resolve();
+}
 
 double MemorySystem::core_hz(topo::CoreId core) const {
   const double base = topo_.core(core).base_freq_ghz * 1e9;
@@ -77,7 +105,12 @@ ExecId MemorySystem::begin(topo::CoreId core, double cpu_cycles,
   rec.on_complete = std::move(on_complete);
   rec.last_update = engine_.now();
   build_flows(rec, accesses);
-  active_.emplace(id, std::move(rec));
+  ExecRecord& stored = active_.emplace(id, std::move(rec)).first->second;
+  // ExecIds are monotone and active_ is ExecId-ordered, so appending here
+  // keeps the persistent network's live flows in exactly the order a
+  // from-scratch build over active_ would emit them.
+  append_exec_flows(stored);
+  resolve_dirty_ = true;
   schedule_resolve();
   return id;
 }
@@ -103,9 +136,9 @@ void MemorySystem::build_flows(ExecRecord& rec,
         // Distribute the full range, then scale by the miss fraction.
         const double scale = 1.0 - hit;
         if (scale <= 0.0) break;
-        std::vector<double> tmp(n, 0.0);
-        region.bytes_by_node(a.offset, a.len, tmp);
-        for (std::size_t i = 0; i < n; ++i) stream_bytes_[i] += tmp[i] * scale;
+        bytes_scratch_.assign(n, 0.0);
+        region.bytes_by_node(a.offset, a.len, bytes_scratch_);
+        for (std::size_t i = 0; i < n; ++i) stream_bytes_[i] += bytes_scratch_[i] * scale;
         break;
       }
       case AccessKind::kGather: {
@@ -246,10 +279,117 @@ sim::SimTime MemorySystem::eta(const ExecRecord& rec, sim::SimTime now) const {
   return now + std::max<sim::SimTime>(1, sim::from_seconds(secs));
 }
 
+void MemorySystem::reschedule_completions(sim::SimTime now) {
+  // Replays exactly the event operations the tail of a full resolve would
+  // perform on an unchanged problem: one reschedule (one schedule sequence
+  // number) per active execution, in ExecId order, at an unchanged eta —
+  // so the committed event stream is bit-identical to the full pipeline.
+  for (auto& [id, rec] : active_) {
+    rec.completion_event = engine_.reschedule(rec.completion_event, eta(rec, now));
+  }
+}
+
+double MemorySystem::controller_cap(
+    std::size_t node, const std::vector<double>& streams_on_controller) const {
+  // Congestion derating: row-buffer/queue interference past the knee, with
+  // a floor on how much of peak a controller can lose (see MemParams).
+  const auto& n = topo_.node(topo::NodeId{static_cast<std::int32_t>(node)});
+  const double derate = std::min(
+      params_.congestion_derate_max,
+      1.0 + params_.congestion_beta *
+                std::max(0.0, streams_on_controller[node] - params_.congestion_knee));
+  return n.mem_bw_gbps * bw_scale_[node] * kGB / derate;
+}
+
+void MemorySystem::append_exec_flows(ExecRecord& rec) {
+  const auto& core = topo_.core(rec.core);
+  const topo::NodeId home = core.node;
+  const auto ns = static_cast<std::size_t>(topo_.num_sockets());
+  for (auto& f : rec.flows) {
+    if (f.remaining <= kTinyBytes) {
+      f.net_idx = -1;  // born (or already) drained: never enters the network
+      continue;
+    }
+    if (core_c_[rec.core.index()] < 0) {
+      core_c_[rec.core.index()] = net_.add_constraint(core.core_bw_gbps * kGB);
+    }
+    if (f.gather) {
+      // The cap is a placeholder: every resolve refreshes it from the live
+      // stream pressure before any solve reads it.
+      const FlowNetwork::ConstraintIdx constraints[1] = {core_c_[rec.core.index()]};
+      f.net_idx = net_.add_flow(core.core_bw_gbps * kGB * params_.gather_bw_factor,
+                                1.0, constraints);
+      net_structural_ = true;
+      continue;
+    }
+    const auto src_i = static_cast<std::size_t>(f.src_node);
+    const topo::NodeId src{f.src_node};
+    if (controller_c_[src_i] < 0) {
+      // Placeholder cap, same contract as the gather cap above.
+      controller_c_[src_i] = net_.add_constraint(topo_.node(src).mem_bw_gbps * kGB);
+    }
+    ++controller_live_[src_i];
+    const double eff = eff_to(src, home);
+    const double cap = core.core_bw_gbps * kGB * eff;
+    // Remote flows occupy controller/link capacity longer per delivered
+    // byte (latency-limited MLP): weight = 1/eff.
+    const double weight = 1.0 / eff;
+
+    FlowNetwork::ConstraintIdx constraints[3];
+    int nc = 0;
+    constraints[nc++] = controller_c_[src_i];
+    constraints[nc++] = core_c_[rec.core.index()];
+    const auto s_src = topo_.socket_of(src);
+    const auto s_dst = core.socket;
+    if (s_src != s_dst) {
+      const std::size_t li = s_src.index() * ns + s_dst.index();
+      if (link_c_[li] < 0) {
+        link_c_[li] = net_.add_constraint(topo_.socket(s_src).xlink_bw_gbps * kGB);
+      }
+      constraints[nc++] = link_c_[li];
+    }
+    f.net_idx = net_.add_flow(cap, weight,
+                              std::span<const FlowNetwork::ConstraintIdx>(
+                                  constraints, static_cast<std::size_t>(nc)));
+    net_structural_ = true;
+  }
+}
+
+void MemorySystem::tombstone_flow(FlowState& f) {
+  net_.remove_flow(f.net_idx);
+  if (!f.gather) --controller_live_[static_cast<std::size_t>(f.src_node)];
+  f.net_idx = -1;
+  f.rate = 0.0;
+  net_structural_ = true;
+}
+
+void MemorySystem::compact_network() {
+  net_.clear();
+  std::fill(controller_c_.begin(), controller_c_.end(), -1);
+  std::fill(core_c_.begin(), core_c_.end(), -1);
+  std::fill(link_c_.begin(), link_c_.end(), -1);
+  std::fill(controller_live_.begin(), controller_live_.end(), 0);
+  for (auto& [id, rec] : active_) append_exec_flows(rec);
+}
+
 void MemorySystem::resolve() {
   const sim::SimTime now = engine_.now();
   const auto nn = static_cast<std::size_t>(topo_.num_nodes());
   ++solver_stats_.resolves;
+
+  // 0. Same-instant coalescing: a second resolve event at the timestamp of
+  // the last one with nothing dirty (no execution started or finished, no
+  // fault knob moved, no explicit request) would recompute every value it
+  // computed — zero time has passed, so no flow drained and no structural
+  // bit changed. Only the completion rescheduling has an observable effect
+  // (it consumes schedule sequence numbers); replay just that.
+  if (!resolve_dirty_ && now == last_resolve_time_) {
+    ++solver_stats_.coalesced;
+    reschedule_completions(now);
+    return;
+  }
+  resolve_dirty_ = false;
+  last_resolve_time_ = now;
 
   // 1. Advance everyone to `now`, then re-read each core's effective
   // frequency: consumed cycles were burned at the old rate, remaining
@@ -261,35 +401,18 @@ void MemorySystem::resolve() {
     rec.cpu_hz = core_hz(rec.core);
   }
 
-  // Structural signature of the max-min problem. The constraint/membership
-  // structure is a pure function of, per active execution in order: the
-  // core, and per flow (source node, gather flag, active bit, and for
-  // gather flows the set of nodes with a nonzero byte fraction). ExecIds
-  // are deliberately NOT part of the signature: a new task starting on the
-  // same core with the same flow layout as the one the cached network was
-  // built from is a cache hit — the steady-state pattern of every kernel.
-  sig_scratch_.clear();
-  bool sig_ok = nn <= 64;  // gather node masks hold <= 64 nodes
+  // 2. Structural maintenance: tombstone flows that crossed the drain
+  // threshold since the last resolve (new executions' flows were appended
+  // by begin()). A drained flow contributes nothing to the max-min problem;
+  // excluding it here is exactly the "skip drained flows" a from-scratch
+  // build performs.
   for (auto& [id, rec] : active_) {
-    sig_scratch_.push_back((static_cast<std::uint64_t>(rec.core.index()) << 32) |
-                           rec.flows.size());
-    for (const auto& f : rec.flows) {
-      const std::uint64_t active = f.remaining > kTinyBytes ? 1 : 0;
-      if (f.gather) {
-        std::uint64_t mask = 0;
-        for (std::size_t i = 0; i < nn && i < 64; ++i) {
-          if (rec.gather_frac[i] > 0.0) mask |= 1ull << i;
-        }
-        sig_scratch_.push_back((mask << 32) | 2u | active);
-      } else {
-        sig_scratch_.push_back(
-            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src_node + 1)) << 2) |
-            active);
-      }
+    for (auto& f : rec.flows) {
+      if (f.net_idx >= 0 && f.remaining <= kTinyBytes) tombstone_flow(f);
     }
   }
 
-  // 2. Stream load per controller for the congestion derating. One task is
+  // 3. Stream load per controller for the congestion derating. One task is
   // one request stream; a task whose bytes split across controllers loads
   // each with its byte fraction (a sequential reader visits one controller
   // at a time — counting whole flows would overstate interference).
@@ -327,76 +450,73 @@ void MemorySystem::resolve() {
     }
   }
 
-  // 3. Solve the max-min problem. Re-point the flow references at the
-  // current records (they may be new executions with a cached structure),
-  // then either refresh a cached network in place or build a fresh one
-  // into the round-robin victim slot — and solve only when some input
-  // actually changed (the solver is deterministic, so a network whose caps
-  // all match the cached values still holds exact rates).
-  rebuild_refs();
-  NetCache* entry = nullptr;
-  if (sig_ok) {
-    for (auto& e : net_cache_) {
-      if (e.sig == sig_scratch_) {
-        entry = &e;
-        break;
-      }
+  // 4. Bring the persistent network up to date. Compact first if
+  // tombstones dominate, then refresh every derived capacity: controller
+  // caps on nodes with live stream members (a controller without any is
+  // inert — active weight exactly 0 — so its stale cap can influence no
+  // rate), and the per-flow caps of live gather flows. set_capacity/
+  // set_flow_cap discard equal values, so net_.dirty() afterwards means
+  // "some input actually moved".
+  const bool rebuilt = net_needs_rebuild_ ||
+                       net_.dead_flows() > net_.live_flows() + kCompactSlack;
+  if (rebuilt) {
+    if (!net_needs_rebuild_) {
+      ++solver_stats_.compactions;
+      solver_stats_.flows_reclaimed += net_.dead_flows();
+    }
+    net_needs_rebuild_ = false;
+    compact_network();
+  }
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (controller_c_[i] >= 0 && controller_live_[i] > 0) {
+      net_.set_capacity(controller_c_[i], controller_cap(i, streams_on_controller));
     }
   }
-  if (entry == nullptr) {
-    ++solver_stats_.full_builds;
-    entry = &net_cache_[net_cache_victim_];
-    net_cache_victim_ = (net_cache_victim_ + 1) % kNetCacheEntries;
-    if (sig_ok) {
-      entry->sig = sig_scratch_;
-    } else {
-      entry->sig.assign(1, ~0ull);  // sentinel: no exec word is all-ones
-    }
-    rebuild_network(*entry, streams_on_controller);
-    entry->net.solve();
-  } else {
-    bool caps_changed = false;
-    for (std::size_t k = 0; k < entry->controller_nodes.size(); ++k) {
-      const auto i = static_cast<std::size_t>(entry->controller_nodes[k]);
-      const auto& node = topo_.node(topo::NodeId{entry->controller_nodes[k]});
-      const double derate = std::min(
-          params_.congestion_derate_max,
-          1.0 + params_.congestion_beta *
-                    std::max(0.0, streams_on_controller[i] - params_.congestion_knee));
-      const double cap = node.mem_bw_gbps * bw_scale_[i] * kGB / derate;
-      if (cap != entry->controller_cap[k]) {
-        entry->controller_cap[k] = cap;
-        entry->net.set_capacity(entry->controller_cidx[k], cap);
-        caps_changed = true;
+  for (auto& [id, rec] : active_) {
+    for (auto& f : rec.flows) {
+      if (f.gather && f.net_idx >= 0) {
+        net_.set_flow_cap(f.net_idx, gather_cap_for(rec, streams_on_controller));
       }
     }
-    for (std::size_t g = 0; g < gather_refs_.size(); ++g) {
-      const std::size_t ri = gather_refs_[g];
-      const double cap = gather_cap_for(*refs_[ri].rec, streams_on_controller);
-      if (cap != entry->gather_cap[g]) {
-        entry->gather_cap[g] = cap;
-        entry->net.set_flow_cap(static_cast<FlowNetwork::FlowIdx>(ri), cap);
-        caps_changed = true;
-      }
-    }
-    if (caps_changed) {
-      ++solver_stats_.cap_updates;
-      entry->net.solve();
-    } else {
-      ++solver_stats_.skipped;  // identical caps: the cached rates are exact
-    }
-  }
-  for (std::size_t i = 0; i < refs_.size(); ++i) {
-    refs_[i].rec->flows[refs_[i].idx].rate = entry->net.rate(static_cast<std::int32_t>(i));
   }
 
-  // 4. Reschedule completions.
+  // 5. Re-level. Structural edits re-run the water-filling from zero on the
+  // persistent structure (the journal they invalidated re-records);
+  // cap-only updates replay the journal (FlowNetwork::solve_delta); an
+  // unchanged problem is skipped outright — the solver is deterministic,
+  // so the current rates are still exact.
+  if (rebuilt) {
+    ++solver_stats_.full_builds;
+    net_.solve();
+  } else if (net_structural_) {
+    ++solver_stats_.cap_updates;
+    net_.solve();
+  } else if (net_.dirty()) {
+    ++solver_stats_.cap_updates;
+    const FlowNetwork::DeltaResult dr = net_.solve_delta();
+    if (!dr.full_fallback) {
+      ++solver_stats_.delta_solves;
+      solver_stats_.delta_rounds_reused += dr.rounds_reused;
+      solver_stats_.delta_rounds_total += dr.rounds_total;
+    }
+  } else {
+    ++solver_stats_.skipped;
+  }
+  net_structural_ = false;
+  if (solver_check_) check_against_fresh(streams_on_controller);
+
+  for (auto& [id, rec] : active_) {
+    for (auto& f : rec.flows) {
+      if (f.net_idx >= 0) f.rate = net_.rate(f.net_idx);
+    }
+  }
+
+  // 6. Reschedule completions. Live executions keep their event slot (and
+  // its callback closure) across resolves — reschedule() consumes exactly
+  // the one sequence number cancel+schedule_at used to, so the committed
+  // event stream is unchanged while the slot-recycling churn is gone.
   std::vector<ExecId> done;
   for (auto& [id, rec] : active_) {
-    if (rec.completion_event != sim::kInvalidEvent) {
-      engine_.cancel(rec.completion_event);
-      rec.completion_event = sim::kInvalidEvent;
-    }
     bool finished = rec.cpu_remaining <= kTinyCycles;
     if (finished) {
       for (const auto& f : rec.flows) {
@@ -407,7 +527,13 @@ void MemorySystem::resolve() {
       }
     }
     if (finished) {
+      if (rec.completion_event != sim::kInvalidEvent) {
+        engine_.cancel(rec.completion_event);
+        rec.completion_event = sim::kInvalidEvent;
+      }
       done.push_back(id);
+    } else if (rec.completion_event != sim::kInvalidEvent) {
+      rec.completion_event = engine_.reschedule(rec.completion_event, eta(rec, now));
     } else {
       const ExecId eid = id;
       rec.completion_event = engine_.schedule_at(
@@ -432,8 +558,7 @@ double MemorySystem::gather_cap_for(
     const double frac = rec.gather_frac[i];
     if (frac <= 0.0) continue;
     const topo::NodeId src{static_cast<std::int32_t>(i)};
-    const double dist = topo_.distance(src, home);
-    eff_avg += frac * std::pow(10.0 / dist, params_.remote_eff_exponent);
+    eff_avg += frac * eff_to(src, home);
     lat_factor +=
         frac * (1.0 + params_.gather_lat_beta *
                           std::max(0.0, streams_on_controller[i] -
@@ -443,81 +568,42 @@ double MemorySystem::gather_cap_for(
          std::max(1.0, lat_factor);
 }
 
-void MemorySystem::rebuild_refs() {
-  refs_.clear();
-  gather_refs_.clear();
-  for (auto& [id, rec] : active_) {
-    for (std::size_t fi = 0; fi < rec.flows.size(); ++fi) {
-      auto& f = rec.flows[fi];
-      if (f.remaining <= kTinyBytes) {
-        f.rate = 0.0;
-        continue;
-      }
-      if (f.gather) gather_refs_.push_back(refs_.size());
-      refs_.push_back(FlowRef{&rec, fi});
-    }
-  }
-}
-
-void MemorySystem::rebuild_network(NetCache& entry,
-                                   const std::vector<double>& streams_on_controller) {
+void MemorySystem::check_against_fresh(
+    const std::vector<double>& streams_on_controller) {
+  // The non-incremental reference: build a fresh network over only the live
+  // flows, in active_ (ExecId) order, exactly as a from-scratch resolve
+  // would, and demand bit-identical rates from the persistent network.
   const auto nn = static_cast<std::size_t>(topo_.num_nodes());
-  FlowNetwork& net = entry.net;
+  const auto ns = static_cast<std::size_t>(topo_.num_sockets());
+  FlowNetwork& net = check_net_;
   net.clear();
-  entry.controller_nodes.clear();
-  entry.controller_cidx.clear();
-  entry.controller_cap.clear();
-  entry.gather_cap.clear();
 
   std::vector<FlowNetwork::ConstraintIdx> controller_c(nn, -1);
   for (std::size_t i = 0; i < nn; ++i) {
     if (streams_on_controller[i] <= 0.0) continue;
-    const auto& node = topo_.node(topo::NodeId{static_cast<std::int32_t>(i)});
-    const double derate = std::min(
-        params_.congestion_derate_max,
-        1.0 + params_.congestion_beta *
-                  std::max(0.0, streams_on_controller[i] - params_.congestion_knee));
-    const double cap = node.mem_bw_gbps * bw_scale_[i] * kGB / derate;
-    controller_c[i] = net.add_constraint(cap);
-    entry.controller_nodes.push_back(static_cast<std::int32_t>(i));
-    entry.controller_cidx.push_back(controller_c[i]);
-    entry.controller_cap.push_back(cap);
+    controller_c[i] = net.add_constraint(controller_cap(i, streams_on_controller));
   }
-  // One link constraint per ordered socket pair with traffic.
-  const auto ns = static_cast<std::size_t>(topo_.num_sockets());
   std::vector<FlowNetwork::ConstraintIdx> link_c(ns * ns, -1);
-  // Per-core constraints created lazily.
   std::vector<FlowNetwork::ConstraintIdx> core_c(
       static_cast<std::size_t>(topo_.num_cores()), -1);
 
-  // Walks the same (record, flow) order as rebuild_refs(): network flow i
-  // is refs_[i].
   for (auto& [id, rec] : active_) {
     const auto& core = topo_.core(rec.core);
     const topo::NodeId home = core.node;
-    for (std::size_t fi = 0; fi < rec.flows.size(); ++fi) {
-      auto& f = rec.flows[fi];
-      if (f.remaining <= kTinyBytes) continue;
+    for (auto& f : rec.flows) {
+      if (f.net_idx < 0) continue;
       if (core_c[rec.core.index()] < 0) {
         core_c[rec.core.index()] = net.add_constraint(core.core_bw_gbps * kGB);
       }
-
       if (f.gather) {
         const double cap = gather_cap_for(rec, streams_on_controller);
         const FlowNetwork::ConstraintIdx constraints[1] = {core_c[rec.core.index()]};
         net.add_flow(cap, 1.0, constraints);
-        entry.gather_cap.push_back(cap);
         continue;
       }
-
       const topo::NodeId src{f.src_node};
-      const double dist = topo_.distance(src, home);
-      const double eff = std::pow(10.0 / dist, params_.remote_eff_exponent);
-      const double cap = core.core_bw_gbps * kGB * eff;
-      // Remote flows occupy controller/link capacity longer per delivered
-      // byte (latency-limited MLP): weight = 1/eff.
+      const double eff = eff_to(src, home);
       const double weight = 1.0 / eff;
-
       FlowNetwork::ConstraintIdx constraints[3];
       int nc = 0;
       constraints[nc++] = controller_c[static_cast<std::size_t>(f.src_node)];
@@ -531,9 +617,23 @@ void MemorySystem::rebuild_network(NetCache& entry,
         }
         constraints[nc++] = link_c[li];
       }
-      net.add_flow(cap, weight,
+      net.add_flow(core.core_bw_gbps * kGB * eff, weight,
                    std::span<const FlowNetwork::ConstraintIdx>(
                        constraints, static_cast<std::size_t>(nc)));
+    }
+  }
+  net.solve();
+
+  FlowNetwork::FlowIdx k = 0;
+  for (auto& [id, rec] : active_) {
+    for (auto& f : rec.flows) {
+      if (f.net_idx < 0) continue;
+      if (net.rate(k) != net_.rate(f.net_idx)) {
+        throw std::logic_error(
+            "MemorySystem: incremental resolve diverged from fresh build "
+            "(ILAN_SOLVER_CHECK)");
+      }
+      ++k;
     }
   }
 }
@@ -542,8 +642,12 @@ void MemorySystem::complete(ExecId id) {
   const auto it = active_.find(id);
   if (it == active_.end()) return;
   advance(it->second, engine_.now());
+  for (auto& f : it->second.flows) {
+    if (f.net_idx >= 0) tombstone_flow(f);
+  }
   auto cb = std::move(it->second.on_complete);
   active_.erase(it);
+  resolve_dirty_ = true;
   schedule_resolve();
   cb();
 }
@@ -571,8 +675,15 @@ void MemorySystem::reset_run() {
   solver_stats_ = SolverStats{};
   std::fill(node_src_bytes_.begin(), node_src_bytes_.end(), 0.0);
   std::fill(node_peak_streams_.begin(), node_peak_streams_.end(), 0.0);
-  // Force full rebuilds on the next resolves.
-  for (auto& e : net_cache_) e.sig.assign(1, ~0ull);
+  // Discard the persistent network: the next resolve rebuilds from scratch.
+  net_.clear();
+  std::fill(controller_c_.begin(), controller_c_.end(), -1);
+  std::fill(core_c_.begin(), core_c_.end(), -1);
+  std::fill(link_c_.begin(), link_c_.end(), -1);
+  std::fill(controller_live_.begin(), controller_live_.end(), 0);
+  net_structural_ = false;
+  net_needs_rebuild_ = true;
+  resolve_dirty_ = true;
 }
 
 }  // namespace ilan::mem

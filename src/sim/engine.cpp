@@ -24,6 +24,7 @@ void Engine::release_slot(std::uint32_t idx) {
   // Bumping the generation invalidates every outstanding EventId for this
   // slot; 0 is skipped on wraparound so no id ever equals kInvalidEvent.
   if (++s.generation == 0) s.generation = 1;
+  s.heap_pos = kNotInHeap;
   s.next_free = free_head_;
   free_head_ = idx;
 }
@@ -36,12 +37,15 @@ void Engine::heap_push(const Entry& e) {
     const std::size_t parent = (i - 1) / kArity;
     if (!before(e, heap_[parent])) break;
     heap_[i] = heap_[parent];
+    slot(heap_[i].slot).heap_pos = static_cast<std::uint32_t>(i);
     i = parent;
   }
   heap_[i] = e;
+  slot(e.slot).heap_pos = static_cast<std::uint32_t>(i);
 }
 
 void Engine::heap_pop_min() {
+  slot(heap_.front().slot).heap_pos = kNotInHeap;
   // Bottom-up (Wegener) deletion: walk the hole from the root down the
   // min-child path to a leaf, then drop the last element into the hole and
   // sift it up. In event-driven workloads the last element is one of the
@@ -63,6 +67,7 @@ void Engine::heap_pop_min() {
       if (before(heap_[c], heap_[best])) best = c;
     }
     heap_[hole] = heap_[best];
+    slot(heap_[hole].slot).heap_pos = static_cast<std::uint32_t>(hole);
     hole = best;
   }
   if (hole != n) {
@@ -71,11 +76,55 @@ void Engine::heap_pop_min() {
       const std::size_t parent = (hole - 1) / kArity;
       if (!before(e, heap_[parent])) break;
       heap_[hole] = heap_[parent];
+      slot(heap_[hole].slot).heap_pos = static_cast<std::uint32_t>(hole);
       hole = parent;
     }
     heap_[hole] = e;
+    slot(e.slot).heap_pos = static_cast<std::uint32_t>(hole);
   }
   heap_.pop_back();
+}
+
+void Engine::heap_sift(std::size_t pos, const Entry& e) {
+  // Try up first; if the entry belongs at or below its parent, sift down.
+  std::size_t i = pos;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slot(heap_[i].slot).heap_pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  if (i == pos) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      slot(heap_[i].slot).heap_pos = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+  }
+  heap_[i] = e;
+  slot(e.slot).heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void Engine::heap_remove(std::size_t pos) {
+  slot(heap_[pos].slot).heap_pos = kNotInHeap;
+  const std::size_t n = heap_.size() - 1;
+  if (pos == n) {
+    heap_.pop_back();
+    return;
+  }
+  const Entry e = heap_[n];
+  heap_.pop_back();
+  heap_sift(pos, e);
 }
 
 EventId Engine::schedule_at(SimTime at, Callback fn, EventTag tag, bool daemon) {
@@ -92,12 +141,33 @@ EventId Engine::schedule_at(SimTime at, Callback fn, EventTag tag, bool daemon) 
   return (static_cast<EventId>(s.generation) << 32) | idx;
 }
 
+EventId Engine::reschedule(EventId id, SimTime at) {
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= num_slots_ || slot(idx).generation != gen) return kInvalidEvent;
+  check_schedule(at);
+  Slot& s = slot(idx);
+  // Bump the generation (the old id dies, exactly as cancel + schedule_at
+  // would arrange) and move the pending entry in place. The sequence
+  // number is consumed either way, so the FIFO tie-break — and the
+  // committed event stream — is identical to cancel + schedule_at.
+  if (++s.generation == 0) s.generation = 1;
+  const std::size_t pos = s.heap_pos;
+  Entry e = heap_[pos];
+  e.at = at;
+  e.seq = next_seq_++;
+  e.generation = s.generation;
+  heap_sift(pos, e);
+  return (static_cast<EventId>(s.generation) << 32) | idx;
+}
+
 bool Engine::cancel(EventId id) {
   const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   if (idx >= num_slots_ || slot(idx).generation != gen) return false;
   if (!slot(idx).daemon) --live_regular_;
-  release_slot(idx);  // heap entry removed lazily on pop
+  heap_remove(slot(idx).heap_pos);
+  release_slot(idx);
   --live_;
   return true;
 }
@@ -112,10 +182,6 @@ std::size_t Engine::run_until(SimTime limit) {
     if (live_regular_ == 0) break;
     const Entry top = heap_.front();
     Slot& s = slot(top.slot);
-    if (s.generation != top.generation) {
-      heap_pop_min();  // cancelled
-      continue;
-    }
     if (top.at > limit) break;
     heap_pop_min();
     // Two-phase release: invalidate the id now (a self-cancel from inside
@@ -139,9 +205,10 @@ std::size_t Engine::run_until(SimTime limit) {
 
 void Engine::reset() {
   // Release live slots (bumping generations, so stale pre-reset ids can
-  // never match post-reset events); each live slot has exactly one entry.
+  // never match post-reset events); every heap entry is live, and each
+  // live slot has exactly one entry.
   for (const Entry& e : heap_) {
-    if (slot(e.slot).generation == e.generation) release_slot(e.slot);
+    release_slot(e.slot);
   }
   heap_.clear();
   now_ = 0;

@@ -38,6 +38,14 @@ void expect_bit_identical(const bench::Series& a, const bench::Series& b) {
     EXPECT_EQ(ra.solver.full_builds, rb.solver.full_builds) << "run " << i;
     EXPECT_EQ(ra.solver.cap_updates, rb.solver.cap_updates) << "run " << i;
     EXPECT_EQ(ra.solver.skipped, rb.solver.skipped) << "run " << i;
+    EXPECT_EQ(ra.solver.coalesced, rb.solver.coalesced) << "run " << i;
+    EXPECT_EQ(ra.solver.compactions, rb.solver.compactions) << "run " << i;
+    EXPECT_EQ(ra.solver.flows_reclaimed, rb.solver.flows_reclaimed) << "run " << i;
+    EXPECT_EQ(ra.solver.delta_solves, rb.solver.delta_solves) << "run " << i;
+    EXPECT_EQ(ra.solver.delta_rounds_reused, rb.solver.delta_rounds_reused)
+        << "run " << i;
+    EXPECT_EQ(ra.solver.delta_rounds_total, rb.solver.delta_rounds_total)
+        << "run " << i;
   }
 }
 
@@ -83,10 +91,29 @@ TEST(Harness, SeriesAggregatesCoverAllRuns) {
   EXPECT_EQ(s.total_events_fired(), s.runs[0].events_fired + s.runs[1].events_fired);
   const auto t = s.solver_totals();
   EXPECT_EQ(t.resolves, s.runs[0].solver.resolves + s.runs[1].solver.resolves);
-  EXPECT_EQ(t.resolves, t.full_builds + t.cap_updates + t.skipped);
+  EXPECT_EQ(t.resolves, t.full_builds + t.cap_updates + t.skipped + t.coalesced);
   EXPECT_GT(t.resolves, 0u);
   EXPECT_EQ(s.ok_count(), 2);
   EXPECT_EQ(s.failed_count(), 0);
+}
+
+// The point of the incremental-resolve work: a steady-state kernel must
+// serve the vast majority of its resolves in place on the persistent
+// network (cap_updates or skipped, not full_builds). Guards the exact
+// regression BENCH_harness.json used to show — full_builds ~= resolves,
+// cap_updates == 0 — from coming back.
+TEST(Harness, SteadyStateResolvesStayIncremental) {
+  setenv("ILAN_BENCH_JSON", "0", 1);
+  const auto r = bench::run_once("sp", "ilan", 42, small_opts());
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& t = r.solver;
+  EXPECT_EQ(t.resolves, t.full_builds + t.cap_updates + t.skipped + t.coalesced);
+  EXPECT_GT(t.cap_updates, 0u);
+  // Full rebuilds are only the initial build plus tombstone compactions.
+  EXPECT_EQ(t.full_builds, 1u + t.compactions);
+  EXPECT_LE(t.delta_rounds_reused, t.delta_rounds_total);
+  EXPECT_GE(t.hit_rate(), 0.8) << "full_builds=" << t.full_builds
+                               << " resolves=" << t.resolves;
 }
 
 TEST(Harness, FaultedRunsAreBitIdenticalAcrossJobs) {

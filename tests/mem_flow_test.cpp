@@ -187,4 +187,209 @@ INSTANTIATE_TEST_SUITE_P(RandomInstances, FlowNetworkProperty,
                            return "seed" + std::to_string(info.param.seed);
                          });
 
+// ---------------------------------------------------------------------------
+// Persistent-network structural transitions: tombstoning, compact-equivalent
+// rebuilds, and the exact-parity contract (a solve on the persistent network
+// is bit-identical to a fresh build over the live flows in the same order).
+// ---------------------------------------------------------------------------
+
+TEST(FlowNetwork, RemoveFlowZeroesRateAndKeepsIndices) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(90.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  for (int i = 0; i < 3; ++i) net.add_flow(100.0, 1.0, cs);
+  net.solve();
+  net.remove_flow(1);
+  EXPECT_TRUE(net.dead(1));
+  EXPECT_FALSE(net.dead(0));
+  EXPECT_EQ(net.num_flows(), 3);
+  EXPECT_EQ(net.live_flows(), 2u);
+  EXPECT_EQ(net.dead_flows(), 1u);
+  EXPECT_DOUBLE_EQ(net.rate(1), 0.0);
+  net.solve();
+  // The survivors split the freed share; the tombstone stays at zero.
+  EXPECT_NEAR(net.rate(0), 45.0, 1e-9);
+  EXPECT_DOUBLE_EQ(net.rate(1), 0.0);
+  EXPECT_NEAR(net.rate(2), 45.0, 1e-9);
+}
+
+TEST(FlowNetwork, RemoveFlowErrors) {
+  FlowNetwork net;
+  net.add_flow(10.0, 1.0, {});
+  net.remove_flow(0);
+  EXPECT_THROW(net.remove_flow(0), std::logic_error);       // double tombstone
+  EXPECT_THROW(net.remove_flow(5), std::out_of_range);      // no such flow
+  EXPECT_THROW(net.set_flow_cap(0, 1.0), std::invalid_argument);  // dead flow
+}
+
+// The bit-for-bit contract the incremental resolver rests on: after any
+// add/remove sequence, solving the persistent network equals solving a
+// from-scratch network holding only the live flows, in append order, with
+// exact (not approximate) rate equality.
+TEST(FlowNetwork, PersistentSolveMatchesFreshBuildBitForBit) {
+  ilan::sim::Xoshiro256ss rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    FlowNetwork persistent;
+    const int nc = 2 + static_cast<int>(rng.below(5));
+    std::vector<double> cap(static_cast<std::size_t>(nc));
+    for (int c = 0; c < nc; ++c) {
+      cap[static_cast<std::size_t>(c)] = rng.uniform(10.0, 200.0);
+      persistent.add_constraint(cap[static_cast<std::size_t>(c)]);
+    }
+    const int nf = 4 + static_cast<int>(rng.below(30));
+    struct F {
+      double cap, weight;
+      std::vector<FlowNetwork::ConstraintIdx> cs;
+      bool dead = false;
+    };
+    std::vector<F> flows;
+    for (int f = 0; f < nf; ++f) {
+      F fl;
+      fl.cap = rng.uniform(1.0, 50.0);
+      fl.weight = rng.uniform(1.0, 3.0);
+      const int k = 1 + static_cast<int>(rng.below(2));
+      for (int j = 0; j < k; ++j) {
+        const auto c = static_cast<FlowNetwork::ConstraintIdx>(
+            rng.below(static_cast<std::uint64_t>(nc)));
+        if (std::find(fl.cs.begin(), fl.cs.end(), c) == fl.cs.end()) fl.cs.push_back(c);
+      }
+      persistent.add_flow(fl.cap, fl.weight, fl.cs);
+      flows.push_back(fl);
+    }
+    // Tombstone a random subset.
+    for (int f = 0; f < nf; ++f) {
+      if (rng.below(3) == 0) {
+        persistent.remove_flow(f);
+        flows[static_cast<std::size_t>(f)].dead = true;
+      }
+    }
+    persistent.solve();
+
+    FlowNetwork fresh;
+    for (int c = 0; c < nc; ++c) fresh.add_constraint(cap[static_cast<std::size_t>(c)]);
+    std::vector<int> live_of;  // fresh index -> persistent index
+    for (int f = 0; f < nf; ++f) {
+      const auto& fl = flows[static_cast<std::size_t>(f)];
+      if (fl.dead) continue;
+      fresh.add_flow(fl.cap, fl.weight, fl.cs);
+      live_of.push_back(f);
+    }
+    fresh.solve();
+    for (std::size_t i = 0; i < live_of.size(); ++i) {
+      // Exact equality on purpose: tombstone exclusion must not perturb a
+      // single bit of any surviving flow's rate.
+      EXPECT_EQ(fresh.rate(static_cast<FlowNetwork::FlowIdx>(i)),
+                persistent.rate(live_of[i]))
+          << "round " << round << " live flow " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta re-solving: journal replay must be bit-identical to a full solve
+// across randomized capacity perturbation sequences — including ones that
+// diverge mid-journal — and must actually reuse rounds when updates are
+// benign.
+// ---------------------------------------------------------------------------
+
+TEST(FlowNetwork, DeltaSolveFallsBackWithoutJournal) {
+  FlowNetwork net;
+  const auto c = net.add_constraint(50.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(100.0, 1.0, cs);
+  // Recording off: solve_delta() degrades to a full solve.
+  const auto r = net.solve_delta();
+  EXPECT_TRUE(r.full_fallback);
+  EXPECT_DOUBLE_EQ(net.rate(0), 50.0);
+
+  net.set_record(true);
+  net.solve();
+  // Structural edits invalidate the journal; the next delta is a full solve.
+  net.add_flow(100.0, 1.0, cs);
+  EXPECT_FALSE(net.journal_valid());
+  const auto r2 = net.solve_delta();
+  EXPECT_TRUE(r2.full_fallback);
+  EXPECT_NEAR(net.rate(0), 25.0, 1e-9);
+}
+
+TEST(FlowNetwork, DeltaSolveWithNoUpdatesReusesEveryRound) {
+  FlowNetwork net;
+  net.set_record(true);
+  const auto c = net.add_constraint(50.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(100.0, 1.0, cs);
+  net.add_flow(10.0, 1.0, cs);
+  net.solve();
+  const auto r = net.solve_delta();
+  EXPECT_FALSE(r.full_fallback);
+  EXPECT_EQ(r.rounds_reused, r.rounds_total);
+  EXPECT_GT(r.rounds_total, 0);
+}
+
+TEST(FlowNetwork, DirtySurvivesJournalInvalidation) {
+  FlowNetwork net;
+  net.set_record(true);
+  const auto c = net.add_constraint(50.0);
+  const FlowNetwork::ConstraintIdx cs[] = {c};
+  net.add_flow(100.0, 1.0, cs);
+  net.add_flow(100.0, 1.0, cs);
+  net.solve();
+  net.set_capacity(c, 60.0);
+  net.remove_flow(1);  // invalidates the journal, must NOT drop the cap dirt
+  EXPECT_TRUE(net.dirty());
+  const auto r = net.solve_delta();
+  EXPECT_TRUE(r.full_fallback);
+  EXPECT_NEAR(net.rate(0), 60.0, 1e-9);
+}
+
+TEST(FlowNetwork, RandomizedDeltaMatchesFullSolveExactly) {
+  ilan::sim::Xoshiro256ss rng(777);
+  int divergences = 0;
+  int reuses = 0;
+  for (int round = 0; round < 10; ++round) {
+    FlowNetwork net;
+    net.set_record(true);
+    const int nc = 2 + static_cast<int>(rng.below(5));
+    std::vector<FlowNetwork::ConstraintIdx> cons;
+    for (int c = 0; c < nc; ++c) cons.push_back(net.add_constraint(rng.uniform(20.0, 200.0)));
+    const int nf = 4 + static_cast<int>(rng.below(24));
+    for (int f = 0; f < nf; ++f) {
+      std::vector<FlowNetwork::ConstraintIdx> cs;
+      const int k = 1 + static_cast<int>(rng.below(2));
+      for (int j = 0; j < k; ++j) {
+        const auto c = cons[rng.below(static_cast<std::uint64_t>(nc))];
+        if (std::find(cs.begin(), cs.end(), c) == cs.end()) cs.push_back(c);
+      }
+      net.add_flow(rng.uniform(1.0, 50.0), rng.uniform(1.0, 3.0), cs);
+    }
+    net.solve();
+    for (int step = 0; step < 25; ++step) {
+      // Mix benign wobbles (replay should survive) with violent swings
+      // (replay should diverge); both must land on the full solve's rates.
+      const double scale = step % 3 == 0 ? rng.uniform(0.3, 3.0) : rng.uniform(0.95, 1.05);
+      const int edits = 1 + static_cast<int>(rng.below(3));
+      for (int e = 0; e < edits; ++e) {
+        if (rng.below(2) == 0) {
+          const auto c = cons[rng.below(static_cast<std::uint64_t>(nc))];
+          net.set_capacity(c, rng.uniform(20.0, 200.0) * scale);
+        } else {
+          const auto f = static_cast<FlowNetwork::FlowIdx>(
+              rng.below(static_cast<std::uint64_t>(nf)));
+          if (!net.dead(f)) net.set_flow_cap(f, rng.uniform(1.0, 50.0) * scale);
+        }
+      }
+      const auto r = net.solve_delta();
+      EXPECT_FALSE(r.full_fallback);
+      if (r.rounds_reused > 0) ++reuses;
+      if (r.rounds_reused < r.rounds_total) ++divergences;
+      // Throws std::logic_error on any bitwise rate mismatch vs. a full
+      // re-solve (and re-records the journal for the next step).
+      EXPECT_NO_THROW(net.check_against_full()) << "round " << round << " step " << step;
+    }
+  }
+  // The sequence must have exercised both replay outcomes.
+  EXPECT_GT(reuses, 0);
+  EXPECT_GT(divergences, 0);
+}
+
 }  // namespace

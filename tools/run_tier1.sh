@@ -7,6 +7,7 @@
 #   tools/run_tier1.sh faults                     # fault-injection gate
 #   tools/run_tier1.sh obs                        # observability gate
 #   tools/run_tier1.sh sched                      # scheduler-registry gate
+#   tools/run_tier1.sh solver                     # incremental-solver gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -40,6 +41,15 @@
 # the sched_equivalence digest gate (registry-built schedulers must
 # reproduce the pre-refactor monolithic schedulers bit-for-bit), run on the
 # primary build and then under ASan and TSan.
+#
+# `solver` is the incremental-solver gate: the FlowNetwork unit tests
+# (including the randomized full-vs-delta equivalence test), the
+# bench/solver_gate regression gate (delta-vs-rebuild speedup floor, cache
+# hit-rate floor, events/s floor — timing floors disable themselves in
+# sanitized builds), and a solver_gate rerun with ILAN_SOLVER_CHECK=1 so
+# every resolve of the sp/cg runs is cross-checked bit-for-bit against a
+# from-scratch solve. Runs on the primary build and then under ASan and
+# TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,6 +138,26 @@ run_sched_one() {
   "./$build_dir/tests/test_sched_equivalence"
 }
 
+run_solver_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target test_mem_flow solver_gate
+  echo "== FlowNetwork tests incl. full-vs-delta equivalence (${san:-plain}) =="
+  "./$build_dir/tests/test_mem_flow"
+  echo "== solver_gate (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/solver_gate"
+  echo "== solver_gate with ILAN_SOLVER_CHECK=1 (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 ILAN_SOLVER_CHECK=1 ILAN_SOLVER_MIN_SPEEDUP=0 \
+    ILAN_SOLVER_MIN_EVPS=0 "./$build_dir/bench/solver_gate"
+}
+
 case "$mode" in
   build)
     build_one "${ILAN_SANITIZE:-}"
@@ -166,8 +196,15 @@ case "$mode" in
       run_sched_one "$san"
     done
     ;;
+  solver)
+    run_solver_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_solver_one "$san"
+    done
+    ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|solver]" >&2
     exit 2
     ;;
 esac
