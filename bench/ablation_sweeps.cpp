@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "harness.hpp"
+#include "obs/env.hpp"
 #include "rt/team.hpp"
 #include "sched/registry.hpp"
 
@@ -54,10 +55,7 @@ double run_model_sweep(const std::string& kernel, const kernels::KernelOptions& 
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
-  int runs = 5;
-  if (const char* v = std::getenv("ILAN_ABLATION_RUNS")) {
-    if (std::atoi(v) > 0) runs = std::atoi(v);
-  }
+  const int runs = obs::parse_env_int("ILAN_ABLATION_RUNS", 5, 1, 1000);
   const auto opts = bench::env_kernel_options();
   const std::vector<std::string> kernels_to_run = {"cg", "sp"};
 

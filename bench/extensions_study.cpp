@@ -14,6 +14,7 @@
 
 #include "sched/registry.hpp"
 #include "harness.hpp"
+#include "obs/env.hpp"
 #include "rt/team.hpp"
 #include "trace/energy.hpp"
 
@@ -53,10 +54,7 @@ Outcome run(const std::string& kernel, const std::string& spec, int runs,
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
-  int runs = 5;
-  if (const char* v = std::getenv("ILAN_EXT_RUNS")) {
-    if (std::atoi(v) > 0) runs = std::atoi(v);
-  }
+  const int runs = obs::parse_env_int("ILAN_EXT_RUNS", 5, 1, 1000);
   const auto opts = bench::env_kernel_options();
 
   std::cout << "== A. counter-guided selection (skip exploration when compute-bound) ==\n\n";

@@ -26,6 +26,7 @@
 
 #include "sched/schedulers.hpp"
 #include "harness.hpp"
+#include "ilan_verify/verify.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/env.hpp"
 #include "obs/metrics.hpp"
@@ -87,6 +88,15 @@ int main(int argc, char** argv) {
   const obs::ScopedEnv metrics_env("ILAN_METRICS", "1");
 
   std::cout << "== observability report (" << runs << " run(s)/cell) ==\n\n";
+
+  // Environment preamble: the semantic-analysis rule set this tree is held
+  // to (same output as `ilan-verify --list`), so a pasted report records
+  // which static guarantees were active alongside the numbers.
+  std::cout << "== ilan-verify rule set ==\n";
+  for (const auto& rule : verify::rules()) {
+    std::cout << "  " << rule.name << "  " << rule.description << "\n";
+  }
+  std::cout << "\n";
   trace::Table table({"benchmark", "scheduler", "time_s", "tasks", "steal_i",
                       "steal_x", "rescue", "probes", "locks", "reexpl",
                       "deque_avg", "stealable", "faults"});

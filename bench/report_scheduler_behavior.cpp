@@ -11,15 +11,13 @@
 #include <string>
 
 #include "harness.hpp"
+#include "obs/env.hpp"
 
 using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
-  int runs = 3;
-  if (const char* v = std::getenv("ILAN_REPORT_RUNS")) {
-    if (std::atoi(v) > 0) runs = std::atoi(v);
-  }
+  const int runs = obs::parse_env_int("ILAN_REPORT_RUNS", 3, 1, 1000);
   const auto opts = bench::env_kernel_options();
 
   std::cout << "== scheduler behavior report (" << runs << " run(s)/cell) ==\n\n";

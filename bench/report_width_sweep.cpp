@@ -10,6 +10,7 @@
 
 #include "sched/registry.hpp"
 #include "harness.hpp"
+#include "obs/env.hpp"
 #include "rt/team.hpp"
 
 using namespace ilan;
@@ -49,10 +50,7 @@ double run_width(const std::string& kernel, int width,
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
-  int runs = 1;
-  if (const char* v = std::getenv("ILAN_SWEEP_RUNS")) {
-    if (std::atoi(v) > 0) runs = std::atoi(v);
-  }
+  const int runs = obs::parse_env_int("ILAN_SWEEP_RUNS", 1, 1, 1000);
   auto opts = bench::env_kernel_options();
   if (opts.timesteps == 0) opts.timesteps = 20;  // steady-state view
 

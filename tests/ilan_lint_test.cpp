@@ -152,6 +152,35 @@ TEST(LintSuppression, AllowForADifferentRuleDoesNotSilence) {
   EXPECT_TRUE(has_rule(lint_source(kSimPath, src), "rand"));
 }
 
+TEST(LintSuppression, BlockCommentAllowAppliesAtItsOpeningLine) {
+  // A /* */ allow spanning lines suppresses only the line it opens on, and
+  // the lines it spans still count toward later findings' line numbers.
+  const char* src =
+      "int a = rand();  /* ilan-lint: allow(rand)\n"
+      "   rationale continues\n"
+      "   across lines */\n"
+      "int b = rand();\n";
+  const auto fs = lint_source(kSimPath, src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_EQ(fs[0].rule, "rand");
+}
+
+TEST(LintSuppression, CrLfEndingsKeepAllowAndLineNumbers) {
+  const char* src =
+      "int a = rand();  // ilan-lint: allow(rand)\r\n"
+      "int b = rand();\r\n";
+  const auto fs = lint_source(kSimPath, src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].rule, "rand");
+}
+
+TEST(LintSuppression, AllowOnLastLineWithoutTrailingNewline) {
+  const char* src = "int a = rand();  // ilan-lint: allow(rand)";
+  EXPECT_TRUE(lint_source(kSimPath, src).empty());
+}
+
 TEST(LintLexer, CommentsAndStringsAreNotCode) {
   EXPECT_TRUE(lint_source(kSimPath, "// call rand() here\n").empty());
   EXPECT_TRUE(lint_source(kSimPath, "/* std::mt19937 gen; */\n").empty());

@@ -1,0 +1,381 @@
+// ilan-verify unit tests: model extraction over fixture sources, one
+// seeded defect per rule, allow() suppression with justification echo,
+// and baseline filtering. Fixtures are tiny C++ snippets fed through
+// analyze_sources, so each rule's detection is pinned end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ilan_verify/verify.hpp"
+
+namespace {
+
+using ilan::verify::analyze_sources;
+using ilan::verify::build_model;
+using ilan::verify::Finding;
+using ilan::verify::finding_key;
+using ilan::verify::Model;
+using ilan::verify::Options;
+using ilan::verify::Report;
+using ilan::verify::SourceFile;
+
+Options no_readme() {
+  Options opts;
+  opts.check_readme = false;
+  return opts;
+}
+
+bool has_finding(const std::vector<Finding>& v, const std::string& rule,
+                 const std::string& symbol_part) {
+  return std::any_of(v.begin(), v.end(), [&](const Finding& f) {
+    return f.rule == rule &&
+           f.symbol.find(symbol_part) != std::string::npos;
+  });
+}
+
+const Finding* find_finding(const std::vector<Finding>& v,
+                            const std::string& rule,
+                            const std::string& symbol_part) {
+  for (const Finding& f : v) {
+    if (f.rule == rule && f.symbol.find(symbol_part) != std::string::npos) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const ilan::verify::Function* function_by_qualified(const Model& m,
+                                                    const std::string& q) {
+  for (const auto& fn : m.functions) {
+    if (fn.qualified == q) return &fn;
+  }
+  return nullptr;
+}
+
+// ---- model extraction ----------------------------------------------------
+
+TEST(IlanVerifyModel, ExtractsOutOfLineMembersAndCtorInitLists) {
+  const char* src = R"cpp(
+namespace ilan {
+class Widget {
+ public:
+  Widget();
+  int area() const;
+ private:
+  int w_, h_;
+};
+Widget::Widget() : w_(7), h_{2} { init(); }
+int Widget::area() const { return helper(w_); }
+int helper(int v) { return v * 2; }
+void init() {}
+}  // namespace ilan
+)cpp";
+  const Model m = build_model({{"src/x.cpp", src}});
+  const ilan::verify::Function* ctor =
+      function_by_qualified(m, "ilan::Widget::Widget");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_EQ(ctor->class_name, "Widget");
+  ASSERT_EQ(ctor->calls.size(), 1u);  // init(); ctor-init list is skipped
+  EXPECT_EQ(ctor->calls[0].name, "init");
+
+  const ilan::verify::Function* area =
+      function_by_qualified(m, "ilan::Widget::area");
+  ASSERT_NE(area, nullptr);
+  ASSERT_EQ(area->calls.size(), 1u);
+  EXPECT_EQ(area->calls[0].name, "helper");
+  ASSERT_EQ(m.classes.size(), 1u);
+  EXPECT_EQ(m.classes[0].name, "Widget");
+}
+
+TEST(IlanVerifyModel, TrailingReturnTypesAndTemplatesParse) {
+  const char* src = R"cpp(
+template <typename T>
+auto twice(T v) -> decltype(v + v) { return v + v; }
+)cpp";
+  const Model m = build_model({{"src/t.cpp", src}});
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].name, "twice");
+}
+
+TEST(IlanVerifyModel, RawStringsDoNotUnbalanceScopes) {
+  const char* src =
+      "namespace n {\n"
+      "const char* j() { return R\"({\"a\":(1)})\"; }\n"
+      "int after() { return 1; }\n"
+      "}\n";
+  const Model m = build_model({{"src/r.cpp", src}});
+  ASSERT_EQ(m.functions.size(), 2u);
+  EXPECT_EQ(m.functions[0].qualified, "n::j");
+  EXPECT_EQ(m.functions[1].qualified, "n::after");
+}
+
+// ---- taint ---------------------------------------------------------------
+
+const char* kTaintFixture = R"cpp(
+namespace ilan::sim {
+double host_now() {
+  return steady_clock::now().time_since_epoch().count();
+}
+double shim() { return host_now(); }
+class Engine {
+ public:
+  void commit_event(int tag) { last_ = shim(); }
+ private:
+  double last_ = 0;
+};
+}  // namespace ilan::sim
+)cpp";
+
+TEST(IlanVerifyTaint, SeedPropagatesThroughCallChainToSink) {
+  const Report r = analyze_sources({{"src/sim/fx.cpp", kTaintFixture}}, no_readme());
+  const Finding* f = find_finding(r.findings, "taint", "Engine::commit_event");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/sim/fx.cpp");
+  EXPECT_EQ(f->line, 4);  // the steady_clock line, where allow() would go
+  ASSERT_EQ(f->path.size(), 3u);
+  EXPECT_EQ(f->path[0], "ilan::sim::Engine::commit_event");
+  EXPECT_EQ(f->path[1], "ilan::sim::shim");
+  EXPECT_EQ(f->path[2], "ilan::sim::host_now");
+}
+
+TEST(IlanVerifyTaint, AllowWithJustificationSuppressesAndEchoesIntoJson) {
+  // The annotation must sit on the seed line (the finding's anchor).
+  std::string src = kTaintFixture;
+  const std::string anchor = "count();";
+  src.insert(src.find(anchor) + anchor.size(),
+             "  // ilan-verify: allow(taint, \"fixture clock, never digested\")");
+  const Report r = analyze_sources({{"src/sim/fx.cpp", src}}, no_readme());
+  EXPECT_FALSE(has_finding(r.findings, "taint", "commit_event"));
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].justification, "fixture clock, never digested");
+
+  std::ostringstream json;
+  ilan::verify::write_json(json, r);
+  EXPECT_NE(json.str().find("fixture clock, never digested"), std::string::npos);
+  EXPECT_NE(json.str().find("\"suppressed\""), std::string::npos);
+}
+
+TEST(IlanVerifyTaint, AllowWithoutJustificationDoesNotSuppress) {
+  std::string src = kTaintFixture;
+  const std::string anchor = "count();";
+  src.insert(src.find(anchor) + anchor.size(),
+             "  // ilan-verify: allow(taint)");
+  const Report r = analyze_sources({{"src/sim/fx.cpp", src}}, no_readme());
+  EXPECT_TRUE(has_finding(r.findings, "taint", "commit_event"));
+  EXPECT_TRUE(has_finding(r.findings, "allow-syntax", "taint"));
+  EXPECT_TRUE(r.suppressed.empty());
+}
+
+TEST(IlanVerifyTaint, UnknownRuleInAllowIsReported) {
+  const char* src = R"cpp(
+// ilan-verify: allow(taintt, "typo should be caught")
+int f() { return 1; }
+)cpp";
+  const Report r = analyze_sources({{"src/a.cpp", src}}, no_readme());
+  EXPECT_TRUE(has_finding(r.findings, "allow-syntax", "taintt"));
+}
+
+// ---- observer discipline -------------------------------------------------
+
+TEST(IlanVerifyObserver, CallbackReachingMutatorIsFlagged) {
+  const char* src = R"cpp(
+namespace ilan::rt {
+class TaskObserver {};
+}
+namespace ilan::analysis {
+class Auditor : public rt::TaskObserver {
+ public:
+  void on_task_start(int t) { note(t); }
+ private:
+  void note(int t) { eng_.schedule_at(t, 0); }
+  int eng_ = 0;
+};
+}  // namespace ilan::analysis
+)cpp";
+  const Report r = analyze_sources({{"src/analysis/fx.cpp", src}}, no_readme());
+  const Finding* f =
+      find_finding(r.findings, "observer-mutation", "Auditor::on_task_start");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 10);  // the schedule_at call site
+  ASSERT_GE(f->path.size(), 3u);
+  EXPECT_EQ(f->path.front(), "ilan::analysis::Auditor::on_task_start");
+  EXPECT_EQ(f->path.back(), "schedule_at()");
+}
+
+TEST(IlanVerifyObserver, ReadOnlyCallbackIsClean) {
+  const char* src = R"cpp(
+namespace ilan::rt {
+class TaskObserver {};
+}
+namespace ilan::analysis {
+class Auditor : public rt::TaskObserver {
+ public:
+  void on_task_start(int t) { count_ += t; }
+ private:
+  int count_ = 0;
+};
+}  // namespace ilan::analysis
+)cpp";
+  const Report r = analyze_sources({{"src/analysis/fx.cpp", src}}, no_readme());
+  EXPECT_FALSE(has_finding(r.findings, "observer-mutation", "Auditor"));
+}
+
+// ---- event tags ----------------------------------------------------------
+
+TEST(IlanVerifyEventTags, UnhandledConstantIsFlagged) {
+  const char* src = R"cpp(
+namespace ilan::sim {
+using EventTag = int;
+inline constexpr EventTag kTagA = 1;
+inline constexpr EventTag kTagB = 2;
+inline const char* tag_name(EventTag t) {
+  switch (t) {
+    case kTagA: return "a";
+  }
+  return "?";
+}
+}  // namespace ilan::sim
+)cpp";
+  const Report r =
+      analyze_sources({{"src/sim/event_tags.hpp", src}}, no_readme());
+  EXPECT_TRUE(has_finding(r.findings, "event-tag", "kTagB"));
+  EXPECT_FALSE(has_finding(r.findings, "event-tag", "kTagA"));
+}
+
+TEST(IlanVerifyEventTags, HandlersInOtherFilesCount) {
+  const char* tags = R"cpp(
+namespace ilan::sim {
+using EventTag = int;
+inline constexpr EventTag kTagA = 1;
+}
+)cpp";
+  const char* selfcheck = R"cpp(
+namespace ilan {
+int describe(int t) {
+  switch (t) {
+    case sim::kTagA: return 1;
+  }
+  return 0;
+}
+}
+)cpp";
+  const Report r = analyze_sources(
+      {{"src/sim/event_tags.hpp", tags}, {"bench/selfcheck.cpp", selfcheck}},
+      no_readme());
+  EXPECT_FALSE(has_finding(r.findings, "event-tag", "kTagA"));
+}
+
+// ---- knob drift ----------------------------------------------------------
+
+TEST(IlanVerifyKnobs, UndocumentedDeadAndWeakParseAreFlagged) {
+  const char* src = R"cpp(
+namespace b {
+int strict() { return obs::parse_env_int("ILAN_TEST_KNOB", 1, 0, 10); }
+int weak() {
+  const char* v = getenv("ILAN_WEAK");
+  return v ? atoi(v) : 0;
+}
+}
+)cpp";
+  Options opts;
+  opts.readme =
+      "| `ILAN_WEAK` | 0 | weakly parsed |\n"
+      "| `ILAN_DEAD` | 1 | documented but never read |\n";
+  const Report r = analyze_sources({{"bench/fx.cpp", src}}, opts);
+  EXPECT_TRUE(has_finding(r.findings, "knob-drift", "ILAN_TEST_KNOB"));
+  const Finding* dead = find_finding(r.findings, "knob-drift", "ILAN_DEAD");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->file, "README.md");
+  EXPECT_EQ(dead->line, 2);
+  const Finding* weak = find_finding(r.findings, "knob-drift", "ILAN_WEAK");
+  ASSERT_NE(weak, nullptr);
+  EXPECT_NE(weak->message.find("atoi"), std::string::npos);
+}
+
+TEST(IlanVerifyKnobs, ShellReadsExemptDocumentedKnobs) {
+  Options opts;
+  opts.readme = "| `ILAN_SHELL_ONLY` | off | gate toggle |\n";
+  opts.shell_knob_reads = {"ILAN_SHELL_ONLY"};
+  const Report r = analyze_sources({{"src/empty.cpp", "namespace e {}\n"}}, opts);
+  EXPECT_FALSE(has_finding(r.findings, "knob-drift", "ILAN_SHELL_ONLY"));
+}
+
+TEST(IlanVerifyKnobs, ScanKnobMentionsFindsTokensWithLines) {
+  const auto mentions = ilan::verify::scan_knob_mentions(
+      "line one\nexport ILAN_FOO=1\nILAN_BAR ILAN_FOO\n");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions.at("ILAN_FOO"), 2);
+  EXPECT_EQ(mentions.at("ILAN_BAR"), 3);
+}
+
+// ---- metric grammar ------------------------------------------------------
+
+TEST(IlanVerifyMetrics, GrammarAndKindConflictsAreFlagged) {
+  const char* src = R"cpp(
+namespace b {
+void wire(Registry& reg) {
+  reg.counter("rt.loops");
+  reg.counter("BadName");
+  reg.gauge("rt.loops");
+  reg.histogram(prefix + ".ok_fragment");
+}
+}
+)cpp";
+  const Report r = analyze_sources({{"src/obs/fx.cpp", src}}, no_readme());
+  EXPECT_TRUE(has_finding(r.findings, "metric-grammar", "BadName"));
+  const Finding* conflict =
+      find_finding(r.findings, "metric-grammar", "rt.loops");
+  ASSERT_NE(conflict, nullptr);
+  EXPECT_NE(conflict->message.find("conflicting kinds"), std::string::npos);
+  EXPECT_FALSE(has_finding(r.findings, "metric-grammar", ".ok_fragment"));
+}
+
+TEST(IlanVerifyMetrics, SingleSegmentNamesAreRejected) {
+  const char* src = R"cpp(
+namespace b {
+void wire(Registry& reg) { reg.counter("loops"); }
+}
+)cpp";
+  const Report r = analyze_sources({{"src/obs/fx.cpp", src}}, no_readme());
+  EXPECT_TRUE(has_finding(r.findings, "metric-grammar", "loops"));
+}
+
+// ---- baseline ------------------------------------------------------------
+
+TEST(IlanVerifyBaseline, BaselinedFindingsDoNotFailTheGate) {
+  const Report first =
+      analyze_sources({{"src/sim/fx.cpp", kTaintFixture}}, no_readme());
+  ASSERT_EQ(first.findings.size(), 1u);
+
+  Options opts = no_readme();
+  opts.baseline = {finding_key(first.findings[0])};
+  const Report second =
+      analyze_sources({{"src/sim/fx.cpp", kTaintFixture}}, opts);
+  EXPECT_TRUE(second.findings.empty());
+  ASSERT_EQ(second.baselined.size(), 1u);
+  EXPECT_EQ(second.baselined[0].symbol, first.findings[0].symbol);
+}
+
+TEST(IlanVerifyBaseline, ParserSkipsCommentsBlanksAndCrLf) {
+  const auto keys = ilan::verify::parse_baseline(
+      "# comment\n\nrule\tfile\tsymbol\r\nother\tf\ts  \n");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(keys.count("rule\tfile\tsymbol"));
+  EXPECT_TRUE(keys.count("other\tf\ts"));
+}
+
+TEST(IlanVerifyRules, TableNamesEveryEmittedRule) {
+  std::vector<std::string> names;
+  for (const auto& r : ilan::verify::rules()) names.push_back(r.name);
+  for (const char* expected :
+       {"taint", "observer-mutation", "event-tag", "knob-drift",
+        "metric-grammar", "allow-syntax"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace

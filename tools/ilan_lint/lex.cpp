@@ -1,0 +1,203 @@
+#include "ilan_lint/lex.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ilan::lint {
+
+namespace {
+
+// `ilan-lint: allow(rand,wall-clock)` — comma-separated rule list, no
+// justification required (lint predates the requirement and its findings
+// are single-line/local; the justification lives in code review).
+void record_lint_allow(Lexed& out, std::string_view comment, int line) {
+  const std::string_view marker = "ilan-lint: allow(";
+  const auto pos = comment.find(marker);
+  if (pos == std::string_view::npos) return;
+  const auto start = pos + marker.size();
+  const auto close = comment.find(')', start);
+  if (close == std::string_view::npos) return;
+  std::string rules_text(comment.substr(start, close - start));
+  std::stringstream ss(rules_text);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](unsigned char c) { return std::isspace(c) != 0; }),
+               rule.end());
+    if (!rule.empty()) out.allows[line].insert(rule);
+  }
+}
+
+// Verify-allow dialect: comma-separated rule names up to the first quote,
+// then the mandatory quoted justification (backslash escapes honored) —
+// e.g. `ilan-verify: allow(taint, "host time never reaches the digest")`.
+// A missing justification is recorded as such, not ignored: the verify
+// pass turns it into an `allow-syntax` finding.
+void record_verify_allow(Lexed& out, std::string_view comment, int line) {
+  const std::string_view marker = "ilan-verify: allow(";
+  const auto pos = comment.find(marker);
+  if (pos == std::string_view::npos) return;
+  std::size_t i = pos + marker.size();
+  VerifyAllow allow;
+  std::string rule;
+  auto flush_rule = [&] {
+    rule.erase(std::remove_if(rule.begin(), rule.end(),
+                              [](unsigned char c) { return std::isspace(c) != 0; }),
+               rule.end());
+    if (!rule.empty()) allow.rules.insert(rule);
+    rule.clear();
+  };
+  while (i < comment.size()) {
+    const char c = comment[i];
+    if (c == '"') {
+      // Quoted justification; runs to the closing quote.
+      ++i;
+      std::string just;
+      while (i < comment.size() && comment[i] != '"') {
+        if (comment[i] == '\\' && i + 1 < comment.size()) ++i;
+        just += comment[i];
+        ++i;
+      }
+      if (i < comment.size()) {
+        allow.justification = just;
+        allow.has_justification = true;
+      }
+      ++i;
+    } else if (c == ',') {
+      flush_rule();
+      ++i;
+    } else if (c == ')') {
+      break;
+    } else {
+      rule += c;
+      ++i;
+    }
+  }
+  flush_rule();
+  if (allow.rules.empty()) return;
+  auto [it, inserted] = out.verify_allows.emplace(line, allow);
+  if (!inserted) {
+    // Two annotations landing on one line merge; the first justification
+    // wins (one line, one reason).
+    it->second.rules.insert(allow.rules.begin(), allow.rules.end());
+    if (!it->second.has_justification && allow.has_justification) {
+      it->second.justification = allow.justification;
+      it->second.has_justification = true;
+    }
+  }
+}
+
+void record_allows(Lexed& out, std::string_view comment, int line) {
+  record_lint_allow(out, comment, line);
+  record_verify_allow(out, comment, line);
+}
+
+}  // namespace
+
+bool is_identifier(const Token& t) {
+  const char c = t.text.empty() ? '\0' : t.text[0];
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Comments are consumed (harvesting allow annotations at their opening
+// line); string/char literals are dropped or kept per LexOptions;
+// identifiers and numbers are whole tokens, every other non-space
+// character is its own token.
+Lexed lex(std::string_view src, LexOptions opts) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const auto eol = src.find('\n', i);
+      const auto end = eol == std::string_view::npos ? n : eol;
+      record_allows(out, src.substr(i, end - i), line);
+      i = end;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int open_line = line;
+      const auto close = src.find("*/", i + 2);
+      const auto end = close == std::string_view::npos ? n : close + 2;
+      record_allows(out, src.substr(i, end - i), open_line);
+      for (std::size_t k = i; k < end; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int open_line = line;
+      ++i;
+      std::string text;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          ++i;
+        }
+        if (src[i] == '\n') ++line;
+        text += src[i];
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      if (opts.keep_strings) {
+        out.tokens.push_back({std::move(text), open_line, TokKind::kString});
+      }
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '_')) {
+        ++j;
+      }
+      const std::string_view id = src.substr(i, j - i);
+      // Raw string literal R"delim( ... )delim" — without this the inner
+      // quotes/parens of e.g. chrome_trace.cpp's JSON templates leak into
+      // the token stream and unbalance brace matching.
+      const bool raw_prefix =
+          id == "R" || id == "u8R" || id == "uR" || id == "LR" || id == "UR";
+      if (raw_prefix && j < n && src[j] == '"') {
+        const auto open = src.find('(', j + 1);
+        if (open != std::string_view::npos) {
+          const std::string term =
+              ")" + std::string(src.substr(j + 1, open - j - 1)) + "\"";
+          const auto close = src.find(term, open + 1);
+          const std::size_t body_end =
+              close == std::string_view::npos ? n : close;
+          const std::size_t end =
+              close == std::string_view::npos ? n : close + term.size();
+          const int open_line = line;
+          for (std::size_t k = i; k < end; ++k) {
+            if (src[k] == '\n') ++line;
+          }
+          if (opts.keep_strings) {
+            out.tokens.push_back({std::string(src.substr(open + 1, body_end - open - 1)),
+                                  open_line, TokKind::kString});
+          }
+          i = end;
+          continue;
+        }
+      }
+      out.tokens.push_back({std::string(id), line, TokKind::kIdent});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
+                       src[j] == '.' || src[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({std::string(src.substr(i, j - i)), line, TokKind::kNumber});
+      i = j;
+    } else {
+      out.tokens.push_back({std::string(1, c), line, TokKind::kPunct});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace ilan::lint

@@ -1,0 +1,75 @@
+// Shared heuristic C++ lexer for the repo's own static-analysis tools.
+//
+// ilan-lint (token rules) and ilan-verify (declaration/call model) both
+// work from this token stream: comments are consumed (harvesting the
+// tools' allow() annotations on the way), string/char literals are either
+// dropped (lint's historical behavior) or kept as whole tokens
+// (ilan-verify needs ILAN_* knob literals and metric names), identifiers
+// and numbers are whole tokens, and every other non-space character is
+// its own single-character token.
+//
+// Two annotation dialects are harvested into the Lexed result:
+//
+//   // ilan-lint: allow(rule[,rule...])
+//       suppresses lint findings on the comment's (opening) line.
+//
+//   // ilan-verify: allow(taint, "single wall-clock read, gated off")
+//       suppresses verify findings anchored on that line; multiple rules
+//       may be listed before the quoted justification. The justification
+//       is mandatory; an allow without one does not suppress and is
+//       itself reported (rule `allow-syntax`), so every suppression in
+//       the tree carries its reason. (This comment is a valid example on
+//       purpose — the lexer harvests any comment matching the marker.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilan::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifier or keyword
+  kNumber,  // numeric literal (pp-number heuristic)
+  kString,  // string/char literal *contents* (quotes stripped); only
+            // produced when LexOptions.keep_strings is set
+  kPunct,   // any other single character
+};
+
+struct Token {
+  std::string text;
+  int line = 0;
+  TokKind kind = TokKind::kPunct;
+};
+
+// One harvested verify allow() annotation. `rules` may contain "all".
+// `justification` is empty when the annotation omitted the mandatory
+// quoted string — the verify pass reports that instead of suppressing.
+struct VerifyAllow {
+  std::set<std::string> rules;
+  std::string justification;
+  bool has_justification = false;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  // line -> lint rules allowed on that line ("all" allows everything).
+  std::map<int, std::set<std::string>> allows;
+  // line -> verify allow annotation opening on that line.
+  std::map<int, VerifyAllow> verify_allows;
+};
+
+struct LexOptions {
+  // Keep string/char literals as kString tokens instead of dropping them.
+  bool keep_strings = false;
+};
+
+[[nodiscard]] Lexed lex(std::string_view src, LexOptions opts = {});
+
+// True for kIdent tokens (textual check kept for lint's historical use).
+[[nodiscard]] bool is_identifier(const Token& t);
+
+}  // namespace ilan::lint

@@ -1,112 +1,17 @@
 #include "ilan_lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "ilan_lint/lex.hpp"
+
 namespace ilan::lint {
 
 namespace {
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  // line -> rules allowed on that line ("all" allows everything).
-  std::map<int, std::set<std::string>> allows;
-};
-
-void record_allow(Lexed& out, std::string_view comment, int line) {
-  const std::string_view marker = "ilan-lint: allow(";
-  const auto pos = comment.find(marker);
-  if (pos == std::string_view::npos) return;
-  const auto start = pos + marker.size();
-  const auto close = comment.find(')', start);
-  if (close == std::string_view::npos) return;
-  std::string rules_text(comment.substr(start, close - start));
-  std::stringstream ss(rules_text);
-  std::string rule;
-  while (std::getline(ss, rule, ',')) {
-    rule.erase(std::remove_if(rule.begin(), rule.end(),
-                              [](unsigned char c) { return std::isspace(c) != 0; }),
-               rule.end());
-    if (!rule.empty()) out.allows[line].insert(rule);
-  }
-}
-
-// Comments and string/char literals are stripped; identifiers and numbers
-// are whole tokens, every other non-space character is its own token.
-Lexed lex(std::string_view src) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const auto eol = src.find('\n', i);
-      const auto end = eol == std::string_view::npos ? n : eol;
-      record_allow(out, src.substr(i, end - i), line);
-      i = end;
-    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const int open_line = line;
-      const auto close = src.find("*/", i + 2);
-      const auto end = close == std::string_view::npos ? n : close + 2;
-      record_allow(out, src.substr(i, end - i), open_line);
-      for (std::size_t k = i; k < end; ++k) {
-        if (src[k] == '\n') ++line;
-      }
-      i = end;
-    } else if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < n) ++i;  // closing quote
-    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
-      std::size_t j = i + 1;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
-                       src[j] == '_')) {
-        ++j;
-      }
-      out.tokens.push_back({std::string(src.substr(i, j - i)), line});
-      i = j;
-    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      std::size_t j = i + 1;
-      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) != 0 ||
-                       src[j] == '.' || src[j] == '\'')) {
-        ++j;
-      }
-      out.tokens.push_back({std::string(src.substr(i, j - i)), line});
-      i = j;
-    } else {
-      out.tokens.push_back({std::string(1, c), line});
-      ++i;
-    }
-  }
-  return out;
-}
-
-[[nodiscard]] bool is_identifier(const Token& t) {
-  const char c = t.text.empty() ? '\0' : t.text[0];
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 class Linter {
  public:
@@ -330,7 +235,7 @@ bool in_scope(std::string_view path) {
 
 std::vector<Finding> lint_source(const std::string& path, std::string_view source) {
   if (!in_scope(path)) return {};
-  const Lexed lx = lex(source);
+  const Lexed lx = lex(source);  // default options: strings stripped, as always
   return Linter(path, lx).run();
 }
 

@@ -1,0 +1,221 @@
+// ilan-verify CLI.
+//
+//   ilan-verify [options] <dir|file>...
+//       build the semantic model over every *.hpp/*.cpp/*.h/*.cc under the
+//       given roots (skipping build*/.* directories) and run the rule
+//       passes. *.sh files under the roots count as shell knob reads for
+//       the knob-drift rule.
+//   ilan-verify --list
+//       print the rule table.
+//
+// Options:
+//   --json FILE       write the machine-readable report to FILE
+//   --baseline FILE   accept the finding keys listed in FILE (reported as
+//                     "baselined", not fatal)
+//   --readme FILE     README for the knob-drift documentation checks
+//                     (default: ./README.md; checks are skipped with a note
+//                     when it does not exist)
+//   --no-readme       skip the README-side knob checks
+//
+// File paths in findings are reported relative to each root's parent
+// (e.g. "src/sim/engine.hpp"), so baseline keys are stable no matter where
+// the binary is invoked from.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ilan_verify/verify.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool is_source_ext(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+struct Inputs {
+  std::vector<ilan::verify::SourceFile> sources;
+  std::set<std::string> shell_knob_reads;
+};
+
+int collect(const std::string& root_arg, Inputs& inputs) {
+  const fs::path root = fs::path(root_arg).lexically_normal();
+  auto add = [&](const fs::path& file, const std::string& display) -> int {
+    std::string content;
+    if (!read_file(file, content)) {
+      std::cerr << "ilan-verify: cannot read '" << file.string() << "'\n";
+      return 2;
+    }
+    if (file.extension() == ".sh") {
+      for (const auto& [knob, line] : ilan::verify::scan_knob_mentions(content)) {
+        (void)line;
+        inputs.shell_knob_reads.insert(knob);
+      }
+    } else {
+      inputs.sources.push_back({display, std::move(content)});
+    }
+    return 0;
+  };
+  if (fs::is_regular_file(root)) {
+    return add(root, root.generic_string());
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "ilan-verify: no such file or directory: '" << root_arg << "'\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  fs::recursive_directory_iterator it(root), end;
+  while (it != end) {
+    if (it->is_directory() && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() &&
+               (is_source_ext(it->path()) || it->path().extension() == ".sh")) {
+      files.push_back(it->path());
+    }
+    ++it;
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    // Display as "<root-name>/relative", e.g. "src/sim/engine.hpp".
+    const fs::path rel = file.lexically_relative(root);
+    const std::string display = (root.filename() / rel).generic_string();
+    if (const int rc = add(file, display); rc != 0) return rc;
+  }
+  return 0;
+}
+
+void print_finding(const ilan::verify::Finding& f) {
+  std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+            << "\n";
+  if (f.path.size() > 1) {
+    std::cout << "    call path:";
+    for (const std::string& hop : f.path) std::cout << " -> " << hop;
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--list") {
+    for (const auto& r : ilan::verify::rules()) {
+      std::cout << r.name << "  " << r.description << "\n";
+    }
+    return 0;
+  }
+  std::string json_path;
+  std::string baseline_path;
+  std::string readme_path;
+  bool no_readme = false;
+  std::vector<std::string> roots;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::cerr << "ilan-verify: " << flag << " needs an argument\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--json") {
+      const auto* v = value("--json");
+      if (v == nullptr) return 2;
+      json_path = *v;
+    } else if (a == "--baseline") {
+      const auto* v = value("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = *v;
+    } else if (a == "--readme") {
+      const auto* v = value("--readme");
+      if (v == nullptr) return 2;
+      readme_path = *v;
+    } else if (a == "--no-readme") {
+      no_readme = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "ilan-verify: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      roots.push_back(a);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: ilan-verify [--list] [--json FILE] [--baseline FILE]"
+                 " [--readme FILE] [--no-readme] <dir|file>...\n";
+    return 2;
+  }
+
+  Inputs inputs;
+  for (const std::string& root : roots) {
+    if (const int rc = collect(root, inputs); rc != 0) return rc;
+  }
+
+  ilan::verify::Options opts;
+  opts.shell_knob_reads = std::move(inputs.shell_knob_reads);
+  opts.check_readme = !no_readme;
+  if (opts.check_readme) {
+    const fs::path readme = readme_path.empty() ? "README.md" : readme_path;
+    if (!read_file(readme, opts.readme)) {
+      if (!readme_path.empty()) {
+        std::cerr << "ilan-verify: cannot read '" << readme_path << "'\n";
+        return 2;
+      }
+      std::cerr << "ilan-verify: note: no README.md here; knob documentation "
+                   "checks skipped (pass --readme FILE to enable)\n";
+      opts.check_readme = false;
+    }
+  }
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "ilan-verify: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    opts.baseline = ilan::verify::parse_baseline(text);
+  }
+
+  const ilan::verify::Report report =
+      ilan::verify::analyze_sources(inputs.sources, opts);
+
+  for (const auto& f : report.findings) print_finding(f);
+  for (const auto& f : report.baselined) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule
+              << "] (baselined) " << f.message << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "ilan-verify: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    ilan::verify::write_json(out, report);
+  }
+  std::cout << "ilan-verify: " << inputs.sources.size() << " files, "
+            << report.findings.size() << " finding(s), "
+            << report.suppressed.size() << " suppressed, "
+            << report.baselined.size() << " baselined\n";
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,674 @@
+#include "ilan_verify/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ilan::verify {
+
+namespace {
+
+using lint::Lexed;
+using lint::Token;
+using lint::TokKind;
+
+// Identifiers that can precede '(' without being a callee or a function
+// name: control keywords, builtin types, cast-like operators.
+const std::set<std::string>& non_call_names() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",      "while",   "switch",   "return",  "catch",
+      "sizeof",   "alignof",  "alignas", "decltype", "noexcept", "throw",
+      "new",      "delete",   "case",    "default",  "else",     "do",
+      "goto",     "int",      "char",    "bool",     "float",    "double",
+      "void",     "auto",     "unsigned", "signed",  "long",     "short",
+      "const",    "constexpr", "operator", "requires", "defined",
+      "static_assert", "co_await", "co_return", "co_yield", "assert",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& wall_clock_names() {
+  static const std::set<std::string> kSet = {
+      "steady_clock", "system_clock",  "high_resolution_clock",
+      "gettimeofday", "clock_gettime", "timespec_get"};
+  return kSet;
+}
+
+const std::set<std::string>& rand_names() {
+  static const std::set<std::string> kSet = {
+      "rand",       "srand",       "random_device",
+      "mt19937",    "mt19937_64",  "minstd_rand",
+      "default_random_engine",     "random_shuffle"};
+  return kSet;
+}
+
+const std::set<std::string>& metric_call_names() {
+  static const std::set<std::string> kSet = {
+      "counter",      "gauge",      "histogram",
+      "find_counter", "find_gauge", "find_histogram"};
+  return kSet;
+}
+
+bool is_knob_literal(const std::string& s) {
+  if (s.rfind("ILAN_", 0) != 0 || s.size() <= 5) return false;
+  return std::all_of(s.begin() + 5, s.end(), [](unsigned char c) {
+    return (std::isupper(c) != 0) || (std::isdigit(c) != 0) || c == '_';
+  });
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction } kind;
+  std::string name;
+  int open_depth = 0;          // brace depth while inside this scope
+  std::size_t fn_index = 0;    // Model::functions index (kFunction only)
+};
+
+class Extractor {
+ public:
+  Extractor(Model& model, std::set<std::string>& case_labels,
+            const SourceFile& file)
+      : model_(model),
+        case_labels_(case_labels),
+        file_(file.path),
+        lx_(lint::lex(file.content, {.keep_strings = true})) {}
+
+  void run() {
+    if (!lx_.verify_allows.empty()) {
+      model_.allows[file_] = lx_.verify_allows;
+    }
+    if (ends_with(file_, "event_tags.hpp")) extract_tag_table();
+    walk();
+  }
+
+ private:
+  const std::vector<Token>& toks() const { return lx_.tokens; }
+
+  bool in_function() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::kFunction;
+  }
+
+  Function* current_fn() {
+    if (!in_function()) return nullptr;
+    return &model_.functions[scopes_.back().fn_index];
+  }
+
+  // ---- balanced-region skippers (token indices) -------------------------
+
+  // `open` points at '('; returns index just past the matching ')'.
+  std::size_t skip_parens(std::size_t open) const {
+    const auto& T = toks();
+    int depth = 0;
+    for (std::size_t j = open; j < T.size(); ++j) {
+      if (T[j].kind != TokKind::kPunct) continue;
+      if (T[j].text == "(") ++depth;
+      if (T[j].text == ")" && --depth == 0) return j + 1;
+    }
+    return T.size();
+  }
+
+  // `open` points at '{'; returns index just past the matching '}'.
+  std::size_t skip_braces(std::size_t open) const {
+    const auto& T = toks();
+    int depth = 0;
+    for (std::size_t j = open; j < T.size(); ++j) {
+      if (T[j].kind != TokKind::kPunct) continue;
+      if (T[j].text == "{") ++depth;
+      if (T[j].text == "}" && --depth == 0) return j + 1;
+    }
+    return T.size();
+  }
+
+  // `open` points at '<'; returns index just past the matching '>', or
+  // `open + 1` when the angles do not balance before ';' or '{' (then it
+  // was a comparison, not template arguments). "->"'s '>' is not counted.
+  std::size_t skip_angles(std::size_t open) const {
+    const auto& T = toks();
+    int depth = 0;
+    for (std::size_t j = open; j < T.size(); ++j) {
+      const std::string& t = T[j].text;
+      if (T[j].kind != TokKind::kPunct) continue;
+      if (t == "<") ++depth;
+      if (t == ">") {
+        if (j > 0 && T[j - 1].text == "-") continue;  // ->
+        if (--depth == 0) return j + 1;
+      }
+      if (depth > 0 && (t == ";" || t == "{")) break;
+    }
+    return open + 1;
+  }
+
+  // ---- declaration-scope constructs -------------------------------------
+
+  // `i` points at 'namespace'. Returns resume index.
+  std::size_t handle_namespace(std::size_t i) {
+    const auto& T = toks();
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < T.size() && T[j].kind == TokKind::kIdent) {
+      if (!name.empty()) name += "::";
+      name += T[j].text;
+      ++j;
+      if (j + 1 < T.size() && T[j].text == ":" && T[j + 1].text == ":") {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (j < T.size() && T[j].text == "{") {
+      scopes_.push_back({Scope::kNamespace, name, depth_ + 1, 0});
+      ++depth_;
+      return j + 1;
+    }
+    if (j < T.size() && T[j].text == "=") {  // namespace alias
+      while (j < T.size() && T[j].text != ";") ++j;
+      return j + 1;
+    }
+    return j;
+  }
+
+  // `i` points at 'class'/'struct' (prev token is not 'enum'). Returns
+  // resume index; pushes a class scope when a definition body opens.
+  std::size_t handle_class(std::size_t i) {
+    const auto& T = toks();
+    std::size_t j = i + 1;
+    // Skip [[attr]] / alignas(...) between the keyword and the name.
+    while (j < T.size()) {
+      if (T[j].text == "[" && j + 1 < T.size() && T[j + 1].text == "[") {
+        int d = 0;
+        for (; j < T.size(); ++j) {
+          if (T[j].text == "[") ++d;
+          if (T[j].text == "]" && --d == 0) { ++j; break; }
+        }
+      } else if (T[j].text == "alignas" && j + 1 < T.size() &&
+                 T[j + 1].text == "(") {
+        j = skip_parens(j + 1);
+      } else {
+        break;
+      }
+    }
+    std::string name;
+    int name_line = 0;
+    if (j < T.size() && T[j].kind == TokKind::kIdent) {
+      name = T[j].text;
+      name_line = T[j].line;
+      ++j;
+    }
+    std::vector<std::string> bases;
+    std::string cur;
+    bool in_bases = false;
+    int angle = 0;
+    auto flush = [&] {
+      if (!cur.empty()) bases.push_back(cur);
+      cur.clear();
+    };
+    for (; j < T.size(); ++j) {
+      const Token& t = T[j];
+      if (t.kind == TokKind::kPunct && t.text == "<") ++angle;
+      if (t.kind == TokKind::kPunct && t.text == ">" && angle > 0) {
+        --angle;
+        continue;
+      }
+      if (angle > 0) continue;
+      if (t.text == ";") return j + 1;  // fwd declaration / member decl
+      if (t.text == "{") {
+        flush();
+        model_.classes.push_back({name, bases, file_, name_line});
+        scopes_.push_back({Scope::kClass, name, depth_ + 1, 0});
+        ++depth_;
+        return j + 1;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ":") {
+        const bool dbl = (j > 0 && T[j - 1].text == ":") ||
+                         (j + 1 < T.size() && T[j + 1].text == ":");
+        if (!dbl && !in_bases) {
+          in_bases = true;
+          continue;
+        }
+        if (in_bases && dbl) cur += ":";
+        continue;
+      }
+      if (!in_bases) continue;
+      if (t.text == ",") {
+        flush();
+      } else if (t.kind == TokKind::kIdent &&
+                 t.text != "public" && t.text != "protected" &&
+                 t.text != "private" && t.text != "virtual") {
+        cur += t.text;
+      }
+    }
+    return j;
+  }
+
+  // `i` points at 'enum'. Skips the whole enumerator body (enumerator
+  // names are not declarations we model). Returns resume index.
+  std::size_t handle_enum(std::size_t i) {
+    const auto& T = toks();
+    for (std::size_t j = i + 1; j < T.size(); ++j) {
+      if (T[j].text == ";") return j + 1;  // opaque declaration
+      if (T[j].text == "{") return skip_braces(j);
+    }
+    return T.size();
+  }
+
+  // `open` points at the '(' after an identifier at declaration scope.
+  // Decides declaration vs definition; on a definition, records the
+  // Function and pushes its scope. Returns resume index.
+  std::size_t handle_possible_definition(std::size_t open) {
+    const auto& T = toks();
+    const std::size_t name_idx = open - 1;
+    std::string name = T[name_idx].text;
+    if (non_call_names().count(name) != 0) return open + 1;
+    // Backward ident::ident:: qualifier chain (out-of-line members).
+    std::vector<std::string> quals;
+    std::size_t k = name_idx;
+    while (k >= 3 && T[k - 1].text == ":" && T[k - 2].text == ":" &&
+           T[k - 3].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), T[k - 3].text);
+      k -= 3;
+    }
+    if (k >= 1 && T[k - 1].text == "~") name = "~" + name;  // destructor
+
+    std::size_t j = skip_parens(open);
+    while (j < T.size()) {
+      const std::string& t = T[j].text;
+      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+          t == "mutable" || t == "volatile" || t == "&" || t == "throw") {
+        if ((t == "noexcept" || t == "throw") && j + 1 < T.size() &&
+            T[j + 1].text == "(") {
+          j = skip_parens(j + 1);
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      if (t == "-" && j + 1 < T.size() && T[j + 1].text == ">") {
+        // Trailing return type: scan to the body or terminator.
+        j += 2;
+        while (j < T.size() && T[j].text != "{" && T[j].text != ";" &&
+               T[j].text != "=") {
+          if (T[j].text == "<") { j = skip_angles(j); continue; }
+          if (T[j].text == "(") { j = skip_parens(j); continue; }
+          ++j;
+        }
+        continue;
+      }
+      if (t == ":" && !(j + 1 < T.size() && T[j + 1].text == ":")) {
+        j = skip_ctor_init_list(j + 1);
+        continue;
+      }
+      if (t == ";") return j + 1;  // pure declaration
+      if (t == "=") {              // = default / = delete / = 0;
+        while (j < T.size() && T[j].text != ";") ++j;
+        return j + 1;
+      }
+      if (t == "{") {
+        Function fn;
+        fn.name = name;
+        fn.class_name = innermost_class_name(quals);
+        fn.qualified = qualify(quals, name);
+        fn.file = file_;
+        fn.line = T[name_idx].line;
+        const std::size_t idx = model_.functions.size();
+        model_.functions.push_back(std::move(fn));
+        model_.by_name.emplace(name, idx);
+        scopes_.push_back({Scope::kFunction, name, depth_ + 1, idx});
+        ++depth_;
+        return j + 1;
+      }
+      // Not a function header after all (e.g. a parenthesized declarator).
+      return j;
+    }
+    return j;
+  }
+
+  // `j` points just past the ':' that opens a ctor-initializer list.
+  // Walks `member(expr)` / `Base{expr}` items to the body '{'.
+  std::size_t skip_ctor_init_list(std::size_t j) {
+    const auto& T = toks();
+    while (j < T.size()) {
+      // Initializer name: idents, '::', template args.
+      while (j < T.size()) {
+        if (T[j].kind == TokKind::kIdent) { ++j; continue; }
+        if (T[j].text == ":" && j + 1 < T.size() && T[j + 1].text == ":") {
+          j += 2;
+          continue;
+        }
+        if (T[j].text == "<") { j = skip_angles(j); continue; }
+        break;
+      }
+      if (j < T.size() && T[j].text == "(") {
+        j = skip_parens(j);
+      } else if (j < T.size() && T[j].text == "{") {
+        // Either an initializer {…} or — when no name preceded — the body.
+        if (j > 0 && (T[j - 1].kind == TokKind::kIdent || T[j - 1].text == ">")) {
+          j = skip_braces(j);
+        } else {
+          return j;
+        }
+      } else {
+        return j;
+      }
+      if (j < T.size() && T[j].text == ",") {
+        ++j;
+        continue;
+      }
+      return j;  // expect the body '{' next
+    }
+    return j;
+  }
+
+  // `open` points at the '(' after 'operator' + symbol tokens. Operator
+  // bodies are skipped wholesale (documented limit). `i` points at
+  // 'operator'; returns resume index.
+  std::size_t handle_operator(std::size_t i) {
+    const auto& T = toks();
+    std::size_t j = i + 1;
+    // operator()() — the first "()" pair is the operator's name.
+    if (j + 1 < T.size() && T[j].text == "(" && T[j + 1].text == ")") j += 2;
+    // Conversion operators / symbol operators: advance to the param list.
+    while (j < T.size() && T[j].text != "(" && T[j].text != ";" &&
+           T[j].text != "{") {
+      if (T[j].text == "<" && j > i + 1) { j = skip_angles(j); continue; }
+      ++j;
+    }
+    if (j >= T.size() || T[j].text != "(") return j;
+    j = skip_parens(j);
+    while (j < T.size()) {
+      const std::string& t = T[j].text;
+      if (t == ";") return j + 1;
+      if (t == "=") {
+        while (j < T.size() && T[j].text != ";") ++j;
+        return j + 1;
+      }
+      if (t == "{") return skip_braces(j);
+      if (t == "(") { j = skip_parens(j); continue; }
+      ++j;
+    }
+    return j;
+  }
+
+  std::string innermost_class_name(const std::vector<std::string>& quals) const {
+    if (!quals.empty()) return quals.back();
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return "";
+  }
+
+  std::string qualify(const std::vector<std::string>& quals,
+                      const std::string& name) const {
+    std::string out;
+    for (const Scope& s : scopes_) {
+      if (s.name.empty()) continue;
+      out += s.name;
+      out += "::";
+    }
+    for (const std::string& q : quals) {
+      out += q;
+      out += "::";
+    }
+    out += name;
+    return out;
+  }
+
+  // ---- in-function constructs -------------------------------------------
+
+  // `open` points at '(' whose previous token is a callable identifier.
+  void record_call(std::size_t open) {
+    const auto& T = toks();
+    const std::size_t name_idx = open - 1;
+    const std::string& name = T[name_idx].text;
+    CallSite call;
+    call.name = name;
+    call.line = T[name_idx].line;
+    std::size_t k = name_idx;
+    std::vector<std::string> quals;
+    while (k >= 3 && T[k - 1].text == ":" && T[k - 2].text == ":" &&
+           T[k - 3].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), T[k - 3].text);
+      k -= 3;
+    }
+    for (std::size_t q = 0; q < quals.size(); ++q) {
+      if (q != 0) call.qualifier += "::";
+      call.qualifier += quals[q];
+    }
+    if (k >= 1 &&
+        (T[k - 1].text == "." ||
+         (k >= 2 && T[k - 1].text == ">" && T[k - 2].text == "-"))) {
+      call.member = true;
+    }
+    current_fn()->calls.push_back(std::move(call));
+    maybe_record_metric(open, name);
+  }
+
+  void maybe_record_metric(std::size_t open, const std::string& name) {
+    if (metric_call_names().count(name) == 0) return;
+    const auto& T = toks();
+    MetricUse use;
+    use.lookup = name.rfind("find_", 0) == 0;
+    use.kind = use.lookup ? name.substr(5) : name;
+    use.file = file_;
+    const std::size_t first = open + 1;
+    if (first < T.size() && T[first].kind == TokKind::kString) {
+      const bool complete =
+          first + 1 < T.size() &&
+          (T[first + 1].text == "," || T[first + 1].text == ")");
+      use.name = T[first].text;
+      use.complete = complete;
+      use.line = T[first].line;
+      model_.metrics.push_back(use);
+      if (complete) return;
+      // Fall through: also record any further fragments of the same call.
+    }
+    int depth = 0;
+    for (std::size_t j = open; j < T.size(); ++j) {
+      if (T[j].kind == TokKind::kString) {
+        if (j == first && !model_.metrics.empty() &&
+            model_.metrics.back().line == T[j].line &&
+            model_.metrics.back().name == T[j].text) {
+          continue;  // already recorded above
+        }
+        MetricUse frag = use;
+        frag.name = T[j].text;
+        frag.complete = false;
+        frag.line = T[j].line;
+        model_.metrics.push_back(std::move(frag));
+        continue;
+      }
+      if (T[j].kind != TokKind::kPunct) continue;
+      if (T[j].text == "(") ++depth;
+      if (T[j].text == ")" && --depth == 0) break;
+    }
+  }
+
+  void record_seeds(std::size_t i) {
+    const auto& T = toks();
+    const Token& t = T[i];
+    Function* fn = current_fn();
+    if (t.kind == TokKind::kString) {
+      if (t.text.find("%p") != std::string::npos) {
+        fn->seeds.push_back({"pointer-identity", "\"%p\" format", t.line});
+      }
+      return;
+    }
+    if (t.kind != TokKind::kIdent) return;
+    if (wall_clock_names().count(t.text) != 0) {
+      fn->seeds.push_back({"wall-clock", t.text, t.line});
+    } else if (rand_names().count(t.text) != 0) {
+      fn->seeds.push_back({"rand", t.text, t.line});
+    } else if (t.text == "hash" && i >= 3 && T[i - 1].text == ":" &&
+               T[i - 2].text == ":" && T[i - 3].text == "std") {
+      fn->seeds.push_back({"std-hash", "std::hash", t.line});
+    } else if (t.text == "reinterpret_cast" && i + 1 < T.size() &&
+               T[i + 1].text == "<") {
+      const std::size_t end = skip_angles(i + 1);
+      for (std::size_t j = i + 2; j + 1 < end; ++j) {
+        if (T[j].text == "uintptr_t" || T[j].text == "intptr_t") {
+          fn->seeds.push_back(
+              {"pointer-identity", "reinterpret_cast<" + T[j].text + ">", t.line});
+          break;
+        }
+      }
+    }
+  }
+
+  void record_knob(const Token& t) {
+    if (t.kind != TokKind::kString || !is_knob_literal(t.text)) return;
+    KnobUse use;
+    use.knob = t.text;
+    use.context = call_ctx_.empty() ? "" : call_ctx_.back();
+    use.file = file_;
+    use.line = t.line;
+    if (const Function* fn = in_function()
+                                 ? &model_.functions[scopes_.back().fn_index]
+                                 : nullptr) {
+      use.function = fn->qualified;
+    }
+    model_.knobs.push_back(std::move(use));
+  }
+
+  // ---- tag tables --------------------------------------------------------
+
+  void extract_tag_table() {
+    const auto& T = toks();
+    TagTable table;
+    table.file = file_;
+    for (std::size_t i = 0; i + 2 < T.size(); ++i) {
+      if (T[i].text == "EventTag" && T[i + 1].kind == TokKind::kIdent &&
+          T[i + 2].text == "=") {
+        table.constants.emplace_back(T[i + 1].text, T[i + 1].line);
+      }
+    }
+    if (!table.constants.empty()) model_.tag_tables.push_back(std::move(table));
+  }
+
+  // ---- main walk ---------------------------------------------------------
+
+  void walk() {
+    const auto& T = toks();
+    std::size_t i = 0;
+    while (i < T.size()) {
+      const Token& t = T[i];
+      // Preprocessor line (honoring trailing-backslash continuations).
+      if (t.kind == TokKind::kPunct && t.text == "#" &&
+          (i == 0 || T[i - 1].line != t.line)) {
+        int line = t.line;
+        std::size_t j = i + 1;
+        while (j < T.size()) {
+          if (T[j].line > line) {
+            if (T[j - 1].text == "\\") {
+              line = T[j].line;
+            } else {
+              break;
+            }
+          }
+          ++j;
+        }
+        i = j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "case") {
+          // Record every identifier in the label expression (qualified
+          // labels like `case sim::kTagTaskRun:` included).
+          std::size_t j = i + 1;
+          while (j < T.size()) {
+            if (T[j].kind == TokKind::kIdent) case_labels_.insert(T[j].text);
+            const bool lone_colon =
+                T[j].text == ":" && T[j - 1].text != ":" &&
+                !(j + 1 < T.size() && T[j + 1].text == ":");
+            if (lone_colon || T[j].text == ";" || T[j].text == "}") break;
+            ++j;
+          }
+          i = j + 1;
+          continue;
+        }
+        if (t.text == "namespace") { i = handle_namespace(i); continue; }
+        if ((t.text == "class" || t.text == "struct") &&
+            (i == 0 || T[i - 1].text != "enum")) {
+          i = handle_class(i);
+          continue;
+        }
+        if (t.text == "enum") { i = handle_enum(i); continue; }
+        if (t.text == "template") {
+          i = (i + 1 < T.size() && T[i + 1].text == "<") ? skip_angles(i + 1)
+                                                         : i + 1;
+          continue;
+        }
+        if (!in_function() && (t.text == "using" || t.text == "typedef")) {
+          while (i < T.size() && T[i].text != ";") ++i;
+          ++i;
+          continue;
+        }
+        if (!in_function() && t.text == "operator") {
+          i = handle_operator(i);
+          continue;
+        }
+      }
+      if (t.kind == TokKind::kPunct && t.text == "(") {
+        const bool callable_prev =
+            i > 0 && T[i - 1].kind == TokKind::kIdent &&
+            non_call_names().count(T[i - 1].text) == 0;
+        if (callable_prev && !in_function()) {
+          i = handle_possible_definition(i);
+          continue;
+        }
+        if (callable_prev && in_function()) record_call(i);
+        call_ctx_.push_back(callable_prev ? T[i - 1].text : "");
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ")") {
+        if (!call_ctx_.empty()) call_ctx_.pop_back();
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        ++depth_;
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        --depth_;
+        while (!scopes_.empty() && scopes_.back().open_depth > depth_) {
+          scopes_.pop_back();
+        }
+        ++i;
+        continue;
+      }
+      if (in_function()) record_seeds(i);
+      record_knob(t);
+      ++i;
+    }
+  }
+
+  Model& model_;
+  std::set<std::string>& case_labels_;
+  std::string file_;
+  Lexed lx_;
+  std::vector<Scope> scopes_;
+  std::vector<std::string> call_ctx_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Model build_model(const std::vector<SourceFile>& files) {
+  Model model;
+  std::set<std::string> case_labels;
+  for (const SourceFile& f : files) {
+    Extractor(model, case_labels, f).run();
+  }
+  // `case` labels are collected project-wide (the switches over event tags
+  // live in selfcheck/trace, not next to the tag registry).
+  for (TagTable& table : model.tag_tables) {
+    table.handled = case_labels;
+  }
+  return model;
+}
+
+}  // namespace ilan::verify

@@ -1,0 +1,108 @@
+// ilan-verify's semantic model: a project-wide symbol table and call graph
+// extracted from the ilan-lint token stream (ilan_lint/lex.hpp).
+//
+// This is a heuristic declaration/call extractor, not a C++ parser. It
+// tracks namespace/class/function scopes by brace matching, recognizes
+// function *definitions* (free, member, out-of-line qualified, with
+// ctor-initializer lists and trailing return types), and records inside
+// each body:
+//   * call sites (qualified, member, or bare),
+//   * determinism-taint seeds (host clocks, host RNGs, std::hash,
+//     pointer-printing "%p", pointer-to-integer reinterpret_casts),
+//   * ILAN_* knob string literals with the call they are an argument of,
+//   * obs metric registrations/lookups and their name literals,
+// plus, per file, event-tag constant/case tables (sim/event_tags.hpp) and
+// ilan-verify allow() annotations.
+//
+// Known limits (by construction, documented in DESIGN.md §14): operator
+// overload bodies are skipped; lambdas are attributed to their enclosing
+// function; preprocessor-conditional branches are all extracted; overload
+// sets resolve by name with scope-preference, not by signature.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ilan_lint/lex.hpp"
+
+namespace ilan::verify {
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct CallSite {
+  std::string name;       // callee identifier
+  std::string qualifier;  // "a::b" chain before the name ("" when unqualified)
+  bool member = false;    // x.f() / x->f()
+  int line = 0;
+};
+
+// A direct touch of a nondeterminism primitive inside a function body.
+struct TaintSeed {
+  std::string what;    // "wall-clock", "rand", "std-hash", "pointer-identity"
+  std::string detail;  // the offending token/literal
+  int line = 0;
+};
+
+struct Function {
+  std::string name;        // unqualified
+  std::string qualified;   // scope-joined, e.g. "ilan::mem::MemorySystem::resolve"
+  std::string class_name;  // innermost class scope or out-of-line qualifier ("" if free)
+  std::string file;
+  int line = 0;  // line of the definition's name
+  std::vector<CallSite> calls;
+  std::vector<TaintSeed> seeds;
+};
+
+// One ILAN_* string literal and the call expression it sits in.
+struct KnobUse {
+  std::string knob;      // e.g. "ILAN_BENCH_RUNS"
+  std::string context;   // enclosing call's name ("" when not a call argument)
+  std::string file;
+  int line = 0;
+  std::string function;  // enclosing function's qualified name ("" at file scope)
+};
+
+// One obs metric registration (counter/gauge/histogram) or lookup (find_*).
+struct MetricUse {
+  std::string kind;  // "counter", "gauge" or "histogram"
+  bool lookup = false;
+  std::string name;      // the string literal's text (whole name or fragment)
+  bool complete = false; // literal is the entire first argument
+  std::string file;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> bases;  // qualified base names, access specifiers dropped
+  std::string file;
+  int line = 0;
+};
+
+// Constant/case table of an event-tag registry header (*event_tags.hpp).
+struct TagTable {
+  std::string file;
+  std::vector<std::pair<std::string, int>> constants;  // (kTag* name, line)
+  std::set<std::string> handled;                       // `case <name>:` labels
+};
+
+struct Model {
+  std::vector<Function> functions;
+  std::multimap<std::string, std::size_t> by_name;  // name -> functions index
+  std::vector<ClassInfo> classes;
+  std::vector<KnobUse> knobs;
+  std::vector<MetricUse> metrics;
+  std::vector<TagTable> tag_tables;
+  // file -> line -> verify allow annotation.
+  std::map<std::string, std::map<int, lint::VerifyAllow>> allows;
+};
+
+[[nodiscard]] Model build_model(const std::vector<SourceFile>& files);
+
+}  // namespace ilan::verify

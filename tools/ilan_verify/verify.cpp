@@ -1,0 +1,689 @@
+#include "ilan_verify/verify.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+namespace ilan::verify {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Split a qualified name into :: components.
+std::vector<std::string> components(std::string_view qualified) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= qualified.size()) {
+    const auto pos = qualified.find("::", start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(qualified.substr(start));
+      break;
+    }
+    out.emplace_back(qualified.substr(start, pos - start));
+    start = pos + 2;
+  }
+  return out;
+}
+
+// Shared leading scope components (function name excluded on both sides).
+std::size_t shared_scope(const std::string& a, const std::string& b) {
+  const auto ca = components(a);
+  const auto cb = components(b);
+  const std::size_t na = ca.empty() ? 0 : ca.size() - 1;
+  const std::size_t nb = cb.empty() ? 0 : cb.size() - 1;
+  std::size_t k = 0;
+  while (k < na && k < nb && ca[k] == cb[k]) ++k;
+  return k;
+}
+
+// Names shared with the STL container/iterator surface. An unqualified
+// call to one of these (`accesses.begin()`, `clocks_.size()`, …) is almost
+// never a call into a project class that happens to reuse the name, so
+// these resolve same-class only; anything else is treated as external.
+// Explicit qualification (`MemorySystem::begin(...)`) bypasses this.
+bool is_ambient_name(const std::string& name) {
+  static const std::set<std::string> kAmbient = {
+      "begin",  "cbegin", "end",    "cend",   "rbegin",  "rend",
+      "size",   "empty",  "clear",  "data",   "front",   "back",
+      "at",     "count",  "find",   "insert", "erase",   "emplace",
+      "emplace_back",     "push_back",        "pop_back",
+      "push_front",       "pop_front",        "reserve", "resize",
+      "assign", "swap",   "get",    "reset",  "value",   "str",
+      "c_str",  "first",  "second", "length", "substr",  "append",
+      "test",   "contains"};
+  return kAmbient.count(name) != 0;
+}
+
+// Over-approximate name-based call resolution with scope preference:
+// same class → same file → deepest shared namespace → every candidate.
+// Qualified calls filter strictly by suffix, so std::/chrono:: calls
+// resolve to nothing (external) instead of shadowing local names.
+std::vector<std::size_t> resolve(const Model& m, const Function& caller,
+                                 const CallSite& call) {
+  std::vector<std::size_t> cands;
+  auto [lo, hi] = m.by_name.equal_range(call.name);
+  for (auto it = lo; it != hi; ++it) cands.push_back(it->second);
+  if (cands.empty()) return {};
+  if (!call.qualifier.empty()) {
+    const std::string suffix = call.qualifier + "::" + call.name;
+    std::vector<std::size_t> filtered;
+    for (const std::size_t idx : cands) {
+      const std::string& q = m.functions[idx].qualified;
+      if (q == suffix || ends_with(q, "::" + suffix)) filtered.push_back(idx);
+    }
+    return filtered;
+  }
+  if (is_ambient_name(call.name)) {
+    std::vector<std::size_t> tier;
+    if (!caller.class_name.empty()) {
+      for (const std::size_t idx : cands) {
+        if (m.functions[idx].class_name == caller.class_name) tier.push_back(idx);
+      }
+    }
+    return tier;
+  }
+  if (!caller.class_name.empty()) {
+    std::vector<std::size_t> tier;
+    for (const std::size_t idx : cands) {
+      if (m.functions[idx].class_name == caller.class_name) tier.push_back(idx);
+    }
+    if (!tier.empty()) return tier;
+  }
+  {
+    std::vector<std::size_t> tier;
+    for (const std::size_t idx : cands) {
+      if (m.functions[idx].file == caller.file) tier.push_back(idx);
+    }
+    if (!tier.empty()) return tier;
+  }
+  std::size_t best = 0;
+  for (const std::size_t idx : cands) {
+    best = std::max(best, shared_scope(caller.qualified, m.functions[idx].qualified));
+  }
+  if (best > 0) {
+    std::vector<std::size_t> tier;
+    for (const std::size_t idx : cands) {
+      if (shared_scope(caller.qualified, m.functions[idx].qualified) == best) {
+        tier.push_back(idx);
+      }
+    }
+    return tier;
+  }
+  return cands;
+}
+
+struct CallGraph {
+  // edges[u] = resolved callee indices; rev[v] = callers of v.
+  std::vector<std::vector<std::size_t>> edges;
+  std::vector<std::vector<std::size_t>> rev;
+};
+
+CallGraph build_graph(const Model& m) {
+  CallGraph g;
+  g.edges.resize(m.functions.size());
+  g.rev.resize(m.functions.size());
+  for (std::size_t u = 0; u < m.functions.size(); ++u) {
+    std::set<std::size_t> seen;
+    for (const CallSite& call : m.functions[u].calls) {
+      for (const std::size_t v : resolve(m, m.functions[u], call)) {
+        if (v == u || !seen.insert(v).second) continue;
+        g.edges[u].push_back(v);
+        g.rev[v].push_back(u);
+      }
+    }
+  }
+  return g;
+}
+
+// ---- taint ---------------------------------------------------------------
+
+const std::vector<std::string>& sink_specs() {
+  static const std::vector<std::string> kSinks = {
+      "Engine::commit_event",
+      "Engine::digest_step",
+      "Engine::event_digest",
+      "MetricsRegistry::digest",
+      "analysis::digest_of",
+      "analysis::compare_traces",
+      "analysis::describe_event",
+      "analysis::describe_divergence",
+      "ChromeTraceWriter::write",
+      "ChromeTraceWriter::to_json",
+  };
+  return kSinks;
+}
+
+bool is_sink(const std::string& qualified) {
+  for (const std::string& spec : sink_specs()) {
+    if (qualified == spec || ends_with(qualified, "::" + spec)) return true;
+  }
+  return false;
+}
+
+void pass_taint(const Model& m, const CallGraph& g, std::vector<Finding>& out) {
+  std::vector<char> tainted(m.functions.size(), 0);
+  std::vector<std::size_t> pred(m.functions.size(), SIZE_MAX);
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < m.functions.size(); ++i) {
+    if (!m.functions[i].seeds.empty()) {
+      tainted[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    for (const std::size_t u : g.rev[v]) {
+      if (tainted[u]) continue;
+      tainted[u] = 1;
+      pred[u] = v;  // u is tainted because u calls v
+      queue.push_back(u);
+    }
+  }
+  for (std::size_t s = 0; s < m.functions.size(); ++s) {
+    if (!tainted[s] || !is_sink(m.functions[s].qualified)) continue;
+    std::vector<std::string> path;
+    std::size_t cur = s;
+    path.push_back(m.functions[cur].qualified);
+    while (pred[cur] != SIZE_MAX) {
+      cur = pred[cur];
+      path.push_back(m.functions[cur].qualified);
+    }
+    const Function& origin = m.functions[cur];
+    const TaintSeed& seed = origin.seeds.front();
+    Finding f;
+    f.rule = "taint";
+    f.file = origin.file;
+    f.line = seed.line;
+    f.symbol = m.functions[s].qualified;
+    f.message = "determinism sink '" + m.functions[s].qualified +
+                "' is tainted by " + seed.what + " primitive '" + seed.detail +
+                "' in '" + origin.qualified + "'";
+    f.path = std::move(path);
+    out.push_back(std::move(f));
+  }
+}
+
+// ---- observer discipline -------------------------------------------------
+
+void pass_observer(const Model& m, const CallGraph& g,
+                   std::vector<Finding>& out) {
+  static const std::set<std::string> kCallbacks = {
+      "on_loop_begin", "on_task_start", "on_task_finish", "on_loop_end"};
+  static const std::set<std::string> kMutators = {
+      "run_taskloop", "set_observer", "set_metrics", "schedule_at",
+      "schedule_after", "cancel",     "begin_task",  "inject",
+      "set_health",   "demote"};
+  std::set<std::string> observer_classes;
+  for (const ClassInfo& c : m.classes) {
+    for (const std::string& base : c.bases) {
+      if (base.find("TaskObserver") != std::string::npos) {
+        observer_classes.insert(c.name);
+      }
+    }
+  }
+  std::set<std::string> reported;  // file:line:entry dedup
+  for (std::size_t e = 0; e < m.functions.size(); ++e) {
+    const Function& entry = m.functions[e];
+    if (kCallbacks.count(entry.name) == 0 ||
+        observer_classes.count(entry.class_name) == 0) {
+      continue;
+    }
+    // Forward closure from the callback, tracking how each function was
+    // reached so the finding can print the callback → mutation chain.
+    std::vector<std::size_t> pred(m.functions.size(), SIZE_MAX);
+    std::vector<char> visited(m.functions.size(), 0);
+    std::deque<std::size_t> queue{e};
+    visited[e] = 1;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (const CallSite& call : m.functions[u].calls) {
+        if (kMutators.count(call.name) != 0) {
+          Finding f;
+          f.rule = "observer-mutation";
+          f.file = m.functions[u].file;
+          f.line = call.line;
+          f.symbol = entry.qualified;
+          f.message = "observer callback '" + entry.qualified +
+                      "' reaches runtime mutation '" + call.name + "()' in '" +
+                      m.functions[u].qualified +
+                      "'; TaskObserver implementations must be read-only";
+          for (std::size_t cur = u; cur != SIZE_MAX; cur = pred[cur]) {
+            f.path.insert(f.path.begin(), m.functions[cur].qualified);
+          }
+          f.path.push_back(call.name + "()");
+          const std::string key =
+              f.file + ":" + std::to_string(f.line) + ":" + f.symbol;
+          if (reported.insert(key).second) out.push_back(std::move(f));
+        }
+      }
+      for (const std::size_t v : g.edges[u]) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          pred[v] = u;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+// ---- event-tag exhaustiveness --------------------------------------------
+
+void pass_event_tags(const Model& m, std::vector<Finding>& out) {
+  for (const TagTable& table : m.tag_tables) {
+    for (const auto& [name, line] : table.constants) {
+      if (table.handled.count(name) != 0) continue;
+      Finding f;
+      f.rule = "event-tag";
+      f.file = table.file;
+      f.line = line;
+      f.symbol = name;
+      f.message = "event tag '" + name +
+                  "' has no `case` handler anywhere in the scanned tree "
+                  "(selfcheck/trace switches must stay exhaustive)";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// ---- knob drift ----------------------------------------------------------
+
+bool is_knob_char(char c) {
+  return (std::isupper(static_cast<unsigned char>(c)) != 0) ||
+         (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+}  // namespace
+
+std::map<std::string, int> scan_knob_mentions(std::string_view text) {
+  std::map<std::string, int> out;
+  int line = 1;
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (text.compare(i, 5, "ILAN_") == 0 &&
+        (i == 0 || !is_knob_char(text[i - 1]))) {
+      std::size_t j = i + 5;
+      while (j < text.size() && is_knob_char(text[j])) ++j;
+      if (j > i + 5) out.emplace(std::string(text.substr(i, j - i)), line);
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+void pass_knobs(const Model& m, const Options& opts,
+                std::vector<Finding>& out) {
+  static const std::set<std::string> kReadContexts = {
+      "parse_env_int", "parse_env_double", "parse_full_int",
+      "parse_full_double", "env_flag", "getenv"};
+  std::map<std::string, std::vector<const KnobUse*>> reads;
+  for (const KnobUse& use : m.knobs) {
+    if (kReadContexts.count(use.context) != 0) reads[use.knob].push_back(&use);
+  }
+  const bool readme_on = opts.check_readme && !opts.readme.empty();
+  std::map<std::string, int> documented;
+  if (readme_on) documented = scan_knob_mentions(opts.readme);
+
+  // Function lookup for the weak-parse check. Keyed by (file, qualified):
+  // qualified alone collides across the many per-binary `main`s.
+  std::map<std::string, const Function*> by_qualified;
+  for (const Function& fn : m.functions) {
+    by_qualified.emplace(fn.file + "\t" + fn.qualified, &fn);
+  }
+
+  for (const auto& [knob, uses] : reads) {
+    if (readme_on && documented.count(knob) == 0) {
+      const KnobUse& first = *uses.front();
+      Finding f;
+      f.rule = "knob-drift";
+      f.file = first.file;
+      f.line = first.line;
+      f.symbol = knob;
+      f.message = "knob '" + knob +
+                  "' is read here but missing from the README environment "
+                  "table";
+      out.push_back(std::move(f));
+    }
+    for (const KnobUse* use : uses) {
+      if (use->context != "getenv" || use->function.empty()) continue;
+      const auto it = by_qualified.find(use->file + "\t" + use->function);
+      if (it == by_qualified.end()) continue;
+      for (const CallSite& call : it->second->calls) {
+        if (call.name == "atoi" || call.name == "atof") {
+          Finding f;
+          f.rule = "knob-drift";
+          f.file = use->file;
+          f.line = use->line;
+          f.symbol = knob;
+          f.message = "knob '" + knob + "' is parsed with std::" + call.name +
+                      " (silent 0 on garbage); use obs::parse_env_int / "
+                      "parse_env_double";
+          out.push_back(std::move(f));
+          break;
+        }
+      }
+    }
+  }
+  if (readme_on) {
+    for (const auto& [knob, line] : documented) {
+      if (reads.count(knob) != 0 || opts.shell_knob_reads.count(knob) != 0) {
+        continue;
+      }
+      Finding f;
+      f.rule = "knob-drift";
+      f.file = "README.md";
+      f.line = line;
+      f.symbol = knob;
+      f.message = "knob '" + knob +
+                  "' is documented but never read by any scanned source or "
+                  "shell script (dead knob)";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// ---- metric-name grammar -------------------------------------------------
+
+bool grammar_segment(std::string_view seg) {
+  if (seg.empty() || std::islower(static_cast<unsigned char>(seg[0])) == 0) {
+    return false;
+  }
+  return std::all_of(seg.begin(), seg.end(), [](unsigned char c) {
+    return (std::islower(c) != 0) || (std::isdigit(c) != 0) || c == '_';
+  });
+}
+
+bool grammar_complete(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (true) {
+    const auto dot = name.find('.', start);
+    const auto seg = name.substr(start, dot == std::string_view::npos
+                                            ? std::string_view::npos
+                                            : dot - start);
+    if (!grammar_segment(seg)) return false;
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+bool grammar_fragment(std::string_view frag) {
+  return !frag.empty() && std::all_of(frag.begin(), frag.end(), [](unsigned char c) {
+    return (std::islower(c) != 0) || (std::isdigit(c) != 0) || c == '_' ||
+           c == '.';
+  });
+}
+
+void pass_metrics(const Model& m, std::vector<Finding>& out) {
+  std::map<std::string, std::set<std::string>> kinds;  // name → kinds seen
+  std::map<std::string, const MetricUse*> first_use;
+  for (const MetricUse& use : m.metrics) {
+    const bool ok =
+        use.complete ? grammar_complete(use.name) : grammar_fragment(use.name);
+    if (!ok) {
+      Finding f;
+      f.rule = "metric-grammar";
+      f.file = use.file;
+      f.line = use.line;
+      f.symbol = use.name;
+      f.message = use.complete
+                      ? "metric name '" + use.name +
+                            "' violates the dotted grammar "
+                            "segment(.segment)+, segment = [a-z][a-z0-9_]*"
+                      : "metric name fragment '" + use.name +
+                            "' contains characters outside [a-z0-9_.]";
+      out.push_back(std::move(f));
+    }
+    if (use.complete) {
+      kinds[use.name].insert(use.kind);
+      first_use.emplace(use.name, &use);
+    }
+  }
+  for (const auto& [name, seen] : kinds) {
+    if (seen.size() <= 1) continue;
+    const MetricUse& use = *first_use.at(name);
+    std::string list;
+    for (const std::string& k : seen) {
+      if (!list.empty()) list += ", ";
+      list += k;
+    }
+    Finding f;
+    f.rule = "metric-grammar";
+    f.file = use.file;
+    f.line = use.line;
+    f.symbol = name;
+    f.message = "metric '" + name +
+                "' is used with conflicting kinds (" + list +
+                "); one name must keep one kind across registrations and "
+                "lookups";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---- allow() syntax ------------------------------------------------------
+
+void pass_allow_syntax(const Model& m, std::vector<Finding>& out) {
+  std::set<std::string> known;
+  for (const RuleInfo& r : rules()) known.insert(r.name);
+  for (const auto& [file, lines] : m.allows) {
+    for (const auto& [line, allow] : lines) {
+      std::string joined;
+      for (const std::string& r : allow.rules) {
+        if (!joined.empty()) joined += ",";
+        joined += r;
+      }
+      if (!allow.has_justification) {
+        Finding f;
+        f.rule = "allow-syntax";
+        f.file = file;
+        f.line = line;
+        f.symbol = joined;
+        f.message = "ilan-verify: allow(" + joined +
+                    ") has no quoted justification; the annotation does not "
+                    "suppress anything until one is given";
+        out.push_back(std::move(f));
+        continue;
+      }
+      for (const std::string& r : allow.rules) {
+        if (r == "all" || known.count(r) != 0) continue;
+        Finding f;
+        f.rule = "allow-syntax";
+        f.file = file;
+        f.line = line;
+        f.symbol = r;
+        f.message = "ilan-verify: allow() names unknown rule '" + r + "'";
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ---- routing -------------------------------------------------------------
+
+const lint::VerifyAllow* allow_at(const Model& m, const std::string& file,
+                                  int line) {
+  const auto fit = m.allows.find(file);
+  if (fit == m.allows.end()) return nullptr;
+  const auto lit = fit->second.find(line);
+  if (lit == fit->second.end()) return nullptr;
+  return &lit->second;
+}
+
+void sort_findings(std::vector<Finding>& v) {
+  std::sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.symbol) <
+           std::tie(b.file, b.line, b.rule, b.symbol);
+  });
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_finding(std::ostream& os, const Finding& f, const char* indent) {
+  os << indent << "{\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+     << json_escape(f.file) << "\", \"line\": " << f.line
+     << ", \"symbol\": \"" << json_escape(f.symbol) << "\", \"message\": \""
+     << json_escape(f.message) << "\"";
+  if (!f.path.empty()) {
+    os << ", \"path\": [";
+    for (std::size_t i = 0; i < f.path.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "\"" << json_escape(f.path[i]) << "\"";
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"taint",
+       "no wall-clock/RNG/std::hash/pointer-identity taint reaching "
+       "digest, trace or selfcheck sinks"},
+      {"observer-mutation",
+       "TaskObserver callbacks (and their callees) never mutate the "
+       "runtime or scheduler"},
+      {"event-tag",
+       "every EventTag constant is handled by a `case` label somewhere"},
+      {"knob-drift",
+       "ILAN_* knobs: read ⇔ documented in the README, parsed strictly"},
+      {"metric-grammar",
+       "obs metric names follow segment(.segment)+ and keep one kind"},
+      {"allow-syntax",
+       "every allow() suppression carries a quoted justification"},
+  };
+  return kRules;
+}
+
+std::string finding_key(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + f.symbol;
+}
+
+Report analyze(const Model& model, const Options& opts) {
+  const CallGraph graph = build_graph(model);
+  std::vector<Finding> raw;
+  pass_taint(model, graph, raw);
+  pass_observer(model, graph, raw);
+  pass_event_tags(model, raw);
+  pass_knobs(model, opts, raw);
+  pass_metrics(model, raw);
+  pass_allow_syntax(model, raw);
+
+  Report report;
+  for (Finding& f : raw) {
+    const lint::VerifyAllow* allow = allow_at(model, f.file, f.line);
+    const bool matches =
+        allow != nullptr &&
+        (allow->rules.count(f.rule) != 0 || allow->rules.count("all") != 0);
+    if (matches && allow->has_justification && f.rule != "allow-syntax") {
+      report.suppressed.push_back({std::move(f), allow->justification});
+    } else if (opts.baseline.count(finding_key(f)) != 0) {
+      report.baselined.push_back(std::move(f));
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+  sort_findings(report.findings);
+  sort_findings(report.baselined);
+  std::sort(report.suppressed.begin(), report.suppressed.end(),
+            [](const Suppressed& a, const Suppressed& b) {
+              return std::tie(a.finding.file, a.finding.line, a.finding.rule) <
+                     std::tie(b.finding.file, b.finding.line, b.finding.rule);
+            });
+  return report;
+}
+
+Report analyze_sources(const std::vector<SourceFile>& files,
+                       const Options& opts) {
+  return analyze(build_model(files), opts);
+}
+
+std::set<std::string> parse_baseline(std::string_view text) {
+  std::set<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty() && line[0] != '#') out.emplace(line);
+    start = end + 1;
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const Report& report) {
+  os << "{\n  \"tool\": \"ilan-verify\",\n";
+  os << "  \"counts\": {\"findings\": " << report.findings.size()
+     << ", \"suppressed\": " << report.suppressed.size()
+     << ", \"baselined\": " << report.baselined.size() << "},\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_finding(os, report.findings[i], "    ");
+  }
+  os << (report.findings.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"suppressed\": [";
+  for (std::size_t i = 0; i < report.suppressed.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    const Suppressed& s = report.suppressed[i];
+    os << "    {\"justification\": \"" << json_escape(s.justification)
+       << "\", \"finding\": ";
+    write_finding(os, s.finding, "");
+    os << "}";
+  }
+  os << (report.suppressed.empty() ? "]" : "\n  ]") << ",\n";
+  os << "  \"baselined\": [";
+  for (std::size_t i = 0; i < report.baselined.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_finding(os, report.baselined[i], "    ");
+  }
+  os << (report.baselined.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace ilan::verify

@@ -1,0 +1,96 @@
+// ilan-verify rule passes over the semantic model (model.hpp).
+//
+// Rules (each suppressible on the finding's line with a verify allow()
+// annotation — see ilan_lint/lex.hpp; the justification is mandatory):
+//
+//   taint            determinism taint: a function touching wall-clock /
+//                    host-RNG / std::hash / pointer-identity primitives is
+//                    tainted; taint propagates to callers; a finding fires
+//                    when a digest/trace/selfcheck sink is tainted. Anchored
+//                    at the seed site, with the sink→seed call path.
+//   observer-mutation rt::TaskObserver callback implementations (and their
+//                    transitive callees) must not call runtime/scheduler
+//                    mutation APIs. Anchored at the mutating call site.
+//   event-tag        every EventTag constant in *event_tags.hpp must appear
+//                    as a `case` label somewhere in the scanned tree.
+//   knob-drift       every ILAN_* literal read in code must be in the README
+//                    env table; documented knobs must have a live read (code
+//                    or shell script); env values must be parsed with the
+//                    strict obs:: parsers, not std::atoi/atof.
+//   metric-grammar   registered obs metric names follow the dotted grammar
+//                    segment(.segment)+, segment = [a-z][a-z0-9_]*; a name
+//                    must keep one kind across registrations and lookups.
+//   allow-syntax     an allow() annotation without a justification string
+//                    (or naming an unknown rule) — such annotations never
+//                    suppress.
+//
+// Findings carry a stable key `rule<TAB>file<TAB>symbol` used by the
+// checked-in baseline (tools/ilan_verify/baseline.txt): baselined findings
+// are reported but do not fail the gate, so the tool can land strict rules
+// while drift is paid down incrementally. The shipped baseline is empty.
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ilan_verify/model.hpp"
+
+namespace ilan::verify {
+
+struct RuleInfo {
+  std::string name;
+  std::string description;
+};
+
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string symbol;   // sink/knob/metric/tag the finding is about
+  std::string message;
+  std::vector<std::string> path;  // taint: sink → … → seed call chain
+};
+
+struct Suppressed {
+  Finding finding;
+  std::string justification;  // echoed into the JSON report
+};
+
+struct Options {
+  std::string readme;          // README.md content; checks skipped when empty
+  bool check_readme = true;
+  std::set<std::string> shell_knob_reads;  // ILAN_* referenced by *.sh files
+  std::set<std::string> baseline;          // accepted finding keys
+};
+
+struct Report {
+  std::vector<Finding> findings;      // active — these fail the gate
+  std::vector<Suppressed> suppressed; // allow()'d with justification
+  std::vector<Finding> baselined;     // known drift, reported not fatal
+};
+
+// Stable identity of a finding: rule<TAB>file<TAB>symbol (line-free so
+// baselines survive unrelated edits).
+[[nodiscard]] std::string finding_key(const Finding& f);
+
+[[nodiscard]] Report analyze(const Model& model, const Options& opts);
+[[nodiscard]] Report analyze_sources(const std::vector<SourceFile>& files,
+                                     const Options& opts);
+
+// Baseline file: one key per line, '#' comments and blank lines ignored.
+[[nodiscard]] std::set<std::string> parse_baseline(std::string_view text);
+
+// All ILAN_* tokens in free text → first-mention line (1-based). Used for
+// the README side of knob-drift and for shell-script knob reads.
+[[nodiscard]] std::map<std::string, int> scan_knob_mentions(
+    std::string_view text);
+
+// Machine-readable report (hand-rolled JSON, schema in DESIGN.md §14).
+void write_json(std::ostream& os, const Report& report);
+
+}  // namespace ilan::verify

@@ -17,13 +17,20 @@
 # worker pool honest: the suite's parallel-vs-sequential determinism tests
 # execute under instrumentation.
 #
-# `lint` builds the primary tree, runs ilan-lint over src/, and — when
+# `lint` builds the primary tree, runs ilan-lint over src/, runs the
+# ilan-verify semantic analysis (call-graph taint, observer discipline,
+# event-tag exhaustiveness, knob drift, metric grammar — DESIGN.md §14)
+# over src/ bench/ tools/ against the checked-in baseline, and — when
 # clang-tidy is installed — runs the .clang-tidy baseline over the
-# simulation sources using the exported compile commands.
+# simulation sources using the exported compile commands. A missing
+# clang-tidy is a printed skip by default and a hard failure with
+# ILAN_REQUIRE_CLANG_TIDY=1.
 #
-# `analyze` is the full correctness-analysis pass: the ASan/TSan/UBSan
-# matrix (each suite in its own build dir) plus the determinism/race
-# selfcheck binary (bench/selfcheck) on the primary build.
+# `analyze` is the full correctness-analysis pass: lint + ilan-verify on
+# the primary build, the ASan/TSan/UBSan matrix (each suite in its own
+# build dir — their full ctest runs repeat the ilan_verify_gate under
+# instrumentation) plus the determinism/race selfcheck binary
+# (bench/selfcheck) on the primary build.
 #
 # `faults` is the fault-injection gate: the fault-focused test binaries and
 # `bench/selfcheck --faults` (digest parity for every shipped ILAN_FAULTS
@@ -74,15 +81,22 @@ build_one() {
 
 run_lint() {
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  cmake --build build -j "$jobs" --target ilan-lint
+  cmake --build build -j "$jobs" --target ilan-lint ilan-verify
   echo "== ilan-lint src/ =="
   ./build/tools/ilan-lint src
+  echo "== ilan-verify src/ bench/ tools/ (semantic analysis) =="
+  ./build/tools/ilan-verify --baseline tools/ilan_verify/baseline.txt \
+    --readme README.md src bench tools
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== clang-tidy (baseline .clang-tidy) =="
     find src -name '*.cpp' -print0 |
       xargs -0 -P "$jobs" -n 4 clang-tidy -p build --quiet
+  elif [ "${ILAN_REQUIRE_CLANG_TIDY:-0}" != "0" ]; then
+    echo "== clang-tidy not installed but ILAN_REQUIRE_CLANG_TIDY is set: failing ==" >&2
+    exit 1
   else
-    echo "== clang-tidy not installed; skipped (ilan-lint still gates) =="
+    echo "== clang-tidy not installed; skipped (ilan-lint/ilan-verify still gate;" \
+         "set ILAN_REQUIRE_CLANG_TIDY=1 to make this a failure) =="
   fi
 }
 
