@@ -15,6 +15,7 @@
 
 #include "analysis/determinism.hpp"
 #include "analysis/race_auditor.hpp"
+#include "core/backoff.hpp"
 #include "fault/injector.hpp"
 #include "obs/env.hpp"
 #include "rt/team.hpp"
@@ -112,11 +113,20 @@ bool audit_requested(const char* what) {
 // Arms the ILAN_FAULTS plan against a fresh machine; nullptr when no faults
 // are requested. The realization is a pure function of (spec, seed,
 // topology), so every worker thread arms an identical plan for a given run.
+// Attempt 1 keeps the seed untouched (bit-compatible with every historical
+// digest); attempt > 1 salts the realization seed, so a run that hit the
+// watchdog under one fault realization can legitimately pass on retry under
+// a different realization of the same scenario spec.
 std::unique_ptr<fault::FaultInjector> arm_env_faults(rt::Machine& machine,
-                                                     std::uint64_t seed) {
+                                                     std::uint64_t seed,
+                                                     int attempt = 1) {
   const std::string spec = env_faults();
   if (spec.empty()) return nullptr;
-  fault::FaultPlan plan = fault::parse_plan(spec, seed, machine.topology());
+  const std::uint64_t fault_seed =
+      attempt <= 1 ? seed
+                   : sim::Engine::mix64(seed ^ (0x9E3779B97F4A7C15ULL *
+                                                static_cast<std::uint64_t>(attempt)));
+  fault::FaultPlan plan = fault::parse_plan(spec, fault_seed, machine.topology());
   if (plan.empty()) return nullptr;
   auto inj = std::make_unique<fault::FaultInjector>(machine, std::move(plan));
   inj->arm();
@@ -170,7 +180,8 @@ std::string sanitize_for_path(const std::string& s) {
 }  // namespace
 
 RunResult run_once(const std::string& kernel, const std::string& sched_spec,
-                   std::uint64_t seed, const kernels::KernelOptions& opts) {
+                   std::uint64_t seed, const kernels::KernelOptions& opts,
+                   int attempt) {
   const auto host_start = std::chrono::steady_clock::now();
   rt::Machine machine(paper_machine(seed));
   machine.engine().set_digest_enabled(true);
@@ -182,7 +193,7 @@ RunResult run_once(const std::string& kernel, const std::string& sched_spec,
   auto scheduler = make_scheduler(sched_spec);
   rt::Team team(machine, *scheduler);
   if (want_trace) team.set_tracer(&tracer);
-  const auto injector = arm_env_faults(machine, seed);
+  const auto injector = arm_env_faults(machine, seed, attempt);
   if (const double wd = env_watchdog_s(); wd > 0.0) {
     team.set_deadline(sim::from_seconds(wd));
   }
@@ -324,6 +335,24 @@ int Series::ok_count() const {
 
 int Series::failed_count() const { return static_cast<int>(runs.size()) - ok_count(); }
 
+int Series::watchdog_count() const {
+  int n = 0;
+  for (const auto& r : runs) n += r.status == RunStatus::kWatchdog ? 1 : 0;
+  return n;
+}
+
+int Series::error_count() const {
+  int n = 0;
+  for (const auto& r : runs) n += r.status == RunStatus::kError ? 1 : 0;
+  return n;
+}
+
+int Series::retry_attempts() const {
+  int n = 0;
+  for (const auto& r : runs) n += r.attempts > 1 ? r.attempts - 1 : 0;
+  return n;
+}
+
 std::uint64_t Series::total_events_fired() const {
   std::uint64_t n = 0;
   for (const auto& r : runs) n += r.events_fired;
@@ -365,7 +394,10 @@ struct BenchEntry {
   std::string spec;   // fully-resolved spec the runs executed with
   int runs = 0;
   int jobs = 0;
-  int failures = 0;  // quarantined (watchdog/error) runs in the series
+  int failures = 0;   // quarantined (watchdog/error) runs in the series
+  int watchdogs = 0;  // ... of which RunStatus::kWatchdog
+  int errors = 0;     // ... of which RunStatus::kError
+  int retry_attempts = 0;  // extra attempts burned across the series
   double host_s = 0.0;
   std::uint64_t events = 0;
   std::uint64_t digest = 0;  // order-independent fold of per-run digests
@@ -421,7 +453,8 @@ void write_bench_json() {
     std::fprintf(f,
                  "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"spec\": \"%s\", "
                  "\"runs\": %d, "
-                 "\"jobs\": %d, \"failures\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
+                 "\"jobs\": %d, \"failures\": %d, \"watchdogs\": %d, \"errors\": %d, "
+                 "\"retry_attempts\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
                  "\"digest\": \"%016llx\", "
                  "\"events_per_s\": %.6g,\n     \"sim_time_s\": {\"mean\": %.9g, "
                  "\"median\": %.9g, \"stddev\": %.6g, \"min\": %.9g, \"max\": %.9g},\n"
@@ -431,8 +464,8 @@ void write_bench_json() {
                  "                \"delta_solves\": %llu, \"delta_rounds_reused\": %llu, "
                  "\"delta_rounds_total\": %llu, \"hit_rate\": %.4f}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.spec.c_str(),
-                 e.runs, e.jobs,
-                 e.failures, e.host_s, static_cast<unsigned long long>(e.events),
+                 e.runs, e.jobs, e.failures, e.watchdogs, e.errors,
+                 e.retry_attempts, e.host_s, static_cast<unsigned long long>(e.events),
                  static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
                  e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
                  static_cast<unsigned long long>(e.solver.resolves),
@@ -484,6 +517,9 @@ void register_series(const std::string& kernel, const std::string& sched_spec,
   e.runs = static_cast<int>(s.runs.size());
   e.jobs = jobs;
   e.failures = s.failed_count();
+  e.watchdogs = s.watchdog_count();
+  e.errors = s.error_count();
+  e.retry_attempts = s.retry_attempts();
   e.host_s = s.host_s;
   e.events = s.total_events_fired();
   e.digest = series_digest(s);
@@ -503,36 +539,66 @@ Series run_many(const std::string& kernel, const std::string& sched_spec, int ru
   const auto t0 = std::chrono::steady_clock::now();
   const int jobs = std::min(env_jobs(), runs);
   const int retries = env_retries();
+  // Watchdog hits come back as structured results, not exceptions. Without
+  // faults the simulation is a pure function of the seed, so re-running the
+  // same seed cannot pass and retrying would only burn host time; under a
+  // non-trivial ILAN_FAULTS spec the retry re-rolls the fault realization
+  // (attempt-salted in arm_env_faults), which CAN clear the watchdog.
+  const std::string fault_spec = env_faults();
+  const bool watchdog_retryable = !fault_spec.empty() && fault_spec != "none";
   // Seed and slot assignment are index-based, so results are identical to
   // the sequential loop no matter how runs land on workers. A failing run
   // never takes the series down: it is retried up to ILAN_BENCH_RETRIES
-  // times (covering transient host conditions), then quarantined in place
-  // as a structured failure entry while the remaining runs proceed.
-  // Watchdog hits come back as structured results, not exceptions — the
-  // simulation is deterministic, so re-running the same seed cannot pass.
+  // times — paced by the same seeded core::Backoff the serving layer uses,
+  // so a transiently overloaded host is not hammered in lockstep — then
+  // quarantined in place as a structured failure entry while the remaining
+  // runs proceed.
   auto work = [&](int i) {
     const std::uint64_t run_seed =
         base_seed + 1000ull * (static_cast<std::uint64_t>(i) + 1);
+    const core::Backoff backoff(run_seed, core::BackoffParams{});
     for (int attempt = 1;; ++attempt) {
       std::string what;
       try {
-        RunResult r = run_once(kernel, sched_spec, run_seed, opts);
-        r.attempts = attempt;
-        s.runs[static_cast<std::size_t>(i)] = std::move(r);
-        return;
+        RunResult r = run_once(kernel, sched_spec, run_seed, opts, attempt);
+        const bool retry_watchdog = r.status == RunStatus::kWatchdog &&
+                                    watchdog_retryable && attempt <= retries;
+        if (!retry_watchdog) {
+          r.attempts = attempt;
+          if (r.status == RunStatus::kWatchdog && attempt > 1) {
+            std::fprintf(stderr,
+                         "run_many: %s/%s run %d (seed %llu) quarantined after %d "
+                         "attempt(s): %s\n",
+                         kernel.c_str(), sched_spec.c_str(), i,
+                         static_cast<unsigned long long>(run_seed), attempt,
+                         r.error.c_str());
+          }
+          s.runs[static_cast<std::size_t>(i)] = std::move(r);
+          return;
+        }
+        what = r.error;
       } catch (const std::exception& e) {
         what = e.what();
       } catch (...) {
         what = "unknown exception";
       }
-      if (attempt <= retries) continue;
+      if (attempt <= retries) {
+        // Host-side pause; the delay value is deterministic, the pause has
+        // no bearing on simulation results (slots are index-assigned).
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(backoff.delay(attempt) / 1000));
+        continue;
+      }
       RunResult r;
       r.status = RunStatus::kError;
       r.error = what;
       r.attempts = attempt;
       s.runs[static_cast<std::size_t>(i)] = std::move(r);
-      std::fprintf(stderr, "run_many: %s/%s run %d quarantined after %d attempt(s): %s\n",
-                   kernel.c_str(), sched_spec.c_str(), i, attempt, what.c_str());
+      std::fprintf(stderr,
+                   "run_many: %s/%s run %d (seed %llu) quarantined after %d "
+                   "attempt(s): %s\n",
+                   kernel.c_str(), sched_spec.c_str(), i,
+                   static_cast<unsigned long long>(run_seed), attempt, what.c_str());
       return;
     }
   };
@@ -869,6 +935,183 @@ int selfcheck_faults_main() {
     return 0;
   }
   std::printf("selfcheck --faults: %d failure(s)\n", failures);
+  return 1;
+}
+
+// --- serving mode ---------------------------------------------------------
+
+serve::ServeParams serve_params_from_env() {
+  serve::ServeParams p;
+  p.queue_cap = obs::parse_env_int("ILAN_SERVE_QUEUE_CAP", p.queue_cap, 1, 100000);
+  p.max_retries = obs::parse_env_int("ILAN_SERVE_RETRIES", p.max_retries, 0, 1000);
+  p.breaker_threshold = obs::parse_env_int("ILAN_SERVE_BREAKER_THRESHOLD",
+                                           p.breaker_threshold, 1, 100000);
+  p.breaker_cooldown_s = obs::parse_env_double("ILAN_SERVE_BREAKER_COOLDOWN",
+                                               p.breaker_cooldown_s, 1e-9, 1e6);
+  return p;
+}
+
+std::vector<std::string> env_serve_scenarios() {
+  const char* v = std::getenv("ILAN_SERVE_SCENARIO");
+  if (v == nullptr || v[0] == '\0') return serve::scenario_names();
+  std::vector<std::string> out;
+  std::string item;
+  for (const char* p = v;; ++p) {
+    if (*p == ';' || *p == '\0') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item += *p;
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("ILAN_SERVE_SCENARIO='" + std::string(v) +
+                                "': no scenarios found");
+  }
+  // Fail fast on a typo'd scenario before any run burns host time.
+  for (const auto& name : out) (void)serve::make_scenario(name);
+  return out;
+}
+
+ServeRun run_serve(const std::string& scenario, const std::string& sched_spec,
+                   std::uint64_t seed) {
+  const auto host_start = std::chrono::steady_clock::now();
+  rt::Machine machine(paper_machine(seed));
+  machine.engine().set_digest_enabled(true);
+  obs::MetricsRegistry metrics;
+  const bool want_metrics = obs::env_flag("ILAN_METRICS");
+  // Before the Server: both the machine and the serve layer cache handles.
+  if (want_metrics) machine.set_metrics(&metrics);
+  // ILAN_FAULTS composes with serving: injected degrade/offline clauses
+  // demote NodeHealth, and every tenant's placement mask routes around
+  // them exactly like around breaker-quarantined nodes.
+  const auto injector = arm_env_faults(machine, seed);
+  serve::TrafficSpec spec = serve::make_scenario(scenario);
+  if (const int cap = obs::parse_env_int("ILAN_SERVE_REQUESTS", 0, 1, 100000000);
+      cap > 0) {
+    spec.max_requests = cap;
+  }
+  serve::Server server(machine, spec, serve_params_from_env(), sched_spec);
+
+  ServeRun out;
+  out.report = server.run();
+  out.event_digest = machine.engine().event_digest();
+  out.events_fired = machine.engine().events_fired();
+  if (want_metrics) {
+    export_machine_metrics(machine, metrics);
+    out.metrics_digest = metrics.digest();
+  }
+  out.host_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
+  return out;
+}
+
+bool serve_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--serve") return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Seed-series parity helper for selfcheck --serve: the run_many seed rule
+// (base + 1000*(i+1)) executed on `jobs` pool workers with index-assigned
+// slots. Serve runs carry no cross-run state, so the digests must be
+// bit-identical no matter how the pool interleaves them.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> serve_series(
+    const std::string& scenario, const std::string& sched_spec, int runs,
+    std::uint64_t base_seed, int jobs) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out(
+      static_cast<std::size_t>(runs));
+  auto work = [&](int i) {
+    const ServeRun r = run_serve(
+        scenario, sched_spec,
+        base_seed + 1000ull * (static_cast<std::uint64_t>(i) + 1));
+    out[static_cast<std::size_t>(i)] = {r.event_digest, r.metrics_digest};
+  };
+  if (jobs <= 1) {
+    for (int i = 0; i < runs; ++i) work(i);
+    return out;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= runs) return;
+        work(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return out;
+}
+
+}  // namespace
+
+int selfcheck_serve_main() {
+  // Metrics parity should be real, not vacuous: force the registry on so
+  // the serve.* instrumentation participates in the digest comparison.
+  const obs::ScopedEnv metrics_env("ILAN_METRICS", "1");
+  const std::string sched = "ilan";
+  int failures = 0;
+  std::printf("%-9s %-6s %8s %8s %7s %10s %16s  %s\n", "scenario", "sched",
+              "offered", "ok", "shed%", "events", "digest", "status");
+  for (const auto& scenario : env_serve_scenarios()) {
+    // 2-run digest + metrics parity.
+    const ServeRun a = run_serve(scenario, sched, /*seed=*/42);
+    const ServeRun b = run_serve(scenario, sched, /*seed=*/42);
+    const bool det = a.event_digest == b.event_digest &&
+                     a.events_fired == b.events_fired &&
+                     a.metrics_digest == b.metrics_digest;
+
+    // Seed-series jobs=1 vs jobs=4 parity through the pool.
+    const auto seq = serve_series(scenario, sched, 4, /*base_seed=*/42, /*jobs=*/1);
+    const auto par = serve_series(scenario, sched, 4, /*base_seed=*/42, /*jobs=*/4);
+    const bool jobs_ok = seq == par;
+
+    // The robustness machinery must actually engage where the scenario
+    // says it should: overload sheds AND trips breakers; every scenario
+    // still completes some requests in time.
+    const auto& rep = a.report;
+    const std::int64_t shed = rep.shed_queue + rep.shed_slo + rep.shed_breaker;
+    const std::int64_t trips = rep.tenant_trips + rep.node_trips;
+    bool engaged = rep.ok > 0;
+    if (scenario == "overload") engaged = engaged && shed > 0 && trips > 0;
+
+    const bool ok = det && jobs_ok && engaged;
+    std::printf("%-9s %-6s %8lld %8lld %6.1f%% %10llu %016llx  %s\n",
+                scenario.c_str(), sched.c_str(), static_cast<long long>(rep.offered),
+                static_cast<long long>(rep.ok), 100.0 * rep.shed_rate,
+                static_cast<unsigned long long>(a.events_fired),
+                static_cast<unsigned long long>(a.event_digest),
+                ok ? "ok" : "FAIL");
+    if (!det) {
+      std::printf("  nondeterministic: digest %016llx vs %016llx, metrics %016llx "
+                  "vs %016llx\n",
+                  static_cast<unsigned long long>(a.event_digest),
+                  static_cast<unsigned long long>(b.event_digest),
+                  static_cast<unsigned long long>(a.metrics_digest),
+                  static_cast<unsigned long long>(b.metrics_digest));
+    }
+    if (!jobs_ok) std::printf("  jobs=1 vs jobs=4 series digests DIFFER\n");
+    if (!engaged) {
+      std::printf("  robustness machinery idle: ok=%lld shed=%lld breaker_trips=%lld\n",
+                  static_cast<long long>(rep.ok), static_cast<long long>(shed),
+                  static_cast<long long>(trips));
+    }
+    if (!ok) ++failures;
+  }
+  if (failures == 0) {
+    std::printf("selfcheck --serve: all scenarios deterministic, shedding and "
+                "breakers engage under overload\n");
+    return 0;
+  }
+  std::printf("selfcheck --serve: %d failure(s)\n", failures);
   return 1;
 }
 

@@ -55,6 +55,7 @@
 #include "obs/metrics.hpp"
 #include "rt/runtime.hpp"
 #include "rt/scheduler.hpp"
+#include "serve/server.hpp"
 #include "trace/overhead.hpp"
 #include "trace/stats.hpp"
 #include "trace/table.hpp"
@@ -130,9 +131,15 @@ struct RunResult {
   [[nodiscard]] bool ok() const { return status == RunStatus::kOk; }
 };
 
+// `attempt` is the 1-based run_many retry index. Attempt 1 is the
+// canonical simulation; on attempt > 1 the ILAN_FAULTS realization seed is
+// salted with the attempt, so a fault-induced watchdog hit CAN pass on
+// retry (a different — equally valid — realization of the same scenario
+// spec). Everything else about the run stays seed-determined.
 [[nodiscard]] RunResult run_once(const std::string& kernel, const std::string& sched,
                                  std::uint64_t seed,
-                                 const kernels::KernelOptions& opts = {});
+                                 const kernels::KernelOptions& opts = {},
+                                 int attempt = 1);
 
 struct Series {
   std::vector<RunResult> runs;
@@ -153,6 +160,12 @@ struct Series {
   [[nodiscard]] obs::MetricsRegistry metrics_totals() const;
   [[nodiscard]] int ok_count() const;
   [[nodiscard]] int failed_count() const;
+  // Per-RunStatus breakdown of the quarantined runs and the retry volume
+  // behind the whole series: failed_count() == watchdog_count() +
+  // error_count(), retry_attempts() == sum over runs of (attempts - 1).
+  [[nodiscard]] int watchdog_count() const;
+  [[nodiscard]] int error_count() const;
+  [[nodiscard]] int retry_attempts() const;
 };
 
 // Runs the series on a pool of ILAN_BENCH_JOBS worker threads (each run is
@@ -223,5 +236,39 @@ int selfcheck_main();
 // failure record instead of a hang or an uncaught throw.
 [[nodiscard]] bool faults_requested(int argc, char** argv);
 int selfcheck_faults_main();
+
+// --- serving mode (src/serve/) -------------------------------------------
+//
+// Additional knobs, all strict-parsed:
+//   ILAN_SERVE_SCENARIO           ';'-separated scenario list; default: all
+//                                 shipped scenarios (nominal;burst;overload)
+//   ILAN_SERVE_REQUESTS           cap on generated arrivals per run
+//   ILAN_SERVE_QUEUE_CAP          per-tenant admission queue depth
+//   ILAN_SERVE_RETRIES            backoff retries per shed request
+//   ILAN_SERVE_BREAKER_THRESHOLD  consecutive failures tripping a breaker
+//   ILAN_SERVE_BREAKER_COOLDOWN   breaker open->half-open simulated seconds
+
+// One serve run: fresh paper machine, ILAN_FAULTS armed if set (breaker
+// quarantine composes with fault-demoted health), every tenant on
+// `sched_spec` unless the scenario pins one.
+struct ServeRun {
+  serve::ServeReport report;
+  std::uint64_t event_digest = 0;
+  std::uint64_t metrics_digest = 0;  // 0 with ILAN_METRICS off
+  std::uint64_t events_fired = 0;
+  double host_s = 0.0;
+};
+
+[[nodiscard]] serve::ServeParams serve_params_from_env();
+[[nodiscard]] std::vector<std::string> env_serve_scenarios();
+[[nodiscard]] ServeRun run_serve(const std::string& scenario,
+                                 const std::string& sched_spec, std::uint64_t seed);
+
+// The --serve selfcheck mode: for every shipped traffic scenario, 2-run
+// digest + metrics parity, seed-series jobs=1 vs jobs=4 parity, and the
+// robustness engagement check (the overloaded scenario must shed AND trip
+// the circuit breaker).
+[[nodiscard]] bool serve_requested(int argc, char** argv);
+int selfcheck_serve_main();
 
 }  // namespace ilan::bench

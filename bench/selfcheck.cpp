@@ -5,6 +5,11 @@
 // --faults switches to the fault-injection selfcheck: digest parity and
 // jobs=1 vs jobs=4 parity for every shipped ILAN_FAULTS scenario, plus the
 // watchdog structured-failure check.
+//
+// --serve switches to the serving-layer selfcheck: 2-run digest + metrics
+// parity and jobs=1 vs jobs=4 seed-series parity for every shipped traffic
+// scenario, plus the engagement check (overload must shed and trip
+// breakers).
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
@@ -13,6 +18,9 @@ int main(int argc, char** argv) {
   }
   if (ilan::bench::faults_requested(argc, argv)) {
     return ilan::bench::selfcheck_faults_main();
+  }
+  if (ilan::bench::serve_requested(argc, argv)) {
+    return ilan::bench::selfcheck_serve_main();
   }
   return ilan::bench::selfcheck_main();
 }

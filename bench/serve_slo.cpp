@@ -1,0 +1,157 @@
+// Serving-layer SLO exhibit + regression gate.
+//
+// Sweeps every ILAN_SCHED scheduler over every ILAN_SERVE_SCENARIO traffic
+// scenario (defaults: the full registry list x all shipped scenarios),
+// prints a per-run SLO table — tail latencies, goodput, shed/retry/breaker
+// counts, Jain fairness — and writes the whole sweep to
+// BENCH_serve_slo.json.
+//
+// Gate semantics (the serve_slo_gate ctest entry): under the "nominal"
+// scenario the ILAN scheduler must keep its shed rate at or below
+// ILAN_SERVE_MAX_SHED and its p99 latency at or below ILAN_SERVE_MAX_P99
+// seconds. A regression in admission, placement, backoff or breaker logic
+// that starts shedding healthy traffic — or fattens the tail past the
+// bound — fails the build. The overload-engagement assertions (shedding
+// and breakers must fire) live in `selfcheck --serve`.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "obs/env.hpp"
+
+namespace {
+
+using ilan::bench::ServeRun;
+
+// Same atomic write-to-temp + rename discipline as the harness's
+// BENCH_<name>.json writer; the schema is serve-specific (per-tenant rows,
+// tail percentiles), hence the dedicated writer.
+void write_serve_json(const std::vector<ServeRun>& rows) {
+  if (const char* v = std::getenv("ILAN_BENCH_JSON"); v != nullptr && v[0] == '0') {
+    return;
+  }
+  const std::string path = "BENCH_serve_slo.json";
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"bench\": \"serve_slo\",\n  \"series\": [");
+  bool first = true;
+  for (const auto& run : rows) {
+    const auto& r = run.report;
+    std::fprintf(
+        f,
+        "%s\n    {\"scenario\": \"%s\", \"scheduler\": \"%s\", "
+        "\"duration_s\": %.9g, \"events\": %llu, \"digest\": \"%016llx\", "
+        "\"host_s\": %.6g,\n"
+        "     \"offered\": %lld, \"admitted\": %lld, \"completed\": %lld, "
+        "\"ok\": %lld, \"deadline_miss\": %lld, \"expired\": %lld, "
+        "\"dropped\": %lld,\n"
+        "     \"shed_queue\": %lld, \"shed_slo\": %lld, \"shed_breaker\": %lld, "
+        "\"retries\": %lld, \"tenant_trips\": %lld, \"node_trips\": %lld,\n"
+        "     \"p50_s\": %.9g, \"p99_s\": %.9g, \"p999_s\": %.9g, "
+        "\"goodput_rps\": %.6g, \"shed_rate\": %.6g, \"fairness\": %.6g,\n"
+        "     \"tenants\": [",
+        first ? "" : ",", r.scenario.c_str(), r.sched_spec.c_str(), r.duration_s,
+        static_cast<unsigned long long>(run.events_fired),
+        static_cast<unsigned long long>(run.event_digest), run.host_s,
+        static_cast<long long>(r.offered), static_cast<long long>(r.admitted),
+        static_cast<long long>(r.completed), static_cast<long long>(r.ok),
+        static_cast<long long>(r.deadline_miss), static_cast<long long>(r.expired),
+        static_cast<long long>(r.dropped), static_cast<long long>(r.shed_queue),
+        static_cast<long long>(r.shed_slo), static_cast<long long>(r.shed_breaker),
+        static_cast<long long>(r.retries), static_cast<long long>(r.tenant_trips),
+        static_cast<long long>(r.node_trips), r.p50_s, r.p99_s, r.p999_s,
+        r.goodput_rps, r.shed_rate, r.fairness);
+    bool tfirst = true;
+    for (const auto& t : r.tenants) {
+      std::fprintf(f,
+                   "%s\n       {\"name\": \"%s\", \"weight\": %.3g, "
+                   "\"carve\": \"%llx\", \"offered\": %lld, \"ok\": %lld, "
+                   "\"deadline_miss\": %lld, \"shed\": %lld, \"dropped\": %lld, "
+                   "\"retries\": %lld, \"breaker_trips\": %lld}",
+                   tfirst ? "" : ",", t.name.c_str(), t.weight,
+                   static_cast<unsigned long long>(t.carve_bits),
+                   static_cast<long long>(t.offered), static_cast<long long>(t.ok),
+                   static_cast<long long>(t.deadline_miss),
+                   static_cast<long long>(t.shed_queue + t.shed_slo + t.shed_breaker),
+                   static_cast<long long>(t.dropped),
+                   static_cast<long long>(t.retries),
+                   static_cast<long long>(t.breaker_trips));
+      tfirst = false;
+    }
+    std::fprintf(f, "\n     ]}");
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool write_ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+  std::fclose(f);
+  if (write_ok) {
+    (void)std::rename(tmp.c_str(), path.c_str());
+  } else {
+    (void)std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ilan;
+  if (bench::list_schedulers_requested(argc, argv)) {
+    return bench::list_schedulers_main();
+  }
+  if (bench::serve_requested(argc, argv) || bench::selfcheck_requested(argc, argv)) {
+    return bench::selfcheck_serve_main();
+  }
+
+  const double max_shed =
+      obs::parse_env_double("ILAN_SERVE_MAX_SHED", 0.05, 0.0, 1.0);
+  const double max_p99 =
+      obs::parse_env_double("ILAN_SERVE_MAX_P99", 0.060, 0.0, 1e6);
+  const auto scheds = bench::env_sched_list();
+  const auto scenarios = bench::env_serve_scenarios();
+
+  std::vector<ServeRun> rows;
+  int gate_failures = 0;
+  std::printf("%-9s %-13s %7s %7s %6s %8s %8s %8s %8s %7s %6s %5s\n", "scenario",
+              "scheduler", "offered", "ok", "shed%", "p50_ms", "p99_ms", "p999_ms",
+              "goodput", "retries", "trips", "jain");
+  for (const auto& scenario : scenarios) {
+    for (const auto& sched : scheds) {
+      ServeRun run = bench::run_serve(scenario, sched, /*seed=*/42);
+      const auto& r = run.report;
+      std::printf("%-9s %-13s %7lld %7lld %5.1f%% %8.2f %8.2f %8.2f %8.1f %7lld "
+                  "%6lld %5.3f\n",
+                  scenario.c_str(), sched.c_str(), static_cast<long long>(r.offered),
+                  static_cast<long long>(r.ok), 100.0 * r.shed_rate,
+                  1e3 * r.p50_s, 1e3 * r.p99_s, 1e3 * r.p999_s, r.goodput_rps,
+                  static_cast<long long>(r.retries),
+                  static_cast<long long>(r.tenant_trips + r.node_trips), r.fairness);
+
+      // The gate watches the paper scheduler under healthy traffic.
+      if (scenario == "nominal" && sched == "ilan") {
+        if (r.shed_rate > max_shed) {
+          std::printf("  GATE: nominal shed rate %.4f exceeds ILAN_SERVE_MAX_SHED "
+                      "%.4f\n",
+                      r.shed_rate, max_shed);
+          ++gate_failures;
+        }
+        if (r.p99_s > max_p99) {
+          std::printf("  GATE: nominal p99 %.4fs exceeds ILAN_SERVE_MAX_P99 %.4fs\n",
+                      r.p99_s, max_p99);
+          ++gate_failures;
+        }
+      }
+      rows.push_back(std::move(run));
+    }
+  }
+  write_serve_json(rows);
+  if (gate_failures != 0) {
+    std::printf("serve_slo: %d gate failure(s)\n", gate_failures);
+    return 1;
+  }
+  std::printf("serve_slo: nominal SLO gate ok (shed <= %.3g, p99 <= %.3gs)\n",
+              max_shed, max_p99);
+  return 0;
+}

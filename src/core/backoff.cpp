@@ -1,0 +1,43 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace ilan::core {
+
+Backoff::Backoff(std::uint64_t seed, const BackoffParams& params)
+    : seed_(seed), params_(params) {
+  if (params_.base < 0 || params_.cap < 0) {
+    throw std::invalid_argument("Backoff: base/cap must be non-negative");
+  }
+  if (params_.multiplier < 1.0) {
+    throw std::invalid_argument("Backoff: multiplier must be >= 1");
+  }
+  if (params_.jitter < 0.0 || params_.jitter >= 1.0) {
+    throw std::invalid_argument("Backoff: jitter must be in [0, 1)");
+  }
+}
+
+sim::SimTime Backoff::delay(int attempt) const {
+  if (attempt < 1) throw std::invalid_argument("Backoff: attempt is 1-based");
+  // Exponential growth in double space so large attempt counts saturate at
+  // the cap instead of overflowing the integer picosecond clock.
+  const double grown = static_cast<double>(params_.base) *
+                       std::pow(params_.multiplier, attempt - 1);
+  double d = std::min(grown, static_cast<double>(params_.cap));
+  if (params_.jitter > 0.0) {
+    // The jitter draw depends only on (seed, attempt): hash both into a
+    // fresh SplitMix64 rather than advancing a shared stream, keeping the
+    // schedule independent of which host thread asks first.
+    sim::SplitMix64 sm(seed_ ^
+                       (static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL));
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    d *= 1.0 - params_.jitter + 2.0 * params_.jitter * u;
+  }
+  return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(d));
+}
+
+}  // namespace ilan::core

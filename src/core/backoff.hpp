@@ -1,0 +1,47 @@
+// Seeded, deterministic, jittered exponential backoff.
+//
+// One policy shared by every retry site: the bench harness's run_many
+// per-run retries and the serving layer's shed-request re-admission
+// (src/serve/). The delay for retry attempt `n` is a pure function of
+// (seed, params, n) — no internal stream position — so two call sites
+// (or two host worker threads in a jobs=4 pool) asking about the same
+// attempt always compute the same delay, and replaying attempt k never
+// requires replaying attempts 1..k-1 first.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ilan::core {
+
+struct BackoffParams {
+  // Nominal delay before the first retry; attempt n scales it by
+  // multiplier^(n-1), clamped to cap.
+  sim::SimTime base = sim::from_us(50);
+  double multiplier = 2.0;
+  sim::SimTime cap = sim::from_ms(10);
+  // Full-jitter fraction: the clamped exponential delay is scaled by a
+  // uniform draw from [1 - jitter, 1 + jitter]. 0 disables jitter.
+  double jitter = 0.5;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed, const BackoffParams& params = {});
+
+  // Delay before retry `attempt` (1-based: 1 = first retry after the
+  // initial failure). Deterministic and side-effect free; throws
+  // std::invalid_argument on attempt < 1. Never returns less than 1 ps so
+  // a rescheduled event always lands strictly after the failure instant.
+  [[nodiscard]] sim::SimTime delay(int attempt) const;
+
+  [[nodiscard]] const BackoffParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  BackoffParams params_;
+};
+
+}  // namespace ilan::core

@@ -72,6 +72,25 @@ void Team::activate_workers(const LoopConfig& cfg) {
 }
 
 const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
+  begin_taskloop(spec);
+  run_engine("taskloop");
+  if (remaining_tasks_ != 0 || !loop_done_) {
+    throw std::logic_error("Team: taskloop did not complete (scheduler starvation?)");
+  }
+  return finalize_loop();
+}
+
+void Team::start_taskloop(const TaskloopSpec& spec, LoopDoneFn on_done) {
+  if (!on_done) {
+    throw std::invalid_argument("Team: start_taskloop needs a completion callback");
+  }
+  begin_taskloop(spec);
+  // Set only after the prologue validated the spec: a throw above must not
+  // leave a stale completion armed on this team.
+  on_loop_done_ = std::move(on_done);
+}
+
+void Team::begin_taskloop(const TaskloopSpec& spec) {
   if (!loop_done_) throw std::logic_error("Team: nested taskloops unsupported");
   if (spec.iterations <= 0) throw std::invalid_argument("Team: taskloop needs iterations");
   if (!spec.demand) throw std::invalid_argument("Team: taskloop needs a demand function");
@@ -80,7 +99,7 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
   cur_spec_ = &spec;
   loop_start_ = engine.now();
   steals_local_ = steals_remote_ = 0;
-  const mem::TrafficStats traffic_before = machine_.memory().traffic();
+  traffic_before_ = machine_.memory().traffic();
   if (tracer_ != nullptr) {
     tracer_->add_marker(trace::LoopMarker{spec.name, loop_start_});
   }
@@ -140,15 +159,12 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
     engine.schedule_at(work_start + wake, [this, wid] { worker_seek(wid); },
                        sim::kTagWorkerWake);
   }
+}
 
-  run_engine("taskloop");
-
-  if (remaining_tasks_ != 0 || !loop_done_) {
-    throw std::logic_error("Team: taskloop did not complete (scheduler starvation?)");
-  }
-
+const LoopExecStats& Team::finalize_loop() {
   // (4) Record the execution.
   LoopExecStats stats;
+  const TaskloopSpec& spec = *cur_spec_;
   stats.loop_id = spec.loop_id;
   stats.config = cur_cfg_;
   stats.start = loop_start_;
@@ -166,8 +182,8 @@ const LoopExecStats& Team::run_taskloop(const TaskloopSpec& spec) {
   stats.steals_local = steals_local_;
   stats.steals_remote = steals_remote_;
   const mem::TrafficStats& traffic_after = machine_.memory().traffic();
-  stats.bytes_moved = traffic_after.total() - traffic_before.total();
-  stats.remote_bytes_moved = traffic_after.remote_bytes - traffic_before.remote_bytes;
+  stats.bytes_moved = traffic_after.total() - traffic_before_.total();
+  stats.remote_bytes_moved = traffic_after.remote_bytes - traffic_before_.remote_bytes;
 
   if (observer_ != nullptr) observer_->on_loop_end(spec, stats, loop_end_);
   scheduler_.loop_finished(spec, stats, *this);
@@ -244,8 +260,21 @@ void Team::begin_loop_end() {
   }
   loop_done_ = true;
   loop_end_ = machine_.engine().now() + barrier;
-  machine_.engine().schedule_at(loop_end_, [] { /* barrier release */ },
+  machine_.engine().schedule_at(loop_end_, [this] { on_barrier_release(); },
                                 sim::kTagBarrierRelease);
+}
+
+void Team::on_barrier_release() {
+  // Blocking mode (run_taskloop): nothing to do — the caller records the
+  // execution after the engine drains, preserving the historical ordering.
+  if (!on_loop_done_) return;
+  // Async mode (start_taskloop): record now, at the barrier instant, then
+  // hand the stats to the owner. The callback is moved out first so it may
+  // start this team's next loop re-entrantly.
+  LoopDoneFn done = std::move(on_loop_done_);
+  on_loop_done_ = nullptr;
+  const LoopExecStats& stats = finalize_loop();
+  done(stats);
 }
 
 void Team::serial_compute(double cpu_cycles,

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -54,6 +55,17 @@ class Team {
   // Executes one taskloop to completion in simulated time.
   // Returns the stats recorded for this execution.
   const LoopExecStats& run_taskloop(const TaskloopSpec& spec);
+
+  // Asynchronous taskloop: performs the serial prologue (configuration
+  // selection, task creation, worker wake-up) and returns WITHOUT driving
+  // the engine. When the team barrier releases, the execution is recorded
+  // exactly as in run_taskloop and `on_done` is invoked at the barrier
+  // instant with the recorded stats. The caller owns the engine drive —
+  // this is what lets several Teams share one engine (the serving layer
+  // runs one job per tenant concurrently, src/serve/). The Team must
+  // outlive the completion callback.
+  using LoopDoneFn = std::function<void(const LoopExecStats&)>;
+  void start_taskloop(const TaskloopSpec& spec, LoopDoneFn on_done);
 
   // Executes a serial section on worker 0 (between taskloops).
   void serial_compute(double cpu_cycles,
@@ -126,6 +138,11 @@ class Team {
   // Marks workers active per the config: nodes in the mask contribute cores
   // in order until num_threads workers are active.
   void activate_workers(const LoopConfig& cfg);
+  // Shared prologue of run_taskloop/start_taskloop: steps (1)-(3).
+  void begin_taskloop(const TaskloopSpec& spec);
+  // Step (4): records the finished execution into history_ and fires the
+  // observer + scheduler end-of-loop hooks. Returns the recorded stats.
+  const LoopExecStats& finalize_loop();
   // Drives the engine to completion or the watchdog deadline; throws
   // WatchdogTimeout if regular events still pend past the deadline.
   void run_engine(const char* what);
@@ -133,6 +150,9 @@ class Team {
   void start_task(int wid, const Task& task);
   void finish_task(int wid, const Task& task, sim::SimTime exec_start);
   void begin_loop_end();
+  // Barrier-release event body: no-op in blocking mode, records + notifies
+  // in async mode.
+  void on_barrier_release();
 
   // Metric handles cached once at construction from the machine's registry
   // (all nullptr when none is attached). Caching keeps instrumentation sites
@@ -168,12 +188,16 @@ class Team {
   std::int64_t steals_remote_ = 0;
   std::int64_t tasks_total_ = 0;
   std::int64_t steals_escalated_total_ = 0;
+  mem::TrafficStats traffic_before_;
   sim::SimTime config_select_charged_ = 0;
   sim::SimTime deadline_ = 0;  // 0 = watchdog off
 
   std::vector<LoopExecStats> history_;
   trace::ChromeTraceWriter* tracer_ = nullptr;
   TaskObserver* observer_ = nullptr;
+  // Async completion hook (start_taskloop). Empty in blocking mode, where
+  // run_taskloop records the execution after the engine drains instead.
+  LoopDoneFn on_loop_done_;
 };
 
 }  // namespace ilan::rt

@@ -189,9 +189,24 @@ std::size_t StaticBlockDist::distribute(const rt::TaskloopSpec& spec,
                                         SchedState&, sim::SimTime& serial_cost) {
   const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize,
                                       cfg.num_threads, spec.tasks_per_thread);
+  // Resolve the participating workers in activation order (nodes in the
+  // config's mask, then each node's workers). Under a full mask this is
+  // workers 0..num_threads-1, identical to the historical layout; under a
+  // narrowed mask (e.g. a multi-tenant carve) it keeps every static block
+  // on a worker that is actually active — with no stealing, a block on a
+  // parked worker would strand forever.
+  std::vector<int> owners;
+  owners.reserve(static_cast<std::size_t>(cfg.num_threads));
+  for (const auto& node : team.topology().nodes()) {
+    if (!cfg.node_mask.empty() && !cfg.node_mask.test(node.id)) continue;
+    for (const int wid : team.node_workers(node.id)) {
+      if (owners.size() == static_cast<std::size_t>(cfg.num_threads)) break;
+      owners.push_back(wid);
+    }
+  }
   // Contiguous runs of chunks per thread, like schedule(static) with the
   // equivalent chunk size. The "fork" costs one enqueue per thread.
-  const auto nw = static_cast<std::size_t>(cfg.num_threads);
+  const std::size_t nw = owners.size();
   const std::size_t nc = chunks.size();
   for (std::size_t t = 0; t < nw; ++t) {
     const std::size_t lo = nc * t / nw;
@@ -199,14 +214,15 @@ std::size_t StaticBlockDist::distribute(const rt::TaskloopSpec& spec,
     if (lo < hi) {
       serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
     }
+    rt::Worker& owner = team.worker(owners[t]);
     for (std::size_t c = lo; c < hi; ++c) {
       rt::Task task;
       task.begin = chunks[c].first;
       task.end = chunks[c].second;
       task.loop = &spec;
-      task.home_node = team.worker(static_cast<int>(t)).node;
+      task.home_node = owner.node;
       task.numa_strict = true;  // static assignment never migrates
-      team.worker(static_cast<int>(t)).deque.push_back(task);
+      owner.deque.push_back(task);
     }
   }
   return nc;

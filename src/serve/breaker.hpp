@@ -1,0 +1,98 @@
+// Circuit breaker for the serving layer's quarantine machinery.
+//
+// Classic three-state breaker over simulated time, with no events of its
+// own: state transitions happen lazily when the server consults it, so a
+// breaker never perturbs the engine's event stream. Closed admits and
+// counts consecutive failures; `threshold` consecutive failures trip it
+// Open, which rejects everything for a cooldown; after the cooldown the
+// next `allow()` becomes the single Half-Open probe. The probe's outcome
+// decides: success closes the breaker (counters reset), failure re-opens
+// it with the cooldown doubled (capped at 8x) so a persistently failing
+// tenant or node is probed at a decaying rate. Deterministic: every
+// decision is a pure function of the feedback sequence and `now`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace ilan::serve {
+
+class Breaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  Breaker() = default;
+  Breaker(int threshold, sim::SimTime cooldown)
+      : threshold_(threshold), base_cooldown_(cooldown), cooldown_(cooldown) {
+    if (threshold < 1) throw std::invalid_argument("Breaker: threshold must be >= 1");
+    if (cooldown <= 0) throw std::invalid_argument("Breaker: cooldown must be > 0");
+  }
+
+  // Current state, resolving an expired cooldown to Half-Open.
+  [[nodiscard]] State state(sim::SimTime now) const {
+    if (state_ == State::kOpen && now >= open_until_) return State::kHalfOpen;
+    return state_;
+  }
+
+  // Admission check. Closed: admit. Half-Open: admit exactly one in-flight
+  // probe, reject the rest. Open: reject.
+  [[nodiscard]] bool allow(sim::SimTime now) {
+    switch (state(now)) {
+      case State::kClosed: return true;
+      case State::kOpen: return false;
+      case State::kHalfOpen:
+        if (state_ == State::kOpen) {  // cooldown just expired: latch
+          state_ = State::kHalfOpen;
+          probe_outstanding_ = false;
+        }
+        if (probe_outstanding_) return false;
+        probe_outstanding_ = true;
+        return true;
+    }
+    return false;
+  }
+
+  void on_success(sim::SimTime /*now*/) {
+    state_ = State::kClosed;
+    probe_outstanding_ = false;
+    failures_ = 0;
+    cooldown_ = base_cooldown_;  // recovery restores the probing cadence
+  }
+
+  void on_failure(sim::SimTime now) {
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: straight back to Open, probe less often.
+      cooldown_ = std::min(cooldown_ * 2, base_cooldown_ * 8);
+      trip(now);
+      return;
+    }
+    if (state_ == State::kOpen) return;  // already quarantined
+    if (++failures_ >= threshold_) trip(now);
+  }
+
+  [[nodiscard]] std::int64_t trips() const { return trips_; }
+  [[nodiscard]] sim::SimTime open_until() const { return open_until_; }
+
+ private:
+  void trip(sim::SimTime now) {
+    state_ = State::kOpen;
+    open_until_ = now + cooldown_;
+    probe_outstanding_ = false;
+    failures_ = 0;
+    ++trips_;
+  }
+
+  int threshold_ = 4;
+  sim::SimTime base_cooldown_ = sim::from_ms(20);
+  sim::SimTime cooldown_ = sim::from_ms(20);
+  State state_ = State::kClosed;
+  sim::SimTime open_until_ = 0;
+  bool probe_outstanding_ = false;
+  int failures_ = 0;
+  std::int64_t trips_ = 0;
+};
+
+}  // namespace ilan::serve

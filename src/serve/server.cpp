@@ -1,0 +1,663 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "rt/team.hpp"
+#include "sched/registry.hpp"
+#include "sim/event_tags.hpp"
+
+namespace ilan::serve {
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kDeadlineMiss: return "deadline-miss";
+    case Outcome::kExpired: return "expired";
+    case Outcome::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p * static_cast<double>(sample.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = idx > 0 ? idx - 1 : 0;
+  return sample[std::min(idx, sample.size() - 1)];
+}
+
+void ServeReport::finalize() {
+  offered = admitted = completed = ok = deadline_miss = 0;
+  shed_queue = shed_slo = shed_breaker = expired = dropped = retries = 0;
+  tenant_trips = 0;
+  std::vector<double> all_latencies;
+  for (const auto& t : tenants) {
+    offered += t.offered;
+    admitted += t.admitted;
+    completed += t.completed;
+    ok += t.ok;
+    deadline_miss += t.deadline_miss;
+    shed_queue += t.shed_queue;
+    shed_slo += t.shed_slo;
+    shed_breaker += t.shed_breaker;
+    expired += t.expired;
+    dropped += t.dropped;
+    retries += t.retries;
+    tenant_trips += t.breaker_trips;
+    all_latencies.insert(all_latencies.end(), t.latencies_s.begin(),
+                         t.latencies_s.end());
+  }
+  p50_s = percentile(all_latencies, 0.50);
+  p99_s = percentile(all_latencies, 0.99);
+  p999_s = percentile(all_latencies, 0.999);
+  goodput_rps = duration_s > 0.0 ? static_cast<double>(ok) / duration_s : 0.0;
+  shed_rate = offered > 0
+                  ? 1.0 - static_cast<double>(ok) / static_cast<double>(offered)
+                  : 0.0;
+  // Jain over weight-normalized goodput. All-equal (including all-zero)
+  // shares score 1.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& t : tenants) {
+    const double x = static_cast<double>(t.ok) / (t.weight > 0.0 ? t.weight : 1.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  fairness = sum_sq > 0.0
+                 ? (sum * sum) / (static_cast<double>(tenants.size()) * sum_sq)
+                 : 1.0;
+}
+
+namespace {
+
+// Largest-remainder carve of `num_nodes` between tenant weights; every
+// tenant gets at least one node, assigned as contiguous runs in tenant
+// order (deterministic, and contiguous carves keep each tenant's traffic
+// on neighbouring nodes).
+std::vector<rt::NodeMask> carve_nodes(const std::vector<TenantSpec>& tenants,
+                                      int num_nodes) {
+  const int n = static_cast<int>(tenants.size());
+  if (n > num_nodes) {
+    throw std::invalid_argument("serve: more tenants than NUMA nodes");
+  }
+  double total = 0.0;
+  for (const auto& t : tenants) {
+    if (t.weight <= 0.0) throw std::invalid_argument("serve: tenant weight must be > 0");
+    total += t.weight;
+  }
+  std::vector<int> share(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<double, int>> frac;  // (-remainder, tenant) for sorting
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    const double exact =
+        static_cast<double>(num_nodes) * tenants[static_cast<std::size_t>(i)].weight / total;
+    share[static_cast<std::size_t>(i)] = static_cast<int>(exact);
+    assigned += share[static_cast<std::size_t>(i)];
+    frac.emplace_back(-(exact - std::floor(exact)), i);
+  }
+  std::sort(frac.begin(), frac.end());
+  for (int k = 0; assigned < num_nodes; ++k, ++assigned) {
+    ++share[static_cast<std::size_t>(frac[static_cast<std::size_t>(k % n)].second)];
+  }
+  // Nobody may end with zero nodes: take from the largest share.
+  for (int i = 0; i < n; ++i) {
+    while (share[static_cast<std::size_t>(i)] == 0) {
+      int donor = 0;
+      for (int j = 1; j < n; ++j) {
+        if (share[static_cast<std::size_t>(j)] > share[static_cast<std::size_t>(donor)]) {
+          donor = j;
+        }
+      }
+      if (share[static_cast<std::size_t>(donor)] <= 1) {
+        throw std::logic_error("serve: cannot carve a node per tenant");
+      }
+      --share[static_cast<std::size_t>(donor)];
+      ++share[static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<rt::NodeMask> carves(static_cast<std::size_t>(n));
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < share[static_cast<std::size_t>(i)]; ++k) {
+      carves[static_cast<std::size_t>(i)].set(topo::NodeId{next++});
+    }
+  }
+  return carves;
+}
+
+}  // namespace
+
+// Confines a registry scheduler to its tenant's share of the machine:
+// every selected config is intersected with the server's current
+// placement mask (carve minus quarantined/offline nodes) and the thread
+// count is clamped to the workers those nodes actually hold. Delegates
+// everything else, so the inner scheduler's policy (PTT search, stealing,
+// distribution) operates unchanged inside the carve.
+class MaskedScheduler final : public rt::Scheduler {
+ public:
+  MaskedScheduler(std::unique_ptr<rt::Scheduler> inner, const Server* server,
+                  int tenant)
+      : inner_(std::move(inner)), server_(server), tenant_(tenant) {}
+
+  [[nodiscard]] std::string_view name() const override { return inner_->name(); }
+
+  rt::LoopConfig select_config(const rt::TaskloopSpec& spec, rt::Team& team) override {
+    rt::LoopConfig cfg = inner_->select_config(spec, team);
+    const rt::NodeMask allowed = server_->placement_mask(tenant_);
+    cfg.node_mask = rt::NodeMask(cfg.node_mask.bits() & allowed.bits());
+    if (cfg.node_mask.empty()) cfg.node_mask = allowed;
+    int cap = 0;
+    for (const auto& node : team.topology().nodes()) {
+      if (cfg.node_mask.test(node.id)) {
+        cap += static_cast<int>(team.node_workers(node.id).size());
+      }
+    }
+    if (cfg.num_threads <= 0 || cfg.num_threads > cap) cfg.num_threads = cap;
+    return cfg;
+  }
+
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, sim::SimTime& serial_cost) override {
+    return inner_->distribute(spec, cfg, team, serial_cost);
+  }
+
+  rt::AcquireResult acquire(rt::Team& team, rt::Worker& w) override {
+    return inner_->acquire(team, w);
+  }
+
+  void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
+                     rt::Team& team) override {
+    inner_->loop_finished(spec, stats, team);
+  }
+
+  [[nodiscard]] rt::SchedulerInfo introspect() const override {
+    return inner_->introspect();
+  }
+
+ private:
+  std::unique_ptr<rt::Scheduler> inner_;
+  const Server* server_;
+  int tenant_;
+};
+
+// Cached metric handles, all nullptr when no registry is attached (the
+// usual pattern: instrumentation costs one pointer test per site and the
+// event stream is identical either way).
+struct Server::ServeMetrics {
+  obs::Counter* offered = nullptr;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* ok = nullptr;
+  obs::Counter* deadline_miss = nullptr;
+  obs::Counter* shed_queue = nullptr;
+  obs::Counter* shed_slo = nullptr;
+  obs::Counter* shed_breaker = nullptr;
+  obs::Counter* expired = nullptr;
+  obs::Counter* dropped = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* tenant_trips = nullptr;
+  obs::Counter* node_trips = nullptr;
+  obs::Histogram* latency_ms = nullptr;
+
+  explicit ServeMetrics(obs::MetricsRegistry* m) {
+    if (m == nullptr) return;
+    offered = &m->counter("serve.offered");
+    admitted = &m->counter("serve.admitted");
+    completed = &m->counter("serve.completed");
+    ok = &m->counter("serve.ok");
+    deadline_miss = &m->counter("serve.deadline_miss");
+    shed_queue = &m->counter("serve.shed.queue");
+    shed_slo = &m->counter("serve.shed.slo");
+    shed_breaker = &m->counter("serve.shed.breaker");
+    expired = &m->counter("serve.expired");
+    dropped = &m->counter("serve.dropped");
+    retries = &m->counter("serve.retries");
+    tenant_trips = &m->counter("serve.breaker.tenant_trips");
+    node_trips = &m->counter("serve.breaker.node_trips");
+    static constexpr double kLatencyEdgesMs[] = {1, 2, 5, 10, 20, 50, 100, 200};
+    latency_ms = &m->histogram("serve.latency_ms", kLatencyEdgesMs);
+  }
+};
+
+struct Server::Tenant {
+  int id = 0;
+  TenantSpec spec;
+  rt::NodeMask carve;
+  std::unique_ptr<rt::Scheduler> sched;  // MaskedScheduler over the registry one
+  std::unique_ptr<rt::Team> team;
+  std::deque<Request> queue;
+  Breaker breaker;
+  std::vector<double> ewma_s;  // per-class service estimate (0 = unlearned)
+  TenantStats stats;
+  std::map<int, kernels::Program> programs;  // per request class
+
+  // In-flight job state.
+  bool busy = false;
+  bool probe = false;  // running request is the breaker's half-open probe
+  Request running;
+  sim::SimTime job_start = 0;
+  sim::EventId deadline_ev = sim::kInvalidEvent;
+  bool missed = false;  // deadline watchdog fired for the running job
+  rt::NodeMask used_mask;
+  const kernels::Program* prog = nullptr;
+  std::size_t loop_idx = 0;
+  int step = 0;
+  bool in_init = true;
+};
+
+Server::Server(rt::Machine& machine, const TrafficSpec& traffic,
+               const ServeParams& params, const std::string& default_sched)
+    : machine_(machine),
+      traffic_(traffic),
+      params_(params),
+      default_sched_(default_sched) {
+  if (params_.queue_cap < 1) throw std::invalid_argument("serve: queue_cap must be >= 1");
+  if (params_.max_retries < 0) {
+    throw std::invalid_argument("serve: max_retries must be >= 0");
+  }
+  if (params_.ewma_alpha <= 0.0 || params_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("serve: ewma_alpha must be in (0, 1]");
+  }
+  metrics_ = std::make_unique<ServeMetrics>(machine_.metrics());
+
+  const int num_nodes = machine_.topology().num_nodes();
+  const auto carves = carve_nodes(traffic_.tenants, num_nodes);
+  const sim::SimTime cooldown = sim::from_seconds(params_.breaker_cooldown_s);
+  node_breakers_.assign(static_cast<std::size_t>(num_nodes),
+                        Breaker(params_.breaker_threshold, cooldown));
+  health_owned_.assign(static_cast<std::size_t>(num_nodes), false);
+
+  for (int i = 0; i < static_cast<int>(traffic_.tenants.size()); ++i) {
+    auto t = std::make_unique<Tenant>();
+    t->id = i;
+    t->spec = traffic_.tenants[static_cast<std::size_t>(i)];
+    t->carve = carves[static_cast<std::size_t>(i)];
+    t->breaker = Breaker(params_.breaker_threshold, cooldown);
+    t->ewma_s.assign(traffic_.classes.size(), 0.0);
+    const std::string& spec =
+        t->spec.sched_spec.empty() ? default_sched_ : t->spec.sched_spec;
+    t->sched = std::make_unique<MaskedScheduler>(
+        sched::SchedulerRegistry::instance().make(spec), this, i);
+    t->team = std::make_unique<rt::Team>(machine_, *t->sched);
+    t->stats.name = t->spec.name;
+    t->stats.weight = t->spec.weight;
+    t->stats.carve_bits = t->carve.bits();
+    tenants_.push_back(std::move(t));
+  }
+}
+
+Server::~Server() = default;
+
+rt::NodeMask Server::placement_mask(int tenant) const {
+  const Tenant& t = *tenants_.at(static_cast<std::size_t>(tenant));
+  const sim::SimTime now = machine_.engine().now();
+  rt::NodeMask allowed = t.carve;
+  for (const auto& node : machine_.topology().nodes()) {
+    if (!allowed.test(node.id)) continue;
+    if (node_breakers_[node.id.index()].state(now) == Breaker::State::kOpen ||
+        machine_.health().condition(node.id) == rt::NodeCondition::kOffline) {
+      allowed.clear(node.id);
+    }
+  }
+  return allowed.empty() ? t.carve : allowed;
+}
+
+ServeReport Server::run() {
+  if (ran_) throw std::logic_error("serve: Server::run is one-shot");
+  ran_ = true;
+  auto& engine = machine_.engine();
+  t0_ = engine.now();
+  schedule_ = generate(traffic_, machine_.seed());
+  if (!schedule_.empty()) {
+    engine.schedule_at(t0_ + schedule_.front().arrival, [this] { on_arrival(); },
+                       sim::kTagServeArrival);
+    engine.run();
+  }
+
+  ServeReport report;
+  report.scenario = traffic_.name;
+  report.sched_spec = sched::SchedulerRegistry::instance().resolve(default_sched_);
+  report.duration_s = sim::to_seconds(engine.now() - t0_);
+  for (const auto& t : tenants_) {
+    if (t->busy || !t->queue.empty()) {
+      throw std::logic_error("serve: run drained with work still pending");
+    }
+    report.tenants.push_back(t->stats);
+  }
+  node_trips_ = 0;
+  for (const auto& b : node_breakers_) node_trips_ += b.trips();
+  report.node_trips = node_trips_;
+  report.finalize();
+  return report;
+}
+
+void Server::on_arrival() {
+  Request r = schedule_[next_arrival_++];
+  if (next_arrival_ < schedule_.size()) {
+    machine_.engine().schedule_at(t0_ + schedule_[next_arrival_].arrival,
+                                  [this] { on_arrival(); }, sim::kTagServeArrival);
+  }
+  r.arrival += t0_;
+  r.deadline += t0_;
+  Tenant& t = *tenants_[static_cast<std::size_t>(r.tenant)];
+  ++t.stats.offered;
+  if (metrics_->offered != nullptr) metrics_->offered->inc();
+  admit(r);
+}
+
+void Server::admit(const Request& r) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(r.tenant)];
+  const sim::SimTime now = machine_.engine().now();
+  sync_node_health();
+
+  switch (t.breaker.state(now)) {
+    case Breaker::State::kOpen:
+      ++t.stats.shed_breaker;
+      if (metrics_->shed_breaker != nullptr) metrics_->shed_breaker->inc();
+      retry_or_drop(r);
+      return;
+    case Breaker::State::kHalfOpen:
+      // Exactly one probe, and only straight into execution — queueing a
+      // probe behind other work would just age it past its deadline.
+      if (t.busy || !t.queue.empty() || !t.breaker.allow(now)) {
+        ++t.stats.shed_breaker;
+        if (metrics_->shed_breaker != nullptr) metrics_->shed_breaker->inc();
+        retry_or_drop(r);
+        return;
+      }
+      enqueue(r, /*probe=*/true);
+      return;
+    case Breaker::State::kClosed: break;
+  }
+
+  if (static_cast<int>(t.queue.size()) >= params_.queue_cap) {
+    ++t.stats.shed_queue;
+    if (metrics_->shed_queue != nullptr) metrics_->shed_queue->inc();
+    retry_or_drop(r);
+    return;
+  }
+  // Deadline-aware admission: if the learned backlog already implies this
+  // request cannot finish in time, shed now instead of wasting a slot.
+  const double est = t.ewma_s[static_cast<std::size_t>(r.cls)];
+  if (est > 0.0 &&
+      now + sim::from_seconds(backlog_estimate_s(t) + est) > r.deadline) {
+    ++t.stats.shed_slo;
+    if (metrics_->shed_slo != nullptr) metrics_->shed_slo->inc();
+    // An SLO-infeasible request is a tenant failure for breaker purposes:
+    // a tenant whose backlog keeps proving its deadlines impossible gets
+    // quarantined (and probed at the breaker's decaying cadence) instead
+    // of re-evaluating admission for every arrival of a hopeless stream.
+    tenant_feedback(r.tenant, /*failed=*/true);
+    retry_or_drop(r);
+    return;
+  }
+  enqueue(r, /*probe=*/false);
+}
+
+double Server::backlog_estimate_s(const Tenant& t) const {
+  double backlog = 0.0;
+  for (const auto& q : t.queue) {
+    backlog += t.ewma_s[static_cast<std::size_t>(q.cls)];
+  }
+  if (t.busy) {
+    const double run_est = t.ewma_s[static_cast<std::size_t>(t.running.cls)];
+    const double elapsed =
+        sim::to_seconds(machine_.engine().now() - t.job_start);
+    backlog += std::max(0.0, run_est - elapsed);
+  }
+  return backlog;
+}
+
+void Server::retry_or_drop(const Request& r) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(r.tenant)];
+  const sim::SimTime now = machine_.engine().now();
+  const auto drop = [&] {
+    ++t.stats.dropped;
+    if (metrics_->dropped != nullptr) metrics_->dropped->inc();
+  };
+  if (r.attempt > params_.max_retries) {
+    drop();
+    return;
+  }
+  // Per-request backoff stream: seeded by (machine seed, request id) so
+  // the delay sequence is a pure function of the run, independent of how
+  // many other requests retried in between.
+  const core::Backoff backoff(
+      sim::Engine::mix64(machine_.seed() ^
+                         (static_cast<std::uint64_t>(r.id) * 0x9E3779B97F4A7C15ULL)),
+      params_.backoff);
+  const sim::SimTime retry_at = now + backoff.delay(r.attempt);
+  if (retry_at >= r.deadline) {
+    drop();  // the backoff alone would overshoot the deadline
+    return;
+  }
+  ++t.stats.retries;
+  if (metrics_->retries != nullptr) metrics_->retries->inc();
+  Request again = r;
+  ++again.attempt;
+  machine_.engine().schedule_at(retry_at, [this, again] { admit(again); },
+                                sim::kTagServeRetry);
+}
+
+void Server::enqueue(const Request& r, bool probe) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(r.tenant)];
+  ++t.stats.admitted;
+  if (metrics_->admitted != nullptr) metrics_->admitted->inc();
+  if (probe) {
+    start_job(r.tenant, r, /*probe=*/true);
+  } else {
+    t.queue.push_back(r);
+    dispatch(r.tenant);
+  }
+}
+
+void Server::dispatch(int tenant) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  if (t.busy) return;
+  const sim::SimTime now = machine_.engine().now();
+  while (!t.queue.empty()) {
+    const Request r = t.queue.front();
+    t.queue.pop_front();
+    if (now >= r.deadline) {
+      ++t.stats.expired;
+      if (metrics_->expired != nullptr) metrics_->expired->inc();
+      continue;
+    }
+    start_job(tenant, r, /*probe=*/false);
+    return;
+  }
+}
+
+void Server::start_job(int tenant, const Request& r, bool probe) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  t.busy = true;
+  t.probe = probe;
+  t.running = r;
+  t.job_start = machine_.engine().now();
+  t.missed = false;
+  t.used_mask = rt::NodeMask();
+  t.prog = &program(tenant, r.cls);
+  t.loop_idx = 0;
+  t.step = 0;
+  t.in_init = true;
+  // The per-request watchdog: a daemon event (it must never keep the
+  // engine alive) that fires iff the job is still running at its
+  // deadline. Completion cancels it.
+  const int rid = r.id;
+  t.deadline_ev =
+      machine_.engine().schedule_at(r.deadline,
+                                    [this, tenant, rid] { on_deadline(tenant, rid); },
+                                    sim::kTagServeDeadline, /*daemon=*/true);
+  advance_job(tenant);
+}
+
+void Server::advance_job(int tenant) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  const kernels::Program& p = *t.prog;
+  while (true) {
+    if (t.in_init) {
+      if (t.loop_idx < p.init_loops.size()) {
+        const rt::TaskloopSpec& loop = p.init_loops[t.loop_idx++];
+        t.team->start_taskloop(loop, [this, tenant](const rt::LoopExecStats& s) {
+          Tenant& tn = *tenants_[static_cast<std::size_t>(tenant)];
+          tn.used_mask = rt::NodeMask(tn.used_mask.bits() | s.config.node_mask.bits());
+          advance_job(tenant);
+        });
+        return;
+      }
+      t.in_init = false;
+      t.loop_idx = 0;
+      t.step = 0;
+    }
+    if (t.step >= p.timesteps) {
+      finish_job(tenant);
+      return;
+    }
+    if (t.loop_idx < p.step_loops.size()) {
+      const rt::TaskloopSpec& loop = p.step_loops[t.loop_idx++];
+      t.team->start_taskloop(loop, [this, tenant](const rt::LoopExecStats& s) {
+        Tenant& tn = *tenants_[static_cast<std::size_t>(tenant)];
+        tn.used_mask = rt::NodeMask(tn.used_mask.bits() | s.config.node_mask.bits());
+        advance_job(tenant);
+      });
+      return;
+    }
+    t.loop_idx = 0;
+    ++t.step;
+    if (p.per_step_serial.cpu_cycles > 0.0) {
+      // Serial section on the tenant's first core (not global core 0 —
+      // that may belong to another tenant's carve).
+      const topo::NodeId first = t.carve.to_nodes().front();
+      const int wid = t.team->node_workers(first).front();
+      machine_.memory().begin(t.team->worker(wid).core, p.per_step_serial.cpu_cycles,
+                              {}, [this, tenant] { advance_job(tenant); });
+      return;
+    }
+  }
+}
+
+void Server::finish_job(int tenant) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  const sim::SimTime now = machine_.engine().now();
+  if (t.deadline_ev != sim::kInvalidEvent) {
+    machine_.engine().cancel(t.deadline_ev);
+    t.deadline_ev = sim::kInvalidEvent;
+  }
+  const double service_s = sim::to_seconds(now - t.job_start);
+  double& est = t.ewma_s[static_cast<std::size_t>(t.running.cls)];
+  est = est == 0.0 ? service_s
+                   : params_.ewma_alpha * service_s + (1.0 - params_.ewma_alpha) * est;
+
+  const bool late = t.missed || now > t.running.deadline;
+  ++t.stats.completed;
+  if (metrics_->completed != nullptr) metrics_->completed->inc();
+  if (late) {
+    ++t.stats.deadline_miss;
+    if (metrics_->deadline_miss != nullptr) metrics_->deadline_miss->inc();
+    // The watchdog already fed the breaker when it fired; only the
+    // completed-just-late case still owes feedback.
+    if (!t.missed) tenant_feedback(tenant, /*failed=*/true);
+  } else {
+    ++t.stats.ok;
+    const double latency_s = sim::to_seconds(now - t.running.arrival);
+    t.stats.latencies_s.push_back(latency_s);
+    if (metrics_->ok != nullptr) metrics_->ok->inc();
+    if (metrics_->latency_ms != nullptr) {
+      metrics_->latency_ms->record(latency_s * 1e3);
+    }
+    tenant_feedback(tenant, /*failed=*/false);
+  }
+  node_feedback(t.used_mask, late);
+  sync_node_health();
+  t.busy = false;
+  t.probe = false;
+  dispatch(tenant);
+}
+
+void Server::on_deadline(int tenant, int request_id) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  if (!t.busy || t.running.id != request_id) return;  // stale watchdog
+  t.missed = true;
+  // Feed the breaker at miss time, not completion time: requests arriving
+  // while the doomed job drags on should already see the failure.
+  tenant_feedback(tenant, /*failed=*/true);
+}
+
+void Server::tenant_feedback(int tenant, bool failed) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  const sim::SimTime now = machine_.engine().now();
+  const std::int64_t before = t.breaker.trips();
+  if (failed) {
+    t.breaker.on_failure(now);
+  } else {
+    t.breaker.on_success(now);
+  }
+  const std::int64_t tripped = t.breaker.trips() - before;
+  if (tripped > 0) {
+    t.stats.breaker_trips += tripped;
+    if (metrics_->tenant_trips != nullptr) metrics_->tenant_trips->inc();
+  }
+}
+
+void Server::node_feedback(const rt::NodeMask& used, bool failed) {
+  const sim::SimTime now = machine_.engine().now();
+  for (const auto& node : machine_.topology().nodes()) {
+    if (!used.test(node.id)) continue;
+    Breaker& b = node_breakers_[node.id.index()];
+    const std::int64_t before = b.trips();
+    if (failed) {
+      b.on_failure(now);
+    } else {
+      b.on_success(now);
+    }
+    if (b.trips() > before && metrics_->node_trips != nullptr) {
+      metrics_->node_trips->inc();
+    }
+  }
+}
+
+void Server::sync_node_health() {
+  // Mirror breaker-open nodes into NodeHealth so the schedulers' reactive
+  // paths (health-demoted masks, down-weighted distribution) treat a
+  // breaker quarantine exactly like a fault demotion. Only touch nodes we
+  // demoted ourselves: the fault layer's own writes stay authoritative.
+  const sim::SimTime now = machine_.engine().now();
+  auto& health = machine_.health();
+  for (const auto& node : machine_.topology().nodes()) {
+    const bool open = node_breakers_[node.id.index()].state(now) == Breaker::State::kOpen;
+    const std::size_t i = node.id.index();
+    if (open && !health_owned_[i] &&
+        health.condition(node.id) == rt::NodeCondition::kHealthy) {
+      health.set(node.id, rt::NodeCondition::kDegraded);
+      health_owned_[i] = true;
+    } else if (!open && health_owned_[i]) {
+      if (health.condition(node.id) == rt::NodeCondition::kDegraded) {
+        health.set(node.id, rt::NodeCondition::kHealthy);
+      }
+      health_owned_[i] = false;
+    }
+  }
+}
+
+kernels::Program& Server::program(int tenant, int cls) {
+  Tenant& t = *tenants_[static_cast<std::size_t>(tenant)];
+  auto it = t.programs.find(cls);
+  if (it != t.programs.end()) return it->second;
+  const RequestClass& c = traffic_.classes[static_cast<std::size_t>(cls)];
+  kernels::Program prog = kernels::make_kernel(c.kernel, machine_, c.opts);
+  // Distinct loop-id ranges per class: a tenant serving mixed classes must
+  // not alias two kernels' loops in its scheduler's PTT history.
+  const rt::LoopId base = static_cast<rt::LoopId>(cls + 1) * 1000;
+  for (auto& loop : prog.init_loops) loop.loop_id += base;
+  for (auto& loop : prog.step_loops) loop.loop_id += base;
+  return t.programs.emplace(cls, std::move(prog)).first->second;
+}
+
+}  // namespace ilan::serve

@@ -1,0 +1,166 @@
+// Multi-tenant serving layer: admission control, deadlines, load shedding
+// and circuit-breaker quarantine over the shared simulation engine.
+//
+// A Server carves the machine's NUMA nodes between tenants (largest-
+// remainder split by tenant weight), gives each tenant its own registry
+// scheduler wrapped in a mask-confining adapter and its own rt::Team, and
+// replays a TrafficSpec's open-loop arrival schedule as engine events.
+// Tenants run at most one job at a time (a job = one scaled-down kernel
+// program); concurrent tenants interleave on the one engine and contend
+// in the shared memory system, so co-runner interference now comes from
+// other tenants rather than injected fault streams.
+//
+// Robustness machinery, all deterministic in simulated time:
+//   * per-request absolute deadlines, enforced by a daemon watchdog event
+//     (kTagServeDeadline) — a miss is a structured Outcome, never a crash;
+//   * queue-depth- and deadline-aware admission: a full tenant queue or a
+//     backlog that already implies an SLO violation sheds the request;
+//   * shed requests retry after core::Backoff's seeded jittered
+//     exponential delay (kTagServeRetry), bounded by max_retries and by
+//     the request's own deadline;
+//   * circuit breakers quarantine failing tenants (admission-side) and
+//     failing nodes (placement-side, mirrored into rt::NodeHealth so the
+//     schedulers' PR-3 degradation paths see breaker quarantines exactly
+//     like fault demotions), with half-open probes before readmission.
+//
+// Everything the layer does is a pure function of (traffic spec, machine
+// seed, params): selfcheck extends its 2-run and jobs-parity digest
+// checks over serve mode unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "rt/runtime.hpp"
+#include "rt/task.hpp"
+#include "serve/breaker.hpp"
+#include "serve/traffic.hpp"
+
+namespace ilan::serve {
+
+// Terminal disposition of one request. Shed/backoff events are not
+// terminal (the request may still succeed on retry); a request whose
+// retries are exhausted or whose deadline passed while shed ends kDropped.
+enum class Outcome : std::uint8_t {
+  kOk,            // completed within its deadline
+  kDeadlineMiss,  // completed, but past the deadline watchdog
+  kExpired,       // deadline passed while queued — never dispatched
+  kDropped,       // shed and out of retry budget (or no time left to retry)
+};
+
+[[nodiscard]] const char* to_string(Outcome o);
+
+struct ServeParams {
+  int queue_cap = 8;            // per-tenant pending-queue depth
+  int max_retries = 3;          // backoff retries per shed request
+  int breaker_threshold = 4;    // consecutive failures tripping a breaker
+  double breaker_cooldown_s = 0.05;  // open -> half-open (simulated)
+  core::BackoffParams backoff;  // shed-retry delay policy
+  double ewma_alpha = 0.3;      // service-time estimator smoothing
+};
+
+struct TenantStats {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t carve_bits = 0;  // NodeMask the tenant was carved
+  std::int64_t offered = 0;      // arrivals (first attempts only)
+  std::int64_t admitted = 0;     // enqueued admissions (incl. retries)
+  std::int64_t completed = 0;    // jobs run to completion
+  std::int64_t ok = 0;           // completed within deadline
+  std::int64_t deadline_miss = 0;
+  std::int64_t shed_queue = 0;   // shed: queue full
+  std::int64_t shed_slo = 0;     // shed: backlog implies deadline violation
+  std::int64_t shed_breaker = 0; // shed: tenant breaker open
+  std::int64_t expired = 0;
+  std::int64_t dropped = 0;
+  std::int64_t retries = 0;      // backoff retries scheduled
+  std::int64_t breaker_trips = 0;
+  std::vector<double> latencies_s;  // ok requests only, arrival -> completion
+};
+
+struct ServeReport {
+  std::string scenario;
+  std::string sched_spec;
+  double duration_s = 0.0;  // simulated makespan of the whole run
+  std::vector<TenantStats> tenants;
+
+  // Aggregates over tenants, filled by finalize().
+  std::int64_t offered = 0, admitted = 0, completed = 0, ok = 0;
+  std::int64_t deadline_miss = 0, shed_queue = 0, shed_slo = 0, shed_breaker = 0;
+  std::int64_t expired = 0, dropped = 0, retries = 0;
+  std::int64_t tenant_trips = 0, node_trips = 0;
+  double p50_s = 0.0, p99_s = 0.0, p999_s = 0.0;
+  double goodput_rps = 0.0;  // ok completions per simulated second
+  // Fraction of offered requests that did not complete within deadline:
+  // 1 - ok/offered (0 when nothing was offered). The serve_slo_gate floor
+  // applies to this under the nominal scenario.
+  double shed_rate = 0.0;
+  // Jain fairness over per-tenant weight-normalized goodput; 1 = ideal.
+  double fairness = 1.0;
+
+  void finalize();
+};
+
+// Nearest-rank percentile of an unsorted sample (p in [0, 1]); 0 on empty.
+[[nodiscard]] double percentile(std::vector<double> sample, double p);
+
+class Server {
+ public:
+  // `default_sched` substitutes every tenant whose TenantSpec.sched_spec
+  // is empty. The machine must outlive the server; attach metrics to the
+  // machine BEFORE constructing the server (handles are cached).
+  Server(rt::Machine& machine, const TrafficSpec& traffic,
+         const ServeParams& params, const std::string& default_sched);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Realizes the arrival schedule from the machine's seed and drives the
+  // engine until every request reached a terminal outcome. One-shot.
+  ServeReport run();
+
+  // Placement mask for a tenant right now: its carve minus breaker-open
+  // and health-offline nodes, falling back to the full carve when the
+  // subtraction would leave nothing. Consulted by the per-tenant mask
+  // adapter on every config selection.
+  [[nodiscard]] rt::NodeMask placement_mask(int tenant) const;
+
+ private:
+  struct Tenant;
+  struct ServeMetrics;
+
+  void on_arrival();
+  void admit(const Request& r);
+  void retry_or_drop(const Request& r);
+  void enqueue(const Request& r, bool probe);
+  void dispatch(int tenant);
+  void start_job(int tenant, const Request& r, bool probe);
+  void advance_job(int tenant);
+  void finish_job(int tenant);
+  void on_deadline(int tenant, int request_id);
+  void tenant_feedback(int tenant, bool failed);
+  void node_feedback(const rt::NodeMask& used, bool failed);
+  void sync_node_health();
+  [[nodiscard]] double backlog_estimate_s(const Tenant& t) const;
+  kernels::Program& program(int tenant, int cls);
+
+  rt::Machine& machine_;
+  TrafficSpec traffic_;
+  ServeParams params_;
+  std::string default_sched_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<Request> schedule_;
+  std::size_t next_arrival_ = 0;
+  std::vector<Breaker> node_breakers_;
+  std::vector<bool> health_owned_;  // nodes we demoted (vs the fault layer)
+  std::int64_t node_trips_ = 0;
+  std::unique_ptr<ServeMetrics> metrics_;
+  sim::SimTime t0_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ilan::serve

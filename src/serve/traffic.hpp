@@ -1,0 +1,89 @@
+// Deterministic open-loop traffic generation for the serving layer.
+//
+// A TrafficSpec describes a multi-tenant workload: per-tenant arrival
+// rates shaped by an arrival process (Poisson / bursty on-off / diurnal
+// sinusoid), a mix of request classes (scaled-down kernel problems with a
+// relative deadline each), and tenant weights that carve the machine's
+// NUMA nodes. `generate()` realizes the spec into a concrete, sorted
+// request schedule as a pure function of (spec, seed): the same inputs
+// yield the same arrivals on every host, which is what lets selfcheck
+// extend its 2-run and jobs-parity digest checks to serve mode.
+//
+// Open loop means arrivals never wait for completions — under overload
+// the backlog grows and the admission layer (server.hpp) must shed, which
+// is precisely the regime the robustness machinery exists for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "sim/time.hpp"
+
+namespace ilan::serve {
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,  // homogeneous: rate constant over the window
+  kBursty,   // on-off square wave: burst_factor x rate inside bursts,
+             // 1/4 x rate between them (duty cycle 30%)
+  kDiurnal,  // sinusoid between rate and burst_factor x rate, period_s
+};
+
+[[nodiscard]] const char* to_string(ArrivalProcess p);
+
+// One kind of request: a scaled-down kernel problem plus its SLO.
+struct RequestClass {
+  std::string kernel;            // kernels registry name ("cg", "sp", ...)
+  kernels::KernelOptions opts;   // request-sized: few timesteps, small size
+  double weight = 1.0;           // mix probability (normalized over classes)
+  double deadline_s = 0.1;       // relative deadline (simulated seconds)
+};
+
+// One tenant: arrival rate, machine share, and (optionally) a pinned
+// scheduler spec. An empty sched_spec means "use the run's scheduler" —
+// the serve_slo sweep substitutes the spec under test.
+struct TenantSpec {
+  std::string name;
+  double rate_hz = 100.0;  // mean arrivals per simulated second
+  double weight = 1.0;     // node-carve share (largest remainder over nodes)
+  std::string sched_spec;
+};
+
+struct TrafficSpec {
+  std::string name;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  double duration_s = 0.1;   // arrival window (simulated seconds)
+  int max_requests = 10000;  // hard cap on generated arrivals
+  double burst_factor = 4.0; // bursty/diurnal peak-to-base ratio
+  double period_s = 0.02;    // bursty/diurnal modulation period
+  std::vector<TenantSpec> tenants;
+  std::vector<RequestClass> classes;
+};
+
+// One concrete arrival. `deadline` is absolute (arrival + class deadline).
+// `attempt` counts admissions consumed: 1 on first arrival, +1 per
+// backoff retry of a shed request.
+struct Request {
+  int id = 0;
+  int tenant = 0;
+  int cls = 0;
+  sim::SimTime arrival = 0;
+  sim::SimTime deadline = 0;
+  int attempt = 1;
+};
+
+// The shipped scenario catalog. "nominal" must keep shedding below the
+// serve_slo_gate floor; "overload" must engage both load shedding and the
+// circuit breaker.
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+[[nodiscard]] TrafficSpec make_scenario(const std::string& name);
+
+// Realizes the spec: per-tenant thinned Poisson streams (independent
+// substreams split from `seed`), merged and sorted by (arrival, tenant,
+// per-tenant index), ids dense in sorted order. Pure function of its
+// arguments.
+[[nodiscard]] std::vector<Request> generate(const TrafficSpec& spec,
+                                            std::uint64_t seed);
+
+}  // namespace ilan::serve

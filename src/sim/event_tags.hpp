@@ -29,6 +29,13 @@ inline constexpr EventTag kTagMemComplete = 5;
 inline constexpr EventTag kTagFaultApply = 6;
 // fault::FaultInjector — a fault clause's effect is reverted (daemon event).
 inline constexpr EventTag kTagFaultRevert = 7;
+// serve::Server — an open-loop request arrival enters admission.
+inline constexpr EventTag kTagServeArrival = 8;
+// serve::Server — a shed request re-enters admission after backoff.
+inline constexpr EventTag kTagServeRetry = 9;
+// serve::Server — per-request deadline watchdog fires on a still-running
+// job (daemon event: it observes a miss, it never extends the run).
+inline constexpr EventTag kTagServeDeadline = 10;
 
 [[nodiscard]] constexpr const char* tag_name(EventTag tag) {
   switch (tag) {
@@ -40,6 +47,9 @@ inline constexpr EventTag kTagFaultRevert = 7;
     case kTagMemComplete: return "mem-complete";
     case kTagFaultApply: return "fault-apply";
     case kTagFaultRevert: return "fault-revert";
+    case kTagServeArrival: return "serve-arrival";
+    case kTagServeRetry: return "serve-retry";
+    case kTagServeDeadline: return "serve-deadline";
     default: return "unknown";
   }
 }

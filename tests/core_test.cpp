@@ -2,8 +2,12 @@
 // policy evaluation, hierarchical distribution, and the composed scheduler.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <thread>
+#include <vector>
 
+#include "core/backoff.hpp"
 #include "core/config_selector.hpp"
 #include "core/distributor.hpp"
 #include "sched/schedulers.hpp"
@@ -466,6 +470,89 @@ TEST(ManualScheduler, PinsTheRequestedConfig) {
   EXPECT_EQ(team.history().front().config.num_threads, 4);
   EXPECT_EQ(team.history().front().config.node_mask.count(), 1);
   EXPECT_EQ(team.history().front().steals_remote, 0);
+}
+
+// --- core::Backoff --------------------------------------------------------
+
+TEST(Backoff, DelayIsAPureFunctionOfSeedAndAttempt) {
+  const core::Backoff a(42, core::BackoffParams{});
+  const core::Backoff b(42, core::BackoffParams{});
+  for (int n = 1; n <= 12; ++n) {
+    EXPECT_EQ(a.delay(n), b.delay(n)) << "attempt " << n;
+    // Stateless: querying out of order or repeatedly changes nothing.
+    EXPECT_EQ(a.delay(n), a.delay(n));
+  }
+  EXPECT_EQ(a.delay(5), a.delay(5));
+  EXPECT_EQ(a.delay(1), b.delay(1));
+}
+
+TEST(Backoff, JitteredDelaysStayWithinTheConfiguredBand) {
+  core::BackoffParams p;
+  p.base = sim::from_us(100);
+  p.multiplier = 2.0;
+  p.cap = sim::from_ms(100);
+  p.jitter = 0.5;
+  const core::Backoff b(7, p);
+  for (int n = 1; n <= 16; ++n) {
+    const double nominal = std::min(
+        static_cast<double>(p.base) * std::pow(2.0, n - 1),
+        static_cast<double>(p.cap));
+    const auto d = b.delay(n);
+    EXPECT_GE(d, static_cast<sim::SimTime>(nominal * 0.5) - 1) << "attempt " << n;
+    EXPECT_LE(d, static_cast<sim::SimTime>(nominal * 1.5) + 1) << "attempt " << n;
+    EXPECT_GE(d, 1) << "attempt " << n;
+  }
+}
+
+TEST(Backoff, CapBoundsTheExponentialGrowth) {
+  core::BackoffParams p;
+  p.base = sim::from_us(50);
+  p.multiplier = 2.0;
+  p.cap = sim::from_us(400);
+  p.jitter = 0.0;  // deterministic magnitudes for exact comparison
+  const core::Backoff b(1, p);
+  EXPECT_EQ(b.delay(1), sim::from_us(50));
+  EXPECT_EQ(b.delay(2), sim::from_us(100));
+  EXPECT_EQ(b.delay(3), sim::from_us(200));
+  EXPECT_EQ(b.delay(4), sim::from_us(400));
+  EXPECT_EQ(b.delay(9), sim::from_us(400));  // capped forever after
+}
+
+TEST(Backoff, DifferentSeedsDesynchronizeRetries) {
+  const core::Backoff a(1, core::BackoffParams{});
+  const core::Backoff b(2, core::BackoffParams{});
+  bool any_diff = false;
+  for (int n = 1; n <= 8; ++n) any_diff = any_diff || a.delay(n) != b.delay(n);
+  EXPECT_TRUE(any_diff) << "jitter ignored the seed";
+}
+
+TEST(Backoff, DelaysAreIdenticalAcrossConcurrentCallers) {
+  // The harness retry path and the serving layer query Backoff from pool
+  // workers; a pure function needs no synchronization to stay identical.
+  const core::Backoff b(42, core::BackoffParams{});
+  std::vector<sim::SimTime> expect;
+  for (int n = 1; n <= 8; ++n) expect.push_back(b.delay(n));
+  std::vector<std::vector<sim::SimTime>> got(4);
+  std::vector<std::thread> pool;
+  for (auto& out : got) {
+    pool.emplace_back([&b, &out] {
+      for (int n = 1; n <= 8; ++n) out.push_back(b.delay(n));
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& out : got) EXPECT_EQ(out, expect);
+}
+
+TEST(Backoff, InvalidParamsThrow) {
+  core::BackoffParams p;
+  p.jitter = 1.0;
+  EXPECT_THROW(core::Backoff(1, p), std::invalid_argument);
+  p = core::BackoffParams{};
+  p.multiplier = 0.5;
+  EXPECT_THROW(core::Backoff(1, p), std::invalid_argument);
+  p = core::BackoffParams{};
+  p.base = -1;
+  EXPECT_THROW(core::Backoff(1, p), std::invalid_argument);
 }
 
 }  // namespace

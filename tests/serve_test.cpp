@@ -1,0 +1,276 @@
+// Serving-layer tests: deterministic traffic generation, node carving,
+// breaker state machine, percentile/fairness math, and end-to-end Server
+// runs (nominal SLO health and overload engagement).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/breaker.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace ilan;
+
+rt::MachineParams machine_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::zen4_epyc9354_2s();
+  p.seed = seed;
+  return p;
+}
+
+TEST(Traffic, GenerationIsAPureFunctionOfSpecAndSeed) {
+  const auto spec = serve::make_scenario("nominal");
+  const auto a = serve::generate(spec, 42);
+  const auto b = serve::generate(spec, 42);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].cls, b[i].cls) << i;
+    EXPECT_EQ(a[i].arrival, b[i].arrival) << i;
+    EXPECT_EQ(a[i].deadline, b[i].deadline) << i;
+  }
+  const auto c = serve::generate(spec, 43);
+  bool any_diff = a.size() != c.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].arrival != c[i].arrival;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical schedules";
+}
+
+TEST(Traffic, ScheduleIsSortedWithDenseIdsAndDeadlines) {
+  const auto spec = serve::make_scenario("burst");
+  const auto reqs = serve::generate(spec, 7);
+  ASSERT_FALSE(reqs.empty());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id, static_cast<int>(i));
+    EXPECT_GT(reqs[i].deadline, reqs[i].arrival);
+    if (i > 0) EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+    EXPECT_GE(reqs[i].tenant, 0);
+    EXPECT_LT(reqs[i].tenant, static_cast<int>(spec.tenants.size()));
+    EXPECT_GE(reqs[i].cls, 0);
+    EXPECT_LT(reqs[i].cls, static_cast<int>(spec.classes.size()));
+  }
+}
+
+TEST(Traffic, MaxRequestsTruncatesTheMergedSchedule) {
+  auto spec = serve::make_scenario("overload");
+  spec.max_requests = 10;
+  const auto reqs = serve::generate(spec, 42);
+  EXPECT_EQ(reqs.size(), 10u);
+}
+
+TEST(Traffic, AddingATenantDoesNotPerturbExistingSubstreams) {
+  auto spec = serve::make_scenario("nominal");
+  spec.max_requests = 1000000;
+  const auto before = serve::generate(spec, 42);
+  spec.tenants.push_back({"gamma", 25.0, 1.0, ""});
+  const auto after = serve::generate(spec, 42);
+  // Every alpha/beta request survives with identical timing; gamma's
+  // stream interleaves without shifting them.
+  std::vector<sim::SimTime> old_arrivals, new_arrivals;
+  for (const auto& r : before) old_arrivals.push_back(r.arrival);
+  for (const auto& r : after) {
+    if (r.tenant < 2) new_arrivals.push_back(r.arrival);
+  }
+  EXPECT_EQ(old_arrivals, new_arrivals);
+}
+
+TEST(Traffic, UnknownScenarioThrows) {
+  EXPECT_THROW((void)serve::make_scenario("no-such"), std::invalid_argument);
+}
+
+TEST(Breaker, TripsAfterThresholdConsecutiveFailures) {
+  serve::Breaker b(3, sim::from_ms(10));
+  EXPECT_TRUE(b.allow(0));
+  b.on_failure(0);
+  b.on_failure(0);
+  EXPECT_EQ(b.state(0), serve::Breaker::State::kClosed);
+  EXPECT_TRUE(b.allow(0));
+  b.on_failure(0);  // third consecutive: trip
+  EXPECT_EQ(b.state(0), serve::Breaker::State::kOpen);
+  EXPECT_FALSE(b.allow(0));
+  EXPECT_EQ(b.trips(), 1);
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveCount) {
+  serve::Breaker b(2, sim::from_ms(10));
+  b.on_failure(0);
+  b.on_success(0);
+  b.on_failure(0);
+  EXPECT_EQ(b.state(0), serve::Breaker::State::kClosed);
+  EXPECT_EQ(b.trips(), 0);
+}
+
+TEST(Breaker, HalfOpenAdmitsExactlyOneProbe) {
+  serve::Breaker b(1, sim::from_ms(10));
+  b.on_failure(0);  // trip
+  const sim::SimTime after = sim::from_ms(10);
+  EXPECT_EQ(b.state(after), serve::Breaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(after));    // the probe
+  EXPECT_FALSE(b.allow(after));   // everything else rejected
+  b.on_success(after);
+  EXPECT_EQ(b.state(after), serve::Breaker::State::kClosed);
+  EXPECT_TRUE(b.allow(after));
+}
+
+TEST(Breaker, FailedProbeDoublesTheCooldownUpToACap) {
+  serve::Breaker b(1, sim::from_ms(10));
+  sim::SimTime now = 0;
+  b.on_failure(now);  // trip #1, cooldown 10ms
+  EXPECT_EQ(b.open_until(), sim::from_ms(10));
+  now = b.open_until();
+  EXPECT_TRUE(b.allow(now));
+  b.on_failure(now);  // probe fails: cooldown 20ms
+  EXPECT_EQ(b.open_until(), now + sim::from_ms(20));
+  now = b.open_until();
+  EXPECT_TRUE(b.allow(now));
+  b.on_failure(now);  // 40ms
+  EXPECT_EQ(b.open_until(), now + sim::from_ms(40));
+  now = b.open_until();
+  EXPECT_TRUE(b.allow(now));
+  b.on_failure(now);  // 80ms == 8x cap
+  EXPECT_EQ(b.open_until(), now + sim::from_ms(80));
+  now = b.open_until();
+  EXPECT_TRUE(b.allow(now));
+  b.on_failure(now);  // capped: stays 80ms
+  EXPECT_EQ(b.open_until(), now + sim::from_ms(80));
+  EXPECT_EQ(b.trips(), 5);
+  // Recovery restores the base cadence.
+  now = b.open_until();
+  EXPECT_TRUE(b.allow(now));
+  b.on_success(now);
+  b.on_failure(now);
+  EXPECT_EQ(b.open_until(), now + sim::from_ms(10));
+}
+
+TEST(Percentile, NearestRankOnSmallSamples) {
+  EXPECT_EQ(serve::percentile({}, 0.99), 0.0);
+  EXPECT_EQ(serve::percentile({5.0}, 0.5), 5.0);
+  EXPECT_EQ(serve::percentile({5.0}, 0.999), 5.0);
+  std::vector<double> s = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(serve::percentile(s, 0.50), 2.0);
+  EXPECT_EQ(serve::percentile(s, 0.75), 3.0);
+  EXPECT_EQ(serve::percentile(s, 0.99), 4.0);
+}
+
+TEST(ServeReport, JainFairnessOverWeightNormalizedGoodput) {
+  serve::ServeReport r;
+  r.duration_s = 1.0;
+  serve::TenantStats a;
+  a.name = "a";
+  a.weight = 1.0;
+  a.offered = a.ok = 10;
+  serve::TenantStats b = a;
+  b.name = "b";
+  r.tenants = {a, b};
+  r.finalize();
+  EXPECT_NEAR(r.fairness, 1.0, 1e-12);
+  // Starve one tenant: fairness drops below 1.
+  r.tenants[1].ok = 1;
+  r.finalize();
+  EXPECT_LT(r.fairness, 0.8);
+  EXPECT_GT(r.fairness, 0.0);
+}
+
+TEST(Server, CarvesNodesByWeightWithDisjointMasks) {
+  rt::Machine machine(machine_params(42));
+  auto spec = serve::make_scenario("burst");  // weights 2/1/1 over 8 nodes
+  spec.max_requests = 4;
+  serve::Server server(machine, spec, serve::ServeParams{}, "ilan");
+  const auto rep = server.run();
+  ASSERT_EQ(rep.tenants.size(), 3u);
+  std::uint64_t seen = 0;
+  const std::vector<int> want_nodes = {4, 2, 2};
+  for (std::size_t i = 0; i < rep.tenants.size(); ++i) {
+    const std::uint64_t bits = rep.tenants[i].carve_bits;
+    ASSERT_NE(bits, 0u);
+    EXPECT_EQ(seen & bits, 0u) << "carves overlap";
+    seen |= bits;
+    EXPECT_EQ(__builtin_popcountll(bits), want_nodes[i]) << rep.tenants[i].name;
+  }
+  EXPECT_EQ(__builtin_popcountll(seen), 8);
+}
+
+TEST(Server, MoreTenantsThanNodesThrows) {
+  rt::Machine machine(machine_params(42));
+  auto spec = serve::make_scenario("nominal");
+  for (int i = 0; i < 8; ++i) {
+    spec.tenants.push_back({"t" + std::to_string(i), 10.0, 1.0, ""});
+  }
+  EXPECT_THROW(serve::Server(machine, spec, serve::ServeParams{}, "ilan"),
+               std::invalid_argument);
+}
+
+TEST(Server, NominalTrafficCompletesWithinDeadlines) {
+  rt::Machine machine(machine_params(42));
+  const auto spec = serve::make_scenario("nominal");
+  serve::Server server(machine, spec, serve::ServeParams{}, "ilan");
+  const auto rep = server.run();
+  EXPECT_GT(rep.offered, 0);
+  EXPECT_GT(rep.ok, 0);
+  EXPECT_LE(rep.shed_rate, 0.05);
+  EXPECT_EQ(rep.tenant_trips + rep.node_trips, 0);
+  EXPECT_GT(rep.goodput_rps, 0.0);
+  EXPECT_GT(rep.p50_s, 0.0);
+  EXPECT_LE(rep.p50_s, rep.p99_s);
+  EXPECT_LE(rep.p99_s, rep.p999_s);
+  // Conservation: every offered request reached exactly one terminal
+  // outcome (ok / miss / expired / dropped).
+  EXPECT_EQ(rep.offered, rep.ok + rep.deadline_miss + rep.expired + rep.dropped);
+}
+
+TEST(Server, ReportsAreAPureFunctionOfTheSeed) {
+  auto run = [](std::uint64_t seed) {
+    rt::Machine machine(machine_params(seed));
+    machine.engine().set_digest_enabled(true);
+    serve::Server server(machine, serve::make_scenario("burst"),
+                         serve::ServeParams{}, "ilan");
+    const auto rep = server.run();
+    return std::make_tuple(machine.engine().event_digest(),
+                           machine.engine().events_fired(), rep.ok, rep.dropped,
+                           rep.retries, rep.p99_s);
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<0>(run(42)), std::get<0>(run(43)));
+}
+
+TEST(Server, OverloadShedsAndTripsBreakers) {
+  rt::Machine machine(machine_params(42));
+  const auto spec = serve::make_scenario("overload");
+  serve::Server server(machine, spec, serve::ServeParams{}, "ilan");
+  const auto rep = server.run();
+  EXPECT_GT(rep.shed_queue + rep.shed_slo + rep.shed_breaker, 0);
+  EXPECT_GT(rep.tenant_trips, 0);
+  EXPECT_GT(rep.shed_breaker, 0);  // open breakers actually rejected traffic
+  EXPECT_GT(rep.retries, 0);
+  EXPECT_GT(rep.dropped, 0);
+  // Even under overload the feasible class keeps completing.
+  EXPECT_GT(rep.ok, 0);
+  EXPECT_EQ(rep.offered, rep.ok + rep.deadline_miss + rep.expired + rep.dropped);
+}
+
+TEST(Server, RunIsOneShot) {
+  rt::Machine machine(machine_params(42));
+  auto spec = serve::make_scenario("nominal");
+  spec.max_requests = 4;
+  serve::Server server(machine, spec, serve::ServeParams{}, "ilan");
+  (void)server.run();
+  EXPECT_THROW((void)server.run(), std::logic_error);
+}
+
+TEST(Server, InvalidParamsThrow) {
+  rt::Machine machine(machine_params(42));
+  const auto spec = serve::make_scenario("nominal");
+  serve::ServeParams p;
+  p.queue_cap = 0;
+  EXPECT_THROW(serve::Server(machine, spec, p, "ilan"), std::invalid_argument);
+  p = serve::ServeParams{};
+  p.ewma_alpha = 1.5;
+  EXPECT_THROW(serve::Server(machine, spec, p, "ilan"), std::invalid_argument);
+}
+
+}  // namespace

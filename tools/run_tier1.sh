@@ -8,6 +8,7 @@
 #   tools/run_tier1.sh obs                        # observability gate
 #   tools/run_tier1.sh sched                      # scheduler-registry gate
 #   tools/run_tier1.sh solver                     # incremental-solver gate
+#   tools/run_tier1.sh serve                      # serving-layer SLO gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -48,6 +49,14 @@
 # the sched_equivalence digest gate (registry-built schedulers must
 # reproduce the pre-refactor monolithic schedulers bit-for-bit), run on the
 # primary build and then under ASan and TSan.
+#
+# `serve` is the serving-layer gate: the serve unit tests,
+# `bench/selfcheck --serve` (2-run digest + metrics parity and jobs=1-vs-4
+# seed-series parity for every traffic scenario, plus the overload
+# engagement check: shedding AND breaker trips), and the bench/serve_slo
+# nominal-SLO gate (shed-rate floor + p99 bound). Runs on the primary
+# build and then under ASan and TSan — admission, deadline watchdogs,
+# backoff and breakers must stay bit-deterministic with instrumentation.
 #
 # `solver` is the incremental-solver gate: the FlowNetwork unit tests
 # (including the randomized full-vs-delta equivalence test), the
@@ -172,6 +181,25 @@ run_solver_one() {
     ILAN_SOLVER_MIN_EVPS=0 "./$build_dir/bench/solver_gate"
 }
 
+run_serve_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target test_serve selfcheck serve_slo
+  echo "== serve tests (${san:-plain}) =="
+  "./$build_dir/tests/test_serve"
+  echo "== selfcheck --serve (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --serve
+  echo "== serve_slo nominal-SLO gate (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/serve_slo"
+}
+
 case "$mode" in
   build)
     build_one "${ILAN_SANITIZE:-}"
@@ -217,8 +245,15 @@ case "$mode" in
       run_solver_one "$san"
     done
     ;;
+  serve)
+    run_serve_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_serve_one "$san"
+    done
+    ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|solver]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|solver|serve]" >&2
     exit 2
     ;;
 esac
