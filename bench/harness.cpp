@@ -206,6 +206,7 @@ RunResult run_once(const std::string& kernel, const std::string& sched_spec,
   const auto program = kernels::make_kernel(kernel, machine, opts);
 
   RunResult r;
+  r.seed = seed;
   sim::SimTime total = 0;
   try {
     total = program.run(team);
@@ -398,6 +399,18 @@ struct BenchEntry {
   int watchdogs = 0;  // ... of which RunStatus::kWatchdog
   int errors = 0;     // ... of which RunStatus::kError
   int retry_attempts = 0;  // extra attempts burned across the series
+  // One record per quarantined run: the seed + reason that until now only
+  // went to stderr, preserved in the json so a failed series is
+  // reproducible (re-run run_once with the recorded seed) after the
+  // terminal scrollback is gone.
+  struct Quarantine {
+    int run = 0;  // slot index in the series
+    std::uint64_t seed = 0;
+    RunStatus status = RunStatus::kError;
+    int attempts = 1;
+    std::string error;
+  };
+  std::vector<Quarantine> quarantined;
   double host_s = 0.0;
   std::uint64_t events = 0;
   std::uint64_t digest = 0;  // order-independent fold of per-run digests
@@ -405,6 +418,32 @@ struct BenchEntry {
   trace::SampleSummary sim;
   obs::MetricsRegistry metrics;  // merged over the series (ILAN_METRICS)
 };
+
+// Minimal JSON string escaping for failure messages (quotes, backslashes,
+// control characters); everything else the harness writes is
+// ASCII-by-construction.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 // Per-run digests are folded commutatively so the series digest is identical
 // no matter how runs were scheduled onto the worker pool.
@@ -479,6 +518,20 @@ void write_bench_json() {
                  static_cast<unsigned long long>(e.solver.delta_rounds_reused),
                  static_cast<unsigned long long>(e.solver.delta_rounds_total),
                  e.solver.hit_rate());
+    if (!e.quarantined.empty()) {
+      std::fprintf(f, ",\n     \"quarantined\": [");
+      bool qfirst = true;
+      for (const auto& q : e.quarantined) {
+        std::fprintf(f,
+                     "%s\n       {\"run\": %d, \"seed\": %llu, \"status\": \"%s\", "
+                     "\"attempts\": %d, \"reason\": \"%s\"}",
+                     qfirst ? "" : ",", q.run,
+                     static_cast<unsigned long long>(q.seed), to_string(q.status),
+                     q.attempts, json_escape(q.error).c_str());
+        qfirst = false;
+      }
+      std::fprintf(f, "\n     ]");
+    }
     if (!e.metrics.empty()) {
       std::fprintf(f, ",\n     \"metrics\": %s}", e.metrics.to_json().c_str());
     } else {
@@ -520,6 +573,12 @@ void register_series(const std::string& kernel, const std::string& sched_spec,
   e.watchdogs = s.watchdog_count();
   e.errors = s.error_count();
   e.retry_attempts = s.retry_attempts();
+  for (std::size_t i = 0; i < s.runs.size(); ++i) {
+    const RunResult& r = s.runs[i];
+    if (r.ok()) continue;
+    e.quarantined.push_back(BenchEntry::Quarantine{
+        static_cast<int>(i), r.seed, r.status, r.attempts, r.error});
+  }
   e.host_s = s.host_s;
   e.events = s.total_events_fired();
   e.digest = series_digest(s);
@@ -592,6 +651,7 @@ Series run_many(const std::string& kernel, const std::string& sched_spec, int ru
       RunResult r;
       r.status = RunStatus::kError;
       r.error = what;
+      r.seed = run_seed;
       r.attempts = attempt;
       s.runs[static_cast<std::size_t>(i)] = std::move(r);
       std::fprintf(stderr,
@@ -935,6 +995,85 @@ int selfcheck_faults_main() {
     return 0;
   }
   std::printf("selfcheck --faults: %d failure(s)\n", failures);
+  return 1;
+}
+
+bool dag_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--dag") return true;
+  }
+  return false;
+}
+
+// Task-graph selfcheck: every DAG kernel (kernels::dag_kernel_names) passes
+// 2-run digest+metrics parity and race-auditor cleanliness under each
+// scheduler kind — including the dep-aware distribution — plus run_many
+// jobs=1-vs-4 per-run digest parity. The release-then-wake path
+// (kTagDagRelease events) feeds the same streaming digest as everything
+// else, so any schedule-dependence in the readiness protocol fails here.
+int selfcheck_dag_main() {
+  kernels::KernelOptions opts = env_kernel_options();
+  if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 2;
+  const obs::ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
+  const obs::ScopedEnv no_faults("ILAN_FAULTS", "none");
+
+  const std::vector<std::string> kinds = {"baseline", "work-sharing", "ilan",
+                                          "composed:dist=dep-aware"};
+  int failures = 0;
+  std::printf("%-8s %-24s %10s %16s  %s\n", "kernel", "scheduler", "events",
+              "digest", "status");
+  for (const auto& kernel : kernels::dag_kernel_names()) {
+    for (const auto& kind : kinds) {
+      const SelfcheckResult r = selfcheck(kernel, kind, /*seed=*/42, opts);
+      std::printf("%-8s %-24s %10llu %016llx  %s\n", r.kernel.c_str(),
+                  r.sched.c_str(), static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.digest_a),
+                  r.ok() ? "ok" : "FAIL");
+      if (!r.deterministic) {
+        std::printf("  nondeterministic: digest %016llx vs %016llx; %s\n",
+                    static_cast<unsigned long long>(r.digest_a),
+                    static_cast<unsigned long long>(r.digest_b),
+                    r.divergence.c_str());
+      }
+      if (r.audit_reports != 0) {
+        std::printf("  %zu auditor report(s); first: %s\n", r.audit_reports,
+                    r.first_report.c_str());
+      }
+      if (!r.ok()) ++failures;
+    }
+  }
+
+  // run_many parity over the DAG path: per-run digests, metrics digests
+  // and statuses identical no matter how many pool workers ran the series.
+  for (const auto& kernel : kernels::dag_kernel_names()) {
+    Series seq;
+    Series par;
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
+      seq = run_many(kernel, "composed:dist=dep-aware", 4, /*base_seed=*/42, opts);
+    }
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
+      par = run_many(kernel, "composed:dist=dep-aware", 4, /*base_seed=*/42, opts);
+    }
+    bool jobs_ok = seq.runs.size() == par.runs.size();
+    if (jobs_ok) {
+      for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest &&
+                  seq.runs[i].metrics_digest == par.runs[i].metrics_digest &&
+                  seq.runs[i].status == par.runs[i].status;
+      }
+    }
+    std::printf("%-8s run_many jobs=1 vs jobs=4: digests %s\n", kernel.c_str(),
+                jobs_ok ? "identical" : "DIFFER");
+    if (!jobs_ok) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("selfcheck --dag: all DAG runs deterministic and audit-clean\n");
+    return 0;
+  }
+  std::printf("selfcheck --dag: %d failure(s)\n", failures);
   return 1;
 }
 

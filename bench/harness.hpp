@@ -116,6 +116,7 @@ struct RunResult {
   // --- failure record + fault telemetry -----------------------------------
   RunStatus status = RunStatus::kOk;
   std::string error;            // what() of the failure (empty when ok)
+  std::uint64_t seed = 0;       // machine seed this slot ran with
   int attempts = 1;             // run_once invocations consumed by this slot
   std::int64_t faults_applied = 0;   // injector applications (ILAN_FAULTS)
   std::int64_t faults_reverted = 0;
@@ -236,6 +237,14 @@ int selfcheck_main();
 // failure record instead of a hang or an uncaught throw.
 [[nodiscard]] bool faults_requested(int argc, char** argv);
 int selfcheck_faults_main();
+
+// The --dag selfcheck mode: every task-graph kernel
+// (kernels::dag_kernel_names) through selfcheck() — 2-run digest + metrics
+// parity with the race auditor riding run A, under the standard scheduler
+// kinds plus the dep-aware distribution — and run_many jobs=1 vs jobs=4
+// per-run digest parity over the DAG path.
+[[nodiscard]] bool dag_requested(int argc, char** argv);
+int selfcheck_dag_main();
 
 // --- serving mode (src/serve/) -------------------------------------------
 //

@@ -10,6 +10,10 @@
 // parity and jobs=1 vs jobs=4 seed-series parity for every shipped traffic
 // scenario, plus the engagement check (overload must shed and trip
 // breakers).
+//
+// --dag switches to the task-graph selfcheck: the same parity + audit
+// checks over the DAG kernels (lu-dag, treered, dphim), including the
+// dep-aware distribution policy.
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +22,9 @@ int main(int argc, char** argv) {
   }
   if (ilan::bench::faults_requested(argc, argv)) {
     return ilan::bench::selfcheck_faults_main();
+  }
+  if (ilan::bench::dag_requested(argc, argv)) {
+    return ilan::bench::selfcheck_dag_main();
   }
   if (ilan::bench::serve_requested(argc, argv)) {
     return ilan::bench::selfcheck_serve_main();

@@ -52,6 +52,8 @@ void RaceAuditor::clear() {
   creation_clock_ = VectorClock();
   tasks_.clear();
   worker_cur_.clear();
+  cur_graph_ = nullptr;
+  node_task_.clear();
   in_flight_ = 0;
   in_flight_by_loop_.clear();
   last_cfg_.clear();
@@ -96,6 +98,12 @@ void RaceAuditor::on_loop_begin(const rt::TaskloopSpec& spec, const rt::LoopConf
   ++counters_.loops;
 }
 
+void RaceAuditor::on_graph_begin(const rt::TaskGraphSpec& graph, const rt::Team& /*team*/,
+                                 sim::SimTime /*now*/) {
+  cur_graph_ = &graph;
+  node_task_.assign(static_cast<std::size_t>(graph.num_nodes()), -1);
+}
+
 void RaceAuditor::on_task_start(const rt::Task& task, const rt::Worker& w,
                                 std::span<const mem::AccessDescriptor> accesses,
                                 sim::SimTime now) {
@@ -133,6 +141,16 @@ void RaceAuditor::on_task_start(const rt::Task& task, const rt::Worker& w,
 
   VectorClock& c = clocks_[wid];
   c.join(creation_clock_);  // spawn (and steal) edge: creation -> start
+  if (cur_graph_ != nullptr && task.begin >= 0 &&
+      static_cast<std::size_t>(task.begin) < node_task_.size()) {
+    // Release edges: each predecessor's finish happens-before this start.
+    const auto node = static_cast<std::size_t>(task.begin);
+    for (const std::int32_t p : cur_graph_->preds[node]) {
+      const std::int32_t pt = node_task_[static_cast<std::size_t>(p)];
+      if (pt >= 0) c.join(tasks_[static_cast<std::size_t>(pt)].finish_clock);
+    }
+    node_task_[node] = static_cast<std::int32_t>(tasks_.size());
+  }
   c.tick(wid);
 
   TaskRec rec;
@@ -172,6 +190,8 @@ void RaceAuditor::on_loop_end(const rt::TaskloopSpec& spec,
   VectorClock joined(clocks_.empty() ? 0 : clocks_[0].size());
   for (const VectorClock& c : clocks_) joined.join(c);
   for (VectorClock& c : clocks_) c = joined;
+  cur_graph_ = nullptr;
+  node_task_.clear();
 }
 
 void RaceAuditor::check_loop_races(const rt::TaskloopSpec& spec, sim::SimTime when) {

@@ -13,6 +13,11 @@
 //               worker's ticking clock.
 //   barrier   — loop end joins every worker's clock into every other, so
 //               anything in loop k happens-before everything in loop k+1.
+//   release   — on the task-graph path (Team::run_taskgraph), a node's
+//               finish happens-before each successor's start: the starting
+//               worker joins every predecessor task's finish clock. A
+//               missing dependency edge between tasks with overlapping
+//               footprints therefore surfaces as a data race.
 //
 // Two accesses race when they come from tasks with concurrent clocks, at
 // least one is a write (kWrite, or first-touch placement implied by any
@@ -85,6 +90,8 @@ class RaceAuditor final : public rt::TaskObserver {
 
   void on_loop_begin(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
                      const rt::Team& team, sim::SimTime now) override;
+  void on_graph_begin(const rt::TaskGraphSpec& graph, const rt::Team& team,
+                      sim::SimTime now) override;
   void on_task_start(const rt::Task& task, const rt::Worker& w,
                      std::span<const mem::AccessDescriptor> accesses,
                      sim::SimTime now) override;
@@ -123,6 +130,12 @@ class RaceAuditor final : public rt::TaskObserver {
   rt::LoopId cur_loop_ = 0;
   std::vector<TaskRec> tasks_;       // tasks of the current loop
   std::vector<std::int32_t> worker_cur_;  // index into tasks_; -1 = idle
+  // Task-graph execution being audited (nullptr on the plain taskloop
+  // path). Release edges: a starting node joins every predecessor's finish
+  // clock — the Team guarantees predecessors finished before the node was
+  // placed, so node_task_ lookups (node id -> tasks_ index) always resolve.
+  const rt::TaskGraphSpec* cur_graph_ = nullptr;
+  std::vector<std::int32_t> node_task_;  // node id -> tasks_ index; -1 = not started
   std::int64_t in_flight_ = 0;
   std::unordered_map<rt::LoopId, std::int64_t> in_flight_by_loop_;
   std::unordered_map<rt::LoopId, rt::LoopConfig> last_cfg_;

@@ -14,8 +14,25 @@ std::size_t distribute_hierarchical(const rt::TaskloopSpec& spec,
                                     const rt::LoopConfig& cfg, rt::Team& team,
                                     const DistributionOptions& opts,
                                     sim::SimTime& serial_cost) {
-  const auto nodes = cfg.node_mask.to_nodes();
-  if (nodes.empty()) throw std::invalid_argument("distribute_hierarchical: empty mask");
+  const auto mask_nodes = cfg.node_mask.to_nodes();
+  if (mask_nodes.empty()) {
+    throw std::invalid_argument("distribute_hierarchical: empty mask");
+  }
+  // Restrict the block mapping to mask nodes that actually got a worker
+  // activated. Worker activation fills nodes in mask order until the thread
+  // budget runs out, so under a narrowed carve (mask wider than
+  // ceil(threads / cores_per_node) nodes) the trailing mask nodes are fully
+  // parked — a NUMA-strict head placed there would strand forever, and even
+  // the stealable tail would misattribute its home node. When no mask node
+  // has an active primary (direct callers outside a Team prologue never
+  // activate anyone), fall back to the full mask: every worker is equally
+  // parked, so the historical layout is the only consistent answer.
+  std::vector<topo::NodeId> nodes;
+  nodes.reserve(mask_nodes.size());
+  for (const topo::NodeId n : mask_nodes) {
+    if (team.worker(team.node_workers(n).front()).active) nodes.push_back(n);
+  }
+  if (nodes.empty()) nodes = mask_nodes;
 
   const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize, cfg.num_threads,
                                       spec.tasks_per_thread);

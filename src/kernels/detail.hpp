@@ -1,6 +1,7 @@
 // Internal builder shared by the kernel factories.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -8,6 +9,26 @@
 #include "kernels/kernels.hpp"
 
 namespace ilan::kernels::detail {
+
+// Per-node demand for task-graph kernels: each node's cycles and access
+// descriptors are precomputed at build time, so the graph's DemandFn is a
+// single shared_ptr capture and a table lookup — pure and cheap, like
+// make_loop's demand.
+struct NodeDemand {
+  double cycles = 0.0;
+  std::vector<mem::AccessDescriptor> accesses;
+};
+
+[[nodiscard]] inline rt::DemandFn graph_demand(std::vector<NodeDemand> nodes) {
+  auto table = std::make_shared<const std::vector<NodeDemand>>(std::move(nodes));
+  return [table](std::int64_t b, std::int64_t /*e*/) {
+    rt::TaskDemand d;
+    const NodeDemand& nd = (*table)[static_cast<std::size_t>(b)];
+    d.cpu_cycles = nd.cycles;
+    d.accesses = nd.accesses;
+    return d;
+  };
+}
 
 // Standard iteration count: 2048 iterations -> 128 chunks at 64 threads
 // with the default 2 tasks/thread, i.e. 16 iterations per chunk.
@@ -53,6 +74,15 @@ class Builder {
       shape.imbalance_seed = static_cast<std::uint64_t>(shape.id) + 0x51ab;
     }
     prog_.step_loops.push_back(make_loop(shape, machine_.regions()));
+  }
+
+  // Per-timestep task graph. Fills in graph_id (same id space as the
+  // taskloops — LoopExecStats and PTT entries key off it) and the
+  // name prefix.
+  void step_graph(rt::TaskGraphSpec g) {
+    g.graph_id = next_id_++;
+    g.name = prog_.name + "." + g.name;
+    prog_.step_graphs.push_back(std::move(g));
   }
 
   void serial_per_step(double cycles) { prog_.per_step_serial.cpu_cycles = cycles; }

@@ -1,0 +1,110 @@
+// DPHIM-style frequent-itemset mining pass over partitioned transactions.
+//
+// One mining round as a three-stage DAG: P parallel count nodes (each
+// scanning its own transaction partition and writing a private count
+// table), a sequential merge chain folding the partial tables left to
+// right (merge j depends on merge j-1 and count j), and a P-wide prune
+// fan-out off the final merge (each pruning node gathers irregularly over
+// the merged table while rescanning its partition). The chain serializes
+// the middle — dependency-aware placement keeps it near the freshest
+// partials — and the fan-out re-widens instantly, exercising the
+// release-then-wake path en masse.
+//
+// Knob: ILAN_DAG_PARTITIONS — transaction partitions (default 32).
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "obs/env.hpp"
+
+namespace ilan::kernels {
+
+Program make_dphim(rt::Machine& m, const KernelOptions& opts) {
+  const int parts = obs::parse_env_int("ILAN_DAG_PARTITIONS", 32, 2, 1024);
+
+  detail::Builder b(m, "dphim", /*default_timesteps=*/5, opts);
+
+  const auto txns = b.region("txns", 1.6);
+  const auto counts = b.region("counts", 0.08);
+  b.init_loop("init", {txns, counts});
+
+  const std::uint64_t txn_bytes = m.regions().get(txns).bytes();
+  const std::uint64_t cnt_bytes = m.regions().get(counts).bytes();
+
+  const auto txn_slice = [&](int p) {
+    const auto off = static_cast<std::uint64_t>(
+        static_cast<double>(txn_bytes) * p / parts);
+    auto end = static_cast<std::uint64_t>(
+        static_cast<double>(txn_bytes) * (p + 1) / parts);
+    end = std::max(end, off + 1);
+    return std::pair<std::uint64_t, std::uint64_t>{off, end - off};
+  };
+  // Private count table of partition p: slot p of `counts`; slot `parts`
+  // (the last) is the merged table.
+  const auto cnt_slot = [&](int p) {
+    const auto off = static_cast<std::uint64_t>(
+        static_cast<double>(cnt_bytes) * p / (parts + 1));
+    auto end = static_cast<std::uint64_t>(
+        static_cast<double>(cnt_bytes) * (p + 1) / (parts + 1));
+    end = std::max(end, off + 1);
+    return std::pair<std::uint64_t, std::uint64_t>{off, end - off};
+  };
+
+  rt::TaskGraphSpec g;
+  g.name = "mine";
+  std::vector<detail::NodeDemand> nodes;
+  nodes.reserve(static_cast<std::size_t>(3 * parts));
+
+  // Stage 1 — count: nodes 0..P-1. Transaction skew (long transactions
+  // cluster) gives the heavy tail.
+  for (int p = 0; p < parts; ++p) {
+    g.add_node();
+    detail::NodeDemand nd;
+    nd.cycles = 4.5e6 * imbalance_factor_range(0xd1a, p, p + 1, 0.4, 0.1, 2.5);
+    const auto [t_off, t_len] = txn_slice(p);
+    const auto [c_off, c_len] = cnt_slot(p);
+    nd.accesses.push_back(
+        mem::AccessDescriptor{txns, t_off, t_len, mem::AccessKind::kRead});
+    nd.accesses.push_back(
+        mem::AccessDescriptor{counts, c_off, c_len, mem::AccessKind::kWrite});
+    nodes.push_back(std::move(nd));
+  }
+
+  // Stage 2 — merge chain: node P+j folds count j's table into the merged
+  // slot. merge 0 depends only on count 0; merge j on merge j-1 + count j.
+  const auto [m_off, m_len] = cnt_slot(parts);
+  for (int j = 0; j < parts; ++j) {
+    std::vector<std::int32_t> preds{static_cast<std::int32_t>(j)};
+    if (j > 0) preds.push_back(static_cast<std::int32_t>(parts + j - 1));
+    g.add_node(std::move(preds));
+    detail::NodeDemand nd;
+    nd.cycles = 0.9e6;
+    const auto [c_off, c_len] = cnt_slot(j);
+    nd.accesses.push_back(
+        mem::AccessDescriptor{counts, c_off, c_len, mem::AccessKind::kRead});
+    nd.accesses.push_back(
+        mem::AccessDescriptor{counts, m_off, m_len, mem::AccessKind::kWrite});
+    nodes.push_back(std::move(nd));
+  }
+
+  // Stage 3 — prune fan-out: node 2P+p rescans partition p against the
+  // merged table (irregular candidate lookups -> gather).
+  const auto last_merge = static_cast<std::int32_t>(2 * parts - 1);
+  for (int p = 0; p < parts; ++p) {
+    g.add_node({last_merge});
+    detail::NodeDemand nd;
+    nd.cycles = 2.2e6 * imbalance_factor_range(0xd1b, p, p + 1, 0.3);
+    const auto [t_off, t_len] = txn_slice(p);
+    nd.accesses.push_back(
+        mem::AccessDescriptor{txns, t_off, t_len, mem::AccessKind::kRead});
+    nd.accesses.push_back(mem::AccessDescriptor{
+        counts, 0, std::max<std::uint64_t>(t_len / 16, 1), mem::AccessKind::kGather});
+    nodes.push_back(std::move(nd));
+  }
+
+  g.demand = detail::graph_demand(std::move(nodes));
+  b.step_graph(std::move(g));
+  b.serial_per_step(1.0e6);
+  return b.take();
+}
+
+}  // namespace ilan::kernels

@@ -39,9 +39,27 @@ struct KernelOptions {
 [[nodiscard]] Program make_lulesh(rt::Machine& m, const KernelOptions& opts = {});
 [[nodiscard]] Program make_matmul(rt::Machine& m, const KernelOptions& opts = {});
 
+// Task-graph workloads (rt/task_graph.hpp): dependency-structured phases a
+// flat taskloop cannot express.
+//
+//   lu-dag  — wavefront LU tile grid (ILAN_DAG_TILE per side); parallelism
+//             ramps along the anti-diagonals.
+//   treered — binary tree reduction (ILAN_DAG_LEAVES heavy leaves feeding
+//             cheap combines); parallelism halves per level.
+//   dphim   — frequent-itemset mining pass over partitioned transactions
+//             (ILAN_DAG_PARTITIONS): parallel counts, a sequential merge
+//             chain, then a pruning fan-out.
+[[nodiscard]] Program make_lu_dag(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_treered(rt::Machine& m, const KernelOptions& opts = {});
+[[nodiscard]] Program make_dphim(rt::Machine& m, const KernelOptions& opts = {});
+
 // Registry in the paper's presentation order: FT, BT, CG, LU, SP, Matmul,
-// LULESH.
+// LULESH. Deliberately excludes the task-graph workloads so sweeps over
+// kernel_names() (bench defaults, golden digest tables) keep their
+// historical contents; dag_kernel_names() lists those.
 [[nodiscard]] const std::vector<std::string>& kernel_names();
+[[nodiscard]] const std::vector<std::string>& dag_kernel_names();
+// Resolves names from both lists.
 [[nodiscard]] Program make_kernel(const std::string& name, rt::Machine& m,
                                   const KernelOptions& opts = {});
 

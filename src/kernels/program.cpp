@@ -120,6 +120,7 @@ sim::SimTime Program::run(rt::Team& team) const {
   for (const auto& loop : init_loops) team.run_taskloop(loop);
   for (int t = 0; t < timesteps; ++t) {
     for (const auto& loop : step_loops) team.run_taskloop(loop);
+    for (const auto& graph : step_graphs) team.run_taskgraph(graph);
     if (per_step_serial.cpu_cycles > 0.0) {
       team.serial_compute(per_step_serial.cpu_cycles);
     }

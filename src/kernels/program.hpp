@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "rt/task.hpp"
+#include "rt/task_graph.hpp"
 #include "rt/team.hpp"
 
 namespace ilan::kernels {
@@ -68,10 +69,15 @@ struct Program {
   int timesteps = 1;
   std::vector<rt::TaskloopSpec> init_loops;  // run once, placement-deciding
   std::vector<rt::TaskloopSpec> step_loops;  // run every timestep, in order
+  // Per-timestep task graphs (run after the step loops each round) — the
+  // dependency-structured phases (wavefront tiles, reduction trees) that a
+  // flat taskloop cannot express.
+  std::vector<rt::TaskGraphSpec> step_graphs;
   SerialSection per_step_serial;             // e.g. reductions / convergence checks
 
-  // Executes init loops once and the step loops for `timesteps` rounds.
-  // Returns the simulated duration of the timed section (everything).
+  // Executes init loops once and the step loops + step graphs for
+  // `timesteps` rounds. Returns the simulated duration of the timed section
+  // (everything).
   sim::SimTime run(rt::Team& team) const;
 };
 

@@ -10,6 +10,11 @@ const std::vector<std::string>& kernel_names() {
   return names;
 }
 
+const std::vector<std::string>& dag_kernel_names() {
+  static const std::vector<std::string> names = {"lu-dag", "treered", "dphim"};
+  return names;
+}
+
 Program make_kernel(const std::string& name, rt::Machine& m,
                     const KernelOptions& opts) {
   if (name == "cg") return make_cg(m, opts);
@@ -19,6 +24,9 @@ Program make_kernel(const std::string& name, rt::Machine& m,
   if (name == "lu") return make_lu(m, opts);
   if (name == "lulesh") return make_lulesh(m, opts);
   if (name == "matmul") return make_matmul(m, opts);
+  if (name == "lu-dag") return make_lu_dag(m, opts);
+  if (name == "treered") return make_treered(m, opts);
+  if (name == "dphim") return make_dphim(m, opts);
   throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
 }
 

@@ -1,0 +1,103 @@
+// Binary tree reduction as a task DAG.
+//
+// L heavy leaves (each streaming its own slice of the input) feed a binary
+// combine tree of cheap nodes down to a single root — 2L-1 nodes total.
+// Parallelism halves every level, so the tail of the execution is
+// placement-dominated: a combine node wants to run where its two children
+// left their partials. The leaves' imbalance gives work stealing something
+// to do while the tree is still wide.
+//
+// Knob: ILAN_DAG_LEAVES — leaf count (default 256; rounded down to a power
+// of two so the tree is perfect).
+#include <algorithm>
+
+#include "kernels/detail.hpp"
+#include "obs/env.hpp"
+
+namespace ilan::kernels {
+
+Program make_treered(rt::Machine& m, const KernelOptions& opts) {
+  int leaves = obs::parse_env_int("ILAN_DAG_LEAVES", 256, 2, 4096);
+  while ((leaves & (leaves - 1)) != 0) leaves &= leaves - 1;  // power of two
+
+  detail::Builder b(m, "treered", /*default_timesteps=*/8, opts);
+
+  const auto input = b.region("input", 1.2);
+  const auto partials = b.region("partials", 0.02);
+  b.init_loop("init", {input, partials});
+
+  const std::uint64_t in_bytes = m.regions().get(input).bytes();
+  const std::uint64_t part_bytes = m.regions().get(partials).bytes();
+  const auto total = static_cast<std::int64_t>(2 * leaves - 1);
+
+  rt::TaskGraphSpec g;
+  g.name = "reduce";
+  std::vector<detail::NodeDemand> nodes;
+  nodes.reserve(static_cast<std::size_t>(total));
+
+  // Every node (leaf or combine) owns one partial slot; a combine node
+  // reads its children's slots and writes its own.
+  const auto part_slot = [&](std::int64_t node) {
+    const auto off = static_cast<std::uint64_t>(
+        static_cast<double>(part_bytes) * static_cast<double>(node) /
+        static_cast<double>(total));
+    auto end = static_cast<std::uint64_t>(
+        static_cast<double>(part_bytes) * static_cast<double>(node + 1) /
+        static_cast<double>(total));
+    end = std::max(end, off + 1);
+    return std::pair<std::uint64_t, std::uint64_t>{off, end - off};
+  };
+
+  // Leaves: nodes 0..L-1, each streaming in_bytes/L of the input.
+  for (std::int64_t l = 0; l < leaves; ++l) {
+    g.add_node();
+    detail::NodeDemand nd;
+    nd.cycles = 3.0e6 * imbalance_factor_range(0x7ee, l, l + 1, 0.35);
+    const auto off = static_cast<std::uint64_t>(
+        static_cast<double>(in_bytes) * static_cast<double>(l) /
+        static_cast<double>(leaves));
+    auto end = static_cast<std::uint64_t>(
+        static_cast<double>(in_bytes) * static_cast<double>(l + 1) /
+        static_cast<double>(leaves));
+    end = std::max(end, off + 1);
+    nd.accesses.push_back(
+        mem::AccessDescriptor{input, off, end - off, mem::AccessKind::kRead});
+    const auto [p_off, p_len] = part_slot(l);
+    nd.accesses.push_back(
+        mem::AccessDescriptor{partials, p_off, p_len, mem::AccessKind::kWrite});
+    nodes.push_back(std::move(nd));
+  }
+
+  // Combine levels: each level pairs up the previous level's nodes in
+  // order; `lo` tracks where the previous level starts.
+  std::int64_t lo = 0;
+  std::int64_t width = leaves;
+  while (width > 1) {
+    for (std::int64_t i = 0; i < width / 2; ++i) {
+      const auto left = static_cast<std::int32_t>(lo + 2 * i);
+      const auto right = static_cast<std::int32_t>(lo + 2 * i + 1);
+      const std::int64_t node = g.add_node({left, right});
+      detail::NodeDemand nd;
+      nd.cycles = 0.4e6;
+      const auto [l_off, l_len] = part_slot(left);
+      const auto [r_off, r_len] = part_slot(right);
+      const auto [o_off, o_len] = part_slot(node);
+      nd.accesses.push_back(
+          mem::AccessDescriptor{partials, l_off, l_len, mem::AccessKind::kRead});
+      nd.accesses.push_back(
+          mem::AccessDescriptor{partials, r_off, r_len, mem::AccessKind::kRead});
+      nd.accesses.push_back(
+          mem::AccessDescriptor{partials, o_off, o_len, mem::AccessKind::kWrite});
+      nodes.push_back(std::move(nd));
+    }
+    lo += width;
+    width /= 2;
+  }
+
+  g.demand = detail::graph_demand(std::move(nodes));
+  b.step_graph(std::move(g));
+  b.serial_per_step(0.8e6);
+  return b.take();
+}
+
+}  // namespace ilan::kernels

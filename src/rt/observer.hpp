@@ -21,6 +21,7 @@ namespace ilan::rt {
 
 class Team;
 struct Worker;
+struct TaskGraphSpec;  // rt/task_graph.hpp
 
 class TaskObserver {
  public:
@@ -30,6 +31,15 @@ class TaskObserver {
   // run serially on the encountering thread.
   virtual void on_loop_begin(const TaskloopSpec& /*spec*/, const LoopConfig& /*cfg*/,
                              const Team& /*team*/, sim::SimTime /*now*/) {}
+
+  // Fired right after on_loop_begin when the execution is a task graph
+  // (Team::run_taskgraph / start_taskgraph) rather than a taskloop: `graph`
+  // stays valid until the matching on_loop_end. Observers that model
+  // happens-before (analysis::RaceAuditor) read the predecessor lists here
+  // to thread release edges from each node's finish to its successors'
+  // starts. Task identity on the graph path: task.begin is the node id.
+  virtual void on_graph_begin(const TaskGraphSpec& /*graph*/, const Team& /*team*/,
+                              sim::SimTime /*now*/) {}
 
   // Task begins executing on `w`. `accesses` is the task's resolved memory
   // demand (valid only for the duration of the call).

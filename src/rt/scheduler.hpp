@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,7 @@ namespace ilan::rt {
 
 class Team;
 struct Worker;
+struct TaskGraphSpec;  // rt/task_graph.hpp
 
 // Everything measured about one taskloop execution; what ILAN's performance
 // tracing sees, and what the harnesses aggregate.
@@ -73,6 +75,20 @@ class Scheduler {
   // Called when active worker `w` has no current task. Implements pop +
   // steal policy; must account its latency in the result's `cost`.
   virtual AcquireResult acquire(Team& team, Worker& w) = 0;
+
+  // Task-graph path (Team::run_taskgraph): places one READY node of `graph`
+  // into an active worker's deque. `task` arrives with begin/end/loop set;
+  // the placement fills in home_node/numa_strict. `pred_nodes` holds the
+  // NUMA nodes the task's predecessors executed on (empty for roots — those
+  // are placed serially in the prologue). Charges the placement overhead
+  // (task creation + enqueue) into `cost`. The default (rt/task_graph.cpp)
+  // pushes onto the first active worker; ComposedScheduler routes this
+  // through its DistributionPolicy so dep-aware placement composes with any
+  // config/steal/feedback axis.
+  virtual void place_ready(const TaskGraphSpec& graph, Task& task,
+                           const LoopConfig& cfg, Team& team,
+                           std::span<const topo::NodeId> pred_nodes,
+                           sim::SimTime& cost);
 
   // End-of-execution hook (e.g., PTT update). Default: no-op.
   virtual void loop_finished(const TaskloopSpec& /*spec*/, const LoopExecStats& /*stats*/,

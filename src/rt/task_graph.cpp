@@ -1,0 +1,90 @@
+#include "rt/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rt/scheduler.hpp"
+#include "rt/team.hpp"
+#include "rt/worker.hpp"
+
+namespace ilan::rt {
+
+void TaskGraphSpec::validate() const {
+  if (num_nodes() <= 0) {
+    throw std::invalid_argument("TaskGraphSpec '" + name + "': graph needs nodes");
+  }
+  if (!demand) {
+    throw std::invalid_argument("TaskGraphSpec '" + name +
+                                "': graph needs a demand function");
+  }
+  const std::size_t n = preds.size();
+  std::vector<std::int32_t> indegree(n, 0);
+  std::vector<std::vector<std::int32_t>> succ(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::int32_t p : preds[i]) {
+      if (p < 0 || static_cast<std::size_t>(p) >= n) {
+        throw std::invalid_argument(
+            "TaskGraphSpec '" + name + "': node " + std::to_string(i) +
+            " has out-of-range predecessor " + std::to_string(p));
+      }
+      if (static_cast<std::size_t>(p) == i) {
+        throw std::invalid_argument("TaskGraphSpec '" + name + "': node " +
+                                    std::to_string(i) + " depends on itself");
+      }
+      succ[static_cast<std::size_t>(p)].push_back(static_cast<std::int32_t>(i));
+    }
+    // A duplicate edge would be ready-count-consistent (indegree counts it,
+    // the successor list releases it twice) but it skews dependency-aware
+    // placement votes, so it is rejected as a spec bug.
+    std::vector<std::int32_t> sorted = preds[i];
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("TaskGraphSpec '" + name + "': node " +
+                                  std::to_string(i) +
+                                  " lists a predecessor twice");
+    }
+    indegree[i] = static_cast<std::int32_t>(preds[i].size());
+  }
+  // Kahn peel: every node must become ready eventually, or the ready-count
+  // release protocol would deadlock at run time.
+  std::vector<std::int32_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<std::int32_t>(i));
+  }
+  std::size_t seen = 0;
+  while (!ready.empty()) {
+    const auto node = static_cast<std::size_t>(ready.back());
+    ready.pop_back();
+    ++seen;
+    for (const std::int32_t s : succ[node]) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (seen != n) {
+    throw std::invalid_argument("TaskGraphSpec '" + name +
+                                "': dependency cycle through " +
+                                std::to_string(n - seen) + " node(s)");
+  }
+}
+
+// Default ready-node placement: the first active worker's deque, charged
+// like any other task creation. Schedulers built outside the registry get a
+// correct (if locality-blind) graph path for free; ComposedScheduler
+// overrides this with its DistributionPolicy's place hook.
+void Scheduler::place_ready(const TaskGraphSpec& /*graph*/, Task& task,
+                            const LoopConfig& /*cfg*/, Team& team,
+                            std::span<const topo::NodeId> /*pred_nodes*/,
+                            sim::SimTime& cost) {
+  cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+  cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+  for (auto& w : team.workers()) {
+    if (!w.active) continue;
+    task.home_node = w.node;
+    task.numa_strict = false;
+    w.deque.push_back(task);
+    return;
+  }
+  throw std::logic_error("Scheduler::place_ready: no active worker to place on");
+}
+
+}  // namespace ilan::rt

@@ -1,0 +1,49 @@
+// Deterministic task-graph (DAG) specifications.
+//
+// A TaskGraphSpec describes a dependency graph of unit tasks: node i is the
+// iteration range [i, i+1) of a synthetic taskloop, its demand (cycles +
+// access descriptors) comes from the shared demand function, and preds[i]
+// lists the nodes that must finish before node i may start. rt::Team
+// executes a graph alongside the taskloop path (Team::run_taskgraph /
+// Team::start_taskgraph): roots are placed serially in the prologue, and a
+// finishing node decrements its successors' ready counts, handing each
+// newly-ready node to the scheduler's place_ready hook (dependency-aware
+// distribution lives there — sched/policy.hpp's DistributionPolicy::place).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rt/task.hpp"
+
+namespace ilan::rt {
+
+struct TaskGraphSpec {
+  LoopId graph_id = 0;  // stable per call site, like a taskloop's LoopId
+  std::string name;
+  // preds[i] = predecessor node ids of node i; the vector's size is the
+  // node count. Roots have empty predecessor lists.
+  std::vector<std::vector<std::int32_t>> preds;
+  // demand(i, i+1) is node i's demand (cycles + access descriptors). The
+  // runtime evaluates it lazily at task start, exactly like a taskloop's.
+  DemandFn demand;
+
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(preds.size());
+  }
+
+  // Appends a node with the given predecessors; returns its id.
+  std::int32_t add_node(std::vector<std::int32_t> node_preds = {}) {
+    preds.push_back(std::move(node_preds));
+    return static_cast<std::int32_t>(preds.size()) - 1;
+  }
+
+  // Throws std::invalid_argument on an empty graph, a missing demand
+  // function, out-of-range / self / duplicate predecessor edges, or a
+  // dependency cycle (Kahn check). Team runs this before every execution.
+  void validate() const;
+};
+
+}  // namespace ilan::rt

@@ -90,11 +90,115 @@ void Team::start_taskloop(const TaskloopSpec& spec, LoopDoneFn on_done) {
   on_loop_done_ = std::move(on_done);
 }
 
+const LoopExecStats& Team::run_taskgraph(const TaskGraphSpec& graph) {
+  begin_taskgraph(graph);
+  run_engine("task graph");
+  if (remaining_tasks_ != 0 || !loop_done_) {
+    throw std::logic_error("Team: task graph did not complete (scheduler starvation?)");
+  }
+  return finalize_loop();
+}
+
+void Team::start_taskgraph(const TaskGraphSpec& graph, LoopDoneFn on_done) {
+  if (!on_done) {
+    throw std::invalid_argument("Team: start_taskgraph needs a completion callback");
+  }
+  begin_taskgraph(graph);
+  // As in start_taskloop: armed only after the prologue validated the graph.
+  on_loop_done_ = std::move(on_done);
+}
+
+void Team::ensure_quiescent(const char* what) const {
+  if (loop_done_) return;
+  // Name the actual state: an armed completion callback means the previous
+  // execution was started asynchronously and its barrier has not released
+  // yet — a concurrency error, not nesting. Only a begin from inside a
+  // blocking run (e.g. a demand function re-entering the team) is nesting.
+  if (on_loop_done_) {
+    throw std::logic_error(
+        std::string("Team: ") + what +
+        " while an asynchronous execution (start_taskloop/start_taskgraph) is "
+        "still in flight; drive the engine to its completion callback first");
+  }
+  throw std::logic_error(std::string("Team: nested ") + what +
+                         " unsupported (an execution is already running on this team)");
+}
+
 void Team::begin_taskloop(const TaskloopSpec& spec) {
-  if (!loop_done_) throw std::logic_error("Team: nested taskloops unsupported");
+  ensure_quiescent("taskloop");
   if (spec.iterations <= 0) throw std::invalid_argument("Team: taskloop needs iterations");
   if (!spec.demand) throw std::invalid_argument("Team: taskloop needs a demand function");
 
+  sim::SimTime serial = begin_prologue(spec);
+
+  // (2) Task creation + distribution, also serial.
+  tasks_total_ = static_cast<std::int64_t>(
+      scheduler_.distribute(spec, cur_cfg_, *this, serial));
+  if (tasks_total_ <= 0) throw std::logic_error("Team: scheduler produced no tasks");
+  remaining_tasks_ = tasks_total_;
+  loop_done_ = false;
+
+  launch_workers(serial);
+}
+
+void Team::begin_taskgraph(const TaskGraphSpec& graph) {
+  ensure_quiescent("task graph");
+  graph.validate();
+
+  // The synthetic one-iteration-per-node spec: the scheduler's
+  // select_config, the tracer, the observers and every Task of the graph
+  // see an ordinary taskloop whose iteration i is node i.
+  graph_loop_ = TaskloopSpec{};
+  graph_loop_.loop_id = graph.graph_id;
+  graph_loop_.name = graph.name;
+  graph_loop_.iterations = graph.num_nodes();
+  graph_loop_.grainsize = 1;
+  graph_loop_.demand = graph.demand;
+
+  sim::SimTime serial = begin_prologue(graph_loop_);
+  cur_graph_ = &graph;
+  if (observer_ != nullptr) {
+    observer_->on_graph_begin(graph, *this, machine_.engine().now());
+  }
+
+  // (2) Readiness state + root placement, serial on the encountering
+  // thread. Successor lists are CSR so the release path allocates nothing.
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  dag_indegree_.assign(n, 0);
+  dag_succ_off_.assign(n + 1, 0);
+  dag_exec_node_.assign(n, topo::NodeId::invalid());
+  for (std::size_t i = 0; i < n; ++i) {
+    dag_indegree_[i] = static_cast<std::int32_t>(graph.preds[i].size());
+    for (const std::int32_t p : graph.preds[i]) {
+      ++dag_succ_off_[static_cast<std::size_t>(p) + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) dag_succ_off_[i + 1] += dag_succ_off_[i];
+  dag_succ_.assign(static_cast<std::size_t>(dag_succ_off_[n]), 0);
+  std::vector<std::int32_t> fill(dag_succ_off_.begin(), dag_succ_off_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::int32_t p : graph.preds[i]) {
+      dag_succ_[static_cast<std::size_t>(fill[static_cast<std::size_t>(p)]++)] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+
+  tasks_total_ = graph.num_nodes();
+  remaining_tasks_ = tasks_total_;
+  loop_done_ = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dag_indegree_[i] != 0) continue;
+    Task t;
+    t.begin = static_cast<std::int64_t>(i);
+    t.end = t.begin + 1;
+    t.loop = &graph_loop_;
+    scheduler_.place_ready(graph, t, cur_cfg_, *this, {}, serial);
+  }
+
+  launch_workers(serial);
+}
+
+sim::SimTime Team::begin_prologue(const TaskloopSpec& spec) {
   auto& engine = machine_.engine();
   cur_spec_ = &spec;
   loop_start_ = engine.now();
@@ -137,17 +241,14 @@ void Team::begin_taskloop(const TaskloopSpec& spec) {
   if (observer_ != nullptr) {
     observer_->on_loop_begin(spec, cur_cfg_, *this, engine.now());
   }
+  return serial;
+}
 
-  // (2) Task creation + distribution, also serial.
-  tasks_total_ = static_cast<std::int64_t>(
-      scheduler_.distribute(spec, cur_cfg_, *this, serial));
-  if (tasks_total_ <= 0) throw std::logic_error("Team: scheduler produced no tasks");
-  remaining_tasks_ = tasks_total_;
-  loop_done_ = false;
-
+void Team::launch_workers(sim::SimTime serial) {
   // (3) Wake the active workers. Worker 0 (the encountering thread, when
   // active) continues immediately after the serial section; the others pay
   // a wake-up signalling latency.
+  auto& engine = machine_.engine();
   const sim::SimTime work_start = loop_start_ + serial;
   for (const auto& w : workers_) {
     if (!w.active) continue;
@@ -190,6 +291,7 @@ const LoopExecStats& Team::finalize_loop() {
 
   history_.push_back(std::move(stats));
   cur_spec_ = nullptr;
+  cur_graph_ = nullptr;
   return history_.back();
 }
 
@@ -244,10 +346,56 @@ void Team::finish_task(int wid, const Task& task, sim::SimTime exec_start) {
     ev.stolen_remote = task.home_node.valid() && task.home_node != w.node;
     tracer_->add_task(std::move(ev));
   }
+  // Graph path: the finished node may make successors ready. The release
+  // runs before the remaining-task decrement so the last node's bookkeeping
+  // (exec-node record) is complete when the barrier begins.
+  if (cur_graph_ != nullptr) release_dag_successors(task, w);
   if (--remaining_tasks_ == 0) {
     begin_loop_end();
   } else {
     worker_seek(wid);
+  }
+}
+
+void Team::release_dag_successors(const Task& task, const Worker& w) {
+  const auto node = static_cast<std::size_t>(task.begin);
+  dag_exec_node_[node] = w.node;
+  sim::SimTime release_cost = 0;
+  bool placed = false;
+  for (std::int32_t k = dag_succ_off_[node]; k < dag_succ_off_[node + 1]; ++k) {
+    const auto s = static_cast<std::size_t>(dag_succ_[static_cast<std::size_t>(k)]);
+    if (--dag_indegree_[s] != 0) continue;
+    Task t;
+    t.begin = static_cast<std::int64_t>(s);
+    t.end = t.begin + 1;
+    t.loop = &graph_loop_;
+    dag_pred_nodes_.clear();
+    for (const std::int32_t p : cur_graph_->preds[s]) {
+      dag_pred_nodes_.push_back(dag_exec_node_[static_cast<std::size_t>(p)]);
+    }
+    scheduler_.place_ready(*cur_graph_, t, cur_cfg_, *this, dag_pred_nodes_,
+                           release_cost);
+    placed = true;
+  }
+  if (!placed) return;
+  // Wake parked workers so the newly-ready nodes get picked up after the
+  // release bookkeeping cost; the releasing worker itself continues through
+  // its own seek in finish_task. worker_seek early-returns on idle workers,
+  // so the wake event clears the flag first. A sleeper another release
+  // already woke is left alone (the idle check dedups queued wakes).
+  const sim::SimTime when = machine_.engine().now() + release_cost;
+  for (const auto& ww : workers_) {
+    if (!ww.active || !ww.idle || ww.id == w.id) continue;
+    const int wwid = ww.id;
+    machine_.engine().schedule_at(
+        when,
+        [this, wwid] {
+          Worker& sleeper = workers_[static_cast<std::size_t>(wwid)];
+          if (!sleeper.idle) return;
+          sleeper.idle = false;
+          worker_seek(wwid);
+        },
+        sim::kTagDagRelease);
   }
 }
 

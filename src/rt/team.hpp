@@ -20,6 +20,7 @@
 #include "rt/observer.hpp"
 #include "rt/runtime.hpp"
 #include "rt/scheduler.hpp"
+#include "rt/task_graph.hpp"
 #include "rt/worker.hpp"
 #include "sim/rng.hpp"
 #include "trace/chrome_trace.hpp"
@@ -67,6 +68,20 @@ class Team {
   using LoopDoneFn = std::function<void(const LoopExecStats&)>;
   void start_taskloop(const TaskloopSpec& spec, LoopDoneFn on_done);
 
+  // Executes one task graph (rt/task_graph.hpp) to completion in simulated
+  // time. The graph's roots are placed serially in the prologue; a node
+  // becomes ready when its last predecessor finishes, at which point the
+  // scheduler's place_ready hook assigns it a deque and parked workers are
+  // woken (sim::kTagDagRelease events). Records a LoopExecStats exactly as
+  // a taskloop with one unit iteration per node would.
+  const LoopExecStats& run_taskgraph(const TaskGraphSpec& graph);
+
+  // Asynchronous task graph, mirroring start_taskloop's prologue/finalize
+  // split: the serial prologue (configuration selection, root placement,
+  // worker wake-up) runs here, the caller drives the engine, and `on_done`
+  // fires at the final barrier instant with the recorded stats.
+  void start_taskgraph(const TaskGraphSpec& graph, LoopDoneFn on_done);
+
   // Executes a serial section on worker 0 (between taskloops).
   void serial_compute(double cpu_cycles,
                       std::span<const mem::AccessDescriptor> accesses = {});
@@ -111,6 +126,10 @@ class Team {
   // Loop currently executing (nullptr outside run_taskloop) and its config.
   [[nodiscard]] const TaskloopSpec* current_loop() const { return cur_spec_; }
   [[nodiscard]] const LoopConfig& current_config() const { return cur_cfg_; }
+  // Task graph currently executing (nullptr outside run_taskgraph /
+  // start_taskgraph; on the graph path current_loop() is the synthetic
+  // one-iteration-per-node spec the graph's tasks point at).
+  [[nodiscard]] const TaskGraphSpec* current_graph() const { return cur_graph_; }
 
   // --- program-level results ---------------------------------------------
   [[nodiscard]] const std::vector<LoopExecStats>& history() const { return history_; }
@@ -138,8 +157,29 @@ class Team {
   // Marks workers active per the config: nodes in the mask contribute cores
   // in order until num_threads workers are active.
   void activate_workers(const LoopConfig& cfg);
+  // Throws when an execution is already active on this team, naming the
+  // actual state: an in-flight asynchronous execution (start_taskloop /
+  // start_taskgraph not yet completed) vs true nesting inside a blocking
+  // run. `what` names the attempted operation for the diagnostic.
+  void ensure_quiescent(const char* what) const;
   // Shared prologue of run_taskloop/start_taskloop: steps (1)-(3).
   void begin_taskloop(const TaskloopSpec& spec);
+  // Shared prologue of run_taskgraph/start_taskgraph: builds the readiness
+  // state (indegrees + CSR successor lists), places the roots serially and
+  // wakes the workers.
+  void begin_taskgraph(const TaskGraphSpec& graph);
+  // Step (1) shared by both paths: loop markers, configuration selection
+  // with mask/thread fill-ins, worker activation and the loop-begin
+  // observer hook. Returns the serial time accumulated so far.
+  sim::SimTime begin_prologue(const TaskloopSpec& spec);
+  // Step (3) shared by both paths: wakes every active worker at
+  // loop_start_ + serial (worker 0 immediately, the rest after the wake
+  // signalling latency).
+  void launch_workers(sim::SimTime serial);
+  // Graph path: records where `task`'s node executed, decrements successor
+  // ready counts, places newly-ready nodes via the scheduler's place_ready
+  // hook and wakes parked workers (kTagDagRelease).
+  void release_dag_successors(const Task& task, const Worker& w);
   // Step (4): records the finished execution into history_ and fires the
   // observer + scheduler end-of-loop hooks. Returns the recorded stats.
   const LoopExecStats& finalize_loop();
@@ -180,6 +220,17 @@ class Team {
   // Current-loop state.
   const TaskloopSpec* cur_spec_ = nullptr;
   LoopConfig cur_cfg_;
+  // Task-graph state (cur_graph_ null outside a graph execution). The
+  // synthetic spec gives the graph's unit tasks a TaskloopSpec to point at,
+  // so the task start/finish machinery, tracer and observers apply
+  // verbatim; node i is the task [i, i+1).
+  const TaskGraphSpec* cur_graph_ = nullptr;
+  TaskloopSpec graph_loop_;
+  std::vector<std::int32_t> dag_indegree_;
+  std::vector<std::int32_t> dag_succ_;      // CSR successor lists
+  std::vector<std::int32_t> dag_succ_off_;  // size num_nodes + 1
+  std::vector<topo::NodeId> dag_exec_node_;   // node each finished task ran on
+  std::vector<topo::NodeId> dag_pred_nodes_;  // scratch for place_ready
   std::int64_t remaining_tasks_ = 0;
   bool loop_done_ = true;
   sim::SimTime loop_start_ = 0;

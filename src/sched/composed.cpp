@@ -33,6 +33,13 @@ rt::AcquireResult ComposedScheduler::acquire(rt::Team& team, rt::Worker& w) {
   return steal_->acquire(team, w, state_);
 }
 
+void ComposedScheduler::place_ready(const rt::TaskGraphSpec& graph, rt::Task& task,
+                                    const rt::LoopConfig& cfg, rt::Team& team,
+                                    std::span<const topo::NodeId> pred_nodes,
+                                    sim::SimTime& cost) {
+  dist_->place(graph, task, cfg, team, pred_nodes, state_, cost);
+}
+
 void ComposedScheduler::loop_finished(const rt::TaskloopSpec& spec,
                                       const rt::LoopExecStats& stats, rt::Team& team) {
   feedback_->loop_finished(spec, stats, team, state_);

@@ -26,6 +26,13 @@ class ComposedScheduler : public rt::Scheduler {
   std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
                          rt::Team& team, sim::SimTime& serial_cost) override;
   rt::AcquireResult acquire(rt::Team& team, rt::Worker& w) override;
+  // Task-graph placement routes through the distribution axis, so dep-aware
+  // (or any future graph-conscious) placement composes with every
+  // config/steal/feedback combination.
+  void place_ready(const rt::TaskGraphSpec& graph, rt::Task& task,
+                   const rt::LoopConfig& cfg, rt::Team& team,
+                   std::span<const topo::NodeId> pred_nodes,
+                   sim::SimTime& cost) override;
   void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
                      rt::Team& team) override;
 

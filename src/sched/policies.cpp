@@ -1,7 +1,10 @@
 #include "sched/policies.hpp"
 
+#include <stdexcept>
+
 #include "core/node_mask.hpp"
 #include "rt/runtime.hpp"
+#include "rt/task_graph.hpp"
 #include "rt/team.hpp"
 
 namespace ilan::sched {
@@ -226,6 +229,100 @@ std::size_t StaticBlockDist::distribute(const rt::TaskloopSpec& spec,
     }
   }
   return nc;
+}
+
+namespace {
+
+// Mask nodes whose primary worker is active. Worker activation fills nodes
+// in mask order until the thread budget runs out, so a node with any active
+// worker always has an active primary; a mask node past the budget has
+// none and must not receive DAG placements (nothing there would ever run
+// them).
+std::vector<topo::NodeId> active_mask_nodes(const rt::LoopConfig& cfg,
+                                            rt::Team& team) {
+  std::vector<topo::NodeId> nodes;
+  for (const auto& node : team.topology().nodes()) {
+    if (!cfg.node_mask.empty() && !cfg.node_mask.test(node.id)) continue;
+    if (!team.worker(team.node_workers(node.id).front()).active) continue;
+    nodes.push_back(node.id);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+// Default DAG placement: block-map the node id across the active mask
+// nodes, so siblings of a wide graph spread deterministically even when the
+// policy knows nothing about dependencies.
+void DistributionPolicy::place(const rt::TaskGraphSpec& graph, rt::Task& task,
+                               const rt::LoopConfig& cfg, rt::Team& team,
+                               std::span<const topo::NodeId> /*pred_nodes*/,
+                               SchedState& /*state*/, sim::SimTime& cost) {
+  cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+  cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+  const auto nodes = active_mask_nodes(cfg, team);
+  if (nodes.empty()) {
+    // No activated mask node (direct construction outside a prologue):
+    // degrade to the first active worker, as the rt-layer default does.
+    for (auto& w : team.workers()) {
+      if (!w.active) continue;
+      task.home_node = w.node;
+      task.numa_strict = false;
+      w.deque.push_back(task);
+      return;
+    }
+    throw std::logic_error(
+        "DistributionPolicy::place: no active worker to place on");
+  }
+  const std::size_t nn = nodes.size();
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  std::size_t idx = static_cast<std::size_t>(task.begin) * nn / n;
+  if (idx >= nn) idx = nn - 1;
+  const topo::NodeId home = nodes[idx];
+  rt::Worker& owner = team.worker(team.node_workers(home).front());
+  task.home_node = home;
+  task.numa_strict = false;
+  owner.deque.push_back(task);
+}
+
+std::size_t DepAwareDist::distribute(const rt::TaskloopSpec& spec,
+                                     const rt::LoopConfig& cfg, rt::Team& team,
+                                     SchedState& state,
+                                     sim::SimTime& serial_cost) {
+  return loop_dist_.distribute(spec, cfg, team, state, serial_cost);
+}
+
+void DepAwareDist::place(const rt::TaskGraphSpec& graph, rt::Task& task,
+                         const rt::LoopConfig& cfg, rt::Team& team,
+                         std::span<const topo::NodeId> pred_nodes,
+                         SchedState& state, sim::SimTime& cost) {
+  const auto nodes = active_mask_nodes(cfg, team);
+  // Plurality vote over where the predecessors ran, restricted to nodes
+  // that can actually execute the task. Ties keep the earliest node in
+  // topology order (deterministic); roots and votes for nodes outside the
+  // active mask fall through to the block-map default.
+  topo::NodeId best = topo::NodeId::invalid();
+  std::size_t best_votes = 0;
+  for (const topo::NodeId cand : nodes) {
+    std::size_t votes = 0;
+    for (const topo::NodeId p : pred_nodes) {
+      if (p == cand) ++votes;
+    }
+    if (votes > best_votes) {
+      best = cand;
+      best_votes = votes;
+    }
+  }
+  if (best_votes == 0) {
+    DistributionPolicy::place(graph, task, cfg, team, pred_nodes, state, cost);
+    return;
+  }
+  cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+  cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+  rt::Worker& owner = team.worker(team.node_workers(best).front());
+  task.home_node = best;
+  task.numa_strict = false;
+  owner.deque.push_back(task);
 }
 
 // --- StealPolicy ---------------------------------------------------------

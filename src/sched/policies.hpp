@@ -105,6 +105,28 @@ class StaticBlockDist final : public DistributionPolicy {
                          sim::SimTime& serial_cost) override;
 };
 
+// Dependency-aware placement for the task-graph path: a ready node goes to
+// the active mask node where the plurality of its predecessors executed
+// (ties break toward the earliest node in topology order; roots and
+// invalid votes fall back to the base block-map). Loop distribution
+// delegates to the reactive hierarchical mapping so `dist=dep-aware`
+// composes with any config/steal/feedback axis on mixed loop+graph
+// programs.
+class DepAwareDist final : public DistributionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dep-aware"; }
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, SchedState& state,
+                         sim::SimTime& serial_cost) override;
+  void place(const rt::TaskGraphSpec& graph, rt::Task& task,
+             const rt::LoopConfig& cfg, rt::Team& team,
+             std::span<const topo::NodeId> pred_nodes, SchedState& state,
+             sim::SimTime& cost) override;
+
+ private:
+  HierarchicalDist loop_dist_{HierarchicalDist::Health::kReactive};
+};
+
 // --- StealPolicy ---------------------------------------------------------
 
 // Tiered NUMA-aware stealing (paper Section 3.4) via

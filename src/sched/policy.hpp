@@ -104,6 +104,16 @@ class DistributionPolicy {
   virtual std::size_t distribute(const rt::TaskloopSpec& spec,
                                  const rt::LoopConfig& cfg, rt::Team& team,
                                  SchedState& state, sim::SimTime& serial_cost) = 0;
+  // Task-graph path (rt::Scheduler::place_ready routed through
+  // ComposedScheduler): places one ready DAG node. `pred_nodes` holds the
+  // NUMA nodes the node's predecessors executed on (empty for roots). The
+  // default block-maps the node id across the config's active mask nodes —
+  // deterministic and locality-blind; DepAwareDist overrides it to follow
+  // the predecessors' placement.
+  virtual void place(const rt::TaskGraphSpec& graph, rt::Task& task,
+                     const rt::LoopConfig& cfg, rt::Team& team,
+                     std::span<const topo::NodeId> pred_nodes, SchedState& state,
+                     sim::SimTime& cost);
 };
 
 // Axis 3: implements pop + steal for a worker that ran dry. (Distinct from

@@ -195,10 +195,13 @@ std::unique_ptr<rt::Scheduler> make_composed(const SchedulerSpec& spec) {
       config = opt.value;
     } else if (opt.key == "dist") {
       if (opt.value != "hierarchical" && opt.value != "flat" &&
-          opt.value != "static-block" && opt.value != "health-weighted") {
-        fail_spec(text, "key 'dist': expected "
-                        "hierarchical/flat/static-block/health-weighted, got '" +
-                            opt.value + "'");
+          opt.value != "static-block" && opt.value != "health-weighted" &&
+          opt.value != "dep-aware") {
+        fail_spec(text,
+                  "key 'dist': expected "
+                  "hierarchical/flat/static-block/health-weighted/dep-aware, "
+                  "got '" +
+                      opt.value + "'");
       }
       dist = opt.value;
     } else if (opt.key == "steal") {
@@ -249,6 +252,8 @@ std::unique_ptr<rt::Scheduler> make_composed(const SchedulerSpec& spec) {
     dist_policy = std::make_unique<FlatDist>();
   } else if (dist == "static-block") {
     dist_policy = std::make_unique<StaticBlockDist>();
+  } else if (dist == "dep-aware") {
+    dist_policy = std::make_unique<DepAwareDist>();
   } else {
     dist_policy = std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kForced);
   }

@@ -172,6 +172,15 @@ class MaskedScheduler final : public rt::Scheduler {
     return inner_->acquire(team, w);
   }
 
+  void place_ready(const rt::TaskGraphSpec& graph, rt::Task& task,
+                   const rt::LoopConfig& cfg, rt::Team& team,
+                   std::span<const topo::NodeId> pred_nodes,
+                   sim::SimTime& cost) override {
+    // `cfg` already went through select_config's carve intersection, so the
+    // inner policy's placement stays inside the tenant's share.
+    inner_->place_ready(graph, task, cfg, team, pred_nodes, cost);
+  }
+
   void loop_finished(const rt::TaskloopSpec& spec, const rt::LoopExecStats& stats,
                      rt::Team& team) override {
     inner_->loop_finished(spec, stats, team);

@@ -36,6 +36,9 @@ inline constexpr EventTag kTagServeRetry = 9;
 // serve::Server — per-request deadline watchdog fires on a still-running
 // job (daemon event: it observes a miss, it never extends the run).
 inline constexpr EventTag kTagServeDeadline = 10;
+// rt::Team — a finished task-graph node released successors; parked workers
+// wake to pick the newly-ready tasks up.
+inline constexpr EventTag kTagDagRelease = 11;
 
 [[nodiscard]] constexpr const char* tag_name(EventTag tag) {
   switch (tag) {
@@ -50,6 +53,7 @@ inline constexpr EventTag kTagServeDeadline = 10;
     case kTagServeArrival: return "serve-arrival";
     case kTagServeRetry: return "serve-retry";
     case kTagServeDeadline: return "serve-deadline";
+    case kTagDagRelease: return "dag-release";
     default: return "unknown";
   }
 }

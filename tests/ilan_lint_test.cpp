@@ -32,6 +32,8 @@ TEST(LintScope, OnlySimCoreRtMemFaultArePoliced) {
   EXPECT_TRUE(in_scope("src/fault/fault_plan.hpp"));
   EXPECT_TRUE(in_scope("src/sched/policies.cpp"));
   EXPECT_TRUE(in_scope("src/sched/registry.hpp"));
+  EXPECT_TRUE(in_scope("src/kernels/lu_dag.cpp"));
+  EXPECT_TRUE(in_scope("src/analysis/race_auditor.cpp"));
   EXPECT_TRUE(in_scope("/abs/path/src/rt/team.cpp"));
   EXPECT_FALSE(in_scope("src/trace/stats.cpp"));
   EXPECT_FALSE(in_scope("bench/harness.cpp"));

@@ -1,9 +1,13 @@
 // Runtime layer: chunking, deques, node masks, team execution semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "sched/schedulers.hpp"
 #include "rt/team.hpp"
@@ -256,6 +260,182 @@ TEST(Team, OverheadTrackerSeesActivity) {
   EXPECT_GT(team.overhead().grand_total(), 0);
   EXPECT_GT(team.overhead().count(trace::OverheadComponent::kTaskCreate), 0u);
   EXPECT_GT(team.overhead().count(trace::OverheadComponent::kBarrier), 0u);
+}
+
+// --- nested / async reentry diagnostics ----------------------------------
+
+TEST(Team, ReentryDuringAsyncLoopNamesAsyncState) {
+  rt::Machine machine(tiny_params(9));
+  sched::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto spec = counting_loop(1, 64, seen);
+  bool done = false;
+  team.start_taskloop(spec, [&done](const rt::LoopExecStats&) { done = true; });
+  // Reentry while the async execution is in flight is not "nesting" — the
+  // diagnostic must point at the un-driven start_taskloop.
+  try {
+    team.run_taskloop(spec);
+    FAIL() << "expected reentry to throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("asynchronous"), std::string::npos)
+        << e.what();
+  }
+  machine.engine().run();
+  EXPECT_TRUE(done);
+  // Once driven to completion, the team is reusable.
+  team.run_taskloop(counting_loop(2, 32, seen));
+}
+
+TEST(Team, TrueNestedTaskloopNamesNesting) {
+  rt::Machine machine(tiny_params(10));
+  sched::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  // Re-enter run_taskloop from inside a demand function (a blocking run is
+  // on the stack): the diagnostic must say "nested".
+  auto inner_seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto inner = counting_loop(7, 8, inner_seen);
+  auto message = std::make_shared<std::string>();
+  TaskloopSpec outer;
+  outer.loop_id = 6;
+  outer.name = "outer";
+  outer.iterations = 16;
+  outer.demand = [&team, inner, message](std::int64_t, std::int64_t) {
+    if (message->empty()) {
+      try {
+        team.run_taskloop(inner);
+      } catch (const std::logic_error& e) {
+        *message = e.what();
+      }
+    }
+    return rt::TaskDemand{};
+  };
+  team.run_taskloop(outer);
+  EXPECT_NE(message->find("nested"), std::string::npos) << *message;
+}
+
+// --- task graphs ----------------------------------------------------------
+
+// A graph whose demand function counts node executions.
+rt::TaskGraphSpec counting_graph(rt::LoopId id,
+                                 std::vector<std::vector<std::int32_t>> preds,
+                                 std::shared_ptr<std::map<std::int64_t, int>> seen,
+                                 double cycles = 1e5) {
+  rt::TaskGraphSpec g;
+  g.graph_id = id;
+  g.name = "counting-graph";
+  g.preds = std::move(preds);
+  g.demand = [seen, cycles](std::int64_t b, std::int64_t) {
+    (*seen)[b] += 1;
+    rt::TaskDemand d;
+    d.cpu_cycles = cycles;
+    return d;
+  };
+  return g;
+}
+
+TEST(TaskGraph, ValidateRejectsBadGraphs) {
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  EXPECT_THROW(counting_graph(1, {}, seen).validate(), std::invalid_argument);
+  // Out-of-range predecessor.
+  EXPECT_THROW(counting_graph(1, {{3}}, seen).validate(), std::invalid_argument);
+  // Self-dependency.
+  EXPECT_THROW(counting_graph(1, {{0}}, seen).validate(), std::invalid_argument);
+  // Duplicate predecessor.
+  EXPECT_THROW(counting_graph(1, {{}, {0, 0}}, seen).validate(),
+               std::invalid_argument);
+  // Cycle: 1 -> 2 -> 1.
+  EXPECT_THROW(counting_graph(1, {{}, {2}, {1}}, seen).validate(),
+               std::invalid_argument);
+  // Missing demand.
+  rt::TaskGraphSpec g;
+  g.preds = {{}};
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  // A valid diamond passes.
+  EXPECT_NO_THROW(counting_graph(1, {{}, {0}, {0}, {1, 2}}, seen).validate());
+}
+
+TEST(TaskGraph, RunsEveryNodeExactlyOnce) {
+  rt::Machine machine(tiny_params(11));
+  sched::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  // Diamond over 6 nodes: 0 -> {1,2,3,4} -> 5.
+  const auto g = counting_graph(
+      3, {{}, {0}, {0}, {0}, {0}, {1, 2, 3, 4}}, seen);
+  const auto& stats = team.run_taskgraph(g);
+  EXPECT_EQ(stats.tasks, 6);
+  ASSERT_EQ(seen->size(), 6u);
+  for (const auto& [node, count] : *seen) EXPECT_EQ(count, 1) << "node " << node;
+}
+
+TEST(TaskGraph, RespectsDependencyOrder) {
+  rt::Machine machine(tiny_params(12));
+  sched::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  // Record the order nodes execute (demand evaluation order is commit
+  // order on the single host thread).
+  auto order = std::make_shared<std::vector<std::int64_t>>();
+  rt::TaskGraphSpec g;
+  g.graph_id = 4;
+  g.name = "chain-plus-fanout";
+  // 0 -> 1 -> 2, and 0 -> 3 (free to run any time after 0).
+  g.preds = {{}, {0}, {1}, {0}};
+  g.demand = [order](std::int64_t b, std::int64_t) {
+    order->push_back(b);
+    rt::TaskDemand d;
+    d.cpu_cycles = 5e4;
+    return d;
+  };
+  team.run_taskgraph(g);
+  ASSERT_EQ(order->size(), 4u);
+  const auto pos = [&](std::int64_t n) {
+    return std::find(order->begin(), order->end(), n) - order->begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(0), pos(3));
+}
+
+TEST(TaskGraph, DeterministicDigestAcrossReruns) {
+  const auto run = [](std::vector<std::vector<std::int32_t>> preds) {
+    rt::Machine machine(tiny_params(21));
+    machine.engine().set_digest_enabled(true);
+    sched::BaselineWsScheduler sched;
+    rt::Team team(machine, sched);
+    auto seen = std::make_shared<std::map<std::int64_t, int>>();
+    team.run_taskgraph(counting_graph(5, std::move(preds), seen));
+    return machine.engine().event_digest();
+  };
+  const std::vector<std::vector<std::int32_t>> wide{{}, {}, {0}, {1}, {2, 3}};
+  const std::vector<std::vector<std::int32_t>> chain{{}, {0}, {1}, {2}, {3}};
+  // Same graph -> bit-identical event stream; different dependency
+  // structure -> different release schedule -> different digest.
+  EXPECT_EQ(run(wide), run(wide));
+  EXPECT_NE(run(wide), run(chain));
+}
+
+TEST(TaskGraph, AsyncStartMirrorsBlockingRun) {
+  rt::Machine machine(tiny_params(13));
+  sched::BaselineWsScheduler sched;
+  rt::Team team(machine, sched);
+  auto seen = std::make_shared<std::map<std::int64_t, int>>();
+  const auto g = counting_graph(6, {{}, {0}, {0}, {1, 2}}, seen);
+  std::int64_t done_tasks = 0;
+  team.start_taskgraph(g, [&done_tasks](const rt::LoopExecStats& s) {
+    done_tasks = s.tasks;
+  });
+  // Reentry while in flight names the async state.
+  try {
+    team.run_taskgraph(g);
+    FAIL() << "expected reentry to throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("asynchronous"), std::string::npos)
+        << e.what();
+  }
+  machine.engine().run();
+  EXPECT_EQ(done_tasks, 4);
+  for (const auto& [node, count] : *seen) EXPECT_EQ(count, 1) << "node " << node;
 }
 
 }  // namespace

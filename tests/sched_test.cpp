@@ -4,13 +4,21 @@
 // env-knob / spec-key precedence rule.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/env.hpp"
+#include "rt/team.hpp"
+#include "sched/composed.hpp"
+#include "sched/policies.hpp"
 #include "sched/registry.hpp"
 #include "sched/schedulers.hpp"
+#include "topo/presets.hpp"
 
 namespace {
 
@@ -99,7 +107,7 @@ TEST(SchedRegistry, ComposedValidatesAxisValues) {
   expect_spec_error([] { (void)sched::make_scheduler("composed:config=magic"); },
                     {"config", "ptt-search/fixed/counter-only/oracle-best"});
   expect_spec_error([] { (void)sched::make_scheduler("composed:dist=round-robin"); },
-                    {"dist", "hierarchical/flat/static-block/health-weighted"});
+                    {"dist", "hierarchical/flat/static-block/health-weighted/dep-aware"});
   expect_spec_error([] { (void)sched::make_scheduler("composed:steal=polite"); },
                     {"steal", "tiered/strict/full/rescue-only/random/none"});
   expect_spec_error([] { (void)sched::make_scheduler("composed:feedback=loud"); },
@@ -215,6 +223,98 @@ TEST(SchedRegistry, IntrospectReportsResolvedSpec) {
   const rt::SchedulerInfo info = s->introspect();
   EXPECT_EQ(info.spec, sched::resolve_spec("composed:dist=flat,steal=random"));
   EXPECT_EQ(info.total_reexplorations, 0);
+}
+
+TEST(SchedRegistry, DepAwareDistIsRegistered) {
+  const auto s = sched::make_scheduler("composed:dist=dep-aware");
+  EXPECT_EQ(s->name(), "composed");
+  EXPECT_NE(sched::resolve_spec("composed:dist=dep-aware").find("dist=dep-aware"),
+            std::string::npos);
+}
+
+// --- narrowed-carve dist x mask matrix ---------------------------------------
+//
+// Every registered DistributionPolicy must place all of a taskloop's chunks
+// on workers that are actually active under the loop's config — never on the
+// parked primary of a trailing mask node. Stealing is disabled (NoSteal) so
+// a single stranded chunk deadlocks the loop instead of being silently
+// rescued: completion alone proves the placement was correct.
+
+rt::MachineParams carve_params(std::uint64_t seed) {
+  rt::MachineParams p;
+  p.spec = topo::presets::tiny_2n8c();
+  p.noise.enabled = false;
+  p.seed = seed;
+  return p;
+}
+
+rt::TaskloopSpec carve_loop(std::int64_t iters,
+                            std::shared_ptr<std::map<std::int64_t, int>> seen) {
+  rt::TaskloopSpec spec;
+  spec.loop_id = 7;
+  spec.name = "carve-matrix";
+  spec.iterations = iters;
+  spec.demand = [seen](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) (*seen)[i] += 1;
+    rt::TaskDemand d;
+    d.cpu_cycles = 1e5 * static_cast<double>(e - b);
+    return d;
+  };
+  return spec;
+}
+
+std::unique_ptr<sched::DistributionPolicy> make_dist(const std::string& name) {
+  if (name == "hierarchical") {
+    return std::make_unique<sched::HierarchicalDist>(
+        sched::HierarchicalDist::Health::kReactive);
+  }
+  if (name == "flat") return std::make_unique<sched::FlatDist>();
+  if (name == "static-block") return std::make_unique<sched::StaticBlockDist>();
+  if (name == "health-weighted") {
+    return std::make_unique<sched::HierarchicalDist>(
+        sched::HierarchicalDist::Health::kForced);
+  }
+  if (name == "dep-aware") return std::make_unique<sched::DepAwareDist>();
+  throw std::invalid_argument("make_dist: " + name);
+}
+
+TEST(SchedDist, NarrowedCarveMatrixExecutesEveryIteration) {
+  // tiny_2n8c: 2 nodes x 4 cores. Case A carves the loop onto node 1 only
+  // (all four threads live there); case B gives a two-node mask but only
+  // four threads, so node 1's workers are all parked — the narrowed carve
+  // that stranded strict-head chunks before the distributor fix.
+  struct Carve {
+    const char* label;
+    rt::NodeMask mask;
+  };
+  const Carve carves[] = {
+      {"single-node", rt::NodeMask(0b10)},
+      {"two-node-narrowed", rt::NodeMask(0b11)},
+  };
+  const char* dists[] = {"hierarchical", "flat", "static-block",
+                         "health-weighted", "dep-aware"};
+  std::uint64_t seed = 100;
+  for (const char* dist : dists) {
+    for (const Carve& carve : carves) {
+      SCOPED_TRACE(std::string(dist) + " / " + carve.label);
+      rt::LoopConfig cfg;
+      cfg.num_threads = 4;
+      cfg.node_mask = carve.mask;
+      cfg.steal_policy = rt::StealPolicy::kStrict;
+      sched::ComposedScheduler sched(
+          "composed", "composed:test-carve", core::IlanParams{},
+          std::make_unique<sched::FixedConfig>(cfg), make_dist(dist),
+          std::make_unique<sched::NoSteal>(),
+          std::make_unique<sched::NoFeedback>());
+      rt::Machine machine(carve_params(seed++));
+      rt::Team team(machine, sched);
+      auto seen = std::make_shared<std::map<std::int64_t, int>>();
+      const auto& stats = team.run_taskloop(carve_loop(96, seen));
+      EXPECT_EQ(stats.iterations, 96);
+      EXPECT_EQ(seen->size(), 96u);
+      for (const auto& [i, n] : *seen) EXPECT_EQ(n, 1) << "iteration " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -225,7 +225,8 @@ const std::vector<RuleInfo>& rules() {
 
 bool in_scope(std::string_view path) {
   for (const std::string_view dir :
-       {"sim", "core", "rt", "mem", "fault", "obs", "sched", "serve"}) {
+       {"sim", "core", "rt", "mem", "fault", "obs", "sched", "serve",
+        "kernels", "analysis"}) {
     const std::string mid = "/" + std::string(dir) + "/";
     if (path.find(mid) != std::string_view::npos) return true;
     if (path.rfind(std::string(dir) + "/", 0) == 0) return true;
@@ -244,7 +245,8 @@ std::vector<Finding> lint_tree(const std::string& src_root) {
   std::vector<Finding> all;
   bool any_dir = false;
   for (const std::string_view dir :
-       {"sim", "core", "rt", "mem", "fault", "obs", "sched", "serve"}) {
+       {"sim", "core", "rt", "mem", "fault", "obs", "sched", "serve",
+        "kernels", "analysis"}) {
     const fs::path root = fs::path(src_root) / dir;
     if (!fs::is_directory(root)) continue;
     any_dir = true;

@@ -5,7 +5,7 @@
 // modes and host thread counts". Generic tooling cannot see the
 // repo-specific ways that contract breaks, so this linter encodes them:
 //
-//   wall-clock      simulation code (src/sim|core|rt|mem|fault|sched|serve) must
+//   wall-clock      simulation code (src/sim|core|rt|mem|fault|sched|serve|kernels|analysis) must
 //                   derive time from sim::Engine, never the host clock.
 //   rand            simulation code must draw randomness from sim::rng
 //                   (seeded, self-contained), never libc/libstdc++ RNGs.
@@ -20,7 +20,7 @@
 //                   lambdas passed to schedule_at/schedule_after.
 //
 // Rules apply to files whose path lies under
-// src/{sim,core,rt,mem,fault,obs,sched,serve};
+// src/{sim,core,rt,mem,fault,obs,sched,serve,kernels,analysis};
 // other paths lint clean by construction. A finding on line N is suppressed by a
 // trailing comment on that line: // ilan-lint: allow(<rule>[,<rule>...]).
 #pragma once
@@ -47,7 +47,7 @@ struct RuleInfo {
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
 // True when scoped rules apply to `path` (under sim/, core/, rt/, mem/,
-// fault/, obs/, sched/ or serve/).
+// fault/, obs/, sched/, serve/, kernels/ or analysis/).
 [[nodiscard]] bool in_scope(std::string_view path);
 
 // Lints one translation unit. `path` decides rule scope; `source` is the
@@ -55,7 +55,7 @@ struct RuleInfo {
 [[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
                                                std::string_view source);
 
-// Lints every *.hpp/*.cpp under src_root/{sim,core,rt,mem,fault,obs,sched,serve}.
+// Lints every *.hpp/*.cpp under src_root/{sim,core,rt,mem,fault,obs,sched,serve,kernels,analysis}.
 // Throws std::runtime_error when src_root has none of those directories (a wrong
 // path must not pass as clean).
 [[nodiscard]] std::vector<Finding> lint_tree(const std::string& src_root);

@@ -9,6 +9,7 @@
 #   tools/run_tier1.sh sched                      # scheduler-registry gate
 #   tools/run_tier1.sh solver                     # incremental-solver gate
 #   tools/run_tier1.sh serve                      # serving-layer SLO gate
+#   tools/run_tier1.sh dag                        # task-graph gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -57,6 +58,13 @@
 # nominal-SLO gate (shed-rate floor + p99 bound). Runs on the primary
 # build and then under ASan and TSan — admission, deadline watchdogs,
 # backoff and breakers must stay bit-deterministic with instrumentation.
+#
+# `dag` is the task-graph gate: the task-graph unit tests (rt + analysis
+# release-edge races + sched narrowed-carve matrix) and
+# `bench/selfcheck --dag` (2-run digest + metrics parity and race-audit
+# cleanliness for every DAG kernel under the standard schedulers plus
+# dist=dep-aware, and jobs=1-vs-4 run_many parity over the DAG path). Runs
+# on the primary build and then under ASan and TSan.
 #
 # `solver` is the incremental-solver gate: the FlowNetwork unit tests
 # (including the randomized full-vs-delta equivalence test), the
@@ -161,6 +169,25 @@ run_sched_one() {
   "./$build_dir/tests/test_sched_equivalence"
 }
 
+run_dag_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target selfcheck test_rt test_analysis test_sched
+  echo "== task-graph unit tests (${san:-plain}) =="
+  "./$build_dir/tests/test_rt" --gtest_filter='TaskGraph.*:Team.*'
+  "./$build_dir/tests/test_analysis" --gtest_filter='RaceAuditorGraph.*'
+  "./$build_dir/tests/test_sched" --gtest_filter='SchedDist.*:SchedRegistry.DepAware*'
+  echo "== selfcheck --dag (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --dag
+}
+
 run_solver_one() {
   local san="$1" build_dir
   case "$san" in
@@ -238,6 +265,13 @@ case "$mode" in
       run_sched_one "$san"
     done
     ;;
+  dag)
+    run_dag_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_dag_one "$san"
+    done
+    ;;
   solver)
     run_solver_one ""
     for san in address thread; do
@@ -253,7 +287,7 @@ case "$mode" in
     done
     ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|solver|serve]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|dag|solver|serve]" >&2
     exit 2
     ;;
 esac
