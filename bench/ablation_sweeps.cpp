@@ -5,6 +5,11 @@
 //      moldability win depends on the interference model).
 //   D. distribution x steal policy grid via the scheduler registry
 //      (hierarchical vs flat distribution under strict vs full stealing).
+//   E. topology dimension: every registered scheduler across every
+//      registered ILAN_TOPO topology (zen4, tiny, small, quad, cxl,
+//      hetero), so scheduler rankings are checked off the paper platform —
+//      far memory, heterogeneous cores and a 4-socket box included. Each
+//      cell's BENCH json entry records the resolved topo spec.
 // Run on the two moldability-sensitive benchmarks (CG, SP).
 //
 // Sweeps A, B and D drive the shared harness with registry spec strings
@@ -21,6 +26,7 @@
 #include "obs/env.hpp"
 #include "rt/team.hpp"
 #include "sched/registry.hpp"
+#include "topo/registry.hpp"
 
 using namespace ilan;
 
@@ -55,6 +61,7 @@ double run_model_sweep(const std::string& kernel, const kernels::KernelOptions& 
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = obs::parse_env_int("ILAN_ABLATION_RUNS", 5, 1, 1000);
   const auto opts = bench::env_kernel_options();
   const std::vector<std::string> kernels_to_run = {"cg", "sp"};
@@ -115,6 +122,27 @@ int main(int argc, char** argv) {
       }
     }
     t.print(std::cout);
+  }
+
+  std::cout << "\n== Ablation E: topology dimension (every registered scheduler x "
+               "topology) ==\n\n";
+  {
+    const auto topologies = topo::TopologyRegistry::instance().names();
+    std::vector<std::string> header{"benchmark", "scheduler"};
+    header.insert(header.end(), topologies.begin(), topologies.end());
+    trace::Table t(std::move(header));
+    for (const auto& k : kernels_to_run) {
+      for (const auto& sched_name : sched::SchedulerRegistry::instance().names()) {
+        std::vector<std::string> row{k, sched_name};
+        for (const auto& topo_name : topologies) {
+          const obs::ScopedEnv topo_env("ILAN_TOPO", topo_name);
+          row.push_back(trace::Table::fmt(run_spec(k, sched_name, opts, runs), 4));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n(resolved topo spec per cell: BENCH json \"topo\" field)\n";
   }
   return 0;
 }

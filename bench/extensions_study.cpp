@@ -54,6 +54,7 @@ Outcome run(const std::string& kernel, const std::string& spec, int runs,
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = obs::parse_env_int("ILAN_EXT_RUNS", 5, 1, 1000);
   const auto opts = bench::env_kernel_options();
 

@@ -12,6 +12,7 @@ using namespace ilan;
 int main(int argc, char** argv) {
   if (bench::selfcheck_requested(argc, argv)) return bench::selfcheck_main();
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = bench::env_runs(30);
   const auto opts = bench::env_kernel_options();
 

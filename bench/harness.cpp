@@ -20,7 +20,9 @@
 #include "obs/env.hpp"
 #include "rt/team.hpp"
 #include "sched/registry.hpp"
+#include "topo/format.hpp"
 #include "topo/presets.hpp"
+#include "topo/registry.hpp"
 #include "trace/chrome_trace.hpp"
 
 namespace ilan::bench {
@@ -83,9 +85,29 @@ int list_schedulers_main() {
   return 0;
 }
 
+bool list_topologies_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--list-topologies") {
+      return true;
+    }
+  }
+  return false;
+}
+
+int list_topologies_main() {
+  const auto& reg = topo::TopologyRegistry::instance();
+  std::printf("registered topologies (spec grammar: name[:key=value,...]):\n\n");
+  for (const auto& name : reg.names()) {
+    std::printf("  %-14s %s\n", name.c_str(), reg.description(name).c_str());
+    std::printf("  %-14s default spec: %s\n", "", reg.resolve(name).c_str());
+  }
+  std::printf("\nselect via ILAN_TOPO (single spec; default zen4)\n");
+  return 0;
+}
+
 rt::MachineParams paper_machine(std::uint64_t seed) {
   rt::MachineParams p;
-  p.spec = topo::presets::zen4_epyc9354_2s();
+  p.spec = topo::machine_spec_from_env();
   // Calibrated model parameters (== MemParams defaults; spelled out here so
   // the experiment configuration is explicit and greppable).
   p.mem.remote_eff_exponent = 0.22;
@@ -393,6 +415,7 @@ struct BenchEntry {
   std::string kernel;
   std::string sched;  // the spec the caller asked for (table/figure label)
   std::string spec;   // fully-resolved spec the runs executed with
+  std::string topo;   // fully-resolved ILAN_TOPO spec the runs simulated
   int runs = 0;
   int jobs = 0;
   int failures = 0;   // quarantined (watchdog/error) runs in the series
@@ -491,6 +514,7 @@ void write_bench_json() {
     const double evps = e.host_s > 0.0 ? static_cast<double>(e.events) / e.host_s : 0.0;
     std::fprintf(f,
                  "%s\n    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"spec\": \"%s\", "
+                 "\"topo\": \"%s\", "
                  "\"runs\": %d, "
                  "\"jobs\": %d, \"failures\": %d, \"watchdogs\": %d, \"errors\": %d, "
                  "\"retry_attempts\": %d,\n     \"host_s\": %.6g, \"events\": %llu, "
@@ -503,7 +527,7 @@ void write_bench_json() {
                  "                \"delta_solves\": %llu, \"delta_rounds_reused\": %llu, "
                  "\"delta_rounds_total\": %llu, \"hit_rate\": %.4f}",
                  first ? "" : ",", e.kernel.c_str(), e.sched.c_str(), e.spec.c_str(),
-                 e.runs, e.jobs, e.failures, e.watchdogs, e.errors,
+                 e.topo.c_str(), e.runs, e.jobs, e.failures, e.watchdogs, e.errors,
                  e.retry_attempts, e.host_s, static_cast<unsigned long long>(e.events),
                  static_cast<unsigned long long>(e.digest), evps, e.sim.mean,
                  e.sim.median, e.sim.stddev, e.sim.min, e.sim.max,
@@ -567,6 +591,9 @@ void register_series(const std::string& kernel, const std::string& sched_spec,
     }
   }
   if (e.spec.empty()) e.spec = sched::resolve_spec(sched_spec);
+  // The topology is process-global (ILAN_TOPO), resolved to its canonical
+  // form so the json names the machine the series actually simulated.
+  e.topo = topo::resolve_topo_spec(topo::env_topo_spec());
   e.runs = static_cast<int>(s.runs.size());
   e.jobs = jobs;
   e.failures = s.failed_count();
@@ -1251,6 +1278,115 @@ int selfcheck_serve_main() {
     return 0;
   }
   std::printf("selfcheck --serve: %d failure(s)\n", failures);
+  return 1;
+}
+
+// --- topology mode ---------------------------------------------------------
+
+bool topo_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i] == nullptr ? "" : argv[i]) == "--topo") return true;
+  }
+  return false;
+}
+
+// Cross-topology selfcheck: every registered topology must be as
+// deterministic as the default one — 2-run digest + metrics parity with the
+// race auditor riding run A, and run_many jobs=1-vs-4 per-run digest parity
+// — plus the compatibility anchor that keeps the spec-driven axis honest:
+// the default machine (unset ILAN_TOPO) is spec-identical to the legacy
+// hard-coded zen4 preset and digest-identical to an explicit ILAN_TOPO=zen4
+// run.
+int selfcheck_topo_main() {
+  kernels::KernelOptions opts = env_kernel_options();
+  if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 2;
+  const obs::ScopedEnv no_watchdog("ILAN_WATCHDOG", "0");
+  const obs::ScopedEnv no_faults("ILAN_FAULTS", "none");
+  const obs::ScopedEnv metrics_env("ILAN_METRICS", "1");
+
+  int failures = 0;
+  std::printf("%-8s %-8s %-13s %10s %16s  %s\n", "topology", "kernel", "scheduler",
+              "events", "digest", "status");
+  for (const auto& name : topo::TopologyRegistry::instance().names()) {
+    const obs::ScopedEnv topo_env("ILAN_TOPO", name);
+    for (const auto& kind : {std::string("ilan"), std::string("baseline")}) {
+      const SelfcheckResult r = selfcheck("cg", kind, /*seed=*/42, opts);
+      std::printf("%-8s %-8s %-13s %10llu %016llx  %s\n", name.c_str(),
+                  r.kernel.c_str(), r.sched.c_str(),
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.digest_a),
+                  r.ok() ? "ok" : "FAIL");
+      if (!r.deterministic) {
+        std::printf("  nondeterministic: digest %016llx vs %016llx; %s\n",
+                    static_cast<unsigned long long>(r.digest_a),
+                    static_cast<unsigned long long>(r.digest_b),
+                    r.divergence.c_str());
+      }
+      if (r.audit_reports != 0) {
+        std::printf("  %zu auditor report(s); first: %s\n", r.audit_reports,
+                    r.first_report.c_str());
+      }
+      if (!r.ok()) ++failures;
+    }
+
+    // run_many parity: per-run digests, metrics digests and statuses
+    // identical no matter how many pool workers ran the series.
+    Series seq;
+    Series par;
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "1");
+      seq = run_many("cg", "ilan", 4, /*base_seed=*/42, opts);
+    }
+    {
+      const obs::ScopedEnv jobs_env("ILAN_BENCH_JOBS", "4");
+      par = run_many("cg", "ilan", 4, /*base_seed=*/42, opts);
+    }
+    bool jobs_ok = seq.runs.size() == par.runs.size();
+    if (jobs_ok) {
+      for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+        jobs_ok = jobs_ok && seq.runs[i].event_digest == par.runs[i].event_digest &&
+                  seq.runs[i].metrics_digest == par.runs[i].metrics_digest &&
+                  seq.runs[i].status == par.runs[i].status;
+      }
+    }
+    std::printf("%-8s run_many jobs=1 vs jobs=4: digests %s\n", name.c_str(),
+                jobs_ok ? "identical" : "DIFFER");
+    if (!jobs_ok) ++failures;
+  }
+
+  // Compatibility anchor. Spec level: the default machine is the legacy
+  // preset, field for field (serialize() covers every MachineSpec field).
+  // Digest level: unset ILAN_TOPO and explicit "zen4" produce bit-identical
+  // simulations.
+  {
+    std::uint64_t digest_default = 0;
+    std::uint64_t digest_zen4 = 0;
+    bool spec_ok = false;
+    {
+      const obs::ScopedEnv topo_env("ILAN_TOPO");  // unset -> default
+      spec_ok = topo::serialize(topo::machine_spec_from_env()) ==
+                topo::serialize(topo::presets::zen4_epyc9354_2s());
+      digest_default = run_once("cg", "ilan", /*seed=*/42, opts).event_digest;
+    }
+    {
+      const obs::ScopedEnv topo_env("ILAN_TOPO", "zen4");
+      digest_zen4 = run_once("cg", "ilan", /*seed=*/42, opts).event_digest;
+    }
+    const bool ok = spec_ok && digest_default == digest_zen4;
+    std::printf("default == legacy zen4 preset: spec %s, digest %016llx vs %016llx %s\n",
+                spec_ok ? "identical" : "DIFFERS",
+                static_cast<unsigned long long>(digest_default),
+                static_cast<unsigned long long>(digest_zen4),
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("selfcheck --topo: all topologies deterministic, default machine "
+                "anchored to the legacy preset\n");
+    return 0;
+  }
+  std::printf("selfcheck --topo: %d failure(s)\n", failures);
   return 1;
 }
 

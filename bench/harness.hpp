@@ -34,6 +34,12 @@
 //                         binaries (specs contain ','), e.g.
 //                         "baseline;ilan:mold=off;composed:dist=flat".
 //                         Default: baseline;work-sharing;ilan;ilan-nomold
+//   ILAN_TOPO             topology spec (topo/registry.hpp grammar
+//                         name[:key=value,...]) selecting the simulated
+//                         machine, e.g. "zen4", "quad", "cxl:far_bw=24",
+//                         "hetero:e_per_ccd=2". Default "zen4" — bit-
+//                         identical to the legacy hard-coded paper preset.
+//                         The resolved spec is recorded in BENCH json
 //
 // All knobs are parsed strictly (obs/env.hpp): a malformed value throws
 // std::invalid_argument naming the variable instead of silently running
@@ -79,8 +85,14 @@ namespace ilan::bench {
 [[nodiscard]] bool list_schedulers_requested(int argc, char** argv);
 int list_schedulers_main();
 
-// The evaluation platform (Section 4.1) with calibrated memory-model
-// parameters.
+// The --list-topologies harness mode: prints each registered topology with
+// its description and resolved default spec, then exits 0.
+[[nodiscard]] bool list_topologies_requested(int argc, char** argv);
+int list_topologies_main();
+
+// The evaluation platform with calibrated memory-model parameters. The
+// machine structure resolves through ILAN_TOPO (topo registry); the default
+// is the paper platform (Section 4.1), bit-identical to the legacy preset.
 [[nodiscard]] rt::MachineParams paper_machine(std::uint64_t seed);
 
 // How a run ended. kWatchdog and kError runs stay in the series (slot order
@@ -279,5 +291,13 @@ struct ServeRun {
 // the circuit breaker).
 [[nodiscard]] bool serve_requested(int argc, char** argv);
 int selfcheck_serve_main();
+
+// The --topo selfcheck mode: for every registered topology, 2-run digest +
+// metrics parity and run_many jobs=1 vs jobs=4 parity under ILAN_TOPO, plus
+// the compatibility anchor — the default (unset ILAN_TOPO) machine must be
+// spec-identical to the legacy hard-coded zen4 preset and digest-identical
+// to an explicit ILAN_TOPO=zen4 run.
+[[nodiscard]] bool topo_requested(int argc, char** argv);
+int selfcheck_topo_main();
 
 }  // namespace ilan::bench

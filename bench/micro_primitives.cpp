@@ -12,7 +12,7 @@
 #include "rt/ws_deque.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
-#include "topo/presets.hpp"
+#include "topo/registry.hpp"
 
 using namespace ilan;
 
@@ -190,7 +190,7 @@ void BM_PttRecordAndQuery(benchmark::State& state) {
 BENCHMARK(BM_PttRecordAndQuery);
 
 void BM_TopologyNodesByDistance(benchmark::State& state) {
-  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  const auto topo = topo::build(topo::machine_spec_from_env());
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.nodes_by_distance(topo::NodeId{3}));
   }
@@ -198,7 +198,7 @@ void BM_TopologyNodesByDistance(benchmark::State& state) {
 BENCHMARK(BM_TopologyNodesByDistance);
 
 void BM_CacheAccess(benchmark::State& state) {
-  const auto topo = topo::build(topo::presets::zen4_epyc9354_2s());
+  const auto topo = topo::build(topo::machine_spec_from_env());
   mem::CacheModel cache(topo, mem::CacheParams{});
   sim::Xoshiro256ss rng(9);
   for (auto _ : state) {

@@ -80,6 +80,7 @@ Contrast contrast_run(const std::string& kernel, rt::StealPolicy policy,
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = obs::parse_env_int("ILAN_REPORT_RUNS", 2, 1, 1000);
   auto opts = bench::env_kernel_options();
   if (std::getenv("ILAN_BENCH_TIMESTEPS") == nullptr) opts.timesteps = 3;

@@ -17,6 +17,7 @@ using namespace ilan;
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = obs::parse_env_int("ILAN_REPORT_RUNS", 3, 1, 1000);
   const auto opts = bench::env_kernel_options();
 

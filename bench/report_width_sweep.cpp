@@ -50,6 +50,7 @@ double run_width(const std::string& kernel, int width,
 
 int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) return bench::list_schedulers_main();
+  if (bench::list_topologies_requested(argc, argv)) return bench::list_topologies_main();
   const int runs = obs::parse_env_int("ILAN_SWEEP_RUNS", 1, 1, 1000);
   auto opts = bench::env_kernel_options();
   if (opts.timesteps == 0) opts.timesteps = 20;  // steady-state view

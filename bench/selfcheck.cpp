@@ -14,11 +14,21 @@
 // --dag switches to the task-graph selfcheck: the same parity + audit
 // checks over the DAG kernels (lu-dag, treered, dphim), including the
 // dep-aware distribution policy.
+//
+// --topo switches to the cross-topology selfcheck: 2-run digest + metrics
+// parity and jobs=1 vs jobs=4 parity for every registered ILAN_TOPO
+// topology, plus the default == legacy-zen4-preset anchor.
 #include "harness.hpp"
 
 int main(int argc, char** argv) {
   if (ilan::bench::list_schedulers_requested(argc, argv)) {
     return ilan::bench::list_schedulers_main();
+  }
+  if (ilan::bench::list_topologies_requested(argc, argv)) {
+    return ilan::bench::list_topologies_main();
+  }
+  if (ilan::bench::topo_requested(argc, argv)) {
+    return ilan::bench::selfcheck_topo_main();
   }
   if (ilan::bench::faults_requested(argc, argv)) {
     return ilan::bench::selfcheck_faults_main();

@@ -101,6 +101,9 @@ int main(int argc, char** argv) {
   if (bench::list_schedulers_requested(argc, argv)) {
     return bench::list_schedulers_main();
   }
+  if (bench::list_topologies_requested(argc, argv)) {
+    return bench::list_topologies_main();
+  }
   if (bench::serve_requested(argc, argv) || bench::selfcheck_requested(argc, argv)) {
     return bench::selfcheck_serve_main();
   }

@@ -9,7 +9,7 @@
 
 #include "sched/schedulers.hpp"
 #include "rt/team.hpp"
-#include "topo/presets.hpp"
+#include "topo/registry.hpp"
 
 using namespace ilan;
 
@@ -71,7 +71,7 @@ int main() {
   std::printf("%-8s %12s %12s\n", "threads", "compute_ms", "gather_ms");
   for (const int width : {64, 48, 32, 24, 16, 8}) {
     rt::MachineParams params;
-    params.spec = topo::presets::zen4_epyc9354_2s();
+    params.spec = topo::machine_spec_from_env();
     params.noise.enabled = false;
     params.seed = 7;
     rt::Machine machine(params);
@@ -93,7 +93,7 @@ int main() {
 
   std::printf("\n== what ILAN's search selects ==\n\n");
   rt::MachineParams params;
-  params.spec = topo::presets::zen4_epyc9354_2s();
+  params.spec = topo::machine_spec_from_env();
   params.noise.enabled = false;
   params.seed = 7;
   rt::Machine machine(params);

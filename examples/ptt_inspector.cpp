@@ -6,7 +6,7 @@
 #include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
 #include "rt/team.hpp"
-#include "topo/presets.hpp"
+#include "topo/registry.hpp"
 
 using namespace ilan;
 
@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   const std::string kernel = argc > 1 ? argv[1] : "sp";
 
   rt::MachineParams params;
-  params.spec = topo::presets::zen4_epyc9354_2s();
+  params.spec = topo::machine_spec_from_env();
   params.seed = 31;
   rt::Machine machine(params);
   sched::IlanScheduler sched;

@@ -10,15 +10,16 @@
 
 #include "sched/schedulers.hpp"
 #include "rt/team.hpp"
-#include "topo/presets.hpp"
+#include "topo/registry.hpp"
 
 using namespace ilan;
 
 int main() {
-  // 1. A machine: dual-socket 64-core Zen 4, 8 NUMA nodes (the paper's
-  //    platform). Seed selects the run's noise realization.
+  // 1. A machine: resolved from ILAN_TOPO (default "zen4" — dual-socket
+  //    64-core Zen 4, 8 NUMA nodes, the paper's platform). Seed selects the
+  //    run's noise realization.
   rt::MachineParams params;
-  params.spec = topo::presets::zen4_epyc9354_2s();
+  params.spec = topo::machine_spec_from_env();
   params.seed = 2025;
   rt::Machine machine(params);
   std::printf("machine: %s — %d cores, %d NUMA nodes, %d CCDs\n\n",

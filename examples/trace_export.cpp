@@ -10,7 +10,7 @@
 #include "sched/schedulers.hpp"
 #include "kernels/kernels.hpp"
 #include "rt/team.hpp"
-#include "topo/presets.hpp"
+#include "topo/registry.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/energy.hpp"
 
@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::string path = argc > 2 ? argv[2] : "ilan_trace.json";
 
   rt::MachineParams params;
-  params.spec = topo::presets::zen4_epyc9354_2s();
+  params.spec = topo::machine_spec_from_env();
   params.seed = 5;
   rt::Machine machine(params);
   sched::IlanScheduler sched;

@@ -118,7 +118,7 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
                                        int remote_chunk, bool escalate,
                                        CrossNodeMode cross) {
   rt::AcquireResult r;
-  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue, w.core);
   if (auto t = w.deque.pop_front()) {
     r.task = std::move(t);
     return r;
@@ -131,13 +131,13 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
     rt::Worker& victim = team.worker(vid);
     if (victim.deque.empty()) continue;
     if (auto t = victim.deque.steal_back(/*allow_strict=*/true)) {
-      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit, w.core);
       team.note_steal(/*remote=*/false);
       r.task = std::move(t);
       return r;
     }
   }
-  r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+  r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss, w.core);
 
   // Inter-node stealing: only under the full policy, only once this node is
   // fully idle (its queues are — we just drained them), only stealable
@@ -162,8 +162,8 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
       if (victim.deque.empty()) continue;
       probed_any = true;
       if (auto t = victim.deque.steal_back(/*allow_strict=*/rescue)) {
-        r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
-        r.cost += team.costs().charge(trace::OverheadComponent::kRemoteSteal);
+        r.cost += team.costs().charge(trace::OverheadComponent::kStealHit, w.core);
+        r.cost += team.costs().charge(trace::OverheadComponent::kRemoteSteal, w.core);
         team.note_steal(/*remote=*/true);
         if (rescue) team.note_escalated_steal();
         // Chunked migration: bring additional stealable tasks home in the
@@ -171,7 +171,7 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
         for (int extra = 1; extra < remote_chunk; ++extra) {
           auto more = victim.deque.steal_back(/*allow_strict=*/rescue);
           if (!more) break;
-          r.cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+          r.cost += team.costs().charge(trace::OverheadComponent::kEnqueue, w.core);
           team.note_steal(/*remote=*/true);
           if (rescue) team.note_escalated_steal();
           w.deque.push_back(std::move(*more));
@@ -182,7 +182,7 @@ rt::AcquireResult acquire_hierarchical(rt::Team& team, rt::Worker& w,
     }
     if (probed_any) {
       // Non-empty queues but nothing stealable (NUMA-strict head only).
-      r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss, w.core);
     }
   }
   return r;

@@ -45,7 +45,20 @@ MemorySystem::MemorySystem(sim::Engine& engine, const topo::Topology& topo,
       eff_table_[s * nn + h] = std::pow(10.0 / dist, params_.remote_eff_exponent);
     }
   }
+  far_present_ = topo_.has_far_tier();
+  far_eff_.assign(nn, 1.0);
+  if (far_present_) {
+    far_stream_bytes_.resize(nn);
+    for (std::size_t i = 0; i < nn; ++i) {
+      const auto& node = topo_.node(topo::NodeId{static_cast<std::int32_t>(i)});
+      if (node.far.present()) {
+        far_eff_[i] =
+            std::pow(node.mem_latency_ns / node.far.latency_ns, params_.remote_eff_exponent);
+      }
+    }
+  }
   controller_c_.assign(nn, -1);
+  far_c_.assign(nn, -1);
   core_c_.assign(static_cast<std::size_t>(topo_.num_cores()), -1);
   link_c_.assign(static_cast<std::size_t>(topo_.num_sockets()) *
                      static_cast<std::size_t>(topo_.num_sockets()),
@@ -157,9 +170,25 @@ void MemorySystem::build_flows(ExecRecord& rec,
     }
   }
 
+  // Far-tier split: on machines with a CXL tier, the fraction of a node's
+  // placed bytes that overflows its near DRAM capacity is served from the
+  // far device — those bytes become separate flows that also cross the
+  // device constraint. Tierless machines skip the block entirely (no new
+  // float ops on the default path).
+  if (far_present_) {
+    std::fill(far_stream_bytes_.begin(), far_stream_bytes_.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (stream_bytes_[i] <= 0.0) continue;
+      const double ff = far_fraction(i);
+      if (ff <= 0.0) continue;
+      far_stream_bytes_[i] = stream_bytes_[i] * ff;
+      stream_bytes_[i] -= far_stream_bytes_[i];
+    }
+  }
+
   // Merge sub-threshold flows into the largest same-kind flow so no bytes
   // are lost but the solver sees few flows.
-  const auto emit = [&](std::vector<double>& by_node, bool gather) {
+  const auto emit = [&](std::vector<double>& by_node, bool gather, bool far) {
     std::size_t largest = n;
     double largest_v = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -179,7 +208,8 @@ void MemorySystem::build_flows(ExecRecord& rec,
     by_node[largest] += merged;
     for (std::size_t i = 0; i < n; ++i) {
       if (by_node[i] <= 0.0) continue;
-      rec.flows.push_back(FlowState{static_cast<std::int32_t>(i), gather, by_node[i], 0.0});
+      rec.flows.push_back(
+          FlowState{static_cast<std::int32_t>(i), gather, by_node[i], 0.0, far});
       node_src_bytes_[i] += by_node[i];
       const topo::NodeId src{static_cast<std::int32_t>(i)};
       if (src == home) {
@@ -192,7 +222,8 @@ void MemorySystem::build_flows(ExecRecord& rec,
       }
     }
   };
-  emit(stream_bytes_, /*gather=*/false);
+  emit(stream_bytes_, /*gather=*/false, /*far=*/false);
+  if (far_present_) emit(far_stream_bytes_, /*gather=*/false, /*far=*/true);
 
   // Gathers aggregate into ONE latency-bound flow per task: a dependent
   // load chain has one outstanding miss stream no matter how many
@@ -301,6 +332,22 @@ double MemorySystem::controller_cap(
   return n.mem_bw_gbps * bw_scale_[node] * kGB / derate;
 }
 
+double MemorySystem::far_fraction(std::size_t node) const {
+  const auto& info = topo_.node(topo::NodeId{static_cast<std::int32_t>(node)});
+  if (!info.far.present()) return 0.0;
+  // Placement-driven spill: near DRAM holds the first mem_bytes of whatever
+  // first-touch/interleave placed on this node; the overflow lives on the
+  // far device. Deterministic because placement is.
+  double placed = 0.0;
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    const DataRegion& reg = regions_.get(static_cast<RegionId>(r));
+    placed += static_cast<double>(reg.pages_per_node()[node]) *
+              static_cast<double>(reg.page_bytes());
+  }
+  if (placed <= info.mem_bytes) return 0.0;
+  return (placed - info.mem_bytes) / placed;
+}
+
 void MemorySystem::append_exec_flows(ExecRecord& rec) {
   const auto& core = topo_.core(rec.core);
   const topo::NodeId home = core.node;
@@ -329,14 +376,24 @@ void MemorySystem::append_exec_flows(ExecRecord& rec) {
       controller_c_[src_i] = net_.add_constraint(topo_.node(src).mem_bw_gbps * kGB);
     }
     ++controller_live_[src_i];
-    const double eff = eff_to(src, home);
+    // Far-tier flows compose the distance efficiency with the device's
+    // latency handicap and additionally cross the per-node device
+    // constraint; eff stays the plain distance factor everywhere else
+    // (far_eff_ is 1.0 only on tierless nodes, never multiplied here).
+    const double eff = f.far ? eff_to(src, home) * far_eff_[src_i] : eff_to(src, home);
     const double cap = core.core_bw_gbps * kGB * eff;
     // Remote flows occupy controller/link capacity longer per delivered
     // byte (latency-limited MLP): weight = 1/eff.
     const double weight = 1.0 / eff;
 
-    FlowNetwork::ConstraintIdx constraints[3];
+    FlowNetwork::ConstraintIdx constraints[4];
     int nc = 0;
+    if (f.far) {
+      if (far_c_[src_i] < 0) {
+        far_c_[src_i] = net_.add_constraint(topo_.node(src).far.bw_gbps * kGB);
+      }
+      constraints[nc++] = far_c_[src_i];
+    }
     constraints[nc++] = controller_c_[src_i];
     constraints[nc++] = core_c_[rec.core.index()];
     const auto s_src = topo_.socket_of(src);
@@ -366,6 +423,7 @@ void MemorySystem::tombstone_flow(FlowState& f) {
 void MemorySystem::compact_network() {
   net_.clear();
   std::fill(controller_c_.begin(), controller_c_.end(), -1);
+  std::fill(far_c_.begin(), far_c_.end(), -1);
   std::fill(core_c_.begin(), core_c_.end(), -1);
   std::fill(link_c_.begin(), link_c_.end(), -1);
   std::fill(controller_live_.begin(), controller_live_.end(), 0);
@@ -583,6 +641,7 @@ void MemorySystem::check_against_fresh(
     if (streams_on_controller[i] <= 0.0) continue;
     controller_c[i] = net.add_constraint(controller_cap(i, streams_on_controller));
   }
+  std::vector<FlowNetwork::ConstraintIdx> far_c(nn, -1);
   std::vector<FlowNetwork::ConstraintIdx> link_c(ns * ns, -1);
   std::vector<FlowNetwork::ConstraintIdx> core_c(
       static_cast<std::size_t>(topo_.num_cores()), -1);
@@ -602,11 +661,18 @@ void MemorySystem::check_against_fresh(
         continue;
       }
       const topo::NodeId src{f.src_node};
-      const double eff = eff_to(src, home);
+      const auto src_i = static_cast<std::size_t>(f.src_node);
+      const double eff = f.far ? eff_to(src, home) * far_eff_[src_i] : eff_to(src, home);
       const double weight = 1.0 / eff;
-      FlowNetwork::ConstraintIdx constraints[3];
+      FlowNetwork::ConstraintIdx constraints[4];
       int nc = 0;
-      constraints[nc++] = controller_c[static_cast<std::size_t>(f.src_node)];
+      if (f.far) {
+        if (far_c[src_i] < 0) {
+          far_c[src_i] = net.add_constraint(topo_.node(src).far.bw_gbps * kGB);
+        }
+        constraints[nc++] = far_c[src_i];
+      }
+      constraints[nc++] = controller_c[src_i];
       constraints[nc++] = core_c[rec.core.index()];
       const auto s_src = topo_.socket_of(src);
       const auto s_dst = core.socket;
@@ -661,7 +727,7 @@ std::vector<MemorySystem::ExecSnapshot> MemorySystem::snapshot() const {
     s.core = rec.core;
     s.cpu_remaining = rec.cpu_remaining;
     for (const auto& f : rec.flows) {
-      s.flows.push_back({f.src_node, f.gather, f.remaining, f.rate});
+      s.flows.push_back({f.src_node, f.gather, f.remaining, f.rate, f.far});
     }
     out.push_back(std::move(s));
   }
@@ -678,6 +744,7 @@ void MemorySystem::reset_run() {
   // Discard the persistent network: the next resolve rebuilds from scratch.
   net_.clear();
   std::fill(controller_c_.begin(), controller_c_.end(), -1);
+  std::fill(far_c_.begin(), far_c_.end(), -1);
   std::fill(core_c_.begin(), core_c_.end(), -1);
   std::fill(link_c_.begin(), link_c_.end(), -1);
   std::fill(controller_live_.begin(), controller_live_.end(), 0);

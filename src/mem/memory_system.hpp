@@ -184,6 +184,9 @@ class MemorySystem {
       bool gather;
       double remaining_bytes;
       double rate_bytes_per_s;
+      // Served from the node's CXL far-memory tier (always false on
+      // tierless machines).
+      bool far = false;
     };
     std::vector<FlowSnapshot> flows;
   };
@@ -195,6 +198,10 @@ class MemorySystem {
     bool gather;
     double remaining;  // bytes
     double rate;       // bytes/s
+    // Far-tier stream: crosses the node's CXL device constraint in addition
+    // to the controller. Never true for gather flows or on tierless
+    // machines.
+    bool far = false;
     // This flow's slot in the persistent network; -1 once drained
     // (tombstoned) or when the flow was born below the drain threshold.
     FlowNetwork::FlowIdx net_idx = -1;
@@ -237,6 +244,10 @@ class MemorySystem {
   }
   [[nodiscard]] double controller_cap(std::size_t node,
                                       const std::vector<double>& streams_on_controller) const;
+  // Fraction of node `node`'s currently placed bytes that overflow its near
+  // DRAM capacity into the far tier (0 on tierless nodes). Placement-driven:
+  // first-touch grows it as pages land.
+  [[nodiscard]] double far_fraction(std::size_t node) const;
   void advance(ExecRecord& rec, sim::SimTime now);
   [[nodiscard]] sim::SimTime eta(const ExecRecord& rec, sim::SimTime now) const;
   void complete(ExecId id);
@@ -269,6 +280,7 @@ class MemorySystem {
 
   // Scratch buffers reused across resolves.
   std::vector<double> stream_bytes_;
+  std::vector<double> far_stream_bytes_;  // far-tier split of stream_bytes_
   std::vector<double> gather_bytes_;
   std::vector<double> streams_scratch_;
   std::vector<double> bytes_scratch_;  // build_flows per-access distribution
@@ -277,6 +289,11 @@ class MemorySystem {
   // pair — the same pow() the network build and gather_cap_for used to
   // evaluate per flow per resolve. Row-major: src * num_nodes + home.
   std::vector<double> eff_table_;
+  // Per-node far-tier efficiency factor (near_lat / far_lat)^exponent,
+  // multiplied into the distance efficiency of far flows. 1.0 on tierless
+  // nodes (never read there: far flows only exist where the tier does).
+  std::vector<double> far_eff_;
+  bool far_present_ = false;  // topo.has_far_tier(), cached
 
   // The persistent incremental network. Profiling killed the alternative —
   // an LRU cache of immutable networks keyed by a structural signature:
@@ -303,6 +320,11 @@ class MemorySystem {
   std::vector<FlowNetwork::ConstraintIdx> controller_c_;  // per node, -1 = none
   std::vector<FlowNetwork::ConstraintIdx> core_c_;        // per core, -1 = none
   std::vector<FlowNetwork::ConstraintIdx> link_c_;  // per (src,dst) socket, -1
+  // Per-node CXL far-tier device constraint, -1 = none yet. Created lazily
+  // like the others, so it NEVER exists on tierless machines — the
+  // persistent network (and its delta-solve behavior) is bit-identical to
+  // the pre-tier code there.
+  std::vector<FlowNetwork::ConstraintIdx> far_c_;
   std::vector<std::int32_t> controller_live_;  // live stream members per node
   // Set by append/tombstone: the next resolve must re-level even if no
   // capacity moved. Cleared by the solve decision.

@@ -1,6 +1,22 @@
 #include "rt/cost_model.hpp"
 
+#include <algorithm>
+
 namespace ilan::rt {
+
+CostModel::CostModel(const CostParams& params, trace::OverheadTracker& tracker,
+                     sim::NoiseModel* noise, const topo::Topology* topo)
+    : params_(params), tracker_(tracker), noise_(noise) {
+  if (topo == nullptr) return;
+  double max_freq = 0.0;
+  for (const auto& c : topo->cores()) max_freq = std::max(max_freq, c.base_freq_ghz);
+  core_scale_.reserve(static_cast<std::size_t>(topo->num_cores()));
+  for (const auto& c : topo->cores()) {
+    // Exactly 1.0 on homogeneous machines (x / x == 1.0 in IEEE), so the
+    // scaled charge below stays bit-identical there.
+    core_scale_.push_back(max_freq / c.base_freq_ghz);
+  }
+}
 
 double CostModel::base_ns(trace::OverheadComponent c) const {
   using OC = trace::OverheadComponent;
@@ -22,6 +38,15 @@ double CostModel::base_ns(trace::OverheadComponent c) const {
 sim::SimTime CostModel::charge(trace::OverheadComponent c) {
   const double jitter = noise_ ? noise_->sched_jitter() : 1.0;
   const sim::SimTime t = sim::from_ns(base_ns(c) * jitter);
+  tracker_.charge(c, t);
+  return t;
+}
+
+sim::SimTime CostModel::charge(trace::OverheadComponent c, topo::CoreId core) {
+  const double scale =
+      core_scale_.empty() ? 1.0 : core_scale_[static_cast<std::size_t>(core.index())];
+  const double jitter = noise_ ? noise_->sched_jitter() : 1.0;
+  const sim::SimTime t = sim::from_ns(base_ns(c) * jitter * scale);
   tracker_.charge(c, t);
   return t;
 }

@@ -8,6 +8,7 @@
 
 #include "sim/noise.hpp"
 #include "sim/time.hpp"
+#include "topo/topology.hpp"
 #include "trace/overhead.hpp"
 
 namespace ilan::rt {
@@ -27,13 +28,19 @@ struct CostParams {
 
 // Charges simulated time per scheduling action into an OverheadTracker and
 // returns the jittered duration so callers can also delay the worker path.
+//
+// With a topology attached, per-core charges scale by the core's frequency
+// deficit against the machine's fastest core (an E-core executes the same
+// scheduling instructions at a lower clock). On homogeneous machines every
+// scale is exactly 1.0 and the charge is bit-identical to the unscaled one.
 class CostModel {
  public:
   CostModel(const CostParams& params, trace::OverheadTracker& tracker,
-            sim::NoiseModel* noise)
-      : params_(params), tracker_(tracker), noise_(noise) {}
+            sim::NoiseModel* noise, const topo::Topology* topo = nullptr);
 
   sim::SimTime charge(trace::OverheadComponent c);
+  // Worker-context charge: scaled by `core`'s frequency deficit.
+  sim::SimTime charge(trace::OverheadComponent c, topo::CoreId core);
 
   [[nodiscard]] const CostParams& params() const { return params_; }
 
@@ -43,6 +50,9 @@ class CostModel {
   CostParams params_;
   trace::OverheadTracker& tracker_;
   sim::NoiseModel* noise_;
+  // Per-core slowdown factor (max base freq / core base freq); empty when
+  // no topology was attached.
+  std::vector<double> core_scale_;
 };
 
 }  // namespace ilan::rt

@@ -10,7 +10,7 @@ namespace ilan::rt {
 Team::Team(Machine& machine, Scheduler& scheduler, const TeamParams& params)
     : machine_(machine),
       scheduler_(scheduler),
-      costs_(params.costs, overhead_, &machine.noise()),
+      costs_(params.costs, overhead_, &machine.noise(), &machine.topology()),
       rng_(sim::Xoshiro256ss(machine.seed()).split(0x7e47)) {
   if (obs::MetricsRegistry* m = machine_.metrics()) {
     metrics_.loops = &m->counter("rt.loops");
@@ -404,7 +404,7 @@ void Team::begin_loop_end() {
   // time extends past the last task by the barrier depth.
   sim::SimTime barrier = 0;
   for (const auto& w : workers_) {
-    if (w.active) barrier += costs_.charge(trace::OverheadComponent::kBarrier);
+    if (w.active) barrier += costs_.charge(trace::OverheadComponent::kBarrier, w.core);
   }
   loop_done_ = true;
   loop_end_ = machine_.engine().now() + barrier;

@@ -325,6 +325,78 @@ void DepAwareDist::place(const rt::TaskGraphSpec& graph, rt::Task& task,
   owner.deque.push_back(task);
 }
 
+std::size_t DepthAwareDist::distribute(const rt::TaskloopSpec& spec,
+                                       const rt::LoopConfig& cfg, rt::Team& team,
+                                       SchedState& state,
+                                       sim::SimTime& serial_cost) {
+  // Walk the machine depth-first — socket, then node — so the block map
+  // respects the physical package order on any registered topology.
+  const topo::Topology& topo = team.topology();
+  std::vector<topo::NodeId> nodes;
+  for (const auto& socket : topo.sockets()) {
+    for (const topo::NodeId n : socket.nodes) {
+      if (!cfg.node_mask.empty() && !cfg.node_mask.test(n)) continue;
+      if (!team.worker(team.node_workers(n).front()).active) continue;
+      nodes.push_back(n);
+    }
+  }
+  if (nodes.empty()) {
+    // No activated mask node (direct callers outside a Team prologue): fall
+    // back to the full mask, as the hierarchical distributor does.
+    for (const auto& socket : topo.sockets()) {
+      for (const topo::NodeId n : socket.nodes) {
+        if (cfg.node_mask.empty() || cfg.node_mask.test(n)) nodes.push_back(n);
+      }
+    }
+  }
+  if (nodes.empty()) throw std::invalid_argument("DepthAwareDist: empty mask");
+
+  const auto chunks = rt::make_chunks(spec.iterations, spec.grainsize, cfg.num_threads,
+                                      spec.tasks_per_thread);
+  const std::size_t nc = chunks.size();
+  const std::size_t nn = nodes.size();
+  for (std::size_t ni = 0; ni < nn; ++ni) {
+    // Node layer: the classic contiguous block map, even split.
+    const std::size_t lo = nc * ni / nn;
+    const std::size_t hi = nc * (ni + 1) / nn;
+    if (lo == hi) continue;
+    const std::size_t node_tasks = hi - lo;
+    const auto strict_count = static_cast<std::size_t>(
+        static_cast<double>(node_tasks) * (1.0 - state.params.stealable_fraction) +
+        0.5);
+    const topo::NodeInfo& node = topo.node(nodes[ni]);
+    // CCD layer: the node's run splits into one contiguous sub-run per CCD,
+    // enqueued on the CCD's first active worker (fallback: node primary).
+    const std::size_t nccd = node.ccds.size();
+    for (std::size_t ci = 0; ci < nccd; ++ci) {
+      const std::size_t clo = lo + node_tasks * ci / nccd;
+      const std::size_t chi = lo + node_tasks * (ci + 1) / nccd;
+      if (clo == chi) continue;
+      int owner = team.node_workers(node.id).front();
+      for (const int wid : team.node_workers(node.id)) {
+        const rt::Worker& cand = team.worker(wid);
+        if (cand.ccd == node.ccds[ci] && cand.active) {
+          owner = wid;
+          break;
+        }
+      }
+      for (std::size_t c = clo; c < chi; ++c) {
+        serial_cost += team.costs().charge(trace::OverheadComponent::kTaskCreate);
+        serial_cost += team.costs().charge(trace::OverheadComponent::kEnqueue);
+        rt::Task t;
+        t.begin = chunks[c].first;
+        t.end = chunks[c].second;
+        t.loop = &spec;
+        t.home_node = node.id;
+        t.numa_strict = cfg.steal_policy == rt::StealPolicy::kStrict ||
+                        (c - lo) < strict_count;
+        team.worker(owner).deque.push_back(t);
+      }
+    }
+  }
+  return nc;
+}
+
 // --- StealPolicy ---------------------------------------------------------
 
 rt::AcquireResult TieredSteal::acquire(rt::Team& team, rt::Worker& w,
@@ -349,7 +421,7 @@ rt::AcquireResult TieredSteal::acquire(rt::Team& team, rt::Worker& w,
 
 rt::AcquireResult RandomSteal::acquire(rt::Team& team, rt::Worker& w, SchedState&) {
   rt::AcquireResult r;
-  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+  r.cost += team.costs().charge(trace::OverheadComponent::kDequeue, w.core);
   if (auto t = w.deque.pop_front()) {
     r.task = std::move(t);
     return r;
@@ -368,15 +440,15 @@ rt::AcquireResult RandomSteal::acquire(rt::Team& team, rt::Worker& w, SchedState
     if (victim.deque.empty()) continue;
     probed_nonempty = true;
     if (auto t = victim.deque.steal_back(/*allow_strict=*/true)) {
-      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit);
+      r.cost += team.costs().charge(trace::OverheadComponent::kStealHit, w.core);
       team.note_steal(victim.node != w.node);
       r.task = std::move(t);
       return r;
     }
-    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss, w.core);
   }
   if (!probed_nonempty) {
-    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss);
+    r.cost += team.costs().charge(trace::OverheadComponent::kStealMiss, w.core);
   }
   return r;  // no work anywhere
 }
@@ -384,7 +456,7 @@ rt::AcquireResult RandomSteal::acquire(rt::Team& team, rt::Worker& w, SchedState
 rt::AcquireResult NoSteal::acquire(rt::Team& team, rt::Worker& w, SchedState&) {
   rt::AcquireResult r;
   if (auto t = w.deque.pop_front()) {
-    r.cost += team.costs().charge(trace::OverheadComponent::kDequeue);
+    r.cost += team.costs().charge(trace::OverheadComponent::kDequeue, w.core);
     r.task = std::move(t);
   }
   return r;

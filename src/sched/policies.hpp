@@ -127,6 +127,21 @@ class DepAwareDist final : public DistributionPolicy {
   HierarchicalDist loop_dist_{HierarchicalDist::Health::kReactive};
 };
 
+// Depth-aware block distribution: walks the full machine hierarchy —
+// socket, then node, then CCD — and gives every level a contiguous run of
+// the iteration space. The node layer matches the hierarchical block map;
+// the extra CCD layer splits each node's run across its CCDs and enqueues
+// every sub-run on that CCD's first active worker, so L3 working sets stay
+// CCD-local on deep topologies (4-socket, heterogeneous) instead of piling
+// onto the node primary.
+class DepthAwareDist final : public DistributionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "depth-aware"; }
+  std::size_t distribute(const rt::TaskloopSpec& spec, const rt::LoopConfig& cfg,
+                         rt::Team& team, SchedState& state,
+                         sim::SimTime& serial_cost) override;
+};
+
 // --- StealPolicy ---------------------------------------------------------
 
 // Tiered NUMA-aware stealing (paper Section 3.4) via

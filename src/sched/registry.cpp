@@ -196,11 +196,11 @@ std::unique_ptr<rt::Scheduler> make_composed(const SchedulerSpec& spec) {
     } else if (opt.key == "dist") {
       if (opt.value != "hierarchical" && opt.value != "flat" &&
           opt.value != "static-block" && opt.value != "health-weighted" &&
-          opt.value != "dep-aware") {
+          opt.value != "dep-aware" && opt.value != "depth-aware") {
         fail_spec(text,
                   "key 'dist': expected "
-                  "hierarchical/flat/static-block/health-weighted/dep-aware, "
-                  "got '" +
+                  "hierarchical/flat/static-block/health-weighted/dep-aware/"
+                  "depth-aware, got '" +
                       opt.value + "'");
       }
       dist = opt.value;
@@ -254,6 +254,8 @@ std::unique_ptr<rt::Scheduler> make_composed(const SchedulerSpec& spec) {
     dist_policy = std::make_unique<StaticBlockDist>();
   } else if (dist == "dep-aware") {
     dist_policy = std::make_unique<DepAwareDist>();
+  } else if (dist == "depth-aware") {
+    dist_policy = std::make_unique<DepthAwareDist>();
   } else {
     dist_policy = std::make_unique<HierarchicalDist>(HierarchicalDist::Health::kForced);
   }

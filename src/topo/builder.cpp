@@ -1,21 +1,60 @@
 #include "topo/builder.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace ilan::topo {
 
+namespace {
+
+// Every validation error names the offending spec key, mirroring the
+// scheduler registry's error style, so a bad `ILAN_TOPO=...:k=v` points at
+// the exact knob instead of a generic "attributes must be positive".
+[[noreturn]] void fail_key(const char* key, const char* what) {
+  throw std::invalid_argument(std::string("MachineSpec: key '") + key + "': " + what);
+}
+
+void require_positive_count(const char* key, int value) {
+  if (value <= 0) fail_key(key, "must be positive");
+}
+
+void require_positive(const char* key, double value) {
+  if (value <= 0.0) fail_key(key, "must be positive");
+}
+
+}  // namespace
+
 Topology build(const MachineSpec& spec) {
-  if (spec.sockets <= 0 || spec.nodes_per_socket <= 0 || spec.ccds_per_node <= 0 ||
-      spec.cores_per_ccd <= 0) {
-    throw std::invalid_argument("MachineSpec: counts must be positive");
+  require_positive_count("sockets", spec.sockets);
+  require_positive_count("nodes_per_socket", spec.nodes_per_socket);
+  require_positive_count("ccds_per_node", spec.ccds_per_node);
+  require_positive_count("cores_per_ccd", spec.cores_per_ccd);
+  require_positive("core_freq_ghz", spec.core_freq_ghz);
+  require_positive("core_bw_gbps", spec.core_bw_gbps);
+  require_positive("l3_mb_per_ccd", spec.l3_mb_per_ccd);
+  require_positive("node_mem_gb", spec.node_mem_gb);
+  require_positive("node_bw_gbps", spec.node_bw_gbps);
+  require_positive("node_latency_ns", spec.node_latency_ns);
+  require_positive("xlink_bw_gbps", spec.xlink_bw_gbps);
+  if (spec.dist_same_socket < 10.0) fail_key("dist_same_socket", "must be >= 10");
+  if (spec.dist_cross_socket < 10.0) fail_key("dist_cross_socket", "must be >= 10");
+  // The far tier is all-or-nothing: far_bw_gbps == 0 means absent, and the
+  // other far_* keys must then be 0 too; present tiers need all three.
+  if (spec.far_bw_gbps < 0.0) fail_key("far_bw_gbps", "must be non-negative");
+  if (spec.far_bw_gbps > 0.0) {
+    require_positive("far_gb", spec.far_gb);
+    require_positive("far_lat_ns", spec.far_lat_ns);
+  } else if (spec.far_gb != 0.0 || spec.far_lat_ns != 0.0) {
+    fail_key("far_bw_gbps", "must be positive when far_gb/far_lat_ns are set");
   }
-  if (spec.core_freq_ghz <= 0.0 || spec.core_bw_gbps <= 0.0 ||
-      spec.l3_mb_per_ccd <= 0.0 || spec.node_bw_gbps <= 0.0 ||
-      spec.node_latency_ns <= 0.0 || spec.xlink_bw_gbps <= 0.0) {
-    throw std::invalid_argument("MachineSpec: attributes must be positive");
+  if (spec.e_per_ccd < 0) fail_key("e_per_ccd", "must be non-negative");
+  if (spec.e_per_ccd > 0 && spec.e_per_ccd >= spec.cores_per_ccd) {
+    fail_key("e_per_ccd", "must leave at least one P-core per CCD");
   }
-  if (spec.dist_same_socket < 10.0 || spec.dist_cross_socket < 10.0) {
-    throw std::invalid_argument("MachineSpec: distances must be >= 10");
+  if (spec.e_per_ccd > 0) {
+    require_positive("e_freq_ghz", spec.e_freq_ghz);
+  } else if (spec.e_freq_ghz != 0.0) {
+    fail_key("e_per_ccd", "must be positive when e_freq_ghz is set");
   }
 
   std::vector<SocketInfo> sockets;
@@ -37,6 +76,11 @@ Topology build(const MachineSpec& spec) {
       node.mem_bytes = spec.node_mem_gb * 1e9;
       node.mem_bw_gbps = spec.node_bw_gbps;
       node.mem_latency_ns = spec.node_latency_ns;
+      if (spec.far_bw_gbps > 0.0) {
+        node.far.bytes = spec.far_gb * 1e9;
+        node.far.bw_gbps = spec.far_bw_gbps;
+        node.far.latency_ns = spec.far_lat_ns;
+      }
       for (int d = 0; d < spec.ccds_per_node; ++d) {
         CcdInfo ccd;
         ccd.id = CcdId{ccd_i};
@@ -48,7 +92,10 @@ Topology build(const MachineSpec& spec) {
           core.ccd = ccd.id;
           core.node = node.id;
           core.socket = sock.id;
-          core.base_freq_ghz = spec.core_freq_ghz;
+          // The last e_per_ccd cores of each CCD are E-cores; with
+          // e_per_ccd == 0 every core takes the P frequency, unchanged.
+          const bool e_core = c >= spec.cores_per_ccd - spec.e_per_ccd;
+          core.base_freq_ghz = e_core ? spec.e_freq_ghz : spec.core_freq_ghz;
           core.core_bw_gbps = spec.core_bw_gbps;
           ccd.cores.push_back(core.id);
           node.cores.push_back(core.id);

@@ -31,14 +31,27 @@ struct MachineSpec {
   double dist_same_socket = 12.0;
   double dist_cross_socket = 32.0;
 
+  // CXL-attached far-memory tier behind every node controller. far_bw_gbps
+  // == 0 (the default) means no tier exists; the built topology is then
+  // bit-identical to a pre-tier build.
+  double far_gb = 0.0;
+  double far_bw_gbps = 0.0;
+  double far_lat_ns = 0.0;
+
+  // Heterogeneous (P/E) cores: the last e_per_ccd cores of every CCD run at
+  // e_freq_ghz instead of core_freq_ghz. e_per_ccd == 0 (the default) keeps
+  // the machine homogeneous.
+  double e_freq_ghz = 0.0;
+  int e_per_ccd = 0;
+
   [[nodiscard]] int total_cores() const {
     return sockets * nodes_per_socket * ccds_per_node * cores_per_ccd;
   }
   [[nodiscard]] int total_nodes() const { return sockets * nodes_per_socket; }
 };
 
-// Builds a homogeneous topology from the spec. Throws std::invalid_argument
-// on non-positive counts or attributes.
+// Builds a topology from the spec. Throws std::invalid_argument naming the
+// offending key on non-positive counts or attributes.
 [[nodiscard]] Topology build(const MachineSpec& spec);
 
 }  // namespace ilan::topo

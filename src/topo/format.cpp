@@ -57,7 +57,12 @@ std::string serialize(const MachineSpec& s) {
      << "node_latency_ns = " << s.node_latency_ns << '\n'
      << "xlink_bw_gbps = " << s.xlink_bw_gbps << '\n'
      << "dist_same_socket = " << s.dist_same_socket << '\n'
-     << "dist_cross_socket = " << s.dist_cross_socket << '\n';
+     << "dist_cross_socket = " << s.dist_cross_socket << '\n'
+     << "far_gb = " << s.far_gb << '\n'
+     << "far_bw_gbps = " << s.far_bw_gbps << '\n'
+     << "far_lat_ns = " << s.far_lat_ns << '\n'
+     << "e_freq_ghz = " << s.e_freq_ghz << '\n'
+     << "e_per_ccd = " << s.e_per_ccd << '\n';
   return os.str();
 }
 
@@ -78,6 +83,11 @@ MachineSpec parse_machine_spec(std::string_view text) {
       {"xlink_bw_gbps", [&](std::string_view v, int l) { spec.xlink_bw_gbps = parse_double(v, l); }},
       {"dist_same_socket", [&](std::string_view v, int l) { spec.dist_same_socket = parse_double(v, l); }},
       {"dist_cross_socket", [&](std::string_view v, int l) { spec.dist_cross_socket = parse_double(v, l); }},
+      {"far_gb", [&](std::string_view v, int l) { spec.far_gb = parse_double(v, l); }},
+      {"far_bw_gbps", [&](std::string_view v, int l) { spec.far_bw_gbps = parse_double(v, l); }},
+      {"far_lat_ns", [&](std::string_view v, int l) { spec.far_lat_ns = parse_double(v, l); }},
+      {"e_freq_ghz", [&](std::string_view v, int l) { spec.e_freq_ghz = parse_double(v, l); }},
+      {"e_per_ccd", [&](std::string_view v, int l) { spec.e_per_ccd = parse_int(v, l); }},
   };
 
   int line_no = 0;

@@ -62,4 +62,44 @@ MachineSpec small_4n16c() {
   return s;
 }
 
+MachineSpec quad_4s16n256c() {
+  MachineSpec s;
+  s.name = "quad-4s16n256c";
+  s.sockets = 4;
+  s.nodes_per_socket = 4;
+  s.ccds_per_node = 2;
+  s.cores_per_ccd = 8;
+  s.core_freq_ghz = 2.8;
+  s.core_bw_gbps = 22.0;
+  s.l3_mb_per_ccd = 32.0;
+  s.node_mem_gb = 64.0;
+  s.node_bw_gbps = 85.0;
+  s.node_latency_ns = 105.0;
+  s.xlink_bw_gbps = 128.0;
+  s.dist_same_socket = 12.0;
+  s.dist_cross_socket = 32.0;
+  return s;
+}
+
+MachineSpec cxl_zen4_far() {
+  MachineSpec s = zen4_epyc9354_2s();
+  s.name = "cxl-zen4-far";
+  // Near DRAM shrunk so the bench kernels' working sets (fractions of a GB
+  // per node) overflow into the far tier; the spill fraction is what the
+  // max-min share tests and the topology sweep exercise.
+  s.node_mem_gb = 0.02;
+  s.far_gb = 256.0;
+  s.far_bw_gbps = 30.0;  // one x8 CXL 2.0 device per node, sustained
+  s.far_lat_ns = 350.0;
+  return s;
+}
+
+MachineSpec hetero_zen4_pe() {
+  MachineSpec s = zen4_epyc9354_2s();
+  s.name = "hetero-zen4-pe";
+  s.e_freq_ghz = 2.2;
+  s.e_per_ccd = 2;
+  return s;
+}
+
 }  // namespace ilan::topo::presets

@@ -16,4 +16,17 @@ namespace ilan::topo::presets {
 // A mid-size single-socket 4-node machine.
 [[nodiscard]] MachineSpec small_4n16c();
 
+// A four-socket NPS4 box: 4 sockets x 4 nodes x 2 CCDs x 8 cores = 256
+// cores over 16 NUMA nodes. Denser package, slightly lower clocks and
+// per-node bandwidth than the 2-socket part.
+[[nodiscard]] MachineSpec quad_4s16n256c();
+
+// The zen4 platform with a CXL far-memory tier behind every node controller
+// and a near capacity small enough that the bench kernels actually spill.
+[[nodiscard]] MachineSpec cxl_zen4_far();
+
+// The zen4 platform with heterogeneous cores: the last 2 cores of every
+// 4-core CCD are E-cores clocked at 2.2 GHz.
+[[nodiscard]] MachineSpec hetero_zen4_pe();
+
 }  // namespace ilan::topo::presets

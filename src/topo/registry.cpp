@@ -1,0 +1,304 @@
+#include "topo/registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/env.hpp"
+#include "topo/presets.hpp"
+
+namespace ilan::topo {
+
+std::string TopoSpec::to_string() const {
+  std::string s = name;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    s += i == 0 ? ':' : ',';
+    s += options[i].key;
+    s += '=';
+    s += options[i].value;
+  }
+  return s;
+}
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string s;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += items[i];
+  }
+  return s;
+}
+
+// Every spec diagnostic carries the registered names so a typo'd ILAN_TOPO
+// tells the user what would have worked (same contract as the scheduler
+// registry's fail_spec).
+[[noreturn]] void fail_spec(std::string_view spec_text, const std::string& what) {
+  throw std::invalid_argument(
+      "topology spec '" + std::string(spec_text) + "': " + what +
+      "; registered topologies: " + join(TopologyRegistry::instance().names()));
+}
+
+int parse_int_value(std::string_view spec, const TopoOption& opt, int min, int max) {
+  const auto v = obs::parse_full_int(opt.value);
+  if (!v || *v < min || *v > max) {
+    fail_spec(spec, "key '" + opt.key + "': expected an integer in [" +
+                        std::to_string(min) + ", " + std::to_string(max) +
+                        "], got '" + opt.value + "'");
+  }
+  return static_cast<int>(*v);
+}
+
+double parse_double_value(std::string_view spec, const TopoOption& opt, double min,
+                          double max) {
+  const auto v = obs::parse_full_double(opt.value);
+  if (!v || *v < min || *v > max) {
+    fail_spec(spec, "key '" + opt.key + "': expected a number in [" +
+                        std::to_string(min) + ", " + std::to_string(max) +
+                        "], got '" + opt.value + "'");
+  }
+  return *v;
+}
+
+constexpr const char* kTopoKeys =
+    "sockets, nodes, ccds, cores, core_freq (alias p_freq), core_bw, l3_mb, "
+    "node_gb, node_bw, node_lat, xlink_bw, dist_near, dist_far, far_gb, "
+    "far_bw, far_lat, e_freq, e_per_ccd";
+
+// Applies the universal override key set to a base spec. Structure keys
+// (sockets/nodes/ccds/cores) are machine TOTALS — "quad:nodes=16" means 16
+// NUMA nodes — re-derived into the per-level MachineSpec counts with
+// divisibility checked, errors naming the offending key.
+MachineSpec apply_options(std::string_view text, const TopoSpec& spec,
+                          MachineSpec base) {
+  int sockets = base.sockets;
+  int nodes = base.total_nodes();
+  int ccds = base.total_nodes() * base.ccds_per_node;
+  int cores = base.total_cores();
+  bool structure_set = false;
+
+  for (const TopoOption& opt : spec.options) {
+    if (opt.key == "sockets") {
+      sockets = parse_int_value(text, opt, 1, 64);
+      structure_set = true;
+    } else if (opt.key == "nodes") {
+      nodes = parse_int_value(text, opt, 1, 64);
+      structure_set = true;
+    } else if (opt.key == "ccds") {
+      ccds = parse_int_value(text, opt, 1, 1 << 12);
+      structure_set = true;
+    } else if (opt.key == "cores") {
+      cores = parse_int_value(text, opt, 1, 1 << 16);
+      structure_set = true;
+    } else if (opt.key == "core_freq" || opt.key == "p_freq") {
+      base.core_freq_ghz = parse_double_value(text, opt, 1e-3, 1e3);
+    } else if (opt.key == "core_bw") {
+      base.core_bw_gbps = parse_double_value(text, opt, 1e-3, 1e6);
+    } else if (opt.key == "l3_mb") {
+      base.l3_mb_per_ccd = parse_double_value(text, opt, 1e-3, 1e6);
+    } else if (opt.key == "node_gb") {
+      base.node_mem_gb = parse_double_value(text, opt, 1e-6, 1e9);
+    } else if (opt.key == "node_bw") {
+      base.node_bw_gbps = parse_double_value(text, opt, 1e-3, 1e6);
+    } else if (opt.key == "node_lat") {
+      base.node_latency_ns = parse_double_value(text, opt, 1e-3, 1e9);
+    } else if (opt.key == "xlink_bw") {
+      base.xlink_bw_gbps = parse_double_value(text, opt, 1e-3, 1e6);
+    } else if (opt.key == "dist_near") {
+      base.dist_same_socket = parse_double_value(text, opt, 10.0, 1e3);
+    } else if (opt.key == "dist_far") {
+      base.dist_cross_socket = parse_double_value(text, opt, 10.0, 1e3);
+    } else if (opt.key == "far_gb") {
+      base.far_gb = parse_double_value(text, opt, 0.0, 1e9);
+    } else if (opt.key == "far_bw") {
+      base.far_bw_gbps = parse_double_value(text, opt, 0.0, 1e6);
+    } else if (opt.key == "far_lat") {
+      base.far_lat_ns = parse_double_value(text, opt, 0.0, 1e9);
+    } else if (opt.key == "e_freq") {
+      base.e_freq_ghz = parse_double_value(text, opt, 0.0, 1e3);
+    } else if (opt.key == "e_per_ccd") {
+      base.e_per_ccd = parse_int_value(text, opt, 0, 1 << 12);
+    } else {
+      fail_spec(text, "unknown key '" + opt.key + "' for topology '" + spec.name +
+                          "' (valid: " + kTopoKeys + ")");
+    }
+  }
+
+  if (structure_set) {
+    if (nodes % sockets != 0) {
+      fail_spec(text, "key 'nodes': " + std::to_string(nodes) +
+                          " nodes not divisible by " + std::to_string(sockets) +
+                          " sockets");
+    }
+    if (ccds % nodes != 0) {
+      fail_spec(text, "key 'ccds': " + std::to_string(ccds) +
+                          " ccds not divisible by " + std::to_string(nodes) +
+                          " nodes");
+    }
+    if (cores % ccds != 0) {
+      fail_spec(text, "key 'cores': " + std::to_string(cores) +
+                          " cores not divisible by " + std::to_string(ccds) +
+                          " ccds");
+    }
+    base.sockets = sockets;
+    base.nodes_per_socket = nodes / sockets;
+    base.ccds_per_node = ccds / nodes;
+    base.cores_per_ccd = cores / ccds;
+  }
+  return base;
+}
+
+// Shortest round-trippable decimal for the canonical spec string.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  return buf;
+}
+
+}  // namespace
+
+TopoSpec parse_topo_spec(std::string_view text) {
+  TopoSpec spec;
+  const auto colon = text.find(':');
+  spec.name = std::string(text.substr(0, colon));
+  if (spec.name.empty()) {
+    throw std::invalid_argument("topology spec '" + std::string(text) +
+                                "': empty topology name");
+  }
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = text.substr(colon + 1);
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("topology spec '" + std::string(text) +
+                                  "': option '" + std::string(item) +
+                                  "' is not key=value");
+    }
+    TopoOption opt;
+    opt.key = std::string(item.substr(0, eq));
+    opt.value = std::string(item.substr(eq + 1));
+    for (const TopoOption& seen : spec.options) {
+      if (seen.key == opt.key) {
+        throw std::invalid_argument("topology spec '" + std::string(text) +
+                                    "': duplicate key '" + opt.key + "'");
+      }
+    }
+    spec.options.push_back(std::move(opt));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return spec;
+}
+
+TopologyRegistry::TopologyRegistry() {
+  register_topology(
+      "zen4", "the paper's platform: 2-socket Zen4 EPYC 9354, 8 nodes, 64 cores",
+      [] { return presets::zen4_epyc9354_2s(); });
+  register_topology("tiny", "1 socket, 2 nodes, 8 cores (fast tests)",
+                    [] { return presets::tiny_2n8c(); });
+  register_topology("small", "1 socket, 4 nodes, 16 cores",
+                    [] { return presets::small_4n16c(); });
+  register_topology("quad", "4-socket NPS4 box: 16 nodes, 256 cores",
+                    [] { return presets::quad_4s16n256c(); });
+  register_topology(
+      "cxl", "zen4 + CXL far-memory tier behind every node (far_gb/far_bw/far_lat)",
+      [] { return presets::cxl_zen4_far(); });
+  register_topology(
+      "hetero", "zen4 with E-cores: p_freq/e_freq/e_per_ccd frequency asymmetry",
+      [] { return presets::hetero_zen4_pe(); });
+}
+
+TopologyRegistry& TopologyRegistry::instance() {
+  static TopologyRegistry registry;
+  return registry;
+}
+
+void TopologyRegistry::register_topology(std::string name, std::string description,
+                                         Factory factory) {
+  entries_[std::move(name)] = Entry{std::move(description), std::move(factory)};
+}
+
+std::vector<std::string> TopologyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration order == sorted
+}
+
+bool TopologyRegistry::contains(std::string_view name) const {
+  return entries_.find(std::string(name)) != entries_.end();
+}
+
+std::string TopologyRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string() : it->second.description;
+}
+
+MachineSpec TopologyRegistry::make(std::string_view spec_text) const {
+  const TopoSpec spec = parse_topo_spec(spec_text);
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    fail_spec(spec_text, "unknown topology '" + spec.name + "'");
+  }
+  MachineSpec ms = apply_options(spec_text, spec, it->second.factory());
+  // Fail fast on a spec build() would reject: the registry's error names the
+  // spec text AND the offending MachineSpec key.
+  try {
+    (void)build(ms);
+  } catch (const std::invalid_argument& e) {
+    fail_spec(spec_text, e.what());
+  }
+  return ms;
+}
+
+std::string TopologyRegistry::resolve(std::string_view spec_text) const {
+  const TopoSpec spec = parse_topo_spec(spec_text);
+  const MachineSpec ms = make(spec_text);
+  // Canonical form: every knob explicit, fixed key order. All keys below are
+  // accepted by apply_options, so resolve(resolve(s)) == resolve(s).
+  std::string out = spec.name;
+  out += ":sockets=" + std::to_string(ms.sockets);
+  out += ",nodes=" + std::to_string(ms.total_nodes());
+  out += ",ccds=" + std::to_string(ms.total_nodes() * ms.ccds_per_node);
+  out += ",cores=" + std::to_string(ms.total_cores());
+  out += ",core_freq=" + fmt(ms.core_freq_ghz);
+  out += ",core_bw=" + fmt(ms.core_bw_gbps);
+  out += ",l3_mb=" + fmt(ms.l3_mb_per_ccd);
+  out += ",node_gb=" + fmt(ms.node_mem_gb);
+  out += ",node_bw=" + fmt(ms.node_bw_gbps);
+  out += ",node_lat=" + fmt(ms.node_latency_ns);
+  out += ",xlink_bw=" + fmt(ms.xlink_bw_gbps);
+  out += ",dist_near=" + fmt(ms.dist_same_socket);
+  out += ",dist_far=" + fmt(ms.dist_cross_socket);
+  if (ms.far_bw_gbps > 0.0) {
+    out += ",far_gb=" + fmt(ms.far_gb);
+    out += ",far_bw=" + fmt(ms.far_bw_gbps);
+    out += ",far_lat=" + fmt(ms.far_lat_ns);
+  }
+  if (ms.e_per_ccd > 0) {
+    out += ",e_freq=" + fmt(ms.e_freq_ghz);
+    out += ",e_per_ccd=" + std::to_string(ms.e_per_ccd);
+  }
+  return out;
+}
+
+MachineSpec make_machine_spec(std::string_view spec_text) {
+  return TopologyRegistry::instance().make(spec_text);
+}
+
+std::string resolve_topo_spec(std::string_view spec_text) {
+  return TopologyRegistry::instance().resolve(spec_text);
+}
+
+std::string env_topo_spec() {
+  const char* v = std::getenv("ILAN_TOPO");
+  return (v == nullptr || *v == '\0') ? "zen4" : v;
+}
+
+MachineSpec machine_spec_from_env() { return make_machine_spec(env_topo_spec()); }
+
+}  // namespace ilan::topo

@@ -1,0 +1,92 @@
+// String-keyed topology registry and spec parsing.
+//
+// A topology spec is `name[:key=value[,key=value...]]` — e.g. "zen4",
+// "quad:sockets=4,nodes=16,cores=256", "cxl:far_gb=256,far_bw=30,far_lat=350",
+// "hetero:p_freq=3.25,e_freq=2.0,e_per_ccd=2". The registry maps the name to
+// a base MachineSpec; the options override it with the same strictness
+// contract as the scheduler registry (sched/registry.hpp): an unknown
+// topology name, an unknown key, or a malformed value throws
+// std::invalid_argument naming the offender and listing the registered
+// topology names. resolve() returns the fully-resolved canonical spec —
+// every knob explicit, fixed key order — which is what BENCH json records
+// (resolve is idempotent: resolve(resolve(s)) == resolve(s)).
+//
+// The machine every binary simulates comes from here via the ILAN_TOPO env
+// knob (default "zen4", bit-identical to the legacy hard-coded preset).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topo/builder.hpp"
+
+namespace ilan::topo {
+
+struct TopoOption {
+  std::string key;
+  std::string value;
+};
+
+struct TopoSpec {
+  std::string name;
+  std::vector<TopoOption> options;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Parses `name[:key=value[,key=value...]]`. Throws std::invalid_argument on
+// an empty name, an option without '=', an empty key, or a duplicate key.
+// Does NOT check the name against the registry — make() does.
+[[nodiscard]] TopoSpec parse_topo_spec(std::string_view text);
+
+class TopologyRegistry {
+ public:
+  using Factory = std::function<MachineSpec()>;
+
+  // The process-wide registry, with the built-in topologies ("zen4", "tiny",
+  // "small", "quad", "cxl", "hetero") pre-registered.
+  static TopologyRegistry& instance();
+
+  // Registers (or replaces) a named base machine spec.
+  void register_topology(std::string name, std::string description,
+                         Factory factory);
+
+  // Registered names, sorted — the list every spec error embeds and
+  // --list-topologies prints.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::string description(const std::string& name) const;
+
+  // Parses the spec, applies the option overrides to the named base, and
+  // validates the result via topo::build. Throws std::invalid_argument
+  // (unknown name / key / bad value) with the registered names appended.
+  [[nodiscard]] MachineSpec make(std::string_view spec_text) const;
+
+  // The fully-resolved canonical spec `spec_text` denotes: every knob
+  // explicit, fixed key order.
+  [[nodiscard]] std::string resolve(std::string_view spec_text) const;
+
+ private:
+  TopologyRegistry();
+
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+// Convenience wrappers over TopologyRegistry::instance().
+[[nodiscard]] MachineSpec make_machine_spec(std::string_view spec_text);
+[[nodiscard]] std::string resolve_topo_spec(std::string_view spec_text);
+
+// The ILAN_TOPO spec text ("zen4" when unset/empty).
+[[nodiscard]] std::string env_topo_spec();
+
+// The machine the current environment selects: make(env_topo_spec()).
+[[nodiscard]] MachineSpec machine_spec_from_env();
+
+}  // namespace ilan::topo

@@ -26,6 +26,10 @@ void Topology::validate() const {
   if (distance_.size() != nodes_.size() * nodes_.size()) {
     throw std::invalid_argument("Topology: distance matrix size mismatch");
   }
+  // rt::NodeMask is a 64-bit word; a wider machine would silently truncate.
+  if (nodes_.size() > 64) {
+    throw std::invalid_argument("Topology: more than 64 NUMA nodes unsupported");
+  }
   const std::size_t per_node = nodes_.front().cores.size();
   for (const auto& n : nodes_) {
     if (n.cores.size() != per_node) {
@@ -79,6 +83,11 @@ std::vector<NodeId> Topology::nodes_by_distance(NodeId from) const {
 double Topology::total_mem_bw_gbps() const {
   return std::accumulate(nodes_.begin(), nodes_.end(), 0.0,
                          [](double acc, const NodeInfo& n) { return acc + n.mem_bw_gbps; });
+}
+
+bool Topology::has_far_tier() const {
+  return std::any_of(nodes_.begin(), nodes_.end(),
+                     [](const NodeInfo& n) { return n.far.present(); });
 }
 
 }  // namespace ilan::topo

@@ -21,9 +21,20 @@ struct CoreInfo {
   CcdId ccd;
   NodeId node;
   SocketId socket;
+  // Per-core frequency: heterogeneous (P/E-core) machines assign different
+  // values per core; homogeneous machines repeat the spec frequency.
   double base_freq_ghz = 0.0;
   // Peak per-core streaming bandwidth to DRAM (load/store unit + LFB limit).
   double core_bw_gbps = 0.0;
+};
+
+// One memory tier behind a node: capacity, peak bandwidth, unloaded latency.
+// bw_gbps == 0 means the tier does not exist (the common, tierless case).
+struct MemTier {
+  double bytes = 0.0;
+  double bw_gbps = 0.0;
+  double latency_ns = 0.0;
+  [[nodiscard]] bool present() const { return bw_gbps > 0.0; }
 };
 
 struct CcdInfo {
@@ -44,6 +55,9 @@ struct NodeInfo {
   double mem_bytes = 0.0;
   double mem_bw_gbps = 0.0;     // controller peak bandwidth
   double mem_latency_ns = 0.0;  // unloaded local access latency
+  // Optional second capacity class behind this node (CXL-attached far
+  // memory). far.present() == false on tierless machines.
+  MemTier far;
 };
 
 struct SocketInfo {
@@ -96,8 +110,11 @@ class Topology {
   // Cores per NUMA node; homogeneous topologies only (checked at build).
   [[nodiscard]] int cores_per_node() const { return cores_per_node_; }
 
-  // Total machine DRAM bandwidth (sum over controllers).
+  // Total machine DRAM bandwidth (sum over controllers, near tier only).
   [[nodiscard]] double total_mem_bw_gbps() const;
+
+  // True when any node carries a far-memory tier (MemTier::present()).
+  [[nodiscard]] bool has_far_tier() const;
 
  private:
   void validate() const;

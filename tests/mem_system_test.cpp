@@ -209,4 +209,116 @@ TEST(MemorySystem, RejectsBadArguments) {
   EXPECT_THROW(f.ms.begin(topo::CoreId{0}, 1.0, {}, nullptr), std::invalid_argument);
 }
 
+// --- CXL far-memory tier --------------------------------------------------
+//
+// tiny machine with near DRAM shrunk to 10 MB/node and a 6 GB/s far device:
+// a 100 MB node-bound region spills ~90% of its pages past near capacity, so
+// streams over it split into a near flow and a far flow behind the device
+// constraint (run_tier1.sh topo runs this suite under every sanitizer).
+
+topo::MachineSpec tiny_with_far() {
+  auto spec = topo::presets::tiny_2n8c();
+  spec.node_mem_gb = 0.01;  // 10 MB near DRAM per node
+  spec.far_gb = 64.0;
+  spec.far_bw_gbps = 6.0;
+  spec.far_lat_ns = 350.0;
+  return spec;
+}
+
+TEST(FarTier, SpillSplitsStreamIntoNearAndFarFlows) {
+  Fixture f({}, tiny_with_far());
+  EXPECT_TRUE(f.topo.has_far_tier());
+  const auto r = f.regions.create("spill", 100u << 20, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  const AccessDescriptor acc[] = {{r, 0, 50'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{0}, 0.0, acc, [] {});
+  f.engine.run_until(sim::from_us(1));
+  const auto snap = f.ms.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  ASSERT_EQ(snap[0].flows.size(), 2u);
+  const auto& a = snap[0].flows[0];
+  const auto& b = snap[0].flows[1];
+  EXPECT_NE(a.far, b.far);
+  const auto& far = a.far ? a : b;
+  const auto& near = a.far ? b : a;
+  // (placed - capacity) / placed of the 50 MB goes far: the clear majority.
+  EXPECT_GT(far.remaining_bytes, near.remaining_bytes * 4);
+  EXPECT_GT(far.rate_bytes_per_s, 0.0);
+  EXPECT_GT(near.rate_bytes_per_s, 0.0);
+  f.engine.run();
+}
+
+TEST(FarTier, FarStreamGetsLessBandwidthUnderContention) {
+  // Four spilling streams on node 0 vs four near-only streams on node 1.
+  // Max-min over the shared 6 GB/s far device must hand every far flow less
+  // bandwidth than any purely-local flow gets from its controller.
+  Fixture f({}, tiny_with_far());
+  const auto spill = f.regions.create("spill", 100u << 20, mem::Placement::kNodeBound,
+                                      2ull << 20, topo::NodeId{0});
+  const auto near = f.regions.create("near", 8u << 20, mem::Placement::kNodeBound,
+                                     2ull << 20, topo::NodeId{1});
+  for (int c = 0; c < 4; ++c) {  // cores 0..3 live on node 0
+    const AccessDescriptor acc[] = {{spill, 0, 50'000'000, AccessKind::kRead}};
+    f.ms.begin(topo::CoreId{c}, 0.0, acc, [] {});
+  }
+  for (int c = 4; c < 8; ++c) {  // cores 4..7 live on node 1
+    const AccessDescriptor acc[] = {{near, 0, 8'000'000, AccessKind::kRead}};
+    f.ms.begin(topo::CoreId{c}, 0.0, acc, [] {});
+  }
+  f.engine.run_until(sim::from_us(1));
+  double max_far_rate = 0.0;
+  double min_local_rate = 1e30;
+  int far_flows = 0;
+  int local_flows = 0;
+  for (const auto& exec : f.ms.snapshot()) {
+    for (const auto& flow : exec.flows) {
+      if (flow.far) {
+        max_far_rate = std::max(max_far_rate, flow.rate_bytes_per_s);
+        ++far_flows;
+      } else if (flow.src_node == 1) {
+        min_local_rate = std::min(min_local_rate, flow.rate_bytes_per_s);
+        ++local_flows;
+      }
+    }
+  }
+  EXPECT_EQ(far_flows, 4);
+  EXPECT_EQ(local_flows, 4);
+  EXPECT_GT(max_far_rate, 0.0);
+  EXPECT_LT(max_far_rate, min_local_rate)
+      << "far-tier streams must see less bandwidth than local ones";
+  f.engine.run();
+}
+
+TEST(FarTier, SpillSlowsTheStreamEndToEnd) {
+  // The same 50 MB stream: all-near on the stock tiny machine vs ~90%
+  // spilled behind the 6 GB/s device. The tier must cost wall-clock time.
+  const auto run_stream = [](const topo::MachineSpec& spec) {
+    Fixture f({}, spec);
+    const auto r = f.regions.create("u", 100u << 20, mem::Placement::kNodeBound,
+                                    2ull << 20, topo::NodeId{0});
+    sim::SimTime done = -1;
+    const AccessDescriptor acc[] = {{r, 0, 50'000'000, AccessKind::kRead}};
+    f.ms.begin(topo::CoreId{0}, 0.0, acc, [&] { done = f.engine.now(); });
+    f.engine.run();
+    return sim::to_seconds(done);
+  };
+  const double t_near = run_stream(topo::presets::tiny_2n8c());
+  const double t_far = run_stream(tiny_with_far());
+  EXPECT_GT(t_far, t_near * 2.0);
+}
+
+TEST(FarTier, TierlessMachineHasNoFarFlows) {
+  Fixture f;  // stock tiny: no far tier, snapshot far flags all false
+  EXPECT_FALSE(f.topo.has_far_tier());
+  const auto r = f.regions.create("u", 1u << 30, mem::Placement::kNodeBound,
+                                  2ull << 20, topo::NodeId{0});
+  const AccessDescriptor acc[] = {{r, 0, 100'000'000, AccessKind::kRead}};
+  f.ms.begin(topo::CoreId{0}, 0.0, acc, [] {});
+  f.engine.run_until(sim::from_us(1));
+  for (const auto& exec : f.ms.snapshot()) {
+    for (const auto& flow : exec.flows) EXPECT_FALSE(flow.far);
+  }
+  f.engine.run();
+}
+
 }  // namespace

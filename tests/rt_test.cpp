@@ -116,6 +116,22 @@ TEST(NodeMaskTest, BitOperations) {
   EXPECT_EQ(nodes[1], topo::NodeId{2});
 }
 
+TEST(NodeMaskTest, WideMasksBeyondEightNodes) {
+  // 16-node machines (quad preset) and the 64-bit boundary: first_n must
+  // saturate instead of shifting by the full word width (UB).
+  EXPECT_EQ(NodeMask::first_n(16).count(), 16);
+  EXPECT_EQ(NodeMask::first_n(16).bits(), 0xffffu);
+  EXPECT_EQ(NodeMask::first_n(63).count(), 63);
+  EXPECT_EQ(NodeMask::first_n(64).bits(), ~0ull);
+  EXPECT_EQ(NodeMask::first_n(100).bits(), ~0ull);
+  EXPECT_EQ(NodeMask::all(64).count(), 64);
+  NodeMask m = NodeMask::first_n(16);
+  m.clear(topo::NodeId{15});
+  EXPECT_EQ(m.count(), 15);
+  EXPECT_FALSE(m.test(topo::NodeId{15}));
+  EXPECT_EQ(m.to_nodes().size(), 15u);
+}
+
 // --- Team execution semantics -------------------------------------------
 
 rt::MachineParams tiny_params(std::uint64_t seed) {

@@ -106,8 +106,10 @@ TEST(SchedRegistry, BaselineAndWorkSharingAcceptNoOptions) {
 TEST(SchedRegistry, ComposedValidatesAxisValues) {
   expect_spec_error([] { (void)sched::make_scheduler("composed:config=magic"); },
                     {"config", "ptt-search/fixed/counter-only/oracle-best"});
-  expect_spec_error([] { (void)sched::make_scheduler("composed:dist=round-robin"); },
-                    {"dist", "hierarchical/flat/static-block/health-weighted/dep-aware"});
+  expect_spec_error(
+      [] { (void)sched::make_scheduler("composed:dist=round-robin"); },
+      {"dist",
+       "hierarchical/flat/static-block/health-weighted/dep-aware/depth-aware"});
   expect_spec_error([] { (void)sched::make_scheduler("composed:steal=polite"); },
                     {"steal", "tiered/strict/full/rescue-only/random/none"});
   expect_spec_error([] { (void)sched::make_scheduler("composed:feedback=loud"); },
@@ -232,6 +234,14 @@ TEST(SchedRegistry, DepAwareDistIsRegistered) {
             std::string::npos);
 }
 
+TEST(SchedRegistry, DepthAwareDistIsRegistered) {
+  const auto s = sched::make_scheduler("composed:dist=depth-aware");
+  EXPECT_EQ(s->name(), "composed");
+  EXPECT_NE(
+      sched::resolve_spec("composed:dist=depth-aware").find("dist=depth-aware"),
+      std::string::npos);
+}
+
 // --- narrowed-carve dist x mask matrix ---------------------------------------
 //
 // Every registered DistributionPolicy must place all of a taskloop's chunks
@@ -275,6 +285,7 @@ std::unique_ptr<sched::DistributionPolicy> make_dist(const std::string& name) {
         sched::HierarchicalDist::Health::kForced);
   }
   if (name == "dep-aware") return std::make_unique<sched::DepAwareDist>();
+  if (name == "depth-aware") return std::make_unique<sched::DepthAwareDist>();
   throw std::invalid_argument("make_dist: " + name);
 }
 
@@ -291,8 +302,8 @@ TEST(SchedDist, NarrowedCarveMatrixExecutesEveryIteration) {
       {"single-node", rt::NodeMask(0b10)},
       {"two-node-narrowed", rt::NodeMask(0b11)},
   };
-  const char* dists[] = {"hierarchical", "flat", "static-block",
-                         "health-weighted", "dep-aware"};
+  const char* dists[] = {"hierarchical",    "flat",      "static-block",
+                         "health-weighted", "dep-aware", "depth-aware"};
   std::uint64_t seed = 100;
   for (const char* dist : dists) {
     for (const Carve& carve : carves) {
@@ -315,6 +326,57 @@ TEST(SchedDist, NarrowedCarveMatrixExecutesEveryIteration) {
       for (const auto& [i, n] : *seen) EXPECT_EQ(n, 1) << "iteration " << i;
     }
   }
+}
+
+// --- depth-aware distribution on a deep topology -----------------------------
+
+TEST(SchedDist, DepthAwareSpreadsAcrossCcdsOnQuad) {
+  // quad_4s16n256c: 4 sockets x 4 nodes x 2 CCDs x 8 cores — 16 NUMA nodes,
+  // 32 CCDs. The depth-aware map must put one contiguous sub-run on each
+  // CCD's first worker instead of piling both CCDs' tasks onto the node
+  // primary the way the node-level block map does.
+  rt::MachineParams p;
+  p.spec = topo::presets::quad_4s16n256c();
+  p.noise.enabled = false;
+  p.seed = 9;
+  rt::Machine machine(p);
+  sched::IlanScheduler placeholder;
+  rt::Team team(machine, placeholder);
+  for (int w = 0; w < team.num_workers(); ++w) team.worker(w).active = true;
+
+  rt::TaskloopSpec spec;
+  spec.loop_id = 11;
+  spec.iterations = 320;
+  spec.grainsize = 10;  // 32 tasks -> 2 per node -> 1 per CCD
+  spec.demand = [](std::int64_t, std::int64_t) { return rt::TaskDemand{}; };
+  rt::LoopConfig cfg;
+  cfg.num_threads = 256;
+  cfg.node_mask = rt::NodeMask::all(16);
+  cfg.steal_policy = rt::StealPolicy::kFull;
+
+  sched::DepthAwareDist dist;
+  sched::SchedState state;
+  sim::SimTime cost = 0;
+  EXPECT_EQ(dist.distribute(spec, cfg, team, state, cost), 32u);
+  EXPECT_GT(cost, 0);
+
+  // Every CCD's first worker (cores 16n and 16n+8) holds exactly one task
+  // covering its slice of the iteration space; nobody else holds anything.
+  std::int64_t expect_begin = 0;
+  for (int w = 0; w < team.num_workers(); ++w) {
+    auto& dq = team.worker(w).deque;
+    if (w % 8 != 0) {
+      EXPECT_TRUE(dq.empty()) << "worker " << w;
+      continue;
+    }
+    ASSERT_EQ(dq.size(), 1u) << "worker " << w;
+    const auto t = dq.pop_front();
+    EXPECT_EQ(t->begin, expect_begin);
+    EXPECT_EQ(t->end, expect_begin + 10);
+    EXPECT_EQ(t->home_node, team.worker(w).node);
+    expect_begin = t->end;
+  }
+  EXPECT_EQ(expect_begin, 320);
 }
 
 }  // namespace

@@ -195,6 +195,31 @@ TEST(Server, CarvesNodesByWeightWithDisjointMasks) {
   EXPECT_EQ(__builtin_popcountll(seen), 8);
 }
 
+TEST(Server, CarveScalesToSixteenNodeQuad) {
+  // Same weights (2/1/1) over the 16-node quad machine: the carve must use
+  // every node of the wider mask, still disjoint, split 8/4/4.
+  rt::MachineParams p;
+  p.spec = topo::presets::quad_4s16n256c();
+  p.noise.enabled = false;
+  p.seed = 42;
+  rt::Machine machine(p);
+  auto spec = serve::make_scenario("burst");
+  spec.max_requests = 4;
+  serve::Server server(machine, spec, serve::ServeParams{}, "ilan");
+  const auto rep = server.run();
+  ASSERT_EQ(rep.tenants.size(), 3u);
+  std::uint64_t seen = 0;
+  const std::vector<int> want_nodes = {8, 4, 4};
+  for (std::size_t i = 0; i < rep.tenants.size(); ++i) {
+    const std::uint64_t bits = rep.tenants[i].carve_bits;
+    ASSERT_NE(bits, 0u);
+    EXPECT_EQ(seen & bits, 0u) << "carves overlap";
+    seen |= bits;
+    EXPECT_EQ(__builtin_popcountll(bits), want_nodes[i]) << rep.tenants[i].name;
+  }
+  EXPECT_EQ(__builtin_popcountll(seen), 16);
+}
+
 TEST(Server, MoreTenantsThanNodesThrows) {
   rt::Machine machine(machine_params(42));
   auto spec = serve::make_scenario("nominal");

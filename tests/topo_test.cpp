@@ -2,9 +2,11 @@
 
 #include <stdexcept>
 
+#include "obs/env.hpp"
 #include "topo/builder.hpp"
 #include "topo/format.hpp"
 #include "topo/presets.hpp"
+#include "topo/registry.hpp"
 
 namespace {
 
@@ -133,7 +135,10 @@ TEST_P(PresetTest, BuildsAndValidates) {
 INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
                          ::testing::Values(presets::zen4_epyc9354_2s(),
                                            presets::tiny_2n8c(),
-                                           presets::small_4n16c()),
+                                           presets::small_4n16c(),
+                                           presets::quad_4s16n256c(),
+                                           presets::cxl_zen4_far(),
+                                           presets::hetero_zen4_pe()),
                          [](const auto& info) {
                            std::string n = info.param.name;
                            for (auto& ch : n) {
@@ -192,6 +197,200 @@ TEST(Format, ReportsLineNumber) {
 
 TEST(Format, LoadMissingFileThrows) {
   EXPECT_THROW(load_machine_spec("/nonexistent/machine.topo"), std::runtime_error);
+}
+
+TEST(Format, RoundTripsFarAndHeteroFields) {
+  auto spec = presets::cxl_zen4_far();
+  spec.e_freq_ghz = 2.1;
+  spec.e_per_ccd = 1;
+  const auto parsed = parse_machine_spec(serialize(spec));
+  EXPECT_DOUBLE_EQ(parsed.far_gb, spec.far_gb);
+  EXPECT_DOUBLE_EQ(parsed.far_bw_gbps, spec.far_bw_gbps);
+  EXPECT_DOUBLE_EQ(parsed.far_lat_ns, spec.far_lat_ns);
+  EXPECT_DOUBLE_EQ(parsed.e_freq_ghz, spec.e_freq_ghz);
+  EXPECT_EQ(parsed.e_per_ccd, spec.e_per_ccd);
+}
+
+// Builder validation must name the offending MachineSpec key so a bad
+// ILAN_TOPO override is diagnosable from the message alone.
+TEST(Builder, DegenerateSpecsNameTheOffendingKey) {
+  const auto expect_key = [](MachineSpec spec, const char* key) {
+    try {
+      (void)build(spec);
+      FAIL() << "expected throw naming '" << key << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos) << e.what();
+    }
+  };
+  auto spec = presets::tiny_2n8c();
+  spec.sockets = 0;
+  expect_key(spec, "sockets");
+  spec = presets::tiny_2n8c();
+  spec.cores_per_ccd = -3;
+  expect_key(spec, "cores_per_ccd");
+  spec = presets::tiny_2n8c();
+  spec.node_bw_gbps = -5.0;
+  expect_key(spec, "node_bw_gbps");
+  spec = presets::tiny_2n8c();
+  spec.node_mem_gb = 0.0;
+  expect_key(spec, "node_mem_gb");
+  spec = presets::tiny_2n8c();
+  spec.far_bw_gbps = -1.0;
+  expect_key(spec, "far_bw_gbps");
+  // Far tier needs all three attributes: capacity/latency without bandwidth
+  // is a half-specified tier, not a tierless machine.
+  spec = presets::tiny_2n8c();
+  spec.far_gb = 64.0;
+  expect_key(spec, "far_bw_gbps");
+  spec = presets::tiny_2n8c();
+  spec.far_bw_gbps = 30.0;  // bandwidth without capacity/latency
+  expect_key(spec, "far_gb");
+  // E-cores must leave at least one P-core per CCD and carry a frequency.
+  spec = presets::tiny_2n8c();
+  spec.e_per_ccd = spec.cores_per_ccd;
+  spec.e_freq_ghz = 2.0;
+  expect_key(spec, "e_per_ccd");
+  spec = presets::tiny_2n8c();
+  spec.e_per_ccd = 1;
+  expect_key(spec, "e_freq_ghz");
+  spec = presets::tiny_2n8c();
+  spec.e_freq_ghz = 2.0;  // frequency without any E-core
+  expect_key(spec, "e_per_ccd");
+}
+
+TEST(Builder, RejectsMoreThan64Nodes) {
+  // rt::NodeMask is a 64-bit word; the builder must refuse anything wider.
+  auto spec = presets::tiny_2n8c();
+  spec.sockets = 5;
+  spec.nodes_per_socket = 13;  // 65 nodes
+  EXPECT_THROW(build(spec), std::invalid_argument);
+  spec.sockets = 4;
+  spec.nodes_per_socket = 16;  // exactly 64: fine
+  EXPECT_NO_THROW(build(spec));
+}
+
+TEST(Builder, FarTierLandsOnEveryNode) {
+  const auto topo = build(presets::cxl_zen4_far());
+  EXPECT_TRUE(topo.has_far_tier());
+  for (const auto& node : topo.nodes()) {
+    EXPECT_TRUE(node.far.present());
+    EXPECT_GT(node.far.bytes, 0.0);
+    EXPECT_GT(node.far.latency_ns, node.mem_latency_ns);
+  }
+  EXPECT_FALSE(build(presets::zen4_epyc9354_2s()).has_far_tier());
+}
+
+TEST(Builder, HeteroAssignsECoresPerCcd) {
+  const auto spec = presets::hetero_zen4_pe();
+  const auto topo = build(spec);
+  for (const auto& ccd : topo.ccds()) {
+    int e_cores = 0;
+    for (const auto core_id : ccd.cores) {
+      const auto& core = topo.core(core_id);
+      if (core.base_freq_ghz == spec.e_freq_ghz) ++e_cores;
+      else EXPECT_DOUBLE_EQ(core.base_freq_ghz, spec.core_freq_ghz);
+    }
+    EXPECT_EQ(e_cores, spec.e_per_ccd);
+    // The E-cores are the trailing cores of the CCD, so the node primary
+    // (front core) always runs at P-core frequency.
+    EXPECT_DOUBLE_EQ(topo.core(ccd.cores.front()).base_freq_ghz, spec.core_freq_ghz);
+  }
+}
+
+// --- topology registry ----------------------------------------------------
+
+TEST(TopoRegistry, KnowsBuiltins) {
+  const auto& reg = TopologyRegistry::instance();
+  for (const char* name : {"zen4", "tiny", "small", "quad", "cxl", "hetero"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_FALSE(reg.description(name).empty()) << name;
+    EXPECT_NO_THROW((void)build(reg.make(name))) << name;
+  }
+}
+
+TEST(TopoRegistry, ZenSpecMatchesLegacyPreset) {
+  // The spec-driven default must be the hard-coded preset, field for field
+  // (serialize covers every MachineSpec field).
+  EXPECT_EQ(serialize(make_machine_spec("zen4")),
+            serialize(presets::zen4_epyc9354_2s()));
+}
+
+TEST(TopoRegistry, ParsesSpecGrammar) {
+  const auto spec = parse_topo_spec("quad:sockets=4,cores=256");
+  EXPECT_EQ(spec.name, "quad");
+  ASSERT_EQ(spec.options.size(), 2u);
+  EXPECT_EQ(spec.options[0].key, "sockets");
+  EXPECT_EQ(spec.options[0].value, "4");
+  EXPECT_EQ(spec.to_string(), "quad:sockets=4,cores=256");
+  EXPECT_THROW((void)parse_topo_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_topo_spec("zen4:freq"), std::invalid_argument);
+  EXPECT_THROW((void)parse_topo_spec("zen4:a=1,a=2"), std::invalid_argument);
+}
+
+TEST(TopoRegistry, OptionsOverrideBase) {
+  const auto ms = make_machine_spec("zen4:core_freq=2.5,node_bw=100");
+  EXPECT_DOUBLE_EQ(ms.core_freq_ghz, 2.5);
+  EXPECT_DOUBLE_EQ(ms.node_bw_gbps, 100.0);
+  EXPECT_EQ(ms.sockets, 2);  // untouched structure stays zen4
+
+  // Structure keys are machine totals, re-derived into per-level counts.
+  const auto quad = make_machine_spec("quad:sockets=2,nodes=8,ccds=16,cores=128");
+  EXPECT_EQ(quad.sockets, 2);
+  EXPECT_EQ(quad.nodes_per_socket, 4);
+  EXPECT_EQ(quad.ccds_per_node, 2);
+  EXPECT_EQ(quad.cores_per_ccd, 8);
+}
+
+TEST(TopoRegistry, ErrorsNameOffenderAndListTopologies) {
+  const auto expect_contains = [](const char* text, std::vector<const char*> needles) {
+    try {
+      (void)make_machine_spec(text);
+      FAIL() << "expected throw for '" << text << "'";
+    } catch (const std::invalid_argument& e) {
+      for (const char* n : needles) {
+        EXPECT_NE(std::string(e.what()).find(n), std::string::npos)
+            << "'" << e.what() << "' should contain '" << n << "'";
+      }
+    }
+  };
+  expect_contains("nope", {"nope", "registered topologies", "zen4"});
+  expect_contains("zen4:bogus=1", {"bogus", "registered"});
+  expect_contains("zen4:cores=banana", {"cores", "banana"});
+  // Structure totals must divide: 10 nodes over 4 sockets is not a machine.
+  expect_contains("quad:nodes=10", {"nodes", "divisible"});
+  // Semantically invalid overrides surface the builder's key-naming error.
+  expect_contains("zen4:node_bw=-3", {"node_bw"});
+}
+
+TEST(TopoRegistry, ResolveIsIdempotentAndExplicit) {
+  const auto& reg = TopologyRegistry::instance();
+  for (const auto& name : reg.names()) {
+    const std::string resolved = reg.resolve(name);
+    EXPECT_EQ(reg.resolve(resolved), resolved) << name;
+    // Resolved text is a complete spec: making it reproduces the machine.
+    EXPECT_EQ(serialize(reg.make(resolved)), serialize(reg.make(name))) << name;
+  }
+  // Overrides survive resolution.
+  EXPECT_NE(reg.resolve("zen4:core_freq=2.5").find("core_freq=2.5"),
+            std::string::npos);
+}
+
+TEST(TopoRegistry, EnvKnobSelectsMachine) {
+  {
+    const ilan::obs::ScopedEnv unset("ILAN_TOPO");
+    EXPECT_EQ(env_topo_spec(), "zen4");
+    EXPECT_EQ(serialize(machine_spec_from_env()),
+              serialize(presets::zen4_epyc9354_2s()));
+  }
+  {
+    const ilan::obs::ScopedEnv set("ILAN_TOPO", "tiny");
+    EXPECT_EQ(env_topo_spec(), "tiny");
+    EXPECT_EQ(machine_spec_from_env().name, presets::tiny_2n8c().name);
+  }
+  {
+    const ilan::obs::ScopedEnv bad("ILAN_TOPO", "not-a-machine");
+    EXPECT_THROW((void)machine_spec_from_env(), std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #   tools/run_tier1.sh solver                     # incremental-solver gate
 #   tools/run_tier1.sh serve                      # serving-layer SLO gate
 #   tools/run_tier1.sh dag                        # task-graph gate
+#   tools/run_tier1.sh topo                       # topology-registry gate
 #   ILAN_SANITIZE=address   tools/run_tier1.sh    # ASan build in build-asan/
 #   ILAN_SANITIZE=thread    tools/run_tier1.sh    # TSan build in build-tsan/
 #   ILAN_SANITIZE=undefined tools/run_tier1.sh    # UBSan build in build-ubsan/
@@ -65,6 +66,13 @@
 # cleanliness for every DAG kernel under the standard schedulers plus
 # dist=dep-aware, and jobs=1-vs-4 run_many parity over the DAG path). Runs
 # on the primary build and then under ASan and TSan.
+#
+# `topo` is the topology-registry gate: the topo unit tests (registry spec
+# grammar, builder validation, far tier, heterogeneous cores) and
+# `bench/selfcheck --topo` (2-run digest + metrics parity and jobs=1-vs-4
+# parity for every registered ILAN_TOPO topology, plus the default ==
+# legacy-zen4-preset anchor). Runs on the primary build and then under
+# ASan and TSan.
 #
 # `solver` is the incremental-solver gate: the FlowNetwork unit tests
 # (including the randomized full-vs-delta equivalence test), the
@@ -188,6 +196,25 @@ run_dag_one() {
   ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --dag
 }
 
+run_topo_one() {
+  local san="$1" build_dir
+  case "$san" in
+    "")        build_dir=build ;;
+    address)   build_dir=build-asan ;;
+    thread)    build_dir=build-tsan ;;
+    undefined) build_dir=build-ubsan ;;
+  esac
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    ${san:+-DILAN_SANITIZE="$san"}
+  cmake --build "$build_dir" -j "$jobs" --target selfcheck test_topo test_mem_system
+  echo "== topology tests (${san:-plain}) =="
+  "./$build_dir/tests/test_topo"
+  echo "== far-tier memory tests (${san:-plain}) =="
+  "./$build_dir/tests/test_mem_system" --gtest_filter='FarTier.*'
+  echo "== selfcheck --topo (${san:-plain}) =="
+  ILAN_BENCH_JSON=0 "./$build_dir/bench/selfcheck" --topo
+}
+
 run_solver_one() {
   local san="$1" build_dir
   case "$san" in
@@ -272,6 +299,13 @@ case "$mode" in
       run_dag_one "$san"
     done
     ;;
+  topo)
+    run_topo_one ""
+    for san in address thread; do
+      echo "== sanitizer: $san =="
+      run_topo_one "$san"
+    done
+    ;;
   solver)
     run_solver_one ""
     for san in address thread; do
@@ -287,7 +321,7 @@ case "$mode" in
     done
     ;;
   *)
-    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|dag|solver|serve]" >&2
+    echo "usage: tools/run_tier1.sh [build|lint|analyze|faults|obs|sched|dag|topo|solver|serve]" >&2
     exit 2
     ;;
 esac
